@@ -1,0 +1,59 @@
+//! Sampling ablation (§3.3): how does the number of sampled frequency
+//! settings per training benchmark affect corpus-building cost?
+//!
+//! The paper settles on 40 of 177 settings; this bench measures the
+//! sweep cost at several sampling levels and prints the resulting
+//! model quality once per run (held-out RMSE of a linear-SVR speedup
+//! head trained on each corpus).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpufreq_core::build_training_data;
+use gpufreq_ml::{rmse, train_svr, SvrParams};
+use gpufreq_sim::GpuSimulator;
+use gpufreq_synth::MicroBenchmark;
+use std::hint::black_box;
+
+fn subset() -> Vec<MicroBenchmark> {
+    gpufreq_synth::generate_all().into_iter().step_by(4).collect()
+}
+
+fn report_quality(sim: &GpuSimulator, benches: &[MicroBenchmark]) {
+    // Train on sampled corpora, evaluate on the exhaustive corpus.
+    let full = build_training_data(sim, benches, usize::MAX);
+    for &n in &[6usize, 20, 40, 80] {
+        let data = build_training_data(sim, benches, n);
+        let params = SvrParams { c: 100.0, max_iter: 100_000, ..SvrParams::paper_speedup() };
+        let model = train_svr(&data.speedup, &params);
+        let preds: Vec<f64> = full.speedup.xs().iter().map(|r| model.predict(r)).collect();
+        eprintln!(
+            "[ablation] {n:>3} settings ({} samples): exhaustive-corpus RMSE {:.4}",
+            data.len(),
+            rmse(full.speedup.ys(), &preds)
+        );
+    }
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let sim = GpuSimulator::titan_x();
+    let benches = subset();
+    report_quality(&sim, &benches);
+    let mut group = c.benchmark_group("ablation_sampling");
+    group.sample_size(10);
+    for &n in &[6usize, 20, 40, 80, 177] {
+        group.bench_with_input(BenchmarkId::new("build_corpus", n), &n, |b, &n| {
+            b.iter(|| build_training_data(black_box(&sim), &benches, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Short windows: these benches exist to show scaling shape, and the
+    // full suite must run in minutes, not hours.
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sampling
+}
+criterion_main!(benches);

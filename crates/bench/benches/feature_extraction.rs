@@ -1,0 +1,63 @@
+//! Front-end throughput: lexing, parsing and the static feature pass
+//! on the twelve test benchmarks.
+//!
+//! The paper's prediction phase cost is dominated by feature
+//! extraction (everything else is a few hundred kernel evaluations);
+//! this bench confirms extraction is microseconds-per-kernel, i.e. the
+//! framework can "quickly derive the best configurations for any new
+//! application" (§1.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpufreq_kernel::{analyze_kernel_with, parse, StaticFeatures};
+use std::hint::black_box;
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse");
+    for w in gpufreq_workloads::all_workloads() {
+        group.bench_with_input(BenchmarkId::from_parameter(w.name), &w, |b, w| {
+            b.iter(|| parse(black_box(&w.source)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feature_extraction");
+    for w in gpufreq_workloads::all_workloads() {
+        let program = w.program();
+        let kernel = program.first_kernel().unwrap();
+        let config = w.analysis_config();
+        group.bench_with_input(BenchmarkId::from_parameter(w.name), &w, |b, _| {
+            b.iter(|| {
+                let analysis = analyze_kernel_with(black_box(kernel), &config).unwrap();
+                StaticFeatures::from_analysis(&analysis)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // Source text to feature vector, the full static path of Fig. 3.
+    let knn = gpufreq_workloads::workload("knn").unwrap();
+    c.bench_function("source_to_features/knn", |b| {
+        b.iter(|| {
+            let program = parse(black_box(&knn.source)).unwrap();
+            let analysis =
+                analyze_kernel_with(program.first_kernel().unwrap(), &knn.analysis_config())
+                    .unwrap();
+            StaticFeatures::from_analysis(&analysis)
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    // Short windows: these benches exist to show scaling shape, and the
+    // full suite must run in minutes, not hours.
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_parse, bench_analysis, bench_end_to_end
+}
+criterion_main!(benches);

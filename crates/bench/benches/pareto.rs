@@ -1,0 +1,43 @@
+//! Algorithm 1 (the paper's simple Pareto scan) vs the `O(n log n)`
+//! sort-based front — the trade-off §3.4 alludes to when citing faster
+//! algorithms. At the paper's problem size (≤ 177 points per kernel)
+//! both are microseconds; the gap opens at larger candidate sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpufreq_pareto::{pareto_set_fast, pareto_set_simple, Objectives};
+use std::hint::black_box;
+
+/// Deterministic pseudo-random point cloud in objective space.
+fn cloud(n: usize) -> Vec<Objectives> {
+    let mut state: u64 = 0x9E3779B97F4A7C15;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (u32::MAX as f64)
+    };
+    (0..n).map(|_| Objectives::new(0.1 + 1.3 * next(), 0.4 + 1.4 * next())).collect()
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto_front");
+    for &n in &[177usize, 1000, 10_000] {
+        let points = cloud(n);
+        group.bench_with_input(BenchmarkId::new("algorithm1", n), &points, |b, p| {
+            b.iter(|| pareto_set_simple(black_box(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("sort_scan", n), &points, |b, p| {
+            b.iter(|| pareto_set_fast(black_box(p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Short windows: these benches exist to show scaling shape, and the
+    // full suite must run in minutes, not hours.
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pareto
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Simulator sweep throughput: sequential runs vs the crossbeam-parallel
+//! `sweep`, and the cost of a full 177-configuration characterization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpufreq_sim::GpuSimulator;
+use std::hint::black_box;
+
+fn bench_sweep(c: &mut Criterion) {
+    let sim = GpuSimulator::titan_x();
+    let profile = gpufreq_workloads::workload("matmul").unwrap().profile();
+    let configs = sim.spec().clocks.actual_configs();
+    let mut group = c.benchmark_group("sim_sweep");
+    group.sample_size(20);
+    group.bench_with_input(BenchmarkId::new("sequential", configs.len()), &configs, |b, cfgs| {
+        b.iter(|| {
+            for &cfg in cfgs.iter() {
+                black_box(sim.run(&profile, cfg).unwrap());
+            }
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("parallel", configs.len()), &configs, |b, cfgs| {
+        b.iter(|| sim.sweep(black_box(&profile), cfgs).unwrap())
+    });
+    group.bench_function("characterize_177", |b| {
+        b.iter(|| sim.characterize(black_box(&profile)))
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Short windows: these benches exist to show scaling shape, and the
+    // full suite must run in minutes, not hours.
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Diagnostic: per-domain head capacity — linear vs RBF speedup heads
+//! on the mem-H domain. Not part of the paper's experiment set.
+
+use gpufreq_core::build_training_data;
+use gpufreq_kernel::FeatureVector;
+use gpufreq_ml::scale::MinMaxScaler;
+use gpufreq_ml::{rmse_percent, train_ols, train_svr, Dataset, SvmKernel, SvrParams};
+use gpufreq_sim::GpuSimulator;
+
+fn main() {
+    let sim = GpuSimulator::titan_x();
+    let benches = gpufreq_synth::generate_all();
+    let data = build_training_data(&sim, &benches, 40);
+    let scaler = MinMaxScaler::fit(data.speedup.xs());
+
+    // mem-H slice of the corpus.
+    let mut train = Dataset::new();
+    for (i, cfg) in data.row_configs.iter().enumerate() {
+        if cfg.mem_mhz == 3505 {
+            let (x, y) = data.speedup.sample(i);
+            train.push(scaler.transform(x), y);
+        }
+    }
+    eprintln!("mem-H training slice: {} samples", train.len());
+
+    // Test: the 12 workloads over all mem-H configs.
+    let mut test_rows = Vec::new();
+    let mut test_truth = Vec::new();
+    for w in gpufreq_workloads::all_workloads() {
+        let profile = w.profile();
+        let features = profile.static_features();
+        let c = sim.characterize_at(&profile, &sim.spec().clocks.actual_configs_for(3505));
+        for p in &c.points {
+            let row = FeatureVector::new(&features, p.config()).as_slice().to_vec();
+            test_rows.push(scaler.transform(&row));
+            test_truth.push(p.speedup);
+        }
+    }
+
+    let ols = train_ols(&train);
+    println!(
+        "OLS        train RMSE%={:<7.2} test RMSE%={:<7.2}",
+        rmse_percent(train.ys(), &ols.predict_batch(train.xs())),
+        rmse_percent(&test_truth, &ols.predict_batch(&test_rows))
+    );
+
+    for (name, kernel, c) in [
+        ("SVR-linear", SvmKernel::Linear, 1000.0),
+        ("SVR-rbf g=0.1", SvmKernel::Rbf { gamma: 0.1 }, 1000.0),
+        ("SVR-rbf g=1", SvmKernel::Rbf { gamma: 1.0 }, 1000.0),
+        ("SVR-rbf g=4", SvmKernel::Rbf { gamma: 4.0 }, 1000.0),
+        ("SVR-rbf g=1 C=100", SvmKernel::Rbf { gamma: 1.0 }, 100.0),
+    ] {
+        let params = SvrParams { c, kernel, ..SvrParams::paper_speedup() };
+        let start = std::time::Instant::now();
+        let model = train_svr(&train, &params);
+        println!(
+            "{name:<18} iters={:<8} train RMSE%={:<7.2} test RMSE%={:<7.2} ({:.0}s)",
+            model.iterations(),
+            rmse_percent(train.ys(), &model.predict_batch(train.xs())),
+            rmse_percent(&test_truth, &model.predict_batch(&test_rows)),
+            start.elapsed().as_secs_f64(),
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 1: speedup and normalized energy of k-NN and MT as a function
+//! of the core frequency, one series per memory domain, plus the
+//! combined objective-space view.
+//!
+//! Regenerates the motivational curves of §1.1: k-NN speeds up almost
+//! linearly with the core clock while MT is flat; normalized energy is
+//! parabolic with an interior minimum for k-NN and rises with the core
+//! clock for MT.
+
+use gpufreq_bench::write_artifact;
+use gpufreq_core::series_csv;
+use gpufreq_sim::{GpuSimulator, MemDomain};
+
+fn main() {
+    let sim = GpuSimulator::titan_x();
+    for name in ["knn", "mt"] {
+        let workload = gpufreq_workloads::workload(name).expect("known workload");
+        let profile = workload.profile();
+        let characterization = sim.characterize(&profile);
+        println!("=== Figure 1: {} ===", workload.display_name);
+        for domain in MemDomain::ALL.iter().rev() {
+            let mem = domain.titan_x_mhz();
+            let mut speedup_series = Vec::new();
+            let mut energy_series = Vec::new();
+            for p in &characterization.points {
+                if p.config().mem_mhz == mem {
+                    speedup_series.push((p.config().core_mhz as f64, p.speedup));
+                    energy_series.push((p.config().core_mhz as f64, p.norm_energy));
+                }
+            }
+            speedup_series.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            energy_series.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let (min_s, max_s) = min_max(speedup_series.iter().map(|p| p.1));
+            let (min_e, max_e) = min_max(energy_series.iter().map(|p| p.1));
+            let min_e_at = energy_series
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .map(|p| p.0)
+                .unwrap_or(0.0);
+            println!(
+                "  {:6} ({:4} MHz): {:2} pts | speedup {:.3}..{:.3} | energy {:.3}..{:.3} (min at {:.0} MHz core)",
+                domain.label(),
+                mem,
+                speedup_series.len(),
+                min_s,
+                max_s,
+                min_e,
+                max_e,
+                min_e_at
+            );
+            write_artifact(
+                &format!("fig1/{}_{}_speedup.csv", name, domain.label()),
+                &series_csv(("core_mhz", "speedup"), &speedup_series),
+            );
+            write_artifact(
+                &format!("fig1/{}_{}_energy.csv", name, domain.label()),
+                &series_csv(("core_mhz", "normalized_energy"), &energy_series),
+            );
+        }
+        // The default configuration sits at speedup = energy = 1.
+        println!(
+            "  default {} -> time {:.3} ms, {:.1} W",
+            sim.spec().clocks.default,
+            characterization.baseline.time_ms,
+            characterization.baseline.avg_power_w
+        );
+        println!();
+    }
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)))
+}

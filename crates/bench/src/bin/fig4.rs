@@ -1,0 +1,62 @@
+//! Figure 4: supported memory/core frequency combinations of the GTX
+//! Titan X (4a) and the Tesla P100 (4b), including the NVML quirk
+//! where advertised core clocks above 1202 MHz silently clamp (the
+//! "gray points"), and the default configuration marker.
+
+use gpufreq_bench::write_artifact;
+use gpufreq_core::ascii_table;
+use gpufreq_sim::{DeviceSpec, NvmlDevice};
+use std::fmt::Write as _;
+
+fn main() {
+    for spec in [DeviceSpec::titan_x(), DeviceSpec::tesla_p100()] {
+        let nvml = NvmlDevice::new(spec.clone());
+        println!("=== Figure 4: {} ===", nvml.device_get_name());
+        let default = spec.clocks.default;
+        let mut rows = Vec::new();
+        let mut csv = String::from("mem_mhz,core_mhz,effective_core_mhz,clamped,default\n");
+        for mem in nvml.device_get_supported_memory_clocks() {
+            let advertised = nvml.device_get_supported_graphics_clocks(mem).expect("supported");
+            let domain = spec.clocks.domain(mem).expect("domain exists");
+            let actual = domain.actual_core_mhz();
+            let clamped = advertised.iter().filter(|&&c| domain.effective_core(c) != c).count();
+            rows.push(vec![
+                mem.to_string(),
+                advertised.len().to_string(),
+                actual.len().to_string(),
+                clamped.to_string(),
+                format!("{}..{}", actual.first().unwrap(), actual.last().unwrap()),
+                if default.mem_mhz == mem { format!("core {}", default.core_mhz) } else { "-".to_string() },
+            ]);
+            for &core in &advertised {
+                let eff = domain.effective_core(core);
+                let _ = writeln!(
+                    csv,
+                    "{mem},{core},{eff},{},{}",
+                    (eff != core) as u8,
+                    (default.mem_mhz == mem && default.core_mhz == core) as u8
+                );
+            }
+        }
+        println!(
+            "{}",
+            ascii_table(
+                &["mem MHz", "advertised", "actual", "clamped (gray)", "core range", "default"],
+                &rows
+            )
+        );
+        let total_adv: usize = spec
+            .clocks
+            .domains
+            .iter()
+            .map(|d| d.advertised_core_mhz.len())
+            .sum();
+        let total_actual = spec.clocks.actual_configs().len();
+        println!(
+            "total: {} advertised configurations, {} actually settable\n",
+            total_adv, total_actual
+        );
+        let file = if spec.name.contains("Titan") { "fig4/titan_x.csv" } else { "fig4/tesla_p100.csv" };
+        write_artifact(file, &csv);
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 5: measured speedup vs normalized energy for eight selected
+//! benchmarks under every frequency configuration, grouped by memory
+//! domain.
+//!
+//! Regenerates the characterization analysis of §4.2: the top row
+//! (k-NN, AES, Matrix Multiply, Convolution) is compute-dominated and
+//! spreads widely along the speedup axis; the bottom row (Median
+//! Filter, Bit Compression, MT, Blackscholes) is memory-dominated and
+//! collapses toward vertical clusters.
+
+use gpufreq_bench::write_artifact;
+use gpufreq_sim::{GpuSimulator, MemDomain};
+use std::fmt::Write as _;
+
+/// The eight benchmarks shown in Fig. 5, top row first.
+const SELECTION: [&str; 8] =
+    ["knn", "aes", "matmul", "convolution", "median", "bitcompression", "mt", "blackscholes"];
+
+fn main() {
+    let sim = GpuSimulator::titan_x();
+    for name in SELECTION {
+        let workload = gpufreq_workloads::workload(name).expect("known workload");
+        let characterization = sim.characterize(&workload.profile());
+        println!("=== Figure 5: {} ===", workload.display_name);
+        let mut csv = String::from("mem_mhz,core_mhz,speedup,normalized_energy\n");
+        for domain in MemDomain::ALL.iter().rev() {
+            let mem = domain.titan_x_mhz();
+            let pts: Vec<_> = characterization
+                .points
+                .iter()
+                .filter(|p| p.config().mem_mhz == mem)
+                .collect();
+            let (s_lo, s_hi) = min_max(pts.iter().map(|p| p.speedup));
+            let (e_lo, e_hi) = min_max(pts.iter().map(|p| p.norm_energy));
+            println!(
+                "  {:6}: speedup [{:.3}, {:.3}] (spread {:.3}) | energy [{:.3}, {:.3}] (spread {:.3})",
+                domain.label(),
+                s_lo,
+                s_hi,
+                s_hi - s_lo,
+                e_lo,
+                e_hi,
+                e_hi - e_lo
+            );
+            for p in pts {
+                let _ = writeln!(
+                    csv,
+                    "{},{},{},{}",
+                    mem,
+                    p.config().core_mhz,
+                    p.speedup,
+                    p.norm_energy
+                );
+            }
+        }
+        // Character summary: spread along speedup distinguishes the
+        // compute-dominated (top) from memory-dominated (bottom) codes.
+        let (s_lo, s_hi) =
+            min_max(characterization.points.iter().filter(|p| p.config().mem_mhz >= 3304).map(|p| p.speedup));
+        let character = if s_hi - s_lo > 0.7 { "compute-dominated" } else { "memory-dominated" };
+        println!("  high-mem speedup spread {:.3} -> {character}\n", s_hi - s_lo);
+        write_artifact(&format!("fig5/{name}.csv"), &csv);
+    }
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)))
+}

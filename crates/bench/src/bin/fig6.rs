@@ -1,0 +1,26 @@
+//! Figure 6: per-memory-domain prediction error of the *speedup* model
+//! on the twelve test benchmarks — box statistics per benchmark and
+//! pooled RMSE per domain (the paper reports 6.68 / 7.10 / 11.13 /
+//! 9.09 % for Mem_H / h / l / L).
+
+use gpufreq_bench::{paper_model, write_artifact};
+use gpufreq_core::{error_analysis, evaluate_all, render_error_panel, Objective};
+use gpufreq_sim::GpuSimulator;
+
+fn main() {
+    let sim = GpuSimulator::titan_x();
+    let model = paper_model(&sim);
+    let workloads = gpufreq_workloads::all_workloads();
+    let evals = evaluate_all(&sim, &model, &workloads);
+    let analysis = error_analysis(&sim, &model, &evals, Objective::Speedup);
+    println!("=== Figure 6: prediction error of speedup ===\n");
+    for domain in &analysis {
+        println!("{}", render_error_panel(domain, "speedup"));
+    }
+    let json = serde_json::to_string_pretty(&analysis).expect("serializable");
+    write_artifact("fig6/speedup_errors.json", &json);
+    println!("RMSE summary (paper: Mem_H 6.68%, Mem_h 7.10%, Mem_l 11.13%, Mem_L 9.09%):");
+    for domain in &analysis {
+        println!("  {:6} RMSE = {:.2}%", domain.label, domain.rmse_percent);
+    }
+}

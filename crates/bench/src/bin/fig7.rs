@@ -1,0 +1,25 @@
+//! Figure 7: per-memory-domain prediction error of the *normalized
+//! energy* model on the twelve test benchmarks (the paper reports
+//! RMSE 7.82 / 5.65 / 12.85 / 15.10 % for Mem_H / h / l / L).
+
+use gpufreq_bench::{paper_model, write_artifact};
+use gpufreq_core::{error_analysis, evaluate_all, render_error_panel, Objective};
+use gpufreq_sim::GpuSimulator;
+
+fn main() {
+    let sim = GpuSimulator::titan_x();
+    let model = paper_model(&sim);
+    let workloads = gpufreq_workloads::all_workloads();
+    let evals = evaluate_all(&sim, &model, &workloads);
+    let analysis = error_analysis(&sim, &model, &evals, Objective::Energy);
+    println!("=== Figure 7: prediction error of normalized energy ===\n");
+    for domain in &analysis {
+        println!("{}", render_error_panel(domain, "normalized energy"));
+    }
+    let json = serde_json::to_string_pretty(&analysis).expect("serializable");
+    write_artifact("fig7/energy_errors.json", &json);
+    println!("RMSE summary (paper: Mem_H 7.82%, Mem_h 5.65%, Mem_l 12.85%, Mem_L 15.10%):");
+    for domain in &analysis {
+        println!("  {:6} RMSE = {:.2}%", domain.label, domain.rmse_percent);
+    }
+}

@@ -1,0 +1,48 @@
+//! Portability study (§4.1): "The methodology introduced by this work
+//! is portable, and all tests ... have been performed on both" devices.
+//!
+//! Re-runs the full pipeline on the Tesla P100: rebuild the training
+//! corpus on the P100 simulator (its single 715 MHz memory domain and
+//! 61 core clocks), train a fresh model with the paper's
+//! hyper-parameters, and evaluate the predicted fronts on the twelve
+//! test benchmarks. With only one memory domain the problem collapses
+//! to core-frequency selection — exactly why the paper calls the
+//! Titan X "more interesting".
+
+use gpufreq_bench::{artifacts_dir, write_artifact};
+use gpufreq_core::{
+    build_training_data, evaluate_all, render_table2, table2, FreqScalingModel, ModelConfig,
+};
+use gpufreq_sim::GpuSimulator;
+
+fn main() {
+    let sim = GpuSimulator::tesla_p100();
+    let cache = artifacts_dir().join("model_p100.json");
+    let model = if let Some(model) =
+        std::fs::read_to_string(&cache).ok().and_then(|j| FreqScalingModel::from_json(&j).ok())
+    {
+        eprintln!("[gpufreq] loaded cached P100 model");
+        model
+    } else {
+        eprintln!("[gpufreq] training P100 model (106 micro-benchmarks x 40 settings)...");
+        let data = build_training_data(&sim, &gpufreq_synth::generate_all(), 40);
+        let model = FreqScalingModel::train(&data, &ModelConfig::default());
+        let _ = std::fs::write(&cache, model.to_json());
+        model
+    };
+    let workloads = gpufreq_workloads::all_workloads();
+    let evals = evaluate_all(&sim, &model, &workloads);
+    println!("=== Portability: Tesla P100 (single 715 MHz memory domain) ===\n");
+    println!("{}", render_table2(&table2(&evals)));
+    let improving = evals.iter().filter(|e| e.improves_on_default()).count();
+    println!("predicted sets improve on the P100 default for {improving}/12 benchmarks");
+    println!("(no mem-L domain exists, so no heuristic point is added)");
+    for e in &evals {
+        assert!(
+            e.prediction.pareto_set.iter().all(|p| !p.heuristic),
+            "unexpected heuristic point on a single-domain device"
+        );
+    }
+    let json = serde_json::to_string_pretty(&table2(&evals)).expect("serializable");
+    write_artifact("portability/p100_table.json", &json);
+}

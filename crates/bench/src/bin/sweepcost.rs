@@ -1,0 +1,32 @@
+//! §3.3 cost accounting: why the training phase samples 40 settings.
+//!
+//! The paper reports that measuring one micro-benchmark at 40 settings
+//! takes ~20 minutes and at all 174 settings ~70 minutes, making
+//! exhaustive search impractical across many applications. This binary
+//! reproduces that accounting with the simulator's wall-clock model
+//! (clock-switch settling + enough repetitions for a statistically
+//! consistent 62.5 Hz power average).
+
+use gpufreq_core::ascii_table;
+use gpufreq_sim::GpuSimulator;
+
+fn main() {
+    let sim = GpuSimulator::titan_x();
+    let bench = &gpufreq_synth::generate_all()[40]; // a mid-intensity micro-benchmark
+    let profile = bench.profile();
+    println!("=== Sweep cost accounting (micro-benchmark {}) ===\n", bench.name);
+    let mut rows = Vec::new();
+    for n in [10usize, 40, 80, 177] {
+        let configs = sim.spec().clocks.sample_configs(n);
+        let characterization = sim.characterize_at(&profile, &configs);
+        let minutes = characterization.sim_wall_s() / 60.0;
+        rows.push(vec![
+            configs.len().to_string(),
+            format!("{:.1}", minutes),
+            format!("{:.1}", characterization.sim_wall_s() / configs.len() as f64),
+        ]);
+    }
+    println!("{}", ascii_table(&["settings", "simulated minutes", "seconds/setting"], &rows));
+    println!("paper: 40 settings = 20 min, 174 settings = 70 min per benchmark");
+    println!("=> exhaustive search over 106 training codes would take days; sampling is required");
+}

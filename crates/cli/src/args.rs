@@ -1,0 +1,228 @@
+//! Argument parsing for the `gpufreq` CLI (plain `std`, no external
+//! parser dependency).
+
+use std::fmt;
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+gpufreq — predictable GPU frequency scaling (ICPP 2019 reproduction)
+
+USAGE:
+    gpufreq devices
+    gpufreq inspect <kernel.cl>
+    gpufreq train [--device <name>] [--settings <n>] [--fast] [--out <model.json>]
+    gpufreq predict <kernel.cl> --model <model.json> [--device <name>] [--json]
+    gpufreq characterize <kernel.cl> [--device <name>] [--settings <n>]
+    gpufreq evaluate --model <model.json> [--device <name>]
+
+DEVICES:
+    titan-x (default), tesla-p100, tesla-k20c
+
+OPTIONS:
+    --device <name>     simulated device (default: titan-x)
+    --settings <n>      sampled frequency settings (default: 40)
+    --model <path>      trained model JSON (from `gpufreq train`)
+    --out <path>        where `train` writes the model (default: model.json)
+    --fast              reduced corpus + relaxed solver (seconds, less accurate)
+    --json              machine-readable output
+    --help              show this text";
+
+/// Parsed subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List simulated devices.
+    Devices,
+    /// Parse and show the static features of a kernel file.
+    Inspect {
+        /// Path to the kernel source.
+        kernel: String,
+    },
+    /// Train a model and write it to disk.
+    Train {
+        /// Where the model JSON is written.
+        out: String,
+        /// Reduced corpus + relaxed solver.
+        fast: bool,
+    },
+    /// Predict the Pareto-optimal settings of a kernel.
+    Predict {
+        /// Path to the kernel source.
+        kernel: String,
+        /// Path of the trained model.
+        model: String,
+        /// Emit JSON instead of a table.
+        json: bool,
+    },
+    /// Ground-truth sweep of a kernel on the simulator.
+    Characterize {
+        /// Path to the kernel source.
+        kernel: String,
+    },
+    /// Paper-style Table 2 over the twelve benchmarks.
+    Evaluate {
+        /// Path of the trained model.
+        model: String,
+    },
+    /// `--help`.
+    Help,
+}
+
+/// A fully parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedArgs {
+    /// The subcommand.
+    pub command: Command,
+    /// Device name (`titan-x`, `tesla-p100`, `tesla-k20c`).
+    pub device: String,
+    /// Sampled settings for sweeps/training.
+    pub settings: usize,
+}
+
+/// Parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parse `argv` (excluding the program name).
+pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut device = "titan-x".to_string();
+    let mut settings = 40usize;
+    let mut model: Option<String> = None;
+    let mut out = "model.json".to_string();
+    let mut fast = false;
+    let mut json = false;
+    let mut help = false;
+
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => help = true,
+            "--fast" => fast = true,
+            "--json" => json = true,
+            "--device" => {
+                device = it.next().ok_or(ArgError("--device needs a value".into()))?.clone();
+            }
+            "--settings" => {
+                let v = it.next().ok_or(ArgError("--settings needs a value".into()))?;
+                settings = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("invalid --settings value `{v}`")))?;
+                if settings == 0 {
+                    return Err(ArgError("--settings must be positive".into()));
+                }
+            }
+            "--model" => {
+                model = Some(it.next().ok_or(ArgError("--model needs a value".into()))?.clone());
+            }
+            "--out" => {
+                out = it.next().ok_or(ArgError("--out needs a value".into()))?.clone();
+            }
+            s if s.starts_with("--") => return Err(ArgError(format!("unknown flag `{s}`"))),
+            s => positional.push(s),
+        }
+    }
+    if help {
+        return Ok(ParsedArgs { command: Command::Help, device, settings });
+    }
+    let Some((&cmd, rest)) = positional.split_first() else {
+        return Err(ArgError("missing subcommand".into()));
+    };
+    if !matches!(device.as_str(), "titan-x" | "tesla-p100" | "tesla-k20c") {
+        return Err(ArgError(format!(
+            "unknown device `{device}` (expected titan-x, tesla-p100 or tesla-k20c)"
+        )));
+    }
+    let need_kernel = |rest: &[&str]| -> Result<String, ArgError> {
+        rest.first()
+            .map(|s| s.to_string())
+            .ok_or(ArgError(format!("`{cmd}` needs a kernel source path")))
+    };
+    let command = match cmd {
+        "devices" => Command::Devices,
+        "inspect" => Command::Inspect { kernel: need_kernel(rest)? },
+        "train" => Command::Train { out, fast },
+        "predict" => Command::Predict {
+            kernel: need_kernel(rest)?,
+            model: model.ok_or(ArgError("`predict` needs --model".into()))?,
+            json,
+        },
+        "characterize" => Command::Characterize { kernel: need_kernel(rest)? },
+        "evaluate" => Command::Evaluate {
+            model: model.ok_or(ArgError("`evaluate` needs --model".into()))?,
+        },
+        other => return Err(ArgError(format!("unknown subcommand `{other}`"))),
+    };
+    Ok(ParsedArgs { command, device, settings })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_devices() {
+        let p = parse_args(&args("devices")).unwrap();
+        assert_eq!(p.command, Command::Devices);
+        assert_eq!(p.device, "titan-x");
+        assert_eq!(p.settings, 40);
+    }
+
+    #[test]
+    fn parses_predict_with_flags() {
+        let p = parse_args(&args("predict k.cl --model m.json --device tesla-p100 --json")).unwrap();
+        assert_eq!(
+            p.command,
+            Command::Predict { kernel: "k.cl".into(), model: "m.json".into(), json: true }
+        );
+        assert_eq!(p.device, "tesla-p100");
+    }
+
+    #[test]
+    fn predict_requires_model() {
+        assert!(parse_args(&args("predict k.cl")).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_device_and_flag() {
+        assert!(parse_args(&args("devices --device gtx-9000")).is_err());
+        assert!(parse_args(&args("devices --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn settings_must_be_numeric_and_positive() {
+        assert!(parse_args(&args("train --settings abc")).is_err());
+        assert!(parse_args(&args("train --settings 0")).is_err());
+        let p = parse_args(&args("train --settings 12")).unwrap();
+        assert_eq!(p.settings, 12);
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        let p = parse_args(&args("--help")).unwrap();
+        assert_eq!(p.command, Command::Help);
+    }
+
+    #[test]
+    fn missing_subcommand_errors() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&args("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn train_takes_out_and_fast() {
+        let p = parse_args(&args("train --out /tmp/m.json --fast")).unwrap();
+        assert_eq!(p.command, Command::Train { out: "/tmp/m.json".into(), fast: true });
+    }
+}

@@ -1,0 +1,8 @@
+//! The `gpufreq` command-line binary — see [`gpufreq_cli`] for the
+//! command set.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    std::process::exit(gpufreq_cli::run(&argv, &mut stdout));
+}

@@ -1,0 +1,289 @@
+//! Command implementations for the `gpufreq` CLI.
+
+use crate::args::{Command, ParsedArgs, USAGE};
+use gpufreq_core::{
+    ascii_table, build_training_data, evaluate_all, predict_pareto, render_table2, table2,
+    FreqScalingModel, ModelConfig,
+};
+use gpufreq_kernel::{
+    analyze_kernel, memory_boundedness, parse, AnalysisConfig, KernelProfile, LaunchConfig,
+    StaticFeatures, STATIC_FEATURE_NAMES,
+};
+use gpufreq_ml::SvrParams;
+use gpufreq_sim::GpuSimulator;
+use std::io::Write;
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Dispatch a parsed command line.
+pub fn dispatch(parsed: &ParsedArgs, out: &mut dyn Write) -> CmdResult {
+    match &parsed.command {
+        Command::Help => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Command::Devices => devices(out),
+        Command::Inspect { kernel } => inspect(kernel, out),
+        Command::Train { out: path, fast } => train(parsed, path, *fast, out),
+        Command::Predict { kernel, model, json } => predict(parsed, kernel, model, *json, out),
+        Command::Characterize { kernel } => characterize(parsed, kernel, out),
+        Command::Evaluate { model } => evaluate(parsed, model, out),
+    }
+}
+
+fn simulator(device: &str) -> GpuSimulator {
+    match device {
+        "tesla-p100" => GpuSimulator::tesla_p100(),
+        "tesla-k20c" => GpuSimulator::tesla_k20c(),
+        _ => GpuSimulator::titan_x(),
+    }
+}
+
+fn devices(out: &mut dyn Write) -> CmdResult {
+    let mut rows = Vec::new();
+    for name in ["titan-x", "tesla-p100", "tesla-k20c"] {
+        let sim = simulator(name);
+        let spec = sim.spec();
+        rows.push(vec![
+            name.to_string(),
+            spec.name.clone(),
+            spec.clocks.supported_memory_clocks().len().to_string(),
+            spec.clocks.actual_configs().len().to_string(),
+            format!("{}", spec.clocks.default),
+        ]);
+    }
+    write!(
+        out,
+        "{}",
+        ascii_table(&["id", "device", "memory domains", "configurations", "default"], &rows)
+    )?;
+    Ok(())
+}
+
+fn load_kernel(path: &str) -> Result<(StaticFeatures, KernelProfile), Box<dyn std::error::Error>> {
+    let source = std::fs::read_to_string(path)?;
+    let program = parse(&source).map_err(|e| format!("{path}: {e}"))?;
+    let kernel = program.first_kernel().ok_or("no __kernel function found")?;
+    let analysis = analyze_kernel(kernel).map_err(|e| format!("{path}: {e}"))?;
+    let profile =
+        KernelProfile::from_kernel(kernel, &AnalysisConfig::default(), LaunchConfig::default())
+            .map_err(|e| format!("{path}: {e}"))?;
+    Ok((StaticFeatures::from_analysis(&analysis), profile))
+}
+
+fn inspect(path: &str, out: &mut dyn Write) -> CmdResult {
+    let (features, profile) = load_kernel(path)?;
+    writeln!(out, "kernel `{}` ({} instructions per work-item)", profile.name, profile.counts.total())?;
+    let mut rows = Vec::new();
+    for (name, value) in STATIC_FEATURE_NAMES.iter().zip(features.values()) {
+        rows.push(vec![name.to_string(), format!("{value:.4}")]);
+    }
+    rows.push(vec!["memory-boundedness".to_string(), format!("{:.4}", memory_boundedness(&features))]);
+    write!(out, "{}", ascii_table(&["feature", "share"], &rows))?;
+    writeln!(
+        out,
+        "global traffic: {:.1} B read, {:.1} B written per work-item",
+        profile.global_read_bytes, profile.global_write_bytes
+    )?;
+    Ok(())
+}
+
+fn train(parsed: &ParsedArgs, path: &str, fast: bool, out: &mut dyn Write) -> CmdResult {
+    let sim = simulator(&parsed.device);
+    let corpus = if fast {
+        gpufreq_synth::generate_all().into_iter().step_by(3).collect()
+    } else {
+        gpufreq_synth::generate_all()
+    };
+    let settings = if fast { parsed.settings.min(20) } else { parsed.settings };
+    writeln!(
+        out,
+        "training on {} micro-benchmarks x {} settings ({})...",
+        corpus.len(),
+        settings,
+        sim.spec().name
+    )?;
+    let data = build_training_data(&sim, &corpus, settings);
+    let config = if fast {
+        ModelConfig {
+            speedup: SvrParams { c: 100.0, max_iter: 200_000, ..SvrParams::paper_speedup() },
+            energy: SvrParams { c: 100.0, max_iter: 200_000, ..SvrParams::paper_energy() },
+        }
+    } else {
+        ModelConfig::default()
+    };
+    let model = FreqScalingModel::train(&data, &config);
+    std::fs::write(path, model.to_json())?;
+    let (sv_s, sv_e) = model.support_vectors();
+    writeln!(
+        out,
+        "trained on {} samples ({sv_s}/{sv_e} support vectors); model written to {path}",
+        model.trained_on()
+    )?;
+    Ok(())
+}
+
+fn load_model(path: &str) -> Result<FreqScalingModel, Box<dyn std::error::Error>> {
+    let json = std::fs::read_to_string(path)?;
+    Ok(FreqScalingModel::from_json(&json)?)
+}
+
+fn predict(
+    parsed: &ParsedArgs,
+    kernel: &str,
+    model_path: &str,
+    json: bool,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let sim = simulator(&parsed.device);
+    let model = load_model(model_path)?;
+    let (features, _) = load_kernel(kernel)?;
+    let prediction = predict_pareto(&model, &features, &sim.spec().clocks);
+    if json {
+        writeln!(out, "{}", serde_json::to_string_pretty(&prediction)?)?;
+        return Ok(());
+    }
+    let mut rows = Vec::new();
+    for p in &prediction.pareto_set {
+        rows.push(vec![
+            p.config.mem_mhz.to_string(),
+            p.config.core_mhz.to_string(),
+            format!("{:.3}", p.objectives.speedup),
+            format!("{:.3}", p.objectives.energy),
+            if p.heuristic { "mem-L heuristic".to_string() } else { String::new() },
+        ]);
+    }
+    writeln!(out, "predicted Pareto-optimal frequency settings for `{kernel}`:")?;
+    write!(
+        out,
+        "{}",
+        ascii_table(&["mem MHz", "core MHz", "speedup", "norm. energy", "note"], &rows)
+    )?;
+    Ok(())
+}
+
+fn characterize(parsed: &ParsedArgs, kernel: &str, out: &mut dyn Write) -> CmdResult {
+    let sim = simulator(&parsed.device);
+    let (_, profile) = load_kernel(kernel)?;
+    let configs = sim.spec().clocks.sample_configs(parsed.settings);
+    let c = sim.characterize_at(&profile, &configs);
+    let mut rows = Vec::new();
+    for p in &c.points {
+        rows.push(vec![
+            p.config().mem_mhz.to_string(),
+            p.config().core_mhz.to_string(),
+            format!("{:.3}", p.measurement.time_ms),
+            format!("{:.1}", p.measurement.avg_power_w),
+            format!("{:.3}", p.speedup),
+            format!("{:.3}", p.norm_energy),
+        ]);
+    }
+    writeln!(out, "measured sweep of `{kernel}` on {} ({} settings):", sim.spec().name, rows.len())?;
+    write!(
+        out,
+        "{}",
+        ascii_table(
+            &["mem MHz", "core MHz", "time ms", "power W", "speedup", "norm. energy"],
+            &rows
+        )
+    )?;
+    writeln!(out, "simulated sweep cost: {:.1} minutes", c.sim_wall_s() / 60.0)?;
+    Ok(())
+}
+
+fn evaluate(parsed: &ParsedArgs, model_path: &str, out: &mut dyn Write) -> CmdResult {
+    let sim = simulator(&parsed.device);
+    let model = load_model(model_path)?;
+    let evals = evaluate_all(&sim, &model, &gpufreq_workloads::all_workloads());
+    write!(out, "{}", render_table2(&table2(&evals)))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::run;
+
+    fn run_str(line: &str) -> (i32, String) {
+        let argv: Vec<String> = line.split_whitespace().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        let code = run(&argv, &mut buf);
+        (code, String::from_utf8(buf).unwrap())
+    }
+
+    fn write_kernel() -> String {
+        let dir = std::env::temp_dir().join("gpufreq-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("saxpy.cl");
+        std::fs::write(
+            &path,
+            "__kernel void saxpy(__global float* x, __global float* y, float a) {
+                uint i = get_global_id(0);
+                y[i] = a * x[i] + y[i];
+            }",
+        )
+        .unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn devices_lists_all_three() {
+        let (code, out) = run_str("devices");
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("GTX Titan X"));
+        assert!(out.contains("Tesla P100"));
+        assert!(out.contains("Tesla K20c"));
+    }
+
+    #[test]
+    fn inspect_prints_features() {
+        let kernel = write_kernel();
+        let (code, out) = run_str(&format!("inspect {kernel}"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("float_mul"));
+        assert!(out.contains("gl_access"));
+        assert!(out.contains("memory-boundedness"));
+    }
+
+    #[test]
+    fn characterize_runs_a_sweep() {
+        let kernel = write_kernel();
+        let (code, out) = run_str(&format!("characterize {kernel} --settings 6"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("speedup"));
+        assert!(out.contains("simulated sweep cost"));
+    }
+
+    #[test]
+    fn train_then_predict_round_trip() {
+        let kernel = write_kernel();
+        let model = std::env::temp_dir().join("gpufreq-cli-test/model.json");
+        let model = model.to_string_lossy();
+        let (code, out) = run_str(&format!("train --fast --settings 12 --out {model}"));
+        assert_eq!(code, 0, "{out}");
+        let (code, out) = run_str(&format!("predict {kernel} --model {model}"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("Pareto-optimal"));
+        assert!(out.contains("mem-L heuristic"));
+        // JSON mode parses back.
+        let (code, out) = run_str(&format!("predict {kernel} --model {model} --json"));
+        assert_eq!(code, 0, "{out}");
+        assert!(serde_json::from_str::<serde_json::Value>(&out).is_ok());
+    }
+
+    #[test]
+    fn bad_usage_exits_nonzero_with_usage() {
+        let (code, out) = run_str("predict missing.cl");
+        assert_eq!(code, 2);
+        assert!(out.contains("USAGE"));
+        let (code, _) = run_str("inspect /does/not/exist.cl");
+        assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn help_shows_usage() {
+        let (code, out) = run_str("--help");
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+    }
+}

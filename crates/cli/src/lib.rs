@@ -1,0 +1,43 @@
+//! `gpufreq-cli` — shell interface to the `gpufreq` pipeline.
+//!
+//! Argument parsing and command implementations live here (in the
+//! library) so they are unit-testable; `src/bin/gpufreq.rs` is a thin
+//! `main` that forwards `std::env::args` and exits with the returned
+//! status.
+//!
+//! ```text
+//! gpufreq devices                          list simulated devices
+//! gpufreq inspect  <kernel.cl>             parse + show static features
+//! gpufreq train    [--device D] [--settings N] [--out model.json]
+//! gpufreq predict  <kernel.cl> --model model.json [--device D]
+//! gpufreq characterize <kernel.cl> [--device D]   measured sweep (ground truth)
+//! gpufreq evaluate --model model.json [--device D] paper-style Table 2
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Command, ParsedArgs};
+
+/// Entry point used by the `gpufreq` binary: run a full command line,
+/// writing human-readable output to `out`.
+///
+/// Returns the process exit code.
+pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> i32 {
+    match parse_args(argv) {
+        Ok(parsed) => match commands::dispatch(&parsed, out) {
+            Ok(()) => 0,
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}\n");
+            let _ = writeln!(out, "{}", args::USAGE);
+            2
+        }
+    }
+}

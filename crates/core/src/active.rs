@@ -1,0 +1,246 @@
+//! Active refinement of a predicted Pareto set (extension).
+//!
+//! The paper's model is purely static; its conclusion points at
+//! iterative multi-objective approaches (ε-PAL [Zuluaga et al.]) as
+//! future work. This module implements the natural hybrid: start from
+//! the static prediction, spend a small *measurement budget* on the
+//! most promising configurations, and use the observed residuals to
+//! bias-correct the remaining (unmeasured) predictions per memory
+//! domain. Measured points enter the refined front with their exact
+//! objectives, so the front can only improve as budget grows — at
+//! budget = |candidates| the result is the true measured front.
+
+use crate::model::FreqScalingModel;
+use crate::predict::{predict_pareto_at, PredictedPoint, MEM_L_MHZ};
+use gpufreq_kernel::{FreqConfig, KernelProfile, StaticFeatures};
+use gpufreq_pareto::{pareto_set_simple, Objectives};
+use gpufreq_sim::GpuSimulator;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One point of the refined front: measured exactly or bias-corrected.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RefinedPoint {
+    /// The frequency configuration.
+    pub config: FreqConfig,
+    /// Objectives — exact if `measured`, corrected prediction otherwise.
+    pub objectives: Objectives,
+    /// Whether this point was actually executed.
+    pub measured: bool,
+}
+
+/// Result of an active-refinement session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RefinedPrediction {
+    /// The refined Pareto set.
+    pub pareto_set: Vec<RefinedPoint>,
+    /// Number of kernel executions spent.
+    pub measurements_used: usize,
+    /// Simulated wall-clock cost of those measurements in seconds.
+    pub measurement_cost_s: f64,
+}
+
+/// Refine the static prediction for `profile` by measuring up to
+/// `budget` configurations on `sim`.
+///
+/// The budget is spent on the statically-predicted Pareto set first
+/// (those are the configurations a user would apply), then on the
+/// remaining candidates in predicted-speedup order. Residuals from the
+/// measured points produce a per-memory-domain additive correction for
+/// everything not measured.
+pub fn refine_pareto(
+    sim: &GpuSimulator,
+    profile: &KernelProfile,
+    model: &FreqScalingModel,
+    features: &StaticFeatures,
+    candidates: &[FreqConfig],
+    budget: usize,
+) -> RefinedPrediction {
+    let baseline = sim.run_default(profile);
+    let prediction = predict_pareto_at(model, features, &sim.spec().clocks, candidates);
+
+    // Measurement order: predicted front first (highest value), then
+    // the rest by predicted speedup, descending.
+    let mut order: Vec<PredictedPoint> = prediction.pareto_set.clone();
+    let mut rest: Vec<PredictedPoint> = prediction
+        .all_points
+        .iter()
+        .filter(|p| !order.iter().any(|q| q.config == p.config))
+        .copied()
+        .collect();
+    rest.sort_by(|a, b| {
+        b.objectives.speedup.partial_cmp(&a.objectives.speedup).expect("no NaN predictions")
+    });
+    order.extend(rest);
+
+    let mut measured: HashMap<(u32, u32), Objectives> = HashMap::new();
+    let mut residuals: HashMap<u32, (f64, f64, usize)> = HashMap::new();
+    let mut cost_s = baseline.sim_wall_s;
+    for point in order.iter().take(budget) {
+        let Ok(m) = sim.run(profile, point.config) else { continue };
+        let actual = Objectives::new(
+            baseline.time_ms / m.time_ms,
+            m.energy_j / baseline.energy_j,
+        );
+        cost_s += m.sim_wall_s;
+        measured.insert((point.config.mem_mhz, point.config.core_mhz), actual);
+        let entry = residuals.entry(point.config.mem_mhz).or_insert((0.0, 0.0, 0));
+        entry.0 += actual.speedup - point.objectives.speedup;
+        entry.1 += actual.energy - point.objectives.energy;
+        entry.2 += 1;
+    }
+
+    // Assemble the refined candidate set: exact where measured,
+    // bias-corrected otherwise.
+    let refined: Vec<RefinedPoint> = prediction
+        .all_points
+        .iter()
+        .map(|p| {
+            let key = (p.config.mem_mhz, p.config.core_mhz);
+            match measured.get(&key) {
+                Some(actual) => {
+                    RefinedPoint { config: p.config, objectives: *actual, measured: true }
+                }
+                None => {
+                    let (ds, de) = residuals
+                        .get(&p.config.mem_mhz)
+                        .map(|(s, e, n)| (s / *n as f64, e / *n as f64))
+                        .unwrap_or((0.0, 0.0));
+                    RefinedPoint {
+                        config: p.config,
+                        objectives: Objectives::new(
+                            p.objectives.speedup + ds,
+                            p.objectives.energy + de,
+                        ),
+                        measured: false,
+                    }
+                }
+            }
+        })
+        .collect();
+    let objectives: Vec<Objectives> = refined.iter().map(|p| p.objectives).collect();
+    let mut pareto_set: Vec<RefinedPoint> =
+        pareto_set_simple(&objectives).into_iter().map(|i| refined[i]).collect();
+    // Keep the paper's mem-L heuristic: the last mem-L configuration,
+    // measured if budget remains.
+    if let Some(mem_l_last) =
+        candidates.iter().filter(|c| c.mem_mhz == MEM_L_MHZ).max_by_key(|c| c.core_mhz)
+    {
+        let objectives = measured
+            .get(&(mem_l_last.mem_mhz, mem_l_last.core_mhz))
+            .copied()
+            .unwrap_or_else(|| model.predict_objectives(features, *mem_l_last));
+        pareto_set.push(RefinedPoint { config: *mem_l_last, objectives, measured: false });
+    }
+    RefinedPrediction { pareto_set, measurements_used: measured.len(), measurement_cost_s: cost_s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::EVAL_SETTINGS;
+    use crate::model::{FreqScalingModel, ModelConfig};
+    use crate::pipeline::build_training_data;
+    use gpufreq_ml::SvrParams;
+    use gpufreq_pareto::paper_coverage_difference;
+    use std::sync::OnceLock;
+
+    fn setup() -> &'static (GpuSimulator, FreqScalingModel) {
+        static SETUP: OnceLock<(GpuSimulator, FreqScalingModel)> = OnceLock::new();
+        SETUP.get_or_init(|| {
+            let sim = GpuSimulator::titan_x();
+            let benches: Vec<_> = gpufreq_synth::generate_all().into_iter().step_by(4).collect();
+            let data = build_training_data(&sim, &benches, 24);
+            let config = ModelConfig {
+                speedup: SvrParams { c: 100.0, ..SvrParams::paper_speedup() },
+                energy: SvrParams { c: 100.0, ..SvrParams::paper_energy() },
+            };
+            (sim.clone(), FreqScalingModel::train(&data, &config))
+        })
+    }
+
+    fn coverage_of(
+        sim: &GpuSimulator,
+        profile: &KernelProfile,
+        candidates: &[FreqConfig],
+        front: &[Objectives],
+    ) -> f64 {
+        let truth = sim.characterize_at(profile, candidates);
+        let measured: Vec<Objectives> =
+            truth.points.iter().map(|p| Objectives::new(p.speedup, p.norm_energy)).collect();
+        let real_front = gpufreq_pareto::pareto_front_simple(&measured);
+        paper_coverage_difference(&real_front, front)
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let (sim, model) = setup();
+        let w = gpufreq_workloads::workload("kmeans").unwrap();
+        let profile = w.profile();
+        let candidates = sim.spec().clocks.sample_configs(EVAL_SETTINGS);
+        for budget in [0usize, 3, 8] {
+            let r = refine_pareto(sim, &profile, model, &w.static_features(), &candidates, budget);
+            assert!(r.measurements_used <= budget);
+        }
+    }
+
+    #[test]
+    fn refinement_does_not_hurt_and_often_helps() {
+        let (sim, model) = setup();
+        let candidates = sim.spec().clocks.sample_configs(EVAL_SETTINGS);
+        let mut improved = 0;
+        let mut worsened = 0;
+        for name in ["knn", "mt", "convolution", "blackscholes"] {
+            let w = gpufreq_workloads::workload(name).unwrap();
+            let profile = w.profile();
+            let features = w.static_features();
+            let static_r = refine_pareto(sim, &profile, model, &features, &candidates, 0);
+            let refined_r = refine_pareto(sim, &profile, model, &features, &candidates, 12);
+            // Evaluate both fronts at their *measured* objectives.
+            let truth = sim.characterize_at(&profile, &candidates);
+            let measured_of = |set: &[RefinedPoint]| -> Vec<Objectives> {
+                set.iter()
+                    .filter_map(|p| {
+                        truth
+                            .points
+                            .iter()
+                            .find(|m| m.config() == p.config)
+                            .map(|m| Objectives::new(m.speedup, m.norm_energy))
+                    })
+                    .collect()
+            };
+            let d_static =
+                coverage_of(sim, &profile, &candidates, &measured_of(&static_r.pareto_set));
+            let d_refined =
+                coverage_of(sim, &profile, &candidates, &measured_of(&refined_r.pareto_set));
+            if d_refined < d_static - 1e-9 {
+                improved += 1;
+            } else if d_refined > d_static + 1e-6 {
+                worsened += 1;
+            }
+        }
+        assert_eq!(worsened, 0, "refinement must not degrade the front");
+        // At least some benchmarks benefit from 12 measurements.
+        assert!(improved >= 1, "refinement never helped");
+    }
+
+    #[test]
+    fn full_budget_recovers_true_front_points() {
+        let (sim, model) = setup();
+        let w = gpufreq_workloads::workload("mt").unwrap();
+        let profile = w.profile();
+        let candidates = sim.spec().clocks.sample_configs(EVAL_SETTINGS);
+        let r = refine_pareto(
+            sim,
+            &profile,
+            model,
+            &w.static_features(),
+            &candidates,
+            candidates.len(),
+        );
+        // Every non-heuristic refined point is backed by a measurement.
+        let measured_points = r.pareto_set.iter().filter(|p| p.measured).count();
+        assert!(measured_points >= r.pareto_set.len() - 1);
+        assert!(r.measurement_cost_s > 0.0);
+    }
+}

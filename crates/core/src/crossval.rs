@@ -1,0 +1,214 @@
+//! Cross-validation over the synthetic corpus.
+//!
+//! The paper validates on twelve external benchmarks; this module adds
+//! the complementary internal check: leave-one-pattern-out (LOPO)
+//! cross-validation on the micro-benchmark corpus itself. Holding out
+//! an entire pattern family (all nine intensities of `b-int-add`, say)
+//! measures how well the model extrapolates to *kinds* of code it
+//! never saw — a much stronger test than a random split, and the right
+//! granularity because codes within a family are nearly collinear.
+
+use crate::model::{FreqScalingModel, ModelConfig};
+use crate::pipeline::{build_training_data, TrainingData};
+use gpufreq_kernel::FeatureVector;
+use gpufreq_ml::rmse_percent;
+use gpufreq_sim::GpuSimulator;
+use gpufreq_synth::MicroBenchmark;
+use serde::{Deserialize, Serialize};
+
+/// Per-fold result of a leave-one-group-out run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FoldResult {
+    /// Name of the held-out group (pattern prefix).
+    pub group: String,
+    /// Number of held-out samples.
+    pub samples: usize,
+    /// Speedup RMSE% on the held-out group.
+    pub speedup_rmse_percent: f64,
+    /// Normalized-energy RMSE% on the held-out group.
+    pub energy_rmse_percent: f64,
+}
+
+/// Summary of a full cross-validation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossValidation {
+    /// One result per fold, in fold order.
+    pub folds: Vec<FoldResult>,
+}
+
+impl CrossValidation {
+    /// Sample-weighted mean speedup RMSE% across folds.
+    pub fn mean_speedup_rmse(&self) -> f64 {
+        weighted_mean(self.folds.iter().map(|f| (f.speedup_rmse_percent, f.samples)))
+    }
+
+    /// Sample-weighted mean energy RMSE% across folds.
+    pub fn mean_energy_rmse(&self) -> f64 {
+        weighted_mean(self.folds.iter().map(|f| (f.energy_rmse_percent, f.samples)))
+    }
+
+    /// The hardest fold by speedup error.
+    pub fn worst_fold(&self) -> Option<&FoldResult> {
+        self.folds.iter().max_by(|a, b| {
+            a.speedup_rmse_percent
+                .partial_cmp(&b.speedup_rmse_percent)
+                .expect("no NaN RMSE")
+        })
+    }
+}
+
+fn weighted_mean(items: impl Iterator<Item = (f64, usize)>) -> f64 {
+    let (mut acc, mut n) = (0.0, 0usize);
+    for (v, w) in items {
+        acc += v * v * w as f64; // RMS-combine
+        n += w;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (acc / n as f64).sqrt()
+    }
+}
+
+/// The group (fold) a benchmark belongs to: its pattern family
+/// (`b-int-add`, `b-mix`, `b-ext`, ...).
+pub fn group_of(benchmark_name: &str) -> String {
+    // Strip a trailing `-<number>` intensity suffix if present.
+    match benchmark_name.rsplit_once('-') {
+        Some((prefix, tail)) if tail.chars().all(|c| c.is_ascii_digit()) => prefix.to_string(),
+        _ => benchmark_name.to_string(),
+    }
+}
+
+/// Run leave-one-group-out cross-validation of the full pipeline:
+/// for every pattern family, train on the rest of `corpus` and score
+/// the held-out family.
+///
+/// `settings_per_benchmark` controls the sweep size (40 = paper scale).
+pub fn leave_one_pattern_out(
+    sim: &GpuSimulator,
+    corpus: &[MicroBenchmark],
+    settings_per_benchmark: usize,
+    config: &ModelConfig,
+) -> CrossValidation {
+    let mut groups: Vec<String> = corpus.iter().map(|b| group_of(&b.name)).collect();
+    groups.sort();
+    groups.dedup();
+    let folds = groups
+        .iter()
+        .map(|group| {
+            let train_set: Vec<MicroBenchmark> = corpus
+                .iter()
+                .filter(|b| group_of(&b.name) != *group)
+                .cloned()
+                .collect();
+            let held_out: Vec<MicroBenchmark> =
+                corpus.iter().filter(|b| group_of(&b.name) == *group).cloned().collect();
+            let data = build_training_data(sim, &train_set, settings_per_benchmark);
+            let model = FreqScalingModel::train(&data, config);
+            score_fold(sim, &model, group, &held_out, settings_per_benchmark)
+        })
+        .collect();
+    CrossValidation { folds }
+}
+
+fn score_fold(
+    sim: &GpuSimulator,
+    model: &FreqScalingModel,
+    group: &str,
+    held_out: &[MicroBenchmark],
+    settings: usize,
+) -> FoldResult {
+    let truth: TrainingData = build_training_data(sim, held_out, settings);
+    let mut pred_speedup = Vec::with_capacity(truth.len());
+    let mut pred_energy = Vec::with_capacity(truth.len());
+    for (i, cfg) in truth.row_configs.iter().enumerate() {
+        // Recover the benchmark's static features from the stored row:
+        // the first NUM_STATIC_FEATURES components are the raw shares.
+        let (row, _) = truth.speedup.sample(i);
+        let features = gpufreq_kernel::StaticFeatures::from_values(
+            row[..gpufreq_kernel::NUM_STATIC_FEATURES].try_into().expect("row wide enough"),
+        );
+        debug_assert_eq!(
+            FeatureVector::new(&features, *cfg).as_slice()[..row.len()],
+            row[..]
+        );
+        let o = model.predict_objectives(&features, *cfg);
+        pred_speedup.push(o.speedup);
+        pred_energy.push(o.energy);
+    }
+    FoldResult {
+        group: group.to_string(),
+        samples: truth.len(),
+        speedup_rmse_percent: rmse_percent(truth.speedup.ys(), &pred_speedup),
+        energy_rmse_percent: rmse_percent(truth.energy.ys(), &pred_energy),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufreq_ml::SvrParams;
+
+    fn fast_config() -> ModelConfig {
+        ModelConfig {
+            speedup: SvrParams { c: 50.0, max_iter: 100_000, ..SvrParams::paper_speedup() },
+            energy: SvrParams { c: 50.0, max_iter: 100_000, ..SvrParams::paper_energy() },
+        }
+    }
+
+    #[test]
+    fn group_names_strip_intensity() {
+        assert_eq!(group_of("b-int-add-256"), "b-int-add");
+        assert_eq!(group_of("b-sf-1"), "b-sf");
+        assert_eq!(group_of("b-mix-stream"), "b-mix-stream");
+        assert_eq!(group_of("b-ext-17"), "b-ext");
+    }
+
+    #[test]
+    fn lopo_runs_on_a_small_corpus() {
+        let sim = GpuSimulator::titan_x();
+        // Three pattern families, three intensities each.
+        let corpus: Vec<MicroBenchmark> = gpufreq_synth::generate_all()
+            .into_iter()
+            .filter(|b| {
+                ["b-int-add-", "b-float-mul-", "b-gl-access-"]
+                    .iter()
+                    .any(|p| b.name.starts_with(p))
+            })
+            .filter(|b| b.name.ends_with("-4") || b.name.ends_with("-32") || b.name.ends_with("-256"))
+            .collect();
+        assert_eq!(corpus.len(), 9);
+        let cv = leave_one_pattern_out(&sim, &corpus, 12, &fast_config());
+        assert_eq!(cv.folds.len(), 3);
+        for fold in &cv.folds {
+            assert_eq!(fold.samples, 3 * 12);
+            assert!(fold.speedup_rmse_percent.is_finite());
+            assert!(fold.energy_rmse_percent.is_finite());
+        }
+        assert!(cv.mean_speedup_rmse() > 0.0);
+        assert!(cv.worst_fold().is_some());
+    }
+
+    #[test]
+    fn weighted_mean_is_rms() {
+        let cv = CrossValidation {
+            folds: vec![
+                FoldResult {
+                    group: "a".into(),
+                    samples: 1,
+                    speedup_rmse_percent: 3.0,
+                    energy_rmse_percent: 0.0,
+                },
+                FoldResult {
+                    group: "b".into(),
+                    samples: 1,
+                    speedup_rmse_percent: 4.0,
+                    energy_rmse_percent: 0.0,
+                },
+            ],
+        };
+        let want = ((9.0 + 16.0) / 2.0f64).sqrt();
+        assert!((cv.mean_speedup_rmse() - want).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,62 @@
+//! `gpufreq-core` — the primary contribution of *Predictable GPUs
+//! Frequency Scaling for Energy and Performance* (Fan, Cosenza,
+//! Juurlink — ICPP 2019): a static, machine-learning model that
+//! predicts the Pareto-optimal `(memory, core)` frequency
+//! configurations of a GPU kernel *without executing it*.
+//!
+//! * [`pipeline`] — the training phase (Fig. 2): execute the 106
+//!   synthetic micro-benchmarks at 40 sampled frequency settings and
+//!   assemble `(features ⊕ frequencies) → (speedup, normalized energy)`
+//!   datasets;
+//! * [`model`] — the two-headed [`FreqScalingModel`]: linear-kernel
+//!   ε-SVR for speedup, RBF-kernel ε-SVR for normalized energy
+//!   (`C = 1000`, `ε = 0.1`, `γ = 0.1`), with serde persistence;
+//! * [`predict`] — the prediction phase (Fig. 3): score every supported
+//!   configuration of a *new* kernel, reduce with Algorithm 1, and
+//!   apply the paper's mem-L heuristic (§4.5);
+//! * [`evaluate`] — ground-truth sweeps, per-memory-domain error
+//!   analysis (Figs. 6–7), Pareto comparison (Fig. 8) and Table 2;
+//! * [`report`] — ASCII/CSV/JSON rendering shared by the experiment
+//!   binaries.
+//!
+//! # End-to-end example
+//!
+//! ```no_run
+//! use gpufreq_core::{build_training_data, FreqScalingModel, ModelConfig, predict_pareto};
+//! use gpufreq_sim::GpuSimulator;
+//!
+//! // Training phase (Fig. 2): 106 micro-benchmarks x 40 settings.
+//! let sim = GpuSimulator::titan_x();
+//! let benches = gpufreq_synth::generate_all();
+//! let data = build_training_data(&sim, &benches, 40);
+//! let model = FreqScalingModel::train(&data, &ModelConfig::default());
+//!
+//! // Prediction phase (Fig. 3): a new kernel, never executed.
+//! let kernel = gpufreq_workloads::workload("knn").unwrap();
+//! let prediction = predict_pareto(&model, &kernel.static_features(), &sim.spec().clocks);
+//! for point in &prediction.pareto_set {
+//!     println!("{}: predicted speedup {:.2}, energy {:.2}",
+//!              point.config, point.objectives.speedup, point.objectives.energy);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod active;
+pub mod crossval;
+pub mod evaluate;
+pub mod model;
+pub mod pipeline;
+pub mod predict;
+pub mod report;
+
+pub use active::{refine_pareto, RefinedPoint, RefinedPrediction};
+pub use crossval::{leave_one_pattern_out, CrossValidation, FoldResult};
+pub use evaluate::{
+    error_analysis, evaluate_all, evaluate_workload, table2, BenchmarkErrors,
+    BenchmarkEvaluation, DomainErrorAnalysis, Objective, Table2Row, EVAL_SETTINGS,
+};
+pub use model::{FreqScalingModel, ModelConfig};
+pub use pipeline::{build_training_data, TrainingData};
+pub use predict::{predict_pareto, predict_pareto_at, ParetoPrediction, PredictedPoint, MEM_L_MHZ};
+pub use report::{ascii_table, objectives_csv, render_error_panel, render_table2, series_csv};

@@ -1,0 +1,130 @@
+//! The training phase (§3.1, Fig. 2).
+//!
+//! For every micro-benchmark: extract its static code features (step 2),
+//! execute it on the device at the sampled frequency configurations
+//! (step 3), and store `(features ⊕ scaled frequencies) → (speedup,
+//! normalized energy)` rows in the two training datasets (steps 4–6).
+//! The paper samples 40 of the 177 settings per benchmark, giving
+//! 106 × 40 = 4240 training samples.
+
+use gpufreq_kernel::{FeatureVector, FreqConfig};
+use gpufreq_ml::Dataset;
+use gpufreq_sim::GpuSimulator;
+use gpufreq_synth::MicroBenchmark;
+use serde::{Deserialize, Serialize};
+
+/// The assembled training data: one dataset per objective, sharing the
+/// same feature rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingData {
+    /// Rows → measured speedup over the default configuration.
+    pub speedup: Dataset,
+    /// Rows → measured normalized energy.
+    pub energy: Dataset,
+    /// The frequency configurations each benchmark was executed at.
+    pub configs: Vec<FreqConfig>,
+    /// The configuration behind each row (parallel to the datasets),
+    /// used to partition training per memory domain.
+    pub row_configs: Vec<FreqConfig>,
+    /// Number of benchmarks that contributed samples.
+    pub num_benchmarks: usize,
+}
+
+impl TrainingData {
+    /// Total number of training samples.
+    pub fn len(&self) -> usize {
+        self.speedup.len()
+    }
+
+    /// Whether no samples were collected.
+    pub fn is_empty(&self) -> bool {
+        self.speedup.is_empty()
+    }
+}
+
+/// Execute `benchmarks` on `sim` at `settings_per_benchmark` sampled
+/// frequency settings each and assemble the training datasets.
+///
+/// The sampling is the deterministic stratified scheme of
+/// `ClockTable::sample_configs`, so the same call always produces the
+/// same corpus.
+pub fn build_training_data(
+    sim: &GpuSimulator,
+    benchmarks: &[MicroBenchmark],
+    settings_per_benchmark: usize,
+) -> TrainingData {
+    let configs = sim.spec().clocks.sample_configs(settings_per_benchmark);
+    let mut speedup = Dataset::new();
+    let mut energy = Dataset::new();
+    let mut row_configs = Vec::new();
+    for bench in benchmarks {
+        let profile = bench.profile();
+        let features = profile.static_features();
+        // The sweep itself is crossbeam-parallel inside the simulator.
+        let characterization = sim.characterize_at(&profile, &configs);
+        for point in &characterization.points {
+            let row = FeatureVector::new(&features, point.config()).as_slice().to_vec();
+            speedup.push(row.clone(), point.speedup);
+            energy.push(row, point.norm_energy);
+            row_configs.push(point.config());
+        }
+    }
+    TrainingData { speedup, energy, configs, row_configs, num_benchmarks: benchmarks.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufreq_kernel::NUM_FEATURES;
+
+    fn small_corpus() -> Vec<MicroBenchmark> {
+        gpufreq_synth::generate_all().into_iter().step_by(13).collect()
+    }
+
+    #[test]
+    fn dataset_shape_matches_corpus() {
+        let sim = GpuSimulator::titan_x();
+        let benches = small_corpus();
+        let data = build_training_data(&sim, &benches, 8);
+        assert_eq!(data.len(), benches.len() * 8);
+        assert_eq!(data.speedup.dims(), NUM_FEATURES);
+        assert_eq!(data.energy.dims(), NUM_FEATURES);
+        assert_eq!(data.configs.len(), 8);
+        assert_eq!(data.num_benchmarks, benches.len());
+    }
+
+    #[test]
+    fn targets_are_positive_and_centered_on_baseline() {
+        let sim = GpuSimulator::titan_x();
+        let data = build_training_data(&sim, &small_corpus(), 8);
+        for &s in data.speedup.ys() {
+            assert!(s > 0.0 && s < 3.0, "speedup {s}");
+        }
+        for &e in data.energy.ys() {
+            // Deep down-clocked points can cost several times the
+            // baseline energy (the parabola's left arm).
+            assert!(e > 0.0 && e < 8.0, "normalized energy {e}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let sim = GpuSimulator::titan_x();
+        let benches = small_corpus();
+        let a = build_training_data(&sim, &benches, 6);
+        let b = build_training_data(&sim, &benches, 6);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_paper_corpus_size() {
+        // 106 benchmarks x 40 settings = 4240 samples (§3.3). Verified
+        // on a thin sweep (2 settings) to keep the test fast, plus the
+        // arithmetic identity for the full corpus.
+        let sim = GpuSimulator::titan_x();
+        let benches = gpufreq_synth::generate_all();
+        let data = build_training_data(&sim, &benches, 2);
+        assert_eq!(data.len(), 106 * 2);
+        assert_eq!(gpufreq_synth::NUM_MICROBENCHMARKS * gpufreq_synth::TRAINING_SETTINGS, 4240);
+    }
+}

@@ -1,0 +1,193 @@
+//! The prediction phase (§3.1, Fig. 3) and the mem-L heuristic (§4.5).
+//!
+//! Given a new kernel's static features: build one feature vector per
+//! candidate frequency configuration, predict both objectives with the
+//! trained model, and reduce to the predicted Pareto set with
+//! Algorithm 1. The lowest memory domain (405 MHz) is excluded from
+//! modeling — its six settings are too few and too erratic to learn
+//! (§4.3–4.4) — and is covered instead by the paper's simple heuristic:
+//! always add the last (highest-core) mem-L configuration to the
+//! predicted set.
+
+use crate::model::FreqScalingModel;
+use gpufreq_kernel::{FreqConfig, StaticFeatures};
+use gpufreq_pareto::{pareto_set_simple, Objectives};
+use gpufreq_sim::ClockTable;
+use serde::{Deserialize, Serialize};
+
+/// The memory clock (MHz) below which configurations are not modeled
+/// but handled by the heuristic.
+pub const MEM_L_MHZ: u32 = 405;
+
+/// One candidate configuration with its predicted objectives.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictedPoint {
+    /// The frequency configuration.
+    pub config: FreqConfig,
+    /// Model-predicted speedup and normalized energy.
+    pub objectives: Objectives,
+    /// `true` if this point came from the mem-L heuristic rather than
+    /// the model.
+    pub heuristic: bool,
+}
+
+/// The output of the prediction phase for one kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPrediction {
+    /// Predictions for every modeled configuration (mem-l/h/H).
+    pub all_points: Vec<PredictedPoint>,
+    /// The predicted Pareto set (Algorithm 1 over `all_points`, plus
+    /// the mem-L heuristic point when available).
+    pub pareto_set: Vec<PredictedPoint>,
+}
+
+impl ParetoPrediction {
+    /// The predicted-Pareto configurations (what a user would actually
+    /// apply via NVML).
+    pub fn configs(&self) -> Vec<FreqConfig> {
+        self.pareto_set.iter().map(|p| p.config).collect()
+    }
+
+    /// The predicted point with maximum speedup.
+    pub fn max_speedup(&self) -> Option<&PredictedPoint> {
+        self.pareto_set
+            .iter()
+            .max_by(|a, b| a.objectives.speedup.partial_cmp(&b.objectives.speedup).unwrap())
+    }
+
+    /// The predicted point with minimum normalized energy.
+    pub fn min_energy(&self) -> Option<&PredictedPoint> {
+        self.pareto_set
+            .iter()
+            .min_by(|a, b| a.objectives.energy.partial_cmp(&b.objectives.energy).unwrap())
+    }
+}
+
+/// Run the full prediction phase for a kernel with `features` over the
+/// actual configurations of `clocks` (Fig. 3, steps 1–9).
+pub fn predict_pareto(
+    model: &FreqScalingModel,
+    features: &StaticFeatures,
+    clocks: &ClockTable,
+) -> ParetoPrediction {
+    predict_pareto_at(model, features, clocks, &clocks.actual_configs())
+}
+
+/// The prediction phase over an explicit candidate-configuration list
+/// (the paper's evaluation predicts at the same 40 sampled settings the
+/// ground truth is measured at; production use passes all supported
+/// configurations).
+pub fn predict_pareto_at(
+    model: &FreqScalingModel,
+    features: &StaticFeatures,
+    clocks: &ClockTable,
+    candidates: &[FreqConfig],
+) -> ParetoPrediction {
+    // Steps 2–8: predict both objectives for every modeled setting.
+    let all_points: Vec<PredictedPoint> = candidates
+        .iter()
+        .filter(|c| c.mem_mhz > MEM_L_MHZ)
+        .map(|&config| PredictedPoint {
+            config,
+            objectives: model.predict_objectives(features, config),
+            heuristic: false,
+        })
+        .collect();
+    // Step 9: Algorithm 1 over the predictions.
+    let objectives: Vec<Objectives> = all_points.iter().map(|p| p.objectives).collect();
+    let mut pareto_set: Vec<PredictedPoint> =
+        pareto_set_simple(&objectives).into_iter().map(|i| all_points[i]).collect();
+    // §4.5: append the last (highest-core) mem-L configuration. Its
+    // objectives are still model-predicted (there is nothing better
+    // available statically), but it is flagged as heuristic.
+    if let Some(mem_l_last) = clocks.actual_configs_for(MEM_L_MHZ).into_iter().last() {
+        pareto_set.push(PredictedPoint {
+            config: mem_l_last,
+            objectives: model.predict_objectives(features, mem_l_last),
+            heuristic: true,
+        });
+    }
+    ParetoPrediction { all_points, pareto_set }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FreqScalingModel, ModelConfig};
+    use crate::pipeline::build_training_data;
+    use gpufreq_ml::{SvmKernel, SvrParams};
+    use gpufreq_sim::GpuSimulator;
+
+    fn fast_config() -> ModelConfig {
+        ModelConfig {
+            speedup: SvrParams { c: 10.0, ..SvrParams::paper_speedup() },
+            energy: SvrParams {
+                c: 10.0,
+                kernel: SvmKernel::Rbf { gamma: 1.0 },
+                ..SvrParams::paper_energy()
+            },
+        }
+    }
+
+    fn setup() -> (FreqScalingModel, GpuSimulator) {
+        let sim = GpuSimulator::titan_x();
+        let benches: Vec<_> = gpufreq_synth::generate_all().into_iter().step_by(9).collect();
+        let data = build_training_data(&sim, &benches, 10);
+        (FreqScalingModel::train(&data, &fast_config()), sim)
+    }
+
+    #[test]
+    fn prediction_covers_modeled_domains_only() {
+        let (model, sim) = setup();
+        let f = gpufreq_workloads::workload("knn").unwrap().static_features();
+        let pred = predict_pareto(&model, &f, &sim.spec().clocks);
+        // 71 + 50 + 50 modeled configurations.
+        assert_eq!(pred.all_points.len(), 171);
+        assert!(pred.all_points.iter().all(|p| p.config.mem_mhz > MEM_L_MHZ));
+    }
+
+    #[test]
+    fn pareto_set_is_mutually_non_dominating_modulo_heuristic() {
+        let (model, sim) = setup();
+        let f = gpufreq_workloads::workload("kmeans").unwrap().static_features();
+        let pred = predict_pareto(&model, &f, &sim.spec().clocks);
+        let modeled: Vec<_> = pred.pareto_set.iter().filter(|p| !p.heuristic).collect();
+        for a in &modeled {
+            for b in &modeled {
+                assert!(!a.objectives.dominates(&b.objectives));
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_point_is_last_mem_l_config() {
+        let (model, sim) = setup();
+        let f = gpufreq_workloads::workload("mt").unwrap().static_features();
+        let pred = predict_pareto(&model, &f, &sim.spec().clocks);
+        let heuristic: Vec<_> = pred.pareto_set.iter().filter(|p| p.heuristic).collect();
+        assert_eq!(heuristic.len(), 1);
+        assert_eq!(heuristic[0].config, FreqConfig::new(405, 405));
+    }
+
+    #[test]
+    fn extremes_exist_and_are_ordered() {
+        let (model, sim) = setup();
+        let f = gpufreq_workloads::workload("aes").unwrap().static_features();
+        let pred = predict_pareto(&model, &f, &sim.spec().clocks);
+        let max_s = pred.max_speedup().unwrap();
+        let min_e = pred.min_energy().unwrap();
+        assert!(max_s.objectives.speedup >= min_e.objectives.speedup);
+        assert!(min_e.objectives.energy <= max_s.objectives.energy);
+    }
+
+    #[test]
+    fn p100_prediction_works_without_mem_l() {
+        // The P100 has a single 715 MHz domain: no mem-L, no heuristic.
+        let (model, _) = setup();
+        let sim = GpuSimulator::tesla_p100();
+        let f = gpufreq_workloads::workload("knn").unwrap().static_features();
+        let pred = predict_pareto(&model, &f, &sim.spec().clocks);
+        assert!(!pred.all_points.is_empty());
+        assert!(pred.pareto_set.iter().all(|p| !p.heuristic));
+    }
+}

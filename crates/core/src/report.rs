@@ -1,0 +1,198 @@
+//! Rendering of experiment output: ASCII tables, CSV and JSON series.
+//!
+//! The experiment binaries in `gpufreq-bench` print the same rows and
+//! series the paper reports; this module holds the shared formatting so
+//! the output of every figure/table binary is consistent and diffable.
+
+use crate::evaluate::{DomainErrorAnalysis, Table2Row};
+use gpufreq_pareto::Objectives;
+use std::fmt::Write as _;
+
+/// Render a generic ASCII table with a header row.
+///
+/// Column widths adapt to the content; all columns are left-aligned
+/// except those whose every body cell parses as a number, which are
+/// right-aligned.
+pub fn ascii_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    assert!(rows.iter().all(|r| r.len() == cols), "ragged table rows");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (j, cell) in row.iter().enumerate() {
+            widths[j] = widths[j].max(cell.len());
+        }
+    }
+    let numeric: Vec<bool> = (0..cols)
+        .map(|j| !rows.is_empty() && rows.iter().all(|r| r[j].trim().parse::<f64>().is_ok()))
+        .collect();
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            let _ = write!(out, "+{}", "-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    for (j, h) in header.iter().enumerate() {
+        let _ = write!(out, "| {:<w$} ", h, w = widths[j]);
+    }
+    out.push_str("|\n");
+    sep(&mut out);
+    for row in rows {
+        for (j, cell) in row.iter().enumerate() {
+            if numeric[j] {
+                let _ = write!(out, "| {:>w$} ", cell, w = widths[j]);
+            } else {
+                let _ = write!(out, "| {:<w$} ", cell, w = widths[j]);
+            }
+        }
+        out.push_str("|\n");
+    }
+    sep(&mut out);
+    out
+}
+
+/// Render Table 2 in the paper's layout.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let header = [
+        "Benchmark",
+        "D(P*,P')",
+        "|P'|",
+        "|P*|",
+        "max speedup (ds, de)",
+        "min energy (ds, de)",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                format!("{:.4}", r.coverage_d),
+                r.predicted_points.to_string(),
+                r.real_points.to_string(),
+                format!("({:.3}, {:.3})", r.max_speedup_dist.d_speedup, r.max_speedup_dist.d_energy),
+                format!("({:.3}, {:.3})", r.min_energy_dist.d_speedup, r.min_energy_dist.d_energy),
+            ]
+        })
+        .collect();
+    ascii_table(&header, &body)
+}
+
+/// Render one Fig. 6 / Fig. 7 panel: per-benchmark box statistics for a
+/// memory domain plus the pooled RMSE caption.
+pub fn render_error_panel(domain: &DomainErrorAnalysis, objective_name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Memory Frequency: {} MHz ({})  —  {}  —  RMSE = {:.2}%",
+        domain.mem_mhz, domain.label, objective_name, domain.rmse_percent
+    );
+    let header = ["Benchmark", "min%", "q25%", "median%", "q75%", "max%"];
+    let body: Vec<Vec<String>> = domain
+        .per_benchmark
+        .iter()
+        .map(|b| {
+            vec![
+                b.name.clone(),
+                format!("{:.2}", b.stats.min),
+                format!("{:.2}", b.stats.q25),
+                format!("{:.2}", b.stats.median),
+                format!("{:.2}", b.stats.q75),
+                format!("{:.2}", b.stats.max),
+            ]
+        })
+        .collect();
+    out.push_str(&ascii_table(&header, &body));
+    out
+}
+
+/// Serialize an `(x, y)` series as CSV with a header line.
+pub fn series_csv(header: (&str, &str), points: &[(f64, f64)]) -> String {
+    let mut out = format!("{},{}\n", header.0, header.1);
+    for (x, y) in points {
+        let _ = writeln!(out, "{x},{y}");
+    }
+    out
+}
+
+/// Serialize an objective-space point set as CSV
+/// (`speedup,normalized_energy` columns).
+pub fn objectives_csv(points: &[Objectives]) -> String {
+    let mut out = String::from("speedup,normalized_energy\n");
+    for p in points {
+        let _ = writeln!(out, "{},{}", p.speedup, p.energy);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufreq_ml::BoxStats;
+    use gpufreq_pareto::ExtremeDistance;
+
+    #[test]
+    fn ascii_table_is_aligned() {
+        let t = ascii_table(
+            &["name", "value"],
+            &[
+                vec!["a".to_string(), "1.5".to_string()],
+                vec!["long-name".to_string(), "22.25".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        // Borders + header + 2 rows.
+        assert_eq!(lines.len(), 6);
+        let widths: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged output:\n{t}");
+        // Numeric column right-aligned.
+        assert!(lines[3].contains("|   1.5 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged table rows")]
+    fn ragged_rows_panic() {
+        ascii_table(&["a", "b"], &[vec!["x".to_string()]]);
+    }
+
+    #[test]
+    fn table2_renders_all_rows() {
+        let rows = vec![Table2Row {
+            benchmark: "PerlinNoise".to_string(),
+            coverage_d: 0.0059,
+            predicted_points: 12,
+            real_points: 10,
+            max_speedup_dist: ExtremeDistance { d_speedup: 0.0, d_energy: 0.0 },
+            min_energy_dist: ExtremeDistance { d_speedup: 0.009, d_energy: 0.008 },
+        }];
+        let t = render_table2(&rows);
+        assert!(t.contains("PerlinNoise"));
+        assert!(t.contains("0.0059"));
+        assert!(t.contains("(0.009, 0.008)"));
+    }
+
+    #[test]
+    fn error_panel_includes_rmse() {
+        let d = DomainErrorAnalysis {
+            mem_mhz: 3505,
+            label: "Mem_H".to_string(),
+            per_benchmark: vec![crate::evaluate::BenchmarkErrors {
+                name: "k-NN".to_string(),
+                stats: BoxStats::from_values(&[-5.0, -1.0, 0.0, 2.0, 6.0]),
+            }],
+            rmse_percent: 6.68,
+        };
+        let s = render_error_panel(&d, "speedup");
+        assert!(s.contains("RMSE = 6.68%"));
+        assert!(s.contains("k-NN"));
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let csv = series_csv(("core_mhz", "speedup"), &[(135.0, 0.4), (1001.0, 1.0)]);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("core_mhz,speedup\n"));
+        let ocsv = objectives_csv(&[Objectives::new(1.0, 1.0)]);
+        assert_eq!(ocsv.lines().count(), 2);
+    }
+}

@@ -1,0 +1,324 @@
+//! Abstract syntax tree for the OpenCL-C kernel subset.
+
+use crate::lexer::Span;
+use serde::{Deserialize, Serialize};
+
+/// Scalar value types supported by the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scalar {
+    /// `void` — function return only.
+    Void,
+    /// Signed 32-bit integer.
+    Int,
+    /// Unsigned 32-bit integer.
+    Uint,
+    /// Signed 64-bit integer.
+    Long,
+    /// Unsigned 64-bit integer.
+    Ulong,
+    /// 32-bit IEEE float.
+    Float,
+    /// Boolean (result of comparisons).
+    Bool,
+}
+
+impl Scalar {
+    /// Whether the scalar is one of the integer types (bool counts as
+    /// integer for classification purposes).
+    pub fn is_integer(self) -> bool {
+        matches!(self, Scalar::Int | Scalar::Uint | Scalar::Long | Scalar::Ulong | Scalar::Bool)
+    }
+
+    /// Whether the scalar is a floating point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, Scalar::Float)
+    }
+
+    /// Size in bytes of one element when stored in a buffer.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            Scalar::Void => 0,
+            Scalar::Bool => 1,
+            Scalar::Int | Scalar::Uint | Scalar::Float => 4,
+            Scalar::Long | Scalar::Ulong => 8,
+        }
+    }
+}
+
+/// OpenCL address spaces for pointer parameters and local arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AddressSpace {
+    /// `__global` device memory.
+    Global,
+    /// `__local` on-chip shared memory.
+    Local,
+    /// `__constant` read-only memory (treated as global for traffic).
+    Constant,
+    /// `__private` registers / stack.
+    Private,
+}
+
+/// A (possibly pointer) type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Type {
+    /// Element scalar type.
+    pub scalar: Scalar,
+    /// `true` if this is a pointer to `scalar`.
+    pub pointer: bool,
+    /// Address space (meaningful for pointers and local arrays).
+    pub space: AddressSpace,
+}
+
+impl Type {
+    /// Scalar value type in private space.
+    pub fn scalar(scalar: Scalar) -> Type {
+        Type { scalar, pointer: false, space: AddressSpace::Private }
+    }
+
+    /// Pointer to `scalar` in `space`.
+    pub fn pointer(scalar: Scalar, space: AddressSpace) -> Type {
+        Type { scalar, pointer: true, space }
+    }
+}
+
+/// Binary operators.
+#[allow(missing_docs)] // variants are self-describing operator names
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    BitAnd,
+    BitOr,
+    BitXor,
+    LogAnd,
+    LogOr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl BinOp {
+    /// True for comparison operators producing `bool`.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+    /// True for logical `&&` / `||`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::LogAnd | BinOp::LogOr)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical not `!x`.
+    Not,
+    /// Bitwise not `~x`.
+    BitNot,
+}
+
+/// Expressions.
+#[allow(missing_docs)] // struct-variant fields are self-describing
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Boolean literal.
+    BoolLit(bool),
+    /// Variable reference.
+    Var(String),
+    /// Binary operation.
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// Unary operation.
+    Unary { op: UnOp, expr: Box<Expr> },
+    /// Array / pointer indexing `base[index]`.
+    Index { base: Box<Expr>, index: Box<Expr> },
+    /// Function / builtin call.
+    Call { name: String, args: Vec<Expr> },
+    /// C-style cast `(float)x`.
+    Cast { ty: Scalar, expr: Box<Expr> },
+    /// Ternary conditional `c ? a : b`.
+    Ternary { cond: Box<Expr>, then: Box<Expr>, other: Box<Expr> },
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+}
+
+/// Assignment targets: plain variable or indexed store.
+#[allow(missing_docs)] // struct-variant fields are self-describing
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LValue {
+    /// `x = ...`
+    Var(String),
+    /// `buf[i] = ...`
+    Index { base: Box<Expr>, index: Box<Expr> },
+}
+
+/// Compound-assignment operators map onto a [`BinOp`]; `None` is plain `=`.
+pub type AssignOp = Option<BinOp>;
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// Variable declaration, e.g. `float acc = 0.0f;` or a local array
+    /// `__local float tile[256];`.
+    Decl {
+        /// Declared type (arrays are pointer-typed with `array_len`).
+        ty: Type,
+        /// Variable name.
+        name: String,
+        /// Fixed array length for local/private arrays.
+        array_len: Option<u64>,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Assignment (possibly compound).
+    Assign {
+        /// Target of the store.
+        target: LValue,
+        /// `None` for `=`, `Some(op)` for `op=`.
+        op: AssignOp,
+        /// Right-hand side.
+        value: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// Expression statement (a bare call such as `barrier(...)`).
+    Expr(Expr, Span),
+    /// `if (cond) { .. } else { .. }`.
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Taken branch.
+        then: Vec<Stmt>,
+        /// Else branch (empty when absent).
+        other: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Loop initializer (declaration or assignment).
+        init: Option<Box<Stmt>>,
+        /// Loop condition (None = infinite; rejected later).
+        cond: Option<Expr>,
+        /// Loop step statement.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `return;` / `return expr;`.
+    Return(Option<Expr>, Span),
+    /// `break;`
+    Break(Span),
+    /// `continue;`
+    Continue(Span),
+    /// Nested block `{ ... }`.
+    Block(Vec<Stmt>, Span),
+}
+
+/// A kernel parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter type.
+    pub ty: Type,
+    /// Parameter name.
+    pub name: String,
+    /// `const`-qualified (read-only buffer).
+    pub is_const: bool,
+}
+
+/// A parsed `__kernel` function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelFn {
+    /// Kernel name.
+    pub name: String,
+    /// Parameter list.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source location of the signature.
+    pub span: Span,
+}
+
+/// A translation unit: one or more kernels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// All `__kernel` functions in the source.
+    pub kernels: Vec<KernelFn>,
+}
+
+impl Program {
+    /// Find a kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<&KernelFn> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+
+    /// The first (often only) kernel in the unit.
+    pub fn first_kernel(&self) -> Option<&KernelFn> {
+        self.kernels.first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_classification() {
+        assert!(Scalar::Int.is_integer());
+        assert!(Scalar::Uint.is_integer());
+        assert!(Scalar::Bool.is_integer());
+        assert!(!Scalar::Float.is_integer());
+        assert!(Scalar::Float.is_float());
+        assert_eq!(Scalar::Float.size_bytes(), 4);
+        assert_eq!(Scalar::Long.size_bytes(), 8);
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::LogAnd.is_logical());
+        assert!(!BinOp::BitAnd.is_logical());
+    }
+
+    #[test]
+    fn type_constructors() {
+        let t = Type::pointer(Scalar::Float, AddressSpace::Global);
+        assert!(t.pointer);
+        assert_eq!(t.scalar, Scalar::Float);
+        let s = Type::scalar(Scalar::Int);
+        assert!(!s.pointer);
+        assert_eq!(s.space, AddressSpace::Private);
+    }
+}

@@ -1,0 +1,153 @@
+//! Classification of OpenCL built-in functions.
+//!
+//! The feature extractor (the analogue of the paper's LLVM pass, §3.2)
+//! needs to map every call in a kernel onto the instruction classes of
+//! the static feature vector. This module is the single source of truth
+//! for that mapping: work-item queries, synchronization, cheap ALU
+//! helpers, transcendental ("special") functions, and the few fused ops
+//! that lower to more than one instruction.
+
+use crate::ast::Scalar;
+
+/// How a built-in call contributes to the instruction mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuiltinClass {
+    /// Work-item / ND-range queries: `get_global_id`, `get_local_size`, ...
+    /// Lower to a couple of cheap integer ops; counted as overhead
+    /// ("other") so they do not pollute the arithmetic mix.
+    WorkItem,
+    /// Synchronization: `barrier`, `mem_fence`. No arithmetic contribution.
+    Sync,
+    /// Transcendental / special-function-unit instructions: `sin`, `exp`,
+    /// `sqrt`, `pow`, ... (the paper's `k_sf` class).
+    Special,
+    /// Cheap float ALU helper (`fabs`, `floor`, `fmin`, ...): one
+    /// float-add-class instruction.
+    FloatAlu,
+    /// Cheap integer ALU helper (`abs`, `min`, `max` on ints, ...): one
+    /// int-add-class instruction.
+    IntAlu,
+    /// Fused multiply-add (`fma`, `mad`): one float mul + one float add.
+    FusedMulAdd,
+    /// 24-bit integer multiply helpers (`mul24`, `mad24`).
+    IntMul,
+    /// `select`/`clamp`-style data movement; one ALU op in the type of
+    /// its arguments (resolved by the caller from argument types).
+    TypedAlu,
+    /// Conversion builtins (`convert_int`, `as_float`, ...): free.
+    Convert,
+    /// Unknown identifier — treated as an opaque call with no
+    /// arithmetic contribution (counted as "other").
+    Unknown,
+}
+
+/// Return type of a built-in, used by expression type inference.
+///
+/// `None` means "same scalar type as the first argument".
+pub fn builtin_return_type(name: &str) -> Option<Scalar> {
+    match classify_builtin(name) {
+        BuiltinClass::WorkItem => Some(Scalar::Uint),
+        BuiltinClass::Sync => Some(Scalar::Void),
+        BuiltinClass::Special => Some(Scalar::Float),
+        BuiltinClass::FloatAlu | BuiltinClass::FusedMulAdd => Some(Scalar::Float),
+        BuiltinClass::IntAlu | BuiltinClass::IntMul => Some(Scalar::Int),
+        BuiltinClass::TypedAlu => None,
+        BuiltinClass::Convert => convert_target(name),
+        BuiltinClass::Unknown => None,
+    }
+}
+
+fn convert_target(name: &str) -> Option<Scalar> {
+    let tail = name.strip_prefix("convert_").or_else(|| name.strip_prefix("as_"))?;
+    Some(match tail {
+        "int" => Scalar::Int,
+        "uint" => Scalar::Uint,
+        "long" => Scalar::Long,
+        "ulong" => Scalar::Ulong,
+        "float" => Scalar::Float,
+        _ => return None,
+    })
+}
+
+/// Classify a built-in function by name.
+///
+/// Native and half-precision variants (`native_sin`, `half_exp`) map to
+/// the same class as the precise version: they still execute on the SFU.
+pub fn classify_builtin(name: &str) -> BuiltinClass {
+    let base = name.strip_prefix("native_").or_else(|| name.strip_prefix("half_")).unwrap_or(name);
+    match base {
+        "get_global_id" | "get_local_id" | "get_group_id" | "get_global_size"
+        | "get_local_size" | "get_num_groups" | "get_work_dim" | "get_global_offset" => {
+            BuiltinClass::WorkItem
+        }
+        "barrier" | "mem_fence" | "read_mem_fence" | "write_mem_fence" => BuiltinClass::Sync,
+        "sin" | "cos" | "tan" | "asin" | "acos" | "atan" | "atan2" | "sinh" | "cosh" | "tanh"
+        | "exp" | "exp2" | "exp10" | "expm1" | "log" | "log2" | "log10" | "log1p" | "sqrt"
+        | "rsqrt" | "cbrt" | "pow" | "powr" | "pown" | "hypot" | "erf" | "erfc" | "sincos"
+        | "recip" => BuiltinClass::Special,
+        "fabs" | "floor" | "ceil" | "round" | "trunc" | "rint" | "fmin" | "fmax" | "fmod"
+        | "fdim" | "copysign" | "sign" | "mix" | "step" | "smoothstep" => BuiltinClass::FloatAlu,
+        "abs" | "abs_diff" | "hadd" | "rhadd" | "rotate" | "popcount" | "clz" | "min" | "max"
+        | "add_sat" | "sub_sat" => BuiltinClass::IntAlu,
+        "fma" | "mad" => BuiltinClass::FusedMulAdd,
+        "mul24" | "mad24" | "mul_hi" | "mad_hi" | "mad_sat" => BuiltinClass::IntMul,
+        "clamp" | "select" | "bitselect" => BuiltinClass::TypedAlu,
+        _ if base.starts_with("convert_") || base.starts_with("as_") => BuiltinClass::Convert,
+        _ => BuiltinClass::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_item_queries() {
+        assert_eq!(classify_builtin("get_global_id"), BuiltinClass::WorkItem);
+        assert_eq!(classify_builtin("get_local_size"), BuiltinClass::WorkItem);
+        assert_eq!(builtin_return_type("get_global_id"), Some(Scalar::Uint));
+    }
+
+    #[test]
+    fn special_functions() {
+        for f in ["sin", "cos", "exp", "log", "sqrt", "rsqrt", "pow", "atan2", "erf"] {
+            assert_eq!(classify_builtin(f), BuiltinClass::Special, "{f}");
+        }
+    }
+
+    #[test]
+    fn native_variants_are_special() {
+        assert_eq!(classify_builtin("native_sin"), BuiltinClass::Special);
+        assert_eq!(classify_builtin("half_exp"), BuiltinClass::Special);
+        assert_eq!(classify_builtin("native_recip"), BuiltinClass::Special);
+    }
+
+    #[test]
+    fn cheap_alu_helpers() {
+        assert_eq!(classify_builtin("fabs"), BuiltinClass::FloatAlu);
+        assert_eq!(classify_builtin("fmin"), BuiltinClass::FloatAlu);
+        assert_eq!(classify_builtin("min"), BuiltinClass::IntAlu);
+        assert_eq!(classify_builtin("popcount"), BuiltinClass::IntAlu);
+    }
+
+    #[test]
+    fn fused_and_mul24() {
+        assert_eq!(classify_builtin("fma"), BuiltinClass::FusedMulAdd);
+        assert_eq!(classify_builtin("mad"), BuiltinClass::FusedMulAdd);
+        assert_eq!(classify_builtin("mul24"), BuiltinClass::IntMul);
+    }
+
+    #[test]
+    fn sync_and_unknown() {
+        assert_eq!(classify_builtin("barrier"), BuiltinClass::Sync);
+        assert_eq!(classify_builtin("totally_made_up"), BuiltinClass::Unknown);
+    }
+
+    #[test]
+    fn convert_builtins() {
+        assert_eq!(classify_builtin("convert_float"), BuiltinClass::Convert);
+        assert_eq!(builtin_return_type("convert_float"), Some(Scalar::Float));
+        assert_eq!(builtin_return_type("as_uint"), Some(Scalar::Uint));
+        assert_eq!(builtin_return_type("convert_weird"), None);
+    }
+}

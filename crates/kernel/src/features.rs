@@ -1,0 +1,324 @@
+//! The paper's feature representation (§3.2).
+//!
+//! A kernel is represented by ten static features — the fraction of
+//! executed instructions in each class — and a kernel *execution*
+//! (kernel + frequency setting) by those ten features plus the core and
+//! memory frequency, each min-max-mapped to `[0, 1]` over the device's
+//! tunable range.
+
+use crate::ir::{InstrClass, KernelAnalysis};
+use serde::{Deserialize, Serialize};
+
+/// Number of static code features.
+pub const NUM_STATIC_FEATURES: usize = 10;
+
+/// Total feature-vector width: the ten static features, the scaled
+/// `(f_core, f_mem)` pair, and the `k_i · f_core` / `k_i · f_mem`
+/// interaction blocks.
+///
+/// **Reproduction note.** The paper describes the model input as
+/// `w = (k, f)` and observes that "while keeping constant input code
+/// and memory frequency, the speedup increases linearly with the core
+/// frequency" (§3.4) — linear *per kernel*, with a slope that depends
+/// on the kernel's instruction mix (steep for k-NN, flat for MT,
+/// Fig. 1). A linear-kernel SVR over the plain 12-dimensional `(k, f)`
+/// cannot express mix-dependent slopes (it is globally linear, one
+/// shared slope for every kernel), so the interaction terms
+/// `k_i · f_core` and `k_i · f_mem` are included explicitly, along with
+/// one derived static feature — the memory-boundedness ratio (see
+/// [`memory_boundedness`]) — and its two frequency interactions. The
+/// model remains exactly "ε-SVR with a linear kernel", and remains
+/// linear in `f_core` for any fixed kernel — the property the paper's
+/// model selection is based on.
+pub const NUM_FEATURES: usize = NUM_STATIC_FEATURES + 2 + 2 * NUM_STATIC_FEATURES + 3;
+
+/// Architectural issue-cost prior (cycles per instruction class, in the
+/// order of [`STATIC_FEATURE_NAMES`]) used by [`memory_boundedness`].
+/// These are generic GPU-class constants — the same modular-design
+/// knowledge the paper's feature set is built on (Guerreiro et al.) —
+/// not calibrated against any measured device.
+const CLASS_CYCLE_PRIOR: [f64; NUM_STATIC_FEATURES] =
+    [1.0, 2.0, 12.0, 1.0, 1.0, 1.0, 8.0, 4.0, 2.0, 2.0];
+
+/// Approximate bytes moved per memory-access instruction.
+const BYTES_PER_ACCESS: f64 = 4.0;
+
+/// Derived static feature: how memory-bound the instruction mix is,
+/// as `r / (1 + r)` with `r = traffic / issue-cycles` — `0` for pure
+/// compute, approaching `1` for pure streaming. This is the static
+/// analogue of the roofline operational-intensity axis, and it is the
+/// quantity that decides which clock domain limits a kernel; exposing
+/// it directly (instead of forcing the regressor to reconstruct a
+/// ratio of features) is what lets the per-domain linear speedup heads
+/// fit both regimes.
+pub fn memory_boundedness(features: &StaticFeatures) -> f64 {
+    let cycles: f64 = features
+        .values()
+        .iter()
+        .zip(CLASS_CYCLE_PRIOR)
+        .map(|(k, c)| k * c)
+        .sum();
+    let traffic = features.get(8) * BYTES_PER_ACCESS;
+    if cycles <= 0.0 {
+        return if traffic > 0.0 { 1.0 } else { 0.0 };
+    }
+    let r = traffic / cycles;
+    r / (1.0 + r)
+}
+
+/// Names of the static features, in vector order (paper notation).
+pub const STATIC_FEATURE_NAMES: [&str; NUM_STATIC_FEATURES] = [
+    "int_add", "int_mul", "int_div", "int_bw", "float_add", "float_mul", "float_div", "sf",
+    "gl_access", "loc_access",
+];
+
+/// Frequency normalization interval for the core clock in MHz (§3.2).
+pub const CORE_FREQ_RANGE_MHZ: (f64, f64) = (135.0, 1189.0);
+
+/// Frequency normalization interval for the memory clock in MHz (§3.2).
+pub const MEM_FREQ_RANGE_MHZ: (f64, f64) = (405.0, 3505.0);
+
+/// The ten static code features of a kernel:
+/// `(k_int_add, k_int_mul, k_int_div, k_int_bw, k_float_add, k_float_mul,
+///   k_float_div, k_sf, k_gl_access, k_loc_access)`,
+/// each normalized by the total number of executed instructions so that
+/// codes with the same arithmetic intensity but different lengths map to
+/// the same point (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StaticFeatures {
+    values: [f64; NUM_STATIC_FEATURES],
+}
+
+impl StaticFeatures {
+    /// Build the feature vector from an instruction-count analysis.
+    ///
+    /// The normalization denominator is the total executed instruction
+    /// count including control flow and overhead; a kernel with no
+    /// instructions yields the zero vector.
+    pub fn from_analysis(analysis: &KernelAnalysis) -> StaticFeatures {
+        let c = &analysis.counts;
+        let total = c.total();
+        if total == 0.0 {
+            return StaticFeatures::default();
+        }
+        let values = [
+            c.get(InstrClass::IntAdd) / total,
+            c.get(InstrClass::IntMul) / total,
+            c.get(InstrClass::IntDiv) / total,
+            c.get(InstrClass::IntBitwise) / total,
+            c.get(InstrClass::FloatAdd) / total,
+            c.get(InstrClass::FloatMul) / total,
+            c.get(InstrClass::FloatDiv) / total,
+            c.get(InstrClass::SpecialFn) / total,
+            c.global_accesses() / total,
+            c.local_accesses() / total,
+        ];
+        StaticFeatures { values }
+    }
+
+    /// Construct directly from raw component values (used in tests and
+    /// synthetic scenarios).
+    pub fn from_values(values: [f64; NUM_STATIC_FEATURES]) -> StaticFeatures {
+        StaticFeatures { values }
+    }
+
+    /// The raw component slice.
+    pub fn values(&self) -> &[f64; NUM_STATIC_FEATURES] {
+        &self.values
+    }
+
+    /// One component by index (see [`STATIC_FEATURE_NAMES`]).
+    pub fn get(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// Sum of all components; ≤ 1 by construction (branch/overhead
+    /// instructions inflate the denominator only).
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Euclidean distance to another feature vector.
+    pub fn distance(&self, other: &StaticFeatures) -> f64 {
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// A frequency configuration `(f_core, f_mem)` in MHz.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FreqConfig {
+    /// Core (graphics) clock in MHz.
+    pub core_mhz: u32,
+    /// Memory clock in MHz.
+    pub mem_mhz: u32,
+}
+
+impl FreqConfig {
+    /// Construct a configuration.
+    pub fn new(mem_mhz: u32, core_mhz: u32) -> FreqConfig {
+        FreqConfig { core_mhz, mem_mhz }
+    }
+
+    /// Core frequency scaled to `[0, 1]` over [`CORE_FREQ_RANGE_MHZ`].
+    pub fn core_scaled(&self) -> f64 {
+        scale(self.core_mhz as f64, CORE_FREQ_RANGE_MHZ)
+    }
+
+    /// Memory frequency scaled to `[0, 1]` over [`MEM_FREQ_RANGE_MHZ`].
+    pub fn mem_scaled(&self) -> f64 {
+        scale(self.mem_mhz as f64, MEM_FREQ_RANGE_MHZ)
+    }
+}
+
+impl std::fmt::Display for FreqConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(mem {} MHz, core {} MHz)", self.mem_mhz, self.core_mhz)
+    }
+}
+
+fn scale(v: f64, (lo, hi): (f64, f64)) -> f64 {
+    (v - lo) / (hi - lo)
+}
+
+/// A full feature vector `w = (k, f)`: ten static code features plus the
+/// scaled frequency pair, interaction blocks and derived features. This
+/// is the input row handed to the regression models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    values: Vec<f64>,
+}
+
+impl FeatureVector {
+    /// Combine static kernel features with a frequency configuration
+    /// (including the interaction blocks and the derived
+    /// memory-boundedness feature — see [`NUM_FEATURES`]).
+    pub fn new(features: &StaticFeatures, config: FreqConfig) -> FeatureVector {
+        let mut values = vec![0.0; NUM_FEATURES];
+        values[..NUM_STATIC_FEATURES].copy_from_slice(features.values());
+        let core = config.core_scaled();
+        let mem = config.mem_scaled();
+        values[NUM_STATIC_FEATURES] = core;
+        values[NUM_STATIC_FEATURES + 1] = mem;
+        for (i, &k) in features.values().iter().enumerate() {
+            values[NUM_STATIC_FEATURES + 2 + i] = k * core;
+            values[2 * NUM_STATIC_FEATURES + 2 + i] = k * mem;
+        }
+        let boundedness = memory_boundedness(features);
+        let base = 2 + 3 * NUM_STATIC_FEATURES;
+        values[base] = boundedness;
+        values[base + 1] = boundedness * core;
+        values[base + 2] = boundedness * mem;
+        FeatureVector { values }
+    }
+
+    /// The raw row, usable as an ML sample.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The scaled core-frequency component.
+    pub fn core_component(&self) -> f64 {
+        self.values[NUM_STATIC_FEATURES]
+    }
+
+    /// The scaled memory-frequency component.
+    pub fn mem_component(&self) -> f64 {
+        self.values[NUM_STATIC_FEATURES + 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::analyze_kernel;
+    use crate::parser::parse;
+
+    fn features(src: &str) -> StaticFeatures {
+        let prog = parse(src).unwrap();
+        let a = analyze_kernel(prog.first_kernel().unwrap()).unwrap();
+        StaticFeatures::from_analysis(&a)
+    }
+
+    #[test]
+    fn empty_analysis_is_zero_vector() {
+        let f = StaticFeatures::from_analysis(&Default::default());
+        assert_eq!(f.sum(), 0.0);
+    }
+
+    #[test]
+    fn components_are_fractions() {
+        let f = features(
+            "__kernel void k(__global float* x) {
+                uint i = get_global_id(0);
+                x[i] = sin(x[i]) + x[i] * 2.0f;
+            }",
+        );
+        assert!(f.sum() > 0.0 && f.sum() <= 1.0);
+        for (i, v) in f.values().iter().enumerate() {
+            assert!((0.0..=1.0).contains(v), "component {i} = {v}");
+        }
+    }
+
+    #[test]
+    fn intensity_invariance() {
+        // Same mix, different lengths -> same features (the paper's
+        // normalization motivation).
+        let a = features(
+            "__kernel void k(__global float* x) {
+                float v = x[0];
+                for (int i = 0; i < 8; i += 1) { v = v * 1.5f; v = v + 0.5f; }
+                x[0] = v;
+            }",
+        );
+        let b = features(
+            "__kernel void k(__global float* x) {
+                float v = x[0];
+                for (int i = 0; i < 64; i += 1) { v = v * 1.5f; v = v + 0.5f; }
+                x[0] = v;
+            }",
+        );
+        // The loop-overhead share shrinks as the loop grows, so allow a
+        // small tolerance on the arithmetic components.
+        assert!(a.distance(&b) < 0.08, "distance {}", a.distance(&b));
+    }
+
+    #[test]
+    fn frequency_scaling_maps_to_unit_interval() {
+        let lo = FreqConfig::new(405, 135);
+        let hi = FreqConfig::new(3505, 1189);
+        assert_eq!(lo.core_scaled(), 0.0);
+        assert_eq!(lo.mem_scaled(), 0.0);
+        assert_eq!(hi.core_scaled(), 1.0);
+        assert_eq!(hi.mem_scaled(), 1.0);
+        let mid = FreqConfig::new(3505, 1001);
+        assert!(mid.core_scaled() > 0.8 && mid.core_scaled() < 0.9);
+    }
+
+    #[test]
+    fn feature_vector_layout() {
+        let f = StaticFeatures::from_values([0.1; NUM_STATIC_FEATURES]);
+        let w = FeatureVector::new(&f, FreqConfig::new(3505, 1189));
+        assert_eq!(w.as_slice().len(), NUM_FEATURES);
+        assert_eq!(w.core_component(), 1.0);
+        assert_eq!(w.mem_component(), 1.0);
+        assert_eq!(w.as_slice()[0], 0.1);
+    }
+
+    #[test]
+    fn memory_bound_kernel_has_high_access_share() {
+        let f = features(
+            "__kernel void k(__global float* x, __global float* y) {
+                uint i = get_global_id(0);
+                y[i] = x[i];
+            }",
+        );
+        // gl_access component (index 8) dominates the arithmetic ones.
+        assert!(f.get(8) > f.get(4));
+        assert!(f.get(8) > f.get(0) / 2.0);
+    }
+}

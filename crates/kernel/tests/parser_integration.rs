@@ -1,0 +1,120 @@
+//! Integration tests for the front-end: realistic kernel sources end to
+//! end through lexer, parser and analysis, plus property tests on the
+//! grammar.
+
+use gpufreq_kernel::{analyze_kernel, analyze_kernel_with, parse, AnalysisConfig, InstrClass};
+use proptest::prelude::*;
+
+#[test]
+fn multi_kernel_translation_unit() {
+    let src = "
+        __kernel void first(__global float* x) {
+            uint i = get_global_id(0);
+            x[i] = x[i] + 1.0f;
+        }
+        __kernel void second(__global int* y) {
+            uint i = get_global_id(0);
+            y[i] = y[i] * 2;
+        }
+    ";
+    let program = parse(src).unwrap();
+    assert_eq!(program.kernels.len(), 2);
+    assert!(program.kernel("first").is_some());
+    assert!(program.kernel("second").is_some());
+    assert!(program.kernel("third").is_none());
+}
+
+#[test]
+fn do_while_and_nested_control_flow() {
+    let src = "
+        __kernel void k(__global float* x, int n) {
+            uint i = get_global_id(0);
+            float acc = 0.0f;
+            int j = 0;
+            do {
+                if (j > 2) {
+                    acc += x[i];
+                } else {
+                    acc -= 0.5f;
+                }
+                j++;
+            } while (j < 8);
+            x[i] = acc;
+        }
+    ";
+    let program = parse(src).unwrap();
+    let analysis = analyze_kernel(program.first_kernel().unwrap()).unwrap();
+    assert!(analysis.counts.get(InstrClass::Branch) > 0.0);
+}
+
+#[test]
+fn error_messages_carry_line_numbers() {
+    let src = "__kernel void k(__global float* x) {\n    x[0] = ;\n}";
+    let err = parse(src).unwrap_err();
+    assert_eq!(err.span.line, 2, "error should point at line 2: {err}");
+}
+
+#[test]
+fn ternaries_casts_and_compound_assignments() {
+    let src = "
+        __kernel void k(__global float* x, __global int* flags) {
+            uint i = get_global_id(0);
+            float v = x[i];
+            v *= 1.5f;
+            v -= (float)flags[i];
+            x[i] = (v > 0.0f) ? v : -v;
+        }
+    ";
+    let program = parse(src).unwrap();
+    let analysis = analyze_kernel(program.first_kernel().unwrap()).unwrap();
+    assert!(analysis.counts.get(InstrClass::FloatMul) >= 1.0);
+    assert!(analysis.counts.get(InstrClass::GlobalLoad) >= 2.0);
+}
+
+#[test]
+fn analysis_respects_different_bindings() {
+    let src = "
+        __kernel void k(__global float* x, int rounds) {
+            uint i = get_global_id(0);
+            float v = x[i];
+            for (int r = 0; r < rounds; r += 1) { v = v * 1.1f; }
+            x[i] = v;
+        }
+    ";
+    let program = parse(src).unwrap();
+    let kernel = program.first_kernel().unwrap();
+    for rounds in [1i64, 10, 100] {
+        let cfg = AnalysisConfig::with_bindings([("rounds".to_string(), rounds)]);
+        let a = analyze_kernel_with(kernel, &cfg).unwrap();
+        assert_eq!(a.counts.get(InstrClass::FloatMul), rounds as f64);
+    }
+}
+
+proptest! {
+    /// Lexing arbitrary ASCII never panics and spans are well-formed.
+    #[test]
+    fn lexer_spans_are_ordered(src in "[ -~\\n]{0,400}") {
+        if let Ok(tokens) = gpufreq_kernel::lex(&src) {
+            for t in &tokens {
+                prop_assert!(t.span.start <= t.span.end);
+                prop_assert!(t.span.end <= src.len());
+            }
+        }
+    }
+
+    /// Integer arithmetic in loop bounds is resolved exactly for any
+    /// small constant bound.
+    #[test]
+    fn trip_counts_exact_for_constant_bounds(n in 1i64..200) {
+        let src = format!(
+            "__kernel void k(__global float* x) {{
+                float acc = 0.0f;
+                for (int i = 0; i < {n}; i += 1) {{ acc = acc + 1.0f; }}
+                x[0] = acc;
+            }}"
+        );
+        let program = parse(&src).unwrap();
+        let a = analyze_kernel(program.first_kernel().unwrap()).unwrap();
+        prop_assert_eq!(a.counts.get(InstrClass::FloatAdd), n as f64);
+    }
+}

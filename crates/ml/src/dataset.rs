@@ -1,0 +1,175 @@
+//! Training datasets: rows of feature vectors with scalar targets.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A supervised regression dataset.
+///
+/// Rows are stored as owned `Vec<f64>` feature vectors with one target
+/// each; all rows must share the same dimensionality.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Dataset {
+        Dataset::default()
+    }
+
+    /// Build from parallel slices of rows and targets.
+    ///
+    /// # Panics
+    /// If lengths differ or rows have inconsistent widths.
+    pub fn from_rows(xs: Vec<Vec<f64>>, ys: Vec<f64>) -> Dataset {
+        assert_eq!(xs.len(), ys.len(), "row/target count mismatch");
+        if let Some(first) = xs.first() {
+            let d = first.len();
+            assert!(xs.iter().all(|r| r.len() == d), "inconsistent row widths");
+        }
+        Dataset { xs, ys }
+    }
+
+    /// Append one `(row, target)` sample.
+    ///
+    /// # Panics
+    /// If the row width differs from existing rows.
+    pub fn push(&mut self, x: Vec<f64>, y: f64) {
+        if let Some(first) = self.xs.first() {
+            assert_eq!(first.len(), x.len(), "inconsistent row width");
+        }
+        self.xs.push(x);
+        self.ys.push(y);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Feature dimensionality (0 when empty).
+    pub fn dims(&self) -> usize {
+        self.xs.first().map_or(0, |r| r.len())
+    }
+
+    /// Feature rows.
+    pub fn xs(&self) -> &[Vec<f64>] {
+        &self.xs
+    }
+
+    /// Targets.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// One sample.
+    pub fn sample(&self, i: usize) -> (&[f64], f64) {
+        (&self.xs[i], self.ys[i])
+    }
+
+    /// Deterministically shuffle in place (Fisher–Yates with `seed`).
+    pub fn shuffle(&mut self, seed: u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.xs.swap(i, j);
+            self.ys.swap(i, j);
+        }
+    }
+
+    /// Split into `(train, test)` with `train_fraction` of the samples
+    /// in the first part (no shuffling — call [`Dataset::shuffle`]
+    /// first if needed).
+    pub fn split(&self, train_fraction: f64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&train_fraction));
+        let k = (self.len() as f64 * train_fraction).round() as usize;
+        let (xa, xb) = (self.xs[..k].to_vec(), self.xs[k..].to_vec());
+        let (ya, yb) = (self.ys[..k].to_vec(), self.ys[k..].to_vec());
+        (Dataset::from_rows(xa, ya), Dataset::from_rows(xb, yb))
+    }
+
+    /// Apply a row transformation (e.g. a fitted scaler) to every sample.
+    pub fn map_rows<F: FnMut(&[f64]) -> Vec<f64>>(&self, mut f: F) -> Dataset {
+        Dataset::from_rows(self.xs.iter().map(|r| f(r)).collect(), self.ys.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let ys: Vec<f64> = (0..n).map(|i| i as f64 * 3.0).collect();
+        Dataset::from_rows(xs, ys)
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let d = toy(5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.dims(), 2);
+        assert_eq!(d.sample(2), (&[2.0, 4.0][..], 6.0));
+        assert!(!d.is_empty());
+        assert!(Dataset::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row/target count mismatch")]
+    fn mismatched_lengths_panic() {
+        Dataset::from_rows(vec![vec![1.0]], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent row width")]
+    fn inconsistent_width_panics() {
+        let mut d = toy(2);
+        d.push(vec![1.0], 0.0);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_permutation() {
+        let mut a = toy(32);
+        let mut b = toy(32);
+        a.shuffle(9);
+        b.shuffle(9);
+        assert_eq!(a, b);
+        let mut ys = a.ys().to_vec();
+        ys.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        let mut orig = toy(32).ys().to_vec();
+        orig.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        assert_eq!(ys, orig, "shuffle must be a permutation");
+        // Pairing preserved.
+        for i in 0..a.len() {
+            let (x, y) = a.sample(i);
+            assert_eq!(x[0] * 3.0, y);
+        }
+    }
+
+    #[test]
+    fn split_fractions() {
+        let d = toy(10);
+        let (tr, te) = d.split(0.7);
+        assert_eq!(tr.len(), 7);
+        assert_eq!(te.len(), 3);
+        let (all, none) = d.split(1.0);
+        assert_eq!(all.len(), 10);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn map_rows_transforms() {
+        let d = toy(3);
+        let m = d.map_rows(|r| r.iter().map(|v| v * 2.0).collect());
+        assert_eq!(m.sample(1).0, &[2.0, 2.0][..]);
+        assert_eq!(m.ys(), d.ys());
+    }
+}

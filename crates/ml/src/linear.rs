@@ -1,0 +1,197 @@
+//! Ordinary least squares and ridge regression.
+//!
+//! These are the simpler alternatives the paper reports evaluating for
+//! the speedup model before selecting linear SVR (§3.4); they are kept
+//! as ablation baselines (`ablation_models` bench).
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// A linear model `y = w · x + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub bias: f64,
+}
+
+impl LinearModel {
+    /// Predict one row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.weights.len());
+        self.bias + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
+    }
+
+    /// Predict a batch of rows.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+/// Fit OLS via the normal equations (`λ = 0`) — see [`train_ridge`].
+pub fn train_ols(data: &Dataset) -> LinearModel {
+    train_ridge(data, 0.0)
+}
+
+/// Fit ridge regression: minimize `‖Xw − y‖² + λ‖w‖²` (the intercept is
+/// not penalized). Solved by Gaussian elimination with partial pivoting
+/// on the regularized normal equations.
+///
+/// # Panics
+/// If the dataset is empty or the (regularized) system is singular.
+pub fn train_ridge(data: &Dataset, lambda: f64) -> LinearModel {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    assert!(lambda >= 0.0);
+    let n = data.len();
+    let d = data.dims();
+    let m = d + 1; // trailing column is the intercept
+    // Normal equations A = X'X + λI, rhs = X'y, with the intercept as
+    // an extra all-ones feature (unpenalized).
+    let mut a = vec![vec![0.0f64; m]; m];
+    let mut rhs = vec![0.0f64; m];
+    for i in 0..n {
+        let (x, y) = data.sample(i);
+        for r in 0..m {
+            let xr = if r < d { x[r] } else { 1.0 };
+            rhs[r] += xr * y;
+            for c in 0..m {
+                let xc = if c < d { x[c] } else { 1.0 };
+                a[r][c] += xr * xc;
+            }
+        }
+    }
+    for (j, row) in a.iter_mut().enumerate().take(d) {
+        row[j] += lambda;
+    }
+    // Tiny jitter keeps OLS solvable on rank-deficient designs
+    // (duplicate or constant columns), matching common library behaviour.
+    for (j, row) in a.iter_mut().enumerate() {
+        row[j] += 1e-10;
+    }
+    let sol = solve_linear_system(a, rhs);
+    LinearModel { weights: sol[..d].to_vec(), bias: sol[d] }
+}
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+///
+/// # Panics
+/// If `A` is singular to working precision.
+pub fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let m = a.len();
+    assert!(a.iter().all(|r| r.len() == m), "matrix must be square");
+    assert_eq!(b.len(), m);
+    for col in 0..m {
+        // Partial pivoting.
+        let pivot = (col..m)
+            .max_by(|&r1, &r2| a[r1][col].abs().partial_cmp(&a[r2][col].abs()).unwrap())
+            .expect("non-empty column");
+        assert!(a[pivot][col].abs() > 1e-300, "singular system");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..m {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            let (upper, lower) = a.split_at_mut(row);
+            let pivot_row = &upper[col];
+            for (lhs, rhs) in lower[0][col..].iter_mut().zip(&pivot_row[col..]) {
+                *lhs -= factor * rhs;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; m];
+    for row in (0..m).rev() {
+        let mut acc = b[row];
+        for k in row + 1..m {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_linear(n: usize) -> Dataset {
+        // y = 1.5 x0 - 2 x1 + 4
+        let mut d = Dataset::new();
+        for i in 0..n {
+            let x0 = i as f64 / n as f64;
+            let x1 = ((i * 7) % n) as f64 / n as f64;
+            d.push(vec![x0, x1], 1.5 * x0 - 2.0 * x1 + 4.0);
+        }
+        d
+    }
+
+    #[test]
+    fn ols_recovers_exact_coefficients() {
+        let model = train_ols(&exact_linear(50));
+        assert!((model.weights[0] - 1.5).abs() < 1e-6);
+        assert!((model.weights[1] + 2.0).abs() < 1e-6);
+        assert!((model.bias - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let data = exact_linear(50);
+        let ols = train_ols(&data);
+        let ridge = train_ridge(&data, 100.0);
+        assert!(ridge.weights[0].abs() < ols.weights[0].abs());
+        assert!(ridge.weights[1].abs() < ols.weights[1].abs());
+    }
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_linear_system(a, vec![3.0, -2.0]);
+        assert_eq!(x, vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![2.0, 1.0]];
+        let x = solve_linear_system(a, vec![1.0, 4.0]);
+        assert!((x[0] - 1.5).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular system")]
+    fn singular_system_panics() {
+        let a = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        solve_linear_system(a, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn rank_deficient_design_still_fits() {
+        // Duplicate column: jitter keeps the system solvable and
+        // predictions exact even though weights are not unique.
+        let mut d = Dataset::new();
+        for i in 0..20 {
+            let x = i as f64;
+            d.push(vec![x, x], 3.0 * x + 1.0);
+        }
+        let model = train_ols(&d);
+        for i in 0..20 {
+            let x = i as f64;
+            assert!((model.predict(&[x, x]) - (3.0 * x + 1.0)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let data = exact_linear(10);
+        let model = train_ols(&data);
+        let batch = model.predict_batch(data.xs());
+        for (i, p) in batch.iter().enumerate() {
+            assert_eq!(*p, model.predict(data.sample(i).0));
+        }
+    }
+}

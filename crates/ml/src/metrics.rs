@@ -1,0 +1,198 @@
+//! Regression error metrics and box-plot statistics.
+//!
+//! Provides exactly the quantities the paper's evaluation reports:
+//! per-group RMSE in percent (Figs. 6–7 captions) and the
+//! min / 25th / median / 75th / max error distributions drawn as
+//! box-plots.
+
+use serde::{Deserialize, Serialize};
+
+/// Root mean squared error.
+///
+/// # Panics
+/// If inputs differ in length or are empty.
+pub fn rmse(truth: &[f64], pred: &[f64]) -> f64 {
+    check(truth, pred);
+    let sq: f64 = truth.iter().zip(pred).map(|(t, p)| (t - p) * (t - p)).sum();
+    (sq / truth.len() as f64).sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
+    check(truth, pred);
+    truth.iter().zip(pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / truth.len() as f64
+}
+
+/// Signed relative errors in percent: `(pred − truth) / truth · 100`.
+/// Positive = over-approximation (the convention of Figs. 6–7).
+pub fn percent_errors(truth: &[f64], pred: &[f64]) -> Vec<f64> {
+    check(truth, pred);
+    truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| {
+            assert!(*t != 0.0, "relative error undefined for zero truth");
+            (p - t) / t * 100.0
+        })
+        .collect()
+}
+
+/// RMSE of the relative errors, in percent — the per-memory-domain
+/// figure the paper prints next to each box-plot (e.g. "RMSE = 6.68%").
+pub fn rmse_percent(truth: &[f64], pred: &[f64]) -> f64 {
+    let errs = percent_errors(truth, pred);
+    (errs.iter().map(|e| e * e).sum::<f64>() / errs.len() as f64).sqrt()
+}
+
+/// Coefficient of determination R².
+pub fn r2(truth: &[f64], pred: &[f64]) -> f64 {
+    check(truth, pred);
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = truth.iter().zip(pred).map(|(t, p)| (t - p) * (t - p)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+fn check(truth: &[f64], pred: &[f64]) {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    assert!(!truth.is_empty(), "metrics need at least one sample");
+}
+
+/// Five-number summary for box-plots: min, lower quartile, median,
+/// upper quartile, max.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub q25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q75: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl BoxStats {
+    /// Compute the summary of `values` (linear-interpolated quantiles).
+    ///
+    /// # Panics
+    /// If `values` is empty.
+    pub fn from_values(values: &[f64]) -> BoxStats {
+        assert!(!values.is_empty(), "box stats need at least one value");
+        let mut v = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in metrics"));
+        BoxStats {
+            min: v[0],
+            q25: quantile(&v, 0.25),
+            median: quantile(&v, 0.5),
+            q75: quantile(&v, 0.75),
+            max: v[v.len() - 1],
+        }
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q75 - self.q25
+    }
+}
+
+/// Linear-interpolated quantile of an already-sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&q));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_perfect_is_zero() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        // Errors 3 and 4 -> sqrt((9+16)/2) = 3.5355...
+        let r = rmse(&[0.0, 0.0], &[3.0, 4.0]);
+        assert!((r - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_known_value() {
+        assert_eq!(mae(&[0.0, 0.0], &[3.0, -4.0]), 3.5);
+    }
+
+    #[test]
+    fn percent_errors_signed() {
+        let e = percent_errors(&[2.0, 4.0], &[2.2, 3.0]);
+        assert!((e[0] - 10.0).abs() < 1e-12);
+        assert!((e[1] + 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_percent_known() {
+        let r = rmse_percent(&[1.0, 1.0], &[1.1, 0.9]);
+        assert!((r - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn r2_perfect_and_mean_model() {
+        let truth = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(r2(&truth, &truth), 1.0);
+        let mean = [2.5, 2.5, 2.5, 2.5];
+        assert!(r2(&truth, &mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_stats_of_known_sequence() {
+        let b = BoxStats::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.max, 5.0);
+        assert_eq!(b.q25, 2.0);
+        assert_eq!(b.q75, 4.0);
+        assert_eq!(b.iqr(), 2.0);
+    }
+
+    #[test]
+    fn box_stats_single_value() {
+        let b = BoxStats::from_values(&[7.0]);
+        assert_eq!((b.min, b.median, b.max), (7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn box_stats_unsorted_input() {
+        let b = BoxStats::from_values(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(b.median, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero truth")]
+    fn zero_truth_relative_error_panics() {
+        percent_errors(&[0.0], &[1.0]);
+    }
+}

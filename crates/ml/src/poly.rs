@@ -1,0 +1,122 @@
+//! Polynomial regression: degree-2 feature expansion over ridge.
+//!
+//! The alternative the paper evaluated for the normalized-energy model
+//! before selecting RBF SVR (§3.4) — energy is parabolic in the core
+//! frequency, so a quadratic expansion is the natural classical
+//! baseline.
+
+use crate::dataset::Dataset;
+use crate::linear::{train_ridge, LinearModel};
+use serde::{Deserialize, Serialize};
+
+/// A polynomial model: degree-2 expansion (all squares and pairwise
+/// interactions) feeding a linear model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolyModel {
+    dims: usize,
+    linear: LinearModel,
+}
+
+impl PolyModel {
+    /// Predict one row (of the *original* dimensionality).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dims);
+        self.linear.predict(&expand(x))
+    }
+
+    /// Predict a batch of rows.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Width of the expanded feature space.
+    pub fn expanded_dims(&self) -> usize {
+        self.linear.weights.len()
+    }
+}
+
+/// Degree-2 expansion: `x` followed by all `x_i · x_j` for `i ≤ j`.
+pub fn expand(x: &[f64]) -> Vec<f64> {
+    let d = x.len();
+    let mut out = Vec::with_capacity(d + d * (d + 1) / 2);
+    out.extend_from_slice(x);
+    for i in 0..d {
+        for j in i..d {
+            out.push(x[i] * x[j]);
+        }
+    }
+    out
+}
+
+/// Fit a degree-2 polynomial model with ridge penalty `lambda`.
+///
+/// # Panics
+/// If the dataset is empty.
+pub fn train_poly(data: &Dataset, lambda: f64) -> PolyModel {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    let dims = data.dims();
+    let expanded = data.map_rows(expand);
+    PolyModel { dims, linear: train_ridge(&expanded, lambda) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_width() {
+        assert_eq!(expand(&[1.0, 2.0]).len(), 2 + 3);
+        assert_eq!(expand(&[1.0, 2.0, 3.0]).len(), 3 + 6);
+        assert_eq!(expand(&[2.0, 3.0]), vec![2.0, 3.0, 4.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn fits_a_parabola_exactly() {
+        // y = (x - 0.6)^2 + 0.2 — the energy-curve shape.
+        let mut d = Dataset::new();
+        for i in 0..40 {
+            let x = i as f64 / 39.0;
+            d.push(vec![x], (x - 0.6) * (x - 0.6) + 0.2);
+        }
+        let model = train_poly(&d, 1e-9);
+        for i in 0..40 {
+            let x = i as f64 / 39.0;
+            let want = (x - 0.6) * (x - 0.6) + 0.2;
+            assert!((model.predict(&[x]) - want).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fits_interaction_terms() {
+        // y = x0 * x1.
+        let mut d = Dataset::new();
+        for i in 0..8 {
+            for j in 0..8 {
+                let (a, b) = (i as f64 / 7.0, j as f64 / 7.0);
+                d.push(vec![a, b], a * b);
+            }
+        }
+        let model = train_poly(&d, 1e-9);
+        assert!((model.predict(&[0.5, 0.4]) - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_functions_are_a_special_case() {
+        let mut d = Dataset::new();
+        for i in 0..20 {
+            let x = i as f64 / 19.0;
+            d.push(vec![x], 3.0 * x - 1.0);
+        }
+        let model = train_poly(&d, 1e-9);
+        assert!((model.predict(&[0.25]) - (-0.25)).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_input_width_panics() {
+        let mut d = Dataset::new();
+        d.push(vec![1.0, 2.0], 3.0);
+        let model = train_poly(&d, 1e-6);
+        model.predict(&[1.0]);
+    }
+}

@@ -1,0 +1,527 @@
+//! ε-support-vector regression trained with SMO.
+//!
+//! Implements the standard libsvm formulation: the ε-SVR dual is an
+//! SVM-shaped problem over `2n` variables `(α, α*)` with labels
+//! `y ∈ {+1, −1}`, solved by sequential minimal optimization with
+//! second-order working-set selection and an LRU kernel-row cache.
+//! The paper's hyper-parameters are `C = 1000`, `ε = 0.1` for both
+//! models, a linear kernel for speedup and an RBF kernel with
+//! `γ = 0.1` for normalized energy (§3.4).
+
+use crate::dataset::Dataset;
+use crate::kernel_fn::SvmKernel;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+const TAU: f64 = 1e-12;
+
+/// Hyper-parameters of one ε-SVR training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SvrParams {
+    /// Box constraint `C`.
+    pub c: f64,
+    /// Tube width `ε`.
+    pub epsilon: f64,
+    /// Kernel function.
+    pub kernel: SvmKernel,
+    /// KKT violation tolerance for convergence.
+    pub tol: f64,
+    /// Hard iteration cap (0 = libsvm-style heuristic of
+    /// `max(10^7, 100·n)`).
+    pub max_iter: usize,
+    /// Number of kernel rows kept in the LRU cache.
+    pub cache_rows: usize,
+}
+
+impl SvrParams {
+    /// The paper's speedup model: linear kernel, `C = 1000`.
+    ///
+    /// Two solver-level adaptations from the literal §3.4 values, both
+    /// documented in DESIGN.md:
+    /// * `ε = 0.01` rather than `0.1` — the tube is an *absolute* error
+    ///   band, and our simulator's speedup targets reach down to ~0.1
+    ///   (deep down-clocked configurations), where a 0.1 tube alone
+    ///   permits 100% relative error. A 0.01 tube is the proportional
+    ///   equivalent of the paper's setting on its own data scale.
+    /// * `max_iter` is capped: with `C = 1000` full KKT convergence
+    ///   needs tens of millions of SMO iterations for a negligible
+    ///   objective improvement; libsvm guards its solver the same way.
+    pub fn paper_speedup() -> SvrParams {
+        SvrParams {
+            c: 1000.0,
+            epsilon: 0.01,
+            kernel: SvmKernel::Linear,
+            tol: 1e-3,
+            max_iter: 800_000,
+            cache_rows: 4240,
+        }
+    }
+
+    /// The paper's normalized-energy model: RBF kernel with `γ = 0.1`,
+    /// `C = 1000` (see [`SvrParams::paper_speedup`] on the `ε` and
+    /// iteration-cap adaptations).
+    pub fn paper_energy() -> SvrParams {
+        SvrParams {
+            c: 1000.0,
+            epsilon: 0.01,
+            kernel: SvmKernel::Rbf { gamma: 0.1 },
+            tol: 1e-3,
+            max_iter: 800_000,
+            cache_rows: 4240,
+        }
+    }
+}
+
+/// A trained ε-SVR model: support vectors, their coefficients
+/// `β = α − α*`, and the bias.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvrModel {
+    kernel: SvmKernel,
+    support_x: Vec<Vec<f64>>,
+    beta: Vec<f64>,
+    bias: f64,
+    iterations: usize,
+}
+
+impl SvrModel {
+    /// Predict the target for one row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut acc = self.bias;
+        for (sv, &b) in self.support_x.iter().zip(&self.beta) {
+            acc += b * self.kernel.eval(sv, x);
+        }
+        acc
+    }
+
+    /// Predict a batch of rows.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Number of support vectors retained.
+    pub fn num_support_vectors(&self) -> usize {
+        self.support_x.len()
+    }
+
+    /// SMO iterations used during training.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// The kernel this model was trained with.
+    pub fn kernel(&self) -> SvmKernel {
+        self.kernel
+    }
+}
+
+/// Train an ε-SVR on `data`.
+///
+/// # Panics
+/// If the dataset is empty.
+pub fn train_svr(data: &Dataset, params: &SvrParams) -> SvrModel {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    let n = data.len();
+    let mut solver = Solver::new(data, params);
+    let iterations = solver.solve();
+    let bias = solver.bias();
+    // β_i = α_i − α*_i; keep only support vectors.
+    let mut support_x = Vec::new();
+    let mut beta = Vec::new();
+    for i in 0..n {
+        let b = solver.alpha[i] - solver.alpha[n + i];
+        if b.abs() > 1e-12 {
+            support_x.push(data.xs()[i].clone());
+            beta.push(b);
+        }
+    }
+    SvrModel { kernel: params.kernel, support_x, beta, bias, iterations }
+}
+
+/// SMO solver state over the extended `2n`-variable problem.
+struct Solver<'a> {
+    data: &'a Dataset,
+    params: &'a SvrParams,
+    n: usize,
+    /// Extended labels: `+1` for the α block, `−1` for the α* block.
+    y: Vec<f64>,
+    /// Extended variables `(α, α*)`.
+    alpha: Vec<f64>,
+    /// Gradient of the dual objective.
+    grad: Vec<f64>,
+    /// Diagonal of the base kernel matrix.
+    qd: Vec<f64>,
+    cache: RowCache,
+}
+
+impl<'a> Solver<'a> {
+    fn new(data: &'a Dataset, params: &'a SvrParams) -> Solver<'a> {
+        let n = data.len();
+        let mut y = vec![1.0; 2 * n];
+        y[n..].fill(-1.0);
+        // p_s = ε − y_s for the α block, ε + y_s for the α* block;
+        // gradient starts at p because α = 0.
+        let mut grad = vec![0.0; 2 * n];
+        for i in 0..n {
+            grad[i] = params.epsilon - data.ys()[i];
+            grad[n + i] = params.epsilon + data.ys()[i];
+        }
+        let qd = (0..n).map(|i| params.kernel.eval(data.xs()[i].as_slice(), data.xs()[i].as_slice())).collect();
+        Solver {
+            data,
+            params,
+            n,
+            y,
+            alpha: vec![0.0; 2 * n],
+            grad,
+            qd,
+            cache: RowCache::new(params.cache_rows),
+        }
+    }
+
+    /// Base-kernel row for extended index `s` (row of `K(x_{s mod n}, ·)`).
+    fn row(&mut self, s: usize) -> std::rc::Rc<Vec<f64>> {
+        let i = s % self.n;
+        let kernel = self.params.kernel;
+        let xs = self.data.xs();
+        self.cache.get(i, || (0..xs.len()).map(|j| kernel.eval(&xs[i], &xs[j])).collect())
+    }
+
+    fn in_up(&self, s: usize) -> bool {
+        (self.y[s] > 0.0 && self.alpha[s] < self.params.c)
+            || (self.y[s] < 0.0 && self.alpha[s] > 0.0)
+    }
+
+    fn in_low(&self, s: usize) -> bool {
+        (self.y[s] > 0.0 && self.alpha[s] > 0.0)
+            || (self.y[s] < 0.0 && self.alpha[s] < self.params.c)
+    }
+
+    /// Second-order working-set selection (libsvm WSS3). Returns
+    /// `None` when the KKT gap is below tolerance.
+    fn select_working_set(&mut self) -> Option<(usize, usize)> {
+        let two_n = 2 * self.n;
+        let mut g_max = f64::NEG_INFINITY;
+        let mut i = usize::MAX;
+        for s in 0..two_n {
+            if self.in_up(s) {
+                let v = -self.y[s] * self.grad[s];
+                if v >= g_max {
+                    g_max = v;
+                    i = s;
+                }
+            }
+        }
+        if i == usize::MAX {
+            return None;
+        }
+        let row_i = self.row(i);
+        let i_base = i % self.n;
+        let y_i = self.y[i];
+        let qd_i = self.qd[i_base];
+        let mut g_max2 = f64::NEG_INFINITY;
+        let mut j = usize::MAX;
+        let mut obj_min = f64::INFINITY;
+        // Split the extended space into the α block (y_s = +1, s < n)
+        // and the α* block (y_s = −1) so the inner loop needs no modulo.
+        for s in 0..two_n {
+            let (s_base, y_s) = if s < self.n { (s, 1.0) } else { (s - self.n, -1.0) };
+            let in_low = if y_s > 0.0 {
+                self.alpha[s] > 0.0
+            } else {
+                self.alpha[s] < self.params.c
+            };
+            debug_assert_eq!(in_low, self.in_low(s));
+            if !in_low {
+                continue;
+            }
+            let yg = y_s * self.grad[s];
+            g_max2 = g_max2.max(yg);
+            let grad_diff = g_max + yg;
+            if grad_diff > 0.0 {
+                // Q_i[s] = y_i y_s K(i, s); quad coefficient of the
+                // two-variable subproblem.
+                let quad = qd_i + self.qd[s_base] - 2.0 * y_i * y_s * row_i[s_base];
+                let quad = if quad > 0.0 { quad } else { TAU };
+                let obj = -(grad_diff * grad_diff) / quad;
+                if obj <= obj_min {
+                    obj_min = obj;
+                    j = s;
+                }
+            }
+        }
+        if g_max + g_max2 < self.params.tol || j == usize::MAX {
+            return None;
+        }
+        Some((i, j))
+    }
+
+    /// Run SMO to convergence; returns the iteration count.
+    fn solve(&mut self) -> usize {
+        let max_iter = if self.params.max_iter == 0 {
+            // libsvm heuristic: at least 10M, or 100 iterations per
+            // variable for very large problems.
+            (100 * 2 * self.n).max(10_000_000)
+        } else {
+            self.params.max_iter
+        };
+        let c = self.params.c;
+        let mut it = 0;
+        while it < max_iter {
+            let Some((i, j)) = self.select_working_set() else { break };
+            it += 1;
+            let i_base = i % self.n;
+            let j_base = j % self.n;
+            let row_i = self.row(i);
+            let row_j = self.row(j);
+            let k_ij = row_i[j_base];
+            let (old_ai, old_aj) = (self.alpha[i], self.alpha[j]);
+            if self.y[i] != self.y[j] {
+                let quad = (self.qd[i_base] + self.qd[j_base] + 2.0 * k_ij).max(TAU);
+                let delta = (-self.grad[i] - self.grad[j]) / quad;
+                let diff = self.alpha[i] - self.alpha[j];
+                self.alpha[i] += delta;
+                self.alpha[j] += delta;
+                if diff > 0.0 {
+                    if self.alpha[j] < 0.0 {
+                        self.alpha[j] = 0.0;
+                        self.alpha[i] = diff;
+                    }
+                } else if self.alpha[i] < 0.0 {
+                    self.alpha[i] = 0.0;
+                    self.alpha[j] = -diff;
+                }
+                if diff > 0.0 {
+                    if self.alpha[i] > c {
+                        self.alpha[i] = c;
+                        self.alpha[j] = c - diff;
+                    }
+                } else if self.alpha[j] > c {
+                    self.alpha[j] = c;
+                    self.alpha[i] = c + diff;
+                }
+            } else {
+                let quad = (self.qd[i_base] + self.qd[j_base] - 2.0 * k_ij).max(TAU);
+                let delta = (self.grad[i] - self.grad[j]) / quad;
+                let sum = self.alpha[i] + self.alpha[j];
+                self.alpha[i] -= delta;
+                self.alpha[j] += delta;
+                if sum > c {
+                    if self.alpha[i] > c {
+                        self.alpha[i] = c;
+                        self.alpha[j] = sum - c;
+                    }
+                } else if self.alpha[j] < 0.0 {
+                    self.alpha[j] = 0.0;
+                    self.alpha[i] = sum;
+                }
+                if sum > c {
+                    if self.alpha[j] > c {
+                        self.alpha[j] = c;
+                        self.alpha[i] = sum - c;
+                    }
+                } else if self.alpha[i] < 0.0 {
+                    self.alpha[i] = 0.0;
+                    self.alpha[j] = sum;
+                }
+            }
+            // Gradient maintenance: G_t += Q_it Δα_i + Q_jt Δα_j, with
+            // Q_st = y_s y_t K(s, t). The extended space splits into the
+            // α block (y_t = +1) and the α* block (y_t = −1); writing
+            // the two halves as separate tight loops avoids the
+            // per-element modulo and lets the compiler vectorize.
+            let d_i = self.alpha[i] - old_ai;
+            let d_j = self.alpha[j] - old_aj;
+            if d_i != 0.0 || d_j != 0.0 {
+                let ci = self.y[i] * d_i;
+                let cj = self.y[j] * d_j;
+                let (lo, hi) = self.grad.split_at_mut(self.n);
+                for t in 0..self.n {
+                    let delta = row_i[t] * ci + row_j[t] * cj;
+                    lo[t] += delta;
+                    hi[t] -= delta;
+                }
+            }
+        }
+        it
+    }
+
+    /// Bias from the KKT conditions (libsvm `calculate_rho`, negated).
+    fn bias(&self) -> f64 {
+        let c = self.params.c;
+        let mut ub = f64::INFINITY;
+        let mut lb = f64::NEG_INFINITY;
+        let mut sum_free = 0.0;
+        let mut nr_free = 0usize;
+        for s in 0..2 * self.n {
+            let yg = self.y[s] * self.grad[s];
+            if self.alpha[s] >= c {
+                if self.y[s] < 0.0 {
+                    ub = ub.min(yg);
+                } else {
+                    lb = lb.max(yg);
+                }
+            } else if self.alpha[s] <= 0.0 {
+                if self.y[s] > 0.0 {
+                    ub = ub.min(yg);
+                } else {
+                    lb = lb.max(yg);
+                }
+            } else {
+                nr_free += 1;
+                sum_free += yg;
+            }
+        }
+        let rho = if nr_free > 0 { sum_free / nr_free as f64 } else { (ub + lb) / 2.0 };
+        -rho
+    }
+}
+
+/// LRU cache of base-kernel rows.
+struct RowCache {
+    capacity: usize,
+    stamp: u64,
+    rows: HashMap<usize, (std::rc::Rc<Vec<f64>>, u64)>,
+}
+
+impl RowCache {
+    fn new(capacity: usize) -> RowCache {
+        RowCache { capacity: capacity.max(2), stamp: 0, rows: HashMap::new() }
+    }
+
+    fn get<F: FnOnce() -> Vec<f64>>(&mut self, i: usize, compute: F) -> std::rc::Rc<Vec<f64>> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let Some((row, s)) = self.rows.get_mut(&i) {
+            *s = stamp;
+            return row.clone();
+        }
+        if self.rows.len() >= self.capacity {
+            if let Some((&oldest, _)) = self.rows.iter().min_by_key(|(_, (_, s))| *s) {
+                self.rows.remove(&oldest);
+            }
+        }
+        let row = std::rc::Rc::new(compute());
+        self.rows.insert(i, (row.clone(), stamp));
+        row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn linear_data(n: usize, noise: f64, seed: u64) -> Dataset {
+        // y = 2 x0 - 3 x1 + 0.5 + noise
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut d = Dataset::new();
+        for _ in 0..n {
+            let x0: f64 = rng.gen_range(0.0..1.0);
+            let x1: f64 = rng.gen_range(0.0..1.0);
+            let e: f64 = rng.gen_range(-noise..=noise);
+            d.push(vec![x0, x1], 2.0 * x0 - 3.0 * x1 + 0.5 + e);
+        }
+        d
+    }
+
+    #[test]
+    fn linear_svr_recovers_linear_function() {
+        let data = linear_data(120, 0.0, 1);
+        let params = SvrParams { epsilon: 0.01, ..SvrParams::paper_speedup() };
+        let model = train_svr(&data, &params);
+        // Predictions within the ε-tube (plus solver tolerance).
+        for (x, y) in data.xs().iter().zip(data.ys()) {
+            let p = model.predict(x);
+            assert!((p - y).abs() < 0.05, "pred {p} vs {y}");
+        }
+    }
+
+    #[test]
+    fn rbf_svr_fits_nonlinear_function() {
+        // y = sin(4 x) — linear models cannot fit this.
+        let mut data = Dataset::new();
+        for i in 0..100 {
+            let x = i as f64 / 99.0;
+            data.push(vec![x], (4.0 * x).sin());
+        }
+        let params = SvrParams {
+            epsilon: 0.01,
+            kernel: SvmKernel::Rbf { gamma: 10.0 },
+            ..SvrParams::paper_energy()
+        };
+        let model = train_svr(&data, &params);
+        for i in 0..100 {
+            let x = i as f64 / 99.0;
+            let p = model.predict(&[x]);
+            assert!((p - (4.0 * x).sin()).abs() < 0.08, "at {x}: {p}");
+        }
+    }
+
+    #[test]
+    fn epsilon_tube_limits_support_vectors() {
+        // With a wide tube, most points are inside it and few SVs remain.
+        let data = linear_data(200, 0.01, 3);
+        let narrow = train_svr(
+            &data,
+            &SvrParams { epsilon: 0.001, ..SvrParams::paper_speedup() },
+        );
+        let wide = train_svr(
+            &data,
+            &SvrParams { epsilon: 0.5, ..SvrParams::paper_speedup() },
+        );
+        assert!(wide.num_support_vectors() < narrow.num_support_vectors());
+    }
+
+    #[test]
+    fn noisy_data_stays_within_epsilon_plus_noise() {
+        let data = linear_data(150, 0.05, 7);
+        let model =
+            train_svr(&data, &SvrParams { epsilon: 0.1, ..SvrParams::paper_speedup() });
+        let preds = model.predict_batch(data.xs());
+        let rmse = crate::metrics::rmse(data.ys(), &preds);
+        assert!(rmse < 0.12, "rmse {rmse}");
+    }
+
+    #[test]
+    fn constant_target_learns_bias() {
+        let mut data = Dataset::new();
+        for i in 0..20 {
+            data.push(vec![i as f64 / 20.0], 3.5);
+        }
+        let model = train_svr(&data, &SvrParams::paper_speedup());
+        assert!((model.predict(&[0.3]) - 3.5).abs() < 0.11); // within ε
+    }
+
+    #[test]
+    fn single_sample_trains() {
+        let mut data = Dataset::new();
+        data.push(vec![1.0], 2.0);
+        let model = train_svr(&data, &SvrParams::paper_speedup());
+        assert!((model.predict(&[1.0]) - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let data = linear_data(80, 0.02, 11);
+        let a = train_svr(&data, &SvrParams::paper_speedup());
+        let b = train_svr(&data, &SvrParams::paper_speedup());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_cache_still_converges() {
+        let data = linear_data(60, 0.0, 13);
+        let params = SvrParams { cache_rows: 2, epsilon: 0.01, ..SvrParams::paper_speedup() };
+        let model = train_svr(&data, &params);
+        for (x, y) in data.xs().iter().zip(data.ys()) {
+            assert!((model.predict(x) - y).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        train_svr(&Dataset::new(), &SvrParams::paper_speedup());
+    }
+}

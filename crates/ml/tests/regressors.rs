@@ -1,0 +1,153 @@
+//! Cross-model integration tests: all regressors on shared synthetic
+//! tasks, mirroring the paper's model-selection study (§3.4).
+
+use gpufreq_ml::{
+    rmse, train_lasso, train_ols, train_poly, train_ridge, train_svr, Dataset, LassoParams,
+    MinMaxScaler, SvmKernel, SvrParams,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// `y = 1.2·x0 − 0.7·x1 + 0.3 + noise` — the "speedup-like" task
+/// (globally linear).
+fn linear_task(n: usize, noise: f64, seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut d = Dataset::new();
+    for _ in 0..n {
+        let x0: f64 = rng.gen_range(0.0..1.0);
+        let x1: f64 = rng.gen_range(0.0..1.0);
+        let e: f64 = rng.gen_range(-noise..=noise);
+        d.push(vec![x0, x1], 1.2 * x0 - 0.7 * x1 + 0.3 + e);
+    }
+    d
+}
+
+/// `y = (x0 − 0.55)² · 2 + 0.8 + 0.2·x1` — the "energy-like" task
+/// (parabola with an interior minimum, §1.1).
+fn parabola_task(n: usize, seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut d = Dataset::new();
+    for _ in 0..n {
+        let x0: f64 = rng.gen_range(0.0..1.0);
+        let x1: f64 = rng.gen_range(0.0..1.0);
+        d.push(vec![x0, x1], (x0 - 0.55) * (x0 - 0.55) * 2.0 + 0.8 + 0.2 * x1);
+    }
+    d
+}
+
+fn split(mut d: Dataset, seed: u64) -> (Dataset, Dataset) {
+    d.shuffle(seed);
+    d.split(0.8)
+}
+
+#[test]
+fn on_linear_tasks_all_linear_models_agree() {
+    let (train, test) = split(linear_task(300, 0.02, 7), 1);
+    let ols = train_ols(&train);
+    let ridge = train_ridge(&train, 1e-6);
+    let lasso = train_lasso(&train, &LassoParams { lambda: 1e-8, ..Default::default() });
+    let svr = train_svr(&train, &SvrParams { c: 100.0, epsilon: 0.01, ..SvrParams::paper_speedup() });
+    for model_preds in [
+        ols.predict_batch(test.xs()),
+        ridge.predict_batch(test.xs()),
+        lasso.predict_batch(test.xs()),
+        svr.predict_batch(test.xs()),
+    ] {
+        let e = rmse(test.ys(), &model_preds);
+        assert!(e < 0.03, "rmse {e}");
+    }
+}
+
+#[test]
+fn linear_models_fail_on_the_parabola_where_rbf_and_poly_succeed() {
+    // The paper's justification for RBF on normalized energy: the
+    // relation "is not linear ... parabolic behavior with a minimum".
+    let (train, test) = split(parabola_task(300, 9), 2);
+    let ols = train_ols(&train);
+    let ols_rmse = rmse(test.ys(), &ols.predict_batch(test.xs()));
+    let poly = train_poly(&train, 1e-9);
+    let poly_rmse = rmse(test.ys(), &poly.predict_batch(test.xs()));
+    let rbf = train_svr(
+        &train,
+        &SvrParams {
+            c: 100.0,
+            epsilon: 0.005,
+            kernel: SvmKernel::Rbf { gamma: 2.0 },
+            ..SvrParams::paper_energy()
+        },
+    );
+    let rbf_rmse = rmse(test.ys(), &rbf.predict_batch(test.xs()));
+    assert!(poly_rmse < ols_rmse / 3.0, "poly {poly_rmse} vs ols {ols_rmse}");
+    assert!(rbf_rmse < ols_rmse / 3.0, "rbf {rbf_rmse} vs ols {ols_rmse}");
+}
+
+#[test]
+fn scaling_pipeline_preserves_model_quality() {
+    // Fit scaler on train only, apply to both — no leakage, no loss.
+    let (train, test) = split(linear_task(200, 0.01, 3), 5);
+    let scaler = MinMaxScaler::fit(train.xs());
+    let train_s = train.map_rows(|r| scaler.transform(r));
+    let test_s = test.map_rows(|r| scaler.transform(r));
+    let svr = train_svr(
+        &train_s,
+        &SvrParams { c: 100.0, epsilon: 0.01, ..SvrParams::paper_speedup() },
+    );
+    let e = rmse(test_s.ys(), &svr.predict_batch(test_s.xs()));
+    assert!(e < 0.03, "rmse {e}");
+}
+
+#[test]
+fn epsilon_bounds_training_residuals() {
+    // Converged ε-SVR leaves every non-support residual within the tube.
+    let data = linear_task(150, 0.0, 11);
+    for eps in [0.2, 0.05, 0.01] {
+        let model = train_svr(
+            &data,
+            &SvrParams { c: 1000.0, epsilon: eps, max_iter: 0, ..SvrParams::paper_speedup() },
+        );
+        let worst = data
+            .xs()
+            .iter()
+            .zip(data.ys())
+            .map(|(x, y)| (model.predict(x) - y).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst < eps + 0.01, "eps {eps}: worst residual {worst}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// OLS on exactly-linear data recovers predictions regardless of
+    /// the coefficient scale.
+    #[test]
+    fn ols_scale_invariance(a in -5.0f64..5.0, b in -5.0f64..5.0, c in -5.0f64..5.0) {
+        let mut d = Dataset::new();
+        for i in 0..40 {
+            let x0 = i as f64 / 40.0;
+            let x1 = ((i * 13) % 40) as f64 / 40.0;
+            d.push(vec![x0, x1], a * x0 + b * x1 + c);
+        }
+        let m = train_ols(&d);
+        for i in 0..40 {
+            let (x, y) = d.sample(i);
+            prop_assert!((m.predict(x) - y).abs() < 1e-6);
+        }
+    }
+
+    /// SVR predictions are permutation-invariant in the training order.
+    #[test]
+    fn svr_order_invariance(seed in 0u64..100) {
+        let base = linear_task(60, 0.01, 42);
+        let mut shuffled = base.clone();
+        shuffled.shuffle(seed);
+        let p = SvrParams { c: 50.0, epsilon: 0.01, ..SvrParams::paper_speedup() };
+        let m1 = train_svr(&base, &p);
+        let m2 = train_svr(&shuffled, &p);
+        for i in 0..10 {
+            let x = [i as f64 / 10.0, 0.5];
+            prop_assert!((m1.predict(&x) - m2.predict(&x)).abs() < 0.02);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Extreme-point accuracy metrics (Table 2, right-hand columns).
+//!
+//! §4.5 additionally scores how well the predicted set finds the two
+//! *extreme* dominant points: the configuration with maximum speedup
+//! and the one with minimum normalized energy. The reported metric is
+//! the per-objective absolute distance between the true extreme point
+//! and the predicted one, as a `(Δspeedup, Δenergy)` pair.
+
+use crate::point::Objectives;
+use serde::{Deserialize, Serialize};
+
+/// Component-wise distance between a true and a predicted extreme point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtremeDistance {
+    /// `|speedup_true − speedup_predicted|`.
+    pub d_speedup: f64,
+    /// `|energy_true − energy_predicted|`.
+    pub d_energy: f64,
+}
+
+impl ExtremeDistance {
+    /// Both components are (near) zero — the extreme point was
+    /// predicted exactly.
+    pub fn is_exact(&self, tol: f64) -> bool {
+        self.d_speedup <= tol && self.d_energy <= tol
+    }
+}
+
+/// The point with maximum speedup (ties broken by lower energy).
+pub fn max_speedup_point(points: &[Objectives]) -> Option<Objectives> {
+    points
+        .iter()
+        .copied()
+        .max_by(|a, b| {
+            a.speedup
+                .partial_cmp(&b.speedup)
+                .expect("no NaNs in objectives")
+                .then(b.energy.partial_cmp(&a.energy).expect("no NaNs in objectives"))
+        })
+}
+
+/// The point with minimum normalized energy (ties broken by higher
+/// speedup).
+pub fn min_energy_point(points: &[Objectives]) -> Option<Objectives> {
+    points
+        .iter()
+        .copied()
+        .min_by(|a, b| {
+            a.energy
+                .partial_cmp(&b.energy)
+                .expect("no NaNs in objectives")
+                .then(b.speedup.partial_cmp(&a.speedup).expect("no NaNs in objectives"))
+        })
+}
+
+/// Table 2's two extreme-point distance columns: distances between the
+/// true and predicted max-speedup points and min-energy points.
+///
+/// Returns `None` if either set is empty.
+pub fn extreme_point_distances(
+    real: &[Objectives],
+    predicted: &[Objectives],
+) -> Option<(ExtremeDistance, ExtremeDistance)> {
+    let max_s = distance_pair(max_speedup_point(real)?, max_speedup_point(predicted)?);
+    let min_e = distance_pair(min_energy_point(real)?, min_energy_point(predicted)?);
+    Some((max_s, min_e))
+}
+
+fn distance_pair(a: Objectives, b: Objectives) -> ExtremeDistance {
+    ExtremeDistance { d_speedup: (a.speedup - b.speedup).abs(), d_energy: (a.energy - b.energy).abs() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Objectives> {
+        v.iter().map(|&(s, e)| Objectives::new(s, e)).collect()
+    }
+
+    #[test]
+    fn extremes_of_a_front() {
+        let p = pts(&[(0.6, 0.6), (1.0, 1.0), (1.2, 1.4)]);
+        assert_eq!(max_speedup_point(&p).unwrap(), Objectives::new(1.2, 1.4));
+        assert_eq!(min_energy_point(&p).unwrap(), Objectives::new(0.6, 0.6));
+    }
+
+    #[test]
+    fn ties_prefer_the_dominant_point() {
+        let p = pts(&[(1.2, 1.4), (1.2, 1.1)]);
+        assert_eq!(max_speedup_point(&p).unwrap(), Objectives::new(1.2, 1.1));
+        let q = pts(&[(0.6, 0.6), (0.9, 0.6)]);
+        assert_eq!(min_energy_point(&q).unwrap(), Objectives::new(0.9, 0.6));
+    }
+
+    #[test]
+    fn exact_prediction_gives_zero_distances() {
+        let real = pts(&[(0.7, 0.65), (1.15, 1.3)]);
+        let (ms, me) = extreme_point_distances(&real, &real).unwrap();
+        assert!(ms.is_exact(0.0));
+        assert!(me.is_exact(0.0));
+    }
+
+    #[test]
+    fn misprediction_measured_per_component() {
+        let real = pts(&[(1.2, 1.4), (0.6, 0.6)]);
+        let predicted = pts(&[(1.15, 1.35), (0.65, 0.7)]);
+        let (ms, me) = extreme_point_distances(&real, &predicted).unwrap();
+        assert!((ms.d_speedup - 0.05).abs() < 1e-12);
+        assert!((ms.d_energy - 0.05).abs() < 1e-12);
+        assert!((me.d_speedup - 0.05).abs() < 1e-12);
+        assert!((me.d_energy - 0.1).abs() < 1e-12);
+        assert!(!me.is_exact(1e-3));
+    }
+
+    #[test]
+    fn empty_sets_yield_none() {
+        assert!(extreme_point_distances(&[], &pts(&[(1.0, 1.0)])).is_none());
+        assert!(extreme_point_distances(&pts(&[(1.0, 1.0)]), &[]).is_none());
+        assert!(max_speedup_point(&[]).is_none());
+    }
+}

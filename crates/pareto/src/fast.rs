@@ -1,0 +1,121 @@
+//! `O(n log n)` Pareto front via sort-and-scan.
+//!
+//! The paper remarks that "faster algorithms with lower asymptotic
+//! complexity are available" [Li et al.]; for two objectives the
+//! classic approach sorts by speedup descending (energy ascending as
+//! tie-break) and keeps a running minimum of energy. Used both as a
+//! faster production path and as an independent oracle for testing
+//! Algorithm 1.
+
+use crate::point::Objectives;
+
+/// Indices of the non-dominated points, ascending by index.
+pub fn pareto_set_fast(points: &[Objectives]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    // Sort: speedup descending; among equal speedups, energy ascending.
+    order.sort_by(|&a, &b| {
+        points[b]
+            .speedup
+            .partial_cmp(&points[a].speedup)
+            .expect("no NaNs in objectives")
+            .then(points[a].energy.partial_cmp(&points[b].energy).expect("no NaNs in objectives"))
+    });
+    let mut front = Vec::new();
+    let mut best_energy = f64::INFINITY;
+    let mut i = 0;
+    while i < order.len() {
+        // Process ties in speedup together: a point with equal speedup
+        // and strictly higher energy than another in the tie group is
+        // dominated, but equal (speedup, energy) duplicates are kept
+        // (they do not dominate each other under the strict definition).
+        let tie_start = i;
+        let s = points[order[i]].speedup;
+        while i < order.len() && points[order[i]].speedup == s {
+            i += 1;
+        }
+        let group_min_energy = points[order[tie_start]].energy; // sorted ascending
+        if group_min_energy < best_energy {
+            for &idx in &order[tie_start..i] {
+                if points[idx].energy == group_min_energy {
+                    front.push(idx);
+                }
+            }
+            best_energy = group_min_energy;
+        } else if group_min_energy == best_energy {
+            // Same energy as a faster point: the faster point dominates
+            // (strictly greater speedup, equal energy). Skip.
+        }
+    }
+    front.sort_unstable();
+    front
+}
+
+/// The non-dominated points themselves, ascending by original index.
+pub fn pareto_front_fast(points: &[Objectives]) -> Vec<Objectives> {
+    pareto_set_fast(points).into_iter().map(|i| points[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::pareto_set_simple;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Objectives> {
+        v.iter().map(|&(s, e)| Objectives::new(s, e)).collect()
+    }
+
+    fn assert_matches_simple(p: &[Objectives]) {
+        let mut a = pareto_set_fast(p);
+        let mut b = pareto_set_simple(p);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "fast and simple disagree on {p:?}");
+    }
+
+    #[test]
+    fn agrees_with_simple_on_basic_cases() {
+        assert_matches_simple(&pts(&[(1.0, 1.0), (1.2, 0.8), (0.9, 0.9), (1.1, 0.9)]));
+        assert_matches_simple(&pts(&[(0.6, 0.6), (0.8, 0.7), (1.0, 0.85), (1.2, 1.1)]));
+        assert_matches_simple(&pts(&[]));
+        assert_matches_simple(&pts(&[(1.0, 1.0)]));
+    }
+
+    #[test]
+    fn handles_speedup_ties() {
+        // Same speedup, different energies: only the cheapest survives.
+        let p = pts(&[(1.0, 1.0), (1.0, 0.8), (1.0, 1.2)]);
+        assert_eq!(pareto_set_fast(&p), vec![1]);
+        assert_matches_simple(&p);
+    }
+
+    #[test]
+    fn keeps_exact_duplicates() {
+        let p = pts(&[(1.0, 0.9), (1.0, 0.9), (0.5, 1.5)]);
+        assert_eq!(pareto_set_fast(&p), vec![0, 1]);
+        assert_matches_simple(&p);
+    }
+
+    #[test]
+    fn equal_energy_faster_point_wins() {
+        let p = pts(&[(1.0, 0.8), (1.2, 0.8)]);
+        assert_eq!(pareto_set_fast(&p), vec![1]);
+        assert_matches_simple(&p);
+    }
+
+    #[test]
+    fn pseudo_random_agreement() {
+        // Deterministic LCG grid — no external RNG needed.
+        let mut state: u64 = 0x2545F4914F6CDD1D;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for trial in 0..50 {
+            let n = 3 + (trial % 40);
+            let p: Vec<Objectives> = (0..n)
+                .map(|_| Objectives::new(0.2 + 1.3 * next(), 0.4 + 1.4 * next()))
+                .collect();
+            assert_matches_simple(&p);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Hypervolume indicator and binary coverage difference.
+//!
+//! §4.5 evaluates predicted Pareto sets with the *binary hypervolume
+//! metric* `D(P*, P′) = HV(P* + P′) − HV(P′)` (Zitzler), with reference
+//! point `(0.0, 2.0)`: speedup is maximized, normalized energy is
+//! minimized, so a point's dominated region stretches from the
+//! reference corner to the point.
+
+use crate::fast::pareto_front_fast;
+use crate::point::Objectives;
+
+/// The paper's reference point: zero speedup, 2× baseline energy.
+pub const PAPER_REFERENCE: Objectives = Objectives { speedup: 0.0, energy: 2.0 };
+
+/// 2-D hypervolume of the region dominated by `points` with respect to
+/// `reference`.
+///
+/// A point contributes only where it beats the reference in both
+/// objectives (speedup above `reference.speedup`, energy below
+/// `reference.energy`); points outside that quadrant add nothing.
+pub fn hypervolume(points: &[Objectives], reference: Objectives) -> f64 {
+    // Reduce to the non-dominated set, keep the contributing quadrant,
+    // then sweep by speedup descending, accumulating strips.
+    let mut front: Vec<Objectives> = pareto_front_fast(points)
+        .into_iter()
+        .filter(|p| p.speedup > reference.speedup && p.energy < reference.energy)
+        .collect();
+    front.sort_by(|a, b| b.speedup.partial_cmp(&a.speedup).expect("no NaNs in objectives"));
+    let mut hv = 0.0;
+    let mut energy_ceiling = reference.energy;
+    // Iterate from the fastest point down; each point adds the strip
+    // between its own energy and the ceiling left by faster points:
+    // hv = Σ (s_i − s_ref) · (e_{i−1} − e_i) with e_0 = e_ref.
+    for p in front {
+        if p.energy >= energy_ceiling {
+            continue; // adds nothing (dominated in the clipped space)
+        }
+        hv += (p.speedup - reference.speedup) * (energy_ceiling - p.energy);
+        energy_ceiling = p.energy;
+    }
+    hv
+}
+
+/// Binary coverage difference `D(a, b) = HV(a ∪ b) − HV(b)` (§4.5):
+/// how much of the space dominated by `a` is *not* covered by `b`.
+/// Zero means `b` covers everything `a` dominates.
+pub fn coverage_difference(a: &[Objectives], b: &[Objectives], reference: Objectives) -> f64 {
+    let mut union: Vec<Objectives> = a.to_vec();
+    union.extend_from_slice(b);
+    hypervolume(&union, reference) - hypervolume(b, reference)
+}
+
+/// `D(P*, P′)` with the paper's reference point `(0.0, 2.0)`.
+pub fn paper_coverage_difference(real_front: &[Objectives], predicted: &[Objectives]) -> f64 {
+    coverage_difference(real_front, predicted, PAPER_REFERENCE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Objectives> {
+        v.iter().map(|&(s, e)| Objectives::new(s, e)).collect()
+    }
+
+    #[test]
+    fn single_point_rectangle() {
+        // (1.0, 1.0) vs reference (0, 2): area = 1.0 * 1.0 = 1.0.
+        let hv = hypervolume(&pts(&[(1.0, 1.0)]), PAPER_REFERENCE);
+        assert!((hv - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominated_point_adds_nothing() {
+        let lone = hypervolume(&pts(&[(1.2, 0.8)]), PAPER_REFERENCE);
+        let with_dominated = hypervolume(&pts(&[(1.2, 0.8), (1.0, 1.0)]), PAPER_REFERENCE);
+        assert!((lone - with_dominated).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_trade_off_points() {
+        // (1.0, 1.0) and (0.5, 0.5) vs (0,2):
+        // sweep: (1.0,1.0): 1.0*1.0 = 1.0; (0.5,0.5): 0.5*(1.0-0.5)=0.25.
+        let hv = hypervolume(&pts(&[(1.0, 1.0), (0.5, 0.5)]), PAPER_REFERENCE);
+        assert!((hv - 1.25).abs() < 1e-12, "hv {hv}");
+    }
+
+    #[test]
+    fn points_outside_reference_quadrant_ignored() {
+        let hv = hypervolume(&pts(&[(1.0, 2.5), (-0.1, 1.0)]), PAPER_REFERENCE);
+        assert_eq!(hv, 0.0);
+    }
+
+    #[test]
+    fn hypervolume_is_monotone_in_added_points() {
+        let base = pts(&[(0.8, 1.2), (1.1, 1.5)]);
+        let mut more = base.clone();
+        more.push(Objectives::new(1.0, 0.6));
+        assert!(hypervolume(&more, PAPER_REFERENCE) >= hypervolume(&base, PAPER_REFERENCE));
+    }
+
+    #[test]
+    fn coverage_difference_zero_when_covered() {
+        let better = pts(&[(1.2, 0.7)]);
+        let worse = pts(&[(1.0, 1.0)]);
+        // `better` covers everything `worse` dominates.
+        let d = coverage_difference(&worse, &better, PAPER_REFERENCE);
+        assert!(d.abs() < 1e-12);
+        // But not vice versa.
+        let d2 = coverage_difference(&better, &worse, PAPER_REFERENCE);
+        assert!(d2 > 0.0);
+    }
+
+    #[test]
+    fn identical_sets_have_zero_difference() {
+        let p = pts(&[(1.0, 1.0), (0.6, 0.6), (1.2, 1.4)]);
+        assert!(paper_coverage_difference(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_difference_is_nonnegative() {
+        let a = pts(&[(0.9, 0.9), (1.15, 1.3), (0.5, 0.55)]);
+        let b = pts(&[(1.0, 1.0), (0.7, 0.6)]);
+        assert!(coverage_difference(&a, &b, PAPER_REFERENCE) >= 0.0);
+        assert!(coverage_difference(&b, &a, PAPER_REFERENCE) >= 0.0);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_double_count() {
+        let once = hypervolume(&pts(&[(1.0, 1.0)]), PAPER_REFERENCE);
+        let twice = hypervolume(&pts(&[(1.0, 1.0), (1.0, 1.0)]), PAPER_REFERENCE);
+        assert!((once - twice).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,98 @@
+//! The bi-objective point type and Pareto dominance.
+//!
+//! The paper's two objectives (§3.4): **speedup** over the default
+//! configuration (maximize) and **normalized energy** (minimize). A
+//! point dominates another if it is at least as good in both objectives
+//! and strictly better in one.
+
+use serde::{Deserialize, Serialize};
+
+/// One candidate solution in objective space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Objectives {
+    /// Speedup over the default configuration — maximized.
+    pub speedup: f64,
+    /// Energy normalized to the default configuration — minimized.
+    pub energy: f64,
+}
+
+impl Objectives {
+    /// Construct a point.
+    pub fn new(speedup: f64, energy: f64) -> Objectives {
+        Objectives { speedup, energy }
+    }
+
+    /// Pareto dominance (the paper's definition, §3.4):
+    /// `self ≺ other` iff
+    /// * `speedup ≥` and `energy <`, or
+    /// * `speedup >` and `energy ≤`.
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        (self.speedup >= other.speedup && self.energy < other.energy)
+            || (self.speedup > other.speedup && self.energy <= other.energy)
+    }
+
+    /// Neither dominates the other (incomparable or equal).
+    pub fn non_dominated_pair(&self, other: &Objectives) -> bool {
+        !self.dominates(other) && !other.dominates(self)
+    }
+
+    /// Euclidean distance in objective space — used for the paper's
+    /// extreme-point distance metric (Table 2).
+    pub fn distance(&self, other: &Objectives) -> f64 {
+        let ds = self.speedup - other.speedup;
+        let de = self.energy - other.energy;
+        (ds * ds + de * de).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_dominance() {
+        let better = Objectives::new(1.2, 0.8);
+        let worse = Objectives::new(1.0, 1.0);
+        assert!(better.dominates(&worse));
+        assert!(!worse.dominates(&better));
+    }
+
+    #[test]
+    fn equal_points_do_not_dominate() {
+        let a = Objectives::new(1.0, 1.0);
+        assert!(!a.dominates(&a));
+        assert!(a.non_dominated_pair(&a));
+    }
+
+    #[test]
+    fn single_objective_improvement_dominates() {
+        let base = Objectives::new(1.0, 1.0);
+        assert!(Objectives::new(1.1, 1.0).dominates(&base));
+        assert!(Objectives::new(1.0, 0.9).dominates(&base));
+    }
+
+    #[test]
+    fn trade_offs_are_incomparable() {
+        let fast_hungry = Objectives::new(1.3, 1.2);
+        let slow_frugal = Objectives::new(0.8, 0.7);
+        assert!(fast_hungry.non_dominated_pair(&slow_frugal));
+    }
+
+    #[test]
+    fn dominance_is_transitive() {
+        let a = Objectives::new(1.3, 0.7);
+        let b = Objectives::new(1.1, 0.9);
+        let c = Objectives::new(1.0, 1.0);
+        assert!(a.dominates(&b));
+        assert!(b.dominates(&c));
+        assert!(a.dominates(&c));
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Objectives::new(0.0, 0.0);
+        let b = Objectives::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.distance(&a), 5.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Hypervolume correctness against a brute-force Monte-Carlo-free grid
+//! oracle, plus algebraic identities of the coverage difference.
+
+use gpufreq_pareto::{
+    coverage_difference, hypervolume, pareto_front_simple, Objectives, PAPER_REFERENCE,
+};
+use proptest::prelude::*;
+
+/// Grid-rasterized hypervolume: count cells of a fine grid dominated by
+/// at least one point. Slow but independent of the sweep algorithm.
+fn grid_hypervolume(points: &[Objectives], reference: Objectives, cells: usize) -> f64 {
+    // The grid spans [ref.speedup, max speedup] x [min energy, ref.energy].
+    let s_hi = points.iter().map(|p| p.speedup).fold(reference.speedup, f64::max);
+    let e_lo = points.iter().map(|p| p.energy).fold(reference.energy, f64::min);
+    if s_hi <= reference.speedup || e_lo >= reference.energy {
+        return 0.0;
+    }
+    let ds = (s_hi - reference.speedup) / cells as f64;
+    let de = (reference.energy - e_lo) / cells as f64;
+    let mut covered = 0usize;
+    for a in 0..cells {
+        let s = reference.speedup + (a as f64 + 0.5) * ds;
+        for b in 0..cells {
+            let e = e_lo + (b as f64 + 0.5) * de;
+            // Cell center is dominated if some point has speedup >= s
+            // and energy <= e (within the reference quadrant).
+            if points.iter().any(|p| {
+                p.speedup >= s && p.energy <= e && p.speedup > reference.speedup && p.energy < reference.energy
+            }) {
+                covered += 1;
+            }
+        }
+    }
+    covered as f64 * ds * de
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sweep_matches_grid_oracle(
+        points in prop::collection::vec((0.05f64..1.8, 0.05f64..1.9), 1..12)
+    ) {
+        let objs: Vec<Objectives> =
+            points.iter().map(|&(s, e)| Objectives::new(s, e)).collect();
+        let exact = hypervolume(&objs, PAPER_REFERENCE);
+        let approx = grid_hypervolume(&objs, PAPER_REFERENCE, 256);
+        // The grid is accurate to about one cell-row of area.
+        let s_hi = objs.iter().map(|p| p.speedup).fold(0.0, f64::max);
+        let tolerance = 3.0 * (s_hi.max(2.0) * 2.0) / 256.0;
+        prop_assert!(
+            (exact - approx).abs() < tolerance,
+            "sweep {exact} vs grid {approx} (tol {tolerance})"
+        );
+    }
+
+    /// D(a, b) + HV(b) = HV(a ∪ b) — the defining identity (§4.5).
+    #[test]
+    fn coverage_difference_identity(
+        a in prop::collection::vec((0.05f64..1.8, 0.05f64..1.9), 1..10),
+        b in prop::collection::vec((0.05f64..1.8, 0.05f64..1.9), 1..10)
+    ) {
+        let pa: Vec<Objectives> = a.iter().map(|&(s, e)| Objectives::new(s, e)).collect();
+        let pb: Vec<Objectives> = b.iter().map(|&(s, e)| Objectives::new(s, e)).collect();
+        let mut union = pa.clone();
+        union.extend_from_slice(&pb);
+        let d = coverage_difference(&pa, &pb, PAPER_REFERENCE);
+        let identity = hypervolume(&union, PAPER_REFERENCE) - hypervolume(&pb, PAPER_REFERENCE);
+        prop_assert!((d - identity).abs() < 1e-12);
+        prop_assert!(d >= -1e-12);
+    }
+
+    /// Reducing a set to its Pareto front never changes its hypervolume.
+    #[test]
+    fn front_preserves_hypervolume(
+        points in prop::collection::vec((0.05f64..1.8, 0.05f64..1.9), 1..30)
+    ) {
+        let objs: Vec<Objectives> =
+            points.iter().map(|&(s, e)| Objectives::new(s, e)).collect();
+        let front = pareto_front_simple(&objs);
+        let hv_all = hypervolume(&objs, PAPER_REFERENCE);
+        let hv_front = hypervolume(&front, PAPER_REFERENCE);
+        prop_assert!((hv_all - hv_front).abs() < 1e-12);
+    }
+
+    /// A set always covers itself: D(a, a) = 0.
+    #[test]
+    fn self_coverage_is_zero(
+        points in prop::collection::vec((0.05f64..1.8, 0.05f64..1.9), 1..20)
+    ) {
+        let objs: Vec<Objectives> =
+            points.iter().map(|&(s, e)| Objectives::new(s, e)).collect();
+        prop_assert!(coverage_difference(&objs, &objs, PAPER_REFERENCE).abs() < 1e-12);
+    }
+}

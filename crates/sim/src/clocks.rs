@@ -1,0 +1,440 @@
+//! Clock-domain tables: which `(memory, core)` frequency configurations
+//! a device supports.
+//!
+//! The tables encode the structure the paper reports for the NVIDIA GTX
+//! Titan X (§1, §4.1, Fig. 4a):
+//!
+//! * four memory clocks — 405 (`L`), 810 (`l`), 3304 (`h`), 3505 (`H`) MHz;
+//! * **219** advertised `(mem, core)` configurations in total;
+//! * the NVML quirk: core clocks advertised above 1202 MHz for `l`/`h`/`H`
+//!   are silently clamped to 1202 MHz (the "gray points" of Fig. 4a);
+//! * after clamping, the *actual* distinct core clocks per domain are
+//!   **6** (`L`, up to 405 MHz only), **71** (`l`), **50** (`h`) and
+//!   **50** (`H`);
+//! * the default application-clock configuration is mem 3505 / core 1001.
+//!
+//! A Tesla P100 table (single memory domain, Fig. 4b) is provided for
+//! the portability experiment.
+
+use gpufreq_kernel::FreqConfig;
+use serde::{Deserialize, Serialize};
+
+/// Labels of the four Titan X memory domains, ordered low to high.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MemDomain {
+    /// `mem-L` = 405 MHz.
+    L,
+    /// `mem-l` = 810 MHz.
+    Lo,
+    /// `mem-h` = 3304 MHz.
+    Hi,
+    /// `mem-H` = 3505 MHz.
+    H,
+}
+
+impl MemDomain {
+    /// All four domains, low to high.
+    pub const ALL: [MemDomain; 4] = [MemDomain::L, MemDomain::Lo, MemDomain::Hi, MemDomain::H];
+
+    /// Paper-style label (`Mem-L`, `Mem-l`, `Mem-h`, `Mem-H`).
+    pub fn label(self) -> &'static str {
+        match self {
+            MemDomain::L => "Mem-L",
+            MemDomain::Lo => "Mem-l",
+            MemDomain::Hi => "Mem-h",
+            MemDomain::H => "Mem-H",
+        }
+    }
+
+    /// The Titan X memory clock of this domain in MHz.
+    pub fn titan_x_mhz(self) -> u32 {
+        match self {
+            MemDomain::L => 405,
+            MemDomain::Lo => 810,
+            MemDomain::Hi => 3304,
+            MemDomain::H => 3505,
+        }
+    }
+
+    /// Map a Titan X memory clock back to its domain.
+    pub fn from_mhz(mem_mhz: u32) -> Option<MemDomain> {
+        MemDomain::ALL.iter().copied().find(|d| d.titan_x_mhz() == mem_mhz)
+    }
+}
+
+/// One memory domain: its clock, the core clocks NVML advertises for it,
+/// and the clamp threshold above which advertised clocks are silently
+/// reduced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryDomainClocks {
+    /// Memory clock in MHz.
+    pub mem_mhz: u32,
+    /// Core clocks NVML reports as supported, ascending.
+    pub advertised_core_mhz: Vec<u32>,
+    /// Advertised core clocks above this value are actually set to it.
+    pub clamp_core_mhz: Option<u32>,
+}
+
+impl MemoryDomainClocks {
+    /// The core clock that is actually applied when `core_mhz` is requested.
+    pub fn effective_core(&self, core_mhz: u32) -> u32 {
+        match self.clamp_core_mhz {
+            Some(clamp) => core_mhz.min(clamp),
+            None => core_mhz,
+        }
+    }
+
+    /// Distinct core clocks that can actually be applied, ascending.
+    pub fn actual_core_mhz(&self) -> Vec<u32> {
+        let mut v: Vec<u32> =
+            self.advertised_core_mhz.iter().map(|&c| self.effective_core(c)).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// The full clock table of a device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClockTable {
+    /// Per-memory-domain supported core clocks, ascending by memory clock.
+    pub domains: Vec<MemoryDomainClocks>,
+    /// Default application clocks (the baseline configuration).
+    pub default: FreqConfig,
+}
+
+impl ClockTable {
+    /// Supported memory clocks, ascending (NVML
+    /// `nvmlDeviceGetSupportedMemoryClocks`).
+    pub fn supported_memory_clocks(&self) -> Vec<u32> {
+        self.domains.iter().map(|d| d.mem_mhz).collect()
+    }
+
+    /// The domain entry for `mem_mhz`, if supported.
+    pub fn domain(&self, mem_mhz: u32) -> Option<&MemoryDomainClocks> {
+        self.domains.iter().find(|d| d.mem_mhz == mem_mhz)
+    }
+
+    /// All advertised `(mem, core)` configurations.
+    pub fn advertised_configs(&self) -> Vec<FreqConfig> {
+        self.domains
+            .iter()
+            .flat_map(|d| {
+                d.advertised_core_mhz.iter().map(move |&c| FreqConfig::new(d.mem_mhz, c))
+            })
+            .collect()
+    }
+
+    /// All *actually settable* configurations after clamping, deduped.
+    pub fn actual_configs(&self) -> Vec<FreqConfig> {
+        self.domains
+            .iter()
+            .flat_map(|d| d.actual_core_mhz().into_iter().map(move |c| FreqConfig::new(d.mem_mhz, c)))
+            .collect()
+    }
+
+    /// Actual configurations of a single memory domain.
+    pub fn actual_configs_for(&self, mem_mhz: u32) -> Vec<FreqConfig> {
+        self.domain(mem_mhz)
+            .map(|d| d.actual_core_mhz().into_iter().map(|c| FreqConfig::new(d.mem_mhz, c)).collect())
+            .unwrap_or_default()
+    }
+
+    /// The configuration that is actually applied when requesting `cfg`
+    /// (clamping the core clock), or `None` if the memory clock or the
+    /// advertised core clock is unsupported.
+    pub fn resolve(&self, cfg: FreqConfig) -> Option<FreqConfig> {
+        let d = self.domain(cfg.mem_mhz)?;
+        if !d.advertised_core_mhz.contains(&cfg.core_mhz) {
+            return None;
+        }
+        Some(FreqConfig::new(cfg.mem_mhz, d.effective_core(cfg.core_mhz)))
+    }
+
+    /// Deterministic stratified sample of `n` actual configurations for
+    /// training and evaluation (§3.3 uses 40).
+    ///
+    /// Allocation is water-filling: any domain smaller than its fair
+    /// share contributes *all* of its configurations (the paper's
+    /// sample includes all six mem-L settings), and the remaining
+    /// budget is split evenly over the larger domains, with evenly
+    /// spaced core clocks inside each so domain extremes are always
+    /// included.
+    pub fn sample_configs(&self, n: usize) -> Vec<FreqConfig> {
+        let per_domain: Vec<Vec<FreqConfig>> =
+            self.domains.iter().map(|d| self.actual_configs_for(d.mem_mhz)).collect();
+        let total: usize = per_domain.iter().map(|v| v.len()).sum();
+        if n == 0 || total == 0 {
+            return Vec::new();
+        }
+        if n >= total {
+            return per_domain.concat();
+        }
+        // Water-filling: saturate small domains, split the rest evenly.
+        let mut alloc = vec![0usize; per_domain.len()];
+        let mut active: Vec<usize> = (0..per_domain.len()).collect();
+        let mut budget = n;
+        loop {
+            let fair = budget / active.len().max(1);
+            let saturated: Vec<usize> = active
+                .iter()
+                .copied()
+                .filter(|&i| per_domain[i].len() <= fair)
+                .collect();
+            if saturated.is_empty() {
+                // Distribute the budget over the remaining domains,
+                // spreading the remainder from the largest domain down.
+                let mut order = active.clone();
+                order.sort_by_key(|&i| std::cmp::Reverse(per_domain[i].len()));
+                for (rank, &i) in order.iter().enumerate() {
+                    alloc[i] = fair + usize::from(rank < budget - fair * active.len());
+                }
+                break;
+            }
+            for &i in &saturated {
+                alloc[i] = per_domain[i].len();
+                budget -= alloc[i];
+            }
+            active.retain(|i| !saturated.contains(i));
+            if active.is_empty() {
+                break;
+            }
+        }
+        let mut out = Vec::with_capacity(n);
+        for (configs, k) in per_domain.iter().zip(alloc) {
+            out.extend(evenly_spaced(configs, k));
+        }
+        out
+    }
+}
+
+fn evenly_spaced(v: &[FreqConfig], k: usize) -> Vec<FreqConfig> {
+    if k == 0 || v.is_empty() {
+        return Vec::new();
+    }
+    if k >= v.len() {
+        return v.to_vec();
+    }
+    if k == 1 {
+        return vec![v[v.len() - 1]];
+    }
+    (0..k).map(|i| v[i * (v.len() - 1) / (k - 1)]).collect()
+}
+
+/// Rounded, strictly increasing list of `n` clocks spanning `[lo, hi]`,
+/// with each clock in `force` replacing its nearest neighbour (used to
+/// guarantee landmark clocks such as the 1001 MHz default appear).
+fn clock_list(lo: u32, hi: u32, n: usize, force: &[u32]) -> Vec<u32> {
+    assert!(n >= 2 && hi > lo);
+    let mut v: Vec<u32> = (0..n)
+        .map(|i| lo + ((hi - lo) as f64 * i as f64 / (n - 1) as f64).round() as u32)
+        .collect();
+    for &f in force {
+        let (idx, _) = v
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &c)| c.abs_diff(f))
+            .expect("non-empty clock list");
+        v[idx] = f;
+    }
+    v.sort_unstable();
+    v.dedup();
+    assert_eq!(v.len(), n, "forced clocks must not collide");
+    v
+}
+
+/// Core clock above which `l`/`h`/`H` requests are clamped on the Titan X.
+pub const TITAN_X_CLAMP_MHZ: u32 = 1202;
+
+/// The Titan X default application clocks (mem 3505, core 1001).
+pub const TITAN_X_DEFAULT: FreqConfig = FreqConfig { mem_mhz: 3505, core_mhz: 1001 };
+
+/// Build the GTX Titan X clock table described in §1 / §4.1 / Fig. 4a.
+pub fn titan_x_clock_table() -> ClockTable {
+    // mem-L: six low core clocks only, no clamping headroom.
+    let mem_l_low = MemoryDomainClocks {
+        mem_mhz: 405,
+        advertised_core_mhz: vec![135, 189, 243, 297, 351, 405],
+        clamp_core_mhz: None,
+    };
+    // Advertised-but-clamped tail shared by the three upper domains:
+    // 14 clocks in (1202, 1392].
+    let clamped_tail = clock_list(1215, 1392, 14, &[]);
+    // mem-l: 71 actual core clocks in [135, 1202] + the clamped tail
+    // (85 advertised).
+    let mut adv_l = clock_list(135, TITAN_X_CLAMP_MHZ, 71, &[1001]);
+    adv_l.extend(&clamped_tail);
+    let mem_l = MemoryDomainClocks {
+        mem_mhz: 810,
+        advertised_core_mhz: adv_l,
+        clamp_core_mhz: Some(TITAN_X_CLAMP_MHZ),
+    };
+    // mem-h / mem-H: 50 actual core clocks in [135, 1202] + the clamped
+    // tail (64 advertised each). 1001 (the default) is forced into the list.
+    let mut adv_h = clock_list(135, TITAN_X_CLAMP_MHZ, 50, &[1001]);
+    adv_h.extend(&clamped_tail);
+    let mem_h = MemoryDomainClocks {
+        mem_mhz: 3304,
+        advertised_core_mhz: adv_h.clone(),
+        clamp_core_mhz: Some(TITAN_X_CLAMP_MHZ),
+    };
+    let mem_hh = MemoryDomainClocks {
+        mem_mhz: 3505,
+        advertised_core_mhz: adv_h,
+        clamp_core_mhz: Some(TITAN_X_CLAMP_MHZ),
+    };
+    ClockTable {
+        domains: vec![mem_l_low, mem_l, mem_h, mem_hh],
+        default: TITAN_X_DEFAULT,
+    }
+}
+
+/// Build the Tesla P100 clock table of Fig. 4b: a single 715 MHz memory
+/// domain with a dense range of core clocks and no clamp quirk.
+pub fn tesla_p100_clock_table() -> ClockTable {
+    let cores = clock_list(544, 1328, 61, &[1189]);
+    ClockTable {
+        domains: vec![MemoryDomainClocks {
+            mem_mhz: 715,
+            advertised_core_mhz: cores,
+            clamp_core_mhz: None,
+        }],
+        default: FreqConfig::new(715, 1189),
+    }
+}
+
+/// Build a Tesla K20c clock table (the platform of Ge et al., which
+/// the paper's related work discusses): two memory clocks (2600 MHz
+/// GDDR5 and a 324 MHz power-save state) with a small set of core
+/// clocks each — much coarser tunability than the Titan X.
+pub fn tesla_k20c_clock_table() -> ClockTable {
+    ClockTable {
+        domains: vec![
+            MemoryDomainClocks {
+                mem_mhz: 324,
+                advertised_core_mhz: vec![324],
+                clamp_core_mhz: None,
+            },
+            MemoryDomainClocks {
+                mem_mhz: 2600,
+                advertised_core_mhz: vec![614, 640, 666, 705, 758],
+                clamp_core_mhz: None,
+            },
+        ],
+        default: FreqConfig::new(2600, 705),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_x_has_four_memory_domains() {
+        let t = titan_x_clock_table();
+        assert_eq!(t.supported_memory_clocks(), vec![405, 810, 3304, 3505]);
+    }
+
+    #[test]
+    fn titan_x_advertises_219_configs() {
+        // The paper's headline count: 219 possible configurations (§1).
+        let t = titan_x_clock_table();
+        assert_eq!(t.advertised_configs().len(), 219);
+    }
+
+    #[test]
+    fn titan_x_actual_core_counts_match_paper() {
+        // §4.1: mem-L supports 6 core clocks, mem-l 71, mem-h/H 50 each.
+        let t = titan_x_clock_table();
+        assert_eq!(t.actual_configs_for(405).len(), 6);
+        assert_eq!(t.actual_configs_for(810).len(), 71);
+        assert_eq!(t.actual_configs_for(3304).len(), 50);
+        assert_eq!(t.actual_configs_for(3505).len(), 50);
+        assert_eq!(t.actual_configs().len(), 177);
+    }
+
+    #[test]
+    fn clamp_quirk_reduces_high_requests() {
+        let t = titan_x_clock_table();
+        let resolved = t.resolve(FreqConfig::new(3505, 1392)).unwrap();
+        assert_eq!(resolved.core_mhz, TITAN_X_CLAMP_MHZ);
+        // mem-L has no headroom to clamp.
+        assert!(t.resolve(FreqConfig::new(405, 405)).is_some());
+        assert!(t.resolve(FreqConfig::new(405, 1392)).is_none());
+    }
+
+    #[test]
+    fn default_config_is_supported() {
+        let t = titan_x_clock_table();
+        let d = t.resolve(t.default).unwrap();
+        assert_eq!(d, TITAN_X_DEFAULT);
+        assert!(t.actual_configs().contains(&TITAN_X_DEFAULT));
+    }
+
+    #[test]
+    fn mem_l_caps_at_405_core() {
+        let t = titan_x_clock_table();
+        let max_core =
+            t.actual_configs_for(405).iter().map(|c| c.core_mhz).max().unwrap();
+        assert_eq!(max_core, 405);
+    }
+
+    #[test]
+    fn unsupported_memory_clock_rejected() {
+        let t = titan_x_clock_table();
+        assert!(t.resolve(FreqConfig::new(1234, 800)).is_none());
+    }
+
+    #[test]
+    fn sample_40_is_stratified() {
+        let t = titan_x_clock_table();
+        let s = t.sample_configs(40);
+        assert_eq!(s.len(), 40);
+        // All six mem-L configurations are included (the paper's
+        // training set contains "only six samples for mem-L" — i.e.
+        // all of them).
+        assert_eq!(s.iter().filter(|c| c.mem_mhz == 405).count(), 6);
+        for mem in [810, 3304, 3505] {
+            let k = s.iter().filter(|c| c.mem_mhz == mem).count();
+            assert!(k >= 10, "domain {mem} got only {k} samples");
+        }
+        // Extremes of each sampled domain are present.
+        assert!(s.contains(&FreqConfig::new(810, 135)));
+        assert!(s.contains(&FreqConfig::new(810, 1202)));
+        assert!(s.contains(&FreqConfig::new(405, 405)));
+        // Deterministic.
+        assert_eq!(s, t.sample_configs(40));
+    }
+
+    #[test]
+    fn sample_all_returns_everything() {
+        let t = titan_x_clock_table();
+        assert_eq!(t.sample_configs(10_000).len(), 177);
+        assert_eq!(t.sample_configs(0).len(), 0);
+    }
+
+    #[test]
+    fn p100_single_domain() {
+        let t = tesla_p100_clock_table();
+        assert_eq!(t.supported_memory_clocks(), vec![715]);
+        assert_eq!(t.actual_configs().len(), 61);
+        assert!(t.resolve(t.default).is_some());
+    }
+
+    #[test]
+    fn clock_list_forces_landmarks() {
+        let v = clock_list(135, 1202, 50, &[1001]);
+        assert_eq!(v.len(), 50);
+        assert!(v.contains(&1001));
+        assert_eq!(v[0], 135);
+        assert_eq!(*v.last().unwrap(), 1202);
+    }
+
+    #[test]
+    fn domain_labels() {
+        assert_eq!(MemDomain::from_mhz(3505), Some(MemDomain::H));
+        assert_eq!(MemDomain::from_mhz(810), Some(MemDomain::Lo));
+        assert_eq!(MemDomain::from_mhz(999), None);
+        assert_eq!(MemDomain::H.label(), "Mem-H");
+    }
+}

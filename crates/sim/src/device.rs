@@ -1,0 +1,265 @@
+//! Device models: micro-architectural and electrical parameters of the
+//! simulated GPUs.
+//!
+//! The numbers are calibrated to public GTX Titan X (Maxwell, GM200)
+//! and Tesla P100 (Pascal, GP100) specifications. Absolute fidelity is
+//! not the goal — what matters for the reproduction is that the model
+//! exposes the *mechanisms* the paper studies: a compute datapath at
+//! the core clock, a memory system at the memory clock, and a
+//! `V²·f`-shaped dynamic-power term on the core domain.
+
+use crate::clocks::{tesla_p100_clock_table, titan_x_clock_table, ClockTable};
+use crate::voltage::VoltageCurve;
+use gpufreq_kernel::ir::InstrClass;
+use serde::{Deserialize, Serialize};
+
+/// Per-instruction-class issue cost in core cycles per work-item
+/// (reciprocal-throughput, not latency — the SMs are assumed to have
+/// enough occupancy to hide latency, which holds for the paper's
+/// throughput-oriented workloads).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpiTable {
+    costs: [f64; 14],
+}
+
+impl CpiTable {
+    /// Maxwell-like issue costs.
+    pub fn maxwell() -> CpiTable {
+        let mut t = CpiTable { costs: [1.0; 14] };
+        t.set(InstrClass::IntAdd, 1.0);
+        t.set(InstrClass::IntMul, 2.0);
+        t.set(InstrClass::IntDiv, 12.0); // emulated in software
+        t.set(InstrClass::IntBitwise, 1.0);
+        t.set(InstrClass::FloatAdd, 1.0);
+        t.set(InstrClass::FloatMul, 1.0);
+        t.set(InstrClass::FloatDiv, 8.0);
+        t.set(InstrClass::SpecialFn, 4.0); // SFU: 32 lanes vs 128 cores
+        t.set(InstrClass::GlobalLoad, 2.0); // issue + address path only
+        t.set(InstrClass::GlobalStore, 2.0);
+        t.set(InstrClass::LocalLoad, 2.0);
+        t.set(InstrClass::LocalStore, 2.0);
+        t.set(InstrClass::Branch, 1.0);
+        t.set(InstrClass::Other, 0.5);
+        t
+    }
+
+    /// Cost for one class.
+    pub fn get(&self, class: InstrClass) -> f64 {
+        self.costs[Self::index(class)]
+    }
+
+    /// Override one class's cost.
+    pub fn set(&mut self, class: InstrClass, cost: f64) {
+        self.costs[Self::index(class)] = cost;
+    }
+
+    fn index(class: InstrClass) -> usize {
+        InstrClass::ALL.iter().position(|&c| c == class).expect("class listed in ALL")
+    }
+}
+
+/// Per-instruction-class *energy* weight (relative switched capacitance
+/// per executed instruction). Heavier units (divider, SFU, memory
+/// datapath) toggle more capacitance per op.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyTable {
+    weights: [f64; 14],
+}
+
+impl EnergyTable {
+    /// Maxwell-like relative energy weights.
+    pub fn maxwell() -> EnergyTable {
+        let mut t = EnergyTable { weights: [1.0; 14] };
+        t.set(InstrClass::IntAdd, 1.0);
+        t.set(InstrClass::IntMul, 1.8);
+        t.set(InstrClass::IntDiv, 6.0);
+        t.set(InstrClass::IntBitwise, 0.9);
+        t.set(InstrClass::FloatAdd, 1.2);
+        t.set(InstrClass::FloatMul, 1.6);
+        t.set(InstrClass::FloatDiv, 6.0);
+        t.set(InstrClass::SpecialFn, 4.5);
+        t.set(InstrClass::GlobalLoad, 3.0); // core-side LSU energy
+        t.set(InstrClass::GlobalStore, 3.0);
+        t.set(InstrClass::LocalLoad, 1.5);
+        t.set(InstrClass::LocalStore, 1.5);
+        t.set(InstrClass::Branch, 0.8);
+        t.set(InstrClass::Other, 0.4);
+        t
+    }
+
+    /// Weight for one class.
+    pub fn get(&self, class: InstrClass) -> f64 {
+        self.weights[CpiTable::index(class)]
+    }
+
+    /// Override one class's weight.
+    pub fn set(&mut self, class: InstrClass, w: f64) {
+        self.weights[CpiTable::index(class)] = w;
+    }
+}
+
+/// Full specification of a simulated device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. `"GTX Titan X"`.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Scalar cores per SM.
+    pub cores_per_sm: u32,
+    /// DRAM bytes transferred per memory-clock cycle at 100% efficiency
+    /// (bus width × DDR factor).
+    pub bytes_per_mem_clock: f64,
+    /// Achievable fraction of peak DRAM bandwidth for coalesced access.
+    pub mem_efficiency: f64,
+    /// Issue-cost table (cycles per instruction per work-item).
+    pub cpi: CpiTable,
+    /// Energy-weight table (relative capacitance per instruction).
+    pub energy: EnergyTable,
+    /// Core voltage curve.
+    pub voltage: VoltageCurve,
+    /// Supported clock configurations.
+    pub clocks: ClockTable,
+    /// Fixed board power that does not scale with clocks (fan, VRM
+    /// losses, PCB) in watts.
+    pub board_power_w: f64,
+    /// Core-domain leakage power coefficient (W per volt at nominal
+    /// temperature): `P_leak = leakage_w_per_v · V`.
+    pub leakage_w_per_v: f64,
+    /// Core dynamic-power scale (W at V=1, f=1 GHz, full activity).
+    pub core_dyn_w: f64,
+    /// Memory dynamic-power scale (W at f_mem=1 GHz, full utilization).
+    pub mem_dyn_w: f64,
+    /// Memory static/refresh power per GHz of memory clock (W).
+    pub mem_static_w_per_ghz: f64,
+    /// Fixed per-launch overhead in microseconds (driver + dispatch).
+    pub launch_overhead_us: f64,
+}
+
+impl DeviceSpec {
+    /// The GTX Titan X model used throughout the paper's evaluation.
+    ///
+    /// 24 SMs × 128 cores, 384-bit GDDR5 (48 B / memory clock × DDR ≈
+    /// 96 B effective per MT/s-clock — NVML reports the MT/s rate, so a
+    /// 3505 MHz "clock" with a 384-bit bus moves 48 bytes per reported
+    /// clock tick × 2 for DDR = 336 GB/s peak, matching the card).
+    pub fn titan_x() -> DeviceSpec {
+        DeviceSpec {
+            name: "GTX Titan X".to_string(),
+            sm_count: 24,
+            cores_per_sm: 128,
+            bytes_per_mem_clock: 96.0,
+            mem_efficiency: 0.80,
+            cpi: CpiTable::maxwell(),
+            energy: EnergyTable::maxwell(),
+            voltage: VoltageCurve::titan_x(),
+            clocks: titan_x_clock_table(),
+            board_power_w: 18.0,
+            leakage_w_per_v: 38.0,
+            core_dyn_w: 70.0,
+            mem_dyn_w: 14.0,
+            mem_static_w_per_ghz: 5.0,
+            launch_overhead_us: 6.0,
+        }
+    }
+
+    /// The Tesla P100 model of Fig. 4b (single memory domain).
+    pub fn tesla_p100() -> DeviceSpec {
+        DeviceSpec {
+            name: "Tesla P100".to_string(),
+            sm_count: 56,
+            cores_per_sm: 64,
+            // HBM2: 4096-bit bus; NVML reports 715 MHz → 732 GB/s peak.
+            bytes_per_mem_clock: 1024.0,
+            mem_efficiency: 0.75,
+            cpi: CpiTable::maxwell(),
+            energy: EnergyTable::maxwell(),
+            voltage: VoltageCurve::tesla_p100(),
+            clocks: tesla_p100_clock_table(),
+            board_power_w: 20.0,
+            leakage_w_per_v: 45.0,
+            core_dyn_w: 120.0,
+            mem_dyn_w: 20.0,
+            mem_static_w_per_ghz: 25.0,
+            launch_overhead_us: 6.0,
+        }
+    }
+
+    /// A Tesla K20c model (Kepler, GK110) — the platform of the DVFS
+    /// measurement study the paper's related work builds on (Ge et
+    /// al.). Coarse clock tables: five core clocks at the full memory
+    /// clock plus one power-save state.
+    pub fn tesla_k20c() -> DeviceSpec {
+        DeviceSpec {
+            name: "Tesla K20c".to_string(),
+            sm_count: 13,
+            cores_per_sm: 192,
+            // 320-bit GDDR5 at 2600 MHz reported clock → 208 GB/s peak.
+            bytes_per_mem_clock: 80.0,
+            mem_efficiency: 0.75,
+            cpi: CpiTable::maxwell(),
+            energy: EnergyTable::maxwell(),
+            voltage: VoltageCurve {
+                v_min: 0.9,
+                v_max: 1.17,
+                f_knee_mhz: 500.0,
+                f_max_mhz: 758.0,
+            },
+            clocks: crate::clocks::tesla_k20c_clock_table(),
+            board_power_w: 16.0,
+            leakage_w_per_v: 40.0,
+            core_dyn_w: 95.0,
+            mem_dyn_w: 12.0,
+            mem_static_w_per_ghz: 6.0,
+            launch_overhead_us: 8.0,
+        }
+    }
+
+    /// Total scalar cores.
+    pub fn total_cores(&self) -> u32 {
+        self.sm_count * self.cores_per_sm
+    }
+
+    /// Peak DRAM bandwidth in bytes/s at `f_mem` MHz.
+    pub fn peak_bandwidth(&self, mem_mhz: u32) -> f64 {
+        self.bytes_per_mem_clock * mem_mhz as f64 * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_x_shape() {
+        let d = DeviceSpec::titan_x();
+        assert_eq!(d.total_cores(), 3072);
+        // 336 GB/s class card at the default memory clock.
+        let bw = d.peak_bandwidth(3505) / 1e9;
+        assert!((330.0..345.0).contains(&bw), "peak bw {bw} GB/s");
+    }
+
+    #[test]
+    fn p100_bandwidth() {
+        let d = DeviceSpec::tesla_p100();
+        let bw = d.peak_bandwidth(715) / 1e9;
+        assert!((700.0..760.0).contains(&bw), "peak bw {bw} GB/s");
+    }
+
+    #[test]
+    fn cpi_overrides() {
+        let mut t = CpiTable::maxwell();
+        assert_eq!(t.get(InstrClass::FloatAdd), 1.0);
+        t.set(InstrClass::FloatAdd, 2.5);
+        assert_eq!(t.get(InstrClass::FloatAdd), 2.5);
+    }
+
+    #[test]
+    fn divider_and_sfu_are_expensive() {
+        let t = CpiTable::maxwell();
+        assert!(t.get(InstrClass::IntDiv) > 4.0 * t.get(InstrClass::IntAdd));
+        assert!(t.get(InstrClass::SpecialFn) > t.get(InstrClass::FloatMul));
+        let e = EnergyTable::maxwell();
+        assert!(e.get(InstrClass::SpecialFn) > e.get(InstrClass::IntAdd));
+    }
+}

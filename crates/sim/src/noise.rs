@@ -1,0 +1,113 @@
+//! Seeded measurement-noise model.
+//!
+//! Real NVML measurements jitter run to run (sensor quantization,
+//! temperature drift, other board activity). The simulator is
+//! deterministic by default — which makes the whole reproduction
+//! deterministic — but tests and robustness experiments can inject
+//! multiplicative Gaussian noise on time and power through this model.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Multiplicative Gaussian noise on measured time and power.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Relative standard deviation of execution time (e.g. `0.01` = 1%).
+    pub time_sigma: f64,
+    /// Relative standard deviation of power samples.
+    pub power_sigma: f64,
+    /// RNG seed; the same seed reproduces the same noise sequence.
+    pub seed: u64,
+}
+
+impl NoiseModel {
+    /// Noise model with the given relative sigmas and seed.
+    pub fn new(time_sigma: f64, power_sigma: f64, seed: u64) -> NoiseModel {
+        NoiseModel { time_sigma, power_sigma, seed }
+    }
+
+    /// A stateful sampler for one measurement session.
+    pub fn sampler(&self) -> NoiseSampler {
+        NoiseSampler {
+            rng: SmallRng::seed_from_u64(self.seed),
+            time_sigma: self.time_sigma,
+            power_sigma: self.power_sigma,
+        }
+    }
+}
+
+/// Stateful noise source produced by [`NoiseModel::sampler`].
+#[derive(Debug, Clone)]
+pub struct NoiseSampler {
+    rng: SmallRng,
+    time_sigma: f64,
+    power_sigma: f64,
+}
+
+impl NoiseSampler {
+    /// Perturb an execution time (always returns a positive value).
+    pub fn perturb_time(&mut self, t: f64) -> f64 {
+        (t * (1.0 + self.time_sigma * self.standard_normal())).max(t * 0.1)
+    }
+
+    /// Perturb one power sample (always returns a positive value).
+    pub fn perturb_power(&mut self, p: f64) -> f64 {
+        (p * (1.0 + self.power_sigma * self.standard_normal())).max(p * 0.1)
+    }
+
+    /// Box-Muller standard normal draw.
+    fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut s = NoiseModel::new(0.0, 0.0, 42).sampler();
+        assert_eq!(s.perturb_time(1.5), 1.5);
+        assert_eq!(s.perturb_power(200.0), 200.0);
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let m = NoiseModel::new(0.05, 0.05, 7);
+        let mut a = m.sampler();
+        let mut b = m.sampler();
+        for _ in 0..32 {
+            assert_eq!(a.perturb_time(1.0), b.perturb_time(1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = NoiseModel::new(0.05, 0.05, 1).sampler();
+        let mut b = NoiseModel::new(0.05, 0.05, 2).sampler();
+        let va: Vec<f64> = (0..8).map(|_| a.perturb_time(1.0)).collect();
+        let vb: Vec<f64> = (0..8).map(|_| b.perturb_time(1.0)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn noise_is_roughly_unbiased() {
+        let mut s = NoiseModel::new(0.02, 0.02, 99).sampler();
+        let n = 4000;
+        let mean: f64 = (0..n).map(|_| s.perturb_power(100.0)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn outputs_stay_positive() {
+        let mut s = NoiseModel::new(5.0, 5.0, 3).sampler(); // absurd sigma
+        for _ in 0..256 {
+            assert!(s.perturb_time(1.0) > 0.0);
+            assert!(s.perturb_power(1.0) > 0.0);
+        }
+    }
+}

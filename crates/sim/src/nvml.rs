@@ -1,0 +1,222 @@
+//! An NVML-like management facade over the simulator.
+//!
+//! Mirrors the subset of the NVIDIA Management Library the paper relies
+//! on (§4.1): querying supported memory/graphics clocks, setting and
+//! resetting application clocks, and polling board power. The facade
+//! also reproduces the quirk the authors report: configurations
+//! *advertised* as supported whose core clock silently clamps to
+//! 1202 MHz when applied.
+//!
+//! The API is deliberately shaped like the C library (`device_*`
+//! methods, millwatt power readings) so that code written against it
+//! reads like real NVML tooling.
+
+use crate::device::DeviceSpec;
+use crate::power::average_power;
+use crate::timing::{execution_time, KernelDemand};
+use gpufreq_kernel::{FreqConfig, KernelProfile};
+use parking_lot::Mutex;
+use std::fmt;
+
+/// Errors mirroring NVML return codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NvmlError {
+    /// The clock combination is not advertised (`NVML_ERROR_INVALID_ARGUMENT`).
+    InvalidArgument,
+    /// The feature is not available on this device (`NVML_ERROR_NOT_SUPPORTED`).
+    NotSupported,
+}
+
+impl fmt::Display for NvmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NvmlError::InvalidArgument => f.write_str("NVML: invalid argument"),
+            NvmlError::NotSupported => f.write_str("NVML: not supported"),
+        }
+    }
+}
+
+impl std::error::Error for NvmlError {}
+
+struct DeviceState {
+    applied: FreqConfig,
+    active: Option<KernelProfile>,
+}
+
+/// Handle to one simulated device, NVML-style.
+pub struct NvmlDevice {
+    spec: DeviceSpec,
+    state: Mutex<DeviceState>,
+}
+
+impl NvmlDevice {
+    /// Open a device handle.
+    pub fn new(spec: DeviceSpec) -> NvmlDevice {
+        let applied = spec.clocks.default;
+        NvmlDevice { spec, state: Mutex::new(DeviceState { applied, active: None }) }
+    }
+
+    /// Device name (`nvmlDeviceGetName`).
+    pub fn device_get_name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Supported memory clocks in MHz, ascending
+    /// (`nvmlDeviceGetSupportedMemoryClocks`).
+    pub fn device_get_supported_memory_clocks(&self) -> Vec<u32> {
+        self.spec.clocks.supported_memory_clocks()
+    }
+
+    /// Core clocks advertised for `mem_mhz`
+    /// (`nvmlDeviceGetSupportedGraphicsClocks`). Includes the clocks
+    /// that will silently clamp when applied — exactly like the real
+    /// library.
+    pub fn device_get_supported_graphics_clocks(&self, mem_mhz: u32) -> Result<Vec<u32>, NvmlError> {
+        self.spec
+            .clocks
+            .domain(mem_mhz)
+            .map(|d| d.advertised_core_mhz.clone())
+            .ok_or(NvmlError::InvalidArgument)
+    }
+
+    /// Set application clocks (`nvmlDeviceSetApplicationsClocks`).
+    ///
+    /// Accepts any *advertised* combination; the core clock that is
+    /// actually applied may be lower (the 1202 MHz clamp of §4.1).
+    pub fn device_set_applications_clocks(&self, mem_mhz: u32, core_mhz: u32) -> Result<(), NvmlError> {
+        let effective = self
+            .spec
+            .clocks
+            .resolve(FreqConfig::new(mem_mhz, core_mhz))
+            .ok_or(NvmlError::InvalidArgument)?;
+        self.state.lock().applied = effective;
+        Ok(())
+    }
+
+    /// The clocks currently applied (`nvmlDeviceGetApplicationsClock`) —
+    /// reading this after a set is how the clamp quirk is observed.
+    pub fn device_get_applications_clocks(&self) -> FreqConfig {
+        self.state.lock().applied
+    }
+
+    /// Restore default application clocks
+    /// (`nvmlDeviceResetApplicationsClocks`).
+    pub fn device_reset_applications_clocks(&self) {
+        self.state.lock().applied = self.spec.clocks.default;
+    }
+
+    /// Mark a kernel as currently executing on the device (the
+    /// simulator's stand-in for launching real work).
+    pub fn set_active_workload(&self, profile: Option<KernelProfile>) {
+        self.state.lock().active = profile;
+    }
+
+    /// Instantaneous board power draw in **milliwatts**
+    /// (`nvmlDeviceGetPowerUsage`). Idle power when no workload is
+    /// active.
+    pub fn device_get_power_usage(&self) -> u32 {
+        let state = self.state.lock();
+        let cfg = state.applied;
+        let watts = match &state.active {
+            Some(profile) => {
+                let demand = KernelDemand::from_profile(&self.spec, profile);
+                let timing = execution_time(&self.spec, &demand, cfg);
+                average_power(&self.spec, &demand, cfg, &timing).total_w()
+            }
+            None => {
+                let v = self.spec.voltage.voltage(cfg.core_mhz as f64);
+                self.spec.board_power_w
+                    + self.spec.leakage_w_per_v * v
+                    + self.spec.mem_static_w_per_ghz * cfg.mem_mhz as f64 / 1000.0
+            }
+        };
+        (watts * 1000.0).round() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufreq_kernel::parser::parse;
+    use gpufreq_kernel::{AnalysisConfig, LaunchConfig};
+
+    fn device() -> NvmlDevice {
+        NvmlDevice::new(DeviceSpec::titan_x())
+    }
+
+    fn busy_profile() -> KernelProfile {
+        let prog = parse(
+            "__kernel void k(__global float* x) {
+                uint i = get_global_id(0);
+                float v = x[i];
+                for (int it = 0; it < 128; it += 1) { v = v * 1.5f + 0.5f; }
+                x[i] = v;
+            }",
+        )
+        .unwrap();
+        KernelProfile::from_kernel(
+            prog.first_kernel().unwrap(),
+            &AnalysisConfig::default(),
+            LaunchConfig::new(1 << 20, 256),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn query_supported_clocks() {
+        let d = device();
+        assert_eq!(d.device_get_supported_memory_clocks(), vec![405, 810, 3304, 3505]);
+        let g = d.device_get_supported_graphics_clocks(3505).unwrap();
+        assert!(g.contains(&1001));
+        assert!(g.contains(&1392)); // advertised even though it clamps
+        assert_eq!(d.device_get_supported_graphics_clocks(123), Err(NvmlError::InvalidArgument));
+    }
+
+    #[test]
+    fn set_clocks_applies_clamp_quirk() {
+        let d = device();
+        d.device_set_applications_clocks(3505, 1392).unwrap();
+        let applied = d.device_get_applications_clocks();
+        assert_eq!(applied.core_mhz, 1202, "requested 1392, silently got 1202");
+        d.device_reset_applications_clocks();
+        assert_eq!(d.device_get_applications_clocks(), FreqConfig::new(3505, 1001));
+    }
+
+    #[test]
+    fn invalid_combination_rejected() {
+        let d = device();
+        assert_eq!(
+            d.device_set_applications_clocks(405, 810),
+            Err(NvmlError::InvalidArgument),
+            "mem-L caps at 405 MHz core"
+        );
+    }
+
+    #[test]
+    fn power_usage_idle_vs_busy() {
+        let d = device();
+        let idle = d.device_get_power_usage();
+        d.set_active_workload(Some(busy_profile()));
+        let busy = d.device_get_power_usage();
+        assert!(busy > idle, "busy {busy} mW should exceed idle {idle} mW");
+        assert!(idle > 20_000, "idle power should be tens of watts, got {idle} mW");
+    }
+
+    #[test]
+    fn power_scales_with_applied_clocks() {
+        let d = device();
+        d.set_active_workload(Some(busy_profile()));
+        let clocks = d.device_get_supported_graphics_clocks(3505).unwrap();
+        let mid = clocks[clocks.len() / 3];
+        d.device_set_applications_clocks(3505, mid).unwrap();
+        let lo = d.device_get_power_usage();
+        d.device_set_applications_clocks(3505, 1202).unwrap();
+        let hi = d.device_get_power_usage();
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn device_name() {
+        assert_eq!(device().device_get_name(), "GTX Titan X");
+    }
+}

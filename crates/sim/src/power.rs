@@ -1,0 +1,200 @@
+//! Component-decomposed board power model.
+//!
+//! Follows the decomposition used by runtime power-modeling work (Isci
+//! & Martonosi-style, per-component, as in Guerreiro et al., the source
+//! of the paper's feature design): board power is the sum of
+//!
+//! * a fixed board term (fan, VRM losses),
+//! * core-domain leakage, scaling with the DVFS voltage,
+//! * core-domain dynamic power `∝ activity · utilization · V² · f_core`,
+//! * memory-domain dynamic power `∝ utilization · f_mem`,
+//! * memory static/refresh power `∝ f_mem`.
+//!
+//! Together with the [`VoltageCurve`](crate::voltage::VoltageCurve) this
+//! yields the paper's observed energy shapes: a parabola with an
+//! interior minimum for compute-bound kernels, and energy growing with
+//! the core clock for memory-bound ones.
+
+use crate::device::DeviceSpec;
+use crate::timing::{KernelDemand, TimingBreakdown};
+use gpufreq_kernel::FreqConfig;
+use serde::{Deserialize, Serialize};
+
+/// Power breakdown of one kernel execution at one frequency setting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Fixed board power (W).
+    pub board_w: f64,
+    /// Core-domain leakage (W).
+    pub leakage_w: f64,
+    /// Core-domain dynamic power (W).
+    pub core_dynamic_w: f64,
+    /// Memory-domain dynamic power (W).
+    pub mem_dynamic_w: f64,
+    /// Memory static/refresh power (W).
+    pub mem_static_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total board power draw in watts.
+    pub fn total_w(&self) -> f64 {
+        self.board_w + self.leakage_w + self.core_dynamic_w + self.mem_dynamic_w + self.mem_static_w
+    }
+}
+
+/// Average board power while `demand` executes at `config` with the
+/// phase behaviour described by `timing`.
+pub fn average_power(
+    spec: &DeviceSpec,
+    demand: &KernelDemand,
+    config: FreqConfig,
+    timing: &TimingBreakdown,
+) -> PowerBreakdown {
+    let v = spec.voltage.voltage(config.core_mhz as f64);
+    let f_core_ghz = config.core_mhz as f64 / 1000.0;
+    let f_mem_ghz = config.mem_mhz as f64 / 1000.0;
+    let core_dynamic_w =
+        spec.core_dyn_w * demand.activity() * timing.core_utilization() * v * v * f_core_ghz;
+    let mem_dynamic_w = spec.mem_dyn_w * timing.mem_utilization() * f_mem_ghz;
+    PowerBreakdown {
+        board_w: spec.board_power_w,
+        leakage_w: spec.leakage_w_per_v * v,
+        core_dynamic_w,
+        mem_dynamic_w,
+        mem_static_w: spec.mem_static_w_per_ghz * f_mem_ghz,
+    }
+}
+
+/// Energy in joules for one execution: average power × time.
+pub fn energy_j(power: &PowerBreakdown, timing: &TimingBreakdown) -> f64 {
+    power.total_w() * timing.total_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::execution_time;
+    use gpufreq_kernel::parser::parse;
+    use gpufreq_kernel::{AnalysisConfig, KernelProfile, LaunchConfig};
+
+    fn profile(src: &str) -> KernelProfile {
+        let prog = parse(src).unwrap();
+        KernelProfile::from_kernel(
+            prog.first_kernel().unwrap(),
+            &AnalysisConfig::default(),
+            LaunchConfig::new(1 << 22, 256),
+        )
+        .unwrap()
+    }
+
+    fn compute_bound() -> KernelProfile {
+        profile(
+            "__kernel void k(__global float* x) {
+                uint i = get_global_id(0);
+                float v = x[i];
+                for (int it = 0; it < 256; it += 1) { v = v * 1.000001f + 0.5f; }
+                x[i] = v;
+            }",
+        )
+    }
+
+    fn memory_bound() -> KernelProfile {
+        profile(
+            "__kernel void k(__global float* x, __global float* y) {
+                uint i = get_global_id(0);
+                y[i] = x[i] * 2.0f;
+            }",
+        )
+    }
+
+    fn energy_at(spec: &DeviceSpec, p: &KernelProfile, cfg: FreqConfig) -> f64 {
+        let d = KernelDemand::from_profile(spec, p);
+        let t = execution_time(spec, &d, cfg);
+        let pw = average_power(spec, &d, cfg, &t);
+        energy_j(&pw, &t)
+    }
+
+    #[test]
+    fn power_is_positive_and_plausible() {
+        let spec = DeviceSpec::titan_x();
+        let p = compute_bound();
+        let d = KernelDemand::from_profile(&spec, &p);
+        let cfg = FreqConfig::new(3505, 1001);
+        let t = execution_time(&spec, &d, cfg);
+        let pw = average_power(&spec, &d, cfg, &t);
+        let w = pw.total_w();
+        assert!((60.0..400.0).contains(&w), "default power {w} W");
+    }
+
+    #[test]
+    fn compute_bound_energy_is_parabolic_in_core_clock() {
+        // §1.1: normalized energy behaves like a parabola with an
+        // interior minimum for compute-dominated kernels.
+        let spec = DeviceSpec::titan_x();
+        let p = compute_bound();
+        let cores: Vec<u32> = (0..50).map(|i| 135 + i * (1202 - 135) / 49).collect();
+        let energies: Vec<f64> =
+            cores.iter().map(|&c| energy_at(&spec, &p, FreqConfig::new(3505, c))).collect();
+        let (min_idx, _) = energies
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let f_min = cores[min_idx];
+        assert!(
+            (700..=1100).contains(&f_min),
+            "energy minimum at {f_min} MHz, expected interior (paper: 885-987)"
+        );
+        // Interior minimum: both extremes cost more.
+        assert!(energies[0] > energies[min_idx]);
+        assert!(energies[cores.len() - 1] > energies[min_idx]);
+    }
+
+    #[test]
+    fn memory_bound_energy_grows_at_high_core_clock() {
+        // §1.1 (MT): for memory-bound kernels, pushing the core clock
+        // only adds power without reducing time.
+        let spec = DeviceSpec::titan_x();
+        let p = memory_bound();
+        let low = energy_at(&spec, &p, FreqConfig::new(3505, 700));
+        let high = energy_at(&spec, &p, FreqConfig::new(3505, 1202));
+        assert!(high > low, "high-core energy {high} should exceed {low}");
+    }
+
+    #[test]
+    fn leakage_scales_with_voltage() {
+        let spec = DeviceSpec::titan_x();
+        let p = compute_bound();
+        let d = KernelDemand::from_profile(&spec, &p);
+        let lo_cfg = FreqConfig::new(3505, 405);
+        let hi_cfg = FreqConfig::new(3505, 1202);
+        let lo = average_power(&spec, &d, lo_cfg, &execution_time(&spec, &d, lo_cfg));
+        let hi = average_power(&spec, &d, hi_cfg, &execution_time(&spec, &d, hi_cfg));
+        assert!(hi.leakage_w > lo.leakage_w);
+    }
+
+    #[test]
+    fn memory_clock_contributes_static_power() {
+        let spec = DeviceSpec::titan_x();
+        let p = compute_bound();
+        let d = KernelDemand::from_profile(&spec, &p);
+        let lo_cfg = FreqConfig::new(810, 810);
+        let hi_cfg = FreqConfig::new(3505, 810);
+        let lo = average_power(&spec, &d, lo_cfg, &execution_time(&spec, &d, lo_cfg));
+        let hi = average_power(&spec, &d, hi_cfg, &execution_time(&spec, &d, hi_cfg));
+        assert!(hi.mem_static_w > lo.mem_static_w);
+        assert!(hi.total_w() > lo.total_w());
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let spec = DeviceSpec::titan_x();
+        let p = memory_bound();
+        let d = KernelDemand::from_profile(&spec, &p);
+        let cfg = FreqConfig::new(3505, 1001);
+        let t = execution_time(&spec, &d, cfg);
+        let b = average_power(&spec, &d, cfg, &t);
+        let sum = b.board_w + b.leakage_w + b.core_dynamic_w + b.mem_dynamic_w + b.mem_static_w;
+        assert!((sum - b.total_w()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,311 @@
+//! The simulated GPU: executes kernel profiles at frequency settings
+//! and produces measurements, sequentially or as a parallel sweep.
+
+use crate::device::DeviceSpec;
+use crate::noise::NoiseModel;
+use crate::power::{average_power, energy_j};
+use crate::sensor::{measure, Measurement, MeasurementProtocol};
+use crate::timing::{execution_time, KernelDemand};
+use gpufreq_kernel::{FreqConfig, KernelProfile};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Error returned when a requested configuration is not in the clock
+/// table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnsupportedConfig(pub FreqConfig);
+
+impl fmt::Display for UnsupportedConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported frequency configuration {}", self.0)
+    }
+}
+
+impl std::error::Error for UnsupportedConfig {}
+
+/// A measurement normalized against the default-configuration baseline:
+/// speedup (higher is better) and normalized energy (lower is better),
+/// the paper's two objectives.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormalizedMeasurement {
+    /// The raw measurement.
+    pub measurement: Measurement,
+    /// `t_default / t` — the paper's speedup objective (maximize).
+    pub speedup: f64,
+    /// `e / e_default` — the paper's normalized-energy objective
+    /// (minimize).
+    pub norm_energy: f64,
+}
+
+impl NormalizedMeasurement {
+    /// The configuration this point was measured at.
+    pub fn config(&self) -> FreqConfig {
+        self.measurement.config
+    }
+}
+
+/// A full characterization of one kernel: the baseline measurement at
+/// the default clocks plus normalized measurements for a set of
+/// configurations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Characterization {
+    /// Kernel name.
+    pub kernel: String,
+    /// Measurement at the default application clocks.
+    pub baseline: Measurement,
+    /// Normalized measurements, one per swept configuration.
+    pub points: Vec<NormalizedMeasurement>,
+}
+
+impl Characterization {
+    /// Total simulated wall-clock cost of the sweep in seconds
+    /// (baseline + every point).
+    pub fn sim_wall_s(&self) -> f64 {
+        self.baseline.sim_wall_s + self.points.iter().map(|p| p.measurement.sim_wall_s).sum::<f64>()
+    }
+}
+
+/// The simulated GPU device.
+///
+/// Deterministic by default; attach a [`NoiseModel`] to emulate sensor
+/// jitter. All methods take `&self`, so one simulator can be shared
+/// across threads.
+#[derive(Debug, Clone)]
+pub struct GpuSimulator {
+    spec: DeviceSpec,
+    protocol: MeasurementProtocol,
+    noise: Option<NoiseModel>,
+}
+
+impl GpuSimulator {
+    /// Simulator for `spec` with the default measurement protocol.
+    pub fn new(spec: DeviceSpec) -> GpuSimulator {
+        GpuSimulator { spec, protocol: MeasurementProtocol::default(), noise: None }
+    }
+
+    /// A GTX Titan X simulator (the paper's main platform).
+    pub fn titan_x() -> GpuSimulator {
+        GpuSimulator::new(DeviceSpec::titan_x())
+    }
+
+    /// A Tesla P100 simulator (Fig. 4b).
+    pub fn tesla_p100() -> GpuSimulator {
+        GpuSimulator::new(DeviceSpec::tesla_p100())
+    }
+
+    /// A Tesla K20c simulator (the Ge et al. study platform).
+    pub fn tesla_k20c() -> GpuSimulator {
+        GpuSimulator::new(DeviceSpec::tesla_k20c())
+    }
+
+    /// Replace the measurement protocol.
+    pub fn with_protocol(mut self, protocol: MeasurementProtocol) -> GpuSimulator {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Attach measurement noise.
+    pub fn with_noise(mut self, noise: NoiseModel) -> GpuSimulator {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// The device being simulated.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The measurement protocol in use.
+    pub fn protocol(&self) -> &MeasurementProtocol {
+        &self.protocol
+    }
+
+    /// Execute `profile` at `requested` clocks and measure it.
+    ///
+    /// The requested configuration must be advertised by the clock
+    /// table; the core clock is clamped exactly as NVML does (§4.1), and
+    /// the measurement reports the *effective* configuration.
+    pub fn run(
+        &self,
+        profile: &KernelProfile,
+        requested: FreqConfig,
+    ) -> Result<Measurement, UnsupportedConfig> {
+        let effective = self.spec.clocks.resolve(requested).ok_or(UnsupportedConfig(requested))?;
+        Ok(self.run_resolved(profile, effective))
+    }
+
+    /// Execute at the default application clocks.
+    pub fn run_default(&self, profile: &KernelProfile) -> Measurement {
+        let cfg = self.spec.clocks.default;
+        self.run(profile, cfg).expect("default configuration is always supported")
+    }
+
+    fn run_resolved(&self, profile: &KernelProfile, config: FreqConfig) -> Measurement {
+        let demand = KernelDemand::from_profile(&self.spec, profile);
+        let timing = execution_time(&self.spec, &demand, config);
+        let power = average_power(&self.spec, &demand, config, &timing);
+        let true_energy = energy_j(&power, &timing);
+        debug_assert!(true_energy > 0.0);
+        let mut sampler = self.noise.as_ref().map(|n| {
+            // Derive a per-(kernel, config) seed so parallel sweeps are
+            // deterministic regardless of scheduling.
+            let mut seed = n.seed ^ (config.core_mhz as u64) << 32 ^ config.mem_mhz as u64;
+            for b in profile.name.bytes() {
+                seed = seed.wrapping_mul(0x100000001b3).wrapping_add(b as u64);
+            }
+            NoiseModel { seed, ..n.clone() }.sampler()
+        });
+        measure(&self.protocol, config, timing.total_s, power.total_w(), sampler.as_mut())
+    }
+
+    /// Measure `profile` at every configuration in `configs`, in
+    /// parallel across worker threads (crossbeam scoped threads with an
+    /// atomic work queue). Results are in input order.
+    pub fn sweep(
+        &self,
+        profile: &KernelProfile,
+        configs: &[FreqConfig],
+    ) -> Result<Vec<Measurement>, UnsupportedConfig> {
+        // Validate up front so the parallel phase is infallible.
+        let resolved: Vec<FreqConfig> = configs
+            .iter()
+            .map(|&c| self.spec.clocks.resolve(c).ok_or(UnsupportedConfig(c)))
+            .collect::<Result<_, _>>()?;
+        let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
+        let mut out: Vec<Option<Measurement>> = vec![None; resolved.len()];
+        let next = AtomicUsize::new(0);
+        let slots: Vec<parking_lot::Mutex<&mut Option<Measurement>>> =
+            out.iter_mut().map(parking_lot::Mutex::new).collect();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= resolved.len() {
+                        break;
+                    }
+                    let m = self.run_resolved(profile, resolved[i]);
+                    **slots[i].lock() = Some(m);
+                });
+            }
+        })
+        .expect("sweep worker panicked");
+        Ok(out.into_iter().map(|m| m.expect("all slots filled")).collect())
+    }
+
+    /// Sweep every *actual* configuration of the device and normalize
+    /// against the default baseline — the measured ground truth used
+    /// throughout the evaluation (Figs. 1, 5, 8).
+    pub fn characterize(&self, profile: &KernelProfile) -> Characterization {
+        let configs = self.spec.clocks.actual_configs();
+        self.characterize_at(profile, &configs)
+    }
+
+    /// Characterize against an explicit configuration list.
+    pub fn characterize_at(
+        &self,
+        profile: &KernelProfile,
+        configs: &[FreqConfig],
+    ) -> Characterization {
+        let baseline = self.run_default(profile);
+        let measurements =
+            self.sweep(profile, configs).expect("actual configurations are supported");
+        let points = measurements
+            .into_iter()
+            .map(|m| NormalizedMeasurement {
+                speedup: baseline.time_ms / m.time_ms,
+                norm_energy: m.energy_j / baseline.energy_j,
+                measurement: m,
+            })
+            .collect();
+        Characterization { kernel: profile.name.clone(), baseline, points }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufreq_kernel::parser::parse;
+    use gpufreq_kernel::{AnalysisConfig, LaunchConfig};
+
+    fn profile(src: &str) -> KernelProfile {
+        let prog = parse(src).unwrap();
+        KernelProfile::from_kernel(
+            prog.first_kernel().unwrap(),
+            &AnalysisConfig::default(),
+            LaunchConfig::new(1 << 20, 256),
+        )
+        .unwrap()
+    }
+
+    fn saxpy() -> KernelProfile {
+        profile(
+            "__kernel void saxpy(__global float* x, __global float* y, float a) {
+                uint i = get_global_id(0);
+                y[i] = a * x[i] + y[i];
+            }",
+        )
+    }
+
+    #[test]
+    fn run_reports_effective_config() {
+        let sim = GpuSimulator::titan_x();
+        let m = sim.run(&saxpy(), FreqConfig::new(3505, 1392)).unwrap();
+        assert_eq!(m.config.core_mhz, 1202, "clamp quirk must apply");
+    }
+
+    #[test]
+    fn unsupported_config_is_an_error() {
+        let sim = GpuSimulator::titan_x();
+        assert!(sim.run(&saxpy(), FreqConfig::new(999, 999)).is_err());
+    }
+
+    #[test]
+    fn sweep_matches_sequential_runs() {
+        let sim = GpuSimulator::titan_x();
+        let p = saxpy();
+        let configs = sim.spec().clocks.sample_configs(12);
+        let swept = sim.sweep(&p, &configs).unwrap();
+        for (cfg, m) in configs.iter().zip(&swept) {
+            let single = sim.run(&p, *cfg).unwrap();
+            assert_eq!(*m, single, "parallel sweep must equal sequential run");
+        }
+    }
+
+    #[test]
+    fn characterization_baseline_is_unit() {
+        let sim = GpuSimulator::titan_x();
+        let c = sim.characterize(&saxpy());
+        let default = sim.spec().clocks.default;
+        let at_default =
+            c.points.iter().find(|p| p.config() == default).expect("default in sweep");
+        assert!((at_default.speedup - 1.0).abs() < 1e-9);
+        assert!((at_default.norm_energy - 1.0).abs() < 1e-9);
+        assert_eq!(c.points.len(), 177);
+    }
+
+    #[test]
+    fn characterization_wall_clock_accumulates() {
+        let sim = GpuSimulator::titan_x();
+        let c = sim.characterize(&saxpy());
+        assert!(c.sim_wall_s() > c.baseline.sim_wall_s * c.points.len() as f64 * 0.5);
+    }
+
+    #[test]
+    fn noisy_sweep_is_deterministic() {
+        let sim = GpuSimulator::titan_x().with_noise(NoiseModel::new(0.01, 0.02, 77));
+        let p = saxpy();
+        let configs = sim.spec().clocks.sample_configs(8);
+        let a = sim.sweep(&p, &configs).unwrap();
+        let b = sim.sweep(&p, &configs).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn p100_runs_its_default() {
+        let sim = GpuSimulator::tesla_p100();
+        let m = sim.run_default(&saxpy());
+        assert_eq!(m.config.mem_mhz, 715);
+        assert!(m.energy_j > 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! The NVML power sensor and the measurement protocol of §4.1.
+//!
+//! NVML reports board power at 62.5 Hz. A kernel that finishes in a few
+//! milliseconds contributes at most one sample, so — exactly as the
+//! paper describes — the measurement protocol repeats the kernel until
+//! enough samples have been collected for a statistically consistent
+//! average, and derives per-kernel energy as average power × time.
+//! The sensor also accounts the *simulated wall-clock cost* of a
+//! measurement (clock-switch settling plus all repetitions), which is
+//! what makes exhaustive sweeps expensive (§3.3: 40 settings ≈ 20 min,
+//! 174 settings ≈ 70 min per kernel).
+
+use crate::noise::NoiseSampler;
+use gpufreq_kernel::FreqConfig;
+use serde::{Deserialize, Serialize};
+
+/// NVML power-sampling frequency in Hz (§4.1).
+pub const NVML_SAMPLE_HZ: f64 = 62.5;
+
+/// Measurement protocol parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementProtocol {
+    /// Sensor sampling rate (Hz).
+    pub sample_hz: f64,
+    /// Minimum number of power samples for a consistent average.
+    pub min_samples: u32,
+    /// Minimum accumulated busy time (s) regardless of sample count.
+    pub min_busy_s: f64,
+    /// Hard cap on kernel repetitions.
+    pub max_runs: u32,
+    /// Time (s) spent settling after a clock switch, before measuring.
+    pub settle_s: f64,
+}
+
+impl Default for MeasurementProtocol {
+    fn default() -> Self {
+        // Calibrated so that one setting costs ~30 s of wall clock —
+        // the paper's accounting (40 settings ≈ 20 min, §3.3).
+        MeasurementProtocol {
+            sample_hz: NVML_SAMPLE_HZ,
+            min_samples: 64,
+            min_busy_s: 8.0,
+            max_runs: 1_000_000,
+            settle_s: 22.0,
+        }
+    }
+}
+
+/// One measured kernel execution at one frequency setting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// The configuration that was actually applied (after clamping).
+    pub config: FreqConfig,
+    /// Single-execution time in milliseconds.
+    pub time_ms: f64,
+    /// Average board power over the measurement in watts.
+    pub avg_power_w: f64,
+    /// Per-execution energy in joules.
+    pub energy_j: f64,
+    /// Number of 62.5 Hz power samples collected.
+    pub samples: u32,
+    /// Number of kernel repetitions executed.
+    pub runs: u32,
+    /// Simulated wall-clock cost of this measurement in seconds
+    /// (settling + repetitions).
+    pub sim_wall_s: f64,
+}
+
+/// Collect a measurement for a kernel whose true single-run time is
+/// `true_time_s` and true average power is `true_power_w`, repeating
+/// runs per the protocol. `noise`, when provided, perturbs each run's
+/// time and each power sample.
+pub fn measure(
+    protocol: &MeasurementProtocol,
+    config: FreqConfig,
+    true_time_s: f64,
+    true_power_w: f64,
+    mut noise: Option<&mut NoiseSampler>,
+) -> Measurement {
+    assert!(true_time_s > 0.0, "kernel time must be positive");
+    // How many repetitions are needed so that busy time yields the
+    // required sample count and minimum duration.
+    let need_s = (protocol.min_samples as f64 / protocol.sample_hz).max(protocol.min_busy_s);
+    let runs = ((need_s / true_time_s).ceil() as u32).clamp(1, protocol.max_runs);
+
+    let mut busy_s = 0.0;
+    for _ in 0..runs {
+        let t = match noise.as_deref_mut() {
+            Some(n) => n.perturb_time(true_time_s),
+            None => true_time_s,
+        };
+        busy_s += t;
+    }
+    let samples = ((busy_s * protocol.sample_hz).floor() as u32).max(1);
+    let mut power_acc = 0.0;
+    for _ in 0..samples {
+        let p = match noise.as_deref_mut() {
+            Some(n) => n.perturb_power(true_power_w),
+            None => true_power_w,
+        };
+        power_acc += p;
+    }
+    let avg_power_w = power_acc / samples as f64;
+    let time_ms = busy_s / runs as f64 * 1e3;
+    Measurement {
+        config,
+        time_ms,
+        avg_power_w,
+        energy_j: avg_power_w * (time_ms * 1e-3),
+        samples,
+        runs,
+        sim_wall_s: protocol.settle_s + busy_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseModel;
+
+    fn cfg() -> FreqConfig {
+        FreqConfig::new(3505, 1001)
+    }
+
+    #[test]
+    fn short_kernels_are_repeated() {
+        let p = MeasurementProtocol::default();
+        let m = measure(&p, cfg(), 2e-3, 180.0, None);
+        assert!(m.runs >= 500, "2 ms kernel needs many runs, got {}", m.runs);
+        assert!(m.samples >= p.min_samples);
+    }
+
+    #[test]
+    fn long_kernels_run_once() {
+        let p = MeasurementProtocol::default();
+        let m = measure(&p, cfg(), 10.0, 180.0, None);
+        assert_eq!(m.runs, 1);
+        assert!(m.samples as f64 >= 10.0 * p.sample_hz - 1.0);
+    }
+
+    #[test]
+    fn noiseless_measurement_is_exact() {
+        let p = MeasurementProtocol::default();
+        let m = measure(&p, cfg(), 5e-3, 200.0, None);
+        assert!((m.time_ms - 5.0).abs() < 1e-9);
+        assert!((m.avg_power_w - 200.0).abs() < 1e-9);
+        assert!((m.energy_j - 200.0 * 5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_clock_includes_settling() {
+        let p = MeasurementProtocol::default();
+        let m = measure(&p, cfg(), 0.5, 150.0, None);
+        assert!(m.sim_wall_s >= p.settle_s + 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn noisy_measurement_converges_to_truth() {
+        let p = MeasurementProtocol::default();
+        let model = NoiseModel::new(0.02, 0.05, 11);
+        let mut s = model.sampler();
+        let m = measure(&p, cfg(), 1e-3, 180.0, Some(&mut s));
+        assert!((m.avg_power_w - 180.0).abs() < 5.0, "avg {}", m.avg_power_w);
+        assert!((m.time_ms - 1.0).abs() < 0.05, "time {}", m.time_ms);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = MeasurementProtocol::default();
+        let model = NoiseModel::new(0.02, 0.05, 5);
+        let a = measure(&p, cfg(), 1e-3, 180.0, Some(&mut model.sampler()));
+        let b = measure(&p, cfg(), 1e-3, 180.0, Some(&mut model.sampler()));
+        assert_eq!(a, b);
+    }
+}

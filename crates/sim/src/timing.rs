@@ -1,0 +1,244 @@
+//! Execution-time model.
+//!
+//! A roofline-style throughput model with imperfect overlap: the kernel
+//! keeps the compute datapath busy for `T_compute` (scaling with the
+//! core clock) and the DRAM system busy for `T_memory` (scaling with
+//! the memory clock); the two overlap except for a fixed serial
+//! fraction. This produces exactly the two regimes the paper analyzes
+//! (§1.1, §4.2): compute-dominated kernels whose speedup grows linearly
+//! with the core clock, and memory-dominated kernels that are flat in
+//! the core clock but sensitive to the memory clock — with a smooth
+//! saturation between the regimes as one resource overtakes the other.
+
+use crate::device::DeviceSpec;
+use gpufreq_kernel::{FreqConfig, KernelProfile};
+use serde::{Deserialize, Serialize};
+
+/// Fraction of the shorter phase that cannot be overlapped with the
+/// longer one (dependency stalls, ramp-up/down at kernel boundaries).
+pub const SERIAL_OVERLAP_FRACTION: f64 = 0.2;
+
+/// Frequency-independent summary of one kernel launch's resource demand.
+///
+/// Computing it once and reusing it across a 177-configuration sweep
+/// keeps sweeps cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelDemand {
+    /// Issue cycles consumed by one work-item on its SM.
+    pub compute_cycles_per_item: f64,
+    /// Relative switched-capacitance units per work-item (see
+    /// [`EnergyTable`](crate::device::EnergyTable)).
+    pub energy_units_per_item: f64,
+    /// Total bytes moved over DRAM by the whole launch.
+    pub total_global_bytes: f64,
+    /// Total work-items.
+    pub global_size: f64,
+}
+
+impl KernelDemand {
+    /// Evaluate a profile against a device's cost tables.
+    pub fn from_profile(spec: &DeviceSpec, profile: &KernelProfile) -> KernelDemand {
+        let mut cycles = 0.0;
+        let mut energy = 0.0;
+        for (class, n) in profile.counts.iter() {
+            cycles += n * spec.cpi.get(class);
+            energy += n * spec.energy.get(class);
+        }
+        KernelDemand {
+            compute_cycles_per_item: cycles,
+            energy_units_per_item: energy,
+            total_global_bytes: profile.total_global_bytes(),
+            global_size: profile.launch.global_size as f64,
+        }
+    }
+
+    /// Mean energy units per issue cycle — the datapath "activity
+    /// factor" used by the power model.
+    pub fn activity(&self) -> f64 {
+        if self.compute_cycles_per_item == 0.0 {
+            0.0
+        } else {
+            self.energy_units_per_item / self.compute_cycles_per_item
+        }
+    }
+}
+
+/// Time breakdown of one kernel execution at one frequency setting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingBreakdown {
+    /// Seconds the compute datapath is busy.
+    pub compute_s: f64,
+    /// Seconds the DRAM system is busy.
+    pub memory_s: f64,
+    /// End-to-end kernel time in seconds (overlap model + launch
+    /// overhead).
+    pub total_s: f64,
+}
+
+impl TimingBreakdown {
+    /// Fraction of the execution during which the compute datapath is
+    /// busy (`∈ [0, 1]`).
+    pub fn core_utilization(&self) -> f64 {
+        if self.total_s == 0.0 {
+            0.0
+        } else {
+            (self.compute_s / self.total_s).min(1.0)
+        }
+    }
+
+    /// Fraction of the execution during which DRAM is busy (`∈ [0, 1]`).
+    pub fn mem_utilization(&self) -> f64 {
+        if self.total_s == 0.0 {
+            0.0
+        } else {
+            (self.memory_s / self.total_s).min(1.0)
+        }
+    }
+
+    /// Whether the execution is memory-bound at this setting.
+    pub fn is_memory_bound(&self) -> bool {
+        self.memory_s > self.compute_s
+    }
+}
+
+/// Compute the execution time of `demand` at `config` on `spec`.
+///
+/// `config` must already be resolved (clamped) against the clock table;
+/// the model itself accepts any positive frequencies.
+pub fn execution_time(spec: &DeviceSpec, demand: &KernelDemand, config: FreqConfig) -> TimingBreakdown {
+    let core_hz = config.core_mhz as f64 * 1e6;
+    let total_compute_cycles =
+        demand.compute_cycles_per_item * demand.global_size / spec.total_cores() as f64;
+    let compute_s = total_compute_cycles / core_hz;
+    let bw = spec.peak_bandwidth(config.mem_mhz) * spec.mem_efficiency;
+    let memory_s = demand.total_global_bytes / bw;
+    let (long, short) = if compute_s >= memory_s {
+        (compute_s, memory_s)
+    } else {
+        (memory_s, compute_s)
+    };
+    let total_s = long + SERIAL_OVERLAP_FRACTION * short + spec.launch_overhead_us * 1e-6;
+    TimingBreakdown { compute_s, memory_s, total_s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufreq_kernel::parser::parse;
+    use gpufreq_kernel::{AnalysisConfig, LaunchConfig};
+
+    fn profile(src: &str) -> KernelProfile {
+        let prog = parse(src).unwrap();
+        KernelProfile::from_kernel(
+            prog.first_kernel().unwrap(),
+            &AnalysisConfig::default(),
+            LaunchConfig::new(1 << 22, 256),
+        )
+        .unwrap()
+    }
+
+    fn compute_bound() -> KernelProfile {
+        profile(
+            "__kernel void k(__global float* x) {
+                uint i = get_global_id(0);
+                float v = x[i];
+                for (int it = 0; it < 256; it += 1) { v = v * 1.000001f + 0.5f; }
+                x[i] = v;
+            }",
+        )
+    }
+
+    fn memory_bound() -> KernelProfile {
+        profile(
+            "__kernel void k(__global float* x, __global float* y) {
+                uint i = get_global_id(0);
+                y[i] = x[i] * 2.0f;
+            }",
+        )
+    }
+
+    #[test]
+    fn compute_bound_scales_with_core_clock() {
+        let spec = DeviceSpec::titan_x();
+        let d = KernelDemand::from_profile(&spec, &compute_bound());
+        let slow = execution_time(&spec, &d, FreqConfig::new(3505, 500));
+        let fast = execution_time(&spec, &d, FreqConfig::new(3505, 1000));
+        assert!(!slow.is_memory_bound());
+        let speedup = slow.total_s / fast.total_s;
+        assert!((1.85..=2.0).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn memory_bound_flat_in_core_clock() {
+        let spec = DeviceSpec::titan_x();
+        let d = KernelDemand::from_profile(&spec, &memory_bound());
+        let slow = execution_time(&spec, &d, FreqConfig::new(3505, 600));
+        let fast = execution_time(&spec, &d, FreqConfig::new(3505, 1202));
+        assert!(slow.is_memory_bound());
+        let speedup = slow.total_s / fast.total_s;
+        assert!(speedup < 1.15, "speedup {speedup} should be near 1");
+    }
+
+    #[test]
+    fn memory_bound_scales_with_mem_clock() {
+        let spec = DeviceSpec::titan_x();
+        let d = KernelDemand::from_profile(&spec, &memory_bound());
+        let lo = execution_time(&spec, &d, FreqConfig::new(810, 810));
+        let hi = execution_time(&spec, &d, FreqConfig::new(3505, 810));
+        let speedup = lo.total_s / hi.total_s;
+        assert!(speedup > 2.0, "memory clock 810->3505 speedup {speedup}");
+    }
+
+    #[test]
+    fn time_is_monotone_in_core_clock() {
+        let spec = DeviceSpec::titan_x();
+        for p in [compute_bound(), memory_bound()] {
+            let d = KernelDemand::from_profile(&spec, &p);
+            let mut prev = f64::INFINITY;
+            for core in (135..=1202).step_by(97) {
+                let t = execution_time(&spec, &d, FreqConfig::new(3505, core as u32)).total_s;
+                assert!(t <= prev + 1e-15, "time must not increase with core clock");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn utilizations_are_fractions() {
+        let spec = DeviceSpec::titan_x();
+        let d = KernelDemand::from_profile(&spec, &memory_bound());
+        let t = execution_time(&spec, &d, FreqConfig::new(810, 1202));
+        assert!((0.0..=1.0).contains(&t.core_utilization()));
+        assert!((0.0..=1.0).contains(&t.mem_utilization()));
+        assert!(t.mem_utilization() > t.core_utilization());
+    }
+
+    #[test]
+    fn demand_activity_reflects_mix() {
+        let spec = DeviceSpec::titan_x();
+        let sf_heavy = profile(
+            "__kernel void k(__global float* x) {
+                uint i = get_global_id(0);
+                float v = x[i];
+                for (int it = 0; it < 64; it += 1) { v = sin(v); }
+                x[i] = v;
+            }",
+        );
+        let add_heavy = compute_bound();
+        let a_sf = KernelDemand::from_profile(&spec, &sf_heavy).activity();
+        let a_add = KernelDemand::from_profile(&spec, &add_heavy).activity();
+        assert!(a_sf > 0.0 && a_add > 0.0);
+        // SFU ops carry more energy per cycle than fused add/mul chains.
+        assert!(a_sf != a_add);
+    }
+
+    #[test]
+    fn launch_overhead_floors_tiny_kernels() {
+        let spec = DeviceSpec::titan_x();
+        let mut p = memory_bound();
+        p.launch = LaunchConfig::new(32, 32);
+        let d = KernelDemand::from_profile(&spec, &p);
+        let t = execution_time(&spec, &d, FreqConfig::new(3505, 1001));
+        assert!(t.total_s >= spec.launch_overhead_us * 1e-6);
+    }
+}

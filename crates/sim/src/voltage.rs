@@ -1,0 +1,85 @@
+//! DVFS voltage curve.
+//!
+//! GPUs scale the core voltage with the core frequency: below a knee
+//! frequency the chip already runs at its minimum stable voltage, above
+//! it the voltage rises roughly linearly up to the maximum boost
+//! voltage. This non-linearity is what produces the parabola-with-
+//! minimum normalized-energy curves the paper observes (§1.1, §3.4):
+//! below the knee, raising the clock is "free" in voltage and energy
+//! per task falls; above it, dynamic power grows with `V²·f` faster
+//! than runtime shrinks.
+
+use serde::{Deserialize, Serialize};
+
+/// Piecewise-linear core voltage as a function of core frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoltageCurve {
+    /// Minimum stable voltage (V), held below the knee.
+    pub v_min: f64,
+    /// Voltage at `f_max` (V).
+    pub v_max: f64,
+    /// Knee frequency (MHz) below which `v_min` applies.
+    pub f_knee_mhz: f64,
+    /// Frequency (MHz) at which `v_max` is reached.
+    pub f_max_mhz: f64,
+}
+
+impl VoltageCurve {
+    /// Maxwell-like curve for the GTX Titan X: 0.85 V floor up to
+    /// ~640 MHz, rising to ~1.212 V at 1392 MHz.
+    pub fn titan_x() -> VoltageCurve {
+        VoltageCurve { v_min: 0.85, v_max: 1.212, f_knee_mhz: 640.0, f_max_mhz: 1392.0 }
+    }
+
+    /// Pascal-like curve for the Tesla P100.
+    pub fn tesla_p100() -> VoltageCurve {
+        VoltageCurve { v_min: 0.80, v_max: 1.15, f_knee_mhz: 750.0, f_max_mhz: 1480.0 }
+    }
+
+    /// Voltage (V) at `f_core_mhz`. Clamped to `[v_min, v_max]` outside
+    /// the curve's range.
+    pub fn voltage(&self, f_core_mhz: f64) -> f64 {
+        if f_core_mhz <= self.f_knee_mhz {
+            return self.v_min;
+        }
+        let t = (f_core_mhz - self.f_knee_mhz) / (self.f_max_mhz - self.f_knee_mhz);
+        (self.v_min + t * (self.v_max - self.v_min)).min(self.v_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_below_knee() {
+        let v = VoltageCurve::titan_x();
+        assert_eq!(v.voltage(135.0), v.v_min);
+        assert_eq!(v.voltage(640.0), v.v_min);
+    }
+
+    #[test]
+    fn monotone_above_knee() {
+        let v = VoltageCurve::titan_x();
+        let mut prev = v.voltage(640.0);
+        for f in (650..=1392).step_by(50) {
+            let now = v.voltage(f as f64);
+            assert!(now >= prev, "voltage must be non-decreasing");
+            prev = now;
+        }
+        assert!((v.voltage(1392.0) - v.v_max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamped_above_max() {
+        let v = VoltageCurve::titan_x();
+        assert_eq!(v.voltage(2000.0), v.v_max);
+    }
+
+    #[test]
+    fn default_clock_voltage_is_mid_range() {
+        let v = VoltageCurve::titan_x();
+        let at_default = v.voltage(1001.0);
+        assert!(at_default > v.v_min && at_default < v.v_max);
+    }
+}

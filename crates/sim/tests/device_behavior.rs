@@ -1,0 +1,180 @@
+//! Cross-module integration tests of the simulated device: the
+//! emergent behaviours the paper's measurements rely on, validated
+//! end-to-end through profiles built from real kernel source.
+
+use gpufreq_kernel::{parse, AnalysisConfig, FreqConfig, KernelProfile, LaunchConfig};
+use gpufreq_sim::{GpuSimulator, MeasurementProtocol, NoiseModel};
+use proptest::prelude::*;
+
+fn profile_of(src: &str, global: u64) -> KernelProfile {
+    let program = parse(src).unwrap();
+    KernelProfile::from_kernel(
+        program.first_kernel().unwrap(),
+        &AnalysisConfig::default(),
+        LaunchConfig::new(global, 256),
+    )
+    .unwrap()
+}
+
+fn compute_kernel() -> KernelProfile {
+    profile_of(
+        "__kernel void c(__global float* x) {
+            uint i = get_global_id(0);
+            float v = x[i];
+            for (int k = 0; k < 512; k += 1) { v = v * 1.0001f + 0.25f; }
+            x[i] = v;
+        }",
+        1 << 20,
+    )
+}
+
+fn stream_kernel() -> KernelProfile {
+    profile_of(
+        "__kernel void s(__global float* x, __global float* y) {
+            uint i = get_global_id(0);
+            y[i] = x[i] + 1.0f;
+        }",
+        1 << 22,
+    )
+}
+
+#[test]
+fn energy_performance_pareto_structure_emerges() {
+    // The motivating observation of §1.1: sweeping configurations
+    // produces a genuine trade-off — the fastest configuration is not
+    // the most energy-efficient one.
+    let sim = GpuSimulator::titan_x();
+    let c = sim.characterize(&compute_kernel());
+    let fastest =
+        c.points.iter().max_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap()).unwrap();
+    let cheapest =
+        c.points.iter().min_by(|a, b| a.norm_energy.partial_cmp(&b.norm_energy).unwrap()).unwrap();
+    assert_ne!(fastest.config(), cheapest.config());
+    assert!(fastest.speedup > 1.0, "over-clocking beats the default");
+    assert!(cheapest.norm_energy < 1.0, "the default is not energy-optimal");
+}
+
+#[test]
+fn default_config_can_be_dominated() {
+    // Fig. 1c: the default configuration "may be not Pareto-optimal" —
+    // some measured point dominates (1.0, 1.0) for the compute kernel.
+    let sim = GpuSimulator::titan_x();
+    let c = sim.characterize(&compute_kernel());
+    let dominating = c
+        .points
+        .iter()
+        .filter(|p| {
+            (p.speedup >= 1.0 && p.norm_energy < 1.0) || (p.speedup > 1.0 && p.norm_energy <= 1.0)
+        })
+        .count();
+    assert!(dominating > 0, "no configuration dominates the default");
+}
+
+#[test]
+fn memory_clock_changes_stream_kernel_energy_floor() {
+    // For a streaming kernel, dropping the memory clock stretches time
+    // so much that energy per task rises despite lower power.
+    let sim = GpuSimulator::titan_x();
+    let p = stream_kernel();
+    let hi = sim.run(&p, FreqConfig::new(3505, 1001)).unwrap();
+    let lo = sim.run(&p, FreqConfig::new(405, 405)).unwrap();
+    assert!(lo.time_ms > 4.0 * hi.time_ms, "bandwidth starvation must show in time");
+    assert!(lo.energy_j > hi.energy_j, "starved run must cost more energy per task");
+    assert!(lo.avg_power_w < hi.avg_power_w, "but draw less power");
+}
+
+#[test]
+fn launch_size_scales_time_not_normalized_shape() {
+    let sim = GpuSimulator::titan_x();
+    let small = profile_of(
+        "__kernel void k(__global float* x) {
+            uint i = get_global_id(0);
+            x[i] = x[i] * 2.0f + 1.0f;
+        }",
+        1 << 18,
+    );
+    let mut large = small.clone();
+    large.launch = LaunchConfig::new(1 << 22, 256);
+    let cfg = FreqConfig::new(3505, 1001);
+    let ms = sim.run(&small, cfg).unwrap();
+    let ml = sim.run(&large, cfg).unwrap();
+    assert!(ml.time_ms > 8.0 * ms.time_ms, "16x work must show in time (launch overhead dilutes the small run)");
+    // Normalized objective shape is launch-invariant.
+    let cs = sim.characterize_at(&small, &[FreqConfig::new(3505, 592)]);
+    let cl = sim.characterize_at(&large, &[FreqConfig::new(3505, 592)]);
+    assert!((cs.points[0].speedup - cl.points[0].speedup).abs() < 0.05);
+    assert!((cs.points[0].norm_energy - cl.points[0].norm_energy).abs() < 0.05);
+}
+
+#[test]
+fn protocol_repetitions_shrink_with_longer_kernels() {
+    let sim = GpuSimulator::titan_x()
+        .with_protocol(MeasurementProtocol { min_samples: 128, ..Default::default() });
+    let short = sim.run_default(&stream_kernel());
+    let long = sim.run_default(&compute_kernel());
+    assert!(short.runs > long.runs);
+    assert!(short.samples >= 128 && long.samples >= 128);
+}
+
+#[test]
+fn noise_does_not_bias_the_characterization() {
+    let clean = GpuSimulator::titan_x();
+    let noisy = GpuSimulator::titan_x().with_noise(NoiseModel::new(0.01, 0.03, 1234));
+    let p = compute_kernel();
+    let configs = clean.spec().clocks.sample_configs(10);
+    let a = clean.characterize_at(&p, &configs);
+    let b = noisy.characterize_at(&p, &configs);
+    for (x, y) in a.points.iter().zip(&b.points) {
+        assert!((x.speedup - y.speedup).abs() < 0.05, "noise shifted speedup too far");
+        assert!((x.norm_energy - y.norm_energy).abs() < 0.08);
+    }
+}
+
+#[test]
+fn p100_and_titan_x_disagree_on_best_configs() {
+    // Different clock domains → different tuning landscapes; the same
+    // kernel yields differently-shaped fronts on the two devices.
+    let titan = GpuSimulator::titan_x();
+    let p100 = GpuSimulator::tesla_p100();
+    let p = stream_kernel();
+    let ct = titan.characterize(&p);
+    let cp = p100.characterize(&p);
+    let spread = |c: &gpufreq_sim::Characterization| {
+        let (lo, hi) = c
+            .points
+            .iter()
+            .map(|p| p.speedup)
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), v| (l.min(v), h.max(v)));
+        hi - lo
+    };
+    // The Titan X exposes memory scaling; the P100 cannot, so its
+    // speedup spread for a memory-bound kernel is much narrower.
+    assert!(spread(&ct) > 2.0 * spread(&cp));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Energy = power x time holds for every measurement.
+    #[test]
+    fn energy_identity(seed in 0usize..40) {
+        let sim = GpuSimulator::titan_x();
+        let configs = sim.spec().clocks.sample_configs(40);
+        let cfg = configs[seed % configs.len()];
+        let m = sim.run(&compute_kernel(), cfg).unwrap();
+        prop_assert!((m.energy_j - m.avg_power_w * m.time_ms * 1e-3).abs() < 1e-9);
+    }
+
+    /// Every supported configuration yields a finite, positive
+    /// measurement for an arbitrary mix of the two reference kernels.
+    #[test]
+    fn all_configs_measure_cleanly(idx in 0usize..177, pick in 0u8..2) {
+        let sim = GpuSimulator::titan_x();
+        let configs = sim.spec().clocks.actual_configs();
+        let cfg = configs[idx % configs.len()];
+        let p = if pick == 0 { compute_kernel() } else { stream_kernel() };
+        let m = sim.run(&p, cfg).unwrap();
+        prop_assert!(m.time_ms > 0.0 && m.time_ms.is_finite());
+        prop_assert!(m.avg_power_w > 20.0 && m.avg_power_w < 500.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Extended training corpus: seeded random mixed-feature kernels.
+//!
+//! The paper fixes its corpus at 106 codes; this module generates
+//! *additional* mixes on demand for the corpus-coverage ablation
+//! (how does training-set coverage of the feature simplex affect
+//! prediction accuracy?). Each extra benchmark draws 2–5 active
+//! instruction classes and per-class repetition counts from a seeded
+//! RNG, then reuses the mixed-kernel skeleton, so the codes are real
+//! parseable kernels just like the base corpus.
+
+use crate::mixed::mix_body_line;
+use crate::patterns::PatternKind;
+use crate::MicroBenchmark;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Generate `count` extra mixed benchmarks from `seed`, deterministic
+/// per `(count, seed)`.
+pub fn generate_extended(count: usize, seed: u64) -> Vec<MicroBenchmark> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let spec = random_components(&mut rng);
+            MicroBenchmark {
+                name: format!("b-ext-{i}"),
+                source: extended_kernel_source(i, &spec),
+            }
+        })
+        .collect()
+}
+
+fn random_components(rng: &mut SmallRng) -> Vec<(PatternKind, u32)> {
+    let num_classes = rng.gen_range(2..=5usize);
+    let mut classes = PatternKind::ALL.to_vec();
+    // Partial Fisher-Yates to pick `num_classes` distinct classes.
+    for i in 0..num_classes {
+        let j = rng.gen_range(i..classes.len());
+        classes.swap(i, j);
+    }
+    classes
+        .into_iter()
+        .take(num_classes)
+        .map(|p| {
+            // Log-uniform repetition counts: small kernels are common,
+            // heavy ones appear but do not dominate.
+            let exp = rng.gen_range(0..=6u32);
+            let base = 1u32 << exp;
+            (p, rng.gen_range(base..=2 * base))
+        })
+        .collect()
+}
+
+fn extended_kernel_source(index: usize, components: &[(PatternKind, u32)]) -> String {
+    let needs_local = components.iter().any(|(p, _)| matches!(p, PatternKind::LocalAccess));
+    let needs_int = components.iter().any(|(p, _)| {
+        matches!(
+            p,
+            PatternKind::IntAdd | PatternKind::IntMul | PatternKind::IntDiv | PatternKind::IntBitwise
+        )
+    });
+    let mut src = String::new();
+    let _ = writeln!(
+        src,
+        "__kernel void b_ext_{index}(__global float* in_buf, __global float* out_buf, uint mask) {{"
+    );
+    if needs_local {
+        src.push_str("    __local float tile[256];\n");
+    }
+    src.push_str("    uint gid = get_global_id(0);\n");
+    if needs_local {
+        src.push_str("    uint lid = get_local_id(0);\n");
+    }
+    src.push_str("    float f = in_buf[gid & mask];\n");
+    if needs_local {
+        src.push_str("    tile[lid] = f;\n    barrier(0);\n");
+    }
+    if needs_int {
+        src.push_str("    int v = (int)f + (int)gid;\n");
+    }
+    let mut remaining: Vec<(PatternKind, u32)> = components.to_vec();
+    let mut k = 0u32;
+    while remaining.iter().any(|(_, n)| *n > 0) {
+        for (p, n) in remaining.iter_mut() {
+            if *n > 0 {
+                src.push_str(&mix_body_line(*p, k));
+                *n -= 1;
+                k += 1;
+            }
+        }
+    }
+    if needs_int {
+        src.push_str("    out_buf[gid] = f + (float)v;\n");
+    } else {
+        src.push_str("    out_buf[gid] = f;\n");
+    }
+    src.push_str("}\n");
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufreq_kernel::StaticFeatures;
+
+    #[test]
+    fn extended_corpus_is_deterministic() {
+        assert_eq!(generate_extended(20, 7), generate_extended(20, 7));
+        assert_ne!(generate_extended(20, 7), generate_extended(20, 8));
+    }
+
+    #[test]
+    fn every_extended_kernel_profiles() {
+        for b in generate_extended(50, 42) {
+            let p = b.profile();
+            assert!(p.counts.total() > 0.0, "{} has no instructions", b.name);
+        }
+    }
+
+    #[test]
+    fn extended_mixes_fill_the_interior() {
+        // Random mixes should produce feature points away from the
+        // single-class corners: at least half have 2+ active classes
+        // with share > 0.1.
+        let benches = generate_extended(40, 11);
+        let interior = benches
+            .iter()
+            .filter(|b| {
+                let f: StaticFeatures = b.static_features();
+                f.values().iter().filter(|&&v| v > 0.1).count() >= 2
+            })
+            .count();
+        assert!(interior >= 20, "only {interior}/40 interior points");
+    }
+
+    #[test]
+    fn names_do_not_collide_with_base_corpus() {
+        let base = crate::generate_all();
+        let ext = generate_extended(30, 3);
+        for e in &ext {
+            assert!(base.iter().all(|b| b.name != e.name));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! AES-like block encryption (integer/bitwise round function).
+//!
+//! Ten rounds of SubBytes/ShiftRows/MixColumns-style mixing over a
+//! four-word state, with round keys staged in local memory. Dominated
+//! by integer bitwise operations at the core clock — the paper's AES
+//! sits in the compute-dominated group (Fig. 5b), with energy
+//! predictions that tend to be over-approximated (§4.4).
+
+use crate::Workload;
+use gpufreq_kernel::LaunchConfig;
+
+/// Kernel source: 10-round bitwise block cipher on a 4-word state.
+pub fn source() -> String {
+    r#"
+__kernel void aes_encrypt(__global uint* input, __global uint* output,
+                          __global uint* round_keys_g, int num_rounds) {
+    __local uint round_keys[16];
+    uint gid = get_global_id(0);
+    uint lid = get_local_id(0);
+    if (lid < 16u) {
+        round_keys[lid] = round_keys_g[lid];
+    }
+    barrier(0);
+    uint base = gid * 4u;
+    uint s0 = input[base];
+    uint s1 = input[base + 1u];
+    uint s2 = input[base + 2u];
+    uint s3 = input[base + 3u];
+    for (int round = 0; round < num_rounds; round += 1) {
+        uint key = round_keys[round & 15];
+        // SubBytes-like nonlinear mixing.
+        s0 = (s0 << 7) | (s0 >> 25);
+        s1 = (s1 << 11) | (s1 >> 21);
+        s2 = (s2 << 13) | (s2 >> 19);
+        s3 = (s3 << 3) | (s3 >> 29);
+        s0 = s0 ^ (s1 & s2);
+        s1 = s1 ^ (s2 & s3);
+        s2 = s2 ^ (s3 & s0);
+        s3 = s3 ^ (s0 & s1);
+        // MixColumns-like diffusion.
+        uint t = s0;
+        s0 = s0 ^ s1 ^ key;
+        s1 = s1 ^ s2 ^ (key << 1);
+        s2 = s2 ^ s3 ^ (key << 2);
+        s3 = s3 ^ t ^ (key << 3);
+        s0 = s0 + 2654435769u;
+        s3 = s3 + (uint)round;
+    }
+    output[base] = s0;
+    output[base + 1u] = s1;
+    output[base + 2u] = s2;
+    output[base + 3u] = s3;
+}
+"#
+    .to_string()
+}
+
+/// The AES benchmark: 2¹⁸ blocks of four 32-bit words, 10 rounds.
+pub fn workload() -> Workload {
+    Workload {
+        name: "aes",
+        display_name: "AES",
+        source: source(),
+        launch: LaunchConfig::new(1 << 18, 256),
+        bindings: vec![("num_rounds", 10)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitwise_dominated() {
+        let f = workload().static_features();
+        // int_bw is the dominant feature class.
+        let bw = f.get(3);
+        for (j, &v) in f.values().iter().enumerate() {
+            if j != 3 {
+                assert!(bw >= v, "feature {j} ({v}) exceeds int_bw ({bw})");
+            }
+        }
+        assert!(bw > 0.3, "int_bw share {bw}");
+    }
+
+    #[test]
+    fn rounds_resolve_statically() {
+        use gpufreq_kernel::InstrClass;
+        let p = workload().profile();
+        // 10 rounds x 1 local key load.
+        assert!((p.counts.get(InstrClass::LocalLoad) - 10.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Bit compression: pack four 32-bit words into one byte-plane word.
+//!
+//! A streaming pack kernel — four loads, a handful of shifts and
+//! masks, one store. Memory-dominated (bottom group of Fig. 5):
+//! performance tracks the memory clock, and raising the core clock
+//! mostly burns power.
+
+use crate::Workload;
+use gpufreq_kernel::LaunchConfig;
+
+/// Kernel source: 4-to-1 bit-plane packing.
+pub fn source() -> String {
+    r#"
+__kernel void bit_compress(__global uint* input, __global uint* output, uint bits) {
+    uint gid = get_global_id(0);
+    uint base = gid * 4u;
+    uint w0 = input[base];
+    uint w1 = input[base + 1u];
+    uint w2 = input[base + 2u];
+    uint w3 = input[base + 3u];
+    uint mask = (1u << bits) - 1u;
+    uint p0 = (w0 >> (32u - bits)) & mask;
+    uint p1 = (w1 >> (32u - bits)) & mask;
+    uint p2 = (w2 >> (32u - bits)) & mask;
+    uint p3 = (w3 >> (32u - bits)) & mask;
+    uint packed = p0 | (p1 << bits) | (p2 << (bits * 2u)) | (p3 << (bits * 3u));
+    output[gid] = packed;
+}
+"#
+    .to_string()
+}
+
+/// The Bit Compression benchmark: 2²⁰ packed outputs (4 Mi inputs).
+pub fn workload() -> Workload {
+    Workload {
+        name: "bitcompression",
+        display_name: "BitCompression",
+        source: source(),
+        launch: LaunchConfig::new(1 << 20, 256),
+        bindings: vec![("bits", 8)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufreq_kernel::InstrClass;
+
+    #[test]
+    fn streaming_traffic() {
+        let p = workload().profile();
+        assert_eq!(p.counts.get(InstrClass::GlobalLoad), 4.0);
+        assert_eq!(p.counts.get(InstrClass::GlobalStore), 1.0);
+        assert_eq!(p.global_read_bytes, 16.0);
+        assert_eq!(p.global_write_bytes, 4.0);
+    }
+
+    #[test]
+    fn bitwise_but_shallow() {
+        let f = workload().static_features();
+        assert!(f.get(3) > 0.2, "int_bw share {}", f.get(3));
+        // Few instructions overall: access share stays visible.
+        assert!(f.get(8) > 0.1, "gl_access share {}", f.get(8));
+    }
+}

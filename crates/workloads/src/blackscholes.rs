@@ -1,0 +1,83 @@
+//! Blackscholes European option pricing.
+//!
+//! The classic five-input / two-output pricing kernel with a rational
+//! CND approximation. Despite the transcendental math, the per-element
+//! work is small against 28 bytes of streaming traffic, so the kernel
+//! is memory-dominated — matching the paper's observation that
+//! "blackscholes shows very little speedup difference while increasing
+//! the core frequency" (§4.2).
+
+use crate::Workload;
+use gpufreq_kernel::LaunchConfig;
+
+/// Kernel source: Black-Scholes call/put pricing.
+pub fn source() -> String {
+    r#"
+__kernel void blackscholes(__global float* spot, __global float* strike,
+                           __global float* years, __global float* rate_buf,
+                           __global float* vol_buf, __global float* call_out,
+                           __global float* put_out) {
+    uint gid = get_global_id(0);
+    float s = spot[gid];
+    float k = strike[gid];
+    float t = years[gid];
+    float r = rate_buf[gid];
+    float v = vol_buf[gid];
+    float sqrt_t = sqrt(t);
+    float d1 = (log(s / k) + (r + 0.5f * v * v) * t) / (v * sqrt_t);
+    float d2 = d1 - v * sqrt_t;
+    // Cumulative normal via the Abramowitz-Stegun rational fit.
+    float k1 = 1.0f / (1.0f + 0.2316419f * fabs(d1));
+    float cnd1 = 1.0f - 0.3989423f * exp(-0.5f * d1 * d1)
+        * k1 * (0.3193815f + k1 * (-0.3565638f + k1 * 1.7814779f));
+    float k2 = 1.0f / (1.0f + 0.2316419f * fabs(d2));
+    float cnd2 = 1.0f - 0.3989423f * exp(-0.5f * d2 * d2)
+        * k2 * (0.3193815f + k2 * (-0.3565638f + k2 * 1.7814779f));
+    if (d1 < 0.0f) {
+        cnd1 = 1.0f - cnd1;
+    }
+    if (d2 < 0.0f) {
+        cnd2 = 1.0f - cnd2;
+    }
+    float discount = exp(0.0f - r * t);
+    float call = s * cnd1 - k * discount * cnd2;
+    float put = k * discount * (1.0f - cnd2) - s * (1.0f - cnd1);
+    call_out[gid] = call;
+    put_out[gid] = put;
+}
+"#
+    .to_string()
+}
+
+/// The Blackscholes benchmark: 2²⁰ options.
+pub fn workload() -> Workload {
+    Workload {
+        name: "blackscholes",
+        display_name: "Blackscholes",
+        source: source(),
+        launch: LaunchConfig::new(1 << 20, 256),
+        bindings: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufreq_kernel::InstrClass;
+
+    #[test]
+    fn five_in_two_out() {
+        let p = workload().profile();
+        assert_eq!(p.counts.get(InstrClass::GlobalLoad), 5.0);
+        assert_eq!(p.counts.get(InstrClass::GlobalStore), 2.0);
+        assert_eq!(p.global_read_bytes, 20.0);
+        assert_eq!(p.global_write_bytes, 8.0);
+    }
+
+    #[test]
+    fn transcendental_math_present() {
+        let p = workload().profile();
+        // sqrt, log, 3x exp.
+        assert!(p.counts.get(InstrClass::SpecialFn) >= 5.0);
+    }
+}

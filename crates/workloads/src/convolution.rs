@@ -1,0 +1,66 @@
+//! 1-D convolution with a wide computed-coefficient window.
+//!
+//! Each work-item convolves a 49-tap window over a row tile staged in
+//! local memory, with Gaussian-like weights computed arithmetically in
+//! registers (so the coefficient table costs no memory traffic).
+//! Compute-dominated (Fig. 5d): the float-divide-heavy weight
+//! computation scales with the core clock.
+
+use crate::Workload;
+use gpufreq_kernel::LaunchConfig;
+
+/// Kernel source: 49-tap convolution over a staged tile.
+pub fn source() -> String {
+    r#"
+__kernel void convolution(__global float* input, __global float* output,
+                          int taps, float sigma) {
+    __local float tile[256];
+    uint gid = get_global_id(0);
+    uint lid = get_local_id(0);
+    tile[lid] = input[gid];
+    barrier(0);
+    float acc = 0.0f;
+    float norm = 0.0f;
+    for (int j = 0; j < taps; j += 1) {
+        int offset = j - 24;
+        float d = (float)offset / sigma;
+        float w = 1.0f / (1.0f + d * d);
+        acc = acc + w * tile[((int)lid + offset) & 255];
+        norm = norm + w;
+    }
+    output[gid] = acc / norm;
+}
+"#
+    .to_string()
+}
+
+/// The Convolution benchmark: 2²⁰ samples, 49 taps.
+pub fn workload() -> Workload {
+    Workload {
+        name: "convolution",
+        display_name: "Convolution",
+        source: source(),
+        launch: LaunchConfig::new(1 << 20, 256),
+        bindings: vec![("taps", 49)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufreq_kernel::InstrClass;
+
+    #[test]
+    fn tap_loop_resolves() {
+        let p = workload().profile();
+        // One local load and one float divide per tap.
+        assert!((p.counts.get(InstrClass::LocalLoad) - 49.0).abs() < 1.0);
+        assert!(p.counts.get(InstrClass::FloatDiv) >= 49.0);
+    }
+
+    #[test]
+    fn float_div_is_a_visible_feature() {
+        let f = workload().static_features();
+        assert!(f.get(6) > 0.05, "float_div share {}", f.get(6));
+    }
+}

@@ -1,0 +1,67 @@
+//! Flte: filtered linear time estimation (32-tap FIR smoother).
+//!
+//! A signal-processing kernel: each work-item applies a 32-tap FIR
+//! filter with exponentially decaying coefficients over a sample tile
+//! staged in local memory, then emits a slope estimate. Sits between
+//! the compute- and memory-dominated groups, matching Flte's mid-table
+//! position in the paper (Table 2, `D = 0.0279`).
+
+use crate::Workload;
+use gpufreq_kernel::LaunchConfig;
+
+/// Kernel source: FIR smoothing plus slope estimation.
+pub fn source() -> String {
+    r#"
+__kernel void flte(__global float* samples, __global float* estimate,
+                   int taps, float decay) {
+    __local float tile[256];
+    uint gid = get_global_id(0);
+    uint lid = get_local_id(0);
+    tile[lid] = samples[gid];
+    barrier(0);
+    float acc = 0.0f;
+    float w = 1.0f;
+    float wsum = 0.0f;
+    float slope = 0.0f;
+    for (int j = 0; j < taps; j += 1) {
+        float s = tile[((int)lid - j) & 255];
+        acc = acc + w * s;
+        slope = slope + w * (float)j * s;
+        wsum = wsum + w;
+        w = w * decay;
+    }
+    float mean = acc / wsum;
+    estimate[gid] = mean + slope * 0.001f;
+}
+"#
+    .to_string()
+}
+
+/// The Flte benchmark: 2²⁰ samples, 32 taps.
+pub fn workload() -> Workload {
+    Workload {
+        name: "flte",
+        display_name: "Flte",
+        source: source(),
+        launch: LaunchConfig::new(1 << 20, 256),
+        bindings: vec![("taps", 32)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufreq_kernel::InstrClass;
+
+    #[test]
+    fn tap_loop_resolves() {
+        let p = workload().profile();
+        assert!((p.counts.get(InstrClass::LocalLoad) - 32.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn float_pipeline_dominates() {
+        let f = workload().static_features();
+        assert!(f.get(4) + f.get(5) > 0.35, "float share {}", f.get(4) + f.get(5));
+    }
+}

@@ -1,0 +1,76 @@
+//! K-means: cluster-assignment step.
+//!
+//! Each work-item assigns one 4-dimensional point to the nearest of 16
+//! centroids staged in local memory. Moderately compute-dominated —
+//! K-means sits in the paper's middle accuracy band (Table 2,
+//! `D = 0.0155`).
+
+use crate::Workload;
+use gpufreq_kernel::LaunchConfig;
+
+/// Kernel source: nearest-centroid assignment over local centroids.
+pub fn source() -> String {
+    r#"
+__kernel void kmeans_assign(__global float* points, __global float* centroids_g,
+                            __global int* assignment, int k, int dims) {
+    __local float centroids[64];
+    uint gid = get_global_id(0);
+    uint lid = get_local_id(0);
+    if (lid < 64u) {
+        centroids[lid] = centroids_g[lid];
+    }
+    barrier(0);
+    uint base = gid * 4u;
+    float p0 = points[base];
+    float p1 = points[base + 1u];
+    float p2 = points[base + 2u];
+    float p3 = points[base + 3u];
+    float best = 1000000000.0f;
+    int best_c = 0;
+    for (int c = 0; c < k; c += 1) {
+        uint cb = (uint)c * 4u;
+        float d0 = centroids[cb] - p0;
+        float d1 = centroids[cb + 1u] - p1;
+        float d2 = centroids[cb + 2u] - p2;
+        float d3 = centroids[cb + 3u] - p3;
+        float dist = d0 * d0 + d1 * d1 + d2 * d2 + d3 * d3;
+        if (dist < best) {
+            best = dist;
+            best_c = c;
+        }
+    }
+    assignment[gid] = best_c;
+}
+"#
+    .to_string()
+}
+
+/// The K-means benchmark: 2²⁰ points, 16 centroids, 4 dimensions.
+pub fn workload() -> Workload {
+    Workload {
+        name: "kmeans",
+        display_name: "K-means",
+        source: source(),
+        launch: LaunchConfig::new(1 << 20, 256),
+        bindings: vec![("k", 16), ("dims", 4)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufreq_kernel::InstrClass;
+
+    #[test]
+    fn centroid_loop_resolves() {
+        let p = workload().profile();
+        // 16 centroids x 4 local loads.
+        assert!((p.counts.get(InstrClass::LocalLoad) - 64.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn distance_math_dominates() {
+        let f = workload().static_features();
+        assert!(f.get(4) + f.get(5) > 0.3, "float share {}", f.get(4) + f.get(5));
+    }
+}

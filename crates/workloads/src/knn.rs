@@ -1,0 +1,76 @@
+//! k-Nearest-Neighbour classification (1-NN over 2-D points).
+//!
+//! The paper's most core-clock-sensitive benchmark (§1.1, Fig. 1a):
+//! each work-item scans 256 reference points staged in local memory,
+//! so the kernel is dominated by float arithmetic at the core clock
+//! and "benefits greatly from core scaling".
+
+use crate::Workload;
+use gpufreq_kernel::LaunchConfig;
+
+/// Kernel source: brute-force 1-NN over a local-memory reference tile.
+pub fn source() -> String {
+    r#"
+__kernel void knn(__global float* query_x, __global float* query_y,
+                  __global float* ref_x_g, __global float* ref_y_g,
+                  __global int* out_idx, int num_refs) {
+    __local float ref_x[256];
+    __local float ref_y[256];
+    uint gid = get_global_id(0);
+    uint lid = get_local_id(0);
+    // Cooperative staging: each work-item loads one reference point.
+    ref_x[lid] = ref_x_g[lid];
+    ref_y[lid] = ref_y_g[lid];
+    barrier(0);
+    float qx = query_x[gid];
+    float qy = query_y[gid];
+    float best = 1000000000.0f;
+    int best_i = 0;
+    for (int r = 0; r < num_refs; r += 1) {
+        float dx = ref_x[r] - qx;
+        float dy = ref_y[r] - qy;
+        float dist = dx * dx + dy * dy;
+        if (dist < best) {
+            best = dist;
+            best_i = r;
+        }
+    }
+    out_idx[gid] = best_i;
+}
+"#
+    .to_string()
+}
+
+/// The k-NN benchmark: 2²⁰ queries against 256 reference points.
+pub fn workload() -> Workload {
+    Workload {
+        name: "knn",
+        display_name: "k-NN",
+        source: source(),
+        launch: LaunchConfig::new(1 << 20, 256),
+        bindings: vec![("num_refs", 256)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufreq_kernel::InstrClass;
+
+    #[test]
+    fn parses_and_is_float_dominated() {
+        let w = workload();
+        let p = w.profile();
+        let f = w.static_features();
+        // float_add + float_mul dominate the mix.
+        assert!(f.get(4) + f.get(5) > 0.3, "float share {}", f.get(4) + f.get(5));
+        assert!(p.counts.get(InstrClass::LocalLoad) > 100.0, "reference tile scanned");
+    }
+
+    #[test]
+    fn loop_resolves_via_binding() {
+        let p = workload().profile();
+        // 256 iterations * 2 local loads each.
+        assert!((p.counts.get(InstrClass::LocalLoad) - 512.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Dense matrix multiplication (tiled, local-memory staged).
+//!
+//! `C = A · B` for 1024×1024 single-precision matrices, one work-item
+//! per output element, with 256-element tiles of `A` and `B` staged
+//! cooperatively in local memory. Compute-dominated: the inner loop is
+//! a multiply-accumulate chain over local memory at the core clock.
+
+use crate::Workload;
+use gpufreq_kernel::LaunchConfig;
+
+/// Kernel source: tiled GEMM with cooperative local staging.
+pub fn source() -> String {
+    r#"
+__kernel void matmul(__global float* a, __global float* b, __global float* c,
+                     int n, int tiles) {
+    __local float a_tile[256];
+    __local float b_tile[256];
+    uint gid = get_global_id(0);
+    uint lid = get_local_id(0);
+    uint row = gid / 1024u;
+    uint col = gid % 1024u;
+    float acc = 0.0f;
+    for (int t = 0; t < tiles; t += 1) {
+        uint k_base = (uint)t * 256u;
+        a_tile[lid] = a[row * 1024u + k_base + lid];
+        b_tile[lid] = b[(k_base + lid) * 1024u + col];
+        barrier(0);
+        for (int k = 0; k < 256; k += 1) {
+            acc = acc + a_tile[k] * b_tile[k];
+        }
+        barrier(0);
+    }
+    c[gid] = acc;
+}
+"#
+    .to_string()
+}
+
+/// The Matrix Multiply benchmark: 1024² output elements, K = 1024.
+pub fn workload() -> Workload {
+    Workload {
+        name: "matmul",
+        display_name: "MatrixMultiply",
+        source: source(),
+        launch: LaunchConfig::new(1 << 20, 256),
+        bindings: vec![("n", 1024), ("tiles", 4)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufreq_kernel::InstrClass;
+
+    #[test]
+    fn fma_chain_dominates() {
+        let p = workload().profile();
+        // 4 tiles x 256 iterations of mul + add.
+        assert!((p.counts.get(InstrClass::FloatMul) - 1024.0).abs() < 1.0);
+        assert!(p.counts.get(InstrClass::FloatAdd) >= 1024.0);
+        // 2 local loads per inner iteration + 2 stores per tile.
+        assert!(p.counts.get(InstrClass::LocalLoad) >= 2048.0);
+    }
+
+    #[test]
+    fn uses_integer_division_for_indexing() {
+        let p = workload().profile();
+        assert!(p.counts.get(InstrClass::IntDiv) >= 2.0, "row/col use div and mod");
+    }
+
+    #[test]
+    fn global_traffic_is_small_relative_to_flops() {
+        let p = workload().profile();
+        let flops = p.counts.get(InstrClass::FloatMul) + p.counts.get(InstrClass::FloatAdd);
+        assert!(flops * 4.0 > p.global_read_bytes + p.global_write_bytes);
+    }
+}

@@ -1,0 +1,80 @@
+//! 3×3 median filter (sorting-network selection).
+//!
+//! Each work-item loads a 3×3 neighbourhood from global memory and
+//! selects the median with a min/max network. Nine uncached loads per
+//! output pixel make the kernel memory-dominated (bottom group of
+//! Fig. 5): speedup is flat in the core clock.
+
+use crate::Workload;
+use gpufreq_kernel::LaunchConfig;
+
+/// Kernel source: 3×3 median via a partial sorting network.
+pub fn source() -> String {
+    r#"
+__kernel void median_filter(__global float* img, __global float* out, uint width) {
+    uint gid = get_global_id(0);
+    uint up = gid - width;
+    uint down = gid + width;
+    float a0 = img[up - 1u];
+    float a1 = img[up];
+    float a2 = img[up + 1u];
+    float a3 = img[gid - 1u];
+    float a4 = img[gid];
+    float a5 = img[gid + 1u];
+    float a6 = img[down - 1u];
+    float a7 = img[down];
+    float a8 = img[down + 1u];
+    // Median-of-9 selection network (Smith's construction, shortened).
+    float lo = fmin(a0, a1); float hi = fmax(a0, a1); a0 = lo; a1 = hi;
+    lo = fmin(a3, a4); hi = fmax(a3, a4); a3 = lo; a4 = hi;
+    lo = fmin(a6, a7); hi = fmax(a6, a7); a6 = lo; a7 = hi;
+    lo = fmin(a1, a2); hi = fmax(a1, a2); a1 = lo; a2 = hi;
+    lo = fmin(a4, a5); hi = fmax(a4, a5); a4 = lo; a5 = hi;
+    lo = fmin(a7, a8); hi = fmax(a7, a8); a7 = lo; a8 = hi;
+    lo = fmin(a0, a1); a1 = fmax(a0, a1);
+    lo = fmin(a3, a4); a4 = fmax(a3, a4);
+    lo = fmin(a6, a7); a7 = fmax(a6, a7);
+    a3 = fmax(a0, a3);
+    a6 = fmax(a3, a6);
+    a4 = fmin(a4, a7);
+    a1 = fmin(a1, a4);
+    a2 = fmin(a2, a5);
+    a2 = fmin(a2, a8);
+    a4 = fmax(a1, a6);
+    a2 = fmax(a2, a4);
+    out[gid] = fmin(a2, a4);
+}
+"#
+    .to_string()
+}
+
+/// The Median Filter benchmark: a 1024×1024 image.
+pub fn workload() -> Workload {
+    Workload {
+        name: "median",
+        display_name: "MedianFilter",
+        source: source(),
+        launch: LaunchConfig::new(1 << 20, 256),
+        bindings: vec![("width", 1024)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufreq_kernel::InstrClass;
+
+    #[test]
+    fn nine_loads_per_pixel() {
+        let p = workload().profile();
+        assert_eq!(p.counts.get(InstrClass::GlobalLoad), 9.0);
+        assert_eq!(p.counts.get(InstrClass::GlobalStore), 1.0);
+        assert_eq!(p.global_read_bytes, 36.0);
+    }
+
+    #[test]
+    fn high_access_share() {
+        let f = workload().static_features();
+        assert!(f.get(8) > 0.08, "gl_access share {}", f.get(8));
+    }
+}

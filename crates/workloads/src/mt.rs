@@ -1,0 +1,71 @@
+//! Mersenne Twister: parallel state twist + tempering.
+//!
+//! Each work-item performs one MT19937-style twist over the shared
+//! state array (three state loads, one state store) and emits one
+//! tempered output. The most memory-dominated benchmark in the paper
+//! (§1.1, Fig. 1d–f): speedup is flat in the core clock and the
+//! low-memory domains collapse to a line/point, which is what makes MT
+//! hard to predict (§4.5).
+
+use crate::Workload;
+use gpufreq_kernel::LaunchConfig;
+
+/// Kernel source: MT19937-style twist and temper.
+pub fn source() -> String {
+    r#"
+__kernel void mersenne_twister(__global uint* state_in, __global uint* state_out,
+                               __global uint* output, uint n, uint m) {
+    uint gid = get_global_id(0);
+    uint s_cur = state_in[gid];
+    uint s_next = state_in[(gid + 1u) & (n - 1u)];
+    uint s_m = state_in[(gid + m) & (n - 1u)];
+    // Twist.
+    uint y = (s_cur & 2147483648u) | (s_next & 2147483647u);
+    uint twisted = s_m ^ (y >> 1);
+    uint is_odd = y & 1u;
+    if (is_odd == 1u) {
+        twisted = twisted ^ 2567483615u;
+    }
+    state_out[gid] = twisted;
+    // Temper.
+    uint t = twisted;
+    t = t ^ (t >> 11);
+    t = t ^ ((t << 7) & 2636928640u);
+    t = t ^ ((t << 15) & 4022730752u);
+    t = t ^ (t >> 18);
+    output[gid] = t;
+}
+"#
+    .to_string()
+}
+
+/// The Mersenne Twister benchmark: a 2²⁰-word state.
+pub fn workload() -> Workload {
+    Workload {
+        name: "mt",
+        display_name: "MT",
+        source: source(),
+        launch: LaunchConfig::new(1 << 20, 256),
+        bindings: vec![("n", 1 << 20), ("m", 397)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufreq_kernel::InstrClass;
+
+    #[test]
+    fn state_traffic() {
+        let p = workload().profile();
+        assert_eq!(p.counts.get(InstrClass::GlobalLoad), 3.0);
+        assert_eq!(p.counts.get(InstrClass::GlobalStore), 2.0);
+    }
+
+    #[test]
+    fn bitwise_tempering_visible() {
+        let f = workload().static_features();
+        assert!(f.get(3) > 0.2, "int_bw share {}", f.get(3));
+        assert!(f.get(8) > 0.1, "gl_access share {}", f.get(8));
+    }
+}

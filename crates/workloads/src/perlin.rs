@@ -1,0 +1,89 @@
+//! Perlin noise generation (4-octave gradient noise).
+//!
+//! Pure procedural generation: integer hashing, smoothstep fades and
+//! trigonometric gradients, with one store per work-item and no input
+//! traffic. The paper's most accurately predicted benchmark
+//! (Table 2, `D = 0.0059`).
+
+use crate::Workload;
+use gpufreq_kernel::LaunchConfig;
+
+/// Kernel source: 4 octaves of hash-based gradient noise.
+pub fn source() -> String {
+    r#"
+__kernel void perlin(__global float* out_noise, int octaves, float inv_width) {
+    uint gid = get_global_id(0);
+    uint x = gid % 1024u;
+    uint y = gid / 1024u;
+    float total = 0.0f;
+    float amplitude = 1.0f;
+    for (int oct = 0; oct < octaves; oct += 1) {
+        uint fx = x >> (uint)oct;
+        uint fy = y >> (uint)oct;
+        // Integer lattice hash.
+        uint h00 = (fx * 374761393u + fy * 668265263u) ^ 1274126177u;
+        h00 = (h00 ^ (h00 >> 13)) * 1103515245u;
+        uint h10 = ((fx + 1u) * 374761393u + fy * 668265263u) ^ 1274126177u;
+        h10 = (h10 ^ (h10 >> 13)) * 1103515245u;
+        uint h01 = (fx * 374761393u + (fy + 1u) * 668265263u) ^ 1274126177u;
+        h01 = (h01 ^ (h01 >> 13)) * 1103515245u;
+        uint h11 = ((fx + 1u) * 374761393u + (fy + 1u) * 668265263u) ^ 1274126177u;
+        h11 = (h11 ^ (h11 >> 13)) * 1103515245u;
+        // Gradients from the hashes via trigonometry.
+        float g00 = sin((float)(h00 & 1023u) * 0.00614f);
+        float g10 = sin((float)(h10 & 1023u) * 0.00614f);
+        float g01 = cos((float)(h01 & 1023u) * 0.00614f);
+        float g11 = cos((float)(h11 & 1023u) * 0.00614f);
+        // Smoothstep fade of the fractional position.
+        float tx = (float)(x & 255u) * inv_width;
+        float ty = (float)(y & 255u) * inv_width;
+        float fade_x = tx * tx * (3.0f - 2.0f * tx);
+        float fade_y = ty * ty * (3.0f - 2.0f * ty);
+        float lerp_top = g00 + fade_x * (g10 - g00);
+        float lerp_bot = g01 + fade_x * (g11 - g01);
+        total = total + amplitude * (lerp_top + fade_y * (lerp_bot - lerp_top));
+        amplitude = amplitude * 0.5f;
+    }
+    out_noise[gid] = total;
+}
+"#
+    .to_string()
+}
+
+/// The Perlin Noise benchmark: a 1024×1024 field, 4 octaves.
+pub fn workload() -> Workload {
+    Workload {
+        name: "perlin",
+        display_name: "PerlinNoise",
+        source: source(),
+        launch: LaunchConfig::new(1 << 20, 256),
+        bindings: vec![("octaves", 4)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufreq_kernel::InstrClass;
+
+    #[test]
+    fn octave_loop_resolves() {
+        let p = workload().profile();
+        // 4 octaves x 4 trig gradients.
+        assert!((p.counts.get(InstrClass::SpecialFn) - 16.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn minimal_memory_traffic() {
+        let p = workload().profile();
+        assert_eq!(p.global_read_bytes, 0.0);
+        assert_eq!(p.global_write_bytes, 4.0);
+    }
+
+    #[test]
+    fn mixes_int_hash_and_float_math() {
+        let f = workload().static_features();
+        assert!(f.get(1) + f.get(3) > 0.15, "int hash share");
+        assert!(f.get(4) + f.get(5) > 0.2, "float share");
+    }
+}

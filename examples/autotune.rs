@@ -1,0 +1,93 @@
+//! Autotune: pick the best frequency configuration for a kernel source
+//! file under a user-chosen energy/performance trade-off, then verify
+//! the choice against the simulator's ground truth.
+//!
+//! ```sh
+//! cargo run --release --example autotune -- path/to/kernel.cl 0.5
+//! ```
+//!
+//! The second argument is the trade-off weight `w ∈ [0, 1]`: 0 = only
+//! energy matters, 1 = only performance. Run without arguments to
+//! autotune the built-in matrix-multiply benchmark at `w = 0.5`.
+
+use gpufreq::prelude::*;
+use gpufreq_kernel::{AnalysisConfig, KernelProfile};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let weight: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    assert!((0.0..=1.0).contains(&weight), "trade-off weight must be in [0, 1]");
+
+    // --- Load the kernel. ----------------------------------------------
+    let (name, source, launch) = match args.get(1) {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).expect("read kernel source file");
+            (path.clone(), text, LaunchConfig::default())
+        }
+        None => {
+            let w = workload("matmul").unwrap();
+            (w.display_name.to_string(), w.source.clone(), w.launch)
+        }
+    };
+    let program = parse(&source).expect("kernel parses");
+    let kernel = program.first_kernel().expect("a __kernel function");
+    let profile = KernelProfile::from_kernel(kernel, &AnalysisConfig::default(), launch)
+        .expect("kernel analyzes");
+    let features = profile.static_features();
+    println!("autotuning `{name}` (trade-off weight {weight}: 0=energy, 1=performance)\n");
+
+    // --- Train (reduced corpus for example speed). -----------------------
+    let sim = GpuSimulator::titan_x();
+    let corpus: Vec<_> = gpufreq::synth::generate_all().into_iter().step_by(3).collect();
+    let data = build_training_data(&sim, &corpus, 20);
+    let model = FreqScalingModel::train(
+        &data,
+        &ModelConfig {
+            speedup: SvrParams { c: 100.0, ..SvrParams::paper_speedup() },
+            energy: SvrParams { c: 100.0, ..SvrParams::paper_energy() },
+        },
+    );
+
+    // --- Predict the Pareto set and scalarize. ---------------------------
+    let prediction = predict_pareto(&model, &features, &sim.spec().clocks);
+    let choice = prediction
+        .pareto_set
+        .iter()
+        .filter(|p| !p.heuristic)
+        .max_by(|a, b| {
+            let score = |o: &gpufreq::pareto::Objectives| {
+                weight * o.speedup - (1.0 - weight) * o.energy
+            };
+            score(&a.objectives).partial_cmp(&score(&b.objectives)).unwrap()
+        })
+        .expect("non-empty Pareto set");
+    println!(
+        "chosen configuration: {} (predicted speedup {:.3}, energy {:.3})",
+        choice.config, choice.objectives.speedup, choice.objectives.energy
+    );
+
+    // --- Verify against ground truth. ------------------------------------
+    let baseline = sim.run_default(&profile);
+    let tuned = sim.run(&profile, choice.config).expect("supported configuration");
+    let speedup = baseline.time_ms / tuned.time_ms;
+    let energy = tuned.energy_j / baseline.energy_j;
+    println!("\nmeasured on the simulator:");
+    println!(
+        "  default {}: {:.3} ms, {:.3} J",
+        sim.spec().clocks.default,
+        baseline.time_ms,
+        baseline.energy_j
+    );
+    println!(
+        "  tuned   {}: {:.3} ms, {:.3} J",
+        tuned.config, tuned.time_ms, tuned.energy_j
+    );
+    println!("  actual speedup {speedup:.3}, actual normalized energy {energy:.3}");
+    if speedup >= 1.0 && energy <= 1.0 {
+        println!("  -> dominates the default configuration");
+    } else if energy < 1.0 {
+        println!("  -> saves {:.1}% energy at {:.1}% of default speed", (1.0 - energy) * 100.0, speedup * 100.0);
+    } else {
+        println!("  -> {:.1}% faster at {:.1}% of default energy", (speedup - 1.0) * 100.0, energy * 100.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Characterize: sweep one of the twelve test benchmarks over every
+//! supported frequency configuration and print its measured
+//! energy/performance landscape — the per-application view of §4.2,
+//! rendered as an ASCII objective-space plot plus the measured Pareto
+//! front.
+//!
+//! ```sh
+//! cargo run --release --example characterize -- knn
+//! ```
+
+use gpufreq::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "knn".to_string());
+    let Some(w) = workload(&name) else {
+        eprintln!("unknown workload `{name}`; available:");
+        for w in all_workloads() {
+            eprintln!("  {}", w.name);
+        }
+        std::process::exit(1);
+    };
+    let sim = GpuSimulator::titan_x();
+    let profile = w.profile();
+    println!("characterizing {} over all 177 configurations...\n", w.display_name);
+    let c = sim.characterize(&profile);
+
+    // ASCII objective-space scatter: x = speedup, y = normalized energy.
+    const COLS: usize = 72;
+    const ROWS: usize = 24;
+    let (s_lo, s_hi) = (0.0, 1.4);
+    let (e_lo, e_hi) = (0.4, 2.0);
+    let mut grid = vec![vec![' '; COLS]; ROWS];
+    for p in &c.points {
+        let x = ((p.speedup - s_lo) / (s_hi - s_lo) * (COLS - 1) as f64).round();
+        let y = ((p.norm_energy - e_lo) / (e_hi - e_lo) * (ROWS - 1) as f64).round();
+        if (0.0..COLS as f64).contains(&x) && (0.0..ROWS as f64).contains(&y) {
+            let glyph = match p.config().mem_mhz {
+                3505 => 'H',
+                3304 => 'h',
+                810 => 'l',
+                _ => 'L',
+            };
+            grid[ROWS - 1 - y as usize][x as usize] = glyph;
+        }
+    }
+    // Mark the default configuration.
+    let dx = ((1.0 - s_lo) / (s_hi - s_lo) * (COLS - 1) as f64).round() as usize;
+    let dy = ((1.0 - e_lo) / (e_hi - e_lo) * (ROWS - 1) as f64).round() as usize;
+    grid[ROWS - 1 - dy][dx] = '*';
+
+    println!("normalized energy (top {e_hi:.1} .. bottom {e_lo:.1}); * = default config");
+    for row in &grid {
+        println!("|{}|", row.iter().collect::<String>());
+    }
+    println!("speedup {s_lo:.1} {}-> {s_hi:.1}", " ".repeat(COLS - 12));
+    println!("glyphs: H=mem-3505 h=mem-3304 l=mem-810 L=mem-405\n");
+
+    // The measured Pareto front.
+    let objectives: Vec<Objectives> =
+        c.points.iter().map(|p| Objectives::new(p.speedup, p.norm_energy)).collect();
+    let front_idx: Vec<usize> = gpufreq::pareto::pareto_set_simple(&objectives);
+    println!("measured Pareto front ({} of {} points):", front_idx.len(), c.points.len());
+    let mut front: Vec<_> = front_idx.iter().map(|&i| &c.points[i]).collect();
+    front.sort_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap());
+    for p in front {
+        println!(
+            "  {}  speedup {:.3}  energy {:.3}  ({:.3} ms, {:.1} W)",
+            p.config(),
+            p.speedup,
+            p.norm_energy,
+            p.measurement.time_ms,
+            p.measurement.avg_power_w
+        );
+    }
+    println!(
+        "\nsweep cost on real hardware would be ~{:.0} minutes (simulated wall clock)",
+        c.sim_wall_s() / 60.0
+    );
+}

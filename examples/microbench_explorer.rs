@@ -1,0 +1,61 @@
+//! Micro-benchmark explorer: inspect the 106 synthetic training codes
+//! of §3.3 — their generated sources, static feature vectors, and how
+//! intensity sweeps move each pattern from memory- to compute-bound on
+//! the simulator.
+//!
+//! ```sh
+//! cargo run --release --example microbench_explorer            # summary table
+//! cargo run --release --example microbench_explorer -- b-sf-64 # one benchmark
+//! ```
+
+use gpufreq::prelude::*;
+use gpufreq_sim::{execution_time, KernelDemand};
+
+fn main() {
+    let benches = gpufreq::synth::generate_all();
+    if let Some(name) = std::env::args().nth(1) {
+        let Some(b) = benches.iter().find(|b| b.name == name) else {
+            eprintln!("unknown micro-benchmark `{name}` (there are {})", benches.len());
+            std::process::exit(1);
+        };
+        println!("=== {} ===\n", b.name);
+        println!("{}", b.source);
+        let f = b.static_features();
+        println!("static features:");
+        for (fname, value) in gpufreq::kernel::STATIC_FEATURE_NAMES.iter().zip(f.values()) {
+            if *value > 0.0 {
+                println!("  {fname:<10} {value:.3}");
+            }
+        }
+        return;
+    }
+
+    let sim = GpuSimulator::titan_x();
+    let default = sim.spec().clocks.default;
+    println!("the {} synthetic training micro-benchmarks (paper §3.3):\n", benches.len());
+    println!(
+        "{:<22} {:>9} {:>10} {:>12} {:>10}",
+        "name", "instrs", "bytes/item", "bound", "dominant"
+    );
+    for b in &benches {
+        let profile = b.profile();
+        let demand = KernelDemand::from_profile(sim.spec(), &profile);
+        let timing = execution_time(sim.spec(), &demand, default);
+        let f = b.static_features();
+        let (dom_idx, _) = f
+            .values()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        println!(
+            "{:<22} {:>9.0} {:>10.0} {:>12} {:>10}",
+            b.name,
+            profile.counts.total(),
+            profile.global_read_bytes + profile.global_write_bytes,
+            if timing.is_memory_bound() { "memory" } else { "compute" },
+            gpufreq::kernel::STATIC_FEATURE_NAMES[dom_idx],
+        );
+    }
+    println!("\npass a benchmark name to print its source and features");
+}

@@ -1,0 +1,76 @@
+//! Quickstart: train a small model and predict the Pareto-optimal
+//! frequency settings of a kernel you provide as source text.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Uses a reduced training corpus (every 3rd micro-benchmark, 20
+//! frequency settings) so the whole example runs in seconds; the
+//! experiment binaries in `gpufreq-bench` use the full paper-scale
+//! corpus.
+
+use gpufreq::prelude::*;
+
+fn main() {
+    // --- 1. The device (a simulated GTX Titan X). ---------------------
+    let sim = GpuSimulator::titan_x();
+    println!(
+        "device: {} — {} supported configurations, default {}",
+        sim.spec().name,
+        sim.spec().clocks.actual_configs().len(),
+        sim.spec().clocks.default
+    );
+
+    // --- 2. Training phase (Fig. 2), reduced for speed. ---------------
+    let corpus: Vec<_> = gpufreq::synth::generate_all().into_iter().step_by(3).collect();
+    println!("training on {} micro-benchmarks x 20 frequency settings...", corpus.len());
+    let data = build_training_data(&sim, &corpus, 20);
+    let model = FreqScalingModel::train(
+        &data,
+        &ModelConfig {
+            speedup: SvrParams { c: 100.0, ..SvrParams::paper_speedup() },
+            energy: SvrParams { c: 100.0, ..SvrParams::paper_energy() },
+        },
+    );
+    println!("trained on {} samples\n", model.trained_on());
+
+    // --- 3. A brand-new kernel, never executed. ------------------------
+    let source = r#"
+        __kernel void saxpy_pow(__global float* x, __global float* y, float a) {
+            uint i = get_global_id(0);
+            float acc = 0.0f;
+            for (int it = 0; it < 64; it += 1) {
+                acc = acc + a * x[i] - acc * 0.25f;
+                acc = acc + sqrt(acc * acc + 1.0f);
+            }
+            y[i] = acc;
+        }
+    "#;
+    let program = parse(source).expect("kernel parses");
+    let analysis = analyze_kernel(program.first_kernel().unwrap()).expect("kernel analyzes");
+    let features = StaticFeatures::from_analysis(&analysis);
+    println!("static features of `saxpy_pow`:");
+    for (name, value) in gpufreq::kernel::STATIC_FEATURE_NAMES.iter().zip(features.values()) {
+        if *value > 0.0 {
+            println!("  {name:<10} {value:.3}");
+        }
+    }
+
+    // --- 4. Prediction phase (Fig. 3). ---------------------------------
+    let prediction = predict_pareto(&model, &features, &sim.spec().clocks);
+    println!("\npredicted Pareto-optimal frequency settings:");
+    for point in &prediction.pareto_set {
+        println!(
+            "  {}  -> speedup {:.3}, normalized energy {:.3}{}",
+            point.config,
+            point.objectives.speedup,
+            point.objectives.energy,
+            if point.heuristic { "  [mem-L heuristic]" } else { "" }
+        );
+    }
+    let best_perf = prediction.max_speedup().expect("non-empty set");
+    let best_energy = prediction.min_energy().expect("non-empty set");
+    println!("\nfor maximum performance: apply {}", best_perf.config);
+    println!("for minimum energy:      apply {}", best_energy.config);
+}

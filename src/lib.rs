@@ -1,0 +1,59 @@
+//! `gpufreq` — a from-scratch Rust reproduction of *Predictable GPUs
+//! Frequency Scaling for Energy and Performance* (Fan, Cosenza,
+//! Juurlink — ICPP 2019, DOI 10.1145/3337821.3337833).
+//!
+//! The paper predicts, for a previously unseen OpenCL kernel, which
+//! `(memory, core)` frequency configurations of a GPU are
+//! Pareto-optimal with respect to speedup and normalized energy —
+//! using only *static* code features, without ever executing the
+//! kernel. This workspace implements the complete system plus every
+//! substrate it needs:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`kernel`] | OpenCL-C-subset front-end + static feature extraction (the LLVM-pass analogue) |
+//! | [`sim`] | deterministic GPU DVFS simulator with Titan X / P100 clock tables and an NVML facade |
+//! | [`ml`] | ε-SVR via SMO, OLS/ridge/LASSO/polynomial baselines, scaling, metrics |
+//! | [`pareto`] | dominance, Algorithm 1, fast fronts, hypervolume, extreme points |
+//! | [`synth`] | the 106 pattern-based synthetic training micro-benchmarks |
+//! | [`workloads`] | the 12 test benchmarks of the evaluation |
+//! | [`core`] | the paper's contribution: training pipeline, two-headed model, Pareto prediction, evaluation |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use gpufreq::prelude::*;
+//!
+//! // Train on the synthetic corpus (Fig. 2).
+//! let sim = GpuSimulator::titan_x();
+//! let data = build_training_data(&sim, &gpufreq::synth::generate_all(), 40);
+//! let model = FreqScalingModel::train(&data, &ModelConfig::default());
+//!
+//! // Predict the Pareto-optimal frequency settings of a new kernel (Fig. 3).
+//! let kernel = gpufreq::workloads::workload("knn").unwrap();
+//! let prediction = predict_pareto(&model, &kernel.static_features(), &sim.spec().clocks);
+//! println!("{} Pareto-optimal settings predicted", prediction.pareto_set.len());
+//! ```
+
+pub use gpufreq_core as core;
+pub use gpufreq_kernel as kernel;
+pub use gpufreq_ml as ml;
+pub use gpufreq_pareto as pareto;
+pub use gpufreq_sim as sim;
+pub use gpufreq_synth as synth;
+pub use gpufreq_workloads as workloads;
+
+/// One-stop imports for the common workflow.
+pub mod prelude {
+    pub use gpufreq_core::{
+        build_training_data, error_analysis, evaluate_all, evaluate_workload, predict_pareto,
+        table2, FreqScalingModel, ModelConfig, Objective, ParetoPrediction,
+    };
+    pub use gpufreq_kernel::{
+        analyze_kernel, parse, FreqConfig, KernelProfile, LaunchConfig, StaticFeatures,
+    };
+    pub use gpufreq_ml::{Dataset, SvmKernel, SvrParams};
+    pub use gpufreq_pareto::{pareto_front_simple, Objectives};
+    pub use gpufreq_sim::{DeviceSpec, GpuSimulator, Measurement, NvmlDevice};
+    pub use gpufreq_workloads::{all_workloads, workload, Workload};
+}

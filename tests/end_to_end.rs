@@ -1,0 +1,157 @@
+//! End-to-end integration tests: the full train → predict → evaluate
+//! pipeline across all workspace crates, with reproduction quality
+//! gates on a reduced (fast) training corpus.
+
+use gpufreq::prelude::*;
+use gpufreq_core::{build_training_data, evaluate_all, predict_pareto, FreqScalingModel, ModelConfig};
+use gpufreq_ml::SvrParams;
+use std::sync::OnceLock;
+
+/// One shared reduced-corpus model for all tests in this file (training
+/// is the expensive part; the assertions are cheap).
+fn setup() -> &'static (GpuSimulator, FreqScalingModel) {
+    static SETUP: OnceLock<(GpuSimulator, FreqScalingModel)> = OnceLock::new();
+    SETUP.get_or_init(|| {
+        let sim = GpuSimulator::titan_x();
+        let corpus: Vec<_> = gpufreq::synth::generate_all().into_iter().step_by(2).collect();
+        let data = build_training_data(&sim, &corpus, 28);
+        let config = ModelConfig {
+            speedup: SvrParams { c: 100.0, ..SvrParams::paper_speedup() },
+            energy: SvrParams { c: 100.0, ..SvrParams::paper_energy() },
+        };
+        let model = FreqScalingModel::train(&data, &config);
+        (sim, model)
+    })
+}
+
+#[test]
+fn pipeline_trains_on_reduced_corpus() {
+    let (_, model) = setup();
+    assert_eq!(model.trained_on(), 53 * 28);
+    let (sv_s, sv_e) = model.support_vectors();
+    assert!(sv_s > 10 && sv_e > 10, "degenerate models: {sv_s}/{sv_e} SVs");
+}
+
+#[test]
+fn speedup_predictions_track_ground_truth_at_high_memory() {
+    // The paper's Fig. 6 headline: mem-H speedup errors are small.
+    let (sim, model) = setup();
+    let evals = evaluate_all(sim, model, &all_workloads());
+    let analysis =
+        gpufreq_core::error_analysis(sim, model, &evals, gpufreq_core::Objective::Speedup);
+    let mem_h = &analysis[0];
+    assert_eq!(mem_h.label, "Mem_H");
+    // The reduced test corpus is weaker than the paper-scale run
+    // (which achieves ~11%); gate on staying in the same regime.
+    assert!(
+        mem_h.rmse_percent < 30.0,
+        "mem-H speedup RMSE {:.1}% is far above the paper's regime",
+        mem_h.rmse_percent
+    );
+}
+
+#[test]
+fn low_memory_domains_are_harder_to_predict() {
+    // §4.3-4.4: the two lowest memory domains have distinctly larger
+    // errors than the two highest — the observation that motivates the
+    // mem-L heuristic.
+    let (sim, model) = setup();
+    let evals = evaluate_all(sim, model, &all_workloads());
+    for objective in [gpufreq_core::Objective::Speedup, gpufreq_core::Objective::Energy] {
+        let analysis = gpufreq_core::error_analysis(sim, model, &evals, objective);
+        let high = analysis[0].rmse_percent.min(analysis[1].rmse_percent);
+        let low = analysis[2].rmse_percent.max(analysis[3].rmse_percent);
+        assert!(
+            low > high,
+            "{objective:?}: low-memory RMSE {low:.1}% should exceed high-memory {high:.1}%"
+        );
+    }
+}
+
+#[test]
+fn predicted_pareto_sets_are_reasonable() {
+    let (sim, model) = setup();
+    let evals = evaluate_all(sim, model, &all_workloads());
+    assert_eq!(evals.len(), 12);
+    for eval in &evals {
+        // Paper Table 2: predicted sets have ~9-12 points, real ~6-14.
+        let p = eval.prediction.pareto_set.len();
+        assert!(
+            (2..=40).contains(&p),
+            "{}: implausible predicted-set size {p}",
+            eval.name
+        );
+        assert!(eval.coverage_d >= 0.0);
+        assert!(eval.coverage_d < 0.5, "{}: coverage D {:.3}", eval.name, eval.coverage_d);
+    }
+    // The paper's bottom line: good approximations for most benchmarks
+    // (the paper-scale model achieves 10/12 at D <= 0.0362; the reduced
+    // corpus used here is noisier).
+    let good = evals.iter().filter(|e| e.coverage_d <= 0.1).count();
+    assert!(good >= 8, "only {good}/12 benchmarks with good Pareto approximation");
+}
+
+#[test]
+fn predicted_sets_discover_improvements_over_default() {
+    // Headline claim: the model discovers configurations that beat the
+    // default in either energy or performance (within a small loss in
+    // the other objective).
+    let (sim, model) = setup();
+    let evals = evaluate_all(sim, model, &all_workloads());
+    let improving = evals.iter().filter(|e| e.offers_trade_off(0.05)).count();
+    assert!(
+        improving >= 8,
+        "predicted sets offer energy/performance trade-offs for only {improving}/12 benchmarks"
+    );
+}
+
+#[test]
+fn prediction_is_purely_static() {
+    // The prediction phase must not execute the kernel: predicting for
+    // a syntactically valid kernel that would be pathological to run
+    // (huge trip counts) completes instantly.
+    let (sim, model) = setup();
+    let source = "__kernel void pathological(__global float* x) {
+        uint i = get_global_id(0);
+        float v = x[i];
+        for (int a = 0; a < 1000000; a += 1) {
+            for (int b = 0; b < 1000000; b += 1) {
+                v = v * 1.0000001f + 0.000001f;
+            }
+        }
+        x[i] = v;
+    }";
+    let program = parse(source).unwrap();
+    let analysis = analyze_kernel(program.first_kernel().unwrap()).unwrap();
+    let features = StaticFeatures::from_analysis(&analysis);
+    let start = std::time::Instant::now();
+    let prediction = predict_pareto(model, &features, &sim.spec().clocks);
+    assert!(!prediction.pareto_set.is_empty());
+    assert!(start.elapsed().as_secs() < 5, "prediction must not execute the kernel");
+}
+
+#[test]
+fn model_persists_and_reloads_through_facade() {
+    let (sim, model) = setup();
+    let json = model.to_json();
+    let reloaded = FreqScalingModel::from_json(&json).unwrap();
+    let f = workload("convolution").unwrap().static_features();
+    let cfg = sim.spec().clocks.default;
+    assert_eq!(
+        model.predict_objectives(&f, cfg),
+        reloaded.predict_objectives(&f, cfg)
+    );
+}
+
+#[test]
+fn portability_same_model_predicts_on_p100() {
+    // §4.1 notes the methodology is portable; the model trained on the
+    // Titan X feature space can score P100 configurations (a single
+    // memory domain).
+    let (_, model) = setup();
+    let p100 = GpuSimulator::tesla_p100();
+    let f = workload("knn").unwrap().static_features();
+    let prediction = predict_pareto(model, &f, &p100.spec().clocks);
+    assert!(!prediction.pareto_set.is_empty());
+    assert!(prediction.pareto_set.iter().all(|p| p.config.mem_mhz == 715));
+}

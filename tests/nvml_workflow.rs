@@ -1,0 +1,88 @@
+//! Integration test: driving the NVML-style facade the way the paper's
+//! measurement harness drives the real library (§4.1).
+
+use gpufreq::prelude::*;
+use gpufreq_kernel::FreqConfig;
+use gpufreq_sim::NvmlError;
+
+fn device() -> NvmlDevice {
+    NvmlDevice::new(DeviceSpec::titan_x())
+}
+
+#[test]
+fn full_measurement_walkthrough() {
+    // The paper's harness: enumerate supported clocks, pin each
+    // combination, run the kernel, poll power, reset.
+    let nvml = device();
+    let profile = workload("kmeans").unwrap().profile();
+    nvml.set_active_workload(Some(profile));
+    let mut visited = 0;
+    for mem in nvml.device_get_supported_memory_clocks() {
+        let cores = nvml.device_get_supported_graphics_clocks(mem).unwrap();
+        // Pin the extremes of every domain like the sampled sweep does.
+        for &core in [cores.first(), cores.last()].into_iter().flatten() {
+            nvml.device_set_applications_clocks(mem, core).unwrap();
+            let applied = nvml.device_get_applications_clocks();
+            assert_eq!(applied.mem_mhz, mem);
+            assert!(applied.core_mhz <= core, "clamp may only lower the clock");
+            let mw = nvml.device_get_power_usage();
+            assert!(mw > 30_000, "implausible busy power {mw} mW");
+            visited += 1;
+        }
+    }
+    assert_eq!(visited, 8);
+    nvml.device_reset_applications_clocks();
+    assert_eq!(nvml.device_get_applications_clocks(), FreqConfig::new(3505, 1001));
+}
+
+#[test]
+fn gray_point_quirk_matches_fig4() {
+    // Every advertised clock above 1202 MHz must apply as 1202 (the
+    // gray points of Fig. 4a), for each of the three upper domains.
+    let nvml = device();
+    for mem in [810u32, 3304, 3505] {
+        let advertised = nvml.device_get_supported_graphics_clocks(mem).unwrap();
+        let grays: Vec<u32> = advertised.iter().copied().filter(|&c| c > 1202).collect();
+        assert!(!grays.is_empty(), "mem {mem} advertises no gray points");
+        for c in grays {
+            nvml.device_set_applications_clocks(mem, c).unwrap();
+            assert_eq!(nvml.device_get_applications_clocks().core_mhz, 1202);
+        }
+    }
+}
+
+#[test]
+fn mem_l_has_no_high_clocks() {
+    let nvml = device();
+    let advertised = nvml.device_get_supported_graphics_clocks(405).unwrap();
+    assert_eq!(advertised.len(), 6);
+    assert_eq!(*advertised.last().unwrap(), 405);
+    assert_eq!(
+        nvml.device_set_applications_clocks(405, 1001),
+        Err(NvmlError::InvalidArgument)
+    );
+}
+
+#[test]
+fn idle_power_tracks_applied_clocks() {
+    let nvml = device();
+    nvml.set_active_workload(None);
+    nvml.device_set_applications_clocks(3505, 1202).unwrap();
+    let hi = nvml.device_get_power_usage();
+    nvml.device_set_applications_clocks(810, 135).unwrap();
+    let lo = nvml.device_get_power_usage();
+    assert!(hi > lo, "idle power must fall with both clocks: {hi} <= {lo}");
+}
+
+#[test]
+fn power_sampling_rate_supports_short_kernel_protocol() {
+    // A kernel finishing in ~1 ms yields no usable samples at 62.5 Hz;
+    // the measurement protocol must repeat it until statistically
+    // consistent. Verify through the simulator's sensor accounting.
+    let sim = GpuSimulator::titan_x();
+    let profile = workload("mt").unwrap().profile(); // sub-ms kernel
+    let m = sim.run_default(&profile);
+    assert!(m.time_ms < 2.0, "expected a short kernel, got {} ms", m.time_ms);
+    assert!(m.runs > 100, "short kernels must be repeated, got {} runs", m.runs);
+    assert!(m.samples >= 64, "not enough power samples: {}", m.samples);
+}
