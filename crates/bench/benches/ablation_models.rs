@@ -9,8 +9,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use gpufreq_core::build_training_data;
 use gpufreq_ml::{
-    rmse, train_lasso, train_ols, train_poly, train_svr, Dataset, LassoParams, SvmKernel,
-    SvrParams,
+    rmse, train_lasso, train_ols, train_poly, train_svr, Dataset, LassoParams, SvmKernel, SvrParams,
 };
 use gpufreq_sim::GpuSimulator;
 use std::hint::black_box;
@@ -27,7 +26,10 @@ fn corpus() -> &'static Corpus {
     static CORPUS: OnceLock<Corpus> = OnceLock::new();
     CORPUS.get_or_init(|| {
         let sim = GpuSimulator::titan_x();
-        let benches: Vec<_> = gpufreq_synth::generate_all().into_iter().step_by(3).collect();
+        let benches: Vec<_> = gpufreq_synth::generate_all()
+            .into_iter()
+            .step_by(3)
+            .collect();
         let data = build_training_data(&sim, &benches, 12);
         let mut speedup = data.speedup.clone();
         let mut energy = data.energy.clone();
@@ -35,33 +37,66 @@ fn corpus() -> &'static Corpus {
         energy.shuffle(42);
         let (st, se) = speedup.split(0.8);
         let (et, ee) = energy.split(0.8);
-        Corpus { speedup_train: st, speedup_test: se, energy_train: et, energy_test: ee }
+        Corpus {
+            speedup_train: st,
+            speedup_test: se,
+            energy_train: et,
+            energy_test: ee,
+        }
     })
 }
 
 fn svr(kernel: SvmKernel) -> SvrParams {
     // Capped like the svr bench: the ablation compares model classes,
     // not solver budgets.
-    SvrParams { c: 100.0, kernel, max_iter: 100_000, ..SvrParams::paper_speedup() }
+    SvrParams {
+        c: 100.0,
+        kernel,
+        max_iter: 100_000,
+        ..SvrParams::paper_speedup()
+    }
 }
 
 fn report_quality() {
     let c = corpus();
     let eval = |name: &str, preds: Vec<f64>, test: &Dataset| {
-        eprintln!("[ablation] {name}: held-out RMSE {:.4}", rmse(test.ys(), &preds));
+        eprintln!(
+            "[ablation] {name}: held-out RMSE {:.4}",
+            rmse(test.ys(), &preds)
+        );
     };
     // Speedup candidates.
     let ols = train_ols(&c.speedup_train);
-    eval("speedup/ols", ols.predict_batch(c.speedup_test.xs()), &c.speedup_test);
+    eval(
+        "speedup/ols",
+        ols.predict_batch(c.speedup_test.xs()),
+        &c.speedup_test,
+    );
     let lasso = train_lasso(&c.speedup_train, &LassoParams::default());
-    eval("speedup/lasso", lasso.predict_batch(c.speedup_test.xs()), &c.speedup_test);
+    eval(
+        "speedup/lasso",
+        lasso.predict_batch(c.speedup_test.xs()),
+        &c.speedup_test,
+    );
     let lin_svr = train_svr(&c.speedup_train, &svr(SvmKernel::Linear));
-    eval("speedup/svr-linear", lin_svr.predict_batch(c.speedup_test.xs()), &c.speedup_test);
+    eval(
+        "speedup/svr-linear",
+        lin_svr.predict_batch(c.speedup_test.xs()),
+        &c.speedup_test,
+    );
     // Energy candidates.
     let poly = train_poly(&c.energy_train, 1e-6);
-    eval("energy/poly2", poly.predict_batch(c.energy_test.xs()), &c.energy_test);
+    eval(
+        "energy/poly2",
+        poly.predict_batch(c.energy_test.xs()),
+        &c.energy_test,
+    );
     let rbf = train_svr(&c.energy_train, &svr(SvmKernel::Rbf { gamma: 0.1 }));
-    eval("energy/svr-rbf", rbf.predict_batch(c.energy_test.xs()), &c.energy_test);
+    eval(
+        "energy/svr-rbf",
+        rbf.predict_batch(c.energy_test.xs()),
+        &c.energy_test,
+    );
 }
 
 fn bench_models(c: &mut Criterion) {
@@ -82,12 +117,17 @@ fn bench_models(c: &mut Criterion) {
         b.iter(|| train_poly(black_box(&data.energy_train), 1e-6))
     });
     group.bench_function("energy/svr-rbf", |b| {
-        b.iter(|| train_svr(black_box(&data.energy_train), &svr(SvmKernel::Rbf { gamma: 0.1 })))
+        b.iter(|| {
+            train_svr(
+                black_box(&data.energy_train),
+                &svr(SvmKernel::Rbf { gamma: 0.1 }),
+            )
+        })
     });
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Short windows: these benches exist to show scaling shape, and the
     // full suite must run in minutes, not hours.

@@ -14,7 +14,10 @@ use gpufreq_synth::MicroBenchmark;
 use std::hint::black_box;
 
 fn subset() -> Vec<MicroBenchmark> {
-    gpufreq_synth::generate_all().into_iter().step_by(4).collect()
+    gpufreq_synth::generate_all()
+        .into_iter()
+        .step_by(4)
+        .collect()
 }
 
 fn report_quality(sim: &GpuSimulator, benches: &[MicroBenchmark]) {
@@ -22,7 +25,11 @@ fn report_quality(sim: &GpuSimulator, benches: &[MicroBenchmark]) {
     let full = build_training_data(sim, benches, usize::MAX);
     for &n in &[6usize, 20, 40, 80] {
         let data = build_training_data(sim, benches, n);
-        let params = SvrParams { c: 100.0, max_iter: 100_000, ..SvrParams::paper_speedup() };
+        let params = SvrParams {
+            c: 100.0,
+            max_iter: 100_000,
+            ..SvrParams::paper_speedup()
+        };
         let model = train_svr(&data.speedup, &params);
         let preds: Vec<f64> = full.speedup.xs().iter().map(|r| model.predict(r)).collect();
         eprintln!(
@@ -47,7 +54,7 @@ fn bench_sampling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Short windows: these benches exist to show scaling shape, and the
     // full suite must run in minutes, not hours.

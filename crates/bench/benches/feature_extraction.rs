@@ -51,7 +51,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Short windows: these benches exist to show scaling shape, and the
     // full suite must run in minutes, not hours.

@@ -11,10 +11,14 @@ use std::hint::black_box;
 fn cloud(n: usize) -> Vec<Objectives> {
     let mut state: u64 = 0x9E3779B97F4A7C15;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as f64) / (u32::MAX as f64)
     };
-    (0..n).map(|_| Objectives::new(0.1 + 1.3 * next(), 0.4 + 1.4 * next())).collect()
+    (0..n)
+        .map(|_| Objectives::new(0.1 + 1.3 * next(), 0.4 + 1.4 * next()))
+        .collect()
 }
 
 fn bench_pareto(c: &mut Criterion) {
@@ -31,7 +35,7 @@ fn bench_pareto(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Short windows: these benches exist to show scaling shape, and the
     // full suite must run in minutes, not hours.

@@ -1,4 +1,4 @@
-//! Simulator sweep throughput: sequential runs vs the crossbeam-parallel
+//! Simulator sweep throughput: sequential runs vs the scoped-thread-parallel
 //! `sweep`, and the cost of a full 177-configuration characterization.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -11,23 +11,29 @@ fn bench_sweep(c: &mut Criterion) {
     let configs = sim.spec().clocks.actual_configs();
     let mut group = c.benchmark_group("sim_sweep");
     group.sample_size(20);
-    group.bench_with_input(BenchmarkId::new("sequential", configs.len()), &configs, |b, cfgs| {
-        b.iter(|| {
-            for &cfg in cfgs.iter() {
-                black_box(sim.run(&profile, cfg).unwrap());
-            }
-        })
-    });
-    group.bench_with_input(BenchmarkId::new("parallel", configs.len()), &configs, |b, cfgs| {
-        b.iter(|| sim.sweep(black_box(&profile), cfgs).unwrap())
-    });
+    group.bench_with_input(
+        BenchmarkId::new("sequential", configs.len()),
+        &configs,
+        |b, cfgs| {
+            b.iter(|| {
+                for &cfg in cfgs.iter() {
+                    black_box(sim.run(&profile, cfg).unwrap());
+                }
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("parallel", configs.len()),
+        &configs,
+        |b, cfgs| b.iter(|| sim.sweep(black_box(&profile), cfgs).unwrap()),
+    );
     group.bench_function("characterize_177", |b| {
         b.iter(|| sim.characterize(black_box(&profile)))
     });
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Short windows: these benches exist to show scaling shape, and the
     // full suite must run in minutes, not hours.

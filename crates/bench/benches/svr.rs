@@ -16,7 +16,12 @@ fn params(kernel: SvmKernel) -> SvrParams {
     // Moderate C and a tight iteration cap keep each training run
     // representative but bounded (the shape across corpus sizes is the
     // quantity of interest).
-    SvrParams { c: 100.0, kernel, max_iter: 100_000, ..SvrParams::paper_speedup() }
+    SvrParams {
+        c: 100.0,
+        kernel,
+        max_iter: 100_000,
+        ..SvrParams::paper_speedup()
+    }
 }
 
 fn bench_training(c: &mut Criterion) {
@@ -37,7 +42,10 @@ fn bench_training(c: &mut Criterion) {
             &data,
             |b, data| {
                 b.iter(|| {
-                    train_svr(black_box(&data.energy), &params(SvmKernel::Rbf { gamma: 0.1 }))
+                    train_svr(
+                        black_box(&data.energy),
+                        &params(SvmKernel::Rbf { gamma: 0.1 }),
+                    )
                 })
             },
         );
@@ -58,7 +66,7 @@ fn bench_prediction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Short windows: these benches exist to show scaling shape, and the
     // full suite must run in minutes, not hours.

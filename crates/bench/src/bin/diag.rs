@@ -31,7 +31,9 @@ fn main() {
         let features = profile.static_features();
         let c = sim.characterize_at(&profile, &sim.spec().clocks.actual_configs_for(3505));
         for p in &c.points {
-            let row = FeatureVector::new(&features, p.config()).as_slice().to_vec();
+            let row = FeatureVector::new(&features, p.config())
+                .as_slice()
+                .to_vec();
             test_rows.push(scaler.transform(&row));
             test_truth.push(p.speedup);
         }
@@ -51,7 +53,11 @@ fn main() {
         ("SVR-rbf g=4", SvmKernel::Rbf { gamma: 4.0 }, 1000.0),
         ("SVR-rbf g=1 C=100", SvmKernel::Rbf { gamma: 1.0 }, 100.0),
     ] {
-        let params = SvrParams { c, kernel, ..SvrParams::paper_speedup() };
+        let params = SvrParams {
+            c,
+            kernel,
+            ..SvrParams::paper_speedup()
+        };
         let start = std::time::Instant::now();
         let model = train_svr(&train, &params);
         println!(

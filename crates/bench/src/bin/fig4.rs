@@ -16,17 +16,26 @@ fn main() {
         let mut rows = Vec::new();
         let mut csv = String::from("mem_mhz,core_mhz,effective_core_mhz,clamped,default\n");
         for mem in nvml.device_get_supported_memory_clocks() {
-            let advertised = nvml.device_get_supported_graphics_clocks(mem).expect("supported");
+            let advertised = nvml
+                .device_get_supported_graphics_clocks(mem)
+                .expect("supported");
             let domain = spec.clocks.domain(mem).expect("domain exists");
             let actual = domain.actual_core_mhz();
-            let clamped = advertised.iter().filter(|&&c| domain.effective_core(c) != c).count();
+            let clamped = advertised
+                .iter()
+                .filter(|&&c| domain.effective_core(c) != c)
+                .count();
             rows.push(vec![
                 mem.to_string(),
                 advertised.len().to_string(),
                 actual.len().to_string(),
                 clamped.to_string(),
                 format!("{}..{}", actual.first().unwrap(), actual.last().unwrap()),
-                if default.mem_mhz == mem { format!("core {}", default.core_mhz) } else { "-".to_string() },
+                if default.mem_mhz == mem {
+                    format!("core {}", default.core_mhz)
+                } else {
+                    "-".to_string()
+                },
             ]);
             for &core in &advertised {
                 let eff = domain.effective_core(core);
@@ -41,7 +50,14 @@ fn main() {
         println!(
             "{}",
             ascii_table(
-                &["mem MHz", "advertised", "actual", "clamped (gray)", "core range", "default"],
+                &[
+                    "mem MHz",
+                    "advertised",
+                    "actual",
+                    "clamped (gray)",
+                    "core range",
+                    "default"
+                ],
                 &rows
             )
         );
@@ -56,7 +72,11 @@ fn main() {
             "total: {} advertised configurations, {} actually settable\n",
             total_adv, total_actual
         );
-        let file = if spec.name.contains("Titan") { "fig4/titan_x.csv" } else { "fig4/tesla_p100.csv" };
+        let file = if spec.name.contains("Titan") {
+            "fig4/titan_x.csv"
+        } else {
+            "fig4/tesla_p100.csv"
+        };
         write_artifact(file, &csv);
     }
 }

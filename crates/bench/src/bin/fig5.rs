@@ -13,8 +13,16 @@ use gpufreq_sim::{GpuSimulator, MemDomain};
 use std::fmt::Write as _;
 
 /// The eight benchmarks shown in Fig. 5, top row first.
-const SELECTION: [&str; 8] =
-    ["knn", "aes", "matmul", "convolution", "median", "bitcompression", "mt", "blackscholes"];
+const SELECTION: [&str; 8] = [
+    "knn",
+    "aes",
+    "matmul",
+    "convolution",
+    "median",
+    "bitcompression",
+    "mt",
+    "blackscholes",
+];
 
 fn main() {
     let sim = GpuSimulator::titan_x();
@@ -55,14 +63,28 @@ fn main() {
         }
         // Character summary: spread along speedup distinguishes the
         // compute-dominated (top) from memory-dominated (bottom) codes.
-        let (s_lo, s_hi) =
-            min_max(characterization.points.iter().filter(|p| p.config().mem_mhz >= 3304).map(|p| p.speedup));
-        let character = if s_hi - s_lo > 0.7 { "compute-dominated" } else { "memory-dominated" };
-        println!("  high-mem speedup spread {:.3} -> {character}\n", s_hi - s_lo);
+        let (s_lo, s_hi) = min_max(
+            characterization
+                .points
+                .iter()
+                .filter(|p| p.config().mem_mhz >= 3304)
+                .map(|p| p.speedup),
+        );
+        let character = if s_hi - s_lo > 0.7 {
+            "compute-dominated"
+        } else {
+            "memory-dominated"
+        };
+        println!(
+            "  high-mem speedup spread {:.3} -> {character}\n",
+            s_hi - s_lo
+        );
         write_artifact(&format!("fig5/{name}.csv"), &csv);
     }
 }
 
 fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
-    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)))
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
 }

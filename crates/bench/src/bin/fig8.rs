@@ -23,15 +23,27 @@ fn main() {
         for p in &eval.real_front {
             println!("    speedup {:.3}, energy {:.3}", p.speedup, p.energy);
         }
-        println!("  predicted set ({} points, measured objectives):", eval.predicted_measured.len());
+        println!(
+            "  predicted set ({} points, measured objectives):",
+            eval.predicted_measured.len()
+        );
         let mut pred_csv = String::from("mem_mhz,core_mhz,speedup,normalized_energy,heuristic\n");
-        for (point, measured) in eval.prediction.pareto_set.iter().zip(&eval.predicted_measured) {
+        for (point, measured) in eval
+            .prediction
+            .pareto_set
+            .iter()
+            .zip(&eval.predicted_measured)
+        {
             println!(
                 "    {} -> speedup {:.3}, energy {:.3}{}",
                 point.config,
                 measured.speedup,
                 measured.energy,
-                if point.heuristic { "  [mem-L heuristic]" } else { "" }
+                if point.heuristic {
+                    "  [mem-L heuristic]"
+                } else {
+                    ""
+                }
             );
             let _ = writeln!(
                 pred_csv,
@@ -50,10 +62,21 @@ fn main() {
         );
         println!(
             "  strictly dominates default: {}; offers >=5% trade-off: {}\n",
-            if eval.improves_on_default() { "yes" } else { "no" },
-            if eval.offers_trade_off(0.05) { "yes" } else { "no" }
+            if eval.improves_on_default() {
+                "yes"
+            } else {
+                "no"
+            },
+            if eval.offers_trade_off(0.05) {
+                "yes"
+            } else {
+                "no"
+            }
         );
-        write_artifact(&format!("fig8/{}_real_front.csv", eval.name), &objectives_csv(&eval.real_front));
+        write_artifact(
+            &format!("fig8/{}_real_front.csv", eval.name),
+            &objectives_csv(&eval.real_front),
+        );
         write_artifact(&format!("fig8/{}_predicted.csv", eval.name), &pred_csv);
     }
     let dominating = evals.iter().filter(|e| e.improves_on_default()).count();

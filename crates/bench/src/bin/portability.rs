@@ -18,8 +18,9 @@ use gpufreq_sim::GpuSimulator;
 fn main() {
     let sim = GpuSimulator::tesla_p100();
     let cache = artifacts_dir().join("model_p100.json");
-    let model = if let Some(model) =
-        std::fs::read_to_string(&cache).ok().and_then(|j| FreqScalingModel::from_json(&j).ok())
+    let model = if let Some(model) = std::fs::read_to_string(&cache)
+        .ok()
+        .and_then(|j| FreqScalingModel::from_json(&j).ok())
     {
         eprintln!("[gpufreq] loaded cached P100 model");
         model

@@ -14,7 +14,10 @@ fn main() {
     let sim = GpuSimulator::titan_x();
     let bench = &gpufreq_synth::generate_all()[40]; // a mid-intensity micro-benchmark
     let profile = bench.profile();
-    println!("=== Sweep cost accounting (micro-benchmark {}) ===\n", bench.name);
+    println!(
+        "=== Sweep cost accounting (micro-benchmark {}) ===\n",
+        bench.name
+    );
     let mut rows = Vec::new();
     for n in [10usize, 40, 80, 177] {
         let configs = sim.spec().clocks.sample_configs(n);
@@ -23,10 +26,16 @@ fn main() {
         rows.push(vec![
             configs.len().to_string(),
             format!("{:.1}", minutes),
-            format!("{:.1}", characterization.sim_wall_s() / configs.len() as f64),
+            format!(
+                "{:.1}",
+                characterization.sim_wall_s() / configs.len() as f64
+            ),
         ]);
     }
-    println!("{}", ascii_table(&["settings", "simulated minutes", "seconds/setting"], &rows));
+    println!(
+        "{}",
+        ascii_table(&["settings", "simulated minutes", "seconds/setting"], &rows)
+    );
     println!("paper: 40 settings = 20 min, 174 settings = 70 min per benchmark");
     println!("=> exhaustive search over 106 training codes would take days; sampling is required");
 }

@@ -15,13 +15,20 @@ fn main() {
     println!("=== Table 2: evaluation of predicted Pareto fronts ===\n");
     println!("{}", render_table2(&rows));
     // The paper's accompanying headline numbers.
-    let exact_speedup =
-        evals.iter().filter(|e| e.extreme_max_speedup.is_exact(1e-9)).count();
-    let exact_energy = evals.iter().filter(|e| e.extreme_min_energy.is_exact(1e-9)).count();
+    let exact_speedup = evals
+        .iter()
+        .filter(|e| e.extreme_max_speedup.is_exact(1e-9))
+        .count();
+    let exact_energy = evals
+        .iter()
+        .filter(|e| e.extreme_min_energy.is_exact(1e-9))
+        .count();
     let good = rows.iter().filter(|r| r.coverage_d <= 0.0362).count();
     println!("max-speedup extreme predicted exactly: {exact_speedup}/12 (paper: 7/12)");
     println!("min-energy extreme predicted exactly:  {exact_energy}/12");
-    println!("benchmarks with good Pareto approximation (D <= 0.0362): {good}/12 (paper: 10-11/12)");
+    println!(
+        "benchmarks with good Pareto approximation (D <= 0.0362): {good}/12 (paper: 10-11/12)"
+    );
     let json = serde_json::to_string_pretty(&rows).expect("serializable");
     write_artifact("table2/rows.json", &json);
 }

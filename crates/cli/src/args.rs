@@ -108,10 +108,15 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
             "--fast" => fast = true,
             "--json" => json = true,
             "--device" => {
-                device = it.next().ok_or(ArgError("--device needs a value".into()))?.clone();
+                device = it
+                    .next()
+                    .ok_or(ArgError("--device needs a value".into()))?
+                    .clone();
             }
             "--settings" => {
-                let v = it.next().ok_or(ArgError("--settings needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or(ArgError("--settings needs a value".into()))?;
                 settings = v
                     .parse()
                     .map_err(|_| ArgError(format!("invalid --settings value `{v}`")))?;
@@ -120,17 +125,28 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
                 }
             }
             "--model" => {
-                model = Some(it.next().ok_or(ArgError("--model needs a value".into()))?.clone());
+                model = Some(
+                    it.next()
+                        .ok_or(ArgError("--model needs a value".into()))?
+                        .clone(),
+                );
             }
             "--out" => {
-                out = it.next().ok_or(ArgError("--out needs a value".into()))?.clone();
+                out = it
+                    .next()
+                    .ok_or(ArgError("--out needs a value".into()))?
+                    .clone();
             }
             s if s.starts_with("--") => return Err(ArgError(format!("unknown flag `{s}`"))),
             s => positional.push(s),
         }
     }
     if help {
-        return Ok(ParsedArgs { command: Command::Help, device, settings });
+        return Ok(ParsedArgs {
+            command: Command::Help,
+            device,
+            settings,
+        });
     }
     let Some((&cmd, rest)) = positional.split_first() else {
         return Err(ArgError("missing subcommand".into()));
@@ -147,20 +163,28 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
     };
     let command = match cmd {
         "devices" => Command::Devices,
-        "inspect" => Command::Inspect { kernel: need_kernel(rest)? },
+        "inspect" => Command::Inspect {
+            kernel: need_kernel(rest)?,
+        },
         "train" => Command::Train { out, fast },
         "predict" => Command::Predict {
             kernel: need_kernel(rest)?,
             model: model.ok_or(ArgError("`predict` needs --model".into()))?,
             json,
         },
-        "characterize" => Command::Characterize { kernel: need_kernel(rest)? },
+        "characterize" => Command::Characterize {
+            kernel: need_kernel(rest)?,
+        },
         "evaluate" => Command::Evaluate {
             model: model.ok_or(ArgError("`evaluate` needs --model".into()))?,
         },
         other => return Err(ArgError(format!("unknown subcommand `{other}`"))),
     };
-    Ok(ParsedArgs { command, device, settings })
+    Ok(ParsedArgs {
+        command,
+        device,
+        settings,
+    })
 }
 
 #[cfg(test)]
@@ -181,10 +205,17 @@ mod tests {
 
     #[test]
     fn parses_predict_with_flags() {
-        let p = parse_args(&args("predict k.cl --model m.json --device tesla-p100 --json")).unwrap();
+        let p = parse_args(&args(
+            "predict k.cl --model m.json --device tesla-p100 --json",
+        ))
+        .unwrap();
         assert_eq!(
             p.command,
-            Command::Predict { kernel: "k.cl".into(), model: "m.json".into(), json: true }
+            Command::Predict {
+                kernel: "k.cl".into(),
+                model: "m.json".into(),
+                json: true
+            }
         );
         assert_eq!(p.device, "tesla-p100");
     }
@@ -223,6 +254,12 @@ mod tests {
     #[test]
     fn train_takes_out_and_fast() {
         let p = parse_args(&args("train --out /tmp/m.json --fast")).unwrap();
-        assert_eq!(p.command, Command::Train { out: "/tmp/m.json".into(), fast: true });
+        assert_eq!(
+            p.command,
+            Command::Train {
+                out: "/tmp/m.json".into(),
+                fast: true
+            }
+        );
     }
 }

@@ -25,7 +25,11 @@ pub fn dispatch(parsed: &ParsedArgs, out: &mut dyn Write) -> CmdResult {
         Command::Devices => devices(out),
         Command::Inspect { kernel } => inspect(kernel, out),
         Command::Train { out: path, fast } => train(parsed, path, *fast, out),
-        Command::Predict { kernel, model, json } => predict(parsed, kernel, model, *json, out),
+        Command::Predict {
+            kernel,
+            model,
+            json,
+        } => predict(parsed, kernel, model, *json, out),
         Command::Characterize { kernel } => characterize(parsed, kernel, out),
         Command::Evaluate { model } => evaluate(parsed, model, out),
     }
@@ -55,7 +59,16 @@ fn devices(out: &mut dyn Write) -> CmdResult {
     write!(
         out,
         "{}",
-        ascii_table(&["id", "device", "memory domains", "configurations", "default"], &rows)
+        ascii_table(
+            &[
+                "id",
+                "device",
+                "memory domains",
+                "configurations",
+                "default"
+            ],
+            &rows
+        )
     )?;
     Ok(())
 }
@@ -73,12 +86,20 @@ fn load_kernel(path: &str) -> Result<(StaticFeatures, KernelProfile), Box<dyn st
 
 fn inspect(path: &str, out: &mut dyn Write) -> CmdResult {
     let (features, profile) = load_kernel(path)?;
-    writeln!(out, "kernel `{}` ({} instructions per work-item)", profile.name, profile.counts.total())?;
+    writeln!(
+        out,
+        "kernel `{}` ({} instructions per work-item)",
+        profile.name,
+        profile.counts.total()
+    )?;
     let mut rows = Vec::new();
     for (name, value) in STATIC_FEATURE_NAMES.iter().zip(features.values()) {
         rows.push(vec![name.to_string(), format!("{value:.4}")]);
     }
-    rows.push(vec!["memory-boundedness".to_string(), format!("{:.4}", memory_boundedness(&features))]);
+    rows.push(vec![
+        "memory-boundedness".to_string(),
+        format!("{:.4}", memory_boundedness(&features)),
+    ]);
     write!(out, "{}", ascii_table(&["feature", "share"], &rows))?;
     writeln!(
         out,
@@ -91,11 +112,18 @@ fn inspect(path: &str, out: &mut dyn Write) -> CmdResult {
 fn train(parsed: &ParsedArgs, path: &str, fast: bool, out: &mut dyn Write) -> CmdResult {
     let sim = simulator(&parsed.device);
     let corpus = if fast {
-        gpufreq_synth::generate_all().into_iter().step_by(3).collect()
+        gpufreq_synth::generate_all()
+            .into_iter()
+            .step_by(3)
+            .collect()
     } else {
         gpufreq_synth::generate_all()
     };
-    let settings = if fast { parsed.settings.min(20) } else { parsed.settings };
+    let settings = if fast {
+        parsed.settings.min(20)
+    } else {
+        parsed.settings
+    };
     writeln!(
         out,
         "training on {} micro-benchmarks x {} settings ({})...",
@@ -106,8 +134,16 @@ fn train(parsed: &ParsedArgs, path: &str, fast: bool, out: &mut dyn Write) -> Cm
     let data = build_training_data(&sim, &corpus, settings);
     let config = if fast {
         ModelConfig {
-            speedup: SvrParams { c: 100.0, max_iter: 200_000, ..SvrParams::paper_speedup() },
-            energy: SvrParams { c: 100.0, max_iter: 200_000, ..SvrParams::paper_energy() },
+            speedup: SvrParams {
+                c: 100.0,
+                max_iter: 200_000,
+                ..SvrParams::paper_speedup()
+            },
+            energy: SvrParams {
+                c: 100.0,
+                max_iter: 200_000,
+                ..SvrParams::paper_energy()
+            },
         }
     } else {
         ModelConfig::default()
@@ -150,14 +186,24 @@ fn predict(
             p.config.core_mhz.to_string(),
             format!("{:.3}", p.objectives.speedup),
             format!("{:.3}", p.objectives.energy),
-            if p.heuristic { "mem-L heuristic".to_string() } else { String::new() },
+            if p.heuristic {
+                "mem-L heuristic".to_string()
+            } else {
+                String::new()
+            },
         ]);
     }
-    writeln!(out, "predicted Pareto-optimal frequency settings for `{kernel}`:")?;
+    writeln!(
+        out,
+        "predicted Pareto-optimal frequency settings for `{kernel}`:"
+    )?;
     write!(
         out,
         "{}",
-        ascii_table(&["mem MHz", "core MHz", "speedup", "norm. energy", "note"], &rows)
+        ascii_table(
+            &["mem MHz", "core MHz", "speedup", "norm. energy", "note"],
+            &rows
+        )
     )?;
     Ok(())
 }
@@ -178,16 +224,32 @@ fn characterize(parsed: &ParsedArgs, kernel: &str, out: &mut dyn Write) -> CmdRe
             format!("{:.3}", p.norm_energy),
         ]);
     }
-    writeln!(out, "measured sweep of `{kernel}` on {} ({} settings):", sim.spec().name, rows.len())?;
+    writeln!(
+        out,
+        "measured sweep of `{kernel}` on {} ({} settings):",
+        sim.spec().name,
+        rows.len()
+    )?;
     write!(
         out,
         "{}",
         ascii_table(
-            &["mem MHz", "core MHz", "time ms", "power W", "speedup", "norm. energy"],
+            &[
+                "mem MHz",
+                "core MHz",
+                "time ms",
+                "power W",
+                "speedup",
+                "norm. energy"
+            ],
             &rows
         )
     )?;
-    writeln!(out, "simulated sweep cost: {:.1} minutes", c.sim_wall_s() / 60.0)?;
+    writeln!(
+        out,
+        "simulated sweep cost: {:.1} minutes",
+        c.sim_wall_s() / 60.0
+    )?;
     Ok(())
 }
 
@@ -201,7 +263,7 @@ fn evaluate(parsed: &ParsedArgs, model_path: &str, out: &mut dyn Write) -> CmdRe
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::run;
 
     fn run_str(line: &str) -> (i32, String) {

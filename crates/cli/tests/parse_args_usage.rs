@@ -1,0 +1,180 @@
+//! `parse_args` coverage for every subcommand documented in [`USAGE`],
+//! including the error paths — so the help text and the parser can
+//! never silently drift apart.
+
+use gpufreq_cli::args::{parse_args, ArgError, Command, USAGE};
+
+fn args(s: &str) -> Vec<String> {
+    s.split_whitespace().map(|x| x.to_string()).collect()
+}
+
+fn parsed(s: &str) -> gpufreq_cli::ParsedArgs {
+    parse_args(&args(s)).unwrap_or_else(|e| panic!("`{s}` should parse: {e}"))
+}
+
+fn rejected(s: &str) -> ArgError {
+    match parse_args(&args(s)) {
+        Err(e) => e,
+        Ok(p) => panic!("`{s}` should be rejected, parsed as {p:?}"),
+    }
+}
+
+#[test]
+fn usage_documents_every_subcommand() {
+    // The test below exercises exactly what USAGE advertises; make sure
+    // the advertisement itself is complete.
+    for cmd in [
+        "devices",
+        "inspect",
+        "train",
+        "predict",
+        "characterize",
+        "evaluate",
+    ] {
+        assert!(
+            USAGE.contains(&format!("gpufreq {cmd}")),
+            "USAGE lost `{cmd}`"
+        );
+    }
+}
+
+#[test]
+fn devices_line() {
+    // USAGE: gpufreq devices
+    let p = parsed("devices");
+    assert_eq!(p.command, Command::Devices);
+    assert_eq!(p.device, "titan-x");
+    assert_eq!(p.settings, 40);
+}
+
+#[test]
+fn inspect_line() {
+    // USAGE: gpufreq inspect <kernel.cl>
+    let p = parsed("inspect saxpy.cl");
+    assert_eq!(
+        p.command,
+        Command::Inspect {
+            kernel: "saxpy.cl".into()
+        }
+    );
+    let e = rejected("inspect");
+    assert!(e.to_string().contains("kernel source path"), "got: {e}");
+}
+
+#[test]
+fn train_line() {
+    // USAGE: gpufreq train [--device <name>] [--settings <n>] [--fast] [--out <model.json>]
+    let p = parsed("train");
+    assert_eq!(
+        p.command,
+        Command::Train {
+            out: "model.json".into(),
+            fast: false
+        }
+    );
+
+    let p = parsed("train --device tesla-p100 --settings 12 --fast --out /tmp/m.json");
+    assert_eq!(
+        p.command,
+        Command::Train {
+            out: "/tmp/m.json".into(),
+            fast: true
+        }
+    );
+    assert_eq!(p.device, "tesla-p100");
+    assert_eq!(p.settings, 12);
+
+    rejected("train --settings");
+    rejected("train --settings zero");
+    rejected("train --settings 0");
+    rejected("train --out");
+}
+
+#[test]
+fn predict_line() {
+    // USAGE: gpufreq predict <kernel.cl> --model <model.json> [--device <name>] [--json]
+    let p = parsed("predict k.cl --model m.json");
+    assert_eq!(
+        p.command,
+        Command::Predict {
+            kernel: "k.cl".into(),
+            model: "m.json".into(),
+            json: false
+        }
+    );
+
+    let p = parsed("predict k.cl --model m.json --device tesla-k20c --json");
+    assert_eq!(
+        p.command,
+        Command::Predict {
+            kernel: "k.cl".into(),
+            model: "m.json".into(),
+            json: true
+        }
+    );
+    assert_eq!(p.device, "tesla-k20c");
+
+    let e = rejected("predict k.cl");
+    assert!(e.to_string().contains("--model"), "got: {e}");
+    rejected("predict --model m.json");
+    rejected("predict k.cl --model");
+}
+
+#[test]
+fn characterize_line() {
+    // USAGE: gpufreq characterize <kernel.cl> [--device <name>] [--settings <n>]
+    let p = parsed("characterize k.cl --settings 8");
+    assert_eq!(
+        p.command,
+        Command::Characterize {
+            kernel: "k.cl".into()
+        }
+    );
+    assert_eq!(p.settings, 8);
+    rejected("characterize");
+}
+
+#[test]
+fn evaluate_line() {
+    // USAGE: gpufreq evaluate --model <model.json> [--device <name>]
+    let p = parsed("evaluate --model m.json --device tesla-p100");
+    assert_eq!(
+        p.command,
+        Command::Evaluate {
+            model: "m.json".into()
+        }
+    );
+    assert_eq!(p.device, "tesla-p100");
+
+    let e = rejected("evaluate");
+    assert!(e.to_string().contains("--model"), "got: {e}");
+}
+
+#[test]
+fn every_documented_device_is_accepted() {
+    // USAGE: DEVICES: titan-x (default), tesla-p100, tesla-k20c
+    for device in ["titan-x", "tesla-p100", "tesla-k20c"] {
+        assert!(USAGE.contains(device), "USAGE lost `{device}`");
+        let p = parsed(&format!("devices --device {device}"));
+        assert_eq!(p.device, device);
+    }
+    let e = rejected("devices --device gtx-9000");
+    assert!(e.to_string().contains("gtx-9000"), "got: {e}");
+    rejected("devices --device");
+}
+
+#[test]
+fn help_flag_wins_everywhere() {
+    // USAGE: --help  show this text
+    for line in ["--help", "-h", "devices --help", "--help frobnicate"] {
+        assert_eq!(parsed(line).command, Command::Help, "for `{line}`");
+    }
+}
+
+#[test]
+fn malformed_lines_are_rejected() {
+    rejected("");
+    rejected("frobnicate");
+    rejected("devices --frobnicate");
+    rejected("devices --device"); // flag at end without value
+}

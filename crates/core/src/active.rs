@@ -69,7 +69,10 @@ pub fn refine_pareto(
         .copied()
         .collect();
     rest.sort_by(|a, b| {
-        b.objectives.speedup.partial_cmp(&a.objectives.speedup).expect("no NaN predictions")
+        b.objectives
+            .speedup
+            .partial_cmp(&a.objectives.speedup)
+            .expect("no NaN predictions")
     });
     order.extend(rest);
 
@@ -77,14 +80,15 @@ pub fn refine_pareto(
     let mut residuals: HashMap<u32, (f64, f64, usize)> = HashMap::new();
     let mut cost_s = baseline.sim_wall_s;
     for point in order.iter().take(budget) {
-        let Ok(m) = sim.run(profile, point.config) else { continue };
-        let actual = Objectives::new(
-            baseline.time_ms / m.time_ms,
-            m.energy_j / baseline.energy_j,
-        );
+        let Ok(m) = sim.run(profile, point.config) else {
+            continue;
+        };
+        let actual = Objectives::new(baseline.time_ms / m.time_ms, m.energy_j / baseline.energy_j);
         cost_s += m.sim_wall_s;
         measured.insert((point.config.mem_mhz, point.config.core_mhz), actual);
-        let entry = residuals.entry(point.config.mem_mhz).or_insert((0.0, 0.0, 0));
+        let entry = residuals
+            .entry(point.config.mem_mhz)
+            .or_insert((0.0, 0.0, 0));
         entry.0 += actual.speedup - point.objectives.speedup;
         entry.1 += actual.energy - point.objectives.energy;
         entry.2 += 1;
@@ -98,9 +102,11 @@ pub fn refine_pareto(
         .map(|p| {
             let key = (p.config.mem_mhz, p.config.core_mhz);
             match measured.get(&key) {
-                Some(actual) => {
-                    RefinedPoint { config: p.config, objectives: *actual, measured: true }
-                }
+                Some(actual) => RefinedPoint {
+                    config: p.config,
+                    objectives: *actual,
+                    measured: true,
+                },
                 None => {
                     let (ds, de) = residuals
                         .get(&p.config.mem_mhz)
@@ -119,20 +125,32 @@ pub fn refine_pareto(
         })
         .collect();
     let objectives: Vec<Objectives> = refined.iter().map(|p| p.objectives).collect();
-    let mut pareto_set: Vec<RefinedPoint> =
-        pareto_set_simple(&objectives).into_iter().map(|i| refined[i]).collect();
+    let mut pareto_set: Vec<RefinedPoint> = pareto_set_simple(&objectives)
+        .into_iter()
+        .map(|i| refined[i])
+        .collect();
     // Keep the paper's mem-L heuristic: the last mem-L configuration,
     // measured if budget remains.
-    if let Some(mem_l_last) =
-        candidates.iter().filter(|c| c.mem_mhz == MEM_L_MHZ).max_by_key(|c| c.core_mhz)
+    if let Some(mem_l_last) = candidates
+        .iter()
+        .filter(|c| c.mem_mhz == MEM_L_MHZ)
+        .max_by_key(|c| c.core_mhz)
     {
         let objectives = measured
             .get(&(mem_l_last.mem_mhz, mem_l_last.core_mhz))
             .copied()
             .unwrap_or_else(|| model.predict_objectives(features, *mem_l_last));
-        pareto_set.push(RefinedPoint { config: *mem_l_last, objectives, measured: false });
+        pareto_set.push(RefinedPoint {
+            config: *mem_l_last,
+            objectives,
+            measured: false,
+        });
     }
-    RefinedPrediction { pareto_set, measurements_used: measured.len(), measurement_cost_s: cost_s }
+    RefinedPrediction {
+        pareto_set,
+        measurements_used: measured.len(),
+        measurement_cost_s: cost_s,
+    }
 }
 
 #[cfg(test)]
@@ -149,11 +167,20 @@ mod tests {
         static SETUP: OnceLock<(GpuSimulator, FreqScalingModel)> = OnceLock::new();
         SETUP.get_or_init(|| {
             let sim = GpuSimulator::titan_x();
-            let benches: Vec<_> = gpufreq_synth::generate_all().into_iter().step_by(4).collect();
+            let benches: Vec<_> = gpufreq_synth::generate_all()
+                .into_iter()
+                .step_by(4)
+                .collect();
             let data = build_training_data(&sim, &benches, 24);
             let config = ModelConfig {
-                speedup: SvrParams { c: 100.0, ..SvrParams::paper_speedup() },
-                energy: SvrParams { c: 100.0, ..SvrParams::paper_energy() },
+                speedup: SvrParams {
+                    c: 100.0,
+                    ..SvrParams::paper_speedup()
+                },
+                energy: SvrParams {
+                    c: 100.0,
+                    ..SvrParams::paper_energy()
+                },
             };
             (sim.clone(), FreqScalingModel::train(&data, &config))
         })
@@ -166,8 +193,11 @@ mod tests {
         front: &[Objectives],
     ) -> f64 {
         let truth = sim.characterize_at(profile, candidates);
-        let measured: Vec<Objectives> =
-            truth.points.iter().map(|p| Objectives::new(p.speedup, p.norm_energy)).collect();
+        let measured: Vec<Objectives> = truth
+            .points
+            .iter()
+            .map(|p| Objectives::new(p.speedup, p.norm_energy))
+            .collect();
         let real_front = gpufreq_pareto::pareto_front_simple(&measured);
         paper_coverage_difference(&real_front, front)
     }
@@ -179,7 +209,14 @@ mod tests {
         let profile = w.profile();
         let candidates = sim.spec().clocks.sample_configs(EVAL_SETTINGS);
         for budget in [0usize, 3, 8] {
-            let r = refine_pareto(sim, &profile, model, &w.static_features(), &candidates, budget);
+            let r = refine_pareto(
+                sim,
+                &profile,
+                model,
+                &w.static_features(),
+                &candidates,
+                budget,
+            );
             assert!(r.measurements_used <= budget);
         }
     }
@@ -209,10 +246,18 @@ mod tests {
                     })
                     .collect()
             };
-            let d_static =
-                coverage_of(sim, &profile, &candidates, &measured_of(&static_r.pareto_set));
-            let d_refined =
-                coverage_of(sim, &profile, &candidates, &measured_of(&refined_r.pareto_set));
+            let d_static = coverage_of(
+                sim,
+                &profile,
+                &candidates,
+                &measured_of(&static_r.pareto_set),
+            );
+            let d_refined = coverage_of(
+                sim,
+                &profile,
+                &candidates,
+                &measured_of(&refined_r.pareto_set),
+            );
             if d_refined < d_static - 1e-9 {
                 improved += 1;
             } else if d_refined > d_static + 1e-6 {

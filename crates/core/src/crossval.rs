@@ -39,12 +39,20 @@ pub struct CrossValidation {
 impl CrossValidation {
     /// Sample-weighted mean speedup RMSE% across folds.
     pub fn mean_speedup_rmse(&self) -> f64 {
-        weighted_mean(self.folds.iter().map(|f| (f.speedup_rmse_percent, f.samples)))
+        weighted_mean(
+            self.folds
+                .iter()
+                .map(|f| (f.speedup_rmse_percent, f.samples)),
+        )
     }
 
     /// Sample-weighted mean energy RMSE% across folds.
     pub fn mean_energy_rmse(&self) -> f64 {
-        weighted_mean(self.folds.iter().map(|f| (f.energy_rmse_percent, f.samples)))
+        weighted_mean(
+            self.folds
+                .iter()
+                .map(|f| (f.energy_rmse_percent, f.samples)),
+        )
     }
 
     /// The hardest fold by speedup error.
@@ -102,8 +110,11 @@ pub fn leave_one_pattern_out(
                 .filter(|b| group_of(&b.name) != *group)
                 .cloned()
                 .collect();
-            let held_out: Vec<MicroBenchmark> =
-                corpus.iter().filter(|b| group_of(&b.name) == *group).cloned().collect();
+            let held_out: Vec<MicroBenchmark> = corpus
+                .iter()
+                .filter(|b| group_of(&b.name) == *group)
+                .cloned()
+                .collect();
             let data = build_training_data(sim, &train_set, settings_per_benchmark);
             let model = FreqScalingModel::train(&data, config);
             score_fold(sim, &model, group, &held_out, settings_per_benchmark)
@@ -127,7 +138,9 @@ fn score_fold(
         // the first NUM_STATIC_FEATURES components are the raw shares.
         let (row, _) = truth.speedup.sample(i);
         let features = gpufreq_kernel::StaticFeatures::from_values(
-            row[..gpufreq_kernel::NUM_STATIC_FEATURES].try_into().expect("row wide enough"),
+            row[..gpufreq_kernel::NUM_STATIC_FEATURES]
+                .try_into()
+                .expect("row wide enough"),
         );
         debug_assert_eq!(
             FeatureVector::new(&features, *cfg).as_slice()[..row.len()],
@@ -152,8 +165,16 @@ mod tests {
 
     fn fast_config() -> ModelConfig {
         ModelConfig {
-            speedup: SvrParams { c: 50.0, max_iter: 100_000, ..SvrParams::paper_speedup() },
-            energy: SvrParams { c: 50.0, max_iter: 100_000, ..SvrParams::paper_energy() },
+            speedup: SvrParams {
+                c: 50.0,
+                max_iter: 100_000,
+                ..SvrParams::paper_speedup()
+            },
+            energy: SvrParams {
+                c: 50.0,
+                max_iter: 100_000,
+                ..SvrParams::paper_energy()
+            },
         }
     }
 
@@ -176,7 +197,9 @@ mod tests {
                     .iter()
                     .any(|p| b.name.starts_with(p))
             })
-            .filter(|b| b.name.ends_with("-4") || b.name.ends_with("-32") || b.name.ends_with("-256"))
+            .filter(|b| {
+                b.name.ends_with("-4") || b.name.ends_with("-32") || b.name.ends_with("-256")
+            })
             .collect();
         assert_eq!(corpus.len(), 9);
         let cv = leave_one_pattern_out(&sim, &corpus, 12, &fast_config());

@@ -69,7 +69,9 @@ impl BenchmarkEvaluation {
     /// always-meaningful notion.
     pub fn improves_on_default(&self) -> bool {
         let default = Objectives::new(1.0, 1.0);
-        self.predicted_measured.iter().any(|p| p.dominates(&default))
+        self.predicted_measured
+            .iter()
+            .any(|p| p.dominates(&default))
     }
 
     /// The paper's headline phrased operationally: the predicted set
@@ -174,7 +176,10 @@ pub fn evaluate_workload(
 }
 
 fn zero_distance() -> ExtremeDistance {
-    ExtremeDistance { d_speedup: 0.0, d_energy: 0.0 }
+    ExtremeDistance {
+        d_speedup: 0.0,
+        d_energy: 0.0,
+    }
 }
 
 /// Evaluate a set of workloads and sort by coverage difference, the
@@ -184,9 +189,15 @@ pub fn evaluate_all(
     model: &FreqScalingModel,
     workloads: &[Workload],
 ) -> Vec<BenchmarkEvaluation> {
-    let mut evals: Vec<BenchmarkEvaluation> =
-        workloads.iter().map(|w| evaluate_workload(sim, model, w)).collect();
-    evals.sort_by(|a, b| a.coverage_d.partial_cmp(&b.coverage_d).expect("no NaN coverage"));
+    let mut evals: Vec<BenchmarkEvaluation> = workloads
+        .iter()
+        .map(|w| evaluate_workload(sim, model, w))
+        .collect();
+    evals.sort_by(|a, b| {
+        a.coverage_d
+            .partial_cmp(&b.coverage_d)
+            .expect("no NaN coverage")
+    });
     evals
 }
 
@@ -238,7 +249,9 @@ pub fn error_analysis(
             let mut truth = Vec::with_capacity(configs.len());
             let mut pred = Vec::with_capacity(configs.len());
             for &cfg in &configs {
-                let Some(measured) = eval.measured_at(cfg) else { continue };
+                let Some(measured) = eval.measured_at(cfg) else {
+                    continue;
+                };
                 let predicted = model.predict_objectives(&eval.features, cfg);
                 let (t, p) = match objective {
                     Objective::Speedup => (measured.speedup, predicted.speedup),
@@ -309,10 +322,7 @@ pub struct MispredictionAnalysis {
 
 /// Analyze how a benchmark's predicted set mispredicts, with the given
 /// objective-space tolerance.
-pub fn misprediction_analysis(
-    eval: &BenchmarkEvaluation,
-    tolerance: f64,
-) -> MispredictionAnalysis {
+pub fn misprediction_analysis(eval: &BenchmarkEvaluation, tolerance: f64) -> MispredictionAnalysis {
     let measured_all: Vec<Objectives> = eval
         .ground_truth
         .points
@@ -401,7 +411,10 @@ mod tests {
 
     fn fast_config() -> ModelConfig {
         ModelConfig {
-            speedup: SvrParams { c: 10.0, ..SvrParams::paper_speedup() },
+            speedup: SvrParams {
+                c: 10.0,
+                ..SvrParams::paper_speedup()
+            },
             energy: SvrParams {
                 c: 10.0,
                 kernel: SvmKernel::Rbf { gamma: 1.0 },
@@ -412,7 +425,10 @@ mod tests {
 
     fn setup() -> (GpuSimulator, FreqScalingModel) {
         let sim = GpuSimulator::titan_x();
-        let benches: Vec<_> = gpufreq_synth::generate_all().into_iter().step_by(7).collect();
+        let benches: Vec<_> = gpufreq_synth::generate_all()
+            .into_iter()
+            .step_by(7)
+            .collect();
         let data = build_training_data(&sim, &benches, 12);
         let model = FreqScalingModel::train(&data, &fast_config());
         (sim, model)
@@ -426,7 +442,10 @@ mod tests {
         // 40 sampled settings plus the default baseline.
         assert!(eval.ground_truth.points.len() >= EVAL_SETTINGS);
         assert!(!eval.real_front.is_empty());
-        assert_eq!(eval.predicted_measured.len(), eval.prediction.pareto_set.len());
+        assert_eq!(
+            eval.predicted_measured.len(),
+            eval.prediction.pareto_set.len()
+        );
         assert!(eval.coverage_d >= 0.0);
         // The real front is mutually non-dominating.
         for a in &eval.real_front {
@@ -456,8 +475,10 @@ mod tests {
     #[test]
     fn table2_rows_match_evaluations() {
         let (sim, model) = setup();
-        let ws: Vec<_> =
-            ["knn", "blackscholes"].iter().map(|n| gpufreq_workloads::workload(n).unwrap()).collect();
+        let ws: Vec<_> = ["knn", "blackscholes"]
+            .iter()
+            .map(|n| gpufreq_workloads::workload(n).unwrap())
+            .collect();
         let evals = evaluate_all(&sim, &model, &ws);
         let rows = table2(&evals);
         assert_eq!(rows.len(), 2);

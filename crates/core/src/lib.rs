@@ -53,8 +53,8 @@ pub mod report;
 pub use active::{refine_pareto, RefinedPoint, RefinedPrediction};
 pub use crossval::{leave_one_pattern_out, CrossValidation, FoldResult};
 pub use evaluate::{
-    error_analysis, evaluate_all, evaluate_workload, table2, BenchmarkErrors,
-    BenchmarkEvaluation, DomainErrorAnalysis, Objective, Table2Row, EVAL_SETTINGS,
+    error_analysis, evaluate_all, evaluate_workload, table2, BenchmarkErrors, BenchmarkEvaluation,
+    DomainErrorAnalysis, Objective, Table2Row, EVAL_SETTINGS,
 };
 pub use model::{FreqScalingModel, ModelConfig};
 pub use pipeline::{build_training_data, TrainingData};

@@ -37,7 +37,10 @@ pub struct ModelConfig {
 
 impl Default for ModelConfig {
     fn default() -> Self {
-        ModelConfig { speedup: SvrParams::paper_speedup(), energy: SvrParams::paper_energy() }
+        ModelConfig {
+            speedup: SvrParams::paper_speedup(),
+            energy: SvrParams::paper_energy(),
+        }
     }
 }
 
@@ -91,7 +94,11 @@ impl FreqScalingModel {
                 }
             })
             .collect();
-        FreqScalingModel { domains, scaler, trained_on: data.len() }
+        FreqScalingModel {
+            domains,
+            scaler,
+            trained_on: data.len(),
+        }
     }
 
     /// The head pair responsible for `config` — exact memory-clock
@@ -107,18 +114,25 @@ impl FreqScalingModel {
     /// Predicted speedup of `features` at `config`.
     pub fn predict_speedup(&self, features: &StaticFeatures, config: FreqConfig) -> f64 {
         let row = FeatureVector::new(features, config);
-        self.heads(config).speedup.predict(&self.scaler.transform(row.as_slice()))
+        self.heads(config)
+            .speedup
+            .predict(&self.scaler.transform(row.as_slice()))
     }
 
     /// Predicted normalized energy of `features` at `config`.
     pub fn predict_energy(&self, features: &StaticFeatures, config: FreqConfig) -> f64 {
         let row = FeatureVector::new(features, config);
-        self.heads(config).energy.predict(&self.scaler.transform(row.as_slice()))
+        self.heads(config)
+            .energy
+            .predict(&self.scaler.transform(row.as_slice()))
     }
 
     /// Both objectives at once.
     pub fn predict_objectives(&self, features: &StaticFeatures, config: FreqConfig) -> Objectives {
-        Objectives::new(self.predict_speedup(features, config), self.predict_energy(features, config))
+        Objectives::new(
+            self.predict_speedup(features, config),
+            self.predict_energy(features, config),
+        )
     }
 
     /// Number of training samples this model saw.
@@ -134,7 +148,10 @@ impl FreqScalingModel {
     /// Total support-vector counts across domains `(speedup, energy)`.
     pub fn support_vectors(&self) -> (usize, usize) {
         self.domains.iter().fold((0, 0), |(s, e), d| {
-            (s + d.speedup.num_support_vectors(), e + d.energy.num_support_vectors())
+            (
+                s + d.speedup.num_support_vectors(),
+                e + d.energy.num_support_vectors(),
+            )
         })
     }
 
@@ -159,14 +176,23 @@ mod tests {
     /// is accurate enough to validate plumbing.
     pub(crate) fn fast_config() -> ModelConfig {
         ModelConfig {
-            speedup: SvrParams { c: 100.0, ..SvrParams::paper_speedup() },
-            energy: SvrParams { c: 100.0, ..SvrParams::paper_energy() },
+            speedup: SvrParams {
+                c: 100.0,
+                ..SvrParams::paper_speedup()
+            },
+            energy: SvrParams {
+                c: 100.0,
+                ..SvrParams::paper_energy()
+            },
         }
     }
 
     fn tiny_model() -> (FreqScalingModel, GpuSimulator) {
         let sim = GpuSimulator::titan_x();
-        let benches: Vec<_> = gpufreq_synth::generate_all().into_iter().step_by(4).collect();
+        let benches: Vec<_> = gpufreq_synth::generate_all()
+            .into_iter()
+            .step_by(4)
+            .collect();
         // Per-domain heads need enough settings inside every domain.
         let data = build_training_data(&sim, &benches, 24);
         (FreqScalingModel::train(&data, &fast_config()), sim)
@@ -206,7 +232,9 @@ mod tests {
     #[test]
     fn unseen_memory_clock_uses_nearest_domain() {
         let (model, _) = tiny_model();
-        let f = gpufreq_workloads::workload("knn").unwrap().static_features();
+        let f = gpufreq_workloads::workload("knn")
+            .unwrap()
+            .static_features();
         // 715 MHz (a P100 clock) falls back to the 810 MHz head.
         let via_nearest = model.predict_speedup(&f, gpufreq_kernel::FreqConfig::new(715, 810));
         let at_810 = model.predict_speedup(&f, gpufreq_kernel::FreqConfig::new(810, 810));
@@ -222,9 +250,14 @@ mod tests {
         let json = model.to_json();
         let back = FreqScalingModel::from_json(&json).unwrap();
         assert_eq!(model, back);
-        let f = gpufreq_workloads::workload("aes").unwrap().static_features();
+        let f = gpufreq_workloads::workload("aes")
+            .unwrap()
+            .static_features();
         let cfg = gpufreq_kernel::FreqConfig::new(3505, 1001);
-        assert_eq!(model.predict_objectives(&f, cfg), back.predict_objectives(&f, cfg));
+        assert_eq!(
+            model.predict_objectives(&f, cfg),
+            back.predict_objectives(&f, cfg)
+        );
     }
 
     #[test]

@@ -60,16 +60,24 @@ pub fn build_training_data(
     for bench in benchmarks {
         let profile = bench.profile();
         let features = profile.static_features();
-        // The sweep itself is crossbeam-parallel inside the simulator.
+        // The sweep itself is thread-parallel inside the simulator.
         let characterization = sim.characterize_at(&profile, &configs);
         for point in &characterization.points {
-            let row = FeatureVector::new(&features, point.config()).as_slice().to_vec();
+            let row = FeatureVector::new(&features, point.config())
+                .as_slice()
+                .to_vec();
             speedup.push(row.clone(), point.speedup);
             energy.push(row, point.norm_energy);
             row_configs.push(point.config());
         }
     }
-    TrainingData { speedup, energy, configs, row_configs, num_benchmarks: benchmarks.len() }
+    TrainingData {
+        speedup,
+        energy,
+        configs,
+        row_configs,
+        num_benchmarks: benchmarks.len(),
+    }
 }
 
 #[cfg(test)]
@@ -78,7 +86,10 @@ mod tests {
     use gpufreq_kernel::NUM_FEATURES;
 
     fn small_corpus() -> Vec<MicroBenchmark> {
-        gpufreq_synth::generate_all().into_iter().step_by(13).collect()
+        gpufreq_synth::generate_all()
+            .into_iter()
+            .step_by(13)
+            .collect()
     }
 
     #[test]
@@ -125,6 +136,9 @@ mod tests {
         let benches = gpufreq_synth::generate_all();
         let data = build_training_data(&sim, &benches, 2);
         assert_eq!(data.len(), 106 * 2);
-        assert_eq!(gpufreq_synth::NUM_MICROBENCHMARKS * gpufreq_synth::TRAINING_SETTINGS, 4240);
+        assert_eq!(
+            gpufreq_synth::NUM_MICROBENCHMARKS * gpufreq_synth::TRAINING_SETTINGS,
+            4240
+        );
     }
 }

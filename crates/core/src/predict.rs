@@ -50,16 +50,22 @@ impl ParetoPrediction {
 
     /// The predicted point with maximum speedup.
     pub fn max_speedup(&self) -> Option<&PredictedPoint> {
-        self.pareto_set
-            .iter()
-            .max_by(|a, b| a.objectives.speedup.partial_cmp(&b.objectives.speedup).unwrap())
+        self.pareto_set.iter().max_by(|a, b| {
+            a.objectives
+                .speedup
+                .partial_cmp(&b.objectives.speedup)
+                .unwrap()
+        })
     }
 
     /// The predicted point with minimum normalized energy.
     pub fn min_energy(&self) -> Option<&PredictedPoint> {
-        self.pareto_set
-            .iter()
-            .min_by(|a, b| a.objectives.energy.partial_cmp(&b.objectives.energy).unwrap())
+        self.pareto_set.iter().min_by(|a, b| {
+            a.objectives
+                .energy
+                .partial_cmp(&b.objectives.energy)
+                .unwrap()
+        })
     }
 }
 
@@ -95,8 +101,10 @@ pub fn predict_pareto_at(
         .collect();
     // Step 9: Algorithm 1 over the predictions.
     let objectives: Vec<Objectives> = all_points.iter().map(|p| p.objectives).collect();
-    let mut pareto_set: Vec<PredictedPoint> =
-        pareto_set_simple(&objectives).into_iter().map(|i| all_points[i]).collect();
+    let mut pareto_set: Vec<PredictedPoint> = pareto_set_simple(&objectives)
+        .into_iter()
+        .map(|i| all_points[i])
+        .collect();
     // §4.5: append the last (highest-core) mem-L configuration. Its
     // objectives are still model-predicted (there is nothing better
     // available statically), but it is flagged as heuristic.
@@ -107,7 +115,10 @@ pub fn predict_pareto_at(
             heuristic: true,
         });
     }
-    ParetoPrediction { all_points, pareto_set }
+    ParetoPrediction {
+        all_points,
+        pareto_set,
+    }
 }
 
 #[cfg(test)]
@@ -120,7 +131,10 @@ mod tests {
 
     fn fast_config() -> ModelConfig {
         ModelConfig {
-            speedup: SvrParams { c: 10.0, ..SvrParams::paper_speedup() },
+            speedup: SvrParams {
+                c: 10.0,
+                ..SvrParams::paper_speedup()
+            },
             energy: SvrParams {
                 c: 10.0,
                 kernel: SvmKernel::Rbf { gamma: 1.0 },
@@ -131,7 +145,10 @@ mod tests {
 
     fn setup() -> (FreqScalingModel, GpuSimulator) {
         let sim = GpuSimulator::titan_x();
-        let benches: Vec<_> = gpufreq_synth::generate_all().into_iter().step_by(9).collect();
+        let benches: Vec<_> = gpufreq_synth::generate_all()
+            .into_iter()
+            .step_by(9)
+            .collect();
         let data = build_training_data(&sim, &benches, 10);
         (FreqScalingModel::train(&data, &fast_config()), sim)
     }
@@ -139,7 +156,9 @@ mod tests {
     #[test]
     fn prediction_covers_modeled_domains_only() {
         let (model, sim) = setup();
-        let f = gpufreq_workloads::workload("knn").unwrap().static_features();
+        let f = gpufreq_workloads::workload("knn")
+            .unwrap()
+            .static_features();
         let pred = predict_pareto(&model, &f, &sim.spec().clocks);
         // 71 + 50 + 50 modeled configurations.
         assert_eq!(pred.all_points.len(), 171);
@@ -149,7 +168,9 @@ mod tests {
     #[test]
     fn pareto_set_is_mutually_non_dominating_modulo_heuristic() {
         let (model, sim) = setup();
-        let f = gpufreq_workloads::workload("kmeans").unwrap().static_features();
+        let f = gpufreq_workloads::workload("kmeans")
+            .unwrap()
+            .static_features();
         let pred = predict_pareto(&model, &f, &sim.spec().clocks);
         let modeled: Vec<_> = pred.pareto_set.iter().filter(|p| !p.heuristic).collect();
         for a in &modeled {
@@ -172,7 +193,9 @@ mod tests {
     #[test]
     fn extremes_exist_and_are_ordered() {
         let (model, sim) = setup();
-        let f = gpufreq_workloads::workload("aes").unwrap().static_features();
+        let f = gpufreq_workloads::workload("aes")
+            .unwrap()
+            .static_features();
         let pred = predict_pareto(&model, &f, &sim.spec().clocks);
         let max_s = pred.max_speedup().unwrap();
         let min_e = pred.min_energy().unwrap();
@@ -185,7 +208,9 @@ mod tests {
         // The P100 has a single 715 MHz domain: no mem-L, no heuristic.
         let (model, _) = setup();
         let sim = GpuSimulator::tesla_p100();
-        let f = gpufreq_workloads::workload("knn").unwrap().static_features();
+        let f = gpufreq_workloads::workload("knn")
+            .unwrap()
+            .static_features();
         let pred = predict_pareto(&model, &f, &sim.spec().clocks);
         assert!(!pred.all_points.is_empty());
         assert!(pred.pareto_set.iter().all(|p| !p.heuristic));

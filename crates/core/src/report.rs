@@ -70,8 +70,14 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
                 format!("{:.4}", r.coverage_d),
                 r.predicted_points.to_string(),
                 r.real_points.to_string(),
-                format!("({:.3}, {:.3})", r.max_speedup_dist.d_speedup, r.max_speedup_dist.d_energy),
-                format!("({:.3}, {:.3})", r.min_energy_dist.d_speedup, r.min_energy_dist.d_energy),
+                format!(
+                    "({:.3}, {:.3})",
+                    r.max_speedup_dist.d_speedup, r.max_speedup_dist.d_energy
+                ),
+                format!(
+                    "({:.3}, {:.3})",
+                    r.min_energy_dist.d_speedup, r.min_energy_dist.d_energy
+                ),
             ]
         })
         .collect();
@@ -144,7 +150,10 @@ mod tests {
         // Borders + header + 2 rows.
         assert_eq!(lines.len(), 6);
         let widths: Vec<usize> = lines.iter().map(|l| l.len()).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged output:\n{t}");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "ragged output:\n{t}"
+        );
         // Numeric column right-aligned.
         assert!(lines[3].contains("|   1.5 |"));
     }
@@ -162,8 +171,14 @@ mod tests {
             coverage_d: 0.0059,
             predicted_points: 12,
             real_points: 10,
-            max_speedup_dist: ExtremeDistance { d_speedup: 0.0, d_energy: 0.0 },
-            min_energy_dist: ExtremeDistance { d_speedup: 0.009, d_energy: 0.008 },
+            max_speedup_dist: ExtremeDistance {
+                d_speedup: 0.0,
+                d_energy: 0.0,
+            },
+            min_energy_dist: ExtremeDistance {
+                d_speedup: 0.009,
+                d_energy: 0.008,
+            },
         }];
         let t = render_table2(&rows);
         assert!(t.contains("PerlinNoise"));

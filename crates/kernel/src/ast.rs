@@ -26,7 +26,10 @@ impl Scalar {
     /// Whether the scalar is one of the integer types (bool counts as
     /// integer for classification purposes).
     pub fn is_integer(self) -> bool {
-        matches!(self, Scalar::Int | Scalar::Uint | Scalar::Long | Scalar::Ulong | Scalar::Bool)
+        matches!(
+            self,
+            Scalar::Int | Scalar::Uint | Scalar::Long | Scalar::Ulong | Scalar::Bool
+        )
     }
 
     /// Whether the scalar is a floating point type.
@@ -72,12 +75,20 @@ pub struct Type {
 impl Type {
     /// Scalar value type in private space.
     pub fn scalar(scalar: Scalar) -> Type {
-        Type { scalar, pointer: false, space: AddressSpace::Private }
+        Type {
+            scalar,
+            pointer: false,
+            space: AddressSpace::Private,
+        }
     }
 
     /// Pointer to `scalar` in `space`.
     pub fn pointer(scalar: Scalar, space: AddressSpace) -> Type {
-        Type { scalar, pointer: true, space }
+        Type {
+            scalar,
+            pointer: true,
+            space,
+        }
     }
 }
 
@@ -108,7 +119,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for comparison operators producing `bool`.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
     /// True for logical `&&` / `||`.
     pub fn is_logical(self) -> bool {
@@ -140,7 +154,11 @@ pub enum Expr {
     /// Variable reference.
     Var(String),
     /// Binary operation.
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// Unary operation.
     Unary { op: UnOp, expr: Box<Expr> },
     /// Array / pointer indexing `base[index]`.
@@ -150,13 +168,21 @@ pub enum Expr {
     /// C-style cast `(float)x`.
     Cast { ty: Scalar, expr: Box<Expr> },
     /// Ternary conditional `c ? a : b`.
-    Ternary { cond: Box<Expr>, then: Box<Expr>, other: Box<Expr> },
+    Ternary {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        other: Box<Expr>,
+    },
 }
 
 impl Expr {
     /// Convenience constructor for binary nodes.
     pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 }
 

@@ -58,7 +58,9 @@ pub fn builtin_return_type(name: &str) -> Option<Scalar> {
 }
 
 fn convert_target(name: &str) -> Option<Scalar> {
-    let tail = name.strip_prefix("convert_").or_else(|| name.strip_prefix("as_"))?;
+    let tail = name
+        .strip_prefix("convert_")
+        .or_else(|| name.strip_prefix("as_"))?;
     Some(match tail {
         "int" => Scalar::Int,
         "uint" => Scalar::Uint,
@@ -74,7 +76,10 @@ fn convert_target(name: &str) -> Option<Scalar> {
 /// Native and half-precision variants (`native_sin`, `half_exp`) map to
 /// the same class as the precise version: they still execute on the SFU.
 pub fn classify_builtin(name: &str) -> BuiltinClass {
-    let base = name.strip_prefix("native_").or_else(|| name.strip_prefix("half_")).unwrap_or(name);
+    let base = name
+        .strip_prefix("native_")
+        .or_else(|| name.strip_prefix("half_"))
+        .unwrap_or(name);
     match base {
         "get_global_id" | "get_local_id" | "get_group_id" | "get_global_size"
         | "get_local_size" | "get_num_groups" | "get_work_dim" | "get_global_offset" => {
@@ -110,7 +115,9 @@ mod tests {
 
     #[test]
     fn special_functions() {
-        for f in ["sin", "cos", "exp", "log", "sqrt", "rsqrt", "pow", "atan2", "erf"] {
+        for f in [
+            "sin", "cos", "exp", "log", "sqrt", "rsqrt", "pow", "atan2", "erf",
+        ] {
             assert_eq!(classify_builtin(f), BuiltinClass::Special, "{f}");
         }
     }

@@ -68,8 +68,16 @@ pub fn memory_boundedness(features: &StaticFeatures) -> f64 {
 
 /// Names of the static features, in vector order (paper notation).
 pub const STATIC_FEATURE_NAMES: [&str; NUM_STATIC_FEATURES] = [
-    "int_add", "int_mul", "int_div", "int_bw", "float_add", "float_mul", "float_div", "sf",
-    "gl_access", "loc_access",
+    "int_add",
+    "int_mul",
+    "int_div",
+    "int_bw",
+    "float_add",
+    "float_mul",
+    "float_div",
+    "sf",
+    "gl_access",
+    "loc_access",
 ];
 
 /// Frequency normalization interval for the core clock in MHz (§3.2).

@@ -76,7 +76,10 @@ impl InstrClass {
     ];
 
     fn index(self) -> usize {
-        Self::ALL.iter().position(|&c| c == self).expect("class listed in ALL")
+        Self::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("class listed in ALL")
     }
 }
 
@@ -139,9 +142,7 @@ impl InstructionCounts {
 
     /// Total arithmetic + memory instructions (the ten feature classes).
     pub fn feature_total(&self) -> f64 {
-        self.total()
-            - self.get(InstrClass::Branch)
-            - self.get(InstrClass::Other)
+        self.total() - self.get(InstrClass::Branch) - self.get(InstrClass::Other)
     }
 
     /// Global memory accesses (loads + stores), the paper's `k_gl_access`.
@@ -200,7 +201,11 @@ pub struct AnalysisError {
 
 impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "analysis error at line {}: {}", self.span.line, self.message)
+        write!(
+            f,
+            "analysis error at line {}: {}",
+            self.span.line, self.message
+        )
     }
 }
 
@@ -220,7 +225,10 @@ pub struct AnalysisConfig {
 
 impl Default for AnalysisConfig {
     fn default() -> Self {
-        AnalysisConfig { assumed_trip_count: 16.0, param_bindings: HashMap::new() }
+        AnalysisConfig {
+            assumed_trip_count: 16.0,
+            param_bindings: HashMap::new(),
+        }
     }
 }
 
@@ -268,7 +276,11 @@ struct Env<'a> {
 
 impl<'a> Env<'a> {
     fn new(config: &'a AnalysisConfig) -> Self {
-        Env { config, scopes: vec![HashMap::new()], consts: vec![HashMap::new()] }
+        Env {
+            config,
+            scopes: vec![HashMap::new()],
+            consts: vec![HashMap::new()],
+        }
     }
 
     fn push(&mut self) {
@@ -282,7 +294,10 @@ impl<'a> Env<'a> {
     }
 
     fn declare(&mut self, name: &str, ty: Type) {
-        self.scopes.last_mut().expect("at least one scope").insert(name.to_string(), ty);
+        self.scopes
+            .last_mut()
+            .expect("at least one scope")
+            .insert(name.to_string(), ty);
     }
 
     fn lookup(&self, name: &str) -> Option<Type> {
@@ -290,7 +305,10 @@ impl<'a> Env<'a> {
     }
 
     fn set_const(&mut self, name: &str, value: i64) {
-        self.consts.last_mut().expect("at least one scope").insert(name.to_string(), value);
+        self.consts
+            .last_mut()
+            .expect("at least one scope")
+            .insert(name.to_string(), value);
     }
 
     fn clear_const(&mut self, name: &str) {
@@ -313,9 +331,18 @@ fn const_eval(expr: &Expr, env: &Env<'_>) -> Option<i64> {
         Expr::IntLit(v) => Some(*v),
         Expr::BoolLit(b) => Some(*b as i64),
         Expr::Var(name) => env.lookup_const(name),
-        Expr::Unary { op: UnOp::Neg, expr } => const_eval(expr, env).map(|v| -v),
-        Expr::Unary { op: UnOp::BitNot, expr } => const_eval(expr, env).map(|v| !v),
-        Expr::Unary { op: UnOp::Not, expr } => const_eval(expr, env).map(|v| (v == 0) as i64),
+        Expr::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => const_eval(expr, env).map(|v| -v),
+        Expr::Unary {
+            op: UnOp::BitNot,
+            expr,
+        } => const_eval(expr, env).map(|v| !v),
+        Expr::Unary {
+            op: UnOp::Not,
+            expr,
+        } => const_eval(expr, env).map(|v| (v == 0) as i64),
         Expr::Cast { expr, .. } => const_eval(expr, env),
         Expr::Binary { op, lhs, rhs } => {
             let l = const_eval(lhs, env)?;
@@ -357,10 +384,17 @@ fn for_trip_count(
     env: &Env<'_>,
 ) -> Option<f64> {
     let (var, start) = match init? {
-        Stmt::Decl { name, init: Some(e), .. } => (name.clone(), const_eval(e, env)?),
-        Stmt::Assign { target: LValue::Var(name), op: None, value, .. } => {
-            (name.clone(), const_eval(value, env)?)
-        }
+        Stmt::Decl {
+            name,
+            init: Some(e),
+            ..
+        } => (name.clone(), const_eval(e, env)?),
+        Stmt::Assign {
+            target: LValue::Var(name),
+            op: None,
+            value,
+            ..
+        } => (name.clone(), const_eval(value, env)?),
         _ => return None,
     };
     let (cmp, end) = match cond? {
@@ -372,18 +406,34 @@ fn for_trip_count(
         _ => return None,
     };
     let delta = match step? {
-        Stmt::Assign { target: LValue::Var(v), op: Some(BinOp::Add), value, .. } if *v == var => {
-            const_eval(value, env)?
-        }
-        Stmt::Assign { target: LValue::Var(v), op: Some(BinOp::Sub), value, .. } if *v == var => {
-            -const_eval(value, env)?
-        }
-        Stmt::Assign { target: LValue::Var(v), op: Some(BinOp::Mul), value, .. } if *v == var => {
+        Stmt::Assign {
+            target: LValue::Var(v),
+            op: Some(BinOp::Add),
+            value,
+            ..
+        } if *v == var => const_eval(value, env)?,
+        Stmt::Assign {
+            target: LValue::Var(v),
+            op: Some(BinOp::Sub),
+            value,
+            ..
+        } if *v == var => -const_eval(value, env)?,
+        Stmt::Assign {
+            target: LValue::Var(v),
+            op: Some(BinOp::Mul),
+            value,
+            ..
+        } if *v == var => {
             // Geometric loops (`i *= 2`): count iterations explicitly.
             let factor = const_eval(value, env)?;
             return geometric_trips(start, end, cmp, factor);
         }
-        Stmt::Assign { target: LValue::Var(v), op: Some(BinOp::Shl), value, .. } if *v == var => {
+        Stmt::Assign {
+            target: LValue::Var(v),
+            op: Some(BinOp::Shl),
+            value,
+            ..
+        } if *v == var => {
             let sh = const_eval(value, env)?;
             return geometric_trips(start, end, cmp, 1i64.checked_shl(u32::try_from(sh).ok()?)?);
         }
@@ -484,12 +534,13 @@ fn analyze_stmt(
             env.declare(name, *ty);
             Ok(())
         }
-        Stmt::Assign { target, op, value, .. } => {
+        Stmt::Assign {
+            target, op, value, ..
+        } => {
             let value_ty = analyze_expr(value, env, out)?;
             match target {
                 LValue::Var(name) => {
-                    let var_ty =
-                        env.lookup(name).unwrap_or(Type::scalar(value_ty)).scalar;
+                    let var_ty = env.lookup(name).unwrap_or(Type::scalar(value_ty)).scalar;
                     if let Some(binop) = op {
                         count_binop(*binop, var_ty, &mut out.counts);
                     }
@@ -524,7 +575,9 @@ fn analyze_stmt(
             analyze_expr(e, env, out)?;
             Ok(())
         }
-        Stmt::If { cond, then, other, .. } => {
+        Stmt::If {
+            cond, then, other, ..
+        } => {
             analyze_expr(cond, env, out)?;
             out.counts.add(InstrClass::Branch, 1.0);
             let mut then_a = KernelAnalysis::default();
@@ -540,7 +593,13 @@ fn analyze_stmt(
             out.merge_scaled(&else_a, 0.5);
             Ok(())
         }
-        Stmt::For { init, cond, step, body, .. } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
             env.push();
             if let Some(i) = init {
                 analyze_stmt(i, env, out)?;
@@ -548,8 +607,11 @@ fn analyze_stmt(
             let trips = for_trip_count(init.as_deref(), cond.as_ref(), step.as_deref(), env)
                 .unwrap_or(env.config.assumed_trip_count);
             // The induction variable is not constant inside the body.
-            if let Some(Stmt::Decl { name, .. }) | Some(Stmt::Assign { target: LValue::Var(name), .. }) =
-                init.as_deref()
+            if let Some(Stmt::Decl { name, .. })
+            | Some(Stmt::Assign {
+                target: LValue::Var(name),
+                ..
+            }) = init.as_deref()
             {
                 env.clear_const(name);
             }
@@ -742,7 +804,11 @@ fn record_access(base_ty: Type, is_store: bool, out: &mut KernelAnalysis) {
         }
         AddressSpace::Local => {
             out.counts.add(
-                if is_store { InstrClass::LocalStore } else { InstrClass::LocalLoad },
+                if is_store {
+                    InstrClass::LocalStore
+                } else {
+                    InstrClass::LocalLoad
+                },
                 1.0,
             );
             out.local_bytes += bytes;
@@ -998,7 +1064,10 @@ mod tests {
 
     #[test]
     fn while_uses_assumed_trips() {
-        let cfg = AnalysisConfig { assumed_trip_count: 7.0, ..Default::default() };
+        let cfg = AnalysisConfig {
+            assumed_trip_count: 7.0,
+            ..Default::default()
+        };
         let a = analyze_src_with(
             "__kernel void k(__global float* x) {
                 float acc = 0.0f;

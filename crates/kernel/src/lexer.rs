@@ -21,7 +21,11 @@ pub struct Span {
 
 impl Span {
     /// A zero-width span, used for synthesized tokens.
-    pub const DUMMY: Span = Span { start: 0, end: 0, line: 0 };
+    pub const DUMMY: Span = Span {
+        start: 0,
+        end: 0,
+        line: 0,
+    };
 }
 
 /// Keywords of the kernel language.
@@ -210,14 +214,25 @@ impl<'a> Cursor<'a> {
 
 /// Tokenize `src` into a vector of tokens terminated by [`TokenKind::Eof`].
 pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
-    let mut cur = Cursor { src: src.as_bytes(), pos: 0, line: 1 };
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
     let mut out = Vec::with_capacity(src.len() / 4 + 8);
     loop {
         skip_trivia(&mut cur)?;
         let start = cur.pos;
         let line = cur.line;
         let Some(c) = cur.peek() else {
-            out.push(Token { kind: TokenKind::Eof, span: Span { start, end: start, line } });
+            out.push(Token {
+                kind: TokenKind::Eof,
+                span: Span {
+                    start,
+                    end: start,
+                    line,
+                },
+            });
             return Ok(out);
         };
         let kind = match c {
@@ -226,7 +241,14 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             b'.' if cur.peek2().is_some_and(|d| d.is_ascii_digit()) => lex_number(&mut cur)?,
             _ => lex_op(&mut cur)?,
         };
-        out.push(Token { kind, span: Span { start, end: cur.pos, line } });
+        out.push(Token {
+            kind,
+            span: Span {
+                start,
+                end: cur.pos,
+                line,
+            },
+        });
     }
 }
 
@@ -262,7 +284,11 @@ fn skip_trivia(cur: &mut Cursor<'_>) -> Result<(), LexError> {
                         None => {
                             return Err(LexError {
                                 message: "unterminated block comment".into(),
-                                span: Span { start, end: cur.pos, line },
+                                span: Span {
+                                    start,
+                                    end: cur.pos,
+                                    line,
+                                },
                             })
                         }
                     }
@@ -314,13 +340,21 @@ fn lex_number(cur: &mut Cursor<'_>) -> Result<TokenKind, LexError> {
         if cur.pos == hs {
             return Err(LexError {
                 message: "hex literal with no digits".into(),
-                span: Span { start, end: cur.pos, line },
+                span: Span {
+                    start,
+                    end: cur.pos,
+                    line,
+                },
             });
         }
         let text = std::str::from_utf8(&cur.src[hs..cur.pos]).unwrap();
         let v = i64::from_str_radix(text, 16).map_err(|e| LexError {
             message: format!("invalid hex literal: {e}"),
-            span: Span { start, end: cur.pos, line },
+            span: Span {
+                start,
+                end: cur.pos,
+                line,
+            },
         })?;
         let unsigned = cur.eat(b'u') || cur.eat(b'U');
         let _ = cur.eat(b'l') || cur.eat(b'L');
@@ -355,14 +389,22 @@ fn lex_number(cur: &mut Cursor<'_>) -> Result<TokenKind, LexError> {
         let _ = cur.eat(b'f') || cur.eat(b'F');
         let v: f64 = text.parse().map_err(|e| LexError {
             message: format!("invalid float literal: {e}"),
-            span: Span { start, end: cur.pos, line },
+            span: Span {
+                start,
+                end: cur.pos,
+                line,
+            },
         })?;
         Ok(TokenKind::FloatLit(v))
     } else if cur.eat(b'f') || cur.eat(b'F') {
         // `1f` style literal.
         let v: f64 = text.parse().map_err(|e| LexError {
             message: format!("invalid float literal: {e}"),
-            span: Span { start, end: cur.pos, line },
+            span: Span {
+                start,
+                end: cur.pos,
+                line,
+            },
         })?;
         Ok(TokenKind::FloatLit(v))
     } else {
@@ -370,7 +412,11 @@ fn lex_number(cur: &mut Cursor<'_>) -> Result<TokenKind, LexError> {
         let _ = cur.eat(b'l') || cur.eat(b'L');
         let v: i64 = text.parse().map_err(|e| LexError {
             message: format!("invalid int literal: {e}"),
-            span: Span { start, end: cur.pos, line },
+            span: Span {
+                start,
+                end: cur.pos,
+                line,
+            },
         })?;
         Ok(TokenKind::IntLit(v, unsigned))
     }
@@ -499,7 +545,11 @@ fn lex_op(cur: &mut Cursor<'_>) -> Result<TokenKind, LexError> {
         other => {
             return Err(LexError {
                 message: format!("unexpected character {:?}", other as char),
-                span: Span { start, end: cur.pos, line },
+                span: Span {
+                    start,
+                    end: cur.pos,
+                    line,
+                },
             })
         }
     };

@@ -21,7 +21,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.span.line, self.message)
+        write!(
+            f,
+            "parse error at line {}: {}",
+            self.span.line, self.message
+        )
     }
 }
 
@@ -29,7 +33,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, span: e.span }
+        ParseError {
+            message: e.message,
+            span: e.span,
+        }
     }
 }
 
@@ -42,7 +49,10 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
         kernels.push(p.kernel_fn()?);
     }
     if kernels.is_empty() {
-        return Err(ParseError { message: "source contains no kernels".into(), span: Span::DUMMY });
+        return Err(ParseError {
+            message: "source contains no kernels".into(),
+            span: Span::DUMMY,
+        });
     }
     Ok(Program { kernels })
 }
@@ -100,7 +110,11 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(self.err(format!("expected keyword {:?}, found {:?}", kw, self.peek())))
+            Err(self.err(format!(
+                "expected keyword {:?}, found {:?}",
+                kw,
+                self.peek()
+            )))
         }
     }
     fn expect_ident(&mut self) -> Result<String, ParseError> {
@@ -113,7 +127,10 @@ impl Parser {
         }
     }
     fn err(&self, message: String) -> ParseError {
-        ParseError { message, span: self.span() }
+        ParseError {
+            message,
+            span: self.span(),
+        }
     }
 
     // ---- declarations -------------------------------------------------
@@ -136,7 +153,12 @@ impl Parser {
         }
         self.expect_op(Op::LBrace)?;
         let body = self.block_body()?;
-        Ok(KernelFn { name, params, body, span })
+        Ok(KernelFn {
+            name,
+            params,
+            body,
+            span,
+        })
     }
 
     fn param(&mut self) -> Result<Param, ParseError> {
@@ -168,9 +190,17 @@ impl Parser {
         }
         let name = self.expect_ident()?;
         let ty = if pointer {
-            Type { scalar, pointer: true, space }
+            Type {
+                scalar,
+                pointer: true,
+                space,
+            }
         } else {
-            Type { scalar, pointer: false, space: AddressSpace::Private }
+            Type {
+                scalar,
+                pointer: false,
+                space: AddressSpace::Private,
+            }
         };
         Ok(Param { ty, name, is_const })
     }
@@ -291,13 +321,30 @@ impl Parser {
                 }
             };
             self.expect_op(Op::RBracket)?;
-            let ty = Type { scalar, pointer: true, space };
-            return Ok(Stmt::Decl { ty, name, array_len: Some(len), init: None, span });
+            let ty = Type {
+                scalar,
+                pointer: true,
+                space,
+            };
+            return Ok(Stmt::Decl {
+                ty,
+                name,
+                array_len: Some(len),
+                init: None,
+                span,
+            });
         }
-        let init =
-            if self.eat_op(Op::Assign) { Some(self.expr()?) } else { None };
+        let init = if self.eat_op(Op::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         Ok(Stmt::Decl {
-            ty: Type { scalar, pointer: false, space },
+            ty: Type {
+                scalar,
+                pointer: false,
+                space,
+            },
             name,
             array_len: None,
             init,
@@ -345,12 +392,15 @@ impl Parser {
             let target = match e {
                 Expr::Var(name) => LValue::Var(name),
                 Expr::Index { base, index } => LValue::Index { base, index },
-                other => {
-                    return Err(self.err(format!("invalid assignment target: {other:?}")))
-                }
+                other => return Err(self.err(format!("invalid assignment target: {other:?}"))),
             };
             let value = self.expr()?;
-            return Ok(Stmt::Assign { target, op, value, span });
+            return Ok(Stmt::Assign {
+                target,
+                op,
+                value,
+                span,
+            });
         }
         Ok(Stmt::Expr(e, span))
     }
@@ -381,8 +431,17 @@ impl Parser {
         let cond = self.expr()?;
         self.expect_op(Op::RParen)?;
         let then = self.stmt_or_block()?;
-        let other = if self.eat_kw(Keyword::Else) { self.stmt_or_block()? } else { Vec::new() };
-        Ok(Stmt::If { cond, then, other, span })
+        let other = if self.eat_kw(Keyword::Else) {
+            self.stmt_or_block()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then,
+            other,
+            span,
+        })
     }
 
     fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
@@ -400,7 +459,11 @@ impl Parser {
         let init = if self.eat_op(Op::Semi) {
             None
         } else {
-            let s = if self.starts_type() { self.decl_stmt()? } else { self.simple_stmt()? };
+            let s = if self.starts_type() {
+                self.decl_stmt()?
+            } else {
+                self.simple_stmt()?
+            };
             self.expect_op(Op::Semi)?;
             Some(Box::new(s))
         };
@@ -418,7 +481,13 @@ impl Parser {
         };
         self.expect_op(Op::RParen)?;
         let body = self.stmt_or_block()?;
-        Ok(Stmt::For { init, cond, step, body, span })
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            span,
+        })
     }
 
     fn while_stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -458,7 +527,11 @@ impl Parser {
             let then = self.expr()?;
             self.expect_op(Op::Colon)?;
             let other = self.expr()?;
-            Ok(Expr::Ternary { cond: Box::new(cond), then: Box::new(then), other: Box::new(other) })
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                other: Box::new(other),
+            })
         } else {
             Ok(cond)
         }
@@ -504,13 +577,22 @@ impl Parser {
 
     fn unary(&mut self) -> Result<Expr, ParseError> {
         if self.eat_op(Op::Minus) {
-            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(self.unary()?) });
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(self.unary()?),
+            });
         }
         if self.eat_op(Op::Bang) {
-            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(self.unary()?) });
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(self.unary()?),
+            });
         }
         if self.eat_op(Op::Tilde) {
-            return Ok(Expr::Unary { op: UnOp::BitNot, expr: Box::new(self.unary()?) });
+            return Ok(Expr::Unary {
+                op: UnOp::BitNot,
+                expr: Box::new(self.unary()?),
+            });
         }
         if self.eat_op(Op::Plus) {
             return self.unary();
@@ -527,7 +609,10 @@ impl Parser {
                     let ty = self.scalar_type()?;
                     self.bump(); // )
                     let e = self.unary()?;
-                    return Ok(Expr::Cast { ty, expr: Box::new(e) });
+                    return Ok(Expr::Cast {
+                        ty,
+                        expr: Box::new(e),
+                    });
                 }
             }
         }
@@ -540,7 +625,10 @@ impl Parser {
             if self.eat_op(Op::LBracket) {
                 let idx = self.expr()?;
                 self.expect_op(Op::RBracket)?;
-                e = Expr::Index { base: Box::new(e), index: Box::new(idx) };
+                e = Expr::Index {
+                    base: Box::new(e),
+                    index: Box::new(idx),
+                };
             } else {
                 break;
             }
@@ -641,8 +729,20 @@ mod tests {
             }",
         );
         assert_eq!(k.body.len(), 4);
-        assert!(matches!(&k.body[2], Stmt::Assign { op: Some(BinOp::Add), .. }));
-        assert!(matches!(&k.body[3], Stmt::Assign { target: LValue::Index { .. }, .. }));
+        assert!(matches!(
+            &k.body[2],
+            Stmt::Assign {
+                op: Some(BinOp::Add),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &k.body[3],
+            Stmt::Assign {
+                target: LValue::Index { .. },
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -652,7 +752,14 @@ mod tests {
                 for (int i = 0; i < 16; i++) { a[i] = 0.0f; }
             }",
         );
-        let Stmt::For { init, cond, step, body, .. } = &k.body[0] else {
+        let Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } = &k.body[0]
+        else {
             panic!("expected for")
         };
         assert!(init.is_some());
@@ -669,7 +776,9 @@ mod tests {
                 if (i < 4) a[i] = 1; else { a[i] = 2; }
             }",
         );
-        let Stmt::If { then, other, .. } = &k.body[1] else { panic!("expected if") };
+        let Stmt::If { then, other, .. } = &k.body[1] else {
+            panic!("expected if")
+        };
         assert_eq!(then.len(), 1);
         assert_eq!(other.len(), 1);
     }
@@ -690,9 +799,18 @@ mod tests {
     #[test]
     fn parse_precedence() {
         let k = parse_one("__kernel void k(__global int* a) { a[0] = 1 + 2 * 3; }");
-        let Stmt::Assign { value, .. } = &k.body[0] else { panic!() };
+        let Stmt::Assign { value, .. } = &k.body[0] else {
+            panic!()
+        };
         // 1 + (2*3)
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = value else { panic!("got {value:?}") };
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = value
+        else {
+            panic!("got {value:?}")
+        };
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
     }
 
@@ -704,7 +822,9 @@ mod tests {
                 a[i] = i < n ? (float)i : 0.0f;
             }",
         );
-        let Stmt::Assign { value, .. } = &k.body[1] else { panic!() };
+        let Stmt::Assign { value, .. } = &k.body[1] else {
+            panic!()
+        };
         assert!(matches!(value, Expr::Ternary { .. }));
     }
 
@@ -729,7 +849,9 @@ mod tests {
                 tile[l] = a[l];
             }",
         );
-        let Stmt::Decl { ty, array_len, .. } = &k.body[0] else { panic!() };
+        let Stmt::Decl { ty, array_len, .. } = &k.body[0] else {
+            panic!()
+        };
         assert_eq!(*array_len, Some(64));
         assert_eq!(ty.space, AddressSpace::Local);
         assert!(ty.pointer);

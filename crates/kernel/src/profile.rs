@@ -26,7 +26,10 @@ pub struct LaunchConfig {
 impl LaunchConfig {
     /// A launch with `global_size` items in groups of `local_size`.
     pub fn new(global_size: u64, local_size: u64) -> LaunchConfig {
-        LaunchConfig { global_size, local_size }
+        LaunchConfig {
+            global_size,
+            local_size,
+        }
     }
 
     /// Number of work-groups (rounded up).
@@ -37,7 +40,10 @@ impl LaunchConfig {
 
 impl Default for LaunchConfig {
     fn default() -> Self {
-        LaunchConfig { global_size: 1 << 20, local_size: 256 }
+        LaunchConfig {
+            global_size: 1 << 20,
+            local_size: 256,
+        }
     }
 }
 
@@ -147,8 +153,7 @@ mod tests {
         let prog = parse(src).unwrap();
         let a = crate::ir::analyze_kernel(prog.first_kernel().unwrap()).unwrap();
         let direct = StaticFeatures::from_analysis(&a);
-        let via_profile =
-            profile(src, LaunchConfig::default()).static_features();
+        let via_profile = profile(src, LaunchConfig::default()).static_features();
         assert_eq!(direct, via_profile);
     }
 

@@ -34,9 +34,11 @@ impl SvmKernel {
                 let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
                 (-gamma * d2).exp()
             }
-            SvmKernel::Polynomial { gamma, coef0, degree } => {
-                (gamma * dot(a, b) + coef0).powi(degree as i32)
-            }
+            SvmKernel::Polynomial {
+                gamma,
+                coef0,
+                degree,
+            } => (gamma * dot(a, b) + coef0).powi(degree as i32),
         }
     }
 }
@@ -74,7 +76,11 @@ mod tests {
 
     #[test]
     fn polynomial_degrees() {
-        let k = SvmKernel::Polynomial { gamma: 1.0, coef0: 1.0, degree: 2 };
+        let k = SvmKernel::Polynomial {
+            gamma: 1.0,
+            coef0: 1.0,
+            degree: 2,
+        };
         // (1*1 + 1)^2 = 4
         assert_eq!(k.eval(&[1.0], &[1.0]), 4.0);
     }

@@ -21,7 +21,11 @@ pub struct LassoParams {
 
 impl Default for LassoParams {
     fn default() -> Self {
-        LassoParams { lambda: 0.01, tol: 1e-8, max_sweeps: 10_000 }
+        LassoParams {
+            lambda: 0.01,
+            tol: 1e-8,
+            max_sweeps: 10_000,
+        }
     }
 }
 
@@ -47,7 +51,9 @@ pub fn train_lasso(data: &Dataset, params: &LassoParams) -> LinearModel {
         .collect();
     let yc: Vec<f64> = data.ys().iter().map(|y| y - y_mean).collect();
     // Per-feature squared norms (coordinate update denominators).
-    let col_sq: Vec<f64> = (0..d).map(|j| xc.iter().map(|r| r[j] * r[j]).sum::<f64>() / nf).collect();
+    let col_sq: Vec<f64> = (0..d)
+        .map(|j| xc.iter().map(|r| r[j] * r[j]).sum::<f64>() / nf)
+        .collect();
 
     let mut w = vec![0.0f64; d];
     let mut residual = yc.clone(); // r = y − Xw, maintained incrementally
@@ -111,8 +117,18 @@ mod tests {
     #[test]
     fn near_zero_lambda_matches_ols() {
         let data = sparse_linear(60);
-        let lasso = train_lasso(&data, &LassoParams { lambda: 1e-9, ..Default::default() });
-        assert!((lasso.weights[0] - 4.0).abs() < 1e-3, "w0 {}", lasso.weights[0]);
+        let lasso = train_lasso(
+            &data,
+            &LassoParams {
+                lambda: 1e-9,
+                ..Default::default()
+            },
+        );
+        assert!(
+            (lasso.weights[0] - 4.0).abs() < 1e-3,
+            "w0 {}",
+            lasso.weights[0]
+        );
         assert!((lasso.weights[2] + 2.5).abs() < 1e-3);
         assert!(lasso.weights[1].abs() < 1e-3);
         assert!(lasso.weights[3].abs() < 1e-3);
@@ -121,7 +137,13 @@ mod tests {
     #[test]
     fn l1_penalty_produces_exact_zeros() {
         let data = sparse_linear(60);
-        let lasso = train_lasso(&data, &LassoParams { lambda: 0.05, ..Default::default() });
+        let lasso = train_lasso(
+            &data,
+            &LassoParams {
+                lambda: 0.05,
+                ..Default::default()
+            },
+        );
         assert_eq!(lasso.weights[1], 0.0);
         assert_eq!(lasso.weights[3], 0.0);
         assert!(lasso.weights[0] > 1.0, "informative weight survives");
@@ -130,7 +152,13 @@ mod tests {
     #[test]
     fn huge_lambda_kills_all_weights() {
         let data = sparse_linear(40);
-        let lasso = train_lasso(&data, &LassoParams { lambda: 1e6, ..Default::default() });
+        let lasso = train_lasso(
+            &data,
+            &LassoParams {
+                lambda: 1e6,
+                ..Default::default()
+            },
+        );
         assert!(lasso.weights.iter().all(|&w| w == 0.0));
         // The intercept absorbs the mean.
         let y_mean = data.ys().iter().sum::<f64>() / data.len() as f64;
@@ -140,8 +168,20 @@ mod tests {
     #[test]
     fn shrinkage_is_monotone_in_lambda() {
         let data = sparse_linear(60);
-        let small = train_lasso(&data, &LassoParams { lambda: 0.01, ..Default::default() });
-        let large = train_lasso(&data, &LassoParams { lambda: 0.2, ..Default::default() });
+        let small = train_lasso(
+            &data,
+            &LassoParams {
+                lambda: 0.01,
+                ..Default::default()
+            },
+        );
+        let large = train_lasso(
+            &data,
+            &LassoParams {
+                lambda: 0.2,
+                ..Default::default()
+            },
+        );
         assert!(large.weights[0].abs() <= small.weights[0].abs());
     }
 
@@ -152,7 +192,13 @@ mod tests {
             let x = i as f64 / 30.0;
             d.push(vec![x, 1.0], 2.0 * x);
         }
-        let lasso = train_lasso(&d, &LassoParams { lambda: 1e-9, ..Default::default() });
+        let lasso = train_lasso(
+            &d,
+            &LassoParams {
+                lambda: 1e-9,
+                ..Default::default()
+            },
+        );
         assert!((lasso.weights[0] - 2.0).abs() < 1e-3);
         assert_eq!(lasso.weights[1], 0.0);
     }

@@ -46,8 +46,8 @@ pub fn train_ridge(data: &Dataset, lambda: f64) -> LinearModel {
     let n = data.len();
     let d = data.dims();
     let m = d + 1; // trailing column is the intercept
-    // Normal equations A = X'X + λI, rhs = X'y, with the intercept as
-    // an extra all-ones feature (unpenalized).
+                   // Normal equations A = X'X + λI, rhs = X'y, with the intercept as
+                   // an extra all-ones feature (unpenalized).
     let mut a = vec![vec![0.0f64; m]; m];
     let mut rhs = vec![0.0f64; m];
     for i in 0..n {
@@ -70,7 +70,10 @@ pub fn train_ridge(data: &Dataset, lambda: f64) -> LinearModel {
         row[j] += 1e-10;
     }
     let sol = solve_linear_system(a, rhs);
-    LinearModel { weights: sol[..d].to_vec(), bias: sol[d] }
+    LinearModel {
+        weights: sol[..d].to_vec(),
+        bias: sol[d],
+    }
 }
 
 /// Solve `A x = b` by Gaussian elimination with partial pivoting.

@@ -20,7 +20,12 @@ pub fn rmse(truth: &[f64], pred: &[f64]) -> f64 {
 /// Mean absolute error.
 pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
     check(truth, pred);
-    truth.iter().zip(pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / truth.len() as f64
+    truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / truth.len() as f64
 }
 
 /// Signed relative errors in percent: `(pred − truth) / truth · 100`.

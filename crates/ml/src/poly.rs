@@ -56,7 +56,10 @@ pub fn train_poly(data: &Dataset, lambda: f64) -> PolyModel {
     assert!(!data.is_empty(), "cannot train on an empty dataset");
     let dims = data.dims();
     let expanded = data.map_rows(expand);
-    PolyModel { dims, linear: train_ridge(&expanded, lambda) }
+    PolyModel {
+        dims,
+        linear: train_ridge(&expanded, lambda),
+    }
 }
 
 #[cfg(test)]

@@ -39,7 +39,10 @@ impl MinMaxScaler {
 
     /// Identity scaler of width `d` (useful as a neutral default).
     pub fn identity(d: usize) -> MinMaxScaler {
-        MinMaxScaler { lo: vec![0.0; d], hi: vec![1.0; d] }
+        MinMaxScaler {
+            lo: vec![0.0; d],
+            hi: vec![1.0; d],
+        }
     }
 
     /// Feature width this scaler was fit on.
@@ -114,7 +117,11 @@ mod tests {
 
     #[test]
     fn inverse_round_trips() {
-        let rows = vec![vec![1.0, -3.0, 8.0], vec![4.0, 5.0, -2.0], vec![0.5, 0.0, 3.0]];
+        let rows = vec![
+            vec![1.0, -3.0, 8.0],
+            vec![4.0, 5.0, -2.0],
+            vec![0.5, 0.0, 3.0],
+        ];
         let s = MinMaxScaler::fit(&rows);
         for r in &rows {
             let back = s.inverse(&s.transform(r));

@@ -134,7 +134,13 @@ pub fn train_svr(data: &Dataset, params: &SvrParams) -> SvrModel {
             beta.push(b);
         }
     }
-    SvrModel { kernel: params.kernel, support_x, beta, bias, iterations }
+    SvrModel {
+        kernel: params.kernel,
+        support_x,
+        beta,
+        bias,
+        iterations,
+    }
 }
 
 /// SMO solver state over the extended `2n`-variable problem.
@@ -165,7 +171,13 @@ impl<'a> Solver<'a> {
             grad[i] = params.epsilon - data.ys()[i];
             grad[n + i] = params.epsilon + data.ys()[i];
         }
-        let qd = (0..n).map(|i| params.kernel.eval(data.xs()[i].as_slice(), data.xs()[i].as_slice())).collect();
+        let qd = (0..n)
+            .map(|i| {
+                params
+                    .kernel
+                    .eval(data.xs()[i].as_slice(), data.xs()[i].as_slice())
+            })
+            .collect();
         Solver {
             data,
             params,
@@ -183,7 +195,9 @@ impl<'a> Solver<'a> {
         let i = s % self.n;
         let kernel = self.params.kernel;
         let xs = self.data.xs();
-        self.cache.get(i, || (0..xs.len()).map(|j| kernel.eval(&xs[i], &xs[j])).collect())
+        self.cache.get(i, || {
+            (0..xs.len()).map(|j| kernel.eval(&xs[i], &xs[j])).collect()
+        })
     }
 
     fn in_up(&self, s: usize) -> bool {
@@ -224,7 +238,11 @@ impl<'a> Solver<'a> {
         // Split the extended space into the α block (y_s = +1, s < n)
         // and the α* block (y_s = −1) so the inner loop needs no modulo.
         for s in 0..two_n {
-            let (s_base, y_s) = if s < self.n { (s, 1.0) } else { (s - self.n, -1.0) };
+            let (s_base, y_s) = if s < self.n {
+                (s, 1.0)
+            } else {
+                (s - self.n, -1.0)
+            };
             let in_low = if y_s > 0.0 {
                 self.alpha[s] > 0.0
             } else {
@@ -267,7 +285,9 @@ impl<'a> Solver<'a> {
         let c = self.params.c;
         let mut it = 0;
         while it < max_iter {
-            let Some((i, j)) = self.select_working_set() else { break };
+            let Some((i, j)) = self.select_working_set() else {
+                break;
+            };
             it += 1;
             let i_base = i % self.n;
             let j_base = j % self.n;
@@ -371,7 +391,11 @@ impl<'a> Solver<'a> {
                 sum_free += yg;
             }
         }
-        let rho = if nr_free > 0 { sum_free / nr_free as f64 } else { (ub + lb) / 2.0 };
+        let rho = if nr_free > 0 {
+            sum_free / nr_free as f64
+        } else {
+            (ub + lb) / 2.0
+        };
         -rho
     }
 }
@@ -385,7 +409,11 @@ struct RowCache {
 
 impl RowCache {
     fn new(capacity: usize) -> RowCache {
-        RowCache { capacity: capacity.max(2), stamp: 0, rows: HashMap::new() }
+        RowCache {
+            capacity: capacity.max(2),
+            stamp: 0,
+            rows: HashMap::new(),
+        }
     }
 
     fn get<F: FnOnce() -> Vec<f64>>(&mut self, i: usize, compute: F) -> std::rc::Rc<Vec<f64>> {
@@ -428,7 +456,10 @@ mod tests {
     #[test]
     fn linear_svr_recovers_linear_function() {
         let data = linear_data(120, 0.0, 1);
-        let params = SvrParams { epsilon: 0.01, ..SvrParams::paper_speedup() };
+        let params = SvrParams {
+            epsilon: 0.01,
+            ..SvrParams::paper_speedup()
+        };
         let model = train_svr(&data, &params);
         // Predictions within the ε-tube (plus solver tolerance).
         for (x, y) in data.xs().iter().zip(data.ys()) {
@@ -464,11 +495,17 @@ mod tests {
         let data = linear_data(200, 0.01, 3);
         let narrow = train_svr(
             &data,
-            &SvrParams { epsilon: 0.001, ..SvrParams::paper_speedup() },
+            &SvrParams {
+                epsilon: 0.001,
+                ..SvrParams::paper_speedup()
+            },
         );
         let wide = train_svr(
             &data,
-            &SvrParams { epsilon: 0.5, ..SvrParams::paper_speedup() },
+            &SvrParams {
+                epsilon: 0.5,
+                ..SvrParams::paper_speedup()
+            },
         );
         assert!(wide.num_support_vectors() < narrow.num_support_vectors());
     }
@@ -476,8 +513,13 @@ mod tests {
     #[test]
     fn noisy_data_stays_within_epsilon_plus_noise() {
         let data = linear_data(150, 0.05, 7);
-        let model =
-            train_svr(&data, &SvrParams { epsilon: 0.1, ..SvrParams::paper_speedup() });
+        let model = train_svr(
+            &data,
+            &SvrParams {
+                epsilon: 0.1,
+                ..SvrParams::paper_speedup()
+            },
+        );
         let preds = model.predict_batch(data.xs());
         let rmse = crate::metrics::rmse(data.ys(), &preds);
         assert!(rmse < 0.12, "rmse {rmse}");
@@ -512,7 +554,11 @@ mod tests {
     #[test]
     fn tiny_cache_still_converges() {
         let data = linear_data(60, 0.0, 13);
-        let params = SvrParams { cache_rows: 2, epsilon: 0.01, ..SvrParams::paper_speedup() };
+        let params = SvrParams {
+            cache_rows: 2,
+            epsilon: 0.01,
+            ..SvrParams::paper_speedup()
+        };
         let model = train_svr(&data, &params);
         for (x, y) in data.xs().iter().zip(data.ys()) {
             assert!((model.predict(x) - y).abs() < 0.05);

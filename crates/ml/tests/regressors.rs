@@ -31,7 +31,10 @@ fn parabola_task(n: usize, seed: u64) -> Dataset {
     for _ in 0..n {
         let x0: f64 = rng.gen_range(0.0..1.0);
         let x1: f64 = rng.gen_range(0.0..1.0);
-        d.push(vec![x0, x1], (x0 - 0.55) * (x0 - 0.55) * 2.0 + 0.8 + 0.2 * x1);
+        d.push(
+            vec![x0, x1],
+            (x0 - 0.55) * (x0 - 0.55) * 2.0 + 0.8 + 0.2 * x1,
+        );
     }
     d
 }
@@ -46,8 +49,21 @@ fn on_linear_tasks_all_linear_models_agree() {
     let (train, test) = split(linear_task(300, 0.02, 7), 1);
     let ols = train_ols(&train);
     let ridge = train_ridge(&train, 1e-6);
-    let lasso = train_lasso(&train, &LassoParams { lambda: 1e-8, ..Default::default() });
-    let svr = train_svr(&train, &SvrParams { c: 100.0, epsilon: 0.01, ..SvrParams::paper_speedup() });
+    let lasso = train_lasso(
+        &train,
+        &LassoParams {
+            lambda: 1e-8,
+            ..Default::default()
+        },
+    );
+    let svr = train_svr(
+        &train,
+        &SvrParams {
+            c: 100.0,
+            epsilon: 0.01,
+            ..SvrParams::paper_speedup()
+        },
+    );
     for model_preds in [
         ols.predict_batch(test.xs()),
         ridge.predict_batch(test.xs()),
@@ -78,8 +94,14 @@ fn linear_models_fail_on_the_parabola_where_rbf_and_poly_succeed() {
         },
     );
     let rbf_rmse = rmse(test.ys(), &rbf.predict_batch(test.xs()));
-    assert!(poly_rmse < ols_rmse / 3.0, "poly {poly_rmse} vs ols {ols_rmse}");
-    assert!(rbf_rmse < ols_rmse / 3.0, "rbf {rbf_rmse} vs ols {ols_rmse}");
+    assert!(
+        poly_rmse < ols_rmse / 3.0,
+        "poly {poly_rmse} vs ols {ols_rmse}"
+    );
+    assert!(
+        rbf_rmse < ols_rmse / 3.0,
+        "rbf {rbf_rmse} vs ols {ols_rmse}"
+    );
 }
 
 #[test]
@@ -91,7 +113,11 @@ fn scaling_pipeline_preserves_model_quality() {
     let test_s = test.map_rows(|r| scaler.transform(r));
     let svr = train_svr(
         &train_s,
-        &SvrParams { c: 100.0, epsilon: 0.01, ..SvrParams::paper_speedup() },
+        &SvrParams {
+            c: 100.0,
+            epsilon: 0.01,
+            ..SvrParams::paper_speedup()
+        },
     );
     let e = rmse(test_s.ys(), &svr.predict_batch(test_s.xs()));
     assert!(e < 0.03, "rmse {e}");
@@ -104,7 +130,12 @@ fn epsilon_bounds_training_residuals() {
     for eps in [0.2, 0.05, 0.01] {
         let model = train_svr(
             &data,
-            &SvrParams { c: 1000.0, epsilon: eps, max_iter: 0, ..SvrParams::paper_speedup() },
+            &SvrParams {
+                c: 1000.0,
+                epsilon: eps,
+                max_iter: 0,
+                ..SvrParams::paper_speedup()
+            },
         );
         let worst = data
             .xs()

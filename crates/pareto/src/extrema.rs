@@ -28,29 +28,31 @@ impl ExtremeDistance {
 
 /// The point with maximum speedup (ties broken by lower energy).
 pub fn max_speedup_point(points: &[Objectives]) -> Option<Objectives> {
-    points
-        .iter()
-        .copied()
-        .max_by(|a, b| {
-            a.speedup
-                .partial_cmp(&b.speedup)
-                .expect("no NaNs in objectives")
-                .then(b.energy.partial_cmp(&a.energy).expect("no NaNs in objectives"))
-        })
+    points.iter().copied().max_by(|a, b| {
+        a.speedup
+            .partial_cmp(&b.speedup)
+            .expect("no NaNs in objectives")
+            .then(
+                b.energy
+                    .partial_cmp(&a.energy)
+                    .expect("no NaNs in objectives"),
+            )
+    })
 }
 
 /// The point with minimum normalized energy (ties broken by higher
 /// speedup).
 pub fn min_energy_point(points: &[Objectives]) -> Option<Objectives> {
-    points
-        .iter()
-        .copied()
-        .min_by(|a, b| {
-            a.energy
-                .partial_cmp(&b.energy)
-                .expect("no NaNs in objectives")
-                .then(b.speedup.partial_cmp(&a.speedup).expect("no NaNs in objectives"))
-        })
+    points.iter().copied().min_by(|a, b| {
+        a.energy
+            .partial_cmp(&b.energy)
+            .expect("no NaNs in objectives")
+            .then(
+                b.speedup
+                    .partial_cmp(&a.speedup)
+                    .expect("no NaNs in objectives"),
+            )
+    })
 }
 
 /// Table 2's two extreme-point distance columns: distances between the
@@ -67,7 +69,10 @@ pub fn extreme_point_distances(
 }
 
 fn distance_pair(a: Objectives, b: Objectives) -> ExtremeDistance {
-    ExtremeDistance { d_speedup: (a.speedup - b.speedup).abs(), d_energy: (a.energy - b.energy).abs() }
+    ExtremeDistance {
+        d_speedup: (a.speedup - b.speedup).abs(),
+        d_energy: (a.energy - b.energy).abs(),
+    }
 }
 
 #[cfg(test)]

@@ -18,7 +18,12 @@ pub fn pareto_set_fast(points: &[Objectives]) -> Vec<usize> {
             .speedup
             .partial_cmp(&points[a].speedup)
             .expect("no NaNs in objectives")
-            .then(points[a].energy.partial_cmp(&points[b].energy).expect("no NaNs in objectives"))
+            .then(
+                points[a]
+                    .energy
+                    .partial_cmp(&points[b].energy)
+                    .expect("no NaNs in objectives"),
+            )
     });
     let mut front = Vec::new();
     let mut best_energy = f64::INFINITY;
@@ -52,7 +57,10 @@ pub fn pareto_set_fast(points: &[Objectives]) -> Vec<usize> {
 
 /// The non-dominated points themselves, ascending by original index.
 pub fn pareto_front_fast(points: &[Objectives]) -> Vec<Objectives> {
-    pareto_set_fast(points).into_iter().map(|i| points[i]).collect()
+    pareto_set_fast(points)
+        .into_iter()
+        .map(|i| points[i])
+        .collect()
 }
 
 #[cfg(test)]
@@ -107,7 +115,9 @@ mod tests {
         // Deterministic LCG grid — no external RNG needed.
         let mut state: u64 = 0x2545F4914F6CDD1D;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for trial in 0..50 {

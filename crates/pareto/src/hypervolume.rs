@@ -10,7 +10,10 @@ use crate::fast::pareto_front_fast;
 use crate::point::Objectives;
 
 /// The paper's reference point: zero speedup, 2× baseline energy.
-pub const PAPER_REFERENCE: Objectives = Objectives { speedup: 0.0, energy: 2.0 };
+pub const PAPER_REFERENCE: Objectives = Objectives {
+    speedup: 0.0,
+    energy: 2.0,
+};
 
 /// 2-D hypervolume of the region dominated by `points` with respect to
 /// `reference`.
@@ -25,7 +28,11 @@ pub fn hypervolume(points: &[Objectives], reference: Objectives) -> f64 {
         .into_iter()
         .filter(|p| p.speedup > reference.speedup && p.energy < reference.energy)
         .collect();
-    front.sort_by(|a, b| b.speedup.partial_cmp(&a.speedup).expect("no NaNs in objectives"));
+    front.sort_by(|a, b| {
+        b.speedup
+            .partial_cmp(&a.speedup)
+            .expect("no NaNs in objectives")
+    });
     let mut hv = 0.0;
     let mut energy_ceiling = reference.energy;
     // Iterate from the fastest point down; each point adds the strip

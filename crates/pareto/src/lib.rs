@@ -36,9 +36,7 @@ pub mod hypervolume;
 pub mod point;
 pub mod simple;
 
-pub use extrema::{
-    extreme_point_distances, max_speedup_point, min_energy_point, ExtremeDistance,
-};
+pub use extrema::{extreme_point_distances, max_speedup_point, min_energy_point, ExtremeDistance};
 pub use fast::{pareto_front_fast, pareto_set_fast};
 pub use hypervolume::{
     coverage_difference, hypervolume, paper_coverage_difference, PAPER_REFERENCE,

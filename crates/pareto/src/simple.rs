@@ -47,7 +47,10 @@ pub fn pareto_set_simple(points: &[Objectives]) -> Vec<usize> {
 
 /// The non-dominated points themselves, in input order.
 pub fn pareto_front_simple(points: &[Objectives]) -> Vec<Objectives> {
-    pareto_set_simple(points).into_iter().map(|i| points[i]).collect()
+    pareto_set_simple(points)
+        .into_iter()
+        .map(|i| points[i])
+        .collect()
 }
 
 #[cfg(test)]
@@ -80,10 +83,10 @@ mod tests {
     #[test]
     fn mixed_case() {
         let p = pts(&[
-            (1.0, 1.0),  // dominated by 3
-            (0.5, 0.4),  // front (cheapest)
-            (1.3, 1.5),  // front (fastest)
-            (1.1, 0.9),  // front
+            (1.0, 1.0),   // dominated by 3
+            (0.5, 0.4),   // front (cheapest)
+            (1.3, 1.5),   // front (fastest)
+            (1.1, 0.9),   // front
             (1.05, 0.95), // dominated by 3
         ]);
         assert_eq!(pareto_set_simple(&p), vec![1, 2, 3]);

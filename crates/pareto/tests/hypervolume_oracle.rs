@@ -10,8 +10,14 @@ use proptest::prelude::*;
 /// at least one point. Slow but independent of the sweep algorithm.
 fn grid_hypervolume(points: &[Objectives], reference: Objectives, cells: usize) -> f64 {
     // The grid spans [ref.speedup, max speedup] x [min energy, ref.energy].
-    let s_hi = points.iter().map(|p| p.speedup).fold(reference.speedup, f64::max);
-    let e_lo = points.iter().map(|p| p.energy).fold(reference.energy, f64::min);
+    let s_hi = points
+        .iter()
+        .map(|p| p.speedup)
+        .fold(reference.speedup, f64::max);
+    let e_lo = points
+        .iter()
+        .map(|p| p.energy)
+        .fold(reference.energy, f64::min);
     if s_hi <= reference.speedup || e_lo >= reference.energy {
         return 0.0;
     }
@@ -25,7 +31,10 @@ fn grid_hypervolume(points: &[Objectives], reference: Objectives, cells: usize) 
             // Cell center is dominated if some point has speedup >= s
             // and energy <= e (within the reference quadrant).
             if points.iter().any(|p| {
-                p.speedup >= s && p.energy <= e && p.speedup > reference.speedup && p.energy < reference.energy
+                p.speedup >= s
+                    && p.energy <= e
+                    && p.speedup > reference.speedup
+                    && p.energy < reference.energy
             }) {
                 covered += 1;
             }

@@ -58,7 +58,10 @@ impl MemDomain {
 
     /// Map a Titan X memory clock back to its domain.
     pub fn from_mhz(mem_mhz: u32) -> Option<MemDomain> {
-        MemDomain::ALL.iter().copied().find(|d| d.titan_x_mhz() == mem_mhz)
+        MemDomain::ALL
+            .iter()
+            .copied()
+            .find(|d| d.titan_x_mhz() == mem_mhz)
     }
 }
 
@@ -86,8 +89,11 @@ impl MemoryDomainClocks {
 
     /// Distinct core clocks that can actually be applied, ascending.
     pub fn actual_core_mhz(&self) -> Vec<u32> {
-        let mut v: Vec<u32> =
-            self.advertised_core_mhz.iter().map(|&c| self.effective_core(c)).collect();
+        let mut v: Vec<u32> = self
+            .advertised_core_mhz
+            .iter()
+            .map(|&c| self.effective_core(c))
+            .collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -120,7 +126,9 @@ impl ClockTable {
         self.domains
             .iter()
             .flat_map(|d| {
-                d.advertised_core_mhz.iter().map(move |&c| FreqConfig::new(d.mem_mhz, c))
+                d.advertised_core_mhz
+                    .iter()
+                    .map(move |&c| FreqConfig::new(d.mem_mhz, c))
             })
             .collect()
     }
@@ -129,14 +137,23 @@ impl ClockTable {
     pub fn actual_configs(&self) -> Vec<FreqConfig> {
         self.domains
             .iter()
-            .flat_map(|d| d.actual_core_mhz().into_iter().map(move |c| FreqConfig::new(d.mem_mhz, c)))
+            .flat_map(|d| {
+                d.actual_core_mhz()
+                    .into_iter()
+                    .map(move |c| FreqConfig::new(d.mem_mhz, c))
+            })
             .collect()
     }
 
     /// Actual configurations of a single memory domain.
     pub fn actual_configs_for(&self, mem_mhz: u32) -> Vec<FreqConfig> {
         self.domain(mem_mhz)
-            .map(|d| d.actual_core_mhz().into_iter().map(|c| FreqConfig::new(d.mem_mhz, c)).collect())
+            .map(|d| {
+                d.actual_core_mhz()
+                    .into_iter()
+                    .map(|c| FreqConfig::new(d.mem_mhz, c))
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -161,8 +178,11 @@ impl ClockTable {
     /// spaced core clocks inside each so domain extremes are always
     /// included.
     pub fn sample_configs(&self, n: usize) -> Vec<FreqConfig> {
-        let per_domain: Vec<Vec<FreqConfig>> =
-            self.domains.iter().map(|d| self.actual_configs_for(d.mem_mhz)).collect();
+        let per_domain: Vec<Vec<FreqConfig>> = self
+            .domains
+            .iter()
+            .map(|d| self.actual_configs_for(d.mem_mhz))
+            .collect();
         let total: usize = per_domain.iter().map(|v| v.len()).sum();
         if n == 0 || total == 0 {
             return Vec::new();
@@ -247,7 +267,10 @@ fn clock_list(lo: u32, hi: u32, n: usize, force: &[u32]) -> Vec<u32> {
 pub const TITAN_X_CLAMP_MHZ: u32 = 1202;
 
 /// The Titan X default application clocks (mem 3505, core 1001).
-pub const TITAN_X_DEFAULT: FreqConfig = FreqConfig { mem_mhz: 3505, core_mhz: 1001 };
+pub const TITAN_X_DEFAULT: FreqConfig = FreqConfig {
+    mem_mhz: 3505,
+    core_mhz: 1001,
+};
 
 /// Build the GTX Titan X clock table described in §1 / §4.1 / Fig. 4a.
 pub fn titan_x_clock_table() -> ClockTable {
@@ -374,8 +397,12 @@ mod tests {
     #[test]
     fn mem_l_caps_at_405_core() {
         let t = titan_x_clock_table();
-        let max_core =
-            t.actual_configs_for(405).iter().map(|c| c.core_mhz).max().unwrap();
+        let max_core = t
+            .actual_configs_for(405)
+            .iter()
+            .map(|c| c.core_mhz)
+            .max()
+            .unwrap();
         assert_eq!(max_core, 405);
     }
 

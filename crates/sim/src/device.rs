@@ -54,7 +54,10 @@ impl CpiTable {
     }
 
     fn index(class: InstrClass) -> usize {
-        InstrClass::ALL.iter().position(|&c| c == class).expect("class listed in ALL")
+        InstrClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class listed in ALL")
     }
 }
 

@@ -21,7 +21,7 @@
 //!   measurement protocol of §4.1, including simulated wall-clock
 //!   accounting (why exhaustive sweeps take 70 minutes per kernel);
 //! * [`nvml`] — a facade with NVML-shaped entry points;
-//! * [`runner`] — the [`GpuSimulator`]: run, sweep (crossbeam-parallel)
+//! * [`runner`] — the [`GpuSimulator`]: run, sweep (scoped-thread-parallel)
 //!   and characterize kernels against the default-clock baseline;
 //! * [`noise`] — optional seeded measurement noise.
 //!

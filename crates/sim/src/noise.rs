@@ -24,7 +24,11 @@ pub struct NoiseModel {
 impl NoiseModel {
     /// Noise model with the given relative sigmas and seed.
     pub fn new(time_sigma: f64, power_sigma: f64, seed: u64) -> NoiseModel {
-        NoiseModel { time_sigma, power_sigma, seed }
+        NoiseModel {
+            time_sigma,
+            power_sigma,
+            seed,
+        }
     }
 
     /// A stateful sampler for one measurement session.

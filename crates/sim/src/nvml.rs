@@ -15,8 +15,8 @@ use crate::device::DeviceSpec;
 use crate::power::average_power;
 use crate::timing::{execution_time, KernelDemand};
 use gpufreq_kernel::{FreqConfig, KernelProfile};
-use parking_lot::Mutex;
 use std::fmt;
+use std::sync::Mutex;
 
 /// Errors mirroring NVML return codes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,7 +53,13 @@ impl NvmlDevice {
     /// Open a device handle.
     pub fn new(spec: DeviceSpec) -> NvmlDevice {
         let applied = spec.clocks.default;
-        NvmlDevice { spec, state: Mutex::new(DeviceState { applied, active: None }) }
+        NvmlDevice {
+            spec,
+            state: Mutex::new(DeviceState {
+                applied,
+                active: None,
+            }),
+        }
     }
 
     /// Device name (`nvmlDeviceGetName`).
@@ -71,7 +77,10 @@ impl NvmlDevice {
     /// (`nvmlDeviceGetSupportedGraphicsClocks`). Includes the clocks
     /// that will silently clamp when applied — exactly like the real
     /// library.
-    pub fn device_get_supported_graphics_clocks(&self, mem_mhz: u32) -> Result<Vec<u32>, NvmlError> {
+    pub fn device_get_supported_graphics_clocks(
+        &self,
+        mem_mhz: u32,
+    ) -> Result<Vec<u32>, NvmlError> {
         self.spec
             .clocks
             .domain(mem_mhz)
@@ -83,39 +92,43 @@ impl NvmlDevice {
     ///
     /// Accepts any *advertised* combination; the core clock that is
     /// actually applied may be lower (the 1202 MHz clamp of §4.1).
-    pub fn device_set_applications_clocks(&self, mem_mhz: u32, core_mhz: u32) -> Result<(), NvmlError> {
+    pub fn device_set_applications_clocks(
+        &self,
+        mem_mhz: u32,
+        core_mhz: u32,
+    ) -> Result<(), NvmlError> {
         let effective = self
             .spec
             .clocks
             .resolve(FreqConfig::new(mem_mhz, core_mhz))
             .ok_or(NvmlError::InvalidArgument)?;
-        self.state.lock().applied = effective;
+        self.state.lock().expect("nvml state lock poisoned").applied = effective;
         Ok(())
     }
 
     /// The clocks currently applied (`nvmlDeviceGetApplicationsClock`) —
     /// reading this after a set is how the clamp quirk is observed.
     pub fn device_get_applications_clocks(&self) -> FreqConfig {
-        self.state.lock().applied
+        self.state.lock().expect("nvml state lock poisoned").applied
     }
 
     /// Restore default application clocks
     /// (`nvmlDeviceResetApplicationsClocks`).
     pub fn device_reset_applications_clocks(&self) {
-        self.state.lock().applied = self.spec.clocks.default;
+        self.state.lock().expect("nvml state lock poisoned").applied = self.spec.clocks.default;
     }
 
     /// Mark a kernel as currently executing on the device (the
     /// simulator's stand-in for launching real work).
     pub fn set_active_workload(&self, profile: Option<KernelProfile>) {
-        self.state.lock().active = profile;
+        self.state.lock().expect("nvml state lock poisoned").active = profile;
     }
 
     /// Instantaneous board power draw in **milliwatts**
     /// (`nvmlDeviceGetPowerUsage`). Idle power when no workload is
     /// active.
     pub fn device_get_power_usage(&self) -> u32 {
-        let state = self.state.lock();
+        let state = self.state.lock().expect("nvml state lock poisoned");
         let cfg = state.applied;
         let watts = match &state.active {
             Some(profile) => {
@@ -165,11 +178,17 @@ mod tests {
     #[test]
     fn query_supported_clocks() {
         let d = device();
-        assert_eq!(d.device_get_supported_memory_clocks(), vec![405, 810, 3304, 3505]);
+        assert_eq!(
+            d.device_get_supported_memory_clocks(),
+            vec![405, 810, 3304, 3505]
+        );
         let g = d.device_get_supported_graphics_clocks(3505).unwrap();
         assert!(g.contains(&1001));
         assert!(g.contains(&1392)); // advertised even though it clamps
-        assert_eq!(d.device_get_supported_graphics_clocks(123), Err(NvmlError::InvalidArgument));
+        assert_eq!(
+            d.device_get_supported_graphics_clocks(123),
+            Err(NvmlError::InvalidArgument)
+        );
     }
 
     #[test]
@@ -179,7 +198,10 @@ mod tests {
         let applied = d.device_get_applications_clocks();
         assert_eq!(applied.core_mhz, 1202, "requested 1392, silently got 1202");
         d.device_reset_applications_clocks();
-        assert_eq!(d.device_get_applications_clocks(), FreqConfig::new(3505, 1001));
+        assert_eq!(
+            d.device_get_applications_clocks(),
+            FreqConfig::new(3505, 1001)
+        );
     }
 
     #[test]
@@ -199,7 +221,10 @@ mod tests {
         d.set_active_workload(Some(busy_profile()));
         let busy = d.device_get_power_usage();
         assert!(busy > idle, "busy {busy} mW should exceed idle {idle} mW");
-        assert!(idle > 20_000, "idle power should be tens of watts, got {idle} mW");
+        assert!(
+            idle > 20_000,
+            "idle power should be tens of watts, got {idle} mW"
+        );
     }
 
     #[test]

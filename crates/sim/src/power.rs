@@ -133,8 +133,10 @@ mod tests {
         let spec = DeviceSpec::titan_x();
         let p = compute_bound();
         let cores: Vec<u32> = (0..50).map(|i| 135 + i * (1202 - 135) / 49).collect();
-        let energies: Vec<f64> =
-            cores.iter().map(|&c| energy_at(&spec, &p, FreqConfig::new(3505, c))).collect();
+        let energies: Vec<f64> = cores
+            .iter()
+            .map(|&c| energy_at(&spec, &p, FreqConfig::new(3505, c)))
+            .collect();
         let (min_idx, _) = energies
             .iter()
             .enumerate()

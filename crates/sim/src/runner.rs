@@ -62,7 +62,12 @@ impl Characterization {
     /// Total simulated wall-clock cost of the sweep in seconds
     /// (baseline + every point).
     pub fn sim_wall_s(&self) -> f64 {
-        self.baseline.sim_wall_s + self.points.iter().map(|p| p.measurement.sim_wall_s).sum::<f64>()
+        self.baseline.sim_wall_s
+            + self
+                .points
+                .iter()
+                .map(|p| p.measurement.sim_wall_s)
+                .sum::<f64>()
     }
 }
 
@@ -81,7 +86,11 @@ pub struct GpuSimulator {
 impl GpuSimulator {
     /// Simulator for `spec` with the default measurement protocol.
     pub fn new(spec: DeviceSpec) -> GpuSimulator {
-        GpuSimulator { spec, protocol: MeasurementProtocol::default(), noise: None }
+        GpuSimulator {
+            spec,
+            protocol: MeasurementProtocol::default(),
+            noise: None,
+        }
     }
 
     /// A GTX Titan X simulator (the paper's main platform).
@@ -131,14 +140,19 @@ impl GpuSimulator {
         profile: &KernelProfile,
         requested: FreqConfig,
     ) -> Result<Measurement, UnsupportedConfig> {
-        let effective = self.spec.clocks.resolve(requested).ok_or(UnsupportedConfig(requested))?;
+        let effective = self
+            .spec
+            .clocks
+            .resolve(requested)
+            .ok_or(UnsupportedConfig(requested))?;
         Ok(self.run_resolved(profile, effective))
     }
 
     /// Execute at the default application clocks.
     pub fn run_default(&self, profile: &KernelProfile) -> Measurement {
         let cfg = self.spec.clocks.default;
-        self.run(profile, cfg).expect("default configuration is always supported")
+        self.run(profile, cfg)
+            .expect("default configuration is always supported")
     }
 
     fn run_resolved(&self, profile: &KernelProfile, config: FreqConfig) -> Measurement {
@@ -156,11 +170,17 @@ impl GpuSimulator {
             }
             NoiseModel { seed, ..n.clone() }.sampler()
         });
-        measure(&self.protocol, config, timing.total_s, power.total_w(), sampler.as_mut())
+        measure(
+            &self.protocol,
+            config,
+            timing.total_s,
+            power.total_w(),
+            sampler.as_mut(),
+        )
     }
 
     /// Measure `profile` at every configuration in `configs`, in
-    /// parallel across worker threads (crossbeam scoped threads with an
+    /// parallel across worker threads (scoped threads pulling from an
     /// atomic work queue). Results are in input order.
     pub fn sweep(
         &self,
@@ -172,25 +192,39 @@ impl GpuSimulator {
             .iter()
             .map(|&c| self.spec.clocks.resolve(c).ok_or(UnsupportedConfig(c)))
             .collect::<Result<_, _>>()?;
-        let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
-        let mut out: Vec<Option<Measurement>> = vec![None; resolved.len()];
+        let threads = std::thread::available_parallelism()
+            .map_or(4, |n| n.get())
+            .min(16);
         let next = AtomicUsize::new(0);
-        let slots: Vec<parking_lot::Mutex<&mut Option<Measurement>>> =
-            out.iter_mut().map(parking_lot::Mutex::new).collect();
-        crossbeam::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= resolved.len() {
-                        break;
-                    }
-                    let m = self.run_resolved(profile, resolved[i]);
-                    **slots[i].lock() = Some(m);
-                });
-            }
-        })
-        .expect("sweep worker panicked");
-        Ok(out.into_iter().map(|m| m.expect("all slots filled")).collect())
+        let indexed: Vec<(usize, Measurement)> = std::thread::scope(|s| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= resolved.len() {
+                                break;
+                            }
+                            local.push((i, self.run_resolved(profile, resolved[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|w| w.join().expect("sweep worker panicked"))
+                .collect()
+        });
+        let mut out: Vec<Option<Measurement>> = vec![None; resolved.len()];
+        for (i, m) in indexed {
+            out[i] = Some(m);
+        }
+        Ok(out
+            .into_iter()
+            .map(|m| m.expect("all slots filled"))
+            .collect())
     }
 
     /// Sweep every *actual* configuration of the device and normalize
@@ -208,8 +242,9 @@ impl GpuSimulator {
         configs: &[FreqConfig],
     ) -> Characterization {
         let baseline = self.run_default(profile);
-        let measurements =
-            self.sweep(profile, configs).expect("actual configurations are supported");
+        let measurements = self
+            .sweep(profile, configs)
+            .expect("actual configurations are supported");
         let points = measurements
             .into_iter()
             .map(|m| NormalizedMeasurement {
@@ -218,7 +253,11 @@ impl GpuSimulator {
                 measurement: m,
             })
             .collect();
-        Characterization { kernel: profile.name.clone(), baseline, points }
+        Characterization {
+            kernel: profile.name.clone(),
+            baseline,
+            points,
+        }
     }
 }
 
@@ -277,8 +316,11 @@ mod tests {
         let sim = GpuSimulator::titan_x();
         let c = sim.characterize(&saxpy());
         let default = sim.spec().clocks.default;
-        let at_default =
-            c.points.iter().find(|p| p.config() == default).expect("default in sweep");
+        let at_default = c
+            .points
+            .iter()
+            .find(|p| p.config() == default)
+            .expect("default in sweep");
         assert!((at_default.speedup - 1.0).abs() < 1e-9);
         assert!((at_default.norm_energy - 1.0).abs() < 1e-9);
         assert_eq!(c.points.len(), 177);

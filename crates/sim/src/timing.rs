@@ -105,7 +105,11 @@ impl TimingBreakdown {
 ///
 /// `config` must already be resolved (clamped) against the clock table;
 /// the model itself accepts any positive frequencies.
-pub fn execution_time(spec: &DeviceSpec, demand: &KernelDemand, config: FreqConfig) -> TimingBreakdown {
+pub fn execution_time(
+    spec: &DeviceSpec,
+    demand: &KernelDemand,
+    config: FreqConfig,
+) -> TimingBreakdown {
     let core_hz = config.core_mhz as f64 * 1e6;
     let total_compute_cycles =
         demand.compute_cycles_per_item * demand.global_size / spec.total_cores() as f64;
@@ -118,7 +122,11 @@ pub fn execution_time(spec: &DeviceSpec, demand: &KernelDemand, config: FreqConf
         (memory_s, compute_s)
     };
     let total_s = long + SERIAL_OVERLAP_FRACTION * short + spec.launch_overhead_us * 1e-6;
-    TimingBreakdown { compute_s, memory_s, total_s }
+    TimingBreakdown {
+        compute_s,
+        memory_s,
+        total_s,
+    }
 }
 
 #[cfg(test)]

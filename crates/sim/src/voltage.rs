@@ -28,12 +28,22 @@ impl VoltageCurve {
     /// Maxwell-like curve for the GTX Titan X: 0.85 V floor up to
     /// ~640 MHz, rising to ~1.212 V at 1392 MHz.
     pub fn titan_x() -> VoltageCurve {
-        VoltageCurve { v_min: 0.85, v_max: 1.212, f_knee_mhz: 640.0, f_max_mhz: 1392.0 }
+        VoltageCurve {
+            v_min: 0.85,
+            v_max: 1.212,
+            f_knee_mhz: 640.0,
+            f_max_mhz: 1392.0,
+        }
     }
 
     /// Pascal-like curve for the Tesla P100.
     pub fn tesla_p100() -> VoltageCurve {
-        VoltageCurve { v_min: 0.80, v_max: 1.15, f_knee_mhz: 750.0, f_max_mhz: 1480.0 }
+        VoltageCurve {
+            v_min: 0.80,
+            v_max: 1.15,
+            f_knee_mhz: 750.0,
+            f_max_mhz: 1480.0,
+        }
     }
 
     /// Voltage (V) at `f_core_mhz`. Clamped to `[v_min, v_max]` outside

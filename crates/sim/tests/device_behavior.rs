@@ -45,13 +45,22 @@ fn energy_performance_pareto_structure_emerges() {
     // the most energy-efficient one.
     let sim = GpuSimulator::titan_x();
     let c = sim.characterize(&compute_kernel());
-    let fastest =
-        c.points.iter().max_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap()).unwrap();
-    let cheapest =
-        c.points.iter().min_by(|a, b| a.norm_energy.partial_cmp(&b.norm_energy).unwrap()).unwrap();
+    let fastest = c
+        .points
+        .iter()
+        .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap())
+        .unwrap();
+    let cheapest = c
+        .points
+        .iter()
+        .min_by(|a, b| a.norm_energy.partial_cmp(&b.norm_energy).unwrap())
+        .unwrap();
     assert_ne!(fastest.config(), cheapest.config());
     assert!(fastest.speedup > 1.0, "over-clocking beats the default");
-    assert!(cheapest.norm_energy < 1.0, "the default is not energy-optimal");
+    assert!(
+        cheapest.norm_energy < 1.0,
+        "the default is not energy-optimal"
+    );
 }
 
 #[test]
@@ -78,8 +87,14 @@ fn memory_clock_changes_stream_kernel_energy_floor() {
     let p = stream_kernel();
     let hi = sim.run(&p, FreqConfig::new(3505, 1001)).unwrap();
     let lo = sim.run(&p, FreqConfig::new(405, 405)).unwrap();
-    assert!(lo.time_ms > 4.0 * hi.time_ms, "bandwidth starvation must show in time");
-    assert!(lo.energy_j > hi.energy_j, "starved run must cost more energy per task");
+    assert!(
+        lo.time_ms > 4.0 * hi.time_ms,
+        "bandwidth starvation must show in time"
+    );
+    assert!(
+        lo.energy_j > hi.energy_j,
+        "starved run must cost more energy per task"
+    );
     assert!(lo.avg_power_w < hi.avg_power_w, "but draw less power");
 }
 
@@ -98,7 +113,10 @@ fn launch_size_scales_time_not_normalized_shape() {
     let cfg = FreqConfig::new(3505, 1001);
     let ms = sim.run(&small, cfg).unwrap();
     let ml = sim.run(&large, cfg).unwrap();
-    assert!(ml.time_ms > 8.0 * ms.time_ms, "16x work must show in time (launch overhead dilutes the small run)");
+    assert!(
+        ml.time_ms > 8.0 * ms.time_ms,
+        "16x work must show in time (launch overhead dilutes the small run)"
+    );
     // Normalized objective shape is launch-invariant.
     let cs = sim.characterize_at(&small, &[FreqConfig::new(3505, 592)]);
     let cl = sim.characterize_at(&large, &[FreqConfig::new(3505, 592)]);
@@ -108,8 +126,10 @@ fn launch_size_scales_time_not_normalized_shape() {
 
 #[test]
 fn protocol_repetitions_shrink_with_longer_kernels() {
-    let sim = GpuSimulator::titan_x()
-        .with_protocol(MeasurementProtocol { min_samples: 128, ..Default::default() });
+    let sim = GpuSimulator::titan_x().with_protocol(MeasurementProtocol {
+        min_samples: 128,
+        ..Default::default()
+    });
     let short = sim.run_default(&stream_kernel());
     let long = sim.run_default(&compute_kernel());
     assert!(short.runs > long.runs);
@@ -125,7 +145,10 @@ fn noise_does_not_bias_the_characterization() {
     let a = clean.characterize_at(&p, &configs);
     let b = noisy.characterize_at(&p, &configs);
     for (x, y) in a.points.iter().zip(&b.points) {
-        assert!((x.speedup - y.speedup).abs() < 0.05, "noise shifted speedup too far");
+        assert!(
+            (x.speedup - y.speedup).abs() < 0.05,
+            "noise shifted speedup too far"
+        );
         assert!((x.norm_energy - y.norm_energy).abs() < 0.08);
     }
 }
@@ -144,7 +167,9 @@ fn p100_and_titan_x_disagree_on_best_configs() {
             .points
             .iter()
             .map(|p| p.speedup)
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), v| (l.min(v), h.max(v)));
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), v| {
+                (l.min(v), h.max(v))
+            });
         hi - lo
     };
     // The Titan X exposes memory scaling; the P100 cannot, so its

@@ -52,11 +52,16 @@ fn random_components(rng: &mut SmallRng) -> Vec<(PatternKind, u32)> {
 }
 
 fn extended_kernel_source(index: usize, components: &[(PatternKind, u32)]) -> String {
-    let needs_local = components.iter().any(|(p, _)| matches!(p, PatternKind::LocalAccess));
+    let needs_local = components
+        .iter()
+        .any(|(p, _)| matches!(p, PatternKind::LocalAccess));
     let needs_int = components.iter().any(|(p, _)| {
         matches!(
             p,
-            PatternKind::IntAdd | PatternKind::IntMul | PatternKind::IntDiv | PatternKind::IntBitwise
+            PatternKind::IntAdd
+                | PatternKind::IntMul
+                | PatternKind::IntDiv
+                | PatternKind::IntBitwise
         )
     });
     let mut src = String::new();

@@ -23,9 +23,7 @@ pub use extended::generate_extended;
 pub use mixed::{mix_specs, MixSpec};
 pub use patterns::{PatternKind, INTENSITIES};
 
-use gpufreq_kernel::{
-    parse, AnalysisConfig, KernelProfile, LaunchConfig, StaticFeatures,
-};
+use gpufreq_kernel::{parse, AnalysisConfig, KernelProfile, LaunchConfig, StaticFeatures};
 use serde::{Deserialize, Serialize};
 
 /// Number of micro-benchmarks in the corpus (§3.3).
@@ -55,7 +53,9 @@ impl MicroBenchmark {
     pub fn profile(&self) -> KernelProfile {
         let program = parse(&self.source).expect("generated source always parses");
         KernelProfile::from_kernel(
-            program.first_kernel().expect("generated source has a kernel"),
+            program
+                .first_kernel()
+                .expect("generated source has a kernel"),
             &AnalysisConfig::default(),
             Self::launch(),
         )
@@ -80,7 +80,10 @@ pub fn generate_all() -> Vec<MicroBenchmark> {
         }
     }
     for mix in mix_specs() {
-        out.push(MicroBenchmark { name: mix.name.to_string(), source: mix.kernel_source() });
+        out.push(MicroBenchmark {
+            name: mix.name.to_string(),
+            source: mix.kernel_source(),
+        });
     }
     debug_assert_eq!(out.len(), NUM_MICROBENCHMARKS);
     out
@@ -140,4 +143,3 @@ mod tests {
         assert_eq!(NUM_MICROBENCHMARKS * TRAINING_SETTINGS, 4240);
     }
 }
-

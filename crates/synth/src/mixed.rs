@@ -23,20 +23,62 @@ pub struct MixSpec {
 pub fn mix_specs() -> Vec<MixSpec> {
     use PatternKind::*;
     vec![
-        MixSpec { name: "b-mix-fma", components: vec![(FloatMul, 16), (FloatAdd, 16)] },
-        MixSpec { name: "b-mix-fma-heavy", components: vec![(FloatMul, 96), (FloatAdd, 96)] },
-        MixSpec { name: "b-mix-int-float", components: vec![(IntAdd, 24), (FloatAdd, 24)] },
-        MixSpec { name: "b-mix-int-alu", components: vec![(IntAdd, 16), (IntMul, 16), (IntBitwise, 16)] },
-        MixSpec { name: "b-mix-crypto", components: vec![(IntBitwise, 48), (IntAdd, 16), (GlobalAccess, 4)] },
-        MixSpec { name: "b-mix-sf-mul", components: vec![(SpecialFn, 12), (FloatMul, 24)] },
-        MixSpec { name: "b-mix-sf-light", components: vec![(SpecialFn, 4), (FloatAdd, 8), (GlobalAccess, 2)] },
-        MixSpec { name: "b-mix-stream", components: vec![(GlobalAccess, 8), (FloatAdd, 4)] },
-        MixSpec { name: "b-mix-stream-compute", components: vec![(GlobalAccess, 4), (FloatMul, 48)] },
-        MixSpec { name: "b-mix-stencil", components: vec![(GlobalAccess, 6), (FloatMul, 12), (FloatAdd, 12)] },
-        MixSpec { name: "b-mix-tile", components: vec![(LocalAccess, 16), (FloatMul, 16), (FloatAdd, 8)] },
-        MixSpec { name: "b-mix-tile-heavy", components: vec![(LocalAccess, 48), (FloatMul, 8)] },
-        MixSpec { name: "b-mix-div", components: vec![(FloatDiv, 8), (FloatMul, 16), (IntDiv, 4)] },
-        MixSpec { name: "b-mix-reduce", components: vec![(LocalAccess, 12), (IntAdd, 12), (GlobalAccess, 3)] },
+        MixSpec {
+            name: "b-mix-fma",
+            components: vec![(FloatMul, 16), (FloatAdd, 16)],
+        },
+        MixSpec {
+            name: "b-mix-fma-heavy",
+            components: vec![(FloatMul, 96), (FloatAdd, 96)],
+        },
+        MixSpec {
+            name: "b-mix-int-float",
+            components: vec![(IntAdd, 24), (FloatAdd, 24)],
+        },
+        MixSpec {
+            name: "b-mix-int-alu",
+            components: vec![(IntAdd, 16), (IntMul, 16), (IntBitwise, 16)],
+        },
+        MixSpec {
+            name: "b-mix-crypto",
+            components: vec![(IntBitwise, 48), (IntAdd, 16), (GlobalAccess, 4)],
+        },
+        MixSpec {
+            name: "b-mix-sf-mul",
+            components: vec![(SpecialFn, 12), (FloatMul, 24)],
+        },
+        MixSpec {
+            name: "b-mix-sf-light",
+            components: vec![(SpecialFn, 4), (FloatAdd, 8), (GlobalAccess, 2)],
+        },
+        MixSpec {
+            name: "b-mix-stream",
+            components: vec![(GlobalAccess, 8), (FloatAdd, 4)],
+        },
+        MixSpec {
+            name: "b-mix-stream-compute",
+            components: vec![(GlobalAccess, 4), (FloatMul, 48)],
+        },
+        MixSpec {
+            name: "b-mix-stencil",
+            components: vec![(GlobalAccess, 6), (FloatMul, 12), (FloatAdd, 12)],
+        },
+        MixSpec {
+            name: "b-mix-tile",
+            components: vec![(LocalAccess, 16), (FloatMul, 16), (FloatAdd, 8)],
+        },
+        MixSpec {
+            name: "b-mix-tile-heavy",
+            components: vec![(LocalAccess, 48), (FloatMul, 8)],
+        },
+        MixSpec {
+            name: "b-mix-div",
+            components: vec![(FloatDiv, 8), (FloatMul, 16), (IntDiv, 4)],
+        },
+        MixSpec {
+            name: "b-mix-reduce",
+            components: vec![(LocalAccess, 12), (IntAdd, 12), (GlobalAccess, 3)],
+        },
         MixSpec {
             name: "b-mix-all",
             components: vec![
@@ -77,8 +119,10 @@ impl MixSpec {
     /// no class clusters at one end of the body.
     pub fn kernel_source(&self) -> String {
         let fn_name = self.name.replace('-', "_");
-        let needs_local =
-            self.components.iter().any(|(p, _)| matches!(p, PatternKind::LocalAccess));
+        let needs_local = self
+            .components
+            .iter()
+            .any(|(p, _)| matches!(p, PatternKind::LocalAccess));
         let needs_int = self.components.iter().any(|(p, _)| {
             matches!(
                 p,
@@ -205,7 +249,10 @@ mod tests {
 
     #[test]
     fn mix_all_touches_almost_everything() {
-        let all = mix_specs().into_iter().find(|m| m.name == "b-mix-all-heavy").unwrap();
+        let all = mix_specs()
+            .into_iter()
+            .find(|m| m.name == "b-mix-all-heavy")
+            .unwrap();
         let prog = parse(&all.kernel_source()).unwrap();
         let a = analyze_kernel(prog.first_kernel().unwrap()).unwrap();
         let f = StaticFeatures::from_analysis(&a);

@@ -175,7 +175,10 @@ impl PatternKind {
     fn is_integer_pattern(self) -> bool {
         matches!(
             self,
-            PatternKind::IntAdd | PatternKind::IntMul | PatternKind::IntDiv | PatternKind::IntBitwise
+            PatternKind::IntAdd
+                | PatternKind::IntMul
+                | PatternKind::IntDiv
+                | PatternKind::IntBitwise
         )
     }
 }

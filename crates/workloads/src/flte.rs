@@ -62,6 +62,10 @@ mod tests {
     #[test]
     fn float_pipeline_dominates() {
         let f = workload().static_features();
-        assert!(f.get(4) + f.get(5) > 0.35, "float share {}", f.get(4) + f.get(5));
+        assert!(
+            f.get(4) + f.get(5) > 0.35,
+            "float share {}",
+            f.get(4) + f.get(5)
+        );
     }
 }

@@ -71,6 +71,10 @@ mod tests {
     #[test]
     fn distance_math_dominates() {
         let f = workload().static_features();
-        assert!(f.get(4) + f.get(5) > 0.3, "float share {}", f.get(4) + f.get(5));
+        assert!(
+            f.get(4) + f.get(5) > 0.3,
+            "float share {}",
+            f.get(4) + f.get(5)
+        );
     }
 }

@@ -63,8 +63,15 @@ mod tests {
         let p = w.profile();
         let f = w.static_features();
         // float_add + float_mul dominate the mix.
-        assert!(f.get(4) + f.get(5) > 0.3, "float share {}", f.get(4) + f.get(5));
-        assert!(p.counts.get(InstrClass::LocalLoad) > 100.0, "reference tile scanned");
+        assert!(
+            f.get(4) + f.get(5) > 0.3,
+            "float share {}",
+            f.get(4) + f.get(5)
+        );
+        assert!(
+            p.counts.get(InstrClass::LocalLoad) > 100.0,
+            "reference tile scanned"
+        );
     }
 
     #[test]

@@ -33,13 +33,14 @@ pub mod median;
 pub mod mt;
 pub mod perlin;
 
-use gpufreq_kernel::{
-    parse, AnalysisConfig, KernelProfile, LaunchConfig, Program, StaticFeatures,
-};
-use serde::{Deserialize, Serialize};
+use gpufreq_kernel::{parse, AnalysisConfig, KernelProfile, LaunchConfig, Program, StaticFeatures};
+use serde::Serialize;
 
 /// One test benchmark: kernel source plus everything needed to run it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serializable for tooling output; not deserializable, since the
+/// name fields are `&'static str` borrowed from the binary itself.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Workload {
     /// Short machine name (`"knn"`, `"aes"`, ...).
     pub name: &'static str,
@@ -61,9 +62,7 @@ impl Workload {
 
     /// The analysis configuration (problem-size bindings applied).
     pub fn analysis_config(&self) -> AnalysisConfig {
-        AnalysisConfig::with_bindings(
-            self.bindings.iter().map(|(k, v)| (k.to_string(), *v)),
-        )
+        AnalysisConfig::with_bindings(self.bindings.iter().map(|(k, v)| (k.to_string(), *v)))
     }
 
     /// Execution profile for the simulator.
@@ -143,6 +142,18 @@ mod tests {
             let json = serde_json::to_string(&program).unwrap();
             let back: gpufreq_kernel::Program = serde_json::from_str(&json).unwrap();
             assert_eq!(program, back, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn workloads_serialize_to_json() {
+        // Regression: `Workload` once derived `Deserialize` too, which
+        // can never work for its `&'static str` fields; it is
+        // serialize-only. Guard that serialization itself stays intact.
+        for w in all_workloads() {
+            let json = serde_json::to_string(&w).unwrap();
+            assert!(json.contains(&format!("\"name\":\"{}\"", w.name)));
+            assert!(json.contains("\"source\""));
         }
     }
 

@@ -65,7 +65,10 @@ mod tests {
     #[test]
     fn uses_integer_division_for_indexing() {
         let p = workload().profile();
-        assert!(p.counts.get(InstrClass::IntDiv) >= 2.0, "row/col use div and mod");
+        assert!(
+            p.counts.get(InstrClass::IntDiv) >= 2.0,
+            "row/col use div and mod"
+        );
     }
 
     #[test]

@@ -65,7 +65,10 @@ mod tests {
     #[test]
     fn neighbour_loop_resolves() {
         let p = workload().profile();
-        assert!((p.counts.get(InstrClass::SpecialFn) - 128.0).abs() < 1.0, "one rsqrt per pair");
+        assert!(
+            (p.counts.get(InstrClass::SpecialFn) - 128.0).abs() < 1.0,
+            "one rsqrt per pair"
+        );
         assert!(p.counts.get(InstrClass::LocalLoad) >= 3.0 * 128.0);
     }
 

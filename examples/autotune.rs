@@ -16,7 +16,10 @@ use gpufreq_kernel::{AnalysisConfig, KernelProfile};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let weight: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.5);
-    assert!((0.0..=1.0).contains(&weight), "trade-off weight must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&weight),
+        "trade-off weight must be in [0, 1]"
+    );
 
     // --- Load the kernel. ----------------------------------------------
     let (name, source, launch) = match args.get(1) {
@@ -38,13 +41,22 @@ fn main() {
 
     // --- Train (reduced corpus for example speed). -----------------------
     let sim = GpuSimulator::titan_x();
-    let corpus: Vec<_> = gpufreq::synth::generate_all().into_iter().step_by(3).collect();
+    let corpus: Vec<_> = gpufreq::synth::generate_all()
+        .into_iter()
+        .step_by(3)
+        .collect();
     let data = build_training_data(&sim, &corpus, 20);
     let model = FreqScalingModel::train(
         &data,
         &ModelConfig {
-            speedup: SvrParams { c: 100.0, ..SvrParams::paper_speedup() },
-            energy: SvrParams { c: 100.0, ..SvrParams::paper_energy() },
+            speedup: SvrParams {
+                c: 100.0,
+                ..SvrParams::paper_speedup()
+            },
+            energy: SvrParams {
+                c: 100.0,
+                ..SvrParams::paper_energy()
+            },
         },
     );
 
@@ -55,10 +67,11 @@ fn main() {
         .iter()
         .filter(|p| !p.heuristic)
         .max_by(|a, b| {
-            let score = |o: &gpufreq::pareto::Objectives| {
-                weight * o.speedup - (1.0 - weight) * o.energy
-            };
-            score(&a.objectives).partial_cmp(&score(&b.objectives)).unwrap()
+            let score =
+                |o: &gpufreq::pareto::Objectives| weight * o.speedup - (1.0 - weight) * o.energy;
+            score(&a.objectives)
+                .partial_cmp(&score(&b.objectives))
+                .unwrap()
         })
         .expect("non-empty Pareto set");
     println!(
@@ -68,7 +81,9 @@ fn main() {
 
     // --- Verify against ground truth. ------------------------------------
     let baseline = sim.run_default(&profile);
-    let tuned = sim.run(&profile, choice.config).expect("supported configuration");
+    let tuned = sim
+        .run(&profile, choice.config)
+        .expect("supported configuration");
     let speedup = baseline.time_ms / tuned.time_ms;
     let energy = tuned.energy_j / baseline.energy_j;
     println!("\nmeasured on the simulator:");
@@ -86,8 +101,16 @@ fn main() {
     if speedup >= 1.0 && energy <= 1.0 {
         println!("  -> dominates the default configuration");
     } else if energy < 1.0 {
-        println!("  -> saves {:.1}% energy at {:.1}% of default speed", (1.0 - energy) * 100.0, speedup * 100.0);
+        println!(
+            "  -> saves {:.1}% energy at {:.1}% of default speed",
+            (1.0 - energy) * 100.0,
+            speedup * 100.0
+        );
     } else {
-        println!("  -> {:.1}% faster at {:.1}% of default energy", (speedup - 1.0) * 100.0, energy * 100.0);
+        println!(
+            "  -> {:.1}% faster at {:.1}% of default energy",
+            (speedup - 1.0) * 100.0,
+            energy * 100.0
+        );
     }
 }

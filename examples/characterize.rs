@@ -21,7 +21,10 @@ fn main() {
     };
     let sim = GpuSimulator::titan_x();
     let profile = w.profile();
-    println!("characterizing {} over all 177 configurations...\n", w.display_name);
+    println!(
+        "characterizing {} over all 177 configurations...\n",
+        w.display_name
+    );
     let c = sim.characterize(&profile);
 
     // ASCII objective-space scatter: x = speedup, y = normalized energy.
@@ -56,10 +59,17 @@ fn main() {
     println!("glyphs: H=mem-3505 h=mem-3304 l=mem-810 L=mem-405\n");
 
     // The measured Pareto front.
-    let objectives: Vec<Objectives> =
-        c.points.iter().map(|p| Objectives::new(p.speedup, p.norm_energy)).collect();
+    let objectives: Vec<Objectives> = c
+        .points
+        .iter()
+        .map(|p| Objectives::new(p.speedup, p.norm_energy))
+        .collect();
     let front_idx: Vec<usize> = gpufreq::pareto::pareto_set_simple(&objectives);
-    println!("measured Pareto front ({} of {} points):", front_idx.len(), c.points.len());
+    println!(
+        "measured Pareto front ({} of {} points):",
+        front_idx.len(),
+        c.points.len()
+    );
     let mut front: Vec<_> = front_idx.iter().map(|&i| &c.points[i]).collect();
     front.sort_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap());
     for p in front {

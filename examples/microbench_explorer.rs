@@ -15,7 +15,10 @@ fn main() {
     let benches = gpufreq::synth::generate_all();
     if let Some(name) = std::env::args().nth(1) {
         let Some(b) = benches.iter().find(|b| b.name == name) else {
-            eprintln!("unknown micro-benchmark `{name}` (there are {})", benches.len());
+            eprintln!(
+                "unknown micro-benchmark `{name}` (there are {})",
+                benches.len()
+            );
             std::process::exit(1);
         };
         println!("=== {} ===\n", b.name);
@@ -32,7 +35,10 @@ fn main() {
 
     let sim = GpuSimulator::titan_x();
     let default = sim.spec().clocks.default;
-    println!("the {} synthetic training micro-benchmarks (paper §3.3):\n", benches.len());
+    println!(
+        "the {} synthetic training micro-benchmarks (paper §3.3):\n",
+        benches.len()
+    );
     println!(
         "{:<22} {:>9} {:>10} {:>12} {:>10}",
         "name", "instrs", "bytes/item", "bound", "dominant"
@@ -53,7 +59,11 @@ fn main() {
             b.name,
             profile.counts.total(),
             profile.global_read_bytes + profile.global_write_bytes,
-            if timing.is_memory_bound() { "memory" } else { "compute" },
+            if timing.is_memory_bound() {
+                "memory"
+            } else {
+                "compute"
+            },
             gpufreq::kernel::STATIC_FEATURE_NAMES[dom_idx],
         );
     }

@@ -23,14 +23,26 @@ fn main() {
     );
 
     // --- 2. Training phase (Fig. 2), reduced for speed. ---------------
-    let corpus: Vec<_> = gpufreq::synth::generate_all().into_iter().step_by(3).collect();
-    println!("training on {} micro-benchmarks x 20 frequency settings...", corpus.len());
+    let corpus: Vec<_> = gpufreq::synth::generate_all()
+        .into_iter()
+        .step_by(3)
+        .collect();
+    println!(
+        "training on {} micro-benchmarks x 20 frequency settings...",
+        corpus.len()
+    );
     let data = build_training_data(&sim, &corpus, 20);
     let model = FreqScalingModel::train(
         &data,
         &ModelConfig {
-            speedup: SvrParams { c: 100.0, ..SvrParams::paper_speedup() },
-            energy: SvrParams { c: 100.0, ..SvrParams::paper_energy() },
+            speedup: SvrParams {
+                c: 100.0,
+                ..SvrParams::paper_speedup()
+            },
+            energy: SvrParams {
+                c: 100.0,
+                ..SvrParams::paper_energy()
+            },
         },
     );
     println!("trained on {} samples\n", model.trained_on());
@@ -51,7 +63,10 @@ fn main() {
     let analysis = analyze_kernel(program.first_kernel().unwrap()).expect("kernel analyzes");
     let features = StaticFeatures::from_analysis(&analysis);
     println!("static features of `saxpy_pow`:");
-    for (name, value) in gpufreq::kernel::STATIC_FEATURE_NAMES.iter().zip(features.values()) {
+    for (name, value) in gpufreq::kernel::STATIC_FEATURE_NAMES
+        .iter()
+        .zip(features.values())
+    {
         if *value > 0.0 {
             println!("  {name:<10} {value:.3}");
         }
@@ -66,7 +81,11 @@ fn main() {
             point.config,
             point.objectives.speedup,
             point.objectives.energy,
-            if point.heuristic { "  [mem-L heuristic]" } else { "" }
+            if point.heuristic {
+                "  [mem-L heuristic]"
+            } else {
+                ""
+            }
         );
     }
     let best_perf = prediction.max_speedup().expect("non-empty set");

@@ -3,7 +3,9 @@
 //! gates on a reduced (fast) training corpus.
 
 use gpufreq::prelude::*;
-use gpufreq_core::{build_training_data, evaluate_all, predict_pareto, FreqScalingModel, ModelConfig};
+use gpufreq_core::{
+    build_training_data, evaluate_all, predict_pareto, FreqScalingModel, ModelConfig,
+};
 use gpufreq_ml::SvrParams;
 use std::sync::OnceLock;
 
@@ -13,11 +15,20 @@ fn setup() -> &'static (GpuSimulator, FreqScalingModel) {
     static SETUP: OnceLock<(GpuSimulator, FreqScalingModel)> = OnceLock::new();
     SETUP.get_or_init(|| {
         let sim = GpuSimulator::titan_x();
-        let corpus: Vec<_> = gpufreq::synth::generate_all().into_iter().step_by(2).collect();
+        let corpus: Vec<_> = gpufreq::synth::generate_all()
+            .into_iter()
+            .step_by(2)
+            .collect();
         let data = build_training_data(&sim, &corpus, 28);
         let config = ModelConfig {
-            speedup: SvrParams { c: 100.0, ..SvrParams::paper_speedup() },
-            energy: SvrParams { c: 100.0, ..SvrParams::paper_energy() },
+            speedup: SvrParams {
+                c: 100.0,
+                ..SvrParams::paper_speedup()
+            },
+            energy: SvrParams {
+                c: 100.0,
+                ..SvrParams::paper_energy()
+            },
         };
         let model = FreqScalingModel::train(&data, &config);
         (sim, model)
@@ -29,7 +40,10 @@ fn pipeline_trains_on_reduced_corpus() {
     let (_, model) = setup();
     assert_eq!(model.trained_on(), 53 * 28);
     let (sv_s, sv_e) = model.support_vectors();
-    assert!(sv_s > 10 && sv_e > 10, "degenerate models: {sv_s}/{sv_e} SVs");
+    assert!(
+        sv_s > 10 && sv_e > 10,
+        "degenerate models: {sv_s}/{sv_e} SVs"
+    );
 }
 
 #[test]
@@ -57,7 +71,10 @@ fn low_memory_domains_are_harder_to_predict() {
     // mem-L heuristic.
     let (sim, model) = setup();
     let evals = evaluate_all(sim, model, &all_workloads());
-    for objective in [gpufreq_core::Objective::Speedup, gpufreq_core::Objective::Energy] {
+    for objective in [
+        gpufreq_core::Objective::Speedup,
+        gpufreq_core::Objective::Energy,
+    ] {
         let analysis = gpufreq_core::error_analysis(sim, model, &evals, objective);
         let high = analysis[0].rmse_percent.min(analysis[1].rmse_percent);
         let low = analysis[2].rmse_percent.max(analysis[3].rmse_percent);
@@ -82,13 +99,21 @@ fn predicted_pareto_sets_are_reasonable() {
             eval.name
         );
         assert!(eval.coverage_d >= 0.0);
-        assert!(eval.coverage_d < 0.5, "{}: coverage D {:.3}", eval.name, eval.coverage_d);
+        assert!(
+            eval.coverage_d < 0.5,
+            "{}: coverage D {:.3}",
+            eval.name,
+            eval.coverage_d
+        );
     }
     // The paper's bottom line: good approximations for most benchmarks
     // (the paper-scale model achieves 10/12 at D <= 0.0362; the reduced
     // corpus used here is noisier).
     let good = evals.iter().filter(|e| e.coverage_d <= 0.1).count();
-    assert!(good >= 8, "only {good}/12 benchmarks with good Pareto approximation");
+    assert!(
+        good >= 8,
+        "only {good}/12 benchmarks with good Pareto approximation"
+    );
 }
 
 #[test]
@@ -127,7 +152,10 @@ fn prediction_is_purely_static() {
     let start = std::time::Instant::now();
     let prediction = predict_pareto(model, &features, &sim.spec().clocks);
     assert!(!prediction.pareto_set.is_empty());
-    assert!(start.elapsed().as_secs() < 5, "prediction must not execute the kernel");
+    assert!(
+        start.elapsed().as_secs() < 5,
+        "prediction must not execute the kernel"
+    );
 }
 
 #[test]
@@ -153,5 +181,8 @@ fn portability_same_model_predicts_on_p100() {
     let f = workload("knn").unwrap().static_features();
     let prediction = predict_pareto(model, &f, &p100.spec().clocks);
     assert!(!prediction.pareto_set.is_empty());
-    assert!(prediction.pareto_set.iter().all(|p| p.config.mem_mhz == 715));
+    assert!(prediction
+        .pareto_set
+        .iter()
+        .all(|p| p.config.mem_mhz == 715));
 }

@@ -32,7 +32,10 @@ fn full_measurement_walkthrough() {
     }
     assert_eq!(visited, 8);
     nvml.device_reset_applications_clocks();
-    assert_eq!(nvml.device_get_applications_clocks(), FreqConfig::new(3505, 1001));
+    assert_eq!(
+        nvml.device_get_applications_clocks(),
+        FreqConfig::new(3505, 1001)
+    );
 }
 
 #[test]
@@ -71,7 +74,10 @@ fn idle_power_tracks_applied_clocks() {
     let hi = nvml.device_get_power_usage();
     nvml.device_set_applications_clocks(810, 135).unwrap();
     let lo = nvml.device_get_power_usage();
-    assert!(hi > lo, "idle power must fall with both clocks: {hi} <= {lo}");
+    assert!(
+        hi > lo,
+        "idle power must fall with both clocks: {hi} <= {lo}"
+    );
 }
 
 #[test]
@@ -82,7 +88,15 @@ fn power_sampling_rate_supports_short_kernel_protocol() {
     let sim = GpuSimulator::titan_x();
     let profile = workload("mt").unwrap().profile(); // sub-ms kernel
     let m = sim.run_default(&profile);
-    assert!(m.time_ms < 2.0, "expected a short kernel, got {} ms", m.time_ms);
-    assert!(m.runs > 100, "short kernels must be repeated, got {} runs", m.runs);
+    assert!(
+        m.time_ms < 2.0,
+        "expected a short kernel, got {} ms",
+        m.time_ms
+    );
+    assert!(
+        m.runs > 100,
+        "short kernels must be repeated, got {} runs",
+        m.runs
+    );
     assert!(m.samples >= 64, "not enough power samples: {}", m.samples);
 }

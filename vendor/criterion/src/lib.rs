@@ -1,0 +1,267 @@
+//! Vendored mini-criterion.
+//!
+//! Provides the subset of criterion 0.5's API this workspace's benches
+//! use — `Criterion`, `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`, `black_box` — backed by a
+//! simple wall-clock runner: warm up briefly, then time batches until
+//! the measurement window closes, and print mean ns/iter. Statistical
+//! analysis, plots, and baselines are intentionally out of scope.
+
+use std::fmt::{self, Display};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// True when invoked by `cargo bench` (cargo passes `--bench`); false
+/// under `cargo test`, where each benchmark runs exactly once as a
+/// smoke test — the same behavior real criterion has.
+pub fn full_measurement_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--bench"))
+}
+
+/// Top-level bench configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (sample_size, measurement, warm_up) =
+            (self.sample_size, self.measurement_time, self.warm_up_time);
+        run_one(name, sample_size, measurement, warm_up, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(
+            &label,
+            sample_size,
+            self.criterion.measurement_time,
+            self.criterion.warm_up_time,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { text: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { text: s }
+    }
+}
+
+/// Passed to the bench closure; `iter` runs and times the payload.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One timed pass to size batches, then measure until the budget
+        // is spent.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        if !full_measurement_mode() {
+            self.iters_done = 1;
+            self.elapsed = once;
+            return;
+        }
+        let batch =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut iters = 1u64;
+        let mut elapsed = once;
+        while elapsed < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            elapsed += t.elapsed();
+            iters += batch;
+        }
+        self.iters_done = iters;
+        self.elapsed = elapsed;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    _sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        budget: warm_up,
+    };
+    // Warm-up pass (result discarded), then the measured pass.
+    f(&mut b);
+    b.budget = measurement;
+    f(&mut b);
+    if b.iters_done > 0 {
+        let ns = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+        println!(
+            "{label:<50} time: {:>12}/iter ({} iters)",
+            format_ns(ns),
+            b.iters_done
+        );
+    } else {
+        println!("{label:<50} (no iterations recorded)");
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Defines a group of benchmark functions, with or without a custom
+/// configuration — both criterion syntaxes are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Ignore harness flags like --bench / --test passed by cargo.
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,585 @@
+//! Vendored mini-proptest.
+//!
+//! Implements the slice of proptest's API this workspace's tests use:
+//! the `proptest!` macro over `name in strategy` arguments,
+//! `prop_assert!`/`prop_assert_eq!`, numeric range strategies, tuple
+//! strategies, `prop::collection::vec`, and regex-literal string
+//! strategies (character classes, escapes, `*`/`+`/`?`/`{m,n}`
+//! quantifiers, and the `\PC` printable-char class).
+//!
+//! Cases are generated from a deterministic per-test RNG (seeded from
+//! the test name), so failures reproduce across runs. Shrinking is not
+//! implemented — the failing input is printed instead. The case count
+//! defaults to 64 and is overridable via `PROPTEST_CASES`.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases each property runs.
+pub fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Per-block configuration, settable via
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: usize,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: usize) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: case_count(),
+        }
+    }
+}
+
+/// Deterministic RNG for test-case generation (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_name(name: &str) -> TestRng {
+        // FNV-1a over the test name gives a stable per-test seed.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, bound).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform in [0, 1).
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A failed property case: carries the assertion message.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Value generators. Unlike real proptest there is no value tree or
+/// shrinking: a strategy simply samples one value.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+// --- numeric ranges --------------------------------------------------------
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let v = self.start + (self.end - self.start) * rng.unit() as $t;
+                if v >= self.end { self.start } else { v }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let v = lo + (hi - lo) * rng.unit() as $t;
+                if v > hi { hi } else { v }
+            }
+        }
+    )*};
+}
+
+impl_float_strategy!(f32, f64);
+
+// --- tuples ----------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// --- Just ------------------------------------------------------------------
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// --- collections -----------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`]: an exact count or a range.
+    pub trait SizeRange {
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty length range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+        }
+    }
+
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+// --- regex-literal string strategies ---------------------------------------
+
+/// One unit of a parsed pattern.
+enum Atom {
+    Literal(char),
+    /// `[...]` — the set of allowed characters, expanded.
+    Class(Vec<char>),
+    /// `\PC` — any printable (non-control) character.
+    Printable,
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// `&str` regex literals act as string strategies, as in real proptest.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for p in &pieces {
+            let n = p.min + rng.below((p.max - p.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(sample_atom(&p.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+/// Repetition cap for unbounded quantifiers (`*`, `+`).
+const UNBOUNDED_CAP: usize = 64;
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces: Vec<Piece> = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') => {
+                        // `\PC`: consume the category letter.
+                        i += 1;
+                        Atom::Printable
+                    }
+                    Some('n') => Atom::Literal('\n'),
+                    Some('r') => Atom::Literal('\r'),
+                    Some('t') => Atom::Literal('\t'),
+                    Some(&c) => Atom::Literal(c),
+                    None => panic!("trailing backslash in pattern {pattern:?}"),
+                }
+            }
+            '[' => {
+                let (set, end) = parse_class(&chars, i + 1, pattern);
+                i = end;
+                Atom::Class(set)
+            }
+            '.' => Atom::Printable,
+            c @ ('(' | ')' | '|') => panic!(
+                "unsupported regex construct `{c}` in pattern {pattern:?}: \
+                 the vendored mini-proptest has no groups or alternation"
+            ),
+            c => Atom::Literal(c),
+        };
+        i += 1;
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                i += 1;
+                (1, UNBOUNDED_CAP)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i)
+                    .unwrap_or_else(|| panic!("unclosed {{}} in pattern {pattern:?}"));
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier lower bound"),
+                        hi.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    assert!(
+        chars.get(i) != Some(&'^'),
+        "unsupported negated character class in pattern {pattern:?}: \
+         the vendored mini-proptest only generates from positive classes"
+    );
+    let mut set = Vec::new();
+    loop {
+        match chars.get(i) {
+            None => panic!("unclosed character class in pattern {pattern:?}"),
+            Some(']') => return (set, i),
+            Some('\\') => {
+                i += 1;
+                let c = match chars.get(i) {
+                    Some('n') => '\n',
+                    Some('r') => '\r',
+                    Some('t') => '\t',
+                    Some(&c) => c,
+                    None => panic!("trailing backslash in class in {pattern:?}"),
+                };
+                set.push(c);
+                i += 1;
+            }
+            Some(&lo) => {
+                // Range `lo-hi` (a `-` not followed by a closing bracket).
+                if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+                    let hi = chars[i + 2];
+                    for cp in lo as u32..=hi as u32 {
+                        if let Some(c) = char::from_u32(cp) {
+                            set.push(c);
+                        }
+                    }
+                    i += 3;
+                } else {
+                    set.push(lo);
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(set) => set[rng.below(set.len() as u64) as usize],
+        Atom::Printable => {
+            // Mostly ASCII printable, occasionally other printable
+            // Unicode, to keep fuzz inputs interesting but valid.
+            if rng.below(8) == 0 {
+                const EXOTIC: &[char] = &[
+                    'é', 'λ', 'Ω', '→', '√', '∞', '漢', 'ß', '¿', '\u{200B}', '𝕏', '🦀',
+                ];
+                EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+            } else {
+                char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap()
+            }
+        }
+    }
+}
+
+// --- the macros ------------------------------------------------------------
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ..)`
+/// becomes a normal test running `case_count()` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut __rng = $crate::TestRng::from_name(stringify!($name));
+            let __config: $crate::ProptestConfig = $config;
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::sample(&$strat, &mut __rng);)+
+                let __snapshot = format!(
+                    concat!($("    ", stringify!($arg), " = {:?}\n",)+),
+                    $(&$arg),+
+                );
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!(
+                        "property `{}` failed at case {}: {}\nwith inputs:\n{}",
+                        stringify!($name), __case, e, __snapshot
+                    );
+                }
+            }
+        }
+    )*};
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut __rng = $crate::TestRng::from_name(stringify!($name));
+            for __case in 0..$crate::case_count() {
+                $(let $arg = $crate::Strategy::sample(&$strat, &mut __rng);)+
+                let __snapshot = format!(
+                    concat!($("    ", stringify!($arg), " = {:?}\n",)+),
+                    $(&$arg),+
+                );
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!(
+                        "property `{}` failed at case {}: {}\nwith inputs:\n{}",
+                        stringify!($name), __case, e, __snapshot
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert within a property, reporting the failing inputs on error.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Assert inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l != *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// The conventional glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestCaseError};
+
+    /// Mirror of proptest's `prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3i64..10, y in 0.5f64..1.5, k in 0u8..=2) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.5..1.5).contains(&y));
+            prop_assert!(k <= 2);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies_compose(
+            points in prop::collection::vec((0.01f64..2.0, 0.01f64..2.0), 0..60)
+        ) {
+            prop_assert!(points.len() < 60);
+            for (a, b) in &points {
+                prop_assert!((0.01..2.0).contains(a), "a = {a}");
+                prop_assert!((0.01..2.0).contains(b));
+            }
+        }
+
+        #[test]
+        fn regex_strategies_match_shape(
+            s in "[a-c]{2,4}",
+            t in "x[0-9]*",
+            any in "\\PC*"
+        ) {
+            prop_assert!((2..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert!(t.starts_with('x'));
+            prop_assert!(t[1..].chars().all(|c| c.is_ascii_digit()));
+            prop_assert!(any.chars().all(|c| !c.is_ascii_control()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn alternation_is_rejected_not_silently_literal() {
+        let mut rng = crate::TestRng::from_name("alt");
+        let _ = "(ab|cd)+".sample(&mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported negated character class")]
+    fn negated_class_is_rejected() {
+        let mut rng = crate::TestRng::from_name("neg");
+        let _ = "[^;]*".sample(&mut rng);
+    }
+
+    #[test]
+    fn fixed_count_vec() {
+        let mut rng = crate::TestRng::from_name("fixed");
+        let v = prop::collection::vec(0.0f64..1.0, 4usize).sample(&mut rng);
+        assert_eq!(v.len(), 4);
+    }
+}

@@ -1,0 +1,371 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored mini-serde.
+//!
+//! Supports exactly the shapes this workspace uses: non-generic structs
+//! with named fields, unit structs, and non-generic enums whose
+//! variants are unit, tuple, or struct-like. Anything else produces a
+//! compile error naming the limitation.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the input
+//! token stream is walked by hand and the impl is emitted as a source
+//! string parsed back into a `TokenStream`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kw = expect_ident(&tokens, &mut i)?;
+    let name = expect_ident(&tokens, &mut i)?;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "mini-serde derive does not support generic type `{name}`"
+        ));
+    }
+
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Input::Struct { name, fields })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input::UnitStruct { name }),
+            _ => Err(format!(
+                "mini-serde derive supports only named-field or unit structs (`{name}`)"
+            )),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok(Input::Enum { name, variants })
+            }
+            _ => Err(format!("malformed enum `{name}`")),
+        },
+        other => Err(format!("mini-serde derive cannot handle `{other}`")),
+    }
+}
+
+/// Skip any number of `#[...]` attributes, then `pub` / `pub(...)`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' and the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+/// Skip one type (or expression) up to a top-level `,`, tracking `<...>`
+/// nesting so commas inside generic arguments don't terminate early.
+fn skip_to_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i)?;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_to_comma(&tokens, &mut i);
+        i += 1; // the comma itself (or one past the end)
+        fields.push(Field { name });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i)?;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant, then the trailing comma.
+        skip_to_comma(&tokens, &mut i);
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut n = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        skip_to_comma(&tokens, &mut i);
+        i += 1;
+        n += 1;
+    }
+    n
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let mut body = String::from("let mut entries = ::std::vec::Vec::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "entries.push((::std::string::String::from({n:?}), ::serde::Serialize::serialize(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            body.push_str("::serde::Value::Object(entries)");
+            wrap_serialize(name, &body)
+        }
+        Input::UnitStruct { name } => {
+            wrap_serialize(name, "::serde::Value::Object(::std::vec::Vec::new())")
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(::std::string::String::from({vn:?})),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::serialize(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(::std::string::String::from({vn:?}), {payload})]),\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({n:?}), ::serde::Serialize::serialize({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(::std::string::String::from({vn:?}), ::serde::Value::Object(vec![{items}]))]),\n",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            wrap_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn wrap_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn serialize(&self) -> ::serde::Value {{\n{body}\n    }}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let mut body = format!("let entries = ::serde::expect_object(value, {name:?})?;\n");
+            body.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                body.push_str(&format!(
+                    "    {n}: ::serde::field(entries, {n:?}, {name:?})?,\n",
+                    n = f.name
+                ));
+            }
+            body.push_str("})");
+            wrap_deserialize(name, &body)
+        }
+        Input::UnitStruct { name } => wrap_deserialize(
+            name,
+            &format!("let _ = value; ::std::result::Result::Ok({name})"),
+        ),
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        if *n == 1 {
+                            data_arms.push_str(&format!(
+                                "{vn:?} => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(payload)?)),\n"
+                            ));
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::deserialize(&items[{k}])?"))
+                                .collect();
+                            data_arms.push_str(&format!(
+                                "{vn:?} => {{\n    let items = ::serde::expect_tuple(payload, {n}, {name:?})?;\n    ::std::result::Result::Ok({name}::{vn}({items}))\n}}\n",
+                                items = items.join(", ")
+                            ));
+                        }
+                    }
+                    VariantKind::Struct(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{n}: ::serde::field(entries, {n:?}, {name:?})?",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{\n    let entries = ::serde::expect_object(payload, {name:?})?;\n    ::std::result::Result::Ok({name}::{vn} {{ {items} }})\n}}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match ::serde::expect_enum(value, {name:?})? {{\n\
+                 ::serde::EnumShape::Unit(tag) => match tag {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n}},\n\
+                 ::serde::EnumShape::Data(tag, payload) => {{ let _ = &payload; match tag {{\n{data_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n}} }},\n}}"
+            );
+            wrap_deserialize(name, &body)
+        }
+    }
+}
+
+fn wrap_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n    fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n    }}\n}}\n"
+    )
+}
