@@ -5,10 +5,10 @@ use gpufreq_core::build_training_data;
 use gpufreq_kernel::FeatureVector;
 use gpufreq_ml::scale::MinMaxScaler;
 use gpufreq_ml::{rmse_percent, train_ols, train_svr, Dataset, SvmKernel, SvrParams};
-use gpufreq_sim::GpuSimulator;
+use gpufreq_sim::Device;
 
 fn main() {
-    let sim = GpuSimulator::titan_x();
+    let sim = Device::TitanX.simulator();
     let benches = gpufreq_synth::generate_all();
     let data = build_training_data(&sim, &benches, 40);
     let scaler = MinMaxScaler::fit(data.speedup.xs());

@@ -9,10 +9,10 @@
 
 use gpufreq_bench::write_artifact;
 use gpufreq_core::series_csv;
-use gpufreq_sim::{GpuSimulator, MemDomain};
+use gpufreq_sim::{Device, MemDomain};
 
 fn main() {
-    let sim = GpuSimulator::titan_x();
+    let sim = Device::TitanX.simulator();
     for name in ["knn", "mt"] {
         let workload = gpufreq_workloads::workload(name).expect("known workload");
         let profile = workload.profile();

@@ -5,11 +5,11 @@
 
 use gpufreq_bench::write_artifact;
 use gpufreq_core::ascii_table;
-use gpufreq_sim::{DeviceSpec, NvmlDevice};
+use gpufreq_sim::{Device, NvmlDevice};
 use std::fmt::Write as _;
 
 fn main() {
-    for spec in [DeviceSpec::titan_x(), DeviceSpec::tesla_p100()] {
+    for spec in [Device::TitanX.spec(), Device::TeslaP100.spec()] {
         let nvml = NvmlDevice::new(spec.clone());
         println!("=== Figure 4: {} ===", nvml.device_get_name());
         let default = spec.clocks.default;

@@ -9,7 +9,7 @@
 //! collapses toward vertical clusters.
 
 use gpufreq_bench::write_artifact;
-use gpufreq_sim::{GpuSimulator, MemDomain};
+use gpufreq_sim::{Device, MemDomain};
 use std::fmt::Write as _;
 
 /// The eight benchmarks shown in Fig. 5, top row first.
@@ -25,7 +25,7 @@ const SELECTION: [&str; 8] = [
 ];
 
 fn main() {
-    let sim = GpuSimulator::titan_x();
+    let sim = Device::TitanX.simulator();
     for name in SELECTION {
         let workload = gpufreq_workloads::workload(name).expect("known workload");
         let characterization = sim.characterize(&workload.profile());

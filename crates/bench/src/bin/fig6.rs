@@ -5,10 +5,10 @@
 
 use gpufreq_bench::{paper_model, write_artifact};
 use gpufreq_core::{error_analysis, evaluate_all, render_error_panel, Objective};
-use gpufreq_sim::GpuSimulator;
+use gpufreq_sim::Device;
 
 fn main() {
-    let sim = GpuSimulator::titan_x();
+    let sim = Device::TitanX.simulator();
     let model = paper_model(&sim);
     let workloads = gpufreq_workloads::all_workloads();
     let evals = evaluate_all(&sim, &model, &workloads);

@@ -5,11 +5,11 @@
 
 use gpufreq_bench::{paper_model, write_artifact};
 use gpufreq_core::{evaluate_all, objectives_csv};
-use gpufreq_sim::GpuSimulator;
+use gpufreq_sim::Device;
 use std::fmt::Write as _;
 
 fn main() {
-    let sim = GpuSimulator::titan_x();
+    let sim = Device::TitanX.simulator();
     let model = paper_model(&sim);
     let workloads = gpufreq_workloads::all_workloads();
     let evals = evaluate_all(&sim, &model, &workloads);

@@ -13,10 +13,10 @@ use gpufreq_bench::{artifacts_dir, write_artifact};
 use gpufreq_core::{
     build_training_data, evaluate_all, render_table2, table2, FreqScalingModel, ModelConfig,
 };
-use gpufreq_sim::GpuSimulator;
+use gpufreq_sim::Device;
 
 fn main() {
-    let sim = GpuSimulator::tesla_p100();
+    let sim = Device::TeslaP100.simulator();
     let cache = artifacts_dir().join("model_p100.json");
     let model = if let Some(model) = std::fs::read_to_string(&cache)
         .ok()

@@ -8,10 +8,10 @@
 //! consistent 62.5 Hz power average).
 
 use gpufreq_core::ascii_table;
-use gpufreq_sim::GpuSimulator;
+use gpufreq_sim::Device;
 
 fn main() {
-    let sim = GpuSimulator::titan_x();
+    let sim = Device::TitanX.simulator();
     let bench = &gpufreq_synth::generate_all()[40]; // a mid-intensity micro-benchmark
     let profile = bench.profile();
     println!(

@@ -4,10 +4,10 @@
 
 use gpufreq_bench::{paper_model, write_artifact};
 use gpufreq_core::{evaluate_all, render_table2, table2};
-use gpufreq_sim::GpuSimulator;
+use gpufreq_sim::Device;
 
 fn main() {
-    let sim = GpuSimulator::titan_x();
+    let sim = Device::TitanX.simulator();
     let model = paper_model(&sim);
     let workloads = gpufreq_workloads::all_workloads();
     let evals = evaluate_all(&sim, &model, &workloads);

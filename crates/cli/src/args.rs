@@ -1,6 +1,7 @@
 //! Argument parsing for the `gpufreq` CLI (plain `std`, no external
 //! parser dependency).
 
+use gpufreq_sim::Device;
 use std::fmt;
 
 /// Usage text printed on parse errors and `--help`.
@@ -19,7 +20,8 @@ DEVICES:
     titan-x (default), tesla-p100, tesla-k20c
 
 OPTIONS:
-    --device <name>     simulated device (default: titan-x)
+    --device <name>     simulated device (train default: titan-x;
+                        predict/evaluate default: the model's device)
     --settings <n>      sampled frequency settings (default: 40)
     --model <path>      trained model JSON (from `gpufreq train`)
     --out <path>        where `train` writes the model (default: model.json)
@@ -72,10 +74,19 @@ pub enum Command {
 pub struct ParsedArgs {
     /// The subcommand.
     pub command: Command,
-    /// Device name (`titan-x`, `tesla-p100`, `tesla-k20c`).
-    pub device: String,
+    /// Device explicitly selected with `--device`, if any. Commands
+    /// that train or sweep default to [`Device::TitanX`]; commands
+    /// that load a model default to the device recorded in it.
+    pub device: Option<Device>,
     /// Sampled settings for sweeps/training.
     pub settings: usize,
+}
+
+impl ParsedArgs {
+    /// The device to train/sweep on when none was given explicitly.
+    pub fn device_or_default(&self) -> Device {
+        self.device.unwrap_or(Device::TitanX)
+    }
 }
 
 /// Parse error.
@@ -93,7 +104,7 @@ impl std::error::Error for ArgError {}
 /// Parse `argv` (excluding the program name).
 pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
     let mut positional: Vec<&str> = Vec::new();
-    let mut device = "titan-x".to_string();
+    let mut device: Option<Device> = None;
     let mut settings = 40usize;
     let mut model: Option<String> = None;
     let mut out = "model.json".to_string();
@@ -108,10 +119,10 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
             "--fast" => fast = true,
             "--json" => json = true,
             "--device" => {
-                device = it
-                    .next()
-                    .ok_or(ArgError("--device needs a value".into()))?
-                    .clone();
+                let v = it.next().ok_or(ArgError("--device needs a value".into()))?;
+                // An unknown id is a hard error listing the valid ids
+                // — never a silent fallback to some default device.
+                device = Some(v.parse().map_err(|e| ArgError(format!("{e}")))?);
             }
             "--settings" => {
                 let v = it
@@ -151,11 +162,6 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
     let Some((&cmd, rest)) = positional.split_first() else {
         return Err(ArgError("missing subcommand".into()));
     };
-    if !matches!(device.as_str(), "titan-x" | "tesla-p100" | "tesla-k20c") {
-        return Err(ArgError(format!(
-            "unknown device `{device}` (expected titan-x, tesla-p100 or tesla-k20c)"
-        )));
-    }
     let need_kernel = |rest: &[&str]| -> Result<String, ArgError> {
         rest.first()
             .map(|s| s.to_string())
@@ -199,7 +205,8 @@ mod tests {
     fn parses_devices() {
         let p = parse_args(&args("devices")).unwrap();
         assert_eq!(p.command, Command::Devices);
-        assert_eq!(p.device, "titan-x");
+        assert_eq!(p.device, None);
+        assert_eq!(p.device_or_default(), Device::TitanX);
         assert_eq!(p.settings, 40);
     }
 
@@ -217,7 +224,7 @@ mod tests {
                 json: true
             }
         );
-        assert_eq!(p.device, "tesla-p100");
+        assert_eq!(p.device, Some(Device::TeslaP100));
     }
 
     #[test]
@@ -227,8 +234,21 @@ mod tests {
 
     #[test]
     fn rejects_unknown_device_and_flag() {
-        assert!(parse_args(&args("devices --device gtx-9000")).is_err());
+        let err = parse_args(&args("devices --device gtx-9000")).unwrap_err();
+        assert!(err.to_string().contains("unknown device `gtx-9000`"));
+        assert!(err.to_string().contains("titan-x, tesla-p100, tesla-k20c"));
         assert!(parse_args(&args("devices --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn a_device_typo_is_an_error_not_a_fallback() {
+        // Regression: `teslap100` (missing dash) used to silently
+        // train on the Titan X.
+        let err = parse_args(&args("train --device teslap100")).unwrap_err();
+        assert!(
+            err.to_string().contains("unknown device `teslap100`"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -1,16 +1,18 @@
 //! Command implementations for the `gpufreq` CLI.
+//!
+//! Every command routes through the typed [`Planner`] façade of
+//! `gpufreq-core`: training builds a [`TrainedPlanner`] and persists a
+//! versioned [`ModelArtifact`](gpufreq_core::ModelArtifact);
+//! predict/evaluate load and validate it (format version, device) and
+//! map any [`gpufreq_core::Error`] to a non-zero exit.
 
 use crate::args::{Command, ParsedArgs, USAGE};
 use gpufreq_core::{
-    ascii_table, build_training_data, evaluate_all, predict_pareto, render_table2, table2,
-    FreqScalingModel, ModelConfig,
+    analyze_kernel_file, ascii_table, render_table2, table2, Corpus, ModelConfig, Planner,
+    TrainedPlanner,
 };
-use gpufreq_kernel::{
-    analyze_kernel, memory_boundedness, parse, AnalysisConfig, KernelProfile, LaunchConfig,
-    StaticFeatures, STATIC_FEATURE_NAMES,
-};
-use gpufreq_ml::SvrParams;
-use gpufreq_sim::GpuSimulator;
+use gpufreq_kernel::{memory_boundedness, STATIC_FEATURE_NAMES};
+use gpufreq_sim::Device;
 use std::io::Write;
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
@@ -35,21 +37,12 @@ pub fn dispatch(parsed: &ParsedArgs, out: &mut dyn Write) -> CmdResult {
     }
 }
 
-fn simulator(device: &str) -> GpuSimulator {
-    match device {
-        "tesla-p100" => GpuSimulator::tesla_p100(),
-        "tesla-k20c" => GpuSimulator::tesla_k20c(),
-        _ => GpuSimulator::titan_x(),
-    }
-}
-
 fn devices(out: &mut dyn Write) -> CmdResult {
     let mut rows = Vec::new();
-    for name in ["titan-x", "tesla-p100", "tesla-k20c"] {
-        let sim = simulator(name);
-        let spec = sim.spec();
+    for device in Device::all() {
+        let spec = device.spec();
         rows.push(vec![
-            name.to_string(),
+            device.id().to_string(),
             spec.name.clone(),
             spec.clocks.supported_memory_clocks().len().to_string(),
             spec.clocks.actual_configs().len().to_string(),
@@ -73,19 +66,8 @@ fn devices(out: &mut dyn Write) -> CmdResult {
     Ok(())
 }
 
-fn load_kernel(path: &str) -> Result<(StaticFeatures, KernelProfile), Box<dyn std::error::Error>> {
-    let source = std::fs::read_to_string(path)?;
-    let program = parse(&source).map_err(|e| format!("{path}: {e}"))?;
-    let kernel = program.first_kernel().ok_or("no __kernel function found")?;
-    let analysis = analyze_kernel(kernel).map_err(|e| format!("{path}: {e}"))?;
-    let profile =
-        KernelProfile::from_kernel(kernel, &AnalysisConfig::default(), LaunchConfig::default())
-            .map_err(|e| format!("{path}: {e}"))?;
-    Ok((StaticFeatures::from_analysis(&analysis), profile))
-}
-
 fn inspect(path: &str, out: &mut dyn Write) -> CmdResult {
-    let (features, profile) = load_kernel(path)?;
+    let (features, profile) = analyze_kernel_file(path)?;
     writeln!(
         out,
         "kernel `{}` ({} instructions per work-item)",
@@ -110,58 +92,42 @@ fn inspect(path: &str, out: &mut dyn Write) -> CmdResult {
 }
 
 fn train(parsed: &ParsedArgs, path: &str, fast: bool, out: &mut dyn Write) -> CmdResult {
-    let sim = simulator(&parsed.device);
-    let corpus = if fast {
-        gpufreq_synth::generate_all()
-            .into_iter()
-            .step_by(3)
-            .collect()
+    let device = parsed.device_or_default();
+    let (corpus, settings, config) = if fast {
+        (Corpus::Fast, parsed.settings.min(20), ModelConfig::fast())
     } else {
-        gpufreq_synth::generate_all()
-    };
-    let settings = if fast {
-        parsed.settings.min(20)
-    } else {
-        parsed.settings
+        (Corpus::Full, parsed.settings, ModelConfig::default())
     };
     writeln!(
         out,
-        "training on {} micro-benchmarks x {} settings ({})...",
-        corpus.len(),
-        settings,
-        sim.spec().name
+        "training on corpus {corpus:?} x {settings} settings ({})...",
+        device.spec().name
     )?;
-    let data = build_training_data(&sim, &corpus, settings);
-    let config = if fast {
-        ModelConfig {
-            speedup: SvrParams {
-                c: 100.0,
-                max_iter: 200_000,
-                ..SvrParams::paper_speedup()
-            },
-            energy: SvrParams {
-                c: 100.0,
-                max_iter: 200_000,
-                ..SvrParams::paper_energy()
-            },
-        }
-    } else {
-        ModelConfig::default()
-    };
-    let model = FreqScalingModel::train(&data, &config);
-    std::fs::write(path, model.to_json())?;
-    let (sv_s, sv_e) = model.support_vectors();
+    let planner = Planner::builder()
+        .device(device)
+        .corpus(corpus)
+        .settings(settings)
+        .model_config(config)
+        .train()?;
+    planner.save(path)?;
+    let (sv_s, sv_e) = planner.model().support_vectors();
     writeln!(
         out,
         "trained on {} samples ({sv_s}/{sv_e} support vectors); model written to {path}",
-        model.trained_on()
+        planner.model().trained_on()
     )?;
     Ok(())
 }
 
-fn load_model(path: &str) -> Result<FreqScalingModel, Box<dyn std::error::Error>> {
-    let json = std::fs::read_to_string(path)?;
-    Ok(FreqScalingModel::from_json(&json)?)
+/// Load a model artifact, honoring an explicit `--device`: when given,
+/// the artifact must have been trained on that device (a typed
+/// mismatch error otherwise); when omitted, the artifact's own device
+/// is used.
+fn load_planner(parsed: &ParsedArgs, path: &str) -> Result<TrainedPlanner, gpufreq_core::Error> {
+    match parsed.device {
+        Some(device) => TrainedPlanner::load_for_device(path, device),
+        None => TrainedPlanner::load(path),
+    }
 }
 
 fn predict(
@@ -171,10 +137,9 @@ fn predict(
     json: bool,
     out: &mut dyn Write,
 ) -> CmdResult {
-    let sim = simulator(&parsed.device);
-    let model = load_model(model_path)?;
-    let (features, _) = load_kernel(kernel)?;
-    let prediction = predict_pareto(&model, &features, &sim.spec().clocks);
+    let planner = load_planner(parsed, model_path)?;
+    let (features, _) = analyze_kernel_file(kernel)?;
+    let prediction = planner.predict(&features)?;
     if json {
         writeln!(out, "{}", serde_json::to_string_pretty(&prediction)?)?;
         return Ok(());
@@ -195,7 +160,8 @@ fn predict(
     }
     writeln!(
         out,
-        "predicted Pareto-optimal frequency settings for `{kernel}`:"
+        "predicted Pareto-optimal frequency settings for `{kernel}` on {}:",
+        planner.device()
     )?;
     write!(
         out,
@@ -209,8 +175,8 @@ fn predict(
 }
 
 fn characterize(parsed: &ParsedArgs, kernel: &str, out: &mut dyn Write) -> CmdResult {
-    let sim = simulator(&parsed.device);
-    let (_, profile) = load_kernel(kernel)?;
+    let sim = parsed.device_or_default().simulator();
+    let (_, profile) = analyze_kernel_file(kernel)?;
     let configs = sim.spec().clocks.sample_configs(parsed.settings);
     let c = sim.characterize_at(&profile, &configs);
     let mut rows = Vec::new();
@@ -254,9 +220,8 @@ fn characterize(parsed: &ParsedArgs, kernel: &str, out: &mut dyn Write) -> CmdRe
 }
 
 fn evaluate(parsed: &ParsedArgs, model_path: &str, out: &mut dyn Write) -> CmdResult {
-    let sim = simulator(&parsed.device);
-    let model = load_model(model_path)?;
-    let evals = evaluate_all(&sim, &model, &gpufreq_workloads::all_workloads());
+    let planner = load_planner(parsed, model_path)?;
+    let evals = planner.evaluate()?;
     write!(out, "{}", render_table2(&table2(&evals)))?;
     Ok(())
 }
@@ -265,6 +230,8 @@ fn evaluate(parsed: &ParsedArgs, model_path: &str, out: &mut dyn Write) -> CmdRe
 mod tests {
 
     use crate::run;
+    use gpufreq_core::{ModelArtifact, TrainedPlanner};
+    use gpufreq_sim::Device;
 
     fn run_str(line: &str) -> (i32, String) {
         let argv: Vec<String> = line.split_whitespace().map(|s| s.to_string()).collect();
@@ -323,6 +290,9 @@ mod tests {
         let model = model.to_string_lossy();
         let (code, out) = run_str(&format!("train --fast --settings 12 --out {model}"));
         assert_eq!(code, 0, "{out}");
+        // The persisted file is a versioned, device-tagged artifact.
+        let artifact = ModelArtifact::load(model.as_ref() as &str).unwrap();
+        assert_eq!(artifact.device, Device::TitanX);
         let (code, out) = run_str(&format!("predict {kernel} --model {model}"));
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("Pareto-optimal"));
@@ -331,6 +301,96 @@ mod tests {
         let (code, out) = run_str(&format!("predict {kernel} --model {model} --json"));
         assert_eq!(code, 0, "{out}");
         assert!(serde_json::from_str::<serde_json::Value>(&out).is_ok());
+        // An explicit matching --device is fine; a different one is a
+        // typed mismatch mapped to a non-zero exit.
+        let (code, _) = run_str(&format!(
+            "predict {kernel} --model {model} --device titan-x"
+        ));
+        assert_eq!(code, 0);
+        let (code, out) = run_str(&format!(
+            "predict {kernel} --model {model} --device tesla-p100"
+        ));
+        assert_eq!(code, 1, "{out}");
+        assert!(
+            out.contains("trained on `titan-x`") && out.contains("`tesla-p100`"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn unknown_device_exits_nonzero_listing_valid_ids() {
+        // Regression: the `teslap100` typo used to silently fall back
+        // to the Titan X.
+        let (code, out) = run_str("train --device teslap100");
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("unknown device `teslap100`"), "{out}");
+        assert!(
+            out.contains("valid devices: titan-x, tesla-p100, tesla-k20c"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn legacy_and_corrupt_models_error_clearly() {
+        let kernel = write_kernel();
+        let dir = std::env::temp_dir().join("gpufreq-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Pre-versioning bare-model JSON (no format_version envelope).
+        let legacy = dir.join("legacy.json");
+        std::fs::write(&legacy, "{\"domains\": [], \"scaler\": {}}").unwrap();
+        let (code, out) = run_str(&format!(
+            "predict {kernel} --model {}",
+            legacy.to_string_lossy()
+        ));
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("legacy model file"), "{out}");
+        // Outright corrupt JSON.
+        let corrupt = dir.join("corrupt.json");
+        std::fs::write(&corrupt, "{not json").unwrap();
+        let (code, out) = run_str(&format!(
+            "predict {kernel} --model {}",
+            corrupt.to_string_lossy()
+        ));
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("malformed model artifact"), "{out}");
+    }
+
+    #[test]
+    fn evaluate_honors_artifact_device() {
+        // Train a fast P100 model via the facade and evaluate without
+        // --device: the artifact's own device must be used.
+        let dir = std::env::temp_dir().join("gpufreq-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p100-eval.json");
+        let planner = gpufreq_core::Planner::builder()
+            .device(Device::TeslaP100)
+            .corpus(gpufreq_core::Corpus::Fast)
+            .settings(8)
+            .model_config(fast_config())
+            .train()
+            .unwrap();
+        planner.save(&path).unwrap();
+        let loaded = TrainedPlanner::load(&path).unwrap();
+        assert_eq!(loaded.device(), Device::TeslaP100);
+        let (code, out) = run_str(&format!("evaluate --model {}", path.to_string_lossy()));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("Benchmark"), "{out}");
+    }
+
+    fn fast_config() -> gpufreq_core::ModelConfig {
+        use gpufreq_ml::SvrParams;
+        gpufreq_core::ModelConfig {
+            speedup: SvrParams {
+                c: 10.0,
+                max_iter: 100_000,
+                ..SvrParams::paper_speedup()
+            },
+            energy: SvrParams {
+                c: 10.0,
+                max_iter: 100_000,
+                ..SvrParams::paper_energy()
+            },
+        }
     }
 
     #[test]

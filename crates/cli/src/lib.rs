@@ -3,7 +3,11 @@
 //! Argument parsing and command implementations live here (in the
 //! library) so they are unit-testable; `src/bin/gpufreq.rs` is a thin
 //! `main` that forwards `std::env::args` and exits with the returned
-//! status.
+//! status. Commands route through the typed `Planner` façade of
+//! `gpufreq-core`: devices are parsed into the `gpufreq_sim::Device`
+//! registry (an unknown id exits with status 2 listing the valid
+//! ids), and any `gpufreq_core::Error` — bad kernel source, corrupt
+//! or mismatched model artifact — exits with status 1.
 //!
 //! ```text
 //! gpufreq devices                          list simulated devices

@@ -3,6 +3,7 @@
 //! never silently drift apart.
 
 use gpufreq_cli::args::{parse_args, ArgError, Command, USAGE};
+use gpufreq_sim::Device;
 
 fn args(s: &str) -> Vec<String> {
     s.split_whitespace().map(|x| x.to_string()).collect()
@@ -43,7 +44,8 @@ fn devices_line() {
     // USAGE: gpufreq devices
     let p = parsed("devices");
     assert_eq!(p.command, Command::Devices);
-    assert_eq!(p.device, "titan-x");
+    assert_eq!(p.device, None);
+    assert_eq!(p.device_or_default(), Device::TitanX);
     assert_eq!(p.settings, 40);
 }
 
@@ -81,7 +83,7 @@ fn train_line() {
             fast: true
         }
     );
-    assert_eq!(p.device, "tesla-p100");
+    assert_eq!(p.device, Some(Device::TeslaP100));
     assert_eq!(p.settings, 12);
 
     rejected("train --settings");
@@ -112,7 +114,7 @@ fn predict_line() {
             json: true
         }
     );
-    assert_eq!(p.device, "tesla-k20c");
+    assert_eq!(p.device, Some(Device::TeslaK20c));
 
     let e = rejected("predict k.cl");
     assert!(e.to_string().contains("--model"), "got: {e}");
@@ -144,7 +146,7 @@ fn evaluate_line() {
             model: "m.json".into()
         }
     );
-    assert_eq!(p.device, "tesla-p100");
+    assert_eq!(p.device, Some(Device::TeslaP100));
 
     let e = rejected("evaluate");
     assert!(e.to_string().contains("--model"), "got: {e}");
@@ -153,13 +155,20 @@ fn evaluate_line() {
 #[test]
 fn every_documented_device_is_accepted() {
     // USAGE: DEVICES: titan-x (default), tesla-p100, tesla-k20c
-    for device in ["titan-x", "tesla-p100", "tesla-k20c"] {
-        assert!(USAGE.contains(device), "USAGE lost `{device}`");
+    for device in Device::all() {
+        assert!(USAGE.contains(device.id()), "USAGE lost `{device}`");
         let p = parsed(&format!("devices --device {device}"));
-        assert_eq!(p.device, device);
+        assert_eq!(p.device, Some(device));
     }
     let e = rejected("devices --device gtx-9000");
-    assert!(e.to_string().contains("gtx-9000"), "got: {e}");
+    assert!(
+        e.to_string().contains("unknown device `gtx-9000`"),
+        "got: {e}"
+    );
+    assert!(
+        e.to_string().contains("titan-x, tesla-p100, tesla-k20c"),
+        "got: {e}"
+    );
     rejected("devices --device");
 }
 

@@ -68,12 +68,7 @@ pub fn refine_pareto(
         .filter(|p| !order.iter().any(|q| q.config == p.config))
         .copied()
         .collect();
-    rest.sort_by(|a, b| {
-        b.objectives
-            .speedup
-            .partial_cmp(&a.objectives.speedup)
-            .expect("no NaN predictions")
-    });
+    rest.sort_by(|a, b| b.objectives.speedup.total_cmp(&a.objectives.speedup));
     order.extend(rest);
 
     let mut measured: HashMap<(u32, u32), Objectives> = HashMap::new();

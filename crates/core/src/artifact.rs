@@ -1,0 +1,149 @@
+//! Versioned, device-tagged model persistence.
+//!
+//! A trained [`FreqScalingModel`] is only meaningful together with the
+//! device whose clock domains it was trained on — a Titan X model
+//! applied to a P100's single 715 MHz domain silently predicts through
+//! the wrong heads. [`ModelArtifact`] therefore wraps the model in an
+//! envelope recording the format version, the training device, the
+//! trained memory domains and the corpus size, and loading checks all
+//! of it: a bare legacy model, a future `format_version` or a
+//! different device each produce a distinct [`Error`] instead of a
+//! wrong answer.
+
+use crate::error::{Error, Result, MODEL_FORMAT_VERSION};
+use crate::model::FreqScalingModel;
+use gpufreq_sim::Device;
+use serde::{Deserialize, Serialize, Value};
+use std::path::Path;
+
+/// A persisted model: the trained [`FreqScalingModel`] plus the
+/// metadata needed to load it safely later.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelArtifact {
+    /// Artifact format version ([`MODEL_FORMAT_VERSION`] when written
+    /// by this build).
+    pub format_version: u32,
+    /// The device the model was trained on.
+    pub device: Device,
+    /// Memory domains (MHz, ascending) the model has heads for.
+    pub trained_domains: Vec<u32>,
+    /// Number of training samples the model saw.
+    pub num_samples: usize,
+    /// The trained model itself.
+    pub model: FreqScalingModel,
+}
+
+impl ModelArtifact {
+    /// Wrap a freshly trained model in a current-version envelope.
+    pub fn new(device: Device, model: FreqScalingModel) -> ModelArtifact {
+        ModelArtifact {
+            format_version: MODEL_FORMAT_VERSION,
+            device,
+            trained_domains: model.trained_domains(),
+            num_samples: model.trained_on(),
+            model,
+        }
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("artifact serializes")
+    }
+
+    /// Deserialize from JSON with full envelope validation.
+    ///
+    /// # Errors
+    /// * [`Error::LegacyArtifact`] for pre-versioning bare-model JSON;
+    /// * [`Error::UnsupportedFormatVersion`] for a `format_version`
+    ///   this build does not read;
+    /// * [`Error::MalformedArtifact`] for anything else that fails to
+    ///   decode.
+    pub fn from_json(json: &str) -> Result<ModelArtifact> {
+        let value: Value = serde_json::from_str(json).map_err(|e| Error::MalformedArtifact {
+            message: e.to_string(),
+        })?;
+        let Value::Object(entries) = &value else {
+            return Err(Error::MalformedArtifact {
+                message: "top level is not a JSON object".into(),
+            });
+        };
+        let field = |name: &str| entries.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let Some(version) = field("format_version") else {
+            // A bare pre-versioning FreqScalingModel serializes with
+            // `domains` and `scaler` at the top level — only that
+            // shape earns the "retrain" hint; any other object is
+            // simply not a model artifact.
+            if field("domains").is_some() && field("scaler").is_some() {
+                return Err(Error::LegacyArtifact);
+            }
+            return Err(Error::MalformedArtifact {
+                message: "missing field `format_version`".into(),
+            });
+        };
+        let version = u32::deserialize(version).map_err(|e| Error::MalformedArtifact {
+            message: format!("format_version: {e}"),
+        })?;
+        if version != MODEL_FORMAT_VERSION {
+            return Err(Error::UnsupportedFormatVersion {
+                found: version,
+                supported: MODEL_FORMAT_VERSION,
+            });
+        }
+        let artifact =
+            ModelArtifact::deserialize(&value).map_err(|e| Error::MalformedArtifact {
+                message: e.to_string(),
+            })?;
+        // A structurally valid artifact whose model has no domain heads
+        // would panic deep inside prediction; reject it here instead.
+        if artifact.model.trained_domains().is_empty() {
+            return Err(Error::MalformedArtifact {
+                message: "model has no trained memory domains".into(),
+            });
+        }
+        // The envelope metadata is derived from the model at save time;
+        // a hand-edited file where they disagree would make tooling
+        // that reads the envelope report wrong values.
+        if artifact.trained_domains != artifact.model.trained_domains()
+            || artifact.num_samples != artifact.model.trained_on()
+        {
+            return Err(Error::MalformedArtifact {
+                message: "envelope metadata disagrees with the embedded model".into(),
+            });
+        }
+        Ok(artifact)
+    }
+
+    /// Write the artifact to `path` as JSON.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_json()).map_err(|source| Error::Io {
+            path: path.display().to_string(),
+            source,
+        })
+    }
+
+    /// Read and validate an artifact from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<ModelArtifact> {
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path).map_err(|source| Error::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        ModelArtifact::from_json(&json)
+    }
+
+    /// Check that the artifact was trained on `device`.
+    ///
+    /// # Errors
+    /// [`Error::DeviceMismatch`] naming both devices otherwise.
+    pub fn expect_device(&self, device: Device) -> Result<()> {
+        if self.device == device {
+            Ok(())
+        } else {
+            Err(Error::DeviceMismatch {
+                artifact: self.device,
+                requested: device,
+            })
+        }
+    }
+}

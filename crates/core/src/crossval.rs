@@ -57,11 +57,9 @@ impl CrossValidation {
 
     /// The hardest fold by speedup error.
     pub fn worst_fold(&self) -> Option<&FoldResult> {
-        self.folds.iter().max_by(|a, b| {
-            a.speedup_rmse_percent
-                .partial_cmp(&b.speedup_rmse_percent)
-                .expect("no NaN RMSE")
-        })
+        self.folds
+            .iter()
+            .max_by(|a, b| a.speedup_rmse_percent.total_cmp(&b.speedup_rmse_percent))
     }
 }
 

@@ -1,0 +1,200 @@
+//! The workspace error type.
+//!
+//! Every fallible operation on the public surface of `gpufreq-core` —
+//! training, prediction, kernel analysis, artifact persistence —
+//! returns [`Error`]. Panics are reserved for internal invariants
+//! (e.g. a trained model always has at least one domain head);
+//! malformed *input* — an empty corpus, an unparseable kernel, a
+//! corrupt or mismatched model artifact — is always a typed error the
+//! caller can match on.
+
+use gpufreq_kernel::{AnalysisError, ParseError};
+use gpufreq_sim::{Device, UnknownDevice};
+use std::fmt;
+
+/// The artifact format version this build reads and writes.
+pub const MODEL_FORMAT_VERSION: u32 = 1;
+
+/// Any failure on the fallible `gpufreq` surface.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Training was attempted on a corpus with zero samples.
+    EmptyCorpus,
+    /// The training data's per-row configuration list does not match
+    /// its sample count.
+    MisalignedRows {
+        /// Number of feature/target rows.
+        rows: usize,
+        /// Number of per-row configurations.
+        configs: usize,
+    },
+    /// A kernel source failed to lex/parse.
+    KernelParse {
+        /// The file the source came from, when known.
+        path: Option<String>,
+        /// The underlying parser diagnostic.
+        source: ParseError,
+    },
+    /// A kernel parsed but could not be statically analyzed.
+    KernelAnalysis {
+        /// The file the source came from, when known.
+        path: Option<String>,
+        /// The underlying analysis diagnostic.
+        source: AnalysisError,
+    },
+    /// A source file contained no `__kernel` function.
+    NoKernelFound {
+        /// The file the source came from, when known.
+        path: Option<String>,
+    },
+    /// Prediction was asked for a feature vector containing NaN or
+    /// infinite components.
+    NonFiniteFeatures,
+    /// A device id did not name a registered device.
+    UnknownDevice(UnknownDevice),
+    /// A benchmark name did not match any of the twelve workloads.
+    UnknownWorkload {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// Reading or writing a file failed.
+    Io {
+        /// The file involved.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A model artifact (or bare model) failed to deserialize.
+    MalformedArtifact {
+        /// What the JSON failed to decode as.
+        message: String,
+    },
+    /// The JSON is a pre-versioning bare [`FreqScalingModel`] with no
+    /// `format_version`/`device` envelope. Retrain with the current
+    /// tooling (`gpufreq train`) to produce a versioned artifact.
+    ///
+    /// [`FreqScalingModel`]: crate::FreqScalingModel
+    LegacyArtifact,
+    /// The artifact's `format_version` is not one this build reads.
+    UnsupportedFormatVersion {
+        /// The version recorded in the artifact.
+        found: u32,
+        /// The version this build supports ([`MODEL_FORMAT_VERSION`]).
+        supported: u32,
+    },
+    /// The artifact was trained on a different device than requested.
+    DeviceMismatch {
+        /// The device recorded in the artifact.
+        artifact: Device,
+        /// The device the caller asked for.
+        requested: Device,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyCorpus => f.write_str("cannot train on an empty corpus"),
+            Error::MisalignedRows { rows, configs } => write!(
+                f,
+                "training data is misaligned: {rows} sample rows but {configs} row configurations"
+            ),
+            Error::KernelParse { path, source } => match path {
+                Some(p) => write!(f, "{p}: {source}"),
+                None => write!(f, "kernel parse error: {source}"),
+            },
+            Error::KernelAnalysis { path, source } => match path {
+                Some(p) => write!(f, "{p}: {source}"),
+                None => write!(f, "kernel analysis error: {source}"),
+            },
+            Error::NoKernelFound { path } => match path {
+                Some(p) => write!(f, "{p}: no __kernel function found"),
+                None => f.write_str("no __kernel function found"),
+            },
+            Error::NonFiniteFeatures => {
+                f.write_str("feature vector contains NaN or infinite components")
+            }
+            Error::UnknownDevice(e) => e.fmt(f),
+            Error::UnknownWorkload { name } => write!(f, "unknown workload `{name}`"),
+            Error::Io { path, source } => write!(f, "{path}: {source}"),
+            Error::MalformedArtifact { message } => {
+                write!(f, "malformed model artifact: {message}")
+            }
+            Error::LegacyArtifact => f.write_str(
+                "legacy model file: bare FreqScalingModel JSON without a format_version \
+                 envelope; retrain with `gpufreq train` to produce a versioned artifact",
+            ),
+            Error::UnsupportedFormatVersion { found, supported } => write!(
+                f,
+                "unsupported model artifact format_version {found} (this build reads \
+                 version {supported})"
+            ),
+            Error::DeviceMismatch {
+                artifact,
+                requested,
+            } => write!(
+                f,
+                "model artifact was trained on `{artifact}` but `{requested}` was requested"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::KernelParse { source, .. } => Some(source),
+            Error::KernelAnalysis { source, .. } => Some(source),
+            Error::UnknownDevice(e) => Some(e),
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<UnknownDevice> for Error {
+    fn from(e: UnknownDevice) -> Error {
+        Error::UnknownDevice(e)
+    }
+}
+
+/// A [`std::result::Result`] specialized to the workspace [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn displays_are_specific() {
+        assert!(Error::EmptyCorpus.to_string().contains("empty corpus"));
+        let e = Error::MisalignedRows {
+            rows: 10,
+            configs: 7,
+        };
+        assert!(e.to_string().contains("10") && e.to_string().contains("7"));
+        let e = Error::UnsupportedFormatVersion {
+            found: 99,
+            supported: MODEL_FORMAT_VERSION,
+        };
+        assert!(e.to_string().contains("99"), "{e}");
+        let e = Error::DeviceMismatch {
+            artifact: Device::TitanX,
+            requested: Device::TeslaP100,
+        };
+        assert!(
+            e.to_string().contains("titan-x") && e.to_string().contains("tesla-p100"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        let unknown: UnknownDevice = "nope".parse::<Device>().unwrap_err();
+        let e: Error = unknown.into();
+        assert!(e.source().is_some());
+        assert!(Error::EmptyCorpus.source().is_none());
+    }
+}

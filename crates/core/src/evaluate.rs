@@ -193,11 +193,7 @@ pub fn evaluate_all(
         .iter()
         .map(|w| evaluate_workload(sim, model, w))
         .collect();
-    evals.sort_by(|a, b| {
-        a.coverage_d
-            .partial_cmp(&b.coverage_d)
-            .expect("no NaN coverage")
-    });
+    evals.sort_by(|a, b| a.coverage_d.total_cmp(&b.coverage_d));
     evals
 }
 

@@ -4,6 +4,13 @@
 //! predicts the Pareto-optimal `(memory, core)` frequency
 //! configurations of a GPU kernel *without executing it*.
 //!
+//! * [`planner`] — the [`Planner`] façade: typed, fallible
+//!   train → persist → predict → evaluate in one builder-style entry
+//!   point;
+//! * [`error`] — the workspace [`Error`] type every fallible operation
+//!   returns;
+//! * [`artifact`] — [`ModelArtifact`], the versioned, device-tagged
+//!   persistence envelope;
 //! * [`pipeline`] — the training phase (Fig. 2): execute the 106
 //!   synthetic micro-benchmarks at 40 sampled frequency settings and
 //!   assemble `(features ⊕ frequencies) → (speedup, normalized energy)`
@@ -22,41 +29,61 @@
 //! # End-to-end example
 //!
 //! ```no_run
-//! use gpufreq_core::{build_training_data, FreqScalingModel, ModelConfig, predict_pareto};
-//! use gpufreq_sim::GpuSimulator;
+//! use gpufreq_core::{Corpus, Planner};
+//! use gpufreq_sim::Device;
 //!
+//! # fn main() -> Result<(), gpufreq_core::Error> {
 //! // Training phase (Fig. 2): 106 micro-benchmarks x 40 settings.
-//! let sim = GpuSimulator::titan_x();
-//! let benches = gpufreq_synth::generate_all();
-//! let data = build_training_data(&sim, &benches, 40);
-//! let model = FreqScalingModel::train(&data, &ModelConfig::default());
+//! let planner = Planner::builder()
+//!     .device(Device::TitanX)
+//!     .corpus(Corpus::Full)
+//!     .settings(40)
+//!     .train()?;
 //!
 //! // Prediction phase (Fig. 3): a new kernel, never executed.
-//! let kernel = gpufreq_workloads::workload("knn").unwrap();
-//! let prediction = predict_pareto(&model, &kernel.static_features(), &sim.spec().clocks);
+//! let kernel = gpufreq_workloads::workload("knn")
+//!     .expect("knn is one of the twelve benchmarks");
+//! let prediction = planner.predict(&kernel.static_features())?;
 //! for point in &prediction.pareto_set {
 //!     println!("{}: predicted speedup {:.2}, energy {:.2}",
 //!              point.config, point.objectives.speedup, point.objectives.energy);
 //! }
+//!
+//! // Persist for driver-level reuse; `load` re-checks version + device.
+//! planner.save("model.json")?;
+//! # Ok(())
+//! # }
 //! ```
+//!
+//! The pre-redesign free functions ([`build_training_data`],
+//! [`FreqScalingModel::train`], [`predict_pareto`]) remain re-exported
+//! for existing callers; see the README's MIGRATION notes.
 
 #![warn(missing_docs)]
 
 pub mod active;
+pub mod artifact;
 pub mod crossval;
+pub mod error;
 pub mod evaluate;
 pub mod model;
 pub mod pipeline;
+pub mod planner;
 pub mod predict;
 pub mod report;
 
 pub use active::{refine_pareto, RefinedPoint, RefinedPrediction};
+pub use artifact::ModelArtifact;
 pub use crossval::{leave_one_pattern_out, CrossValidation, FoldResult};
+pub use error::{Error, Result, MODEL_FORMAT_VERSION};
 pub use evaluate::{
     error_analysis, evaluate_all, evaluate_workload, table2, BenchmarkErrors, BenchmarkEvaluation,
     DomainErrorAnalysis, Objective, Table2Row, EVAL_SETTINGS,
 };
 pub use model::{FreqScalingModel, ModelConfig};
 pub use pipeline::{build_training_data, TrainingData};
+pub use planner::{
+    analyze_kernel_file, analyze_source, Corpus, Planner, PlannerBuilder, TrainedPlanner,
+};
 pub use predict::{predict_pareto, predict_pareto_at, ParetoPrediction, PredictedPoint, MEM_L_MHZ};
 pub use report::{ascii_table, objectives_csv, render_error_panel, render_table2, series_csv};

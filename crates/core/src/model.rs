@@ -44,6 +44,27 @@ impl Default for ModelConfig {
     }
 }
 
+impl ModelConfig {
+    /// Relaxed hyper-parameters for the fast path (the CLI's `--fast`,
+    /// usually paired with [`Corpus::Fast`](crate::Corpus)): a smaller
+    /// `C` and a bounded iteration cap trade accuracy for
+    /// seconds-scale training.
+    pub fn fast() -> ModelConfig {
+        ModelConfig {
+            speedup: SvrParams {
+                c: 100.0,
+                max_iter: 200_000,
+                ..SvrParams::paper_speedup()
+            },
+            energy: SvrParams {
+                c: 100.0,
+                max_iter: 200_000,
+                ..SvrParams::paper_energy()
+            },
+        }
+    }
+}
+
 /// The per-memory-domain head pair.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct DomainHeads {
@@ -65,11 +86,35 @@ impl FreqScalingModel {
     /// Train the heads on `data` (Fig. 2, steps 5–6), one pair per
     /// memory domain present in the corpus.
     ///
+    /// This is the pre-redesign panicking entry point, kept for
+    /// backwards compatibility; new code should use [`try_train`]
+    /// (or the [`Planner`] façade) and handle the error.
+    ///
+    /// [`try_train`]: FreqScalingModel::try_train
+    /// [`Planner`]: crate::Planner
+    ///
     /// # Panics
-    /// If `data` is empty.
+    /// If `data` is empty or its row configurations are misaligned.
     pub fn train(data: &TrainingData, config: &ModelConfig) -> FreqScalingModel {
-        assert!(!data.is_empty(), "cannot train on an empty corpus");
-        assert_eq!(data.row_configs.len(), data.len(), "row configs must align");
+        FreqScalingModel::try_train(data, config).expect("valid training data")
+    }
+
+    /// Fallible training: an empty corpus or misaligned per-row
+    /// configurations are reported as [`Error`](crate::Error) values
+    /// instead of panics.
+    pub fn try_train(
+        data: &TrainingData,
+        config: &ModelConfig,
+    ) -> Result<FreqScalingModel, crate::Error> {
+        if data.is_empty() {
+            return Err(crate::Error::EmptyCorpus);
+        }
+        if data.row_configs.len() != data.len() {
+            return Err(crate::Error::MisalignedRows {
+                rows: data.len(),
+                configs: data.row_configs.len(),
+            });
+        }
         let scaler = MinMaxScaler::fit(data.speedup.xs());
         let mut mem_clocks: Vec<u32> = data.row_configs.iter().map(|c| c.mem_mhz).collect();
         mem_clocks.sort_unstable();
@@ -94,11 +139,11 @@ impl FreqScalingModel {
                 }
             })
             .collect();
-        FreqScalingModel {
+        Ok(FreqScalingModel {
             domains,
             scaler,
             trained_on: data.len(),
-        }
+        })
     }
 
     /// The head pair responsible for `config` — exact memory-clock
@@ -242,6 +287,35 @@ mod tests {
         // same head without panicking.
         assert!(via_nearest.is_finite());
         assert!((via_nearest - at_810).abs() < 0.5);
+    }
+
+    #[test]
+    fn try_train_rejects_malformed_corpora() {
+        let empty = TrainingData {
+            speedup: gpufreq_ml::Dataset::new(),
+            energy: gpufreq_ml::Dataset::new(),
+            configs: Vec::new(),
+            row_configs: Vec::new(),
+            num_benchmarks: 0,
+        };
+        let err = FreqScalingModel::try_train(&empty, &fast_config()).unwrap_err();
+        assert!(matches!(err, crate::Error::EmptyCorpus), "{err}");
+
+        let sim = GpuSimulator::titan_x();
+        let benches: Vec<_> = gpufreq_synth::generate_all().into_iter().take(2).collect();
+        let mut misaligned = build_training_data(&sim, &benches, 4);
+        misaligned.row_configs.pop();
+        let err = FreqScalingModel::try_train(&misaligned, &fast_config()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                crate::Error::MisalignedRows {
+                    rows: 8,
+                    configs: 7
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]

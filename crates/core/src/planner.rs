@@ -1,0 +1,420 @@
+//! The [`Planner`] façade: one typed, fallible entry point for the
+//! whole train → persist → predict → evaluate workflow.
+//!
+//! The paper's deployment story (train once on the synthetic corpus,
+//! persist the model, predict Pareto-optimal frequency settings for
+//! unseen kernels at the driver level) previously had to be assembled
+//! by hand from free functions. The façade packages it:
+//!
+//! ```no_run
+//! use gpufreq_core::{Corpus, Planner};
+//! use gpufreq_sim::Device;
+//!
+//! # fn main() -> Result<(), gpufreq_core::Error> {
+//! let planner = Planner::builder()
+//!     .device(Device::TitanX)
+//!     .corpus(Corpus::Full)
+//!     .settings(40)
+//!     .train()?;
+//! let prediction = planner.predict_source(
+//!     "__kernel void scale(__global float* x) {
+//!          uint i = get_global_id(0);
+//!          x[i] = x[i] * 2.0f;
+//!      }",
+//! )?;
+//! planner.save("model.json")?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Every method returns [`Result`]: malformed kernels, empty corpora,
+//! unknown devices and corrupt or mismatched artifacts are typed
+//! [`Error`] values, never panics.
+
+use crate::artifact::ModelArtifact;
+use crate::error::{Error, Result};
+use crate::evaluate::{evaluate_all, BenchmarkEvaluation};
+use crate::model::{FreqScalingModel, ModelConfig};
+use crate::pipeline::build_training_data;
+use crate::predict::{predict_pareto_at, ParetoPrediction};
+use gpufreq_kernel::{
+    analyze_kernel_with, parse, AnalysisConfig, FreqConfig, KernelProfile, LaunchConfig,
+    StaticFeatures,
+};
+use gpufreq_sim::{Device, GpuSimulator};
+use std::path::Path;
+
+/// Which slice of the 106 synthetic micro-benchmarks to train on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Corpus {
+    /// All 106 micro-benchmarks (the paper's training set).
+    #[default]
+    Full,
+    /// Every third micro-benchmark — for smoke tests and interactive
+    /// use, at reduced accuracy.
+    Fast,
+}
+
+impl Corpus {
+    fn benchmarks(self) -> Vec<gpufreq_synth::MicroBenchmark> {
+        let all = gpufreq_synth::generate_all();
+        match self {
+            Corpus::Full => all,
+            Corpus::Fast => all.into_iter().step_by(3).collect(),
+        }
+    }
+}
+
+/// Entry point to the façade; see [`Planner::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct Planner;
+
+impl Planner {
+    /// Start configuring a training run. Defaults: Titan X, full
+    /// corpus, 40 sampled settings, the paper's hyper-parameters.
+    pub fn builder() -> PlannerBuilder {
+        PlannerBuilder::default()
+    }
+}
+
+/// Builder for a training run; finished by
+/// [`train`](PlannerBuilder::train).
+#[derive(Debug, Clone)]
+pub struct PlannerBuilder {
+    device: Device,
+    corpus: Corpus,
+    settings: usize,
+    config: ModelConfig,
+}
+
+impl Default for PlannerBuilder {
+    fn default() -> PlannerBuilder {
+        PlannerBuilder {
+            device: Device::TitanX,
+            corpus: Corpus::Full,
+            settings: gpufreq_synth::TRAINING_SETTINGS,
+            config: ModelConfig::default(),
+        }
+    }
+}
+
+impl PlannerBuilder {
+    /// The device to train on (default: [`Device::TitanX`]).
+    pub fn device(mut self, device: Device) -> PlannerBuilder {
+        self.device = device;
+        self
+    }
+
+    /// The training corpus (default: [`Corpus::Full`]).
+    pub fn corpus(mut self, corpus: Corpus) -> PlannerBuilder {
+        self.corpus = corpus;
+        self
+    }
+
+    /// Sampled frequency settings per micro-benchmark (default: 40,
+    /// the paper's choice).
+    pub fn settings(mut self, settings: usize) -> PlannerBuilder {
+        self.settings = settings;
+        self
+    }
+
+    /// SVR hyper-parameters (default: the paper's `C = 1000`,
+    /// `ε = 0.1`, `γ = 0.1`).
+    pub fn model_config(mut self, config: ModelConfig) -> PlannerBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Run the training phase (Fig. 2): sweep the corpus on the
+    /// device's simulator and fit the per-domain SVR heads.
+    ///
+    /// # Errors
+    /// [`Error::EmptyCorpus`] when the corpus × settings product is
+    /// zero samples.
+    pub fn train(self) -> Result<TrainedPlanner> {
+        let sim = self.device.simulator();
+        let data = build_training_data(&sim, &self.corpus.benchmarks(), self.settings);
+        let model = FreqScalingModel::try_train(&data, &self.config)?;
+        Ok(TrainedPlanner {
+            artifact: ModelArtifact::new(self.device, model),
+            sim,
+        })
+    }
+}
+
+/// A trained planner: the model, its artifact metadata, and the
+/// simulator of the device it was trained on.
+#[derive(Debug, Clone)]
+pub struct TrainedPlanner {
+    artifact: ModelArtifact,
+    sim: GpuSimulator,
+}
+
+impl TrainedPlanner {
+    /// Wrap an already-validated artifact (e.g. from
+    /// [`ModelArtifact::load`]).
+    pub fn from_artifact(artifact: ModelArtifact) -> TrainedPlanner {
+        let sim = artifact.device.simulator();
+        TrainedPlanner { artifact, sim }
+    }
+
+    /// Load a persisted artifact, validating format version and JSON
+    /// shape; the planner targets the device recorded in the artifact.
+    pub fn load(path: impl AsRef<Path>) -> Result<TrainedPlanner> {
+        Ok(TrainedPlanner::from_artifact(ModelArtifact::load(path)?))
+    }
+
+    /// Like [`load`](TrainedPlanner::load), but additionally require
+    /// the artifact to have been trained on `device`.
+    ///
+    /// # Errors
+    /// [`Error::DeviceMismatch`] when the artifact records a different
+    /// device.
+    pub fn load_for_device(path: impl AsRef<Path>, device: Device) -> Result<TrainedPlanner> {
+        let artifact = ModelArtifact::load(path)?;
+        artifact.expect_device(device)?;
+        Ok(TrainedPlanner::from_artifact(artifact))
+    }
+
+    /// Persist the versioned artifact to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        self.artifact.save(path)
+    }
+
+    /// The device this planner predicts for.
+    pub fn device(&self) -> Device {
+        self.artifact.device
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> &FreqScalingModel {
+        &self.artifact.model
+    }
+
+    /// The artifact envelope (version, device, domains, corpus size).
+    pub fn artifact(&self) -> &ModelArtifact {
+        &self.artifact
+    }
+
+    /// The simulator of the trained device.
+    pub fn simulator(&self) -> &GpuSimulator {
+        &self.sim
+    }
+
+    /// Predict the Pareto-optimal frequency settings for a kernel with
+    /// `features` over every actual configuration of the device
+    /// (Fig. 3).
+    ///
+    /// # Errors
+    /// [`Error::NonFiniteFeatures`] when the feature vector contains
+    /// NaN or infinite components.
+    pub fn predict(&self, features: &StaticFeatures) -> Result<ParetoPrediction> {
+        let clocks = &self.sim.spec().clocks;
+        self.predict_at(features, &clocks.actual_configs())
+    }
+
+    /// [`predict`](TrainedPlanner::predict) over an explicit candidate
+    /// list (the evaluation predicts at the same sampled settings the
+    /// ground truth is measured at).
+    pub fn predict_at(
+        &self,
+        features: &StaticFeatures,
+        candidates: &[FreqConfig],
+    ) -> Result<ParetoPrediction> {
+        if features.values().iter().any(|v| !v.is_finite()) {
+            return Err(Error::NonFiniteFeatures);
+        }
+        Ok(predict_pareto_at(
+            &self.artifact.model,
+            features,
+            &self.sim.spec().clocks,
+            candidates,
+        ))
+    }
+
+    /// Parse and analyze OpenCL-C `source`, then
+    /// [`predict`](TrainedPlanner::predict) for its first kernel.
+    pub fn predict_source(&self, source: &str) -> Result<ParetoPrediction> {
+        let (features, _) = analyze_source(source, None)?;
+        self.predict(&features)
+    }
+
+    /// Evaluate the planner on the paper's twelve test benchmarks
+    /// (ground-truth sweep + prediction at the same settings), in
+    /// Table 2 order.
+    pub fn evaluate(&self) -> Result<Vec<BenchmarkEvaluation>> {
+        Ok(evaluate_all(
+            &self.sim,
+            &self.artifact.model,
+            &gpufreq_workloads::all_workloads(),
+        ))
+    }
+
+    /// Evaluate on a single named workload.
+    ///
+    /// # Errors
+    /// [`Error::UnknownWorkload`] when `name` is not one of the twelve.
+    pub fn evaluate_workload(&self, name: &str) -> Result<BenchmarkEvaluation> {
+        let workload = gpufreq_workloads::workload(name).ok_or_else(|| Error::UnknownWorkload {
+            name: name.to_string(),
+        })?;
+        Ok(crate::evaluate::evaluate_workload(
+            &self.sim,
+            &self.artifact.model,
+            &workload,
+        ))
+    }
+}
+
+/// Parse and statically analyze an OpenCL-C kernel source, returning
+/// the static features and execution profile of its first kernel.
+///
+/// `path` is only used to prefix diagnostics; pass `None` for
+/// in-memory sources.
+pub fn analyze_source(source: &str, path: Option<&str>) -> Result<(StaticFeatures, KernelProfile)> {
+    let owned_path = || path.map(|p| p.to_string());
+    let program = parse(source).map_err(|source| Error::KernelParse {
+        path: owned_path(),
+        source,
+    })?;
+    let kernel = program
+        .first_kernel()
+        .ok_or(Error::NoKernelFound { path: owned_path() })?;
+    let config = AnalysisConfig::default();
+    let analysis =
+        analyze_kernel_with(kernel, &config).map_err(|source| Error::KernelAnalysis {
+            path: owned_path(),
+            source,
+        })?;
+    let profile =
+        KernelProfile::from_kernel(kernel, &config, LaunchConfig::default()).map_err(|source| {
+            Error::KernelAnalysis {
+                path: owned_path(),
+                source,
+            }
+        })?;
+    Ok((StaticFeatures::from_analysis(&analysis), profile))
+}
+
+/// Read a kernel source file and [`analyze_source`] it.
+pub fn analyze_kernel_file(path: impl AsRef<Path>) -> Result<(StaticFeatures, KernelProfile)> {
+    let path = path.as_ref();
+    let display = path.display().to_string();
+    let source = std::fs::read_to_string(path).map_err(|source| Error::Io {
+        path: display.clone(),
+        source,
+    })?;
+    analyze_source(&source, Some(&display))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufreq_ml::SvrParams;
+
+    fn fast_planner(device: Device) -> TrainedPlanner {
+        let config = ModelConfig {
+            speedup: SvrParams {
+                c: 10.0,
+                ..SvrParams::paper_speedup()
+            },
+            energy: SvrParams {
+                c: 10.0,
+                ..SvrParams::paper_energy()
+            },
+        };
+        Planner::builder()
+            .device(device)
+            .corpus(Corpus::Fast)
+            .settings(10)
+            .model_config(config)
+            .train()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_trains_and_predicts() {
+        let planner = fast_planner(Device::TitanX);
+        assert_eq!(planner.device(), Device::TitanX);
+        let features = gpufreq_workloads::workload("knn")
+            .unwrap()
+            .static_features();
+        let prediction = planner.predict(&features).unwrap();
+        assert!(!prediction.pareto_set.is_empty());
+    }
+
+    #[test]
+    fn zero_settings_is_an_empty_corpus_error() {
+        let err = Planner::builder()
+            .corpus(Corpus::Fast)
+            .settings(0)
+            .train()
+            .unwrap_err();
+        assert!(matches!(err, Error::EmptyCorpus), "{err}");
+    }
+
+    #[test]
+    fn non_finite_features_are_rejected() {
+        let planner = fast_planner(Device::TitanX);
+        let mut values = *gpufreq_workloads::workload("knn")
+            .unwrap()
+            .static_features()
+            .values();
+        values[0] = f64::NAN;
+        let features = StaticFeatures::from_values(values);
+        let err = planner.predict(&features).unwrap_err();
+        assert!(matches!(err, Error::NonFiniteFeatures), "{err}");
+    }
+
+    #[test]
+    fn predict_source_rejects_bad_kernels() {
+        let planner = fast_planner(Device::TitanX);
+        let err = planner
+            .predict_source("int main() { return 0; }")
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::KernelParse { .. } | Error::NoKernelFound { .. }),
+            "{err}"
+        );
+        let ok = planner.predict_source(
+            "__kernel void scale(__global float* x) {
+                 uint i = get_global_id(0);
+                 x[i] = x[i] * 2.0f;
+             }",
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_predictions() {
+        let planner = fast_planner(Device::TeslaP100);
+        let dir = std::env::temp_dir().join("gpufreq-planner-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p100.json");
+        planner.save(&path).unwrap();
+        let loaded = TrainedPlanner::load(&path).unwrap();
+        assert_eq!(loaded.device(), Device::TeslaP100);
+        assert_eq!(loaded.artifact(), planner.artifact());
+        let features = gpufreq_workloads::workload("mt").unwrap().static_features();
+        assert_eq!(
+            planner.predict(&features).unwrap(),
+            loaded.predict(&features).unwrap()
+        );
+        // Loading for the wrong device is a typed mismatch.
+        let err = TrainedPlanner::load_for_device(&path, Device::TitanX).unwrap_err();
+        assert!(matches!(err, Error::DeviceMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_workload_is_a_typed_error() {
+        let planner = fast_planner(Device::TitanX);
+        let err = planner.evaluate_workload("nbody").unwrap_err();
+        assert!(matches!(err, Error::UnknownWorkload { .. }), "{err}");
+    }
+
+    #[test]
+    fn analyze_kernel_file_reports_io_errors() {
+        let err = analyze_kernel_file("/does/not/exist.cl").unwrap_err();
+        assert!(matches!(err, Error::Io { .. }), "{err}");
+    }
+}

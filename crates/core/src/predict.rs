@@ -48,24 +48,24 @@ impl ParetoPrediction {
         self.pareto_set.iter().map(|p| p.config).collect()
     }
 
-    /// The predicted point with maximum speedup.
+    /// The predicted point with maximum speedup, or `None` when the
+    /// Pareto set is empty or no point has a finite speedup. NaN-safe:
+    /// non-finite predictions are never recommended (and never panic).
     pub fn max_speedup(&self) -> Option<&PredictedPoint> {
-        self.pareto_set.iter().max_by(|a, b| {
-            a.objectives
-                .speedup
-                .partial_cmp(&b.objectives.speedup)
-                .unwrap()
-        })
+        self.pareto_set
+            .iter()
+            .filter(|p| p.objectives.speedup.is_finite())
+            .max_by(|a, b| a.objectives.speedup.total_cmp(&b.objectives.speedup))
     }
 
-    /// The predicted point with minimum normalized energy.
+    /// The predicted point with minimum normalized energy, or `None`
+    /// when the Pareto set is empty or no point has a finite energy.
+    /// NaN-safe like [`max_speedup`](ParetoPrediction::max_speedup).
     pub fn min_energy(&self) -> Option<&PredictedPoint> {
-        self.pareto_set.iter().min_by(|a, b| {
-            a.objectives
-                .energy
-                .partial_cmp(&b.objectives.energy)
-                .unwrap()
-        })
+        self.pareto_set
+            .iter()
+            .filter(|p| p.objectives.energy.is_finite())
+            .min_by(|a, b| a.objectives.energy.total_cmp(&b.objectives.energy))
     }
 }
 
@@ -89,6 +89,15 @@ pub fn predict_pareto_at(
     clocks: &ClockTable,
     candidates: &[FreqConfig],
 ) -> ParetoPrediction {
+    // An empty candidate list has no prediction at all — not even the
+    // mem-L heuristic point, which would otherwise smuggle a
+    // configuration into a deliberately empty search space.
+    if candidates.is_empty() {
+        return ParetoPrediction {
+            all_points: Vec::new(),
+            pareto_set: Vec::new(),
+        };
+    }
     // Steps 2–8: predict both objectives for every modeled setting.
     let all_points: Vec<PredictedPoint> = candidates
         .iter()
@@ -201,6 +210,50 @@ mod tests {
         let min_e = pred.min_energy().unwrap();
         assert!(max_s.objectives.speedup >= min_e.objectives.speedup);
         assert!(min_e.objectives.energy <= max_s.objectives.energy);
+    }
+
+    #[test]
+    fn empty_candidate_list_yields_empty_prediction() {
+        let (model, sim) = setup();
+        let f = gpufreq_workloads::workload("knn")
+            .unwrap()
+            .static_features();
+        let pred = predict_pareto_at(&model, &f, &sim.spec().clocks, &[]);
+        assert!(pred.all_points.is_empty());
+        assert!(pred.pareto_set.is_empty());
+        assert!(pred.max_speedup().is_none());
+        assert!(pred.min_energy().is_none());
+    }
+
+    #[test]
+    fn extremes_are_nan_safe() {
+        // A hand-built prediction with a NaN objective must not panic.
+        let nan_point = PredictedPoint {
+            config: FreqConfig::new(3505, 1001),
+            objectives: Objectives::new(f64::NAN, f64::NAN),
+            heuristic: false,
+        };
+        let good_point = PredictedPoint {
+            config: FreqConfig::new(3505, 1102),
+            objectives: Objectives::new(1.1, 0.9),
+            heuristic: false,
+        };
+        let pred = ParetoPrediction {
+            all_points: vec![nan_point, good_point],
+            pareto_set: vec![nan_point, good_point],
+        };
+        // Non-finite predictions are excluded from both extremes: the
+        // finite point wins each, with no panic.
+        assert_eq!(pred.max_speedup().unwrap().config, good_point.config);
+        assert_eq!(pred.min_energy().unwrap().config, good_point.config);
+
+        // A set with only NaN objectives recommends nothing.
+        let all_nan = ParetoPrediction {
+            all_points: vec![nan_point],
+            pareto_set: vec![nan_point],
+        };
+        assert!(all_nan.max_speedup().is_none());
+        assert!(all_nan.min_energy().is_none());
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //!   measurement protocol of §4.1, including simulated wall-clock
 //!   accounting (why exhaustive sweeps take 70 minutes per kernel);
 //! * [`nvml`] — a facade with NVML-shaped entry points;
+//! * [`registry`] — the typed [`Device`] registry mapping stable ids
+//!   (`titan-x`, `tesla-p100`, `tesla-k20c`) to specs and simulators;
 //! * [`runner`] — the [`GpuSimulator`]: run, sweep (scoped-thread-parallel)
 //!   and characterize kernels against the default-clock baseline;
 //! * [`noise`] — optional seeded measurement noise.
@@ -55,6 +57,7 @@ pub mod device;
 pub mod noise;
 pub mod nvml;
 pub mod power;
+pub mod registry;
 pub mod runner;
 pub mod sensor;
 pub mod timing;
@@ -68,6 +71,7 @@ pub use device::{CpiTable, DeviceSpec, EnergyTable};
 pub use noise::{NoiseModel, NoiseSampler};
 pub use nvml::{NvmlDevice, NvmlError};
 pub use power::{average_power, energy_j, PowerBreakdown};
+pub use registry::{Device, UnknownDevice};
 pub use runner::{Characterization, GpuSimulator, NormalizedMeasurement, UnsupportedConfig};
 pub use sensor::{measure, Measurement, MeasurementProtocol, NVML_SAMPLE_HZ};
 pub use timing::{execution_time, KernelDemand, TimingBreakdown};

@@ -1,0 +1,167 @@
+//! The device registry: every GPU the simulator can model, as a typed
+//! enum instead of a stringly-typed name.
+//!
+//! [`Device`] is the single source of truth for the mapping between
+//! stable textual ids (`titan-x`, `tesla-p100`, `tesla-k20c` — the
+//! values the CLI's `--device` flag accepts and model artifacts
+//! record) and the [`DeviceSpec`]/[`GpuSimulator`] constructors.
+//! Parsing an unknown id is a typed error ([`UnknownDevice`]) that
+//! lists the valid ids — never a silent fallback.
+
+use crate::device::DeviceSpec;
+use crate::runner::GpuSimulator;
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::str::FromStr;
+
+/// A GPU known to the simulator.
+///
+/// The paper evaluates on the GTX Titan X (four memory domains, the
+/// "interesting" case) and the Tesla P100 (single memory domain,
+/// §4.1's portability study); the Tesla K20c models the Kepler
+/// platform of the related DVFS measurement work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Device {
+    /// GTX Titan X (Maxwell, GM200) — the paper's primary platform.
+    TitanX,
+    /// Tesla P100 (Pascal, GP100) — single 715 MHz memory domain.
+    TeslaP100,
+    /// Tesla K20c (Kepler, GK110) — coarse clock tables.
+    TeslaK20c,
+}
+
+impl Device {
+    /// Every registered device, in CLI listing order.
+    pub fn all() -> [Device; 3] {
+        [Device::TitanX, Device::TeslaP100, Device::TeslaK20c]
+    }
+
+    /// The stable textual id (`titan-x`, `tesla-p100`, `tesla-k20c`)
+    /// used by the CLI and recorded in model artifacts.
+    pub const fn id(self) -> &'static str {
+        match self {
+            Device::TitanX => "titan-x",
+            Device::TeslaP100 => "tesla-p100",
+            Device::TeslaK20c => "tesla-k20c",
+        }
+    }
+
+    /// The full device specification.
+    pub fn spec(self) -> DeviceSpec {
+        match self {
+            Device::TitanX => DeviceSpec::titan_x(),
+            Device::TeslaP100 => DeviceSpec::tesla_p100(),
+            Device::TeslaK20c => DeviceSpec::tesla_k20c(),
+        }
+    }
+
+    /// A simulator for this device.
+    pub fn simulator(self) -> GpuSimulator {
+        GpuSimulator::new(self.spec())
+    }
+
+    /// The comma-separated list of valid ids, for error messages.
+    pub fn valid_ids() -> String {
+        Device::all()
+            .iter()
+            .map(|d| d.id())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Error returned when a device id does not name a registered device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownDevice {
+    /// The id that failed to parse.
+    pub given: String,
+}
+
+impl fmt::Display for UnknownDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown device `{}` (valid devices: {})",
+            self.given,
+            Device::valid_ids()
+        )
+    }
+}
+
+impl std::error::Error for UnknownDevice {}
+
+impl FromStr for Device {
+    type Err = UnknownDevice;
+
+    fn from_str(s: &str) -> Result<Device, UnknownDevice> {
+        Device::all()
+            .into_iter()
+            .find(|d| d.id() == s)
+            .ok_or_else(|| UnknownDevice { given: s.into() })
+    }
+}
+
+// Hand-written (de)serialization so artifacts record the stable id
+// (`"titan-x"`) rather than the Rust variant name.
+impl Serialize for Device {
+    fn serialize(&self) -> Value {
+        Value::String(self.id().to_string())
+    }
+}
+
+impl Deserialize for Device {
+    fn deserialize(v: &Value) -> Result<Device, serde::Error> {
+        match v {
+            Value::String(s) => s
+                .parse()
+                .map_err(|e: UnknownDevice| serde::Error::custom(format!("device: {e}"))),
+            other => Err(serde::Error::custom(format!(
+                "expected device id string, found {}",
+                serde::kind_name(other)
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_from_str() {
+        for device in Device::all() {
+            assert_eq!(device.id().parse::<Device>().unwrap(), device);
+            assert_eq!(device.to_string(), device.id());
+        }
+    }
+
+    #[test]
+    fn unknown_id_lists_valid_devices() {
+        let err = "teslap100".parse::<Device>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown device `teslap100`"), "{msg}");
+        assert!(msg.contains("titan-x, tesla-p100, tesla-k20c"), "{msg}");
+    }
+
+    #[test]
+    fn specs_match_legacy_constructors() {
+        assert_eq!(Device::TitanX.spec(), DeviceSpec::titan_x());
+        assert_eq!(Device::TeslaP100.spec(), DeviceSpec::tesla_p100());
+        assert_eq!(Device::TeslaK20c.spec(), DeviceSpec::tesla_k20c());
+    }
+
+    #[test]
+    fn serde_uses_stable_ids() {
+        let json = serde_json::to_string(&Device::TeslaP100).unwrap();
+        assert_eq!(json, "\"tesla-p100\"");
+        let back: Device = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Device::TeslaP100);
+        assert!(serde_json::from_str::<Device>("\"gtx-9000\"").is_err());
+    }
+}

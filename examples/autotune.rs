@@ -13,7 +13,7 @@
 use gpufreq::prelude::*;
 use gpufreq_kernel::{AnalysisConfig, KernelProfile};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let weight: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.5);
     assert!(
@@ -24,44 +24,31 @@ fn main() {
     // --- Load the kernel. ----------------------------------------------
     let (name, source, launch) = match args.get(1) {
         Some(path) => {
-            let text = std::fs::read_to_string(path).expect("read kernel source file");
+            let text = std::fs::read_to_string(path)?;
             (path.clone(), text, LaunchConfig::default())
         }
         None => {
-            let w = workload("matmul").unwrap();
+            let w = workload("matmul").expect("matmul is a built-in benchmark");
             (w.display_name.to_string(), w.source.clone(), w.launch)
         }
     };
-    let program = parse(&source).expect("kernel parses");
-    let kernel = program.first_kernel().expect("a __kernel function");
-    let profile = KernelProfile::from_kernel(kernel, &AnalysisConfig::default(), launch)
-        .expect("kernel analyzes");
+    let program = parse(&source)?;
+    let kernel = program.first_kernel().ok_or("no __kernel function found")?;
+    let profile = KernelProfile::from_kernel(kernel, &AnalysisConfig::default(), launch)?;
     let features = profile.static_features();
     println!("autotuning `{name}` (trade-off weight {weight}: 0=energy, 1=performance)\n");
 
-    // --- Train (reduced corpus for example speed). -----------------------
-    let sim = GpuSimulator::titan_x();
-    let corpus: Vec<_> = gpufreq::synth::generate_all()
-        .into_iter()
-        .step_by(3)
-        .collect();
-    let data = build_training_data(&sim, &corpus, 20);
-    let model = FreqScalingModel::train(
-        &data,
-        &ModelConfig {
-            speedup: SvrParams {
-                c: 100.0,
-                ..SvrParams::paper_speedup()
-            },
-            energy: SvrParams {
-                c: 100.0,
-                ..SvrParams::paper_energy()
-            },
-        },
-    );
+    // --- Train through the facade (reduced corpus for example speed). ----
+    let planner = Planner::builder()
+        .device(Device::TitanX)
+        .corpus(Corpus::Fast)
+        .settings(20)
+        .model_config(ModelConfig::fast())
+        .train()?;
+    let sim = planner.simulator();
 
     // --- Predict the Pareto set and scalarize. ---------------------------
-    let prediction = predict_pareto(&model, &features, &sim.spec().clocks);
+    let prediction = planner.predict(&features)?;
     let choice = prediction
         .pareto_set
         .iter()
@@ -69,11 +56,9 @@ fn main() {
         .max_by(|a, b| {
             let score =
                 |o: &gpufreq::pareto::Objectives| weight * o.speedup - (1.0 - weight) * o.energy;
-            score(&a.objectives)
-                .partial_cmp(&score(&b.objectives))
-                .unwrap()
+            score(&a.objectives).total_cmp(&score(&b.objectives))
         })
-        .expect("non-empty Pareto set");
+        .ok_or("empty Pareto set")?;
     println!(
         "chosen configuration: {} (predicted speedup {:.3}, energy {:.3})",
         choice.config, choice.objectives.speedup, choice.objectives.energy
@@ -81,9 +66,7 @@ fn main() {
 
     // --- Verify against ground truth. ------------------------------------
     let baseline = sim.run_default(&profile);
-    let tuned = sim
-        .run(&profile, choice.config)
-        .expect("supported configuration");
+    let tuned = sim.run(&profile, choice.config)?;
     let speedup = baseline.time_ms / tuned.time_ms;
     let energy = tuned.energy_j / baseline.energy_j;
     println!("\nmeasured on the simulator:");
@@ -113,4 +96,5 @@ fn main() {
             energy * 100.0
         );
     }
+    Ok(())
 }

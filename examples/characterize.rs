@@ -19,7 +19,7 @@ fn main() {
         }
         std::process::exit(1);
     };
-    let sim = GpuSimulator::titan_x();
+    let sim = Device::TitanX.simulator();
     let profile = w.profile();
     println!(
         "characterizing {} over all 177 configurations...\n",

@@ -33,7 +33,7 @@ fn main() {
         return;
     }
 
-    let sim = GpuSimulator::titan_x();
+    let sim = Device::TitanX.simulator();
     let default = sim.spec().clocks.default;
     println!(
         "the {} synthetic training micro-benchmarks (paper §3.3):\n",

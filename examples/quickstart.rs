@@ -1,53 +1,39 @@
-//! Quickstart: train a small model and predict the Pareto-optimal
-//! frequency settings of a kernel you provide as source text.
+//! Quickstart: train a small model through the [`Planner`] façade and
+//! predict the Pareto-optimal frequency settings of a kernel you
+//! provide as source text.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Uses a reduced training corpus (every 3rd micro-benchmark, 20
-//! frequency settings) so the whole example runs in seconds; the
-//! experiment binaries in `gpufreq-bench` use the full paper-scale
-//! corpus.
+//! Uses the reduced training corpus ([`Corpus::Fast`], 20 frequency
+//! settings) so the whole example runs in seconds; the experiment
+//! binaries in `gpufreq-bench` use the full paper-scale corpus.
+//!
+//! Every step returns a `Result` — malformed kernels, empty corpora
+//! and corrupt model artifacts are typed [`Error`] values, so `main`
+//! can simply use `?`.
 
 use gpufreq::prelude::*;
 
-fn main() {
-    // --- 1. The device (a simulated GTX Titan X). ---------------------
-    let sim = GpuSimulator::titan_x();
+fn main() -> Result<(), Error> {
+    // --- 1. Train through the facade (Fig. 2), reduced for speed. -----
+    let planner = Planner::builder()
+        .device(Device::TitanX)
+        .corpus(Corpus::Fast)
+        .settings(20)
+        .model_config(ModelConfig::fast())
+        .train()?;
+    let sim = planner.simulator();
     println!(
         "device: {} — {} supported configurations, default {}",
         sim.spec().name,
         sim.spec().clocks.actual_configs().len(),
         sim.spec().clocks.default
     );
+    println!("trained on {} samples\n", planner.model().trained_on());
 
-    // --- 2. Training phase (Fig. 2), reduced for speed. ---------------
-    let corpus: Vec<_> = gpufreq::synth::generate_all()
-        .into_iter()
-        .step_by(3)
-        .collect();
-    println!(
-        "training on {} micro-benchmarks x 20 frequency settings...",
-        corpus.len()
-    );
-    let data = build_training_data(&sim, &corpus, 20);
-    let model = FreqScalingModel::train(
-        &data,
-        &ModelConfig {
-            speedup: SvrParams {
-                c: 100.0,
-                ..SvrParams::paper_speedup()
-            },
-            energy: SvrParams {
-                c: 100.0,
-                ..SvrParams::paper_energy()
-            },
-        },
-    );
-    println!("trained on {} samples\n", model.trained_on());
-
-    // --- 3. A brand-new kernel, never executed. ------------------------
+    // --- 2. A brand-new kernel, never executed. ------------------------
     let source = r#"
         __kernel void saxpy_pow(__global float* x, __global float* y, float a) {
             uint i = get_global_id(0);
@@ -59,9 +45,7 @@ fn main() {
             y[i] = acc;
         }
     "#;
-    let program = parse(source).expect("kernel parses");
-    let analysis = analyze_kernel(program.first_kernel().unwrap()).expect("kernel analyzes");
-    let features = StaticFeatures::from_analysis(&analysis);
+    let (features, _) = gpufreq::core::analyze_source(source, None)?;
     println!("static features of `saxpy_pow`:");
     for (name, value) in gpufreq::kernel::STATIC_FEATURE_NAMES
         .iter()
@@ -72,8 +56,8 @@ fn main() {
         }
     }
 
-    // --- 4. Prediction phase (Fig. 3). ---------------------------------
-    let prediction = predict_pareto(&model, &features, &sim.spec().clocks);
+    // --- 3. Prediction phase (Fig. 3). ---------------------------------
+    let prediction = planner.predict(&features)?;
     println!("\npredicted Pareto-optimal frequency settings:");
     for point in &prediction.pareto_set {
         println!(
@@ -88,8 +72,11 @@ fn main() {
             }
         );
     }
-    let best_perf = prediction.max_speedup().expect("non-empty set");
-    let best_energy = prediction.min_energy().expect("non-empty set");
-    println!("\nfor maximum performance: apply {}", best_perf.config);
-    println!("for minimum energy:      apply {}", best_energy.config);
+    if let (Some(best_perf), Some(best_energy)) =
+        (prediction.max_speedup(), prediction.min_energy())
+    {
+        println!("\nfor maximum performance: apply {}", best_perf.config);
+        println!("for minimum energy:      apply {}", best_energy.config);
+    }
+    Ok(())
 }

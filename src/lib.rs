@@ -21,19 +21,37 @@
 //!
 //! # Quickstart
 //!
+//! The typed entry point is the [`Planner`](core::Planner) façade:
+//! pick a [`Device`](sim::Device), train, predict, persist — every
+//! step returns a [`Result`](core::Result) with a workspace
+//! [`Error`](core::Error) instead of panicking on malformed input.
+//!
 //! ```no_run
 //! use gpufreq::prelude::*;
 //!
+//! # fn main() -> Result<(), gpufreq::core::Error> {
 //! // Train on the synthetic corpus (Fig. 2).
-//! let sim = GpuSimulator::titan_x();
-//! let data = build_training_data(&sim, &gpufreq::synth::generate_all(), 40);
-//! let model = FreqScalingModel::train(&data, &ModelConfig::default());
+//! let planner = Planner::builder()
+//!     .device(Device::TitanX)
+//!     .corpus(Corpus::Full)
+//!     .settings(40)
+//!     .train()?;
 //!
 //! // Predict the Pareto-optimal frequency settings of a new kernel (Fig. 3).
-//! let kernel = gpufreq::workloads::workload("knn").unwrap();
-//! let prediction = predict_pareto(&model, &kernel.static_features(), &sim.spec().clocks);
+//! let kernel = gpufreq::workloads::workload("knn")
+//!     .expect("knn is one of the twelve benchmarks");
+//! let prediction = planner.predict(&kernel.static_features())?;
 //! println!("{} Pareto-optimal settings predicted", prediction.pareto_set.len());
+//!
+//! // Persist a versioned, device-tagged artifact for later reuse.
+//! planner.save("model.json")?;
+//! # Ok(())
+//! # }
 //! ```
+//!
+//! The pre-redesign free functions (`build_training_data`,
+//! `FreqScalingModel::train`, `predict_pareto`) remain re-exported
+//! through the prelude for existing callers.
 
 pub use gpufreq_core as core;
 pub use gpufreq_kernel as kernel;
@@ -47,13 +65,14 @@ pub use gpufreq_workloads as workloads;
 pub mod prelude {
     pub use gpufreq_core::{
         build_training_data, error_analysis, evaluate_all, evaluate_workload, predict_pareto,
-        table2, FreqScalingModel, ModelConfig, Objective, ParetoPrediction,
+        table2, Corpus, Error, FreqScalingModel, ModelArtifact, ModelConfig, Objective,
+        ParetoPrediction, Planner, TrainedPlanner,
     };
     pub use gpufreq_kernel::{
         analyze_kernel, parse, FreqConfig, KernelProfile, LaunchConfig, StaticFeatures,
     };
     pub use gpufreq_ml::{Dataset, SvmKernel, SvrParams};
     pub use gpufreq_pareto::{pareto_front_simple, Objectives};
-    pub use gpufreq_sim::{DeviceSpec, GpuSimulator, Measurement, NvmlDevice};
+    pub use gpufreq_sim::{Device, DeviceSpec, GpuSimulator, Measurement, NvmlDevice};
     pub use gpufreq_workloads::{all_workloads, workload, Workload};
 }

@@ -172,6 +172,28 @@ fn model_persists_and_reloads_through_facade() {
 }
 
 #[test]
+fn facade_wraps_the_same_pipeline() {
+    // The Planner façade must be a pure repackaging of the free
+    // functions: wrapping the shared model in an artifact and
+    // predicting through TrainedPlanner gives bit-identical results.
+    let (sim, model) = setup();
+    let planner = TrainedPlanner::from_artifact(ModelArtifact::new(Device::TitanX, model.clone()));
+    assert_eq!(planner.device(), Device::TitanX);
+    let f = workload("knn").unwrap().static_features();
+    let via_facade = planner.predict(&f).unwrap();
+    let via_free_fn = predict_pareto(model, &f, &sim.spec().clocks);
+    assert_eq!(via_facade, via_free_fn);
+
+    // And the persisted artifact round-trips through save/load.
+    let dir = std::env::temp_dir().join("gpufreq-e2e-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("facade.json");
+    planner.save(&path).unwrap();
+    let reloaded = TrainedPlanner::load(&path).unwrap();
+    assert_eq!(reloaded.predict(&f).unwrap(), via_facade);
+}
+
+#[test]
 fn portability_same_model_predicts_on_p100() {
     // §4.1 notes the methodology is portable; the model trained on the
     // Titan X feature space can score P100 configurations (a single

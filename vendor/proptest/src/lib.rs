@@ -195,7 +195,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specification for [`vec`]: an exact count or a range.
+    /// Length specification for [`vec()`]: an exact count or a range.
     pub trait SizeRange {
         fn sample_len(&self, rng: &mut TestRng) -> usize;
     }
