@@ -1,16 +1,17 @@
 //! Diagnostic: per-domain head capacity — linear vs RBF speedup heads
 //! on the mem-H domain. Not part of the paper's experiment set.
 
-use gpufreq_core::build_training_data;
+use gpufreq_core::build_training_data_with;
 use gpufreq_kernel::FeatureVector;
 use gpufreq_ml::scale::MinMaxScaler;
 use gpufreq_ml::{rmse_percent, train_ols, train_svr, Dataset, SvmKernel, SvrParams};
 use gpufreq_sim::Device;
 
 fn main() {
+    let engine = gpufreq_bench::engine();
     let sim = Device::TitanX.simulator();
     let benches = gpufreq_synth::generate_all();
-    let data = build_training_data(&sim, &benches, 40);
+    let data = build_training_data_with(&engine, &sim, &benches, 40);
     let scaler = MinMaxScaler::fit(data.speedup.xs());
 
     // mem-H slice of the corpus.
@@ -23,17 +24,22 @@ fn main() {
     }
     eprintln!("mem-H training slice: {} samples", train.len());
 
-    // Test: the 12 workloads over all mem-H configs.
+    // Test: the 12 workloads over all mem-H configs, swept on the
+    // engine and flattened in workload order.
+    let workloads = gpufreq_workloads::all_workloads();
+    let inner_sim = sim.clone().with_jobs(engine.inner(workloads.len()).jobs());
     let mut test_rows = Vec::new();
     let mut test_truth = Vec::new();
-    for w in gpufreq_workloads::all_workloads() {
+    let swept = engine.map(&workloads, |w| {
         let profile = w.profile();
         let features = profile.static_features();
-        let c = sim.characterize_at(&profile, &sim.spec().clocks.actual_configs_for(3505));
+        let c =
+            inner_sim.characterize_at(&profile, &inner_sim.spec().clocks.actual_configs_for(3505));
+        (features, c)
+    });
+    for (features, c) in &swept {
         for p in &c.points {
-            let row = FeatureVector::new(&features, p.config())
-                .as_slice()
-                .to_vec();
+            let row = FeatureVector::new(features, p.config()).as_slice().to_vec();
             test_rows.push(scaler.transform(&row));
             test_truth.push(p.speedup);
         }

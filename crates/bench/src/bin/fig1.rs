@@ -7,16 +7,23 @@
 //! parabolic with an interior minimum for k-NN and rises with the core
 //! clock for MT.
 
-use gpufreq_bench::write_artifact;
+use gpufreq_bench::{engine, write_artifact};
 use gpufreq_core::series_csv;
 use gpufreq_sim::{Device, MemDomain};
 
 fn main() {
+    let engine = engine();
     let sim = Device::TitanX.simulator();
-    for name in ["knn", "mt"] {
+    // Characterize both workloads concurrently on the engine; results
+    // come back in input order, so the printed figures never reorder.
+    let names = ["knn", "mt"];
+    let inner_sim = sim.clone().with_jobs(engine.inner(names.len()).jobs());
+    let characterizations = engine.map(&names, |name| {
         let workload = gpufreq_workloads::workload(name).expect("known workload");
-        let profile = workload.profile();
-        let characterization = sim.characterize(&profile);
+        let characterization = inner_sim.characterize(&workload.profile());
+        (workload, characterization)
+    });
+    for (workload, characterization) in characterizations {
         println!("=== Figure 1: {} ===", workload.display_name);
         for domain in MemDomain::ALL.iter().rev() {
             let mem = domain.titan_x_mhz();
@@ -49,11 +56,11 @@ fn main() {
                 min_e_at
             );
             write_artifact(
-                &format!("fig1/{}_{}_speedup.csv", name, domain.label()),
+                &format!("fig1/{}_{}_speedup.csv", workload.name, domain.label()),
                 &series_csv(("core_mhz", "speedup"), &speedup_series),
             );
             write_artifact(
-                &format!("fig1/{}_{}_energy.csv", name, domain.label()),
+                &format!("fig1/{}_{}_energy.csv", workload.name, domain.label()),
                 &series_csv(("core_mhz", "normalized_energy"), &energy_series),
             );
         }

@@ -3,10 +3,9 @@
 //! where advertised core clocks above 1202 MHz silently clamp (the
 //! "gray points"), and the default configuration marker.
 
-use gpufreq_bench::write_artifact;
+use gpufreq_bench::{fig4_csv, write_artifact};
 use gpufreq_core::ascii_table;
 use gpufreq_sim::{Device, NvmlDevice};
-use std::fmt::Write as _;
 
 fn main() {
     for spec in [Device::TitanX.spec(), Device::TeslaP100.spec()] {
@@ -14,7 +13,9 @@ fn main() {
         println!("=== Figure 4: {} ===", nvml.device_get_name());
         let default = spec.clocks.default;
         let mut rows = Vec::new();
-        let mut csv = String::from("mem_mhz,core_mhz,effective_core_mhz,clamped,default\n");
+        // The CSV artifact is the shared deterministic generator the
+        // golden regression tests snapshot (tests/golden.rs).
+        let csv = fig4_csv(&spec);
         for mem in nvml.device_get_supported_memory_clocks() {
             let advertised = nvml
                 .device_get_supported_graphics_clocks(mem)
@@ -37,15 +38,6 @@ fn main() {
                     "-".to_string()
                 },
             ]);
-            for &core in &advertised {
-                let eff = domain.effective_core(core);
-                let _ = writeln!(
-                    csv,
-                    "{mem},{core},{eff},{},{}",
-                    (eff != core) as u8,
-                    (default.mem_mhz == mem && default.core_mhz == core) as u8
-                );
-            }
         }
         println!(
             "{}",

@@ -3,15 +3,15 @@
 //! pooled RMSE per domain (the paper reports 6.68 / 7.10 / 11.13 /
 //! 9.09 % for Mem_H / h / l / L).
 
-use gpufreq_bench::{paper_model, write_artifact};
-use gpufreq_core::{error_analysis, evaluate_all, render_error_panel, Objective};
+use gpufreq_bench::{engine, paper_model, write_artifact};
+use gpufreq_core::{error_analysis, evaluate_all_with, render_error_panel, Objective};
 use gpufreq_sim::Device;
 
 fn main() {
     let sim = Device::TitanX.simulator();
     let model = paper_model(&sim);
     let workloads = gpufreq_workloads::all_workloads();
-    let evals = evaluate_all(&sim, &model, &workloads);
+    let evals = evaluate_all_with(&engine(), &sim, &model, &workloads);
     let analysis = error_analysis(&sim, &model, &evals, Objective::Speedup);
     println!("=== Figure 6: prediction error of speedup ===\n");
     for domain in &analysis {

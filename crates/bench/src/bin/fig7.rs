@@ -2,15 +2,15 @@
 //! energy* model on the twelve test benchmarks (the paper reports
 //! RMSE 7.82 / 5.65 / 12.85 / 15.10 % for Mem_H / h / l / L).
 
-use gpufreq_bench::{paper_model, write_artifact};
-use gpufreq_core::{error_analysis, evaluate_all, render_error_panel, Objective};
+use gpufreq_bench::{engine, paper_model, write_artifact};
+use gpufreq_core::{error_analysis, evaluate_all_with, render_error_panel, Objective};
 use gpufreq_sim::Device;
 
 fn main() {
     let sim = Device::TitanX.simulator();
     let model = paper_model(&sim);
     let workloads = gpufreq_workloads::all_workloads();
-    let evals = evaluate_all(&sim, &model, &workloads);
+    let evals = evaluate_all_with(&engine(), &sim, &model, &workloads);
     let analysis = error_analysis(&sim, &model, &evals, Objective::Energy);
     println!("=== Figure 7: prediction error of normalized energy ===\n");
     for domain in &analysis {

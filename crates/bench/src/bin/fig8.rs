@@ -3,8 +3,8 @@
 //! measured objectives) against the blue front (measured optimum) and
 //! the default configuration (black cross at (1, 1)).
 
-use gpufreq_bench::{paper_model, write_artifact};
-use gpufreq_core::{evaluate_all, objectives_csv};
+use gpufreq_bench::{engine, paper_model, write_artifact};
+use gpufreq_core::{evaluate_all_with, objectives_csv};
 use gpufreq_sim::Device;
 use std::fmt::Write as _;
 
@@ -12,7 +12,7 @@ fn main() {
     let sim = Device::TitanX.simulator();
     let model = paper_model(&sim);
     let workloads = gpufreq_workloads::all_workloads();
-    let evals = evaluate_all(&sim, &model, &workloads);
+    let evals = evaluate_all_with(&engine(), &sim, &model, &workloads);
     println!("=== Figure 8: predicted vs real Pareto fronts ===\n");
     for eval in &evals {
         println!(

@@ -9,13 +9,15 @@
 //! to core-frequency selection — exactly why the paper calls the
 //! Titan X "more interesting".
 
-use gpufreq_bench::{artifacts_dir, write_artifact};
+use gpufreq_bench::{artifacts_dir, engine, write_artifact};
 use gpufreq_core::{
-    build_training_data, evaluate_all, render_table2, table2, FreqScalingModel, ModelConfig,
+    build_training_data_with, evaluate_all_with, render_table2, table2, FreqScalingModel,
+    ModelConfig,
 };
 use gpufreq_sim::Device;
 
 fn main() {
+    let engine = engine();
     let sim = Device::TeslaP100.simulator();
     let cache = artifacts_dir().join("model_p100.json");
     let model = if let Some(model) = std::fs::read_to_string(&cache)
@@ -26,13 +28,14 @@ fn main() {
         model
     } else {
         eprintln!("[gpufreq] training P100 model (106 micro-benchmarks x 40 settings)...");
-        let data = build_training_data(&sim, &gpufreq_synth::generate_all(), 40);
-        let model = FreqScalingModel::train(&data, &ModelConfig::default());
+        let data = build_training_data_with(&engine, &sim, &gpufreq_synth::generate_all(), 40);
+        let model = FreqScalingModel::try_train_with(&engine, &data, &ModelConfig::default())
+            .expect("paper corpus is non-empty");
         let _ = std::fs::write(&cache, model.to_json());
         model
     };
     let workloads = gpufreq_workloads::all_workloads();
-    let evals = evaluate_all(&sim, &model, &workloads);
+    let evals = evaluate_all_with(&engine, &sim, &model, &workloads);
     println!("=== Portability: Tesla P100 (single 715 MHz memory domain) ===\n");
     println!("{}", render_table2(&table2(&evals)));
     let improving = evals.iter().filter(|e| e.improves_on_default()).count();

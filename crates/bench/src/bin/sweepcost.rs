@@ -11,6 +11,7 @@ use gpufreq_core::ascii_table;
 use gpufreq_sim::Device;
 
 fn main() {
+    let engine = gpufreq_bench::engine();
     let sim = Device::TitanX.simulator();
     let bench = &gpufreq_synth::generate_all()[40]; // a mid-intensity micro-benchmark
     let profile = bench.profile();
@@ -18,20 +19,23 @@ fn main() {
         "=== Sweep cost accounting (micro-benchmark {}) ===\n",
         bench.name
     );
-    let mut rows = Vec::new();
-    for n in [10usize, 40, 80, 177] {
-        let configs = sim.spec().clocks.sample_configs(n);
-        let characterization = sim.characterize_at(&profile, &configs);
+    // The four sweep sizes are independent; fan them out on the engine
+    // (row order is the input order, so the table never reorders).
+    let sizes = [10usize, 40, 80, 177];
+    let inner_sim = sim.clone().with_jobs(engine.inner(sizes.len()).jobs());
+    let rows: Vec<Vec<String>> = engine.map(&sizes, |&n| {
+        let configs = inner_sim.spec().clocks.sample_configs(n);
+        let characterization = inner_sim.characterize_at(&profile, &configs);
         let minutes = characterization.sim_wall_s() / 60.0;
-        rows.push(vec![
+        vec![
             configs.len().to_string(),
             format!("{:.1}", minutes),
             format!(
                 "{:.1}",
                 characterization.sim_wall_s() / configs.len() as f64
             ),
-        ]);
-    }
+        ]
+    });
     println!(
         "{}",
         ascii_table(&["settings", "simulated minutes", "seconds/setting"], &rows)

@@ -2,15 +2,15 @@
 //! hypervolume coverage difference `D(P*, P′)`, set cardinalities, and
 //! extreme-point distances, sorted by coverage difference.
 
-use gpufreq_bench::{paper_model, write_artifact};
-use gpufreq_core::{evaluate_all, render_table2, table2};
+use gpufreq_bench::{engine, paper_model, write_artifact};
+use gpufreq_core::{evaluate_all_with, render_table2, table2, table2_csv};
 use gpufreq_sim::Device;
 
 fn main() {
     let sim = Device::TitanX.simulator();
     let model = paper_model(&sim);
     let workloads = gpufreq_workloads::all_workloads();
-    let evals = evaluate_all(&sim, &model, &workloads);
+    let evals = evaluate_all_with(&engine(), &sim, &model, &workloads);
     let rows = table2(&evals);
     println!("=== Table 2: evaluation of predicted Pareto fronts ===\n");
     println!("{}", render_table2(&rows));
@@ -31,4 +31,5 @@ fn main() {
     );
     let json = serde_json::to_string_pretty(&rows).expect("serializable");
     write_artifact("table2/rows.json", &json);
+    write_artifact("table2/rows.csv", &table2_csv(&rows));
 }

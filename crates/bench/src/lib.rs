@@ -5,13 +5,35 @@
 //! `sweepcost`), plus Criterion micro-benchmarks for the library
 //! itself. This library crate holds the shared setup: the
 //! paper-parameter training run (cached on disk so the figure binaries
-//! don't retrain) and common output plumbing.
+//! don't retrain), the [`Engine`] every binary fans out on (pin it
+//! with `GPUFREQ_JOBS=N` — output is bit-identical for every value),
+//! common output plumbing, and the deterministic CSV generators the
+//! golden regression tests in `tests/golden.rs` snapshot.
 
 #![warn(missing_docs)]
 
-use gpufreq_core::{build_training_data, FreqScalingModel, ModelConfig};
-use gpufreq_sim::GpuSimulator;
+use gpufreq_core::{
+    build_training_data_with, evaluate_all_with, table2, table2_csv, Engine, FreqScalingModel,
+    ModelConfig, Table2Row,
+};
+use gpufreq_sim::{DeviceSpec, GpuSimulator};
+use std::fmt::Write as _;
 use std::path::PathBuf;
+
+/// The execution engine the experiment binaries fan out on.
+///
+/// Worker count comes from the `GPUFREQ_JOBS` environment variable
+/// when set (CI pins `GPUFREQ_JOBS=2` on 2-core runners), otherwise
+/// every core. Every figure/table is bit-identical for every value —
+/// the engine merges in input order — so the variable only trades
+/// wall-clock.
+pub fn engine() -> Engine {
+    let jobs = std::env::var("GPUFREQ_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    Engine::new(jobs)
+}
 
 /// Directory where experiment binaries write their CSV/JSON artifacts.
 pub fn artifacts_dir() -> PathBuf {
@@ -28,8 +50,8 @@ pub fn model_cache_path() -> PathBuf {
 
 /// Train the paper-parameter model (106 micro-benchmarks × 40 sampled
 /// settings, linear-SVR speedup + RBF-SVR energy, `C = 1000`,
-/// `ε = 0.1`, `γ = 0.1`), caching the result as JSON so subsequent
-/// experiment binaries reuse it.
+/// `ε = 0.1`, `γ = 0.1`) on the [`engine`], caching the result as JSON
+/// so subsequent experiment binaries reuse it.
 pub fn paper_model(sim: &GpuSimulator) -> FreqScalingModel {
     let cache = model_cache_path();
     if let Ok(json) = std::fs::read_to_string(&cache) {
@@ -41,10 +63,13 @@ pub fn paper_model(sim: &GpuSimulator) -> FreqScalingModel {
     }
     eprintln!("[gpufreq] training phase: 106 micro-benchmarks x 40 settings...");
     let start = std::time::Instant::now();
+    let engine = engine();
     let benches = gpufreq_synth::generate_all();
-    let data = build_training_data(sim, &benches, gpufreq_synth::TRAINING_SETTINGS);
+    let data = build_training_data_with(&engine, sim, &benches, gpufreq_synth::TRAINING_SETTINGS);
     eprintln!("[gpufreq] corpus assembled: {} samples", data.len());
-    let model = FreqScalingModel::train(&data, &ModelConfig::default());
+    let model =
+        gpufreq_core::FreqScalingModel::try_train_with(&engine, &data, &ModelConfig::default())
+            .expect("paper corpus is non-empty");
     eprintln!(
         "[gpufreq] trained in {:.1}s ({} / {} support vectors)",
         start.elapsed().as_secs_f64(),
@@ -67,9 +92,66 @@ pub fn write_artifact(name: &str, contents: &str) {
     eprintln!("[gpufreq] wrote {}", path.display());
 }
 
+/// The Figure 4 CSV for one device: every advertised `(mem, core)`
+/// pair with its effective (possibly clamped) core clock and the
+/// default-configuration marker. Pure clock-table enumeration —
+/// deterministic by construction; snapshotted by the golden tests.
+pub fn fig4_csv(spec: &DeviceSpec) -> String {
+    let default = spec.clocks.default;
+    let mut csv = String::from("mem_mhz,core_mhz,effective_core_mhz,clamped,default\n");
+    for domain in &spec.clocks.domains {
+        let mem = domain.mem_mhz;
+        for &core in &domain.advertised_core_mhz {
+            let eff = domain.effective_core(core);
+            let _ = writeln!(
+                csv,
+                "{mem},{core},{eff},{},{}",
+                (eff != core) as u8,
+                (default.mem_mhz == mem && default.core_mhz == core) as u8
+            );
+        }
+    }
+    csv
+}
+
+/// Sampled settings of the pinned golden pipeline.
+pub const GOLDEN_SETTINGS: usize = 8;
+
+/// The hyper-parameters of the pinned golden pipeline:
+/// [`ModelConfig::relaxed`], the one test-suite preset shared with the
+/// determinism and property suites, bounded so the golden test
+/// finishes in seconds.
+pub fn golden_config() -> ModelConfig {
+    ModelConfig::relaxed()
+}
+
+/// Table 2 rows from a **pinned, reduced** pipeline on `sim`: every
+/// third micro-benchmark, [`GOLDEN_SETTINGS`] sampled settings,
+/// [`golden_config`] hyper-parameters. Small enough for a `#[test]`,
+/// deterministic enough to snapshot — the golden regression tests
+/// compare [`golden_table2_csv`] byte-for-byte against
+/// `artifacts/test/`.
+pub fn golden_table2_rows(sim: &GpuSimulator, engine: &Engine) -> Vec<Table2Row> {
+    let benches: Vec<_> = gpufreq_synth::generate_all()
+        .into_iter()
+        .step_by(3)
+        .collect();
+    let data = build_training_data_with(engine, sim, &benches, GOLDEN_SETTINGS);
+    let model = gpufreq_core::FreqScalingModel::try_train_with(engine, &data, &golden_config())
+        .expect("golden corpus is non-empty");
+    let evals = evaluate_all_with(engine, sim, &model, &gpufreq_workloads::all_workloads());
+    table2(&evals)
+}
+
+/// [`golden_table2_rows`] rendered as the snapshot CSV.
+pub fn golden_table2_csv(sim: &GpuSimulator, engine: &Engine) -> String {
+    table2_csv(&golden_table2_rows(sim, engine))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpufreq_sim::Device;
 
     #[test]
     fn artifacts_dir_is_created() {
@@ -83,5 +165,20 @@ mod tests {
         let p = artifacts_dir().join("test/_probe.txt");
         assert_eq!(std::fs::read_to_string(&p).unwrap(), "hello");
         let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn fig4_csv_counts_match_clock_table() {
+        let spec = Device::TitanX.spec();
+        let csv = fig4_csv(&spec);
+        let advertised: usize = spec
+            .clocks
+            .domains
+            .iter()
+            .map(|d| d.advertised_core_mhz.len())
+            .sum();
+        assert_eq!(csv.lines().count(), advertised + 1, "header + one per pair");
+        let defaults = csv.lines().filter(|l| l.ends_with(",1")).count();
+        assert_eq!(defaults, 1, "exactly one default marker");
     }
 }

@@ -11,10 +11,11 @@ gpufreq — predictable GPU frequency scaling (ICPP 2019 reproduction)
 USAGE:
     gpufreq devices
     gpufreq inspect <kernel.cl>
-    gpufreq train [--device <name>] [--settings <n>] [--fast] [--out <model.json>]
+    gpufreq train [--device <name>] [--settings <n>] [--fast] [--jobs <n>] [--out <model.json>]
     gpufreq predict <kernel.cl> --model <model.json> [--device <name>] [--json]
     gpufreq characterize <kernel.cl> [--device <name>] [--settings <n>]
-    gpufreq evaluate --model <model.json> [--device <name>]
+    gpufreq sweep <kernel.cl>... [--device <name>] [--settings <n>] [--jobs <n>]
+    gpufreq evaluate --model <model.json> [--device <name>] [--jobs <n>]
 
 DEVICES:
     titan-x (default), tesla-p100, tesla-k20c
@@ -23,6 +24,9 @@ OPTIONS:
     --device <name>     simulated device (train default: titan-x;
                         predict/evaluate default: the model's device)
     --settings <n>      sampled frequency settings (default: 40)
+    --jobs <n>          worker threads for train/sweep/evaluate
+                        (default: all cores; results are identical
+                        for every value)
     --model <path>      trained model JSON (from `gpufreq train`)
     --out <path>        where `train` writes the model (default: model.json)
     --fast              reduced corpus + relaxed solver (seconds, less accurate)
@@ -60,6 +64,12 @@ pub enum Command {
         /// Path to the kernel source.
         kernel: String,
     },
+    /// Batch-characterize several kernels concurrently through the
+    /// execution engine.
+    Sweep {
+        /// Paths of the kernel sources, reported in input order.
+        kernels: Vec<String>,
+    },
     /// Paper-style Table 2 over the twelve benchmarks.
     Evaluate {
         /// Path of the trained model.
@@ -80,6 +90,9 @@ pub struct ParsedArgs {
     pub device: Option<Device>,
     /// Sampled settings for sweeps/training.
     pub settings: usize,
+    /// Worker threads pinned with `--jobs`, if any (`None` = all
+    /// cores). Results are identical for every value.
+    pub jobs: Option<usize>,
 }
 
 impl ParsedArgs {
@@ -106,6 +119,7 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
     let mut positional: Vec<&str> = Vec::new();
     let mut device: Option<Device> = None;
     let mut settings = 40usize;
+    let mut jobs: Option<usize> = None;
     let mut model: Option<String> = None;
     let mut out = "model.json".to_string();
     let mut fast = false;
@@ -135,6 +149,16 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
                     return Err(ArgError("--settings must be positive".into()));
                 }
             }
+            "--jobs" => {
+                let v = it.next().ok_or(ArgError("--jobs needs a value".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("invalid --jobs value `{v}`")))?;
+                if n == 0 {
+                    return Err(ArgError("--jobs must be positive".into()));
+                }
+                jobs = Some(n);
+            }
             "--model" => {
                 model = Some(
                     it.next()
@@ -157,6 +181,7 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
             command: Command::Help,
             device,
             settings,
+            jobs,
         });
     }
     let Some((&cmd, rest)) = positional.split_first() else {
@@ -181,6 +206,16 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
         "characterize" => Command::Characterize {
             kernel: need_kernel(rest)?,
         },
+        "sweep" => {
+            if rest.is_empty() {
+                return Err(ArgError(
+                    "`sweep` needs at least one kernel source path".into(),
+                ));
+            }
+            Command::Sweep {
+                kernels: rest.iter().map(|s| s.to_string()).collect(),
+            }
+        }
         "evaluate" => Command::Evaluate {
             model: model.ok_or(ArgError("`evaluate` needs --model".into()))?,
         },
@@ -190,6 +225,7 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
         command,
         device,
         settings,
+        jobs,
     })
 }
 
@@ -257,6 +293,31 @@ mod tests {
         assert!(parse_args(&args("train --settings 0")).is_err());
         let p = parse_args(&args("train --settings 12")).unwrap();
         assert_eq!(p.settings, 12);
+    }
+
+    #[test]
+    fn sweep_takes_multiple_kernels_and_jobs() {
+        let p = parse_args(&args("sweep a.cl b.cl c.cl --jobs 4 --settings 8")).unwrap();
+        assert_eq!(
+            p.command,
+            Command::Sweep {
+                kernels: vec!["a.cl".into(), "b.cl".into(), "c.cl".into()]
+            }
+        );
+        assert_eq!(p.jobs, Some(4));
+        assert_eq!(p.settings, 8);
+        assert!(parse_args(&args("sweep")).is_err());
+    }
+
+    #[test]
+    fn jobs_must_be_numeric_and_positive() {
+        assert!(parse_args(&args("train --jobs abc")).is_err());
+        assert!(parse_args(&args("train --jobs 0")).is_err());
+        assert!(parse_args(&args("train --jobs")).is_err());
+        let p = parse_args(&args("train --jobs 2")).unwrap();
+        assert_eq!(p.jobs, Some(2));
+        let p = parse_args(&args("train")).unwrap();
+        assert_eq!(p.jobs, None);
     }
 
     #[test]

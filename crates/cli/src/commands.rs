@@ -8,8 +8,8 @@
 
 use crate::args::{Command, ParsedArgs, USAGE};
 use gpufreq_core::{
-    analyze_kernel_file, ascii_table, render_table2, table2, Corpus, ModelConfig, Planner,
-    TrainedPlanner,
+    analyze_kernel_file, ascii_table, render_table2, table2, Corpus, Engine, ModelConfig, Planner,
+    ProfileCache, TrainedPlanner,
 };
 use gpufreq_kernel::{memory_boundedness, STATIC_FEATURE_NAMES};
 use gpufreq_sim::Device;
@@ -33,6 +33,7 @@ pub fn dispatch(parsed: &ParsedArgs, out: &mut dyn Write) -> CmdResult {
             json,
         } => predict(parsed, kernel, model, *json, out),
         Command::Characterize { kernel } => characterize(parsed, kernel, out),
+        Command::Sweep { kernels } => sweep(parsed, kernels, out),
         Command::Evaluate { model } => evaluate(parsed, model, out),
     }
 }
@@ -108,6 +109,7 @@ fn train(parsed: &ParsedArgs, path: &str, fast: bool, out: &mut dyn Write) -> Cm
         .corpus(corpus)
         .settings(settings)
         .model_config(config)
+        .jobs(parsed.jobs)
         .train()?;
     planner.save(path)?;
     let (sv_s, sv_e) = planner.model().support_vectors();
@@ -124,10 +126,11 @@ fn train(parsed: &ParsedArgs, path: &str, fast: bool, out: &mut dyn Write) -> Cm
 /// mismatch error otherwise); when omitted, the artifact's own device
 /// is used.
 fn load_planner(parsed: &ParsedArgs, path: &str) -> Result<TrainedPlanner, gpufreq_core::Error> {
-    match parsed.device {
+    let planner = match parsed.device {
         Some(device) => TrainedPlanner::load_for_device(path, device),
         None => TrainedPlanner::load(path),
-    }
+    }?;
+    Ok(planner.with_jobs(parsed.jobs))
 }
 
 fn predict(
@@ -219,6 +222,73 @@ fn characterize(parsed: &ParsedArgs, kernel: &str, out: &mut dyn Write) -> CmdRe
     Ok(())
 }
 
+/// Batch-characterize several kernels: analyses go through one shared
+/// [`ProfileCache`] (a path passed twice — or two files with identical
+/// source — is parsed once) and the per-kernel frequency sweeps fan
+/// out over the [`Engine`], with results reported in input order.
+fn sweep(parsed: &ParsedArgs, kernels: &[String], out: &mut dyn Write) -> CmdResult {
+    let sim = parsed.device_or_default().simulator();
+    let engine = Engine::new(parsed.jobs);
+    let cache = ProfileCache::new();
+    let configs = sim.spec().clocks.sample_configs(parsed.settings);
+    // Read + analyze up front (I/O and the shared cache), sweep in
+    // parallel; any unreadable or malformed kernel fails the command
+    // before simulated minutes are spent on the others.
+    let mut profiles = Vec::with_capacity(kernels.len());
+    for path in kernels {
+        let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let analyzed = cache.analyze(&source).map_err(|e| format!("{path}: {e}"))?;
+        profiles.push(analyzed);
+    }
+    let inner_sim = sim.clone().with_jobs(engine.inner(profiles.len()).jobs());
+    let characterizations = engine.map(&profiles, |analyzed| {
+        inner_sim.characterize_at(&analyzed.1, &configs)
+    });
+    let mut rows = Vec::new();
+    for (path, c) in kernels.iter().zip(&characterizations) {
+        let best_speedup = c
+            .points
+            .iter()
+            .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+            .expect("sweep has points");
+        let min_energy = c
+            .points
+            .iter()
+            .min_by(|a, b| a.norm_energy.total_cmp(&b.norm_energy))
+            .expect("sweep has points");
+        rows.push(vec![
+            path.clone(),
+            c.kernel.clone(),
+            format!("{} @ {:.3}x", best_speedup.config(), best_speedup.speedup),
+            format!("{} @ {:.3}", min_energy.config(), min_energy.norm_energy),
+            format!("{:.1}", c.sim_wall_s() / 60.0),
+        ]);
+    }
+    writeln!(
+        out,
+        "swept {} kernel(s) on {} ({} settings, {} analysis cache hit(s)):",
+        kernels.len(),
+        sim.spec().name,
+        configs.len(),
+        cache.hits(),
+    )?;
+    write!(
+        out,
+        "{}",
+        ascii_table(
+            &[
+                "file",
+                "kernel",
+                "max speedup",
+                "min energy",
+                "simulated min"
+            ],
+            &rows
+        )
+    )?;
+    Ok(())
+}
+
 fn evaluate(parsed: &ParsedArgs, model_path: &str, out: &mut dyn Write) -> CmdResult {
     let planner = load_planner(parsed, model_path)?;
     let evals = planner.evaluate()?;
@@ -281,6 +351,33 @@ mod tests {
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("speedup"));
         assert!(out.contains("simulated sweep cost"));
+    }
+
+    #[test]
+    fn sweep_reports_all_kernels_in_input_order_with_cache_hits() {
+        let kernel = write_kernel();
+        // The same path twice: the second analysis is a cache hit; both
+        // still get their own row, and serial/parallel output is
+        // byte-identical.
+        let line = format!("sweep {kernel} {kernel} --settings 6 --jobs 2");
+        let (code, out) = run_str(&line);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("swept 2 kernel(s)"), "{out}");
+        assert!(out.contains("1 analysis cache hit(s)"), "{out}");
+        assert!(out.contains("saxpy"), "{out}");
+        let (code, serial_out) = run_str(&format!("sweep {kernel} {kernel} --settings 6 --jobs 1"));
+        assert_eq!(code, 0);
+        assert_eq!(serial_out, out, "sweep output must not depend on --jobs");
+    }
+
+    #[test]
+    fn sweep_fails_cleanly_on_missing_or_bad_kernels() {
+        let (code, out) = run_str("sweep /does/not/exist.cl");
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("/does/not/exist.cl"), "{out}");
+        let (code, out) = run_str("sweep");
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("USAGE"), "{out}");
     }
 
     #[test]

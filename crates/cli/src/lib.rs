@@ -15,8 +15,12 @@
 //! gpufreq train    [--device D] [--settings N] [--out model.json]
 //! gpufreq predict  <kernel.cl> --model model.json [--device D]
 //! gpufreq characterize <kernel.cl> [--device D]   measured sweep (ground truth)
+//! gpufreq sweep <kernel.cl>... [--jobs N]          batch sweeps via the engine
 //! gpufreq evaluate --model model.json [--device D] paper-style Table 2
 //! ```
+//!
+//! `--jobs N` pins the execution-engine worker count for `train`,
+//! `sweep` and `evaluate`; output is bit-identical for every value.
 
 #![warn(missing_docs)]
 

@@ -8,8 +8,9 @@
 //! never saw — a much stronger test than a random split, and the right
 //! granularity because codes within a family are nearly collinear.
 
+use crate::engine::Engine;
 use crate::model::{FreqScalingModel, ModelConfig};
-use crate::pipeline::{build_training_data, TrainingData};
+use crate::pipeline::{build_training_data_with, TrainingData};
 use gpufreq_kernel::FeatureVector;
 use gpufreq_ml::rmse_percent;
 use gpufreq_sim::GpuSimulator;
@@ -97,38 +98,71 @@ pub fn leave_one_pattern_out(
     settings_per_benchmark: usize,
     config: &ModelConfig,
 ) -> CrossValidation {
+    leave_one_pattern_out_with(
+        &Engine::default(),
+        sim,
+        corpus,
+        settings_per_benchmark,
+        config,
+    )
+}
+
+/// [`leave_one_pattern_out`] with whole folds (train on the rest,
+/// score the held-out family) fanned out over `engine`.
+///
+/// Folds are independent full pipeline runs and come back in sorted
+/// group order, so the cross-validation summary is bit-identical for
+/// every worker count (pinned by `tests/determinism.rs`). Each fold's
+/// internal sweeps and head fits run serially when the engine fans out
+/// ([`Engine::inner`]) — fold-level parallelism already fills the
+/// machine.
+pub fn leave_one_pattern_out_with(
+    engine: &Engine,
+    sim: &GpuSimulator,
+    corpus: &[MicroBenchmark],
+    settings_per_benchmark: usize,
+    config: &ModelConfig,
+) -> CrossValidation {
     let mut groups: Vec<String> = corpus.iter().map(|b| group_of(&b.name)).collect();
     groups.sort();
     groups.dedup();
-    let folds = groups
-        .iter()
-        .map(|group| {
-            let train_set: Vec<MicroBenchmark> = corpus
-                .iter()
-                .filter(|b| group_of(&b.name) != *group)
-                .cloned()
-                .collect();
-            let held_out: Vec<MicroBenchmark> = corpus
-                .iter()
-                .filter(|b| group_of(&b.name) == *group)
-                .cloned()
-                .collect();
-            let data = build_training_data(sim, &train_set, settings_per_benchmark);
-            let model = FreqScalingModel::train(&data, config);
-            score_fold(sim, &model, group, &held_out, settings_per_benchmark)
-        })
-        .collect();
+    let inner = engine.inner(groups.len());
+    let inner_sim = sim.clone().with_jobs(inner.jobs());
+    let folds = engine.map(&groups, |group| {
+        let train_set: Vec<MicroBenchmark> = corpus
+            .iter()
+            .filter(|b| group_of(&b.name) != *group)
+            .cloned()
+            .collect();
+        let held_out: Vec<MicroBenchmark> = corpus
+            .iter()
+            .filter(|b| group_of(&b.name) == *group)
+            .cloned()
+            .collect();
+        let data = build_training_data_with(&inner, &inner_sim, &train_set, settings_per_benchmark);
+        let model = FreqScalingModel::try_train_with(&inner, &data, config)
+            .expect("cross-validation fold has samples");
+        score_fold(
+            &inner,
+            &inner_sim,
+            &model,
+            group,
+            &held_out,
+            settings_per_benchmark,
+        )
+    });
     CrossValidation { folds }
 }
 
 fn score_fold(
+    engine: &Engine,
     sim: &GpuSimulator,
     model: &FreqScalingModel,
     group: &str,
     held_out: &[MicroBenchmark],
     settings: usize,
 ) -> FoldResult {
-    let truth: TrainingData = build_training_data(sim, held_out, settings);
+    let truth: TrainingData = build_training_data_with(engine, sim, held_out, settings);
     let mut pred_speedup = Vec::with_capacity(truth.len());
     let mut pred_energy = Vec::with_capacity(truth.len());
     for (i, cfg) in truth.row_configs.iter().enumerate() {

@@ -2,6 +2,7 @@
 //! error analysis (Figs. 6–7), Pareto-front comparison (Fig. 8) and the
 //! Table 2 metrics.
 
+use crate::engine::Engine;
 use crate::model::FreqScalingModel;
 use crate::predict::{ParetoPrediction, MEM_L_MHZ};
 use gpufreq_kernel::{FreqConfig, StaticFeatures};
@@ -189,10 +190,27 @@ pub fn evaluate_all(
     model: &FreqScalingModel,
     workloads: &[Workload],
 ) -> Vec<BenchmarkEvaluation> {
-    let mut evals: Vec<BenchmarkEvaluation> = workloads
-        .iter()
-        .map(|w| evaluate_workload(sim, model, w))
-        .collect();
+    evaluate_all_with(&Engine::default(), sim, model, workloads)
+}
+
+/// [`evaluate_all`] with the per-workload evaluations (ground-truth
+/// sweep + prediction + scoring) fanned out over `engine`.
+///
+/// Evaluations come back in workload order before the stable
+/// coverage-difference sort, so ties break identically for every
+/// worker count and the resulting Table 2 is bit-identical to a serial
+/// run (pinned by `tests/determinism.rs`). The sweeps inside each
+/// evaluation are pinned to one thread when the engine fans out
+/// ([`Engine::inner`]).
+pub fn evaluate_all_with(
+    engine: &Engine,
+    sim: &GpuSimulator,
+    model: &FreqScalingModel,
+    workloads: &[Workload],
+) -> Vec<BenchmarkEvaluation> {
+    let inner_sim = sim.clone().with_jobs(engine.inner(workloads.len()).jobs());
+    let mut evals: Vec<BenchmarkEvaluation> =
+        engine.map(workloads, |w| evaluate_workload(&inner_sim, model, w));
     evals.sort_by(|a, b| a.coverage_d.total_cmp(&b.coverage_d));
     evals
 }

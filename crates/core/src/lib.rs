@@ -11,6 +11,9 @@
 //!   returns;
 //! * [`artifact`] — [`ModelArtifact`], the versioned, device-tagged
 //!   persistence envelope;
+//! * [`engine`] — the parallel execution [`Engine`] (deterministic
+//!   index-ordered fan-out of training, evaluation, cross-validation
+//!   and batch prediction) and the shared [`ProfileCache`];
 //! * [`pipeline`] — the training phase (Fig. 2): execute the 106
 //!   synthetic micro-benchmarks at 40 sampled frequency settings and
 //!   assemble `(features ⊕ frequencies) → (speedup, normalized energy)`
@@ -64,6 +67,7 @@
 pub mod active;
 pub mod artifact;
 pub mod crossval;
+pub mod engine;
 pub mod error;
 pub mod evaluate;
 pub mod model;
@@ -74,16 +78,21 @@ pub mod report;
 
 pub use active::{refine_pareto, RefinedPoint, RefinedPrediction};
 pub use artifact::ModelArtifact;
-pub use crossval::{leave_one_pattern_out, CrossValidation, FoldResult};
+pub use crossval::{
+    leave_one_pattern_out, leave_one_pattern_out_with, CrossValidation, FoldResult,
+};
+pub use engine::{Engine, ProfileCache};
 pub use error::{Error, Result, MODEL_FORMAT_VERSION};
 pub use evaluate::{
-    error_analysis, evaluate_all, evaluate_workload, table2, BenchmarkErrors, BenchmarkEvaluation,
-    DomainErrorAnalysis, Objective, Table2Row, EVAL_SETTINGS,
+    error_analysis, evaluate_all, evaluate_all_with, evaluate_workload, table2, BenchmarkErrors,
+    BenchmarkEvaluation, DomainErrorAnalysis, Objective, Table2Row, EVAL_SETTINGS,
 };
 pub use model::{FreqScalingModel, ModelConfig};
-pub use pipeline::{build_training_data, TrainingData};
+pub use pipeline::{build_training_data, build_training_data_with, TrainingData};
 pub use planner::{
     analyze_kernel_file, analyze_source, Corpus, Planner, PlannerBuilder, TrainedPlanner,
 };
 pub use predict::{predict_pareto, predict_pareto_at, ParetoPrediction, PredictedPoint, MEM_L_MHZ};
-pub use report::{ascii_table, objectives_csv, render_error_panel, render_table2, series_csv};
+pub use report::{
+    ascii_table, objectives_csv, render_error_panel, render_table2, series_csv, table2_csv,
+};

@@ -7,6 +7,7 @@
 //! The paper samples 40 of the 177 settings per benchmark, giving
 //! 106 × 40 = 4240 training samples.
 
+use crate::engine::Engine;
 use gpufreq_kernel::{FeatureVector, FreqConfig};
 use gpufreq_ml::Dataset;
 use gpufreq_sim::GpuSimulator;
@@ -53,23 +54,55 @@ pub fn build_training_data(
     benchmarks: &[MicroBenchmark],
     settings_per_benchmark: usize,
 ) -> TrainingData {
+    build_training_data_with(&Engine::default(), sim, benchmarks, settings_per_benchmark)
+}
+
+/// [`build_training_data`] fanned out over `engine`: every benchmark's
+/// profile extraction and frequency sweep runs as one work item, and
+/// the per-benchmark sample blocks are merged back in corpus order, so
+/// the assembled datasets are bit-identical for every worker count
+/// (pinned by `tests/determinism.rs`).
+///
+/// When the engine fans out, the per-benchmark sweeps inside the
+/// simulator are pinned to a single thread ([`Engine::inner`]) —
+/// benchmark-level parallelism already saturates the cores and nested
+/// sweep threads would only oversubscribe.
+pub fn build_training_data_with(
+    engine: &Engine,
+    sim: &GpuSimulator,
+    benchmarks: &[MicroBenchmark],
+    settings_per_benchmark: usize,
+) -> TrainingData {
     let configs = sim.spec().clocks.sample_configs(settings_per_benchmark);
+    let inner_sim = sim.clone().with_jobs(engine.inner(benchmarks.len()).jobs());
+    // One work item per benchmark: (rows, speedups, energies, configs).
+    type BenchBlock = (Vec<Vec<f64>>, Vec<f64>, Vec<f64>, Vec<FreqConfig>);
+    let blocks: Vec<BenchBlock> = engine.map(benchmarks, |bench| {
+        let profile = bench.profile();
+        let features = profile.static_features();
+        let characterization = inner_sim.characterize_at(&profile, &configs);
+        let mut block: BenchBlock = Default::default();
+        for point in &characterization.points {
+            block.0.push(
+                FeatureVector::new(&features, point.config())
+                    .as_slice()
+                    .to_vec(),
+            );
+            block.1.push(point.speedup);
+            block.2.push(point.norm_energy);
+            block.3.push(point.config());
+        }
+        block
+    });
     let mut speedup = Dataset::new();
     let mut energy = Dataset::new();
     let mut row_configs = Vec::new();
-    for bench in benchmarks {
-        let profile = bench.profile();
-        let features = profile.static_features();
-        // The sweep itself is thread-parallel inside the simulator.
-        let characterization = sim.characterize_at(&profile, &configs);
-        for point in &characterization.points {
-            let row = FeatureVector::new(&features, point.config())
-                .as_slice()
-                .to_vec();
-            speedup.push(row.clone(), point.speedup);
-            energy.push(row, point.norm_energy);
-            row_configs.push(point.config());
+    for (rows, speedups, energies, cfgs) in blocks {
+        for ((row, s), e) in rows.into_iter().zip(speedups).zip(energies) {
+            speedup.push(row.clone(), s);
+            energy.push(row, e);
         }
+        row_configs.extend(cfgs);
     }
     TrainingData {
         speedup,
@@ -125,6 +158,18 @@ mod tests {
         let a = build_training_data(&sim, &benches, 6);
         let b = build_training_data(&sim, &benches, 6);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_assembly_matches_serial() {
+        let sim = GpuSimulator::titan_x();
+        let benches = small_corpus();
+        let serial = build_training_data_with(&Engine::serial(), &sim, &benches, 6);
+        for jobs in [2, 4, 16] {
+            let parallel = build_training_data_with(&Engine::new(Some(jobs)), &sim, &benches, 6);
+            assert_eq!(parallel, serial, "jobs = {jobs}");
+        }
+        assert_eq!(build_training_data(&sim, &benches, 6), serial);
     }
 
     #[test]

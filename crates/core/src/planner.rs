@@ -32,10 +32,11 @@
 //! [`Error`] values, never panics.
 
 use crate::artifact::ModelArtifact;
+use crate::engine::{Engine, ProfileCache};
 use crate::error::{Error, Result};
-use crate::evaluate::{evaluate_all, BenchmarkEvaluation};
+use crate::evaluate::{evaluate_all_with, BenchmarkEvaluation};
 use crate::model::{FreqScalingModel, ModelConfig};
-use crate::pipeline::build_training_data;
+use crate::pipeline::build_training_data_with;
 use crate::predict::{predict_pareto_at, ParetoPrediction};
 use gpufreq_kernel::{
     analyze_kernel_with, parse, AnalysisConfig, FreqConfig, KernelProfile, LaunchConfig,
@@ -43,6 +44,7 @@ use gpufreq_kernel::{
 };
 use gpufreq_sim::{Device, GpuSimulator};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Which slice of the 106 synthetic micro-benchmarks to train on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -75,6 +77,18 @@ impl Planner {
     pub fn builder() -> PlannerBuilder {
         PlannerBuilder::default()
     }
+
+    /// Train one planner per registered device (Titan X, Tesla P100,
+    /// Tesla K20c) concurrently, at the paper's defaults — the
+    /// portability study (§4.1) in one call. Planners come back in
+    /// [`Device::all`] order and share one [`ProfileCache`].
+    ///
+    /// Equivalent to
+    /// `Planner::builder().train_all_devices()`; use the builder to
+    /// reduce the corpus or pin the worker count first.
+    pub fn train_all_devices() -> Result<Vec<TrainedPlanner>> {
+        Planner::builder().train_all_devices()
+    }
 }
 
 /// Builder for a training run; finished by
@@ -85,6 +99,7 @@ pub struct PlannerBuilder {
     corpus: Corpus,
     settings: usize,
     config: ModelConfig,
+    engine: Engine,
 }
 
 impl Default for PlannerBuilder {
@@ -94,6 +109,7 @@ impl Default for PlannerBuilder {
             corpus: Corpus::Full,
             settings: gpufreq_synth::TRAINING_SETTINGS,
             config: ModelConfig::default(),
+            engine: Engine::default(),
         }
     }
 }
@@ -125,29 +141,72 @@ impl PlannerBuilder {
         self
     }
 
+    /// Worker threads for the training sweep, head fits, and every
+    /// parallel method of the resulting planner. `None` (the default)
+    /// uses every core; `Some(1)` is strictly serial. The trained model
+    /// is bit-identical for every value — only wall-clock changes
+    /// (pinned by `tests/determinism.rs`).
+    pub fn jobs(mut self, jobs: Option<usize>) -> PlannerBuilder {
+        self.engine = Engine::new(jobs);
+        self
+    }
+
     /// Run the training phase (Fig. 2): sweep the corpus on the
-    /// device's simulator and fit the per-domain SVR heads.
+    /// device's simulator and fit the per-domain SVR heads, fanning
+    /// both out over the configured [`jobs`](PlannerBuilder::jobs).
     ///
     /// # Errors
     /// [`Error::EmptyCorpus`] when the corpus × settings product is
     /// zero samples.
     pub fn train(self) -> Result<TrainedPlanner> {
+        let engine = self.engine;
+        self.train_with(&engine, ProfileCache::shared())
+    }
+
+    /// Train one planner per registered device concurrently, sharing
+    /// one [`ProfileCache`], in [`Device::all`] order — the
+    /// portability study (§4.1). The builder's `device` is ignored;
+    /// every other knob (corpus, settings, model config, jobs) applies
+    /// to each device's run.
+    ///
+    /// Device-level runs are outer work items; each run's internal
+    /// stages go serial while the outer level fans out
+    /// ([`Engine::inner`]).
+    pub fn train_all_devices(self) -> Result<Vec<TrainedPlanner>> {
+        let engine = self.engine;
+        let cache = ProfileCache::shared();
+        let devices = Device::all();
+        let inner = engine.inner(devices.len());
+        let results: Vec<Result<TrainedPlanner>> = engine.map(&devices, |device| {
+            self.clone()
+                .device(*device)
+                .train_with(&inner, Arc::clone(&cache))
+        });
+        results.into_iter().collect()
+    }
+
+    fn train_with(self, engine: &Engine, cache: Arc<ProfileCache>) -> Result<TrainedPlanner> {
         let sim = self.device.simulator();
-        let data = build_training_data(&sim, &self.corpus.benchmarks(), self.settings);
-        let model = FreqScalingModel::try_train(&data, &self.config)?;
+        let data = build_training_data_with(engine, &sim, &self.corpus.benchmarks(), self.settings);
+        let model = FreqScalingModel::try_train_with(engine, &data, &self.config)?;
         Ok(TrainedPlanner {
             artifact: ModelArtifact::new(self.device, model),
             sim,
+            engine: self.engine,
+            cache,
         })
     }
 }
 
-/// A trained planner: the model, its artifact metadata, and the
-/// simulator of the device it was trained on.
+/// A trained planner: the model, its artifact metadata, the simulator
+/// of the device it was trained on, plus the [`Engine`] and shared
+/// [`ProfileCache`] its batch methods use.
 #[derive(Debug, Clone)]
 pub struct TrainedPlanner {
     artifact: ModelArtifact,
     sim: GpuSimulator,
+    engine: Engine,
+    cache: Arc<ProfileCache>,
 }
 
 impl TrainedPlanner {
@@ -155,7 +214,45 @@ impl TrainedPlanner {
     /// [`ModelArtifact::load`]).
     pub fn from_artifact(artifact: ModelArtifact) -> TrainedPlanner {
         let sim = artifact.device.simulator();
-        TrainedPlanner { artifact, sim }
+        TrainedPlanner {
+            artifact,
+            sim,
+            engine: Engine::default(),
+            cache: ProfileCache::shared(),
+        }
+    }
+
+    /// Replace the engine driving [`predict_batch`] and
+    /// [`evaluate`](TrainedPlanner::evaluate); `Some(1)` pins them
+    /// serial, `None` uses every core. Results are identical either
+    /// way.
+    ///
+    /// [`predict_batch`]: TrainedPlanner::predict_batch
+    pub fn with_jobs(mut self, jobs: Option<usize>) -> TrainedPlanner {
+        self.engine = Engine::new(jobs);
+        self
+    }
+
+    /// Share `cache` with this planner (and with whoever else holds
+    /// it): kernels already analyzed — by another planner, the CLI, or
+    /// a previous batch — are never re-analyzed.
+    pub fn with_cache(mut self, cache: Arc<ProfileCache>) -> TrainedPlanner {
+        self.cache = cache;
+        self
+    }
+
+    /// The kernel-analysis cache backing [`predict_source`] and
+    /// [`predict_batch`]; clone the [`Arc`] to share it.
+    ///
+    /// [`predict_source`]: TrainedPlanner::predict_source
+    /// [`predict_batch`]: TrainedPlanner::predict_batch
+    pub fn cache(&self) -> &Arc<ProfileCache> {
+        &self.cache
+    }
+
+    /// The engine this planner's parallel methods run on.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Load a persisted artifact, validating format version and JSON
@@ -232,18 +329,36 @@ impl TrainedPlanner {
         ))
     }
 
-    /// Parse and analyze OpenCL-C `source`, then
-    /// [`predict`](TrainedPlanner::predict) for its first kernel.
+    /// Parse and analyze OpenCL-C `source` through the shared
+    /// [`ProfileCache`], then [`predict`](TrainedPlanner::predict) for
+    /// its first kernel. A source seen before — by this planner or any
+    /// planner sharing the cache — skips parsing and analysis.
     pub fn predict_source(&self, source: &str) -> Result<ParetoPrediction> {
-        let (features, _) = analyze_source(source, None)?;
-        self.predict(&features)
+        let analyzed = self.cache.analyze(source)?;
+        self.predict(&analyzed.0)
+    }
+
+    /// [`predict_source`](TrainedPlanner::predict_source) for a whole
+    /// batch of kernel sources, fanned out over this planner's
+    /// [`Engine`].
+    ///
+    /// Result `i` is exactly what `predict_source(sources[i])` returns
+    /// — including the error cases (a malformed kernel yields an `Err`
+    /// in its slot without disturbing its neighbours) — and the output
+    /// is bit-identical for every worker count. Duplicate sources are
+    /// analyzed once thanks to the shared cache; every prediction still
+    /// runs, since identical kernels still need their own result slot.
+    pub fn predict_batch(&self, sources: &[&str]) -> Vec<Result<ParetoPrediction>> {
+        self.engine.map(sources, |src| self.predict_source(src))
     }
 
     /// Evaluate the planner on the paper's twelve test benchmarks
     /// (ground-truth sweep + prediction at the same settings), in
-    /// Table 2 order.
+    /// Table 2 order, workloads fanned out over this planner's
+    /// [`Engine`].
     pub fn evaluate(&self) -> Result<Vec<BenchmarkEvaluation>> {
-        Ok(evaluate_all(
+        Ok(evaluate_all_with(
+            &self.engine,
             &self.sim,
             &self.artifact.model,
             &gpufreq_workloads::all_workloads(),
@@ -403,6 +518,47 @@ mod tests {
         // Loading for the wrong device is a typed mismatch.
         let err = TrainedPlanner::load_for_device(&path, Device::TitanX).unwrap_err();
         assert!(matches!(err, Error::DeviceMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_source_including_errors() {
+        let planner = fast_planner(Device::TitanX).with_jobs(Some(4));
+        let good = "__kernel void scale(__global float* x) {
+             uint i = get_global_id(0);
+             x[i] = x[i] * 2.0f;
+         }";
+        let bad = "int main() { return 0; }";
+        let results = planner.predict_batch(&[good, bad, good]);
+        assert_eq!(results.len(), 3);
+        assert_eq!(
+            results[0].as_ref().unwrap(),
+            &planner.predict_source(good).unwrap()
+        );
+        assert!(results[1].is_err());
+        assert_eq!(results[2].as_ref().unwrap(), results[0].as_ref().unwrap());
+        // One distinct valid source is stored (racing duplicates
+        // coalesce onto one entry; the error is never cached), and the
+        // serial predict_source above was necessarily a hit.
+        assert_eq!(planner.cache().len(), 1);
+        assert!(planner.cache().hits() >= 1);
+    }
+
+    #[test]
+    fn train_all_devices_covers_the_registry_in_order() {
+        let planners = Planner::builder()
+            .corpus(Corpus::Fast)
+            .settings(6)
+            .model_config(ModelConfig::relaxed())
+            .jobs(Some(3))
+            .train_all_devices()
+            .unwrap();
+        let devices: Vec<Device> = planners.iter().map(|p| p.device()).collect();
+        assert_eq!(devices, Device::all().to_vec());
+        // All three share one analysis cache.
+        assert!(Arc::ptr_eq(planners[0].cache(), planners[2].cache()));
+        for p in &planners {
+            assert!(p.model().trained_on() > 0);
+        }
     }
 
     #[test]

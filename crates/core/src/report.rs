@@ -112,6 +112,31 @@ pub fn render_error_panel(domain: &DomainErrorAnalysis, objective_name: &str) ->
     out
 }
 
+/// Serialize Table 2 as CSV — the golden-test representation: fixed
+/// six-decimal formatting, one row per benchmark in the given order, so
+/// two runs that agree numerically produce byte-identical files.
+pub fn table2_csv(rows: &[Table2Row]) -> String {
+    let mut out = String::from(
+        "benchmark,coverage_d,predicted_points,real_points,\
+         max_speedup_ds,max_speedup_de,min_energy_ds,min_energy_de\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{:.6},{},{},{:.6},{:.6},{:.6},{:.6}",
+            r.benchmark,
+            r.coverage_d,
+            r.predicted_points,
+            r.real_points,
+            r.max_speedup_dist.d_speedup,
+            r.max_speedup_dist.d_energy,
+            r.min_energy_dist.d_speedup,
+            r.min_energy_dist.d_energy,
+        );
+    }
+    out
+}
+
 /// Serialize an `(x, y)` series as CSV with a header line.
 pub fn series_csv(header: (&str, &str), points: &[(f64, f64)]) -> String {
     let mut out = format!("{},{}\n", header.0, header.1);

@@ -81,6 +81,7 @@ pub struct GpuSimulator {
     spec: DeviceSpec,
     protocol: MeasurementProtocol,
     noise: Option<NoiseModel>,
+    jobs: Option<usize>,
 }
 
 impl GpuSimulator {
@@ -90,6 +91,7 @@ impl GpuSimulator {
             spec,
             protocol: MeasurementProtocol::default(),
             noise: None,
+            jobs: None,
         }
     }
 
@@ -118,6 +120,23 @@ impl GpuSimulator {
     pub fn with_noise(mut self, noise: NoiseModel) -> GpuSimulator {
         self.noise = Some(noise);
         self
+    }
+
+    /// Pin the number of worker threads [`sweep`](GpuSimulator::sweep)
+    /// uses. `None` (the default) resolves to
+    /// [`std::thread::available_parallelism`]; `Some(1)` makes sweeps
+    /// strictly serial. Tests and CI runners with few cores use this to
+    /// fix the thread count instead of inheriting the machine's. The
+    /// measured results are identical either way — only wall-clock
+    /// changes.
+    pub fn with_jobs(mut self, jobs: Option<usize>) -> GpuSimulator {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The configured sweep-thread override, if any.
+    pub fn jobs(&self) -> Option<usize> {
+        self.jobs
     }
 
     /// The device being simulated.
@@ -192,9 +211,18 @@ impl GpuSimulator {
             .iter()
             .map(|&c| self.spec.clocks.resolve(c).ok_or(UnsupportedConfig(c)))
             .collect::<Result<_, _>>()?;
-        let threads = std::thread::available_parallelism()
-            .map_or(4, |n| n.get())
-            .min(16);
+        let threads = self
+            .jobs
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()))
+            .clamp(1, 16)
+            .min(resolved.len().max(1));
+        if threads <= 1 {
+            // Serial fast path: no worker threads at all.
+            return Ok(resolved
+                .into_iter()
+                .map(|c| self.run_resolved(profile, c))
+                .collect());
+        }
         let next = AtomicUsize::new(0);
         let indexed: Vec<(usize, Measurement)> = std::thread::scope(|s| {
             let workers: Vec<_> = (0..threads)
@@ -331,6 +359,26 @@ mod tests {
         let sim = GpuSimulator::titan_x();
         let c = sim.characterize(&saxpy());
         assert!(c.sim_wall_s() > c.baseline.sim_wall_s * c.points.len() as f64 * 0.5);
+    }
+
+    #[test]
+    fn sweep_results_are_identical_for_any_job_count() {
+        // Regression: `sweep` used to hardcode available_parallelism
+        // with no override, so CI could not pin the thread count.
+        let p = saxpy();
+        let configs = GpuSimulator::titan_x().spec().clocks.sample_configs(10);
+        let baseline = GpuSimulator::titan_x()
+            .with_jobs(Some(1))
+            .sweep(&p, &configs)
+            .unwrap();
+        for jobs in [None, Some(2), Some(4), Some(64)] {
+            let sim = GpuSimulator::titan_x().with_jobs(jobs);
+            assert_eq!(sim.jobs(), jobs);
+            assert_eq!(sim.sweep(&p, &configs).unwrap(), baseline, "jobs {jobs:?}");
+        }
+        // A zero override clamps to one worker rather than hanging.
+        let zero = GpuSimulator::titan_x().with_jobs(Some(0));
+        assert_eq!(zero.sweep(&p, &configs).unwrap(), baseline);
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Batch prediction: plan frequency settings for a whole queue of
+//! kernels in one call, with the engine fanning the work out across
+//! cores and the shared [`ProfileCache`] analyzing each distinct
+//! source exactly once.
+//!
+//! ```sh
+//! cargo run --release --example batch_predict
+//! ```
+//!
+//! The queue deliberately contains duplicates (a driver sees the same
+//! kernels over and over) and one malformed source — which comes back
+//! as a typed `Err` in its slot without disturbing its neighbours.
+
+use gpufreq::prelude::*;
+
+fn main() -> Result<(), Error> {
+    // --- Train once through the facade (reduced corpus for speed). ----
+    let planner = Planner::builder()
+        .device(Device::TitanX)
+        .corpus(Corpus::Fast)
+        .settings(20)
+        .model_config(ModelConfig::fast())
+        .train()?;
+
+    // --- A queue of kernel sources, duplicates and all. ---------------
+    let workloads = all_workloads();
+    let mut queue: Vec<&str> = workloads.iter().map(|w| w.source.as_str()).collect();
+    let repeat_from = queue.len();
+    queue.extend(
+        workloads
+            .iter()
+            .take(6)
+            .map(|w| w.source.as_str())
+            .collect::<Vec<_>>(),
+    );
+    queue.push("__kernel void broken("); // a malformed straggler
+
+    // --- One call: engine-parallel, cache-deduplicated. ----------------
+    let results = planner.predict_batch(&queue);
+    for (i, result) in results.iter().enumerate() {
+        let label = workloads
+            .get(i % workloads.len())
+            .map(|w| w.display_name)
+            .filter(|_| i < queue.len() - 1)
+            .unwrap_or("broken");
+        match result {
+            Ok(prediction) => {
+                let best = prediction
+                    .pareto_set
+                    .iter()
+                    .max_by(|a, b| a.objectives.speedup.total_cmp(&b.objectives.speedup))
+                    .expect("non-empty Pareto set");
+                println!(
+                    "{label:<16} {:2} Pareto points; max speedup {:.3} at {}",
+                    prediction.pareto_set.len(),
+                    best.objectives.speedup,
+                    best.config
+                );
+            }
+            Err(e) => println!("{label:<16} error: {e}"),
+        }
+    }
+
+    // --- The cache did the deduplication. ------------------------------
+    let cache = planner.cache();
+    println!(
+        "\n{} sources in the queue, {} analyzed, {} served from cache",
+        queue.len(),
+        cache.len(),
+        cache.hits()
+    );
+    // However the workers race, only the distinct valid sources end up
+    // stored (the malformed straggler is never cached).
+    assert_eq!(cache.len(), repeat_from);
+    assert_eq!(cache.hits() + cache.misses(), queue.len());
+
+    // Slot i of the batch is exactly predict_source(queue[i]).
+    let spot = planner.predict_source(queue[0])?;
+    assert_eq!(results[0].as_ref().unwrap(), &spot);
+    Ok(())
+}

@@ -64,9 +64,10 @@ pub use gpufreq_workloads as workloads;
 /// One-stop imports for the common workflow.
 pub mod prelude {
     pub use gpufreq_core::{
-        build_training_data, error_analysis, evaluate_all, evaluate_workload, predict_pareto,
-        table2, Corpus, Error, FreqScalingModel, ModelArtifact, ModelConfig, Objective,
-        ParetoPrediction, Planner, TrainedPlanner,
+        build_training_data, build_training_data_with, error_analysis, evaluate_all,
+        evaluate_all_with, evaluate_workload, predict_pareto, table2, Corpus, Engine, Error,
+        FreqScalingModel, ModelArtifact, ModelConfig, Objective, ParetoPrediction, Planner,
+        ProfileCache, TrainedPlanner,
     };
     pub use gpufreq_kernel::{
         analyze_kernel, parse, FreqConfig, KernelProfile, LaunchConfig, StaticFeatures,

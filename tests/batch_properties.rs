@@ -1,0 +1,176 @@
+//! Property tests for the batch-prediction engine: [`ProfileCache`]
+//! invariants and the `predict_batch` ⇔ `predict_source` contract.
+
+use gpufreq_core::{Corpus, Engine, ModelConfig, Planner, ProfileCache, TrainedPlanner};
+use gpufreq_sim::Device;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Deterministic kernel source with a tunable instruction mix — every
+/// distinct `(float_ops, int_ops, stride)` triple is a distinct source
+/// string, every equal triple an identical one.
+fn kernel_source(float_ops: u32, int_ops: u32, stride: u32) -> String {
+    let mut body = String::new();
+    for _ in 0..float_ops {
+        body.push_str("    f = f * 1.5f + 0.25f;\n");
+    }
+    for k in 0..int_ops {
+        body.push_str(&format!("    v = v + {};\n", k % 7 + 1));
+    }
+    format!(
+        "__kernel void k(__global float* x) {{
+            uint i = get_global_id(0);
+            float f = x[(i * {stride}u) & 1023u];
+            int v = (int)i;
+{body}            x[i & 1023u] = f + (float)v;
+        }}"
+    )
+}
+
+/// One planner for the whole file: trained once (fast corpus, relaxed
+/// solver), shared by every property case.
+fn planner() -> &'static TrainedPlanner {
+    static PLANNER: OnceLock<TrainedPlanner> = OnceLock::new();
+    PLANNER.get_or_init(|| {
+        Planner::builder()
+            .device(Device::TitanX)
+            .corpus(Corpus::Fast)
+            .settings(8)
+            .model_config(ModelConfig::relaxed())
+            .train()
+            .expect("fast corpus trains")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same source ⇒ same features and same profile, wherever the
+    /// analysis runs: a fresh analysis, a cache miss, and a cache hit
+    /// all agree.
+    #[test]
+    fn cache_same_source_same_features(
+        float_ops in 0u32..24,
+        int_ops in 0u32..24,
+        stride in 1u32..8,
+    ) {
+        let source = kernel_source(float_ops, int_ops, stride);
+        let direct = gpufreq_core::analyze_source(&source, None).unwrap();
+        let cache = ProfileCache::new();
+        let miss = cache.analyze(&source).unwrap();
+        let hit = cache.analyze(&source).unwrap();
+        prop_assert_eq!(&miss.0, &direct.0);
+        prop_assert_eq!(&hit.0, &direct.0);
+        prop_assert_eq!(&miss.1, &direct.1);
+        prop_assert_eq!(&hit.1, &direct.1);
+        prop_assert_eq!(cache.len(), 1);
+    }
+
+    /// Hit/miss counters are monotone over any interleaving of sources
+    /// (some repeated, some malformed), hits only grow on repeats, and
+    /// `hits + misses` equals the number of calls.
+    #[test]
+    fn cache_hit_count_is_monotone(
+        picks in prop::collection::vec((0usize..6, 0u32..3), 1..40)
+    ) {
+        let cache = ProfileCache::new();
+        let (mut last_hits, mut last_misses) = (0usize, 0usize);
+        let mut seen: Vec<u64> = Vec::new();
+        for (i, &(variant, stride)) in picks.iter().enumerate() {
+            // Variant 5 is a malformed source; the rest are valid
+            // kernels distinguished by their instruction mix.
+            let result = if variant == 5 {
+                cache.analyze("this is not a kernel").map(|_| ())
+            } else {
+                cache
+                    .analyze(&kernel_source(variant as u32, 2, stride + 1))
+                    .map(|_| ())
+            };
+            prop_assert_eq!(result.is_err(), variant == 5);
+            let (hits, misses) = (cache.hits(), cache.misses());
+            prop_assert!(hits >= last_hits, "hits went backwards");
+            prop_assert!(misses >= last_misses, "misses went backwards");
+            prop_assert_eq!(hits + misses, i + 1);
+            let key = (variant as u64) << 32 | stride as u64;
+            if variant != 5 && seen.contains(&key) {
+                prop_assert_eq!(hits, last_hits + 1);
+            }
+            seen.push(key);
+            (last_hits, last_misses) = (hits, misses);
+        }
+        prop_assert!(cache.len() <= 5 * 3, "only distinct valid sources are stored");
+    }
+
+    /// `predict_batch` slot `i` is exactly `predict_source(sources[i])`
+    /// — Ok and Err cases alike — for serial and parallel engines.
+    #[test]
+    fn predict_batch_matches_predict_source(
+        mixes in prop::collection::vec((0u32..16, 0u32..16, 0u32..5), 1..10),
+        jobs in 1usize..5,
+    ) {
+        let planner = planner().clone().with_jobs(Some(jobs));
+        // stride 0 marks a malformed source slot.
+        let sources: Vec<String> = mixes
+            .iter()
+            .map(|&(f, i, stride)| {
+                if stride == 0 {
+                    format!("void broken_{f}_{i}(")
+                } else {
+                    kernel_source(f, i, stride)
+                }
+            })
+            .collect();
+        let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+        let batch = planner.predict_batch(&refs);
+        prop_assert_eq!(batch.len(), refs.len());
+        for (slot, source) in batch.iter().zip(&sources) {
+            let single = planner.predict_source(source);
+            match (slot, &single) {
+                (Ok(b), Ok(s)) => prop_assert_eq!(b, s),
+                (Err(b), Err(s)) => {
+                    prop_assert_eq!(format!("{b}"), format!("{s}"))
+                }
+                _ => prop_assert!(
+                    false,
+                    "batch and single disagree on fallibility for {source:?}"
+                ),
+            }
+        }
+    }
+
+    /// Batch prediction through any engine equals the serial engine's
+    /// output (the engine only changes scheduling, never results).
+    #[test]
+    fn predict_batch_is_engine_invariant(
+        seeds in prop::collection::vec(0u32..12, 1..8),
+        jobs in 2usize..6,
+    ) {
+        let sources: Vec<String> = seeds
+            .iter()
+            .map(|&s| kernel_source(s, 11 - s.min(11), s % 3 + 1))
+            .collect();
+        let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+        let serial: Vec<_> = planner()
+            .clone()
+            .with_jobs(Some(1))
+            .predict_batch(&refs)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        let parallel: Vec<_> = planner()
+            .clone()
+            .with_jobs(Some(jobs))
+            .predict_batch(&refs)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        prop_assert_eq!(parallel, serial);
+    }
+}
+
+#[test]
+fn engine_is_exported_and_defaults_sanely() {
+    // The prelude-level contract the properties rely on.
+    assert_eq!(Engine::serial().effective_jobs(100), 1);
+    assert!(Engine::default().effective_jobs(100) >= 1);
+}

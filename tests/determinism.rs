@@ -1,0 +1,149 @@
+//! Determinism harness: every parallel path must be bit-identical to
+//! its serial twin.
+//!
+//! The execution engine merges worker results by index, so training,
+//! evaluation, cross-validation and batch prediction are specified to
+//! produce the same bytes for `--jobs 1` and `--jobs 4` (and any other
+//! worker count) — this suite pins that contract at the artifact-JSON
+//! and Table 2 level, the representations that get persisted and
+//! compared across machines.
+
+use gpufreq_core::{
+    build_training_data_with, evaluate_all_with, leave_one_pattern_out_with, table2, table2_csv,
+    Corpus, Engine, FreqScalingModel, ModelConfig, Planner, TrainedPlanner,
+};
+use gpufreq_sim::{Device, GpuSimulator};
+use gpufreq_synth::MicroBenchmark;
+
+/// The shared test-suite solver preset: fast enough for CI, same code
+/// path as the paper parameters.
+fn fast_config() -> ModelConfig {
+    ModelConfig::relaxed()
+}
+
+fn small_corpus() -> Vec<MicroBenchmark> {
+    gpufreq_synth::generate_all()
+        .into_iter()
+        .step_by(5)
+        .collect()
+}
+
+fn train_planner(jobs: usize) -> TrainedPlanner {
+    Planner::builder()
+        .device(Device::TitanX)
+        .corpus(Corpus::Fast)
+        .settings(8)
+        .model_config(fast_config())
+        .jobs(Some(jobs))
+        .train()
+        .expect("fast corpus trains")
+}
+
+#[test]
+fn training_artifact_json_is_identical_serial_vs_parallel() {
+    let serial = train_planner(1);
+    let parallel = train_planner(4);
+    assert_eq!(
+        serial.artifact().to_json(),
+        parallel.artifact().to_json(),
+        "--jobs 4 must persist byte-identical model artifacts to --jobs 1"
+    );
+}
+
+#[test]
+fn training_data_is_identical_for_every_worker_count() {
+    let sim = GpuSimulator::titan_x();
+    let corpus = small_corpus();
+    let serial = build_training_data_with(&Engine::serial(), &sim, &corpus, 6);
+    for jobs in [2, 4, 16] {
+        let parallel = build_training_data_with(&Engine::new(Some(jobs)), &sim, &corpus, 6);
+        assert_eq!(parallel, serial, "jobs = {jobs}");
+    }
+}
+
+#[test]
+fn evaluate_all_and_table2_are_identical_serial_vs_parallel() {
+    let sim = GpuSimulator::titan_x();
+    let data = build_training_data_with(&Engine::default(), &sim, &small_corpus(), 8);
+    let model = FreqScalingModel::try_train_with(&Engine::default(), &data, &fast_config())
+        .expect("corpus is non-empty");
+    let workloads = gpufreq_workloads::all_workloads();
+    let serial = evaluate_all_with(&Engine::serial(), &sim, &model, &workloads);
+    let parallel = evaluate_all_with(&Engine::new(Some(4)), &sim, &model, &workloads);
+    assert_eq!(parallel, serial, "full evaluations must match");
+    // And the level users diff: rendered Table 2 rows, byte for byte.
+    assert_eq!(table2_csv(&table2(&parallel)), table2_csv(&table2(&serial)));
+}
+
+#[test]
+fn cross_validation_is_identical_serial_vs_parallel() {
+    let sim = GpuSimulator::titan_x();
+    // Three pattern families x three intensities: three folds.
+    let corpus: Vec<MicroBenchmark> = gpufreq_synth::generate_all()
+        .into_iter()
+        .filter(|b| {
+            ["b-int-add-", "b-float-mul-", "b-gl-access-"]
+                .iter()
+                .any(|p| b.name.starts_with(p))
+        })
+        .filter(|b| b.name.ends_with("-4") || b.name.ends_with("-32") || b.name.ends_with("-256"))
+        .collect();
+    let serial = leave_one_pattern_out_with(&Engine::serial(), &sim, &corpus, 8, &fast_config());
+    let parallel =
+        leave_one_pattern_out_with(&Engine::new(Some(4)), &sim, &corpus, 8, &fast_config());
+    assert_eq!(parallel, serial);
+    assert_eq!(
+        serde_json::to_string(&parallel).unwrap(),
+        serde_json::to_string(&serial).unwrap(),
+        "per-fold JSON must be byte-identical"
+    );
+}
+
+#[test]
+fn predict_batch_is_identical_serial_vs_parallel() {
+    let planner = train_planner(2);
+    let sources: Vec<String> = gpufreq_workloads::all_workloads()
+        .iter()
+        .map(|w| w.source.clone())
+        .collect();
+    let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+    let serial: Vec<_> = planner
+        .clone()
+        .with_jobs(Some(1))
+        .predict_batch(&refs)
+        .into_iter()
+        .map(|r| r.expect("workload kernels analyze"))
+        .collect();
+    let parallel: Vec<_> = planner
+        .with_jobs(Some(4))
+        .predict_batch(&refs)
+        .into_iter()
+        .map(|r| r.expect("workload kernels analyze"))
+        .collect();
+    assert_eq!(parallel, serial);
+}
+
+#[test]
+fn train_all_devices_is_identical_serial_vs_parallel() {
+    let build = |jobs: usize| {
+        Planner::builder()
+            .corpus(Corpus::Fast)
+            .settings(6)
+            .model_config(fast_config())
+            .jobs(Some(jobs))
+            .train_all_devices()
+            .expect("fast corpus trains on every device")
+    };
+    let serial = build(1);
+    let parallel = build(3);
+    assert_eq!(serial.len(), Device::all().len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.device(), p.device());
+        assert_eq!(
+            s.artifact().to_json(),
+            p.artifact().to_json(),
+            "device {}",
+            s.device()
+        );
+    }
+}
