@@ -1,5 +1,8 @@
 //! Diagnostic: per-domain head capacity — linear vs RBF speedup heads
-//! on the mem-H domain. Not part of the paper's experiment set.
+//! on the mem-H domain. Not part of the paper's experiment set, so it
+//! carries no `gpufreq report` section and prints no paper-vs-repro
+//! delta table — the scored reproduction lives in `REPRODUCTION.md`
+//! (see `gpufreq_bench::report`).
 
 use gpufreq_core::build_training_data_with;
 use gpufreq_kernel::FeatureVector;

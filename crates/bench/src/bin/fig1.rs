@@ -7,6 +7,7 @@
 //! parabolic with an interior minimum for k-NN and rises with the core
 //! clock for MT.
 
+use gpufreq_bench::report::{render::render_section_text, section_fig1};
 use gpufreq_bench::{engine, write_artifact};
 use gpufreq_core::series_csv;
 use gpufreq_sim::{Device, MemDomain};
@@ -23,7 +24,7 @@ fn main() {
         let characterization = inner_sim.characterize(&workload.profile());
         (workload, characterization)
     });
-    for (workload, characterization) in characterizations {
+    for (workload, characterization) in &characterizations {
         println!("=== Figure 1: {} ===", workload.display_name);
         for domain in MemDomain::ALL.iter().rev() {
             let mem = domain.titan_x_mhz();
@@ -73,6 +74,15 @@ fn main() {
         );
         println!();
     }
+    // The same data scored against the paper, exactly as `gpufreq
+    // report` embeds it.
+    print!(
+        "{}",
+        render_section_text(&section_fig1(
+            &characterizations[0].1,
+            &characterizations[1].1
+        ))
+    );
 }
 
 fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {

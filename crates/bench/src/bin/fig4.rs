@@ -3,6 +3,7 @@
 //! where advertised core clocks above 1202 MHz silently clamp (the
 //! "gray points"), and the default configuration marker.
 
+use gpufreq_bench::report::{render::render_section_text, section_fig4};
 use gpufreq_bench::{fig4_csv, write_artifact};
 use gpufreq_core::ascii_table;
 use gpufreq_sim::{Device, NvmlDevice};
@@ -71,4 +72,7 @@ fn main() {
         };
         write_artifact(file, &csv);
     }
+    // Both clock tables scored against the paper, exactly as `gpufreq
+    // report` embeds them.
+    print!("{}", render_section_text(&section_fig4()));
 }

@@ -8,6 +8,7 @@
 //! Filter, Bit Compression, MT, Blackscholes) is memory-dominated and
 //! collapses toward vertical clusters.
 
+use gpufreq_bench::report::{render::render_section_text, section_fig5};
 use gpufreq_bench::write_artifact;
 use gpufreq_sim::{Device, MemDomain};
 use std::fmt::Write as _;
@@ -35,7 +36,7 @@ fn main() {
         let characterization = inner_sim.characterize(&workload.profile());
         (workload, characterization)
     });
-    for (name, (workload, characterization)) in SELECTION.iter().zip(characterizations) {
+    for (name, (workload, characterization)) in SELECTION.iter().zip(&characterizations) {
         println!("=== Figure 5: {} ===", workload.display_name);
         let mut csv = String::from("mem_mhz,core_mhz,speedup,normalized_energy\n");
         for domain in MemDomain::ALL.iter().rev() {
@@ -88,6 +89,10 @@ fn main() {
         );
         write_artifact(&format!("fig5/{name}.csv"), &csv);
     }
+    // The eight characterizations scored against the paper's
+    // compute/memory grouping, exactly as `gpufreq report` embeds them.
+    let items: Vec<_> = characterizations.iter().map(|(w, c)| (w, c)).collect();
+    print!("{}", render_section_text(&section_fig5(&items)));
 }
 
 fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {

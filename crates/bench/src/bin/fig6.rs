@@ -3,6 +3,7 @@
 //! pooled RMSE per domain (the paper reports 6.68 / 7.10 / 11.13 /
 //! 9.09 % for Mem_H / h / l / L).
 
+use gpufreq_bench::report::{render::render_section_text, section_fig6};
 use gpufreq_bench::{engine, paper_model, write_artifact};
 use gpufreq_core::{error_analysis, evaluate_all_with, render_error_panel, Objective};
 use gpufreq_sim::Device;
@@ -19,8 +20,7 @@ fn main() {
     }
     let json = serde_json::to_string_pretty(&analysis).expect("serializable");
     write_artifact("fig6/speedup_errors.json", &json);
-    println!("RMSE summary (paper: Mem_H 6.68%, Mem_h 7.10%, Mem_l 11.13%, Mem_L 9.09%):");
-    for domain in &analysis {
-        println!("  {:6} RMSE = {:.2}%", domain.label, domain.rmse_percent);
-    }
+    // The per-domain RMSEs scored against the paper's captions,
+    // exactly as `gpufreq report` embeds them.
+    print!("{}", render_section_text(&section_fig6(&analysis)));
 }

@@ -2,6 +2,7 @@
 //! energy* model on the twelve test benchmarks (the paper reports
 //! RMSE 7.82 / 5.65 / 12.85 / 15.10 % for Mem_H / h / l / L).
 
+use gpufreq_bench::report::{render::render_section_text, section_fig7};
 use gpufreq_bench::{engine, paper_model, write_artifact};
 use gpufreq_core::{error_analysis, evaluate_all_with, render_error_panel, Objective};
 use gpufreq_sim::Device;
@@ -18,8 +19,7 @@ fn main() {
     }
     let json = serde_json::to_string_pretty(&analysis).expect("serializable");
     write_artifact("fig7/energy_errors.json", &json);
-    println!("RMSE summary (paper: Mem_H 7.82%, Mem_h 5.65%, Mem_l 12.85%, Mem_L 15.10%):");
-    for domain in &analysis {
-        println!("  {:6} RMSE = {:.2}%", domain.label, domain.rmse_percent);
-    }
+    // The per-domain RMSEs scored against the paper's captions,
+    // exactly as `gpufreq report` embeds them.
+    print!("{}", render_section_text(&section_fig7(&analysis)));
 }

@@ -3,6 +3,7 @@
 //! measured objectives) against the blue front (measured optimum) and
 //! the default configuration (black cross at (1, 1)).
 
+use gpufreq_bench::report::{render::render_section_text, section_fig8};
 use gpufreq_bench::{engine, paper_model, write_artifact};
 use gpufreq_core::{evaluate_all_with, objectives_csv};
 use gpufreq_sim::Device;
@@ -83,4 +84,7 @@ fn main() {
     let trading = evals.iter().filter(|e| e.offers_trade_off(0.05)).count();
     println!("summary: strict dominance over the default for {dominating}/12 benchmarks;");
     println!("         >=5% energy/performance trade-offs discovered for {trading}/12 benchmarks");
+    // The fronts scored against the paper's headline, exactly as
+    // `gpufreq report` embeds them.
+    print!("{}", render_section_text(&section_fig8(&evals)));
 }

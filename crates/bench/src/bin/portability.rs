@@ -9,6 +9,7 @@
 //! to core-frequency selection — exactly why the paper calls the
 //! Titan X "more interesting".
 
+use gpufreq_bench::report::{render::render_section_text, section_portability};
 use gpufreq_bench::{artifacts_dir, engine, write_artifact};
 use gpufreq_core::{
     build_training_data_with, evaluate_all_with, render_table2, table2, FreqScalingModel,
@@ -49,4 +50,7 @@ fn main() {
     }
     let json = serde_json::to_string_pretty(&table2(&evals)).expect("serializable");
     write_artifact("portability/p100_table.json", &json);
+    // The portability study scored against §4.1, exactly as `gpufreq
+    // report` embeds it.
+    print!("{}", render_section_text(&section_portability(&evals)));
 }

@@ -7,6 +7,7 @@
 //! (clock-switch settling + enough repetitions for a statistically
 //! consistent 62.5 Hz power average).
 
+use gpufreq_bench::report::{render::render_section_text, section_sweepcost};
 use gpufreq_core::ascii_table;
 use gpufreq_sim::Device;
 
@@ -21,25 +22,48 @@ fn main() {
     );
     // The four sweep sizes are independent; fan them out on the engine
     // (row order is the input order, so the table never reorders).
-    let sizes = [10usize, 40, 80, 177];
+    // The last sweep is the exhaustive one — sized from the clock
+    // table itself so this binary and `gpufreq report` always account
+    // the same sweep even if the table changes.
+    let exhaustive = sim.spec().clocks.actual_configs().len();
+    let sizes = [10usize, 40, 80, exhaustive];
     let inner_sim = sim.clone().with_jobs(engine.inner(sizes.len()).jobs());
-    let rows: Vec<Vec<String>> = engine.map(&sizes, |&n| {
+    let costs: Vec<(usize, f64)> = engine.map(&sizes, |&n| {
         let configs = inner_sim.spec().clocks.sample_configs(n);
         let characterization = inner_sim.characterize_at(&profile, &configs);
-        let minutes = characterization.sim_wall_s() / 60.0;
-        vec![
-            configs.len().to_string(),
-            format!("{:.1}", minutes),
-            format!(
-                "{:.1}",
-                characterization.sim_wall_s() / configs.len() as f64
-            ),
-        ]
+        (configs.len(), characterization.sim_wall_s() / 60.0)
     });
+    let rows: Vec<Vec<String>> = costs
+        .iter()
+        .map(|&(settings, minutes)| {
+            vec![
+                settings.to_string(),
+                format!("{minutes:.1}"),
+                format!("{:.1}", minutes * 60.0 / settings as f64),
+            ]
+        })
+        .collect();
     println!(
         "{}",
         ascii_table(&["settings", "simulated minutes", "seconds/setting"], &rows)
     );
     println!("paper: 40 settings = 20 min, 174 settings = 70 min per benchmark");
     println!("=> exhaustive search over 106 training codes would take days; sampling is required");
+    // The accounting scored against §3.3, exactly as `gpufreq report`
+    // embeds it.
+    let minutes_at = |target: usize| {
+        costs
+            .iter()
+            .find(|&&(n, _)| n == target)
+            .map(|&(_, m)| m)
+            .expect("swept size")
+    };
+    print!(
+        "{}",
+        render_section_text(&section_sweepcost(
+            minutes_at(40),
+            minutes_at(exhaustive),
+            exhaustive
+        ))
+    );
 }

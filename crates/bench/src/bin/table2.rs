@@ -2,6 +2,7 @@
 //! hypervolume coverage difference `D(P*, P′)`, set cardinalities, and
 //! extreme-point distances, sorted by coverage difference.
 
+use gpufreq_bench::report::{render::render_section_text, section_table2};
 use gpufreq_bench::{engine, paper_model, write_artifact};
 use gpufreq_core::{evaluate_all_with, render_table2, table2, table2_csv};
 use gpufreq_sim::Device;
@@ -32,4 +33,7 @@ fn main() {
     let json = serde_json::to_string_pretty(&rows).expect("serializable");
     write_artifact("table2/rows.json", &json);
     write_artifact("table2/rows.csv", &table2_csv(&rows));
+    // The table scored against the paper's headline counts, exactly as
+    // `gpufreq report` embeds it.
+    print!("{}", render_section_text(&section_table2(&evals)));
 }

@@ -9,8 +9,17 @@
 //! with `GPUFREQ_JOBS=N` — output is bit-identical for every value),
 //! common output plumbing, and the deterministic CSV generators the
 //! golden regression tests in `tests/golden.rs` snapshot.
+//!
+//! The [`report`] module turns all of it into the scored,
+//! cited reproduction report behind `gpufreq report`: every figure
+//! binary prints its section's paper-vs-repro delta table, and the
+//! checked-in `REPRODUCTION.md` / `reproduction.json` at the
+//! repository root are golden-tested against the `--fast` pipeline
+//! (`tests/report_golden.rs`).
 
 #![warn(missing_docs)]
+
+pub mod report;
 
 use gpufreq_core::{
     build_training_data_with, evaluate_all_with, table2, table2_csv, Engine, FreqScalingModel,

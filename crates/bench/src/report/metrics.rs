@@ -1,0 +1,217 @@
+//! Paper-vs-reproduction metric checks: deltas, tiers, scoreboard.
+//!
+//! A [`MetricCheck`] pairs one reproduced value with its published
+//! reference (see [`reference`](mod@super::reference)), computes the
+//! relative error, and grades the result into a [`Tier`]. The grading
+//! thresholds are deliberately coarse — the simulator reproduces the
+//! paper's *mechanisms*, not its exact silicon — so a tier change
+//! signals that the reproduction drifted, not that it disagrees with
+//! the hardware by some epsilon.
+
+use super::reference::Reference;
+use serde::{Deserialize, Serialize};
+
+/// How closely a reproduced value tracks its published reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Tier {
+    /// Within the pass threshold (or a qualitative claim that holds).
+    Pass,
+    /// Outside the pass threshold but within the warn threshold.
+    Warn,
+    /// Outside the warn threshold (or a qualitative claim that fails).
+    Fail,
+}
+
+impl Tier {
+    /// Lower-case word used in rendered tables (`pass`/`warn`/`FAIL`).
+    pub fn word(self) -> &'static str {
+        match self {
+            Tier::Pass => "pass",
+            Tier::Warn => "warn",
+            Tier::Fail => "FAIL",
+        }
+    }
+}
+
+/// One scored comparison between the paper and the reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricCheck {
+    /// Stable machine id, unique across the whole report
+    /// (`"fig6.rmse.mem_H"`); CI keys tier-regression checks on it.
+    pub id: String,
+    /// Human-readable name.
+    pub name: String,
+    /// Citation of the published value (`"§4.4, Fig. 6"`).
+    pub citation: String,
+    /// Published value, rendered (`"6.68 %"`, `"7/12"`, `"holds"`).
+    pub paper: String,
+    /// Reproduced value, rendered the same way.
+    pub reproduced: String,
+    /// Published value, numeric (unset for qualitative claims).
+    pub paper_value: Option<f64>,
+    /// Reproduced value, numeric (`1`/`0` for qualitative claims).
+    pub reproduced_value: f64,
+    /// `|reproduced - paper| / |paper|`, when both are numeric.
+    pub rel_err: Option<f64>,
+    /// The grade.
+    pub tier: Tier,
+}
+
+impl MetricCheck {
+    /// Compare a reproduced quantity against a published [`Reference`]:
+    /// relative error at most `pass_rel` grades [`Tier::Pass`], at most
+    /// `warn_rel` grades [`Tier::Warn`], anything beyond
+    /// [`Tier::Fail`].
+    pub fn quantitative(
+        reference: &Reference,
+        reproduced: f64,
+        pass_rel: f64,
+        warn_rel: f64,
+    ) -> MetricCheck {
+        let rel_err = (reproduced - reference.value).abs() / reference.value.abs().max(1e-12);
+        let tier = if rel_err <= pass_rel {
+            Tier::Pass
+        } else if rel_err <= warn_rel {
+            Tier::Warn
+        } else {
+            Tier::Fail
+        };
+        MetricCheck {
+            id: reference.id.to_string(),
+            name: reference.name.to_string(),
+            citation: reference.citation.to_string(),
+            paper: format!("{:.2}{}", reference.value, reference.unit),
+            reproduced: format!("{reproduced:.2}{}", reference.unit),
+            paper_value: Some(reference.value),
+            reproduced_value: reproduced,
+            rel_err: Some(rel_err),
+            tier,
+        }
+    }
+
+    /// Compare a reproduced *count* (out of the same denominator the
+    /// paper uses) against a published count where **more is better**:
+    /// reaching the paper's count passes, falling short by at most
+    /// `warn_slack` warns, anything lower fails.
+    pub fn count_at_least(
+        reference: &Reference,
+        reproduced: usize,
+        warn_slack: usize,
+    ) -> MetricCheck {
+        let paper = reference.value as usize;
+        let tier = if reproduced >= paper {
+            Tier::Pass
+        } else if reproduced + warn_slack >= paper {
+            Tier::Warn
+        } else {
+            Tier::Fail
+        };
+        MetricCheck {
+            id: reference.id.to_string(),
+            name: reference.name.to_string(),
+            citation: reference.citation.to_string(),
+            paper: format!("{paper}{}", reference.unit),
+            reproduced: format!("{reproduced}{}", reference.unit),
+            paper_value: Some(reference.value),
+            reproduced_value: reproduced as f64,
+            rel_err: None,
+            tier,
+        }
+    }
+
+    /// Compare a reproduced integer that must match the reference
+    /// exactly (clock-table structure, domain counts).
+    pub fn exact_count(reference: &Reference, reproduced: usize) -> MetricCheck {
+        let tier = if reproduced as f64 == reference.value {
+            Tier::Pass
+        } else {
+            Tier::Fail
+        };
+        MetricCheck {
+            id: reference.id.to_string(),
+            name: reference.name.to_string(),
+            citation: reference.citation.to_string(),
+            paper: format!("{}{}", reference.value as usize, reference.unit),
+            reproduced: format!("{reproduced}{}", reference.unit),
+            paper_value: Some(reference.value),
+            reproduced_value: reproduced as f64,
+            rel_err: None,
+            tier,
+        }
+    }
+
+    /// Grade a qualitative claim of the paper: `holds` passes, anything
+    /// else fails (there is no meaningful middle ground for a claim).
+    pub fn qualitative(id: &str, name: &str, citation: &str, holds: bool) -> MetricCheck {
+        MetricCheck {
+            id: id.to_string(),
+            name: name.to_string(),
+            citation: citation.to_string(),
+            paper: "holds".to_string(),
+            reproduced: if holds { "holds" } else { "violated" }.to_string(),
+            paper_value: None,
+            reproduced_value: if holds { 1.0 } else { 0.0 },
+            rel_err: None,
+            tier: if holds { Tier::Pass } else { Tier::Fail },
+        }
+    }
+
+    /// The relative error rendered for tables (`"12%"`), or `"—"` when
+    /// the comparison is not a ratio.
+    pub fn rel_err_display(&self) -> String {
+        match self.rel_err {
+            Some(e) => format!("{:.0}%", e * 100.0),
+            None => "—".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REF: Reference = Reference {
+        id: "test.metric",
+        name: "a metric",
+        unit: "%",
+        value: 10.0,
+        citation: "§0",
+    };
+
+    #[test]
+    fn quantitative_tiers_by_relative_error() {
+        assert_eq!(
+            MetricCheck::quantitative(&REF, 11.0, 0.25, 0.75).tier,
+            Tier::Pass
+        );
+        assert_eq!(
+            MetricCheck::quantitative(&REF, 15.0, 0.25, 0.75).tier,
+            Tier::Warn
+        );
+        assert_eq!(
+            MetricCheck::quantitative(&REF, 30.0, 0.25, 0.75).tier,
+            Tier::Fail
+        );
+        let m = MetricCheck::quantitative(&REF, 12.0, 0.25, 0.75);
+        assert!((m.rel_err.unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(m.rel_err_display(), "20%");
+        assert_eq!(m.paper, "10.00%");
+    }
+
+    #[test]
+    fn counts_and_claims_grade_as_specified() {
+        assert_eq!(MetricCheck::count_at_least(&REF, 10, 2).tier, Tier::Pass);
+        assert_eq!(MetricCheck::count_at_least(&REF, 11, 2).tier, Tier::Pass);
+        assert_eq!(MetricCheck::count_at_least(&REF, 8, 2).tier, Tier::Warn);
+        assert_eq!(MetricCheck::count_at_least(&REF, 7, 2).tier, Tier::Fail);
+        assert_eq!(MetricCheck::exact_count(&REF, 10).tier, Tier::Pass);
+        assert_eq!(MetricCheck::exact_count(&REF, 9).tier, Tier::Fail);
+        let q = MetricCheck::qualitative("q", "claim", "§1", true);
+        assert_eq!(q.tier, Tier::Pass);
+        assert_eq!(q.rel_err_display(), "—");
+        assert_eq!(
+            MetricCheck::qualitative("q", "claim", "§1", false).tier,
+            Tier::Fail
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! The paper's published numbers as typed, cited reference values.
+//!
+//! Every figure and table the repo reproduces is anchored here to the
+//! value conf_icpp_FanCJ19 actually prints, together with the section
+//! or figure it comes from, so the report can state *how far* the
+//! reproduction sits from the paper instead of merely printing its own
+//! numbers. Values quoted elsewhere in the workspace (the `fig6`/`fig7`
+//! RMSE captions, the Table 2 headline counts, the §3.3 sweep-cost
+//! accounting) are defined once, here.
+
+/// One published value with its citation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reference {
+    /// Stable machine id (`"fig6.rmse.mem_h"`).
+    pub id: &'static str,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Unit suffix used when displaying the value (`"%"`, `" min"`).
+    pub unit: &'static str,
+    /// The value as printed in the paper.
+    pub value: f64,
+    /// Where the paper states it (`"§4.4, Fig. 6"`).
+    pub citation: &'static str,
+}
+
+/// Bibliographic metadata of the reproduced paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperMeta {
+    /// Corpus key of the paper.
+    pub key: &'static str,
+    /// Full title.
+    pub title: &'static str,
+    /// Author list.
+    pub authors: &'static str,
+    /// Venue.
+    pub venue: &'static str,
+    /// DOI.
+    pub doi: &'static str,
+}
+
+/// The reproduced paper.
+pub const PAPER: PaperMeta = PaperMeta {
+    key: "conf_icpp_FanCJ19",
+    title: "Predictable GPUs Frequency Scaling for Energy and Performance",
+    authors: "Kaijie Fan, Biagio Cosenza, Ben Juurlink",
+    venue: "ICPP 2019",
+    doi: "10.1145/3337821.3337833",
+};
+
+/// Fig. 6 — pooled RMSE of the *speedup* model per memory domain,
+/// highest memory clock first (the order the figure's panels use).
+pub const FIG6_RMSE: [Reference; 4] = [
+    Reference {
+        id: "fig6.rmse.mem_H",
+        name: "speedup RMSE, Mem_H (3505 MHz)",
+        unit: "%",
+        value: 6.68,
+        citation: "§4.4, Fig. 6",
+    },
+    Reference {
+        id: "fig6.rmse.mem_h",
+        name: "speedup RMSE, Mem_h (3304 MHz)",
+        unit: "%",
+        value: 7.10,
+        citation: "§4.4, Fig. 6",
+    },
+    Reference {
+        id: "fig6.rmse.mem_l",
+        name: "speedup RMSE, Mem_l (810 MHz)",
+        unit: "%",
+        value: 11.13,
+        citation: "§4.4, Fig. 6",
+    },
+    Reference {
+        id: "fig6.rmse.mem_L",
+        name: "speedup RMSE, Mem_L (405 MHz)",
+        unit: "%",
+        value: 9.09,
+        citation: "§4.4, Fig. 6",
+    },
+];
+
+/// Fig. 7 — pooled RMSE of the *normalized energy* model per memory
+/// domain, highest memory clock first.
+pub const FIG7_RMSE: [Reference; 4] = [
+    Reference {
+        id: "fig7.rmse.mem_H",
+        name: "energy RMSE, Mem_H (3505 MHz)",
+        unit: "%",
+        value: 7.82,
+        citation: "§4.4, Fig. 7",
+    },
+    Reference {
+        id: "fig7.rmse.mem_h",
+        name: "energy RMSE, Mem_h (3304 MHz)",
+        unit: "%",
+        value: 5.65,
+        citation: "§4.4, Fig. 7",
+    },
+    Reference {
+        id: "fig7.rmse.mem_l",
+        name: "energy RMSE, Mem_l (810 MHz)",
+        unit: "%",
+        value: 12.85,
+        citation: "§4.4, Fig. 7",
+    },
+    Reference {
+        id: "fig7.rmse.mem_L",
+        name: "energy RMSE, Mem_L (405 MHz)",
+        unit: "%",
+        value: 15.10,
+        citation: "§4.4, Fig. 7",
+    },
+];
+
+/// Table 2 — the coverage difference below which the paper calls a
+/// predicted front a good approximation of the real one.
+pub const GOOD_COVERAGE_D: f64 = 0.0362;
+
+/// Table 2 — benchmarks (out of [`NUM_BENCHMARKS`]) whose coverage
+/// difference is at most [`GOOD_COVERAGE_D`].
+pub const TABLE2_GOOD_COVERAGE: Reference = Reference {
+    id: "table2.good_coverage",
+    name: "benchmarks with coverage difference D \u{2264} 0.0362",
+    unit: "/12",
+    value: 10.0,
+    citation: "§4.5, Table 2",
+};
+
+/// Table 2 — benchmarks whose max-speedup extreme point is predicted
+/// exactly.
+pub const TABLE2_EXACT_MAX_SPEEDUP: Reference = Reference {
+    id: "table2.exact_max_speedup",
+    name: "max-speedup extreme predicted exactly",
+    unit: "/12",
+    value: 7.0,
+    citation: "§4.5, Table 2",
+};
+
+/// Number of test benchmarks in the evaluation (§4.2).
+pub const NUM_BENCHMARKS: usize = 12;
+
+/// Fig. 4a — clock-table structure of the GTX Titan X.
+pub const FIG4_TITAN_X: [Reference; 3] = [
+    Reference {
+        id: "fig4.titan_x.domains",
+        name: "Titan X memory domains",
+        unit: "",
+        value: 4.0,
+        citation: "§2.2, Fig. 4a",
+    },
+    Reference {
+        id: "fig4.titan_x.advertised",
+        name: "Titan X advertised (mem, core) configurations",
+        unit: "",
+        value: 219.0,
+        citation: "§2.2, Fig. 4a",
+    },
+    Reference {
+        id: "fig4.titan_x.actual",
+        name: "Titan X actually settable configurations",
+        unit: "",
+        value: 177.0,
+        citation: "§2.2, Fig. 4a",
+    },
+];
+
+/// Fig. 4a — advertised Titan X core clocks above this value silently
+/// clamp (the figure's gray points).
+pub const TITAN_X_CLAMP_MHZ: u32 = 1202;
+
+/// Fig. 4b — clock-table structure of the Tesla P100.
+pub const FIG4_P100: [Reference; 2] = [
+    Reference {
+        id: "fig4.p100.domains",
+        name: "P100 memory domains",
+        unit: "",
+        value: 1.0,
+        citation: "§2.2, Fig. 4b",
+    },
+    Reference {
+        id: "fig4.p100.core_clocks",
+        name: "P100 settable core clocks",
+        unit: "",
+        value: 61.0,
+        citation: "§2.2, Fig. 4b",
+    },
+];
+
+/// §3.3 — minutes to measure one micro-benchmark at 40 sampled
+/// settings.
+pub const SWEEP_MINUTES_40: Reference = Reference {
+    id: "sweepcost.minutes_40",
+    name: "sweep cost at 40 sampled settings",
+    unit: " min",
+    value: 20.0,
+    citation: "§3.3",
+};
+
+/// §3.3 — minutes to measure one micro-benchmark at every setting.
+pub const SWEEP_MINUTES_ALL: Reference = Reference {
+    id: "sweepcost.minutes_all",
+    name: "sweep cost over all settings",
+    unit: " min",
+    value: 70.0,
+    citation: "§3.3",
+};
+
+/// Fig. 5 — the benchmarks the paper characterizes as
+/// compute-dominated (speedup scales with the core clock).
+pub const FIG5_COMPUTE_DOMINATED: [&str; 4] = ["knn", "aes", "matmul", "convolution"];
+
+/// Fig. 5 — the benchmarks the paper characterizes as memory-dominated
+/// (speedup flat in the core clock).
+pub const FIG5_MEMORY_DOMINATED: [&str; 4] = ["median", "bitcompression", "mt", "blackscholes"];
+
+/// Fig. 5 — speedup spread across the high-memory configurations above
+/// which a benchmark reads as compute-dominated (the top row of the
+/// figure spreads widely along the speedup axis; the bottom row
+/// collapses toward vertical clusters).
+pub const COMPUTE_DOMINATED_SPREAD: f64 = 0.7;

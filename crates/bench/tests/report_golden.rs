@@ -1,0 +1,142 @@
+//! Golden test for the checked-in `--fast` reproduction report.
+//!
+//! `REPRODUCTION.md` and `reproduction.json` at the repository root are
+//! generated artifacts: this test regenerates the fast report and
+//! compares byte-for-byte, so any drift in the pipeline — clock
+//! tables, sampling, solver, evaluation, rendering — shows up as a CI
+//! failure naming the first line that moved. After an *intentional*
+//! change:
+//!
+//! ```sh
+//! GPUFREQ_BLESS=1 cargo test -p gpufreq-bench --test report_golden
+//! ```
+//!
+//! and commit the rewritten report together with the change.
+//!
+//! The same generated pair also anchors the engine contract for the
+//! report path: the fast report is produced once on a serial engine
+//! and once on a 4-way engine, and both must render byte-identical
+//! documents before the snapshot comparison runs.
+
+use gpufreq_bench::report::{generate, render, Report, ReportOptions};
+use std::path::{Path, PathBuf};
+
+/// Repository root (this crate lives at `crates/bench`).
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repository root exists")
+}
+
+fn fast_report(jobs: usize) -> Report {
+    generate(&ReportOptions {
+        full: false,
+        jobs: Some(jobs),
+        git_revision: None,
+    })
+    .expect("fast report generates")
+}
+
+fn assert_matches_snapshot(name: &str, actual: &str) {
+    let path = repo_root().join(name);
+    if std::env::var_os("GPUFREQ_BLESS").is_some() {
+        std::fs::write(&path, actual).expect("write report snapshot");
+        eprintln!("[golden] blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing checked-in report {} ({e}); run with GPUFREQ_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let line = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map_or_else(
+                || expected.lines().count().min(actual.lines().count()) + 1,
+                |i| i + 1,
+            );
+        panic!(
+            "checked-in report {} drifted at line {line}:\n  expected: {:?}\n  actual:   {:?}\n\
+             if the change is intentional, re-bless with GPUFREQ_BLESS=1",
+            path.display(),
+            expected.lines().nth(line - 1).unwrap_or("<eof>"),
+            actual.lines().nth(line - 1).unwrap_or("<eof>"),
+        );
+    }
+}
+
+#[test]
+fn fast_report_is_schedule_independent_and_matches_the_checked_in_copy() {
+    let serial = fast_report(1);
+    let parallel = fast_report(4);
+    let markdown = render::render_markdown(&serial);
+    let json = render::render_json(&serial);
+    // Engine contract first: the report must not depend on the worker
+    // count at the byte level.
+    assert_eq!(
+        markdown,
+        render::render_markdown(&parallel),
+        "REPRODUCTION.md must be byte-identical for --jobs 1 and --jobs 4"
+    );
+    assert_eq!(
+        json,
+        render::render_json(&parallel),
+        "reproduction.json must be byte-identical for --jobs 1 and --jobs 4"
+    );
+    // Then the golden comparison against the repository-root copies.
+    assert_matches_snapshot(render::MARKDOWN_FILE, &markdown);
+    assert_matches_snapshot(render::JSON_FILE, &json);
+    // The JSON side must parse back into the same report (the CI
+    // tier-regression gate depends on this round trip).
+    let parsed = render::parse_json(&json).expect("reproduction.json parses back");
+    assert_eq!(parsed, serial);
+    assert!(render::tier_regressions(&parsed, &serial).is_empty());
+}
+
+#[test]
+fn report_structure_is_complete() {
+    let report = fast_report(2);
+    // One section per reproduced figure/table, in paper order.
+    let ids: Vec<&str> = report.sections.iter().map(|s| s.id.as_str()).collect();
+    assert_eq!(
+        ids,
+        [
+            "fig1",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "table2",
+            "sweepcost",
+            "portability"
+        ]
+    );
+    // Every section is cited and scored, and metric ids are unique
+    // report-wide (the tier gate keys on them).
+    let mut seen = std::collections::HashSet::new();
+    for section in &report.sections {
+        assert!(
+            section.citation.contains('§'),
+            "{} has no citation",
+            section.id
+        );
+        assert!(!section.metrics.is_empty(), "{} has no metrics", section.id);
+        for metric in &section.metrics {
+            assert!(
+                seen.insert(metric.id.clone()),
+                "duplicate metric id {}",
+                metric.id
+            );
+        }
+    }
+    // The scoreboard adds up.
+    let total = report.summary.pass + report.summary.warn + report.summary.fail;
+    assert_eq!(total, seen.len());
+    assert_eq!(report.summary.sections.len(), report.sections.len());
+}

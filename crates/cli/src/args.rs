@@ -16,6 +16,7 @@ USAGE:
     gpufreq characterize <kernel.cl> [--device <name>] [--settings <n>]
     gpufreq sweep <kernel.cl>... [--device <name>] [--settings <n>] [--jobs <n>]
     gpufreq evaluate --model <model.json> [--device <name>] [--jobs <n>]
+    gpufreq report [--fast|--full] [--jobs <n>] [--out <dir>] [--check <baseline.json>]
 
 DEVICES:
     titan-x (default), tesla-p100, tesla-k20c
@@ -28,8 +29,14 @@ OPTIONS:
                         (default: all cores; results are identical
                         for every value)
     --model <path>      trained model JSON (from `gpufreq train`)
-    --out <path>        where `train` writes the model (default: model.json)
-    --fast              reduced corpus + relaxed solver (seconds, less accurate)
+    --out <path>        where `train` writes the model (default: model.json);
+                        where `report` writes REPRODUCTION.md and
+                        reproduction.json (default: current directory)
+    --fast              reduced corpus + relaxed solver (seconds, less
+                        accurate; the `report` default)
+    --full              `report` at the paper's parameters (minutes)
+    --check <path>      `report` only: fail if any metric regressed from
+                        pass to FAIL tier relative to this baseline JSON
     --json              machine-readable output
     --help              show this text";
 
@@ -74,6 +81,18 @@ pub enum Command {
     Evaluate {
         /// Path of the trained model.
         model: String,
+    },
+    /// Generate the cited paper-vs-repo reproduction report
+    /// (`REPRODUCTION.md` + `reproduction.json`).
+    Report {
+        /// Run the paper-parameter pipeline instead of the fast
+        /// golden pipeline.
+        full: bool,
+        /// Directory the report files are written to.
+        out: String,
+        /// Baseline `reproduction.json` to gate tier regressions
+        /// against.
+        check: Option<String>,
     },
     /// `--help`.
     Help,
@@ -121,17 +140,27 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
     let mut settings = 40usize;
     let mut jobs: Option<usize> = None;
     let mut model: Option<String> = None;
-    let mut out = "model.json".to_string();
+    let mut out: Option<String> = None;
     let mut fast = false;
+    let mut full = false;
     let mut json = false;
     let mut help = false;
+    let mut check: Option<String> = None;
 
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--help" | "-h" => help = true,
             "--fast" => fast = true,
+            "--full" => full = true,
             "--json" => json = true,
+            "--check" => {
+                check = Some(
+                    it.next()
+                        .ok_or(ArgError("--check needs a value".into()))?
+                        .clone(),
+                );
+            }
             "--device" => {
                 let v = it.next().ok_or(ArgError("--device needs a value".into()))?;
                 // An unknown id is a hard error listing the valid ids
@@ -167,10 +196,11 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
                 );
             }
             "--out" => {
-                out = it
-                    .next()
-                    .ok_or(ArgError("--out needs a value".into()))?
-                    .clone();
+                out = Some(
+                    it.next()
+                        .ok_or(ArgError("--out needs a value".into()))?
+                        .clone(),
+                );
             }
             s if s.starts_with("--") => return Err(ArgError(format!("unknown flag `{s}`"))),
             s => positional.push(s),
@@ -197,7 +227,10 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
         "inspect" => Command::Inspect {
             kernel: need_kernel(rest)?,
         },
-        "train" => Command::Train { out, fast },
+        "train" => Command::Train {
+            out: out.unwrap_or_else(|| "model.json".to_string()),
+            fast,
+        },
         "predict" => Command::Predict {
             kernel: need_kernel(rest)?,
             model: model.ok_or(ArgError("`predict` needs --model".into()))?,
@@ -219,6 +252,16 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
         "evaluate" => Command::Evaluate {
             model: model.ok_or(ArgError("`evaluate` needs --model".into()))?,
         },
+        "report" => {
+            if fast && full {
+                return Err(ArgError("`report` takes --fast or --full, not both".into()));
+            }
+            Command::Report {
+                full,
+                out: out.unwrap_or_else(|| ".".to_string()),
+                check,
+            }
+        }
         other => return Err(ArgError(format!("unknown subcommand `{other}`"))),
     };
     Ok(ParsedArgs {
@@ -330,6 +373,53 @@ mod tests {
     fn missing_subcommand_errors() {
         assert!(parse_args(&[]).is_err());
         assert!(parse_args(&args("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn report_defaults_to_fast_in_the_current_directory() {
+        let p = parse_args(&args("report")).unwrap();
+        assert_eq!(
+            p.command,
+            Command::Report {
+                full: false,
+                out: ".".into(),
+                check: None
+            }
+        );
+        // An explicit --fast is the same thing.
+        let p = parse_args(&args("report --fast")).unwrap();
+        assert_eq!(
+            p.command,
+            Command::Report {
+                full: false,
+                out: ".".into(),
+                check: None
+            }
+        );
+    }
+
+    #[test]
+    fn report_takes_full_out_check_and_jobs() {
+        let p = parse_args(&args(
+            "report --full --out target/report --check reproduction.json --jobs 2",
+        ))
+        .unwrap();
+        assert_eq!(
+            p.command,
+            Command::Report {
+                full: true,
+                out: "target/report".into(),
+                check: Some("reproduction.json".into())
+            }
+        );
+        assert_eq!(p.jobs, Some(2));
+    }
+
+    #[test]
+    fn report_rejects_fast_and_full_together() {
+        let err = parse_args(&args("report --fast --full")).unwrap_err();
+        assert!(err.to_string().contains("not both"), "{err}");
+        assert!(parse_args(&args("report --check")).is_err());
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub fn dispatch(parsed: &ParsedArgs, out: &mut dyn Write) -> CmdResult {
         Command::Characterize { kernel } => characterize(parsed, kernel, out),
         Command::Sweep { kernels } => sweep(parsed, kernels, out),
         Command::Evaluate { model } => evaluate(parsed, model, out),
+        Command::Report {
+            full,
+            out: dir,
+            check,
+        } => report(parsed, *full, dir, check.as_deref(), out),
     }
 }
 
@@ -293,6 +298,82 @@ fn evaluate(parsed: &ParsedArgs, model_path: &str, out: &mut dyn Write) -> CmdRe
     let planner = load_planner(parsed, model_path)?;
     let evals = planner.evaluate()?;
     write!(out, "{}", render_table2(&table2(&evals)))?;
+    Ok(())
+}
+
+/// Generate the reproduction report: run the fast (golden) or full
+/// (paper-parameter) pipeline, write `REPRODUCTION.md` +
+/// `reproduction.json` into `dir`, and — with `--check` — fail when
+/// any metric regressed from pass to FAIL tier relative to a baseline
+/// `reproduction.json`.
+fn report(
+    parsed: &ParsedArgs,
+    full: bool,
+    dir: &str,
+    check: Option<&str>,
+    out: &mut dyn Write,
+) -> CmdResult {
+    use gpufreq_bench::report::{generate, render, ReportOptions};
+    let opts = ReportOptions {
+        full,
+        jobs: parsed.jobs,
+        // An empty value means unset — CI pins `GPUFREQ_GIT_REV: ""`
+        // so the regenerated report is byte-comparable to the
+        // checked-in copy regardless of the runner's environment.
+        git_revision: std::env::var("GPUFREQ_GIT_REV")
+            .ok()
+            .filter(|rev| !rev.is_empty()),
+    };
+    writeln!(
+        out,
+        "generating {} reproduction report (this {})...",
+        if full { "full paper-parameter" } else { "fast" },
+        if full {
+            "trains at C = 1000 and takes minutes"
+        } else {
+            "takes seconds"
+        }
+    )?;
+    let report = generate(&opts)?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let md_path = std::path::Path::new(dir).join(render::MARKDOWN_FILE);
+    let json_path = std::path::Path::new(dir).join(render::JSON_FILE);
+    std::fs::write(&md_path, render::render_markdown(&report))
+        .map_err(|e| format!("{}: {e}", md_path.display()))?;
+    std::fs::write(&json_path, render::render_json(&report))
+        .map_err(|e| format!("{}: {e}", json_path.display()))?;
+    writeln!(
+        out,
+        "scoreboard: {} pass, {} warn, {} FAIL across {} sections",
+        report.summary.pass,
+        report.summary.warn,
+        report.summary.fail,
+        report.sections.len()
+    )?;
+    writeln!(out, "wrote {}", md_path.display())?;
+    writeln!(out, "wrote {}", json_path.display())?;
+    if let Some(baseline_path) = check {
+        let baseline_json =
+            std::fs::read_to_string(baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
+        let baseline =
+            render::parse_json(&baseline_json).map_err(|e| format!("{baseline_path}: {e}"))?;
+        let regressions = render::tier_regressions(&baseline, &report);
+        if regressions.is_empty() {
+            writeln!(
+                out,
+                "no pass\u{2192}FAIL tier regressions against {baseline_path}"
+            )?;
+        } else {
+            for regression in &regressions {
+                writeln!(out, "tier regression: {regression}")?;
+            }
+            return Err(format!(
+                "{} metric(s) regressed from pass to FAIL tier against {baseline_path}",
+                regressions.len()
+            )
+            .into());
+        }
+    }
     Ok(())
 }
 

@@ -17,10 +17,16 @@
 //! gpufreq characterize <kernel.cl> [--device D]   measured sweep (ground truth)
 //! gpufreq sweep <kernel.cl>... [--jobs N]          batch sweeps via the engine
 //! gpufreq evaluate --model model.json [--device D] paper-style Table 2
+//! gpufreq report [--fast|--full] [--out DIR]       cited paper-vs-repo REPRODUCTION.md
 //! ```
 //!
-//! `--jobs N` pins the execution-engine worker count for `train`,
-//! `sweep` and `evaluate`; output is bit-identical for every value.
+//! `report` renders the scored reproduction report
+//! (`REPRODUCTION.md` + `reproduction.json`, see
+//! `gpufreq_bench::report`); with `--check <baseline.json>` it exits
+//! non-zero when any metric regressed from pass to FAIL tier — the CI
+//! gate. `--jobs N` pins the execution-engine worker count for
+//! `train`, `sweep`, `evaluate` and `report`; output is bit-identical
+//! for every value.
 
 #![warn(missing_docs)]
 

@@ -62,7 +62,7 @@
 //! [`FreqScalingModel::train`], [`predict_pareto`]) remain re-exported
 //! for existing callers; see the README's MIGRATION notes.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod active;
 pub mod artifact;
@@ -94,5 +94,6 @@ pub use planner::{
 };
 pub use predict::{predict_pareto, predict_pareto_at, ParetoPrediction, PredictedPoint, MEM_L_MHZ};
 pub use report::{
-    ascii_table, objectives_csv, render_error_panel, render_table2, series_csv, table2_csv,
+    ascii_table, csv_field, markdown_escape, markdown_table, objectives_csv, render_error_panel,
+    render_table2, series_csv, table2_csv,
 };

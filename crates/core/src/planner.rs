@@ -74,6 +74,25 @@ pub struct Planner;
 impl Planner {
     /// Start configuring a training run. Defaults: Titan X, full
     /// corpus, 40 sampled settings, the paper's hyper-parameters.
+    ///
+    /// This example really trains (a reduced corpus with the relaxed
+    /// test preset, so it finishes in seconds) and runs under
+    /// `cargo test --doc`:
+    ///
+    /// ```
+    /// use gpufreq_core::{Corpus, ModelConfig, Planner};
+    /// use gpufreq_sim::Device;
+    ///
+    /// let planner = Planner::builder()
+    ///     .device(Device::TitanX)
+    ///     .corpus(Corpus::Fast)
+    ///     .settings(4)
+    ///     .model_config(ModelConfig::relaxed())
+    ///     .train()?;
+    /// assert_eq!(planner.device(), Device::TitanX);
+    /// assert!(planner.model().trained_on() > 0);
+    /// # Ok::<(), gpufreq_core::Error>(())
+    /// ```
     pub fn builder() -> PlannerBuilder {
         PlannerBuilder::default()
     }
@@ -348,6 +367,25 @@ impl TrainedPlanner {
     /// is bit-identical for every worker count. Duplicate sources are
     /// analyzed once thanks to the shared cache; every prediction still
     /// runs, since identical kernels still need their own result slot.
+    ///
+    /// ```
+    /// use gpufreq_core::{Corpus, ModelConfig, Planner};
+    ///
+    /// let planner = Planner::builder()
+    ///     .corpus(Corpus::Fast)
+    ///     .settings(4)
+    ///     .model_config(ModelConfig::relaxed())
+    ///     .train()?
+    ///     .with_jobs(Some(2));
+    /// let saxpy = "__kernel void saxpy(__global float* x, __global float* y, float a) {
+    ///                  uint i = get_global_id(0);
+    ///                  y[i] = a * x[i] + y[i];
+    ///              }";
+    /// let results = planner.predict_batch(&[saxpy, "not a kernel", saxpy]);
+    /// assert!(results[0].is_ok() && results[2].is_ok());
+    /// assert!(results[1].is_err(), "errors stay in their slot");
+    /// # Ok::<(), gpufreq_core::Error>(())
+    /// ```
     pub fn predict_batch(&self, sources: &[&str]) -> Vec<Result<ParetoPrediction>> {
         self.engine.map(sources, |src| self.predict_source(src))
     }

@@ -16,10 +16,13 @@ use std::fmt::Write as _;
 pub fn ascii_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let cols = header.len();
     assert!(rows.iter().all(|r| r.len() == cols), "ragged table rows");
-    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    // Width in chars, not bytes: `format!` pads by char count, so
+    // byte-based widths would misalign any non-ASCII cell (§, ≥, —).
+    let width = |s: &str| s.chars().count();
+    let mut widths: Vec<usize> = header.iter().map(|h| width(h)).collect();
     for row in rows {
         for (j, cell) in row.iter().enumerate() {
-            widths[j] = widths[j].max(cell.len());
+            widths[j] = widths[j].max(width(cell));
         }
     }
     let numeric: Vec<bool> = (0..cols)
@@ -48,7 +51,11 @@ pub fn ascii_table(header: &[&str], rows: &[Vec<String>]) -> String {
         }
         out.push_str("|\n");
     }
-    sep(&mut out);
+    // No body: the border after the header already closes the table; a
+    // second one would render as a doubled rule.
+    if !rows.is_empty() {
+        sep(&mut out);
+    }
     out
 }
 
@@ -124,7 +131,7 @@ pub fn table2_csv(rows: &[Table2Row]) -> String {
         let _ = writeln!(
             out,
             "{},{:.6},{},{},{:.6},{:.6},{:.6},{:.6}",
-            r.benchmark,
+            csv_field(&r.benchmark),
             r.coverage_d,
             r.predicted_points,
             r.real_points,
@@ -135,6 +142,57 @@ pub fn table2_csv(rows: &[Table2Row]) -> String {
         );
     }
     out
+}
+
+/// Escape a cell for use inside a GitHub-flavored Markdown table:
+/// `|` would end the cell and a newline would end the row, so both are
+/// replaced (`\|` and `<br>`).
+pub fn markdown_escape(cell: &str) -> String {
+    cell.replace('|', "\\|").replace('\n', "<br>")
+}
+
+/// Render a GitHub-flavored Markdown table with a header row.
+///
+/// Columns whose every body cell parses as a number are right-aligned
+/// via the `---:` separator syntax, mirroring [`ascii_table`]. Cells
+/// are escaped with [`markdown_escape`]; an empty `rows` slice renders
+/// just the header and separator, which GitHub displays as an empty
+/// table.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    assert!(rows.iter().all(|r| r.len() == cols), "ragged table rows");
+    let numeric: Vec<bool> = (0..cols)
+        .map(|j| !rows.is_empty() && rows.iter().all(|r| r[j].trim().parse::<f64>().is_ok()))
+        .collect();
+    let mut out = String::from("|");
+    for h in header {
+        let _ = write!(out, " {} |", markdown_escape(h));
+    }
+    out.push_str("\n|");
+    for &n in &numeric {
+        out.push_str(if n { " ---: |" } else { " --- |" });
+    }
+    out.push('\n');
+    for row in rows {
+        out.push('|');
+        for cell in row {
+            let _ = write!(out, " {} |", markdown_escape(cell));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Quote a CSV field per RFC 4180 when it needs it: a field containing
+/// a comma, a double quote, or a line break is wrapped in double quotes
+/// with embedded quotes doubled; anything else passes through
+/// unchanged.
+pub fn csv_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
 }
 
 /// Serialize an `(x, y)` series as CSV with a header line.

@@ -50,7 +50,7 @@
 //! assert_eq!(characterization.points.len(), 177);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod clocks;
 pub mod device;

@@ -99,6 +99,19 @@ impl std::error::Error for UnknownDevice {}
 impl FromStr for Device {
     type Err = UnknownDevice;
 
+    /// Parse a stable device id.
+    ///
+    /// ```
+    /// use gpufreq_sim::Device;
+    ///
+    /// let device: Device = "tesla-p100".parse()?;
+    /// assert_eq!(device, Device::TeslaP100);
+    /// // Unknown ids are typed errors listing the valid ids — never a
+    /// // silent fallback.
+    /// let err = "gtx-9000".parse::<Device>().unwrap_err();
+    /// assert!(err.to_string().contains("titan-x, tesla-p100, tesla-k20c"));
+    /// # Ok::<(), gpufreq_sim::UnknownDevice>(())
+    /// ```
     fn from_str(s: &str) -> Result<Device, UnknownDevice> {
         Device::all()
             .into_iter()

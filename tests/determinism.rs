@@ -124,6 +124,36 @@ fn predict_batch_is_identical_serial_vs_parallel() {
 }
 
 #[test]
+fn reproduction_report_is_identical_serial_vs_parallel() {
+    // The report subsystem aggregates every engine-routed pipeline
+    // (training, evaluation, error analysis, on two devices), so its
+    // rendered documents are the widest determinism surface there is:
+    // `gpufreq report --fast --jobs 1` and `--jobs 4` must write
+    // byte-identical REPRODUCTION.md / reproduction.json.
+    use gpufreq_bench::report::{generate, render, ReportOptions};
+    let report = |jobs: usize| {
+        generate(&ReportOptions {
+            full: false,
+            jobs: Some(jobs),
+            git_revision: None,
+        })
+        .expect("fast report generates")
+    };
+    let serial = report(1);
+    let parallel = report(4);
+    assert_eq!(
+        render::render_markdown(&serial),
+        render::render_markdown(&parallel),
+        "REPRODUCTION.md must not depend on --jobs"
+    );
+    assert_eq!(
+        render::render_json(&serial),
+        render::render_json(&parallel),
+        "reproduction.json must not depend on --jobs"
+    );
+}
+
+#[test]
 fn train_all_devices_is_identical_serial_vs_parallel() {
     let build = |jobs: usize| {
         Planner::builder()
