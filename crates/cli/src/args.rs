@@ -17,13 +17,17 @@ USAGE:
     gpufreq sweep <kernel.cl>... [--device <name>] [--settings <n>] [--jobs <n>]
     gpufreq evaluate --model <model.json> [--device <name>] [--jobs <n>]
     gpufreq report [--fast|--full] [--jobs <n>] [--out <dir>] [--check <baseline.json>]
+    gpufreq serve [--device <name>] [--fast] [--port <n>] [--workers <n>]
+                  [--queue <n>] [--cache <n>] [--port-file <path>]
+    gpufreq client <host:port> [<kernel.cl>] [--device <name>] [--stats] [--shutdown]
 
 DEVICES:
     titan-x (default), tesla-p100, tesla-k20c
 
 OPTIONS:
     --device <name>     simulated device (train default: titan-x;
-                        predict/evaluate default: the model's device)
+                        predict/evaluate default: the model's device;
+                        serve default: all registered devices)
     --settings <n>      sampled frequency settings (default: 40)
     --jobs <n>          worker threads for train/sweep/evaluate
                         (default: all cores; results are identical
@@ -38,6 +42,19 @@ OPTIONS:
     --check <path>      `report` only: fail if any metric regressed from
                         pass to FAIL tier relative to this baseline JSON
     --json              machine-readable output
+    --port <n>          `serve`: TCP port to listen on (default: 7070;
+                        0 picks a free port)
+    --port-file <path>  `serve`: write the bound host:port to this file
+                        once listening (for scripts and CI)
+    --workers <n>       `serve`: worker threads answering requests
+                        (default: all cores, capped at 8; responses are
+                        byte-identical for every value)
+    --queue <n>         `serve`: request-queue bound before `overloaded`
+                        rejections (default: 256)
+    --cache <n>         `serve`: response front-cache entries
+                        (default: 4096; 0 disables caching)
+    --stats             `client`: request a server metrics snapshot
+    --shutdown          `client`: ask the server to drain and exit
     --help              show this text";
 
 /// Parsed subcommand.
@@ -94,6 +111,34 @@ pub enum Command {
         /// against.
         check: Option<String>,
     },
+    /// Run the long-lived prediction daemon (`gpufreq-serve`).
+    Serve {
+        /// TCP port to bind on 127.0.0.1 (0 = pick a free port).
+        port: u16,
+        /// Train the reduced corpus with the relaxed solver instead of
+        /// the paper parameters.
+        fast: bool,
+        /// Worker threads (`None` = the server default).
+        workers: Option<usize>,
+        /// Request-queue bound (`None` = the server default).
+        queue: Option<usize>,
+        /// Front-cache entries (`None` = the server default; 0
+        /// disables).
+        cache: Option<usize>,
+        /// File the bound address is written to once listening.
+        port_file: Option<String>,
+    },
+    /// One-shot protocol client for a running daemon.
+    Client {
+        /// Server address (`host:port`).
+        addr: String,
+        /// Kernel to request a prediction for, if any.
+        kernel: Option<String>,
+        /// Also request a `stats` snapshot.
+        stats: bool,
+        /// Finally request a clean server shutdown.
+        shutdown: bool,
+    },
     /// `--help`.
     Help,
 }
@@ -147,6 +192,14 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
     let mut help = false;
     let mut check: Option<String> = None;
 
+    let mut port: u16 = 7070;
+    let mut workers: Option<usize> = None;
+    let mut queue: Option<usize> = None;
+    let mut cache: Option<usize> = None;
+    let mut port_file: Option<String> = None;
+    let mut stats = false;
+    let mut shutdown = false;
+
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -154,6 +207,51 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
             "--fast" => fast = true,
             "--full" => full = true,
             "--json" => json = true,
+            "--stats" => stats = true,
+            "--shutdown" => shutdown = true,
+            "--port" => {
+                let v = it.next().ok_or(ArgError("--port needs a value".into()))?;
+                port = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("invalid --port value `{v}`")))?;
+            }
+            "--workers" => {
+                let v = it
+                    .next()
+                    .ok_or(ArgError("--workers needs a value".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("invalid --workers value `{v}`")))?;
+                if n == 0 {
+                    return Err(ArgError("--workers must be positive".into()));
+                }
+                workers = Some(n);
+            }
+            "--queue" => {
+                let v = it.next().ok_or(ArgError("--queue needs a value".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("invalid --queue value `{v}`")))?;
+                if n == 0 {
+                    return Err(ArgError("--queue must be positive".into()));
+                }
+                queue = Some(n);
+            }
+            "--cache" => {
+                // 0 is meaningful here: it disables the front cache.
+                let v = it.next().ok_or(ArgError("--cache needs a value".into()))?;
+                cache = Some(
+                    v.parse()
+                        .map_err(|_| ArgError(format!("invalid --cache value `{v}`")))?,
+                );
+            }
+            "--port-file" => {
+                port_file = Some(
+                    it.next()
+                        .ok_or(ArgError("--port-file needs a value".into()))?
+                        .clone(),
+                );
+            }
             "--check" => {
                 check = Some(
                     it.next()
@@ -260,6 +358,33 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
                 full,
                 out: out.unwrap_or_else(|| ".".to_string()),
                 check,
+            }
+        }
+        "serve" => Command::Serve {
+            port,
+            fast,
+            workers,
+            queue,
+            cache,
+            port_file,
+        },
+        "client" => {
+            let Some((addr, rest)) = rest.split_first() else {
+                return Err(ArgError(
+                    "`client` needs a server address (host:port)".into(),
+                ));
+            };
+            let kernel = rest.first().map(|s| s.to_string());
+            if kernel.is_none() && !stats && !shutdown {
+                return Err(ArgError(
+                    "`client` needs a kernel path, --stats, or --shutdown".into(),
+                ));
+            }
+            Command::Client {
+                addr: addr.to_string(),
+                kernel,
+                stats,
+                shutdown,
             }
         }
         other => return Err(ArgError(format!("unknown subcommand `{other}`"))),
@@ -420,6 +545,72 @@ mod tests {
         let err = parse_args(&args("report --fast --full")).unwrap_err();
         assert!(err.to_string().contains("not both"), "{err}");
         assert!(parse_args(&args("report --check")).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_and_knobs() {
+        let p = parse_args(&args("serve")).unwrap();
+        assert_eq!(
+            p.command,
+            Command::Serve {
+                port: 7070,
+                fast: false,
+                workers: None,
+                queue: None,
+                cache: None,
+                port_file: None
+            }
+        );
+        let p = parse_args(&args(
+            "serve --fast --port 0 --workers 2 --queue 16 --cache 0 \
+             --port-file /tmp/serve.addr --device tesla-p100",
+        ))
+        .unwrap();
+        assert_eq!(
+            p.command,
+            Command::Serve {
+                port: 0,
+                fast: true,
+                workers: Some(2),
+                queue: Some(16),
+                cache: Some(0),
+                port_file: Some("/tmp/serve.addr".into())
+            }
+        );
+        assert_eq!(p.device, Some(Device::TeslaP100));
+        // Positive-only knobs (0 stays meaningful for --cache/--port).
+        assert!(parse_args(&args("serve --workers 0")).is_err());
+        assert!(parse_args(&args("serve --queue 0")).is_err());
+        assert!(parse_args(&args("serve --port abc")).is_err());
+        assert!(parse_args(&args("serve --port-file")).is_err());
+    }
+
+    #[test]
+    fn client_requires_addr_and_something_to_do() {
+        let p = parse_args(&args("client 127.0.0.1:7070 k.cl --device titan-x")).unwrap();
+        assert_eq!(
+            p.command,
+            Command::Client {
+                addr: "127.0.0.1:7070".into(),
+                kernel: Some("k.cl".into()),
+                stats: false,
+                shutdown: false
+            }
+        );
+        let p = parse_args(&args("client 127.0.0.1:7070 --stats --shutdown")).unwrap();
+        assert_eq!(
+            p.command,
+            Command::Client {
+                addr: "127.0.0.1:7070".into(),
+                kernel: None,
+                stats: true,
+                shutdown: true
+            }
+        );
+        let err = parse_args(&args("client")).unwrap_err();
+        assert!(err.to_string().contains("server address"), "{err}");
+        let err = parse_args(&args("client 127.0.0.1:7070")).unwrap_err();
+        assert!(err.to_string().contains("--stats"), "{err}");
     }
 
     #[test]

@@ -40,6 +40,29 @@ pub fn dispatch(parsed: &ParsedArgs, out: &mut dyn Write) -> CmdResult {
             out: dir,
             check,
         } => report(parsed, *full, dir, check.as_deref(), out),
+        Command::Serve {
+            port,
+            fast,
+            workers,
+            queue,
+            cache,
+            port_file,
+        } => serve(
+            parsed,
+            *port,
+            *fast,
+            *workers,
+            *queue,
+            *cache,
+            port_file.as_deref(),
+            out,
+        ),
+        Command::Client {
+            addr,
+            kernel,
+            stats,
+            shutdown,
+        } => client(parsed, addr, kernel.as_deref(), *stats, *shutdown, out),
     }
 }
 
@@ -377,6 +400,133 @@ fn report(
     Ok(())
 }
 
+/// Train planners for the served devices, bind the TCP listener, and
+/// run the daemon until a `shutdown` request drains it; the final
+/// metrics summary is printed on exit. `--device` narrows serving to
+/// one device (default: every registered device); `--port 0` binds a
+/// free port — the bound address is printed (and written to
+/// `--port-file` when given) before serving starts.
+#[allow(clippy::too_many_arguments)]
+fn serve(
+    parsed: &ParsedArgs,
+    port: u16,
+    fast: bool,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    cache: Option<usize>,
+    port_file: Option<&str>,
+    out: &mut dyn Write,
+) -> CmdResult {
+    use gpufreq_serve::{render_stats_table, Server, ServerConfig};
+    let (corpus, settings, config) = if fast {
+        (Corpus::Fast, parsed.settings.min(20), ModelConfig::fast())
+    } else {
+        (Corpus::Full, parsed.settings, ModelConfig::default())
+    };
+    let builder = Planner::builder()
+        .corpus(corpus)
+        .settings(settings)
+        .model_config(config)
+        .jobs(parsed.jobs);
+    let planners = match parsed.device {
+        Some(device) => {
+            writeln!(
+                out,
+                "training 1 model (corpus {corpus:?} x {settings} settings, {})...",
+                device.spec().name
+            )?;
+            vec![builder.device(device).train()?]
+        }
+        None => {
+            writeln!(
+                out,
+                "training {} models (corpus {corpus:?} x {settings} settings, all devices)...",
+                Device::all().len()
+            )?;
+            builder.train_all_devices()?
+        }
+    };
+    let defaults = ServerConfig::default();
+    let server = Server::new(
+        planners,
+        ServerConfig {
+            workers: workers.unwrap_or(defaults.workers),
+            queue_capacity: queue.unwrap_or(defaults.queue_capacity),
+            cache_capacity: cache.unwrap_or(defaults.cache_capacity),
+            ..defaults
+        },
+    )?;
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+    if let Some(path) = port_file {
+        std::fs::write(path, format!("{addr}\n")).map_err(|e| format!("{path}: {e}"))?;
+    }
+    writeln!(
+        out,
+        "listening on {addr} (devices: {})",
+        server
+            .devices()
+            .iter()
+            .map(|d| d.id())
+            .collect::<Vec<_>>()
+            .join(", ")
+    )?;
+    // The line must be visible to whoever is scripting us *before* we
+    // block in the accept loop.
+    out.flush()?;
+    let summary = server.serve(listener)?;
+    writeln!(out, "shutdown complete; final metrics:")?;
+    write!(out, "{}", render_stats_table(&summary))?;
+    Ok(())
+}
+
+/// One-shot protocol client: connect, send the requested operations in
+/// order (predict, then `--stats`, then `--shutdown`), and echo each
+/// raw JSON response line. Any error response exits non-zero.
+fn client(
+    parsed: &ParsedArgs,
+    addr: &str,
+    kernel: Option<&str>,
+    stats: bool,
+    shutdown: bool,
+    out: &mut dyn Write,
+) -> CmdResult {
+    use gpufreq_serve::{Request, Response};
+    use std::io::BufRead as _;
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = std::io::BufReader::new(stream);
+    let mut requests = Vec::new();
+    if let Some(path) = kernel {
+        let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        requests.push(Request::Predict {
+            device: parsed.device_or_default().id().to_string(),
+            source,
+        });
+    }
+    if stats {
+        requests.push(Request::Stats);
+    }
+    if shutdown {
+        requests.push(Request::Shutdown);
+    }
+    for request in requests {
+        writeln!(writer, "{}", request.to_json())?;
+        writer.flush()?;
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(format!("server closed the connection before answering {addr}").into());
+        }
+        let line = line.trim();
+        writeln!(out, "{line}")?;
+        let response = Response::parse(line).map_err(|e| format!("unparseable response: {e}"))?;
+        if let Some(error) = response.error() {
+            return Err(format!("server error: {error}").into());
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
 
@@ -569,6 +719,56 @@ mod tests {
                 ..SvrParams::paper_energy()
             },
         }
+    }
+
+    #[test]
+    fn client_round_trips_against_a_running_server() {
+        use gpufreq_serve::{Server, ServerConfig};
+        use std::sync::Arc;
+        let planner = gpufreq_core::Planner::builder()
+            .corpus(gpufreq_core::Corpus::Fast)
+            .settings(6)
+            .model_config(fast_config())
+            .train()
+            .unwrap();
+        let server = Arc::new(
+            Server::new(
+                vec![planner],
+                ServerConfig {
+                    workers: 2,
+                    ..ServerConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let daemon = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.serve(listener).unwrap())
+        };
+        // Predict for a kernel file; the raw JSON response is echoed.
+        let kernel = write_kernel();
+        let (code, out) = run_str(&format!("client {addr} {kernel}"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"ok\":\"predict\""), "{out}");
+        assert!(out.contains("\"device\":\"titan-x\""), "{out}");
+        // Predicting for an unserved device is the server's typed
+        // error, surfaced as a non-zero client exit.
+        let (code, out) = run_str(&format!("client {addr} {kernel} --device tesla-k20c"));
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("device_not_served"), "{out}");
+        // Stats + shutdown drain the daemon cleanly.
+        let (code, out) = run_str(&format!("client {addr} --stats --shutdown"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"ok\":\"stats\""), "{out}");
+        assert!(out.contains("\"ok\":\"shutdown\""), "{out}");
+        let summary = daemon.join().unwrap();
+        assert!(summary.requests.total >= 4);
+        // A client against the now-stopped server fails to connect.
+        let (code, out) = run_str(&format!("client {addr} --stats"));
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("connect"), "{out}");
     }
 
     #[test]

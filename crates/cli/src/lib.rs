@@ -18,6 +18,8 @@
 //! gpufreq sweep <kernel.cl>... [--jobs N]          batch sweeps via the engine
 //! gpufreq evaluate --model model.json [--device D] paper-style Table 2
 //! gpufreq report [--fast|--full] [--out DIR]       cited paper-vs-repo REPRODUCTION.md
+//! gpufreq serve [--port N] [--workers N]           long-lived prediction daemon (gpufreq-serve)
+//! gpufreq client <host:port> [kernel.cl]           one-shot protocol client
 //! ```
 //!
 //! `report` renders the scored reproduction report

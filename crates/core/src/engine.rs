@@ -30,7 +30,7 @@
 use crate::error::Result;
 use crate::planner::analyze_source;
 use gpufreq_kernel::{KernelProfile, StaticFeatures};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -174,22 +174,89 @@ impl Engine {
 /// All methods take `&self`; one cache can be shared across the
 /// engine's worker threads (and across planners) behind an
 /// [`Arc`].
+///
+/// By default the cache is **unbounded** (batch runs are finite, and
+/// existing callers rely on every source staying resident). Long-lived
+/// processes — the `gpufreq-serve` daemon holds one cache for the
+/// lifetime of the server — construct it with
+/// [`with_capacity`](ProfileCache::with_capacity) instead: once the
+/// bound is reached, the least-recently-used entry is evicted
+/// (counted by [`evictions`](ProfileCache::evictions)). Eviction only
+/// drops the cache's own reference; [`Arc`]s already handed to
+/// callers stay fully usable.
 #[derive(Debug, Default)]
 pub struct ProfileCache {
-    entries: Mutex<HashMap<String, Arc<(StaticFeatures, KernelProfile)>>>,
+    inner: Mutex<CacheInner>,
+    /// `None` = unbounded (the default).
+    capacity: Option<usize>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+/// Map + recency index under one lock, so eviction decisions are
+/// consistent with lookups. Keys are shared `Arc<str>`s: the recency
+/// index holds clones of the map's keys, not second copies of the
+/// (kilobytes-long) source text, and bumping recency on a hit clones
+/// a pointer, not the source.
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: HashMap<Arc<str>, CacheSlot>,
+    /// Recency index: strictly increasing tick → source key. The
+    /// smallest tick is the least-recently-used entry. Only
+    /// maintained for bounded caches — the default unbounded cache
+    /// never consults it, so its hit path stays a single map lookup.
+    recency: BTreeMap<u64, Arc<str>>,
+    tick: u64,
+}
+
+#[derive(Debug)]
+struct CacheSlot {
+    analyzed: Arc<(StaticFeatures, KernelProfile)>,
+    /// The map key, shared with the recency index.
+    key: Arc<str>,
+    /// This entry's current position in the recency index.
+    tick: u64,
+}
+
+impl CacheInner {
+    /// Mark `key` as most recently used, keeping `recency` in sync.
+    /// Bounded caches only — unbounded ones skip recency entirely.
+    fn touch(&mut self, key: &str) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(slot) = self.entries.get_mut(key) {
+            self.recency.remove(&slot.tick);
+            slot.tick = tick;
+            self.recency.insert(tick, Arc::clone(&slot.key));
+        }
+    }
 }
 
 impl ProfileCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> ProfileCache {
         ProfileCache::default()
     }
 
-    /// An empty cache ready for sharing.
+    /// An empty cache bounded to at most `capacity` entries, evicting
+    /// least-recently-used sources beyond that. A capacity of `0` is
+    /// treated as `1` (the entry just analyzed is always insertable).
+    pub fn with_capacity(capacity: usize) -> ProfileCache {
+        ProfileCache {
+            capacity: Some(capacity.max(1)),
+            ..ProfileCache::default()
+        }
+    }
+
+    /// An empty, unbounded cache ready for sharing.
     pub fn shared() -> Arc<ProfileCache> {
         Arc::new(ProfileCache::new())
+    }
+
+    /// The configured entry bound (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Analyze `source` (see [`analyze_source`]), returning the cached
@@ -198,21 +265,52 @@ impl ProfileCache {
     /// # Errors
     /// Exactly those of [`analyze_source`]; errors are never cached.
     pub fn analyze(&self, source: &str) -> Result<Arc<(StaticFeatures, KernelProfile)>> {
-        if let Some(hit) = self.entries.lock().expect("cache poisoned").get(source) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
+        {
+            let mut inner = self.inner.lock().expect("cache poisoned");
+            if let Some(slot) = inner.entries.get(source) {
+                let hit = Arc::clone(&slot.analyzed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                // Only bounded caches pay for recency bookkeeping;
+                // the (default) unbounded hit path is one lookup.
+                if self.capacity.is_some() {
+                    inner.touch(source);
+                }
+                return Ok(hit);
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Analyze outside the lock: parsing is the expensive part and
         // other sources should not serialize behind it. Two threads
         // racing on the same new source both analyze, then agree.
         let analyzed = Arc::new(analyze_source(source, None)?);
-        let mut entries = self.entries.lock().expect("cache poisoned");
-        Ok(Arc::clone(
-            entries
-                .entry(source.to_string())
-                .or_insert_with(|| Arc::clone(&analyzed)),
-        ))
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        let result = match inner.entries.get(source) {
+            // The race lost: keep the first insertion.
+            Some(slot) => Arc::clone(&slot.analyzed),
+            None => {
+                let key: Arc<str> = Arc::from(source);
+                inner.entries.insert(
+                    Arc::clone(&key),
+                    CacheSlot {
+                        analyzed: Arc::clone(&analyzed),
+                        key,
+                        tick: 0, // fixed by touch() for bounded caches
+                    },
+                );
+                analyzed
+            }
+        };
+        if let Some(capacity) = self.capacity {
+            inner.touch(source);
+            while inner.entries.len() > capacity {
+                let Some((_, lru_key)) = inner.recency.pop_first() else {
+                    break;
+                };
+                inner.entries.remove(lru_key.as_ref());
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(result)
     }
 
     /// Number of calls answered from the cache so far.
@@ -226,9 +324,16 @@ impl ProfileCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Number of least-recently-used entries evicted to keep the cache
+    /// within [`with_capacity`](ProfileCache::with_capacity). Always 0
+    /// for the default unbounded cache.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Number of distinct sources currently cached.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache poisoned").len()
+        self.inner.lock().expect("cache poisoned").entries.len()
     }
 
     /// Whether the cache holds no entries yet.
@@ -306,6 +411,68 @@ mod tests {
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.misses(), 2, "every failing call re-analyzes");
         assert_eq!(cache.hits(), 0);
+    }
+
+    /// A trivially valid kernel whose source embeds `i`, so each index
+    /// is a distinct cache key.
+    fn numbered_kernel(i: usize) -> String {
+        format!(
+            "__kernel void k{i}(__global float* x) {{
+                uint t = get_global_id(0);
+                x[t] = x[t] * {i}.0f;
+            }}"
+        )
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache = ProfileCache::with_capacity(2);
+        assert_eq!(cache.capacity(), Some(2));
+        let k0 = numbered_kernel(0);
+        let k1 = numbered_kernel(1);
+        let k2 = numbered_kernel(2);
+        cache.analyze(&k0).unwrap();
+        cache.analyze(&k1).unwrap();
+        // Touch k0 so k1 becomes the LRU entry...
+        cache.analyze(&k0).unwrap();
+        // ...then overflow: k1 is evicted, k0 survives.
+        cache.analyze(&k2).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        let hits_before = cache.hits();
+        cache.analyze(&k0).unwrap();
+        assert_eq!(cache.hits(), hits_before + 1, "k0 was retained");
+        cache.analyze(&k1).unwrap();
+        assert_eq!(cache.misses(), 4, "k1 was evicted and re-analyzed");
+        assert_eq!(cache.evictions(), 2, "re-inserting k1 evicted again");
+    }
+
+    #[test]
+    fn eviction_keeps_in_flight_arcs_alive() {
+        let cache = ProfileCache::with_capacity(1);
+        let k0 = numbered_kernel(0);
+        let held = cache.analyze(&k0).unwrap();
+        // Evict k0 by inserting another source.
+        cache.analyze(&numbered_kernel(1)).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 1);
+        // The evicted entry's Arc is still fully usable.
+        assert_eq!(held.1.name, "k0");
+        // And re-analyzing k0 is a miss producing an equal result.
+        let again = cache.analyze(&k0).unwrap();
+        assert!(!Arc::ptr_eq(&held, &again));
+        assert_eq!(held.0, again.0);
+    }
+
+    #[test]
+    fn default_cache_is_unbounded() {
+        let cache = ProfileCache::new();
+        assert_eq!(cache.capacity(), None);
+        for i in 0..64 {
+            cache.analyze(&numbered_kernel(i)).unwrap();
+        }
+        assert_eq!(cache.len(), 64);
+        assert_eq!(cache.evictions(), 0);
     }
 
     #[test]

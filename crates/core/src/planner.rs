@@ -368,6 +368,11 @@ impl TrainedPlanner {
     /// analyzed once thanks to the shared cache; every prediction still
     /// runs, since identical kernels still need their own result slot.
     ///
+    /// The sources may be anything string-shaped — `&[&str]`,
+    /// `&[String]`, `&[Arc<str>]` — so callers holding owned
+    /// `String`s (a server's request decoder, file readers) don't
+    /// rebuild a borrow slice first.
+    ///
     /// ```
     /// use gpufreq_core::{Corpus, ModelConfig, Planner};
     ///
@@ -381,13 +386,23 @@ impl TrainedPlanner {
     ///                  uint i = get_global_id(0);
     ///                  y[i] = a * x[i] + y[i];
     ///              }";
-    /// let results = planner.predict_batch(&[saxpy, "not a kernel", saxpy]);
-    /// assert!(results[0].is_ok() && results[2].is_ok());
+    /// // Owned and borrowed sources alike, no conversion needed:
+    /// let owned: Vec<String> = vec![saxpy.to_string(), "not a kernel".to_string()];
+    /// let results = planner.predict_batch(&owned);
+    /// assert!(results[0].is_ok());
     /// assert!(results[1].is_err(), "errors stay in their slot");
+    /// assert_eq!(
+    ///     results[0].as_ref().unwrap(),
+    ///     planner.predict_batch(&[saxpy])[0].as_ref().unwrap(),
+    /// );
     /// # Ok::<(), gpufreq_core::Error>(())
     /// ```
-    pub fn predict_batch(&self, sources: &[&str]) -> Vec<Result<ParetoPrediction>> {
-        self.engine.map(sources, |src| self.predict_source(src))
+    pub fn predict_batch<S: AsRef<str> + Sync>(
+        &self,
+        sources: &[S],
+    ) -> Vec<Result<ParetoPrediction>> {
+        self.engine
+            .map(sources, |src| self.predict_source(src.as_ref()))
     }
 
     /// Evaluate the planner on the paper's twelve test benchmarks

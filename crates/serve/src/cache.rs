@@ -1,0 +1,264 @@
+//! The sharded, capacity-bounded response front cache.
+//!
+//! Keyed by `(device, source-hash)`: a kernel the server has already
+//! answered for a device skips *everything* — parsing, static
+//! analysis, and the full-configuration SVR scan — and replays the
+//! exact serialized prediction bytes, which is also what keeps
+//! repeated responses byte-identical by construction. Entries are the
+//! compact-JSON `ParetoPrediction` fragments shared by `predict` and
+//! `predict_batch` responses, so a kernel cached through one request
+//! kind is a hit for the other.
+//!
+//! Sharding (`shards` independently-locked LRU maps, selected by key
+//! hash) keeps workers from serializing on one mutex under load; the
+//! capacity bound is split evenly across shards. Hash collisions are
+//! guarded by comparing the stored source before a hit is returned —
+//! a colliding insert simply replaces the entry (last writer wins),
+//! never serves the wrong kernel's bytes.
+
+use gpufreq_sim::Device;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a, the classic dependency-free 64-bit string hash.
+fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The cache key hash of one `(device, source)` pair.
+pub fn key_hash(device: Device, source: &str) -> u64 {
+    let h = fnv1a(device.id().as_bytes(), 0xcbf2_9ce4_8422_2325);
+    // A separator byte that can appear in neither id nor UTF-8 text,
+    // so `(id, source)` pairs can't alias across the boundary.
+    fnv1a(source.as_bytes(), fnv1a(&[0xff], h))
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// The full source, kept to verify hits under (astronomically
+    /// unlikely) 64-bit hash collisions.
+    source: Arc<str>,
+    body: Arc<str>,
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<u64, Entry>,
+    /// Recency index: tick → key hash; smallest tick = LRU.
+    recency: BTreeMap<u64, u64>,
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            self.recency.remove(&entry.tick);
+            entry.tick = tick;
+            self.recency.insert(tick, key);
+        }
+    }
+}
+
+/// The sharded LRU described in the [module docs](self).
+///
+/// All methods take `&self`; the cache is shared by every worker
+/// thread. A capacity of `0` disables caching entirely (every lookup
+/// is a miss, nothing is stored) — the knob load tests use to measure
+/// the uncached baseline.
+#[derive(Debug)]
+pub struct FrontCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity: usize,
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl FrontCache {
+    /// A cache bounded to `capacity` entries across `shards` shards
+    /// (shard count minimum 1; capacity 0 disables the cache).
+    pub fn new(capacity: usize, shards: usize) -> FrontCache {
+        let shards = shards.max(1);
+        FrontCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity,
+            per_shard: capacity.div_ceil(shards),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        // The low bits feed the HashMap inside the shard; use the high
+        // bits for shard selection so the two are independent.
+        &self.shards[(key >> 32) as usize % self.shards.len()]
+    }
+
+    /// Look up the cached body for `(device, source)` with `key` =
+    /// [`key_hash`]`(device, source)`. A hit refreshes recency.
+    pub fn get(&self, key: u64, source: &str) -> Option<Arc<str>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shard(key).lock().expect("front cache poisoned");
+        match shard.entries.get(&key) {
+            Some(entry) if entry.source.as_ref() == source => {
+                let body = Arc::clone(&entry.body);
+                shard.touch(key);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(body)
+            }
+            _ => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or, on key collision, replace) the body for
+    /// `(device, source)`, evicting the shard's least-recently-used
+    /// entries beyond its capacity share.
+    pub fn insert(&self, key: u64, source: &str, body: Arc<str>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut shard = self.shard(key).lock().expect("front cache poisoned");
+        if let Some(old) = shard.entries.remove(&key) {
+            shard.recency.remove(&old.tick);
+        }
+        shard.entries.insert(
+            key,
+            Entry {
+                source: Arc::from(source),
+                body,
+                tick: 0, // fixed by touch() below
+            },
+        );
+        shard.touch(key);
+        let mut evicted = 0;
+        while shard.entries.len() > self.per_shard {
+            let Some((_, lru_key)) = shard.recency.pop_first() else {
+                break;
+            };
+            shard.entries.remove(&lru_key);
+            evicted += 1;
+        }
+        drop(shard);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Total configured capacity (0 = disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("front cache poisoned").entries.len())
+            .sum()
+    }
+
+    /// Whether no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing (or found a colliding entry).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn hit_after_insert_and_distinct_devices_do_not_alias() {
+        let cache = FrontCache::new(16, 2);
+        let src = "__kernel void k() {}";
+        let k_titan = key_hash(Device::TitanX, src);
+        let k_p100 = key_hash(Device::TeslaP100, src);
+        assert_ne!(k_titan, k_p100);
+        cache.insert(k_titan, src, body("titan-body"));
+        assert_eq!(cache.get(k_titan, src).as_deref(), Some("titan-body"));
+        assert_eq!(cache.get(k_p100, src), None);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn colliding_source_is_never_served() {
+        let cache = FrontCache::new(16, 1);
+        let key = 42u64; // force a synthetic collision
+        cache.insert(key, "source-a", body("a"));
+        assert_eq!(cache.get(key, "source-b"), None, "collision is a miss");
+        cache.insert(key, "source-b", body("b"));
+        assert_eq!(cache.get(key, "source-b").as_deref(), Some("b"));
+        assert_eq!(cache.get(key, "source-a"), None, "last writer won");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_a_shard() {
+        let cache = FrontCache::new(2, 1);
+        cache.insert(1, "s1", body("b1"));
+        cache.insert(2, "s2", body("b2"));
+        // Touch 1 so 2 is the LRU victim.
+        assert!(cache.get(1, "s1").is_some());
+        cache.insert(3, "s3", body("b3"));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(2, "s2").is_none(), "LRU entry evicted");
+        assert!(cache.get(1, "s1").is_some());
+        assert!(cache.get(3, "s3").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = FrontCache::new(0, 4);
+        cache.insert(1, "s", body("b"));
+        assert_eq!(cache.get(1, "s"), None);
+        assert_eq!(cache.len(), 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn key_hash_separates_device_and_source_bytes() {
+        // `titan-x` + `abc` must not alias some other split of the
+        // same byte stream.
+        let a = key_hash(Device::TitanX, "abc");
+        let b = key_hash(Device::TitanX, "abd");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,57 @@
+//! `gpufreq-serve` — the request-path side of the reproduction: a
+//! long-running, multi-threaded prediction daemon for the paper's
+//! deployment story (per-kernel DVFS decisions made online, "at the
+//! driver level from static code alone", §4.5–§4.6 — a serving
+//! problem, not a batch one).
+//!
+//! A [`Server`] loads one [`TrainedPlanner`](gpufreq_core::TrainedPlanner)
+//! per served device and answers a JSON-lines protocol
+//! ([`protocol`]) over TCP ([`Server::serve`]) or any byte stream —
+//! stdin/stdout, a pipe, a recorded transcript
+//! ([`Server::serve_lines`]). Internally it owns:
+//!
+//! * a **worker pool** fed by a [`BoundedQueue`](queue::BoundedQueue)
+//!   with explicit backpressure — a full queue answers a typed
+//!   `overloaded` error immediately, it never blocks the acceptor;
+//! * a **sharded, capacity-bounded front cache**
+//!   ([`cache::FrontCache`]) keyed by `(device, source-hash)`, so a
+//!   repeated kernel skips parsing, analysis *and* the
+//!   full-configuration SVR scan and replays byte-identical response
+//!   bytes;
+//! * **metrics** ([`metrics::Metrics`]): request counters, cache hit
+//!   rates, queue depth, and a latency histogram with p50/p95/p99,
+//!   surfaced by the `stats` request and the final shutdown summary;
+//! * **deterministic responses**: the same request stream produces
+//!   byte-identical response bodies at any worker count (see
+//!   [`server`]'s module docs; pinned by `tests/determinism.rs`).
+//!
+//! ```no_run
+//! use gpufreq_core::{Corpus, Planner};
+//! use gpufreq_serve::{Server, ServerConfig};
+//! use std::net::TcpListener;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let planners = Planner::builder().corpus(Corpus::Full).train_all_devices()?;
+//! let server = Server::new(planners, ServerConfig::default())?;
+//! let listener = TcpListener::bind("127.0.0.1:7071")?;
+//! let summary = server.serve(listener)?; // blocks until a `shutdown` request
+//! println!("served {} requests", summary.requests.total);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The CLI front ends are `gpufreq serve` / `gpufreq client`; the load
+//! generator is the `loadgen` binary of `gpufreq-bench`.
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use protocol::{
+    BatchResult, DeviceInfo, ErrorBody, ErrorCode, LatencyStats, Request, Response, ServerStats,
+};
+pub use server::{render_stats_table, ServeError, Server, ServerConfig};

@@ -1,0 +1,220 @@
+//! Lock-free serving metrics: request counters by kind plus a
+//! power-of-two latency histogram.
+//!
+//! Latencies are recorded in microseconds into 40 buckets where bucket
+//! `i` covers `[2^i, 2^(i+1))` µs (bucket 0 additionally absorbs 0).
+//! Quantiles are reported as the **upper bound** of the bucket the
+//! quantile falls in — a conservative ≤2× over-approximation that
+//! needs no stored samples, no locks, and no floating point, which is
+//! all a `stats` request costs under load.
+
+use crate::protocol::{LatencyStats, RequestCounts};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 40;
+
+/// Aggregate serving metrics; all methods take `&self` and are safe to
+/// call from every worker and connection thread concurrently.
+#[derive(Debug)]
+pub struct Metrics {
+    total: AtomicU64,
+    predict: AtomicU64,
+    predict_batch: AtomicU64,
+    batch_kernels: AtomicU64,
+    devices: AtomicU64,
+    stats: AtomicU64,
+    shutdown: AtomicU64,
+    errors: AtomicU64,
+    rejected: AtomicU64,
+    latency_max_us: AtomicU64,
+    latency_buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Metrics {
+        Metrics {
+            total: AtomicU64::new(0),
+            predict: AtomicU64::new(0),
+            predict_batch: AtomicU64::new(0),
+            batch_kernels: AtomicU64::new(0),
+            devices: AtomicU64::new(0),
+            stats: AtomicU64::new(0),
+            shutdown: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            latency_max_us: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Count one incoming protocol line (well-formed or not).
+    pub fn count_line(&self) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one `predict` request.
+    pub fn count_predict(&self) {
+        self.predict.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one `predict_batch` request carrying `kernels` sources.
+    pub fn count_predict_batch(&self, kernels: usize) {
+        self.predict_batch.fetch_add(1, Ordering::Relaxed);
+        self.batch_kernels
+            .fetch_add(kernels as u64, Ordering::Relaxed);
+    }
+
+    /// Count one `devices` request.
+    pub fn count_devices(&self) {
+        self.devices.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one `stats` request.
+    pub fn count_stats(&self) {
+        self.stats.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one `shutdown` request.
+    pub fn count_shutdown(&self) {
+        self.shutdown.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one error response (any code except `overloaded`).
+    pub fn count_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one backpressure rejection (`overloaded`).
+    pub fn count_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one serving latency (request read → response body
+    /// ready).
+    pub fn observe_us(&self, us: u64) {
+        self.latency_max_us.fetch_max(us, Ordering::Relaxed);
+        self.latency_buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The request-counter snapshot.
+    pub fn request_counts(&self) -> RequestCounts {
+        RequestCounts {
+            total: self.total.load(Ordering::Relaxed),
+            predict: self.predict.load(Ordering::Relaxed),
+            predict_batch: self.predict_batch.load(Ordering::Relaxed),
+            batch_kernels: self.batch_kernels.load(Ordering::Relaxed),
+            devices: self.devices.load(Ordering::Relaxed),
+            stats: self.stats.load(Ordering::Relaxed),
+            shutdown: self.shutdown.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The latency-histogram snapshot (p50/p95/p99 as bucket upper
+    /// bounds, max exact).
+    pub fn latency(&self) -> LatencyStats {
+        let counts: Vec<u64> = self
+            .latency_buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        LatencyStats {
+            count,
+            p50: quantile(&counts, count, 0.50),
+            p95: quantile(&counts, count, 0.95),
+            p99: quantile(&counts, count, 0.99),
+            max: self.latency_max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The histogram bucket for a latency of `us` microseconds.
+fn bucket_index(us: u64) -> usize {
+    (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Upper bound (µs) of the bucket the `q`-quantile falls in; 0 when
+/// nothing was observed.
+fn quantile(counts: &[u64], total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    // The rank of the quantile observation, 1-based, clamped into range.
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return bucket_upper_bound_us(i);
+        }
+    }
+    bucket_upper_bound_us(BUCKETS - 1)
+}
+
+/// Largest latency (µs) a bucket covers.
+fn bucket_upper_bound_us(index: usize) -> u64 {
+    (1u64 << (index + 1)) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_expected_ranges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let m = Metrics::new();
+        assert_eq!(m.latency().count, 0);
+        assert_eq!(m.latency().p99, 0);
+        // 90 fast observations at ~8µs, 10 slow at ~4096µs.
+        for _ in 0..90 {
+            m.observe_us(8);
+        }
+        for _ in 0..10 {
+            m.observe_us(4096);
+        }
+        let lat = m.latency();
+        assert_eq!(lat.count, 100);
+        assert_eq!(lat.p50, 15, "8µs falls in [8,16)");
+        assert_eq!(lat.p95, 8191, "4096µs falls in [4096,8192)");
+        assert_eq!(lat.p99, 8191);
+        assert_eq!(lat.max, 4096, "max is exact");
+    }
+
+    #[test]
+    fn request_counts_accumulate() {
+        let m = Metrics::new();
+        m.count_line();
+        m.count_line();
+        m.count_predict();
+        m.count_predict_batch(7);
+        m.count_error();
+        m.count_rejected();
+        let c = m.request_counts();
+        assert_eq!(c.total, 2);
+        assert_eq!(c.predict, 1);
+        assert_eq!(c.predict_batch, 1);
+        assert_eq!(c.batch_kernels, 7);
+        assert_eq!(c.errors, 1);
+        assert_eq!(c.rejected, 1);
+    }
+}

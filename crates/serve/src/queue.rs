@@ -1,0 +1,322 @@
+//! Bounded MPSC plumbing for the worker pool: a capacity-bounded job
+//! queue with *reject-don't-block* semantics, plus the per-request
+//! response [`Slot`] and the per-connection in-order [`ResponseLane`].
+//!
+//! The acceptor side never blocks on a full queue: [`BoundedQueue::try_push`]
+//! fails immediately so the connection can answer with a typed
+//! `overloaded` error — explicit backpressure instead of unbounded
+//! buffering or a stalled accept loop. Workers block on
+//! [`BoundedQueue::pop`] until a job arrives or the queue is closed
+//! and drained.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why [`BoundedQueue::try_push`] returned the item instead of
+/// queueing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — backpressure; the caller should
+    /// answer `overloaded`.
+    Full,
+    /// The queue was closed (the server is shutting down).
+    Closed,
+}
+
+#[derive(Debug)]
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A thread-safe FIFO bounded to `capacity` items.
+///
+/// Closing the queue rejects further pushes while letting consumers
+/// drain what was already accepted — exactly the shutdown semantics
+/// the server needs (`shutdown` is acknowledged, queued work still
+/// completes, new work is refused).
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue without blocking; on failure the item is returned to
+    /// the caller together with the reason.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err((item, PushError::Closed));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue, waiting for space when the queue is full — the
+    /// flow-control flavor single-stream replay uses (pausing the
+    /// reader is a pipe's natural backpressure, and it keeps replayed
+    /// responses independent of worker timing). Only a closed queue
+    /// returns the item.
+    pub fn push_wait(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if inner.closed {
+                return Err((item, PushError::Closed));
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                drop(inner);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.not_full.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Block until an item is available (returning it) or the queue is
+    /// closed *and* drained (returning `None` — the worker's exit
+    /// signal).
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Refuse further pushes; already-queued items remain poppable.
+    /// Idempotent.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`close`](BoundedQueue::close) was called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue poisoned").closed
+    }
+}
+
+/// A write-once response cell: the connection thread waits on it, a
+/// worker (or the inline fast path) fills it exactly once.
+#[derive(Debug, Default)]
+pub struct Slot {
+    body: Mutex<Option<String>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    /// An empty slot.
+    pub fn new() -> Slot {
+        Slot::default()
+    }
+
+    /// A slot that is already filled — for responses produced inline
+    /// (parse errors, backpressure rejections) that still flow through
+    /// the in-order response lane.
+    pub fn filled(body: String) -> Slot {
+        Slot {
+            body: Mutex::new(Some(body)),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Fill the slot. Filling twice is a bug and panics.
+    pub fn fill(&self, body: String) {
+        let mut slot = self.body.lock().expect("slot poisoned");
+        assert!(slot.is_none(), "response slot filled twice");
+        *slot = Some(body);
+        drop(slot);
+        self.ready.notify_all();
+    }
+
+    /// Block until the slot is filled and take the body.
+    pub fn wait(&self) -> String {
+        let mut slot = self.body.lock().expect("slot poisoned");
+        loop {
+            if let Some(body) = slot.take() {
+                return body;
+            }
+            slot = self.ready.wait(slot).expect("slot poisoned");
+        }
+    }
+}
+
+/// The per-connection in-order response lane: the reader pushes one
+/// [`Slot`] per request *in request order*; the connection's writer
+/// thread pops slots in that same order, waits for each body, and
+/// writes it — so responses are always emitted in request order no
+/// matter which worker finishes first. This is what makes the served
+/// byte stream independent of the worker count.
+#[derive(Debug, Default)]
+pub struct ResponseLane {
+    inner: Mutex<LaneInner>,
+    ready: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct LaneInner {
+    slots: VecDeque<std::sync::Arc<Slot>>,
+    closed: bool,
+}
+
+impl ResponseLane {
+    /// An empty lane.
+    pub fn new() -> ResponseLane {
+        ResponseLane::default()
+    }
+
+    /// Append the next request's slot (request order = push order).
+    pub fn push(&self, slot: std::sync::Arc<Slot>) {
+        let mut inner = self.inner.lock().expect("lane poisoned");
+        inner.slots.push_back(slot);
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// No more slots will be pushed; the writer drains what remains
+    /// and stops.
+    pub fn close(&self) {
+        self.inner.lock().expect("lane poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Next slot in request order, or `None` once closed and drained.
+    pub fn next(&self) -> Option<std::sync::Arc<Slot>> {
+        let mut inner = self.inner.lock().expect("lane poisoned");
+        loop {
+            if let Some(slot) = inner.slots.pop_front() {
+                return Some(slot);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("lane poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn try_push_rejects_when_full_and_after_close() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err((3, PushError::Full)));
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert_eq!(q.try_push(4), Err((4, PushError::Closed)));
+        // Closed but not drained: consumers still see the items.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "closed + drained = worker exit");
+    }
+
+    #[test]
+    fn push_wait_blocks_until_space_then_succeeds() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push_wait(2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1), "pop frees a slot and wakes the pusher");
+        assert!(pusher.join().unwrap().is_ok());
+        assert_eq!(q.pop(), Some(2));
+        // Closing while a pusher waits returns the item.
+        q.try_push(3).unwrap();
+        let q3 = Arc::clone(&q);
+        let blocked = std::thread::spawn(move || q3.push_wait(4));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(blocked.join().unwrap(), Err((4, PushError::Closed)));
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let handle = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(42).unwrap();
+        assert_eq!(handle.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err((2, PushError::Full)));
+    }
+
+    #[test]
+    fn lane_preserves_push_order_even_with_out_of_order_fills() {
+        let lane = ResponseLane::new();
+        let a = Arc::new(Slot::new());
+        let b = Arc::new(Slot::new());
+        lane.push(Arc::clone(&a));
+        lane.push(Arc::clone(&b));
+        lane.close();
+        // Fill in reverse order; the lane still yields a before b.
+        b.fill("second".into());
+        a.fill("first".into());
+        assert_eq!(lane.next().unwrap().wait(), "first");
+        assert_eq!(lane.next().unwrap().wait(), "second");
+        assert!(lane.next().is_none());
+    }
+
+    #[test]
+    fn prefilled_slot_is_immediately_ready() {
+        let slot = Slot::filled("done".into());
+        assert_eq!(slot.wait(), "done");
+    }
+}

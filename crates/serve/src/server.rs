@@ -1,0 +1,1153 @@
+//! The prediction server: planners for every served device, a worker
+//! pool behind a bounded queue, the response front cache, and the
+//! TCP/stdio serving loops.
+//!
+//! # Determinism
+//!
+//! For every request except `stats` (a live metrics snapshot by
+//! definition), the response body is a pure function of the request
+//! and the loaded models: workers merge nothing, each request's
+//! response is computed independently, and the per-connection
+//! [`ResponseLane`] emits bodies strictly in request order. Replaying
+//! a recorded request stream therefore produces **byte-identical**
+//! response bodies at any worker count — pinned by
+//! `tests/determinism.rs` at the workspace root, the serving-side twin
+//! of the engine's serial-vs-parallel contract. Cache hits replay the
+//! exact bytes that were first computed, so the front cache cannot
+//! introduce drift either.
+//!
+//! Within one stream, requests after a `shutdown` are answered with a
+//! typed `shutting_down` error by the stream's own reader (not raced
+//! through the draining queue), keeping even the drain deterministic;
+//! and single-stream replay ([`Server::serve_lines`]) applies
+//! backpressure by *pausing the reader* on a full queue (a pipe's
+//! natural flow control), so the contract holds for streams of any
+//! length. Only genuinely concurrent effects are outside it: across
+//! *concurrent TCP connections* the shutdown point and `overloaded`
+//! rejections are inherently timing-dependent, as on any real server.
+
+use crate::cache::{key_hash, FrontCache};
+use crate::metrics::Metrics;
+use crate::protocol::{
+    CacheStats, DeviceInfo, ErrorBody, ErrorCode, QueueStats, Request, Response, ServerStats,
+};
+use crate::queue::{BoundedQueue, PushError, ResponseLane, Slot};
+use gpufreq_core::{ascii_table, ProfileCache, TrainedPlanner};
+use gpufreq_sim::Device;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often the nonblocking accept loop re-checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Read timeout on accepted sockets, so connection readers notice a
+/// server-wide shutdown even while their client is idle.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Requests larger than this are answered with `bad_request` instead
+/// of being parsed (a kernel source is kilobytes; a megabyte line is
+/// not a kernel). The pump discards — never buffers — bytes beyond
+/// the bound, so oversized (or newline-less) input cannot grow server
+/// memory.
+const MAX_LINE_BYTES: usize = 4 << 20;
+
+/// The `bad_request` body for a line crossing [`MAX_LINE_BYTES`].
+fn oversize_error() -> ErrorBody {
+    ErrorBody::new(
+        ErrorCode::BadRequest,
+        format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+    )
+}
+
+/// Append `bytes` to the line buffer unless that would cross
+/// [`MAX_LINE_BYTES`]; past the bound the line is marked overflowed
+/// and everything further is dropped on the floor.
+fn append_bounded(buf: &mut Vec<u8>, bytes: &[u8], overflowed: &mut bool) {
+    if *overflowed || buf.len() + bytes.len() > MAX_LINE_BYTES {
+        *overflowed = true;
+    } else {
+        buf.extend_from_slice(bytes);
+    }
+}
+
+/// Sizing knobs for a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads executing requests (minimum 1). Responses are
+    /// byte-identical for every value; only throughput changes.
+    pub workers: usize,
+    /// Bound of the request queue; a full queue rejects with a typed
+    /// `overloaded` error instead of blocking the acceptor.
+    pub queue_capacity: usize,
+    /// Total entries of the response front cache (0 disables it).
+    pub cache_capacity: usize,
+    /// Shards of the front cache (more shards, less lock contention).
+    pub cache_shards: usize,
+    /// Entry bound of the shared kernel-analysis cache (0 =
+    /// unbounded).
+    pub analysis_cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    /// All cores (capped at 8) workers, a 256-deep queue, a 4096-entry
+    /// front cache over 16 shards, a 1024-entry analysis cache.
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+            queue_capacity: 256,
+            cache_capacity: 4096,
+            cache_shards: 16,
+            analysis_cache_capacity: 1024,
+        }
+    }
+}
+
+/// Why a [`Server`] could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// No planners were supplied.
+    NoPlanners,
+    /// Two planners target the same device.
+    DuplicateDevice(Device),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::NoPlanners => f.write_str("a server needs at least one trained planner"),
+            ServeError::DuplicateDevice(d) => {
+                write!(f, "two planners target the same device `{d}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One queued unit of work: the parsed request, the slot its response
+/// body goes into, and when it was accepted (for the latency
+/// histogram).
+#[derive(Debug)]
+struct Job {
+    request: Request,
+    slot: Arc<Slot>,
+    accepted: Instant,
+}
+
+/// The long-running prediction server. See the [module docs](self) for
+/// the determinism contract and [`ServerConfig`] for sizing.
+///
+/// Construction takes already-trained planners (train them with
+/// [`Planner::builder`](gpufreq_core::Planner::builder) or load
+/// persisted artifacts); the server pins each planner's engine serial
+/// — parallelism comes from the worker pool, one request per worker —
+/// and re-homes them onto one shared, bounded analysis cache.
+#[derive(Debug)]
+pub struct Server {
+    planners: Vec<(Device, TrainedPlanner)>,
+    analysis_cache: Arc<ProfileCache>,
+    front: FrontCache,
+    metrics: Metrics,
+    queue: BoundedQueue<Job>,
+    shutting_down: AtomicBool,
+    workers: usize,
+}
+
+impl Server {
+    /// Build a server holding `planners` (one per device).
+    ///
+    /// # Errors
+    /// [`ServeError::NoPlanners`] for an empty list,
+    /// [`ServeError::DuplicateDevice`] when two planners target the
+    /// same device.
+    pub fn new(planners: Vec<TrainedPlanner>, config: ServerConfig) -> Result<Server, ServeError> {
+        if planners.is_empty() {
+            return Err(ServeError::NoPlanners);
+        }
+        let analysis_cache = Arc::new(if config.analysis_cache_capacity == 0 {
+            ProfileCache::new()
+        } else {
+            ProfileCache::with_capacity(config.analysis_cache_capacity)
+        });
+        let mut keyed: Vec<(Device, TrainedPlanner)> = Vec::with_capacity(planners.len());
+        for planner in planners {
+            let device = planner.device();
+            if keyed.iter().any(|(d, _)| *d == device) {
+                return Err(ServeError::DuplicateDevice(device));
+            }
+            keyed.push((
+                device,
+                planner
+                    .with_jobs(Some(1))
+                    .with_cache(Arc::clone(&analysis_cache)),
+            ));
+        }
+        Ok(Server {
+            planners: keyed,
+            analysis_cache,
+            front: FrontCache::new(config.cache_capacity, config.cache_shards),
+            metrics: Metrics::new(),
+            queue: BoundedQueue::new(config.queue_capacity),
+            shutting_down: AtomicBool::new(false),
+            workers: config.workers.max(1),
+        })
+    }
+
+    /// The devices served, in planner order.
+    pub fn devices(&self) -> Vec<Device> {
+        self.planners.iter().map(|(d, _)| *d).collect()
+    }
+
+    /// Whether a `shutdown` request has been accepted.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting new work (queued work still drains). Idempotent;
+    /// also triggered by the `shutdown` request.
+    pub fn initiate_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    /// A live metrics snapshot (the `stats` response payload).
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests: self.metrics.request_counts(),
+            front_cache: CacheStats {
+                hits: self.front.hits(),
+                misses: self.front.misses(),
+                evictions: self.front.evictions(),
+                len: self.front.len(),
+                capacity: self.front.capacity(),
+            },
+            analysis_cache: CacheStats {
+                hits: self.analysis_cache.hits() as u64,
+                misses: self.analysis_cache.misses() as u64,
+                evictions: self.analysis_cache.evictions() as u64,
+                len: self.analysis_cache.len(),
+                capacity: self.analysis_cache.capacity().unwrap_or(0),
+            },
+            queue: QueueStats {
+                depth: self.queue.len(),
+                capacity: self.queue.capacity(),
+            },
+            workers: self.workers,
+            latency_us: self.metrics.latency(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Request execution
+    // ------------------------------------------------------------------
+
+    /// Resolve a wire device id to a served planner.
+    fn resolve(&self, id: &str) -> Result<(Device, &TrainedPlanner), ErrorBody> {
+        let device: Device = id
+            .parse()
+            .map_err(|e| ErrorBody::new(ErrorCode::UnknownDevice, format!("{e}")))?;
+        self.planners
+            .iter()
+            .find(|(d, _)| *d == device)
+            .map(|(d, p)| (*d, p))
+            .ok_or_else(|| {
+                ErrorBody::new(
+                    ErrorCode::DeviceNotServed,
+                    format!(
+                        "no model loaded for `{device}` (serving: {})",
+                        self.planners
+                            .iter()
+                            .map(|(d, _)| d.id())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                )
+            })
+    }
+
+    /// The cached compact-JSON `ParetoPrediction` fragment for one
+    /// `(device, source)` pair; a hit skips parsing, analysis and the
+    /// SVR scan entirely. Failures are typed and never cached.
+    fn prediction_fragment(
+        &self,
+        device: Device,
+        planner: &TrainedPlanner,
+        source: &str,
+    ) -> Result<Arc<str>, ErrorBody> {
+        let key = key_hash(device, source);
+        if let Some(hit) = self.front.get(key, source) {
+            return Ok(hit);
+        }
+        match planner.predict_source(source) {
+            Ok(prediction) => {
+                let fragment: Arc<str> = Arc::from(
+                    serde_json::to_string(&prediction)
+                        .expect("prediction serialization is infallible")
+                        .as_str(),
+                );
+                self.front.insert(key, source, Arc::clone(&fragment));
+                Ok(fragment)
+            }
+            Err(e) => Err(ErrorBody::new(ErrorCode::Kernel, format!("{e}"))),
+        }
+    }
+
+    /// Execute a request into a typed [`Response`] (no front cache, no
+    /// metrics) — the reference semantics the fast path is pinned
+    /// against, and the API in-process callers use.
+    pub fn handle(&self, request: &Request) -> Response {
+        match request {
+            Request::Predict { device, source } => match self.resolve(device) {
+                Ok((device, planner)) => match planner.predict_source(source) {
+                    Ok(prediction) => Response::Predict { device, prediction },
+                    Err(e) => ErrorBody::new(ErrorCode::Kernel, format!("{e}")).into_response(),
+                },
+                Err(e) => e.into_response(),
+            },
+            Request::PredictBatch { device, sources } => match self.resolve(device) {
+                Ok((device, planner)) => Response::PredictBatch {
+                    device,
+                    results: planner
+                        .predict_batch(sources)
+                        .into_iter()
+                        .map(|r| match r {
+                            Ok(p) => crate::protocol::BatchResult::Ok(p),
+                            Err(e) => crate::protocol::BatchResult::Err(ErrorBody::new(
+                                ErrorCode::Kernel,
+                                format!("{e}"),
+                            )),
+                        })
+                        .collect(),
+                },
+                Err(e) => e.into_response(),
+            },
+            Request::Devices => Response::Devices {
+                devices: self
+                    .planners
+                    .iter()
+                    .map(|(device, planner)| {
+                        let spec = planner.simulator().spec();
+                        DeviceInfo {
+                            id: device.id().to_string(),
+                            name: spec.name.clone(),
+                            memory_domains: spec.clocks.supported_memory_clocks().len(),
+                            configurations: spec.clocks.actual_configs().len(),
+                        }
+                    })
+                    .collect(),
+            },
+            Request::Stats => Response::Stats {
+                stats: self.stats(),
+            },
+            Request::Shutdown => Response::Shutdown,
+        }
+    }
+
+    /// Serialized error response, counted.
+    fn error_response(&self, error: ErrorBody) -> String {
+        self.metrics.count_error();
+        error.into_response().to_json()
+    }
+
+    /// Execute a request to its serialized response body — the worker
+    /// path: metrics are counted, predictions go through the front
+    /// cache, `shutdown` flips the server into draining.
+    fn body_for(&self, request: &Request) -> String {
+        match request {
+            Request::Predict { device, source } => {
+                self.metrics.count_predict();
+                match self.resolve(device) {
+                    Ok((device, planner)) => {
+                        match self.prediction_fragment(device, planner, source) {
+                            Ok(fragment) => format!(
+                                "{{\"ok\":\"predict\",\"device\":\"{}\",\"prediction\":{}}}",
+                                device.id(),
+                                fragment
+                            ),
+                            Err(e) => self.error_response(e),
+                        }
+                    }
+                    Err(e) => self.error_response(e),
+                }
+            }
+            Request::PredictBatch { device, sources } => {
+                self.metrics.count_predict_batch(sources.len());
+                match self.resolve(device) {
+                    Ok((device, planner)) => {
+                        let mut body = format!(
+                            "{{\"ok\":\"predict_batch\",\"device\":\"{}\",\"results\":[",
+                            device.id()
+                        );
+                        for (i, source) in sources.iter().enumerate() {
+                            if i > 0 {
+                                body.push(',');
+                            }
+                            match self.prediction_fragment(device, planner, source) {
+                                Ok(fragment) => {
+                                    body.push_str("{\"prediction\":");
+                                    body.push_str(&fragment);
+                                    body.push('}');
+                                }
+                                Err(e) => {
+                                    body.push_str("{\"error\":");
+                                    body.push_str(
+                                        &serde_json::to_string(&e)
+                                            .expect("error serialization is infallible"),
+                                    );
+                                    body.push('}');
+                                }
+                            }
+                        }
+                        body.push_str("]}");
+                        body
+                    }
+                    Err(e) => self.error_response(e),
+                }
+            }
+            Request::Devices => {
+                self.metrics.count_devices();
+                self.handle(request).to_json()
+            }
+            Request::Stats => {
+                self.metrics.count_stats();
+                self.handle(request).to_json()
+            }
+            Request::Shutdown => {
+                self.metrics.count_shutdown();
+                self.initiate_shutdown();
+                Response::Shutdown.to_json()
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Worker pool + connection plumbing
+    // ------------------------------------------------------------------
+
+    /// One worker: pop jobs until the queue is closed and drained.
+    ///
+    /// A panic inside request execution must not strand the waiting
+    /// connection: it is caught, answered as a typed `internal` error,
+    /// and the worker keeps serving.
+    fn worker_loop(&self) {
+        while let Some(job) = self.queue.pop() {
+            let body = self.execute(&job);
+            job.slot.fill(body);
+        }
+    }
+
+    /// Run one job to its response body, catching panics so the
+    /// response [`Slot`] is *always* filled (an unfilled slot would
+    /// wedge the connection's writer forever).
+    fn execute(&self, job: &Job) -> String {
+        let body =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.body_for(&job.request)))
+                .unwrap_or_else(|_| {
+                    self.error_response(ErrorBody::new(
+                        ErrorCode::Internal,
+                        "internal error while serving the request",
+                    ))
+                });
+        self.metrics
+            .observe_us(job.accepted.elapsed().as_micros() as u64);
+        body
+    }
+
+    /// Process exactly one queued job — lets tests drive the worker
+    /// side by hand without spawning a pool.
+    #[cfg(test)]
+    fn worker_drain_one(&self) {
+        let job = self.queue.pop().expect("a job is queued");
+        let body = self.execute(&job);
+        job.slot.fill(body);
+    }
+
+    /// Accept one protocol line: parse, enqueue (or answer inline),
+    /// and push the response slot onto the connection's in-order lane.
+    ///
+    /// `wait_for_space` selects the backpressure flavor: single-stream
+    /// replay pauses the reader on a full queue (so replayed responses
+    /// never depend on worker timing), while TCP connections reject
+    /// with `overloaded` (the acceptor must never block).
+    fn accept_line(
+        &self,
+        line: &str,
+        lane: &ResponseLane,
+        local_shutdown: &mut bool,
+        wait_for_space: bool,
+    ) {
+        self.metrics.count_line();
+        let accepted = Instant::now();
+        let inline = |error: ErrorBody| {
+            let body = self.error_response(error);
+            self.metrics
+                .observe_us(accepted.elapsed().as_micros() as u64);
+            lane.push(Arc::new(Slot::filled(body)));
+        };
+        if line.len() > MAX_LINE_BYTES {
+            inline(oversize_error());
+            return;
+        }
+        let request = match Request::parse(line) {
+            Ok(request) => request,
+            Err(e) => {
+                inline(e);
+                return;
+            }
+        };
+        if *local_shutdown {
+            // Deterministic drain: once this stream has asked for
+            // shutdown, everything after it is refused by the stream's
+            // own reader instead of racing the closing queue.
+            inline(ErrorBody::new(
+                ErrorCode::ShuttingDown,
+                "server is shutting down",
+            ));
+            return;
+        }
+        let is_shutdown = matches!(request, Request::Shutdown);
+        let slot = Arc::new(Slot::new());
+        let job = Job {
+            request,
+            slot: Arc::clone(&slot),
+            accepted,
+        };
+        let pushed = if wait_for_space {
+            self.queue.push_wait(job)
+        } else {
+            self.queue.try_push(job)
+        };
+        match pushed {
+            Ok(()) => {
+                if is_shutdown {
+                    *local_shutdown = true;
+                }
+                lane.push(slot);
+            }
+            Err((_, PushError::Full)) => {
+                self.metrics.count_rejected();
+                let body = ErrorBody::new(
+                    ErrorCode::Overloaded,
+                    format!(
+                        "request queue is full ({} queued); retry later",
+                        self.queue.capacity()
+                    ),
+                )
+                .into_response()
+                .to_json();
+                self.metrics
+                    .observe_us(accepted.elapsed().as_micros() as u64);
+                lane.push(Arc::new(Slot::filled(body)));
+            }
+            Err((_, PushError::Closed)) => {
+                inline(ErrorBody::new(
+                    ErrorCode::ShuttingDown,
+                    "server is shutting down",
+                ));
+            }
+        }
+    }
+
+    /// Read protocol lines from `reader` until EOF (or, under
+    /// shutdown, until the next read timeout), feeding `lane`.
+    ///
+    /// Lines are assembled through a bounded buffer: once a line
+    /// crosses [`MAX_LINE_BYTES`] the rest of it is *discarded as it
+    /// streams in* (never accumulated), and the finished line is
+    /// answered with a typed `bad_request` — a newline-less firehose
+    /// cannot grow server memory.
+    fn pump<R: BufRead>(&self, mut reader: R, lane: &ResponseLane, wait_for_space: bool) {
+        let mut buf: Vec<u8> = Vec::new();
+        let mut overflowed = false;
+        let mut local_shutdown = false;
+        loop {
+            let (consumed, complete) = match reader.fill_buf() {
+                Ok([]) => {
+                    // EOF: a final unterminated line is still a request.
+                    if !buf.is_empty() || overflowed {
+                        self.finish_line(
+                            &mut buf,
+                            &mut overflowed,
+                            lane,
+                            &mut local_shutdown,
+                            wait_for_space,
+                        );
+                    }
+                    break;
+                }
+                Ok(bytes) => match bytes.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        append_bounded(&mut buf, &bytes[..pos], &mut overflowed);
+                        (pos + 1, true)
+                    }
+                    None => {
+                        append_bounded(&mut buf, bytes, &mut overflowed);
+                        (bytes.len(), false)
+                    }
+                },
+                // A read timeout (TCP sockets poll at `READ_POLL`):
+                // keep any partial line buffered and re-check the
+                // shutdown flag.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    if self.is_shutting_down() {
+                        break;
+                    }
+                    continue;
+                }
+                Err(_) => break,
+            };
+            reader.consume(consumed);
+            if complete {
+                self.finish_line(
+                    &mut buf,
+                    &mut overflowed,
+                    lane,
+                    &mut local_shutdown,
+                    wait_for_space,
+                );
+            }
+            // TCP only: a client that keeps streaming must not pin its
+            // connection thread (and with it the daemon) open across a
+            // server-wide shutdown — the timeout arm alone never fires
+            // while data keeps arriving. Replay streams instead drain
+            // to EOF so every recorded line gets its deterministic
+            // answer.
+            if !wait_for_space && self.is_shutting_down() {
+                break;
+            }
+        }
+    }
+
+    /// One assembled line out of [`pump`](Server::pump): answer
+    /// oversize and non-UTF-8 lines with typed errors, hand everything
+    /// else to [`accept_line`](Server::accept_line). Resets the buffer
+    /// for the next line.
+    fn finish_line(
+        &self,
+        buf: &mut Vec<u8>,
+        overflowed: &mut bool,
+        lane: &ResponseLane,
+        local_shutdown: &mut bool,
+        wait_for_space: bool,
+    ) {
+        let line_bytes = std::mem::take(buf);
+        if std::mem::take(overflowed) {
+            self.metrics.count_line();
+            lane.push(Arc::new(Slot::filled(
+                self.error_response(oversize_error()),
+            )));
+            return;
+        }
+        let Ok(line) = String::from_utf8(line_bytes) else {
+            self.metrics.count_line();
+            lane.push(Arc::new(Slot::filled(self.error_response(ErrorBody::new(
+                ErrorCode::BadRequest,
+                "request line is not valid UTF-8",
+            )))));
+            return;
+        };
+        let line = line.trim();
+        if !line.is_empty() {
+            self.accept_line(line, lane, local_shutdown, wait_for_space);
+        }
+    }
+
+    /// Serve one already-connected byte stream (stdin/stdout, a pipe,
+    /// an in-memory transcript): spawn the worker pool, answer every
+    /// line in order, then drain and shut down at EOF. Returns the
+    /// final metrics snapshot — the daemon's exit summary.
+    ///
+    /// This is also the replay entry point: determinism tests feed the
+    /// same recorded stream at different worker counts and compare the
+    /// output bytes.
+    pub fn serve_lines<R, W>(&self, reader: R, writer: W) -> io::Result<ServerStats>
+    where
+        R: BufRead,
+        W: Write + Send,
+    {
+        let lane = ResponseLane::new();
+        let write_result = std::thread::scope(|s| {
+            for _ in 0..self.workers {
+                s.spawn(|| self.worker_loop());
+            }
+            let lane_ref = &lane;
+            let writer_thread = s.spawn(move || Server::write_lane(lane_ref, writer));
+            // Single-stream replay: pause the reader on a full queue
+            // instead of rejecting, so the replayed bytes stay
+            // independent of worker timing at any stream length.
+            self.pump(reader, &lane, true);
+            lane.close();
+            let result = writer_thread.join().expect("writer thread panicked");
+            // Now that every accepted job has been answered, release
+            // the workers (the scope joins them).
+            self.initiate_shutdown();
+            result
+        });
+        write_result?;
+        Ok(self.stats())
+    }
+
+    /// Drain `lane` in order into `writer`, one body per line. Write
+    /// errors stop writing but keep draining, so producers never
+    /// block.
+    fn write_lane<W: Write>(lane: &ResponseLane, mut writer: W) -> io::Result<()> {
+        let mut result = Ok(());
+        while let Some(slot) = lane.next() {
+            let body = slot.wait();
+            if result.is_ok() {
+                result = writer
+                    .write_all(body.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush());
+            }
+        }
+        result
+    }
+
+    /// Handle one accepted TCP connection: reader + in-order writer.
+    fn connection(&self, stream: TcpStream) -> io::Result<()> {
+        stream.set_nonblocking(false)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(READ_POLL))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let lane = ResponseLane::new();
+        std::thread::scope(|s| {
+            let lane_ref = &lane;
+            let writer_thread = s.spawn(move || Server::write_lane(lane_ref, stream));
+            // TCP: never block the shared acceptor path on a full
+            // queue — reject with `overloaded`.
+            self.pump(reader, &lane, false);
+            lane.close();
+            writer_thread.join().expect("connection writer panicked")
+        })
+    }
+
+    /// Serve TCP connections on `listener` until a `shutdown` request
+    /// arrives, then drain and return the final metrics snapshot.
+    ///
+    /// Each connection gets its own reader and in-order writer thread;
+    /// all of them share the worker pool, queue, caches and metrics.
+    pub fn serve(&self, listener: TcpListener) -> io::Result<ServerStats> {
+        listener.set_nonblocking(true)?;
+        std::thread::scope(|s| {
+            for _ in 0..self.workers {
+                s.spawn(|| self.worker_loop());
+            }
+            loop {
+                if self.is_shutting_down() {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        s.spawn(move || {
+                            let _ = self.connection(stream);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        // A transient accept failure must not kill the
+                        // daemon; log and keep serving.
+                        eprintln!("[gpufreq-serve] accept error: {e}");
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                }
+            }
+            // Shutdown: the queue is closed, workers drain and exit,
+            // connection threads notice the flag at their next read
+            // timeout; the scope joins them all.
+        });
+        Ok(self.stats())
+    }
+}
+
+/// Render a [`ServerStats`] snapshot as the human-readable summary
+/// table the CLI prints on exit and `loadgen` prints per mix.
+pub fn render_stats_table(stats: &ServerStats) -> String {
+    let r = &stats.requests;
+    let hit_rate = |hits: u64, misses: u64| -> String {
+        let total = hits + misses;
+        if total == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * hits as f64 / total as f64)
+        }
+    };
+    let rows = vec![
+        vec!["requests".into(), r.total.to_string()],
+        vec!["  predict".into(), r.predict.to_string()],
+        vec![
+            "  predict_batch".into(),
+            format!("{} ({} kernels)", r.predict_batch, r.batch_kernels),
+        ],
+        vec!["  errors".into(), r.errors.to_string()],
+        vec!["  rejected (overloaded)".into(), r.rejected.to_string()],
+        vec![
+            "front cache hit rate".into(),
+            hit_rate(stats.front_cache.hits, stats.front_cache.misses),
+        ],
+        vec![
+            "front cache len/capacity".into(),
+            format!("{}/{}", stats.front_cache.len, stats.front_cache.capacity),
+        ],
+        vec![
+            "front cache evictions".into(),
+            stats.front_cache.evictions.to_string(),
+        ],
+        vec![
+            "analysis cache hit rate".into(),
+            hit_rate(stats.analysis_cache.hits, stats.analysis_cache.misses),
+        ],
+        vec![
+            "queue depth/capacity".into(),
+            format!("{}/{}", stats.queue.depth, stats.queue.capacity),
+        ],
+        vec!["workers".into(), stats.workers.to_string()],
+        vec![
+            "latency p50/p95/p99 (µs)".into(),
+            format!(
+                "{}/{}/{}",
+                stats.latency_us.p50, stats.latency_us.p95, stats.latency_us.p99
+            ),
+        ],
+        vec!["latency max (µs)".into(), stats.latency_us.max.to_string()],
+    ];
+    ascii_table(&["metric", "value"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufreq_core::{Corpus, ModelConfig, Planner};
+    use std::sync::OnceLock;
+
+    const SAXPY: &str = "__kernel void saxpy(__global float* x, __global float* y, float a) {
+        uint i = get_global_id(0);
+        y[i] = a * x[i] + y[i];
+    }";
+
+    /// One fast Titan X planner shared by every test in this module
+    /// (training once keeps the suite fast).
+    fn planner() -> TrainedPlanner {
+        static PLANNER: OnceLock<TrainedPlanner> = OnceLock::new();
+        PLANNER
+            .get_or_init(|| {
+                Planner::builder()
+                    .corpus(Corpus::Fast)
+                    .settings(6)
+                    .model_config(ModelConfig::relaxed())
+                    .train()
+                    .expect("fast corpus trains")
+            })
+            .clone()
+    }
+
+    fn server(config: ServerConfig) -> Server {
+        Server::new(vec![planner()], config).expect("one planner is valid")
+    }
+
+    fn small_config() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 64,
+            cache_shards: 4,
+            analysis_cache_capacity: 32,
+        }
+    }
+
+    #[test]
+    fn construction_rejects_empty_and_duplicate_planners() {
+        assert_eq!(
+            Server::new(Vec::new(), ServerConfig::default()).unwrap_err(),
+            ServeError::NoPlanners
+        );
+        let err = Server::new(vec![planner(), planner()], ServerConfig::default()).unwrap_err();
+        assert_eq!(err, ServeError::DuplicateDevice(Device::TitanX));
+        assert!(err.to_string().contains("titan-x"), "{err}");
+    }
+
+    #[test]
+    fn fast_path_bytes_match_reference_serialization() {
+        let server = server(small_config());
+        // predict: cold (computes), then warm (cache replay) — both
+        // must equal the reference `handle` serialization.
+        let predict = Request::predict(Device::TitanX, SAXPY);
+        let reference = server.handle(&predict).to_json();
+        assert_eq!(server.body_for(&predict), reference, "cold");
+        assert_eq!(server.body_for(&predict), reference, "warm (cache hit)");
+        assert!(server.front.hits() >= 1, "second predict hit the cache");
+        // predict_batch, with a per-kernel error in the middle slot.
+        let batch = Request::predict_batch(
+            Device::TitanX,
+            vec![SAXPY.into(), "not a kernel".into(), SAXPY.into()],
+        );
+        assert_eq!(server.body_for(&batch), server.handle(&batch).to_json());
+        // devices and the error responses too.
+        let devices = Request::Devices;
+        assert_eq!(server.body_for(&devices), server.handle(&devices).to_json());
+        for bad in [
+            Request::Predict {
+                device: "gtx-9000".into(),
+                source: SAXPY.into(),
+            },
+            Request::Predict {
+                device: "tesla-p100".into(), // registered but not served
+                source: SAXPY.into(),
+            },
+        ] {
+            assert_eq!(server.body_for(&bad), server.handle(&bad).to_json());
+        }
+    }
+
+    #[test]
+    fn unknown_and_unserved_devices_are_typed_errors() {
+        let server = server(small_config());
+        let unknown = server.handle(&Request::Predict {
+            device: "gtx-9000".into(),
+            source: SAXPY.into(),
+        });
+        let error = unknown.error().expect("unknown device is an error");
+        assert_eq!(error.code, ErrorCode::UnknownDevice);
+        assert!(error.message.contains("titan-x"), "{}", error.message);
+        let unserved = server.handle(&Request::Predict {
+            device: "tesla-k20c".into(),
+            source: SAXPY.into(),
+        });
+        let error = unserved.error().expect("unserved device is an error");
+        assert_eq!(error.code, ErrorCode::DeviceNotServed);
+        assert!(
+            error.message.contains("serving: titan-x"),
+            "{}",
+            error.message
+        );
+    }
+
+    #[test]
+    fn serve_lines_answers_in_request_order_and_reports_stats() {
+        // One worker: with more, the two identical predicts may run
+        // concurrently and both miss the front cache — the response
+        // bytes are still identical (pinned below and by the root
+        // determinism suite), but the hit *counter* would be racy.
+        let server = server(ServerConfig {
+            workers: 1,
+            ..small_config()
+        });
+        let stream = [
+            Request::predict(Device::TitanX, SAXPY).to_json(),
+            "this is not json".to_string(),
+            Request::Devices.to_json(),
+            Request::predict(Device::TitanX, SAXPY).to_json(),
+            Request::Stats.to_json(),
+            Request::Shutdown.to_json(),
+            // After shutdown in the same stream: deterministic refusal.
+            Request::Devices.to_json(),
+        ]
+        .join("\n");
+        let mut out = Vec::new();
+        let summary = server.serve_lines(stream.as_bytes(), &mut out).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 7, "one response per request line");
+        let parsed: Vec<Response> = lines
+            .iter()
+            .map(|l| Response::parse(l).expect("every response line parses"))
+            .collect();
+        assert!(matches!(parsed[0], Response::Predict { .. }));
+        assert_eq!(parsed[1].error().unwrap().code, ErrorCode::BadRequest);
+        assert!(matches!(parsed[2], Response::Devices { .. }));
+        assert_eq!(
+            lines[3], lines[0],
+            "repeated kernel replays identical bytes"
+        );
+        assert!(matches!(parsed[4], Response::Stats { .. }));
+        assert!(matches!(parsed[5], Response::Shutdown));
+        assert_eq!(parsed[6].error().unwrap().code, ErrorCode::ShuttingDown);
+        assert_eq!(summary.requests.total, 7);
+        assert_eq!(summary.requests.predict, 2);
+        assert_eq!(summary.requests.shutdown, 1);
+        assert!(summary.requests.errors >= 2);
+        assert!(summary.front_cache.hits >= 1);
+        assert!(summary.latency_us.count >= 7);
+    }
+
+    #[test]
+    fn oversize_and_non_utf8_lines_are_typed_errors_mid_stream() {
+        let server = server(small_config());
+        // A giant newline-less prefix must not be buffered: the line is
+        // rejected, and the valid request after it is still served.
+        let mut stream: Vec<u8> = Vec::new();
+        stream.extend(std::iter::repeat_n(b'x', MAX_LINE_BYTES + 16));
+        stream.push(b'\n');
+        stream.extend_from_slice(&[0xff, 0xfe, b'\n']); // invalid UTF-8
+        stream.extend_from_slice(Request::Devices.to_json().as_bytes());
+        stream.push(b'\n');
+        let mut out = Vec::new();
+        let summary = server.serve_lines(stream.as_slice(), &mut out).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 3, "all three lines answered: {}", lines.len());
+        let oversize = Response::parse(lines[0]).unwrap();
+        assert_eq!(oversize.error().unwrap().code, ErrorCode::BadRequest);
+        assert!(oversize.error().unwrap().message.contains("exceeds"));
+        let utf8 = Response::parse(lines[1]).unwrap();
+        assert_eq!(utf8.error().unwrap().code, ErrorCode::BadRequest);
+        assert!(utf8.error().unwrap().message.contains("UTF-8"));
+        assert!(matches!(
+            Response::parse(lines[2]).unwrap(),
+            Response::Devices { .. }
+        ));
+        assert_eq!(summary.requests.total, 3);
+        assert_eq!(summary.requests.errors, 2);
+    }
+
+    #[test]
+    fn replay_longer_than_the_queue_never_sees_overloaded() {
+        // Single-stream replay pauses the reader on a full queue, so a
+        // stream much longer than the queue bound drains without a
+        // single `overloaded` rejection — at any worker count.
+        let server = server(ServerConfig {
+            workers: 2,
+            queue_capacity: 2,
+            ..small_config()
+        });
+        let stream = vec![Request::Devices.to_json(); 64].join("\n");
+        let mut out = Vec::new();
+        let summary = server.serve_lines(stream.as_bytes(), &mut out).unwrap();
+        assert_eq!(summary.requests.total, 64);
+        assert_eq!(summary.requests.rejected, 0, "replay must not shed load");
+        assert_eq!(summary.requests.devices, 64);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 64);
+        assert!(lines.iter().all(|l| *l == lines[0]));
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded_instead_of_blocking() {
+        // No workers draining: fill the queue directly.
+        let server = server(ServerConfig {
+            queue_capacity: 1,
+            ..small_config()
+        });
+        let lane = ResponseLane::new();
+        let mut local_shutdown = false;
+        let line = Request::Devices.to_json();
+        server.accept_line(&line, &lane, &mut local_shutdown, false);
+        server.accept_line(&line, &lane, &mut local_shutdown, false);
+        lane.close();
+        let first = lane.next().unwrap();
+        let second = lane.next().unwrap();
+        // The second was rejected inline and is already filled.
+        let rejected = Response::parse(&second.wait()).unwrap();
+        assert_eq!(rejected.error().unwrap().code, ErrorCode::Overloaded);
+        assert_eq!(server.stats().requests.rejected, 1);
+        assert_eq!(server.stats().queue.depth, 1);
+        // Drain the queued job so `first` fills.
+        server.worker_drain_one();
+        assert!(matches!(
+            Response::parse(&first.wait()).unwrap(),
+            Response::Devices { .. }
+        ));
+    }
+
+    #[test]
+    fn a_busy_client_cannot_block_tcp_shutdown() {
+        // Regression: pump() used to check the shutdown flag only in
+        // its read-timeout arm, so a client streaming requests
+        // back-to-back kept its connection thread (and the daemon)
+        // alive forever after another client's `shutdown`.
+        let server = Arc::new(server(ServerConfig {
+            workers: 1,
+            ..small_config()
+        }));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let daemon = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.serve(listener).unwrap())
+        };
+        // The busy client: writes requests as fast as the socket
+        // accepts them, never reading, until the server hangs up.
+        let busy = std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let line = format!("{}\n", Request::Devices.to_json());
+            while writer.write_all(line.as_bytes()).is_ok() {}
+        });
+        // Give the busy stream a moment to be mid-flow, then shut
+        // down via a second connection.
+        std::thread::sleep(Duration::from_millis(100));
+        {
+            use std::io::BufRead as _;
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            writeln!(writer, "{}", Request::Shutdown.to_json()).unwrap();
+            writer.flush().unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(matches!(
+                Response::parse(line.trim()).unwrap(),
+                Response::Shutdown
+            ));
+        }
+        // The daemon must drain and exit even though the busy client
+        // never stops sending; a wedged serve() would hang the suite
+        // here, which the harness reports as the regression.
+        let summary = daemon.join().unwrap();
+        assert!(summary.requests.shutdown >= 1);
+        busy.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_round_trip_with_concurrent_clients() {
+        use std::io::BufRead as _;
+        let server = Arc::new(server(small_config()));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server2 = Arc::clone(&server);
+        let daemon = std::thread::spawn(move || server2.serve(listener).unwrap());
+        let client = |requests: Vec<Request>| -> Vec<Response> {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            requests
+                .iter()
+                .map(|r| {
+                    writeln!(writer, "{}", r.to_json()).unwrap();
+                    writer.flush().unwrap();
+                    let mut line = String::new();
+                    reader.read_line(&mut line).unwrap();
+                    Response::parse(line.trim()).unwrap()
+                })
+                .collect()
+        };
+        // Two sequential clients sharing the warm cache.
+        let first = client(vec![
+            Request::predict(Device::TitanX, SAXPY),
+            Request::Devices,
+        ]);
+        assert!(matches!(first[0], Response::Predict { .. }));
+        assert!(matches!(first[1], Response::Devices { .. }));
+        let second = client(vec![
+            Request::predict(Device::TitanX, SAXPY),
+            Request::Shutdown,
+        ]);
+        assert!(matches!(second[0], Response::Predict { .. }));
+        assert!(matches!(second[1], Response::Shutdown));
+        let summary = daemon.join().unwrap();
+        assert_eq!(summary.requests.predict, 2);
+        assert!(summary.front_cache.hits >= 1, "second client hit the cache");
+        assert!(server.is_shutting_down());
+    }
+}

@@ -1,0 +1,98 @@
+//! Serving predictions: run an in-process `gpufreq-serve` daemon on an
+//! ephemeral port, talk to it over the JSON-lines TCP protocol, and
+//! shut it down cleanly — the whole request-path lifecycle in one
+//! file.
+//!
+//! ```sh
+//! cargo run --release --example serve_client
+//! ```
+//!
+//! Against a real daemon (`gpufreq serve`) only the client half
+//! applies; swap the ephemeral address for the daemon's.
+
+use gpufreq::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Server half: train fast, bind an ephemeral port, serve. -----
+    let planner = Planner::builder()
+        .device(Device::TitanX)
+        .corpus(Corpus::Fast)
+        .settings(10)
+        .model_config(ModelConfig::fast())
+        .train()?;
+    let server = Arc::new(Server::new(
+        vec![planner],
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )?);
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    println!("serving titan-x predictions on {addr}");
+    let daemon = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve(listener))
+    };
+
+    // --- Client half: one connection, a few requests, line by line. --
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut send = |request: &Request| -> Result<Response, Box<dyn std::error::Error>> {
+        writeln!(writer, "{}", request.to_json())?;
+        writer.flush()?;
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        Ok(Response::parse(line.trim())?)
+    };
+
+    let saxpy = "__kernel void saxpy(__global float* x, __global float* y, float a) {
+        uint i = get_global_id(0);
+        y[i] = a * x[i] + y[i];
+    }";
+    match send(&Request::predict(Device::TitanX, saxpy))? {
+        Response::Predict { device, prediction } => {
+            println!(
+                "{device}: {} Pareto-optimal settings predicted",
+                prediction.pareto_set.len()
+            );
+            if let Some(best) = prediction.max_speedup() {
+                println!(
+                    "  max speedup {:.3} at {}",
+                    best.objectives.speedup, best.config
+                );
+            }
+        }
+        other => println!("unexpected answer: {other:?}"),
+    }
+
+    // The same kernel again: served from the front cache this time.
+    send(&Request::predict(Device::TitanX, saxpy))?;
+    // A malformed kernel is a typed per-request error, not a dropped
+    // connection.
+    if let Some(error) = send(&Request::predict(Device::TitanX, "int main() {}"))?.error() {
+        println!("malformed kernel answered with: {error}");
+    }
+    if let Response::Stats { stats } = send(&Request::Stats)? {
+        println!(
+            "server stats: {} requests, front cache {}/{} hit/miss, p50 {}us",
+            stats.requests.total,
+            stats.front_cache.hits,
+            stats.front_cache.misses,
+            stats.latency_us.p50
+        );
+    }
+
+    // --- Clean shutdown: the daemon drains and returns its summary. --
+    send(&Request::Shutdown)?;
+    let summary = daemon.join().expect("daemon thread")?;
+    println!(
+        "daemon exited after {} requests ({} cache hits)",
+        summary.requests.total, summary.front_cache.hits
+    );
+    Ok(())
+}

@@ -18,6 +18,7 @@
 //! | [`synth`] | the 106 pattern-based synthetic training micro-benchmarks |
 //! | [`workloads`] | the 12 test benchmarks of the evaluation |
 //! | [`core`] | the paper's contribution: training pipeline, two-headed model, Pareto prediction, evaluation |
+//! | [`serve`] | long-lived prediction daemon: JSON-lines protocol over TCP/stdio, bounded queue + front cache |
 //!
 //! # Quickstart
 //!
@@ -57,6 +58,7 @@ pub use gpufreq_core as core;
 pub use gpufreq_kernel as kernel;
 pub use gpufreq_ml as ml;
 pub use gpufreq_pareto as pareto;
+pub use gpufreq_serve as serve;
 pub use gpufreq_sim as sim;
 pub use gpufreq_synth as synth;
 pub use gpufreq_workloads as workloads;
@@ -74,6 +76,7 @@ pub mod prelude {
     };
     pub use gpufreq_ml::{Dataset, SvmKernel, SvrParams};
     pub use gpufreq_pareto::{pareto_front_simple, Objectives};
+    pub use gpufreq_serve::{Request, Response, Server, ServerConfig, ServerStats};
     pub use gpufreq_sim::{Device, DeviceSpec, GpuSimulator, Measurement, NvmlDevice};
     pub use gpufreq_workloads::{all_workloads, workload, Workload};
 }

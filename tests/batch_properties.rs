@@ -120,9 +120,9 @@ proptest! {
                 }
             })
             .collect();
-        let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
-        let batch = planner.predict_batch(&refs);
-        prop_assert_eq!(batch.len(), refs.len());
+        // Owned `String`s go straight into the generic batch API.
+        let batch = planner.predict_batch(&sources);
+        prop_assert_eq!(batch.len(), sources.len());
         for (slot, source) in batch.iter().zip(&sources) {
             let single = planner.predict_source(source);
             match (slot, &single) {
@@ -149,18 +149,17 @@ proptest! {
             .iter()
             .map(|&s| kernel_source(s, 11 - s.min(11), s % 3 + 1))
             .collect();
-        let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
         let serial: Vec<_> = planner()
             .clone()
             .with_jobs(Some(1))
-            .predict_batch(&refs)
+            .predict_batch(&sources)
             .into_iter()
             .map(|r| r.unwrap())
             .collect();
         let parallel: Vec<_> = planner()
             .clone()
             .with_jobs(Some(jobs))
-            .predict_batch(&refs)
+            .predict_batch(&sources)
             .into_iter()
             .map(|r| r.unwrap())
             .collect();

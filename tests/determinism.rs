@@ -102,25 +102,119 @@ fn cross_validation_is_identical_serial_vs_parallel() {
 #[test]
 fn predict_batch_is_identical_serial_vs_parallel() {
     let planner = train_planner(2);
+    // Owned `String` sources straight into the generic batch API — no
+    // borrow slice to rebuild.
     let sources: Vec<String> = gpufreq_workloads::all_workloads()
         .iter()
         .map(|w| w.source.clone())
         .collect();
-    let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
     let serial: Vec<_> = planner
         .clone()
         .with_jobs(Some(1))
-        .predict_batch(&refs)
+        .predict_batch(&sources)
         .into_iter()
         .map(|r| r.expect("workload kernels analyze"))
         .collect();
     let parallel: Vec<_> = planner
         .with_jobs(Some(4))
-        .predict_batch(&refs)
+        .predict_batch(&sources)
         .into_iter()
         .map(|r| r.expect("workload kernels analyze"))
         .collect();
     assert_eq!(parallel, serial);
+}
+
+#[test]
+fn serve_responses_are_identical_at_any_worker_count() {
+    // The serving-side twin of the engine contract: replaying one
+    // recorded request stream through `gpufreq-serve` must produce
+    // byte-identical response bodies at any worker count — including
+    // the error responses, the post-shutdown drain, and with the
+    // front cache disabled entirely (the cache may only change
+    // wall-clock, never bytes).
+    use gpufreq_serve::{Request, Server, ServerConfig};
+    use gpufreq_sim::Device as Dev;
+
+    let planner = train_planner(2);
+    let workloads = gpufreq_workloads::all_workloads();
+    let mut stream_lines: Vec<String> = Vec::new();
+    // Every workload once, the first three repeated (cache hits on
+    // the second pass), one batch mixing a malformed slot in.
+    for w in &workloads {
+        stream_lines.push(Request::predict(Dev::TitanX, w.source.clone()).to_json());
+    }
+    for w in workloads.iter().take(3) {
+        stream_lines.push(Request::predict(Dev::TitanX, w.source.clone()).to_json());
+    }
+    stream_lines.push(
+        Request::predict_batch(
+            Dev::TitanX,
+            vec![
+                workloads[0].source.clone(),
+                "__kernel void broken(".to_string(),
+                workloads[1].source.clone(),
+            ],
+        )
+        .to_json(),
+    );
+    stream_lines.push(Request::Devices.to_json());
+    stream_lines.push("{ this is not json".to_string());
+    stream_lines.push(
+        Request::Predict {
+            device: "gtx-9000".into(),
+            source: workloads[0].source.clone(),
+        }
+        .to_json(),
+    );
+    stream_lines.push(
+        Request::Predict {
+            device: Dev::TeslaP100.id().into(), // registered, not served
+            source: workloads[0].source.clone(),
+        }
+        .to_json(),
+    );
+    stream_lines.push(Request::Shutdown.to_json());
+    // Post-shutdown requests drain deterministically.
+    stream_lines.push(Request::Devices.to_json());
+    let stream = stream_lines.join("\n");
+
+    let run = |workers: usize, cache_capacity: usize| -> String {
+        let server = Server::new(
+            vec![planner.clone()],
+            ServerConfig {
+                workers,
+                queue_capacity: 64,
+                cache_capacity,
+                cache_shards: 2,
+                analysis_cache_capacity: 8,
+            },
+        )
+        .expect("one planner serves");
+        let mut out = Vec::new();
+        server
+            .serve_lines(stream.as_bytes(), &mut out)
+            .expect("in-memory serving cannot fail");
+        String::from_utf8(out).expect("responses are UTF-8")
+    };
+
+    let serial = run(1, 16);
+    assert_eq!(
+        serial.lines().count(),
+        stream_lines.len(),
+        "every request answered exactly once"
+    );
+    for workers in [2, 4] {
+        assert_eq!(
+            run(workers, 16),
+            serial,
+            "response bodies must not depend on the worker count ({workers})"
+        );
+    }
+    assert_eq!(
+        run(4, 0),
+        serial,
+        "the front cache must never change response bytes"
+    );
 }
 
 #[test]
