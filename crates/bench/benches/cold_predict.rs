@@ -1,0 +1,82 @@
+//! The cold-predict path: what a `gpufreq-serve` cache miss costs.
+//!
+//! A unique (never-seen) kernel source pays the full
+//! `parse → analyze → score → Pareto` pipeline; this bench measures
+//! that cost end to end for one kernel on every registry device, plus
+//! the two halves separately (front-end analysis vs. model scoring),
+//! so the ROADMAP's "sub-millisecond cold predict" claim is a measured
+//! number instead of an assertion and a regression in either half is
+//! attributable from the bench output alone.
+//!
+//! Planners train once in setup with the test-suite preset
+//! ([`ModelConfig::relaxed`] on the fast corpus) — the scoring cost
+//! depends on the support-vector count, which the preset keeps at CI
+//! scale; paper-scale models are ~5x more vectors with the same shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpufreq_core::{analyze_source, Corpus, ModelConfig, Planner, TrainedPlanner};
+use std::hint::black_box;
+
+/// One planner per registry device, trained at test-suite scale.
+fn planners() -> Vec<TrainedPlanner> {
+    Planner::builder()
+        .corpus(Corpus::Fast)
+        .settings(8)
+        .model_config(ModelConfig::relaxed())
+        .train_all_devices()
+        .expect("fast corpus trains on every device")
+}
+
+/// The benchmarked kernel: k-NN, a mid-sized real workload.
+fn source() -> String {
+    gpufreq_workloads::workload("knn").unwrap().source
+}
+
+fn bench_cold_predict(c: &mut Criterion) {
+    let planners = planners();
+    let source = source();
+    let mut group = c.benchmark_group("cold_predict");
+    for planner in &planners {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(planner.device().id()),
+            planner,
+            |b, planner| {
+                b.iter(|| {
+                    // The serve-daemon cache-miss path without the
+                    // cache: full parse + analysis + batched scoring
+                    // of every device configuration + Pareto.
+                    let (features, _profile) =
+                        analyze_source(black_box(source.as_str()), None).unwrap();
+                    planner.predict(&features).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let planners = planners();
+    let source = source();
+
+    // Front-end half: source text to static features + profile.
+    c.bench_function("cold_predict_stage/parse_analyze", |b| {
+        b.iter(|| analyze_source(black_box(source.as_str()), None).unwrap())
+    });
+
+    // Scoring half: static features to the predicted Pareto set over
+    // the full per-device configuration block.
+    let (features, _) = analyze_source(&source, None).unwrap();
+    let mut group = c.benchmark_group("cold_predict_stage/score_pareto");
+    for planner in &planners {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(planner.device().id()),
+            planner,
+            |b, planner| b.iter(|| planner.predict(black_box(&features)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_predict, bench_stages);
+criterion_main!(benches);

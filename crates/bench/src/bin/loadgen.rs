@@ -15,7 +15,9 @@
 //! With `--mix both` (the default) it runs `unique` first, then
 //! `repeated`, and prints the cache speedup ratio between them;
 //! `--min-cache-speedup <x>` turns that ratio into an exit-code
-//! assertion — the CI smoke job requires ≥ 10×.
+//! assertion — the CI smoke job requires ≥ 10×. `--min-unique-rps <n>`
+//! gates the uncached path the same way: the unique mix must sustain at
+//! least `n` req/s, pinning the batched-scoring cold-path throughput.
 //!
 //! Each client keeps a window of `--pipeline` requests in flight on
 //! its connection (the server answers strictly in request order, so
@@ -25,7 +27,7 @@
 //! ```text
 //! loadgen --addr 127.0.0.1:7070 [--duration 5s] [--clients 4]
 //!         [--pipeline 8] [--mix repeated|unique|both] [--device titan-x]
-//!         [--min-cache-speedup 10] [--shutdown]
+//!         [--min-cache-speedup 10] [--min-unique-rps 500] [--shutdown]
 //! ```
 
 use gpufreq_core::ascii_table;
@@ -60,13 +62,14 @@ struct Options {
     mixes: Vec<Mix>,
     device: String,
     min_cache_speedup: Option<f64>,
+    min_unique_rps: Option<f64>,
     shutdown: bool,
 }
 
 fn usage() -> String {
     "usage: loadgen --addr <host:port> [--duration 5s] [--clients 4] \
      [--pipeline 8] [--mix repeated|unique|both] [--device titan-x] \
-     [--min-cache-speedup <x>] [--shutdown]"
+     [--min-cache-speedup <x>] [--min-unique-rps <n>] [--shutdown]"
         .to_string()
 }
 
@@ -99,6 +102,7 @@ fn parse_args() -> Result<Options, String> {
     let mut mixes = vec![Mix::Unique, Mix::Repeated];
     let mut device = "titan-x".to_string();
     let mut min_cache_speedup = None;
+    let mut min_unique_rps = None;
     let mut shutdown = false;
     let mut it = argv.iter();
     let next_value = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
@@ -142,6 +146,13 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|_| "invalid --min-cache-speedup value".to_string())?,
                 )
             }
+            "--min-unique-rps" => {
+                min_unique_rps = Some(
+                    next_value("--min-unique-rps", &mut it)?
+                        .parse()
+                        .map_err(|_| "invalid --min-unique-rps value".to_string())?,
+                )
+            }
             "--shutdown" => shutdown = true,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
@@ -155,6 +166,7 @@ fn parse_args() -> Result<Options, String> {
         mixes,
         device,
         min_cache_speedup,
+        min_unique_rps,
         shutdown,
     })
 }
@@ -200,7 +212,9 @@ fn run_client(
     let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     stream.set_nodelay(true).ok();
     let mut writer = std::io::BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut reader = BufReader::new(stream);
+    // Responses are ~25 KB lines, often several per batch: an 8 KB
+    // default buffer would cost a handful of reads per response.
+    let mut reader = BufReader::with_capacity(256 * 1024, stream);
     // The repeated mix replays a fixed recorded stream: encode each
     // request line once, outside the hot loop. (The unique mix stamps
     // every request fresh and never touches this.)
@@ -380,6 +394,16 @@ fn run(opts: &Options) -> Result<(), String> {
         }
     } else if opts.min_cache_speedup.is_some() {
         return Err("--min-cache-speedup needs --mix both".into());
+    }
+    if let Some(min) = opts.min_unique_rps {
+        let unique =
+            unique.ok_or("--min-unique-rps needs a mix that includes unique".to_string())?;
+        if unique.rps < min {
+            return Err(format!(
+                "unique-mix throughput {:.1} req/s is below the required {min} req/s",
+                unique.rps
+            ));
+        }
     }
     if opts.shutdown {
         match one_shot(&opts.addr, &Request::Shutdown)? {

@@ -79,6 +79,9 @@ pub struct Provenance {
     pub git_revision: String,
     /// Scheduling note: why worker count never changes the bytes.
     pub engine: String,
+    /// Prediction-path note: how candidate configurations are scored
+    /// and why the batched form cannot change any reported number.
+    pub scoring: String,
 }
 
 /// A supplementary table of reproduced values inside a section.
@@ -835,6 +838,10 @@ pub fn generate_with_inputs(opts: &ReportOptions) -> Result<(Report, ReportInput
             .unwrap_or_else(|| "(GPUFREQ_GIT_REV unset)".to_string()),
         engine: "deterministic index-ordered fan-out; output is byte-identical for every \
                  --jobs value"
+            .to_string(),
+        scoring: "lane-parallel batched SVR sweep (ScoringPlan, runtime SIMD dispatch); \
+                  bit-identical to per-point evaluation by construction, so every number \
+                  here is independent of the scoring path"
             .to_string(),
     };
 

@@ -163,6 +163,8 @@ fn score_fold(
     settings: usize,
 ) -> FoldResult {
     let truth: TrainingData = build_training_data_with(engine, sim, held_out, settings);
+    // One scoring plan for the whole held-out sweep.
+    let scorer = model.scorer();
     let mut pred_speedup = Vec::with_capacity(truth.len());
     let mut pred_energy = Vec::with_capacity(truth.len());
     for (i, cfg) in truth.row_configs.iter().enumerate() {
@@ -178,7 +180,7 @@ fn score_fold(
             FeatureVector::new(&features, *cfg).as_slice()[..row.len()],
             row[..]
         );
-        let o = model.predict_objectives(&features, *cfg);
+        let o = scorer.predict_objectives(&features, *cfg);
         pred_speedup.push(o.speedup);
         pred_energy.push(o.energy);
     }

@@ -3,7 +3,7 @@
 //! Table 2 metrics.
 
 use crate::engine::Engine;
-use crate::model::FreqScalingModel;
+use crate::model::{FreqScalingModel, ModelScorer};
 use crate::predict::{ParetoPrediction, MEM_L_MHZ};
 use gpufreq_kernel::{FreqConfig, StaticFeatures};
 use gpufreq_ml::{rmse_percent, BoxStats};
@@ -103,6 +103,17 @@ pub fn evaluate_workload(
     model: &FreqScalingModel,
     workload: &Workload,
 ) -> BenchmarkEvaluation {
+    evaluate_workload_scored(sim, &model.scorer(), workload)
+}
+
+/// [`evaluate_workload`] with a prebuilt [`ModelScorer`], so a batch of
+/// evaluations against one model shares a single scoring plan — the
+/// same batched code path the serve daemon predicts through.
+pub fn evaluate_workload_scored(
+    sim: &GpuSimulator,
+    scorer: &ModelScorer,
+    workload: &Workload,
+) -> BenchmarkEvaluation {
     let profile = workload.profile();
     let features = profile.static_features();
     let mut candidates = sim.spec().clocks.sample_configs(EVAL_SETTINGS);
@@ -113,7 +124,7 @@ pub fn evaluate_workload(
     }
     let ground_truth = sim.characterize_at(&profile, &candidates);
     let prediction =
-        crate::predict::predict_pareto_at(model, &features, &sim.spec().clocks, &candidates);
+        crate::predict::predict_pareto_scored(scorer, &features, &sim.spec().clocks, &candidates);
 
     // Measured objective space (Fig. 8 gray + green points).
     let measured: Vec<Objectives> = ground_truth
@@ -209,8 +220,11 @@ pub fn evaluate_all_with(
     workloads: &[Workload],
 ) -> Vec<BenchmarkEvaluation> {
     let inner_sim = sim.clone().with_jobs(engine.inner(workloads.len()).jobs());
-    let mut evals: Vec<BenchmarkEvaluation> =
-        engine.map(workloads, |w| evaluate_workload(&inner_sim, model, w));
+    // One scoring plan shared by every worker (read-only).
+    let scorer = model.scorer();
+    let mut evals: Vec<BenchmarkEvaluation> = engine.map(workloads, |w| {
+        evaluate_workload_scored(&inner_sim, &scorer, w)
+    });
     evals.sort_by(|a, b| a.coverage_d.total_cmp(&b.coverage_d));
     evals
 }
@@ -252,6 +266,9 @@ pub fn error_analysis(
     objective: Objective,
 ) -> Vec<DomainErrorAnalysis> {
     let clocks = &sim.spec().clocks;
+    // One scoring plan for the whole analysis (every domain × eval ×
+    // config cell scores through it).
+    let scorer = model.scorer();
     let mut out = Vec::new();
     // Highest memory first, matching the figure layout.
     for mem_mhz in clocks.supported_memory_clocks().into_iter().rev() {
@@ -266,7 +283,7 @@ pub fn error_analysis(
                 let Some(measured) = eval.measured_at(cfg) else {
                     continue;
                 };
-                let predicted = model.predict_objectives(&eval.features, cfg);
+                let predicted = scorer.predict_objectives(&eval.features, cfg);
                 let (t, p) = match objective {
                     Objective::Speedup => (measured.speedup, predicted.speedup),
                     Objective::Energy => (measured.energy, predicted.energy),

@@ -84,15 +84,19 @@ pub use crossval::{
 pub use engine::{Engine, ProfileCache};
 pub use error::{Error, Result, MODEL_FORMAT_VERSION};
 pub use evaluate::{
-    error_analysis, evaluate_all, evaluate_all_with, evaluate_workload, table2, BenchmarkErrors,
-    BenchmarkEvaluation, DomainErrorAnalysis, Objective, Table2Row, EVAL_SETTINGS,
+    error_analysis, evaluate_all, evaluate_all_with, evaluate_workload, evaluate_workload_scored,
+    table2, BenchmarkErrors, BenchmarkEvaluation, DomainErrorAnalysis, Objective, Table2Row,
+    EVAL_SETTINGS,
 };
-pub use model::{FreqScalingModel, ModelConfig};
+pub use model::{FreqScalingModel, ModelConfig, ModelScorer};
 pub use pipeline::{build_training_data, build_training_data_with, TrainingData};
 pub use planner::{
     analyze_kernel_file, analyze_source, Corpus, Planner, PlannerBuilder, TrainedPlanner,
 };
-pub use predict::{predict_pareto, predict_pareto_at, ParetoPrediction, PredictedPoint, MEM_L_MHZ};
+pub use predict::{
+    predict_pareto, predict_pareto_at, predict_pareto_scored, ParetoPrediction, PredictPlan,
+    PredictedPoint, MEM_L_MHZ,
+};
 pub use report::{
     ascii_table, csv_field, markdown_escape, markdown_table, objectives_csv, render_error_panel,
     render_table2, series_csv, table2_csv,

@@ -22,8 +22,8 @@
 
 use crate::engine::Engine;
 use crate::pipeline::TrainingData;
-use gpufreq_kernel::{FeatureVector, FreqConfig, StaticFeatures};
-use gpufreq_ml::{train_svr, MinMaxScaler, SvrModel, SvrParams};
+use gpufreq_kernel::{memory_boundedness, FeatureVector, FreqConfig, StaticFeatures, NUM_FEATURES};
+use gpufreq_ml::{train_svr, MinMaxScaler, ScoringPlan, SvrModel, SvrParams, TransposedBlock};
 use gpufreq_pareto::Objectives;
 use serde::{Deserialize, Serialize};
 
@@ -267,6 +267,146 @@ impl FreqScalingModel {
     /// Deserialize from JSON.
     pub fn from_json(s: &str) -> Result<FreqScalingModel, serde_json::Error> {
         serde_json::from_str(s)
+    }
+
+    /// Build the batched scoring form of this model: one
+    /// [`ScoringPlan`] per head with the support vectors flattened, plus
+    /// the shared scaler. Built once per trained model (cheap relative
+    /// to training, ~a vector copy per head) and then scored without
+    /// touching the serde representation again.
+    pub fn scorer(&self) -> ModelScorer {
+        ModelScorer {
+            domains: self
+                .domains
+                .iter()
+                .map(|d| (d.mem_mhz, d.speedup.scoring_plan(), d.energy.scoring_plan()))
+                .collect(),
+            scaler: self.scaler.clone(),
+        }
+    }
+}
+
+/// The batched scoring form of a [`FreqScalingModel`]: per-domain
+/// [`ScoringPlan`]s over flat support-vector matrices and the shared
+/// min-max scaler, evaluated through stack buffers instead of one
+/// `FeatureVector` + two `Vec` allocations per `(kernel, config)` pair.
+///
+/// Every entry point is bit-identical to the scalar
+/// [`FreqScalingModel::predict_objectives`] path — same feature-row
+/// expressions, same scaler arithmetic, same head-selection rule
+/// (first minimal `|mem - domain|`, the order heads were trained in),
+/// same kernel-evaluation order — which is what lets the hot predict
+/// path switch to this form underneath the determinism suite and the
+/// golden report without re-blessing anything.
+#[derive(Debug, Clone)]
+pub struct ModelScorer {
+    /// `(mem_mhz, speedup plan, energy plan)` in trained-domain order.
+    domains: Vec<(u32, ScoringPlan, ScoringPlan)>,
+    scaler: MinMaxScaler,
+}
+
+impl ModelScorer {
+    /// Index of the head pair responsible for `config`: exact
+    /// memory-clock match if trained, else the nearest domain —
+    /// replicating [`FreqScalingModel`]'s rule including the tie-break
+    /// (first minimal element in trained order).
+    pub fn head_index(&self, config: FreqConfig) -> usize {
+        self.domains
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, d)| d.0.abs_diff(config.mem_mhz))
+            .map(|(i, _)| i)
+            .expect("trained model has at least one domain")
+    }
+
+    /// Both objectives at `config` — the batched twin of
+    /// [`FreqScalingModel::predict_objectives`], bit-identical to it.
+    pub fn predict_objectives(&self, features: &StaticFeatures, config: FreqConfig) -> Objectives {
+        self.predict_prepared(
+            features,
+            memory_boundedness(features),
+            config.core_scaled(),
+            config.mem_scaled(),
+            self.head_index(config),
+        )
+    }
+
+    /// The allocation-free core: score one `(kernel, config)` pair with
+    /// the per-kernel invariants (`memory_boundedness`, scaled clocks,
+    /// head index) hoisted by the caller. Batched candidate sweeps call
+    /// this once per configuration with two stack rows as the only
+    /// working state.
+    pub fn predict_prepared(
+        &self,
+        features: &StaticFeatures,
+        boundedness: f64,
+        core_scaled: f64,
+        mem_scaled: f64,
+        head: usize,
+    ) -> Objectives {
+        let mut scaled = [0.0; NUM_FEATURES];
+        self.write_scaled_row(features, boundedness, core_scaled, mem_scaled, &mut scaled);
+        let (_, speedup, energy) = &self.domains[head];
+        Objectives::new(speedup.score(&scaled), energy.score(&scaled))
+    }
+
+    /// Number of trained head pairs (memory domains).
+    pub fn num_heads(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Write the scaled model-input row for one `(kernel, config)` pair
+    /// into `out` — the exact row [`predict_prepared`] scores
+    /// (raw feature layout, then the min-max scaler), so callers can
+    /// assemble candidate blocks for [`score_block`].
+    ///
+    /// [`predict_prepared`]: ModelScorer::predict_prepared
+    /// [`score_block`]: ModelScorer::score_block
+    pub fn write_scaled_row(
+        &self,
+        features: &StaticFeatures,
+        boundedness: f64,
+        core_scaled: f64,
+        mem_scaled: f64,
+        out: &mut [f64; NUM_FEATURES],
+    ) {
+        let mut raw = [0.0; NUM_FEATURES];
+        FeatureVector::write_raw(features, core_scaled, mem_scaled, boundedness, &mut raw);
+        self.scaler.transform_into(&raw, out);
+    }
+
+    /// Score a row-major block of scaled rows (from
+    /// [`write_scaled_row`]) with head `head`, filling one speedup and
+    /// one energy score per row. The block rides the lane-parallel
+    /// [`ScoringPlan::score_block_into`] sweep; every row's bits match
+    /// [`predict_prepared`] on that row.
+    ///
+    /// [`write_scaled_row`]: ModelScorer::write_scaled_row
+    /// [`predict_prepared`]: ModelScorer::predict_prepared
+    pub fn score_block(
+        &self,
+        head: usize,
+        block: &[f64],
+        speedup_out: &mut Vec<f64>,
+        energy_out: &mut Vec<f64>,
+    ) {
+        let n = block.len() / NUM_FEATURES;
+        let (_, speedup, energy) = &self.domains[head];
+        // Both heads consume the same candidates: transpose once, sweep
+        // twice. A head trained with zero support vectors has a width-0
+        // plan that cannot consume the block: every row scores as the
+        // bias, exactly like the scalar path.
+        let mut transposed = None;
+        for (plan, out) in [(speedup, speedup_out), (energy, energy_out)] {
+            if plan.dims() == 0 {
+                out.clear();
+                out.resize(n, plan.score(&[]));
+            } else {
+                let transposed =
+                    transposed.get_or_insert_with(|| TransposedBlock::new(block, NUM_FEATURES));
+                plan.score_transposed_into(transposed, out);
+            }
+        }
     }
 }
 

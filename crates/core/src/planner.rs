@@ -37,7 +37,7 @@ use crate::error::{Error, Result};
 use crate::evaluate::{evaluate_all_with, BenchmarkEvaluation};
 use crate::model::{FreqScalingModel, ModelConfig};
 use crate::pipeline::build_training_data_with;
-use crate::predict::{predict_pareto_at, ParetoPrediction};
+use crate::predict::{predict_pareto_scored, ParetoPrediction, PredictPlan};
 use gpufreq_kernel::{
     analyze_kernel_with, parse, AnalysisConfig, FreqConfig, KernelProfile, LaunchConfig,
     StaticFeatures,
@@ -208,11 +208,13 @@ impl PlannerBuilder {
         let sim = self.device.simulator();
         let data = build_training_data_with(engine, &sim, &self.corpus.benchmarks(), self.settings);
         let model = FreqScalingModel::try_train_with(engine, &data, &self.config)?;
+        let plan = Arc::new(PredictPlan::full(&model, &sim.spec().clocks));
         Ok(TrainedPlanner {
             artifact: ModelArtifact::new(self.device, model),
             sim,
             engine: self.engine,
             cache,
+            plan,
         })
     }
 }
@@ -220,12 +222,21 @@ impl PlannerBuilder {
 /// A trained planner: the model, its artifact metadata, the simulator
 /// of the device it was trained on, plus the [`Engine`] and shared
 /// [`ProfileCache`] its batch methods use.
+///
+/// At build/load time the planner also precomputes its
+/// [`PredictPlan`] — the batched scoring form of the model over every
+/// actual configuration of the device — so a predict is one analysis
+/// plus one scoring sweep. The plan changes only when the model does
+/// (retrain or reload), which is the natural hook for hot-swapping
+/// models in a running daemon: build the new plan off to the side,
+/// then swap the planner in.
 #[derive(Debug, Clone)]
 pub struct TrainedPlanner {
     artifact: ModelArtifact,
     sim: GpuSimulator,
     engine: Engine,
     cache: Arc<ProfileCache>,
+    plan: Arc<PredictPlan>,
 }
 
 impl TrainedPlanner {
@@ -233,11 +244,13 @@ impl TrainedPlanner {
     /// [`ModelArtifact::load`]).
     pub fn from_artifact(artifact: ModelArtifact) -> TrainedPlanner {
         let sim = artifact.device.simulator();
+        let plan = Arc::new(PredictPlan::full(&artifact.model, &sim.spec().clocks));
         TrainedPlanner {
             artifact,
             sim,
             engine: Engine::default(),
             cache: ProfileCache::shared(),
+            plan,
         }
     }
 
@@ -325,13 +338,17 @@ impl TrainedPlanner {
     /// [`Error::NonFiniteFeatures`] when the feature vector contains
     /// NaN or infinite components.
     pub fn predict(&self, features: &StaticFeatures) -> Result<ParetoPrediction> {
-        let clocks = &self.sim.spec().clocks;
-        self.predict_at(features, &clocks.actual_configs())
+        if features.values().iter().any(|v| !v.is_finite()) {
+            return Err(Error::NonFiniteFeatures);
+        }
+        Ok(self.plan.predict(features))
     }
 
     /// [`predict`](TrainedPlanner::predict) over an explicit candidate
     /// list (the evaluation predicts at the same sampled settings the
-    /// ground truth is measured at).
+    /// ground truth is measured at). Reuses the planner's prebuilt
+    /// scorer; only the per-candidate metadata is rebuilt for the
+    /// ad-hoc list.
     pub fn predict_at(
         &self,
         features: &StaticFeatures,
@@ -340,12 +357,17 @@ impl TrainedPlanner {
         if features.values().iter().any(|v| !v.is_finite()) {
             return Err(Error::NonFiniteFeatures);
         }
-        Ok(predict_pareto_at(
-            &self.artifact.model,
+        Ok(predict_pareto_scored(
+            self.plan.scorer(),
             features,
             &self.sim.spec().clocks,
             candidates,
         ))
+    }
+
+    /// The precomputed prediction pipeline this planner serves from.
+    pub fn plan(&self) -> &PredictPlan {
+        &self.plan
     }
 
     /// Parse and analyze OpenCL-C `source` through the shared
@@ -449,18 +471,14 @@ pub fn analyze_source(source: &str, path: Option<&str>) -> Result<(StaticFeature
         .first_kernel()
         .ok_or(Error::NoKernelFound { path: owned_path() })?;
     let config = AnalysisConfig::default();
+    // One analysis serves both views: the features are the normalized
+    // mix of the same counts the profile records absolutely.
     let analysis =
         analyze_kernel_with(kernel, &config).map_err(|source| Error::KernelAnalysis {
             path: owned_path(),
             source,
         })?;
-    let profile =
-        KernelProfile::from_kernel(kernel, &config, LaunchConfig::default()).map_err(|source| {
-            Error::KernelAnalysis {
-                path: owned_path(),
-                source,
-            }
-        })?;
+    let profile = KernelProfile::from_analysis(&kernel.name, &analysis, LaunchConfig::default());
     Ok((StaticFeatures::from_analysis(&analysis), profile))
 }
 

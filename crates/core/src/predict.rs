@@ -9,8 +9,8 @@
 //! always add the last (highest-core) mem-L configuration to the
 //! predicted set.
 
-use crate::model::FreqScalingModel;
-use gpufreq_kernel::{FreqConfig, StaticFeatures};
+use crate::model::{FreqScalingModel, ModelScorer};
+use gpufreq_kernel::{memory_boundedness, FreqConfig, StaticFeatures, NUM_FEATURES};
 use gpufreq_pareto::{pareto_set_simple, Objectives};
 use gpufreq_sim::ClockTable;
 use serde::{Deserialize, Serialize};
@@ -67,6 +67,71 @@ impl ParetoPrediction {
             .filter(|p| p.objectives.energy.is_finite())
             .min_by(|a, b| a.objectives.energy.total_cmp(&b.objectives.energy))
     }
+
+    /// Serialize to compact JSON, byte-identical to
+    /// `serde_json::to_string` but written straight into one
+    /// preallocated buffer instead of through an intermediate value
+    /// tree. A prediction is a few hundred numbers behind fixed field
+    /// names — on the serve hot path the tree construction costs more
+    /// than the scoring it reports, so this is the serializer the
+    /// daemon uses (pinned against the generic one by unit test).
+    pub fn to_compact_json(&self) -> String {
+        // ~96 bytes per rendered point.
+        let mut out =
+            String::with_capacity(96 * (self.all_points.len() + self.pareto_set.len()) + 64);
+        out.push_str("{\"all_points\":");
+        write_points(&self.all_points, &mut out);
+        out.push_str(",\"pareto_set\":");
+        write_points(&self.pareto_set, &mut out);
+        out.push('}');
+        out
+    }
+}
+
+fn write_points(points: &[PredictedPoint], out: &mut String) {
+    if points.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push('[');
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"config\":{\"core_mhz\":");
+        push_u32(p.config.core_mhz, out);
+        out.push_str(",\"mem_mhz\":");
+        push_u32(p.config.mem_mhz, out);
+        out.push_str("},\"objectives\":{\"speedup\":");
+        push_f64(p.objectives.speedup, out);
+        out.push_str(",\"energy\":");
+        push_f64(p.objectives.energy, out);
+        out.push_str("},\"heuristic\":");
+        out.push_str(if p.heuristic { "true" } else { "false" });
+        out.push('}');
+    }
+    out.push(']');
+}
+
+fn push_u32(v: u32, out: &mut String) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{v}");
+}
+
+/// One f64, formatted exactly as the generic JSON writer formats it:
+/// shortest-round-trip `Display`, integral values with a trailing
+/// `.0`, non-finite as `null`.
+fn push_f64(v: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            let _ = write!(out, "{v:.1}");
+        } else {
+            let _ = write!(out, "{v}");
+        }
+    } else {
+        out.push_str("null");
+    }
 }
 
 /// Run the full prediction phase for a kernel with `features` over the
@@ -89,44 +154,223 @@ pub fn predict_pareto_at(
     clocks: &ClockTable,
     candidates: &[FreqConfig],
 ) -> ParetoPrediction {
+    predict_pareto_scored(&model.scorer(), features, clocks, candidates)
+}
+
+/// [`predict_pareto_at`] with a prebuilt [`ModelScorer`] — callers that
+/// predict for many kernels against one model (evaluation, error
+/// analysis, serving) build the scorer once and amortize the
+/// support-vector flattening across every call.
+pub fn predict_pareto_scored(
+    scorer: &ModelScorer,
+    features: &StaticFeatures,
+    clocks: &ClockTable,
+    candidates: &[FreqConfig],
+) -> ParetoPrediction {
+    let (modeled, mem_l) = plan_candidates(scorer, clocks, candidates);
+    predict_planned(
+        scorer,
+        &modeled,
+        mem_l.as_ref(),
+        candidates.is_empty(),
+        features,
+    )
+}
+
+/// One candidate configuration with everything that does not depend on
+/// the kernel precomputed: the scaled clock pair and the model head
+/// responsible for its memory domain.
+#[derive(Debug, Clone, Copy)]
+struct PlannedCandidate {
+    config: FreqConfig,
+    core_scaled: f64,
+    mem_scaled: f64,
+    head: usize,
+}
+
+impl PlannedCandidate {
+    fn new(scorer: &ModelScorer, config: FreqConfig) -> PlannedCandidate {
+        PlannedCandidate {
+            config,
+            core_scaled: config.core_scaled(),
+            mem_scaled: config.mem_scaled(),
+            head: scorer.head_index(config),
+        }
+    }
+}
+
+/// Split `candidates` into the modeled block (mem above [`MEM_L_MHZ`],
+/// per-config metadata precomputed) and the mem-L heuristic point.
+fn plan_candidates(
+    scorer: &ModelScorer,
+    clocks: &ClockTable,
+    candidates: &[FreqConfig],
+) -> (Vec<PlannedCandidate>, Option<PlannedCandidate>) {
+    let modeled = candidates
+        .iter()
+        .filter(|c| c.mem_mhz > MEM_L_MHZ)
+        .map(|&config| PlannedCandidate::new(scorer, config))
+        .collect();
+    // §4.5: the heuristic point is the last (highest-core) mem-L
+    // configuration of the device, independent of the candidate list.
+    let mem_l = clocks
+        .actual_configs_for(MEM_L_MHZ)
+        .into_iter()
+        .last()
+        .map(|config| PlannedCandidate::new(scorer, config));
+    (modeled, mem_l)
+}
+
+/// The prediction core over precomputed candidate metadata: one
+/// per-kernel invariant hoist (`memory_boundedness`), one scaled
+/// feature row per candidate, then a lane-parallel matrix sweep per
+/// memory-domain head, Algorithm 1, and the heuristic append.
+/// Bit-identical to the historical per-point scalar path (see
+/// [`ModelScorer`]).
+fn predict_planned(
+    scorer: &ModelScorer,
+    modeled: &[PlannedCandidate],
+    mem_l: Option<&PlannedCandidate>,
+    no_candidates: bool,
+    features: &StaticFeatures,
+) -> ParetoPrediction {
     // An empty candidate list has no prediction at all — not even the
     // mem-L heuristic point, which would otherwise smuggle a
     // configuration into a deliberately empty search space.
-    if candidates.is_empty() {
+    if no_candidates {
         return ParetoPrediction {
             all_points: Vec::new(),
             pareto_set: Vec::new(),
         };
     }
+    let boundedness = memory_boundedness(features);
+    let score = |c: &PlannedCandidate, heuristic: bool| PredictedPoint {
+        config: c.config,
+        objectives: scorer.predict_prepared(
+            features,
+            boundedness,
+            c.core_scaled,
+            c.mem_scaled,
+            c.head,
+        ),
+        heuristic,
+    };
     // Steps 2–8: predict both objectives for every modeled setting.
-    let all_points: Vec<PredictedPoint> = candidates
+    // One scaled model-input row per candidate, in candidate order...
+    let mut rows = vec![0.0; modeled.len() * NUM_FEATURES];
+    for (c, row) in modeled.iter().zip(rows.chunks_exact_mut(NUM_FEATURES)) {
+        scorer.write_scaled_row(
+            features,
+            boundedness,
+            c.core_scaled,
+            c.mem_scaled,
+            row.try_into().expect("row is NUM_FEATURES wide"),
+        );
+    }
+    // ...then one matrix sweep per memory-domain head over the rows it
+    // owns (gathered in candidate order, so each candidate's score
+    // lands back in its slot with the scalar path's bits).
+    let mut objectives = vec![Objectives::new(0.0, 0.0); modeled.len()];
+    let mut block = Vec::new();
+    let (mut speedup_out, mut energy_out) = (Vec::new(), Vec::new());
+    for head in 0..scorer.num_heads() {
+        let owned: Vec<usize> = (0..modeled.len())
+            .filter(|&i| modeled[i].head == head)
+            .collect();
+        if owned.is_empty() {
+            continue;
+        }
+        block.clear();
+        for &i in &owned {
+            block.extend_from_slice(&rows[i * NUM_FEATURES..(i + 1) * NUM_FEATURES]);
+        }
+        scorer.score_block(head, &block, &mut speedup_out, &mut energy_out);
+        for (k, &i) in owned.iter().enumerate() {
+            objectives[i] = Objectives::new(speedup_out[k], energy_out[k]);
+        }
+    }
+    let all_points: Vec<PredictedPoint> = modeled
         .iter()
-        .filter(|c| c.mem_mhz > MEM_L_MHZ)
-        .map(|&config| PredictedPoint {
-            config,
-            objectives: model.predict_objectives(features, config),
+        .zip(&objectives)
+        .map(|(c, &objectives)| PredictedPoint {
+            config: c.config,
+            objectives,
             heuristic: false,
         })
         .collect();
     // Step 9: Algorithm 1 over the predictions.
-    let objectives: Vec<Objectives> = all_points.iter().map(|p| p.objectives).collect();
     let mut pareto_set: Vec<PredictedPoint> = pareto_set_simple(&objectives)
         .into_iter()
         .map(|i| all_points[i])
         .collect();
-    // §4.5: append the last (highest-core) mem-L configuration. Its
-    // objectives are still model-predicted (there is nothing better
-    // available statically), but it is flagged as heuristic.
-    if let Some(mem_l_last) = clocks.actual_configs_for(MEM_L_MHZ).into_iter().last() {
-        pareto_set.push(PredictedPoint {
-            config: mem_l_last,
-            objectives: model.predict_objectives(features, mem_l_last),
-            heuristic: true,
-        });
+    // §4.5: append the mem-L heuristic configuration. Its objectives
+    // are still model-predicted (there is nothing better available
+    // statically), but it is flagged as heuristic.
+    if let Some(c) = mem_l {
+        pareto_set.push(score(c, true));
     }
     ParetoPrediction {
         all_points,
         pareto_set,
+    }
+}
+
+/// A fully prepared prediction pipeline for one `(model, device,
+/// candidate list)` triple: the batched [`ModelScorer`] plus per-config
+/// metadata, both computed once at build/load time. A cache-miss
+/// predict then costs one analysis plus one scoring sweep — no
+/// per-request support-vector flattening, head lookups, or frequency
+/// scaling. [`TrainedPlanner`](crate::TrainedPlanner) builds one at
+/// train/load time and reuses it for every request.
+#[derive(Debug, Clone)]
+pub struct PredictPlan {
+    scorer: ModelScorer,
+    modeled: Vec<PlannedCandidate>,
+    mem_l: Option<PlannedCandidate>,
+    no_candidates: bool,
+}
+
+impl PredictPlan {
+    /// Prepare the pipeline for `model` over an explicit candidate
+    /// list (see [`predict_pareto_at`] for the candidate semantics).
+    pub fn new(model: &FreqScalingModel, clocks: &ClockTable, candidates: &[FreqConfig]) -> Self {
+        let scorer = model.scorer();
+        let (modeled, mem_l) = plan_candidates(&scorer, clocks, candidates);
+        PredictPlan {
+            scorer,
+            modeled,
+            mem_l,
+            no_candidates: candidates.is_empty(),
+        }
+    }
+
+    /// Prepare the pipeline over every actual configuration of
+    /// `clocks` (the production path: what serving sweeps per request).
+    pub fn full(model: &FreqScalingModel, clocks: &ClockTable) -> Self {
+        PredictPlan::new(model, clocks, &clocks.actual_configs())
+    }
+
+    /// Number of modeled candidate configurations in the sweep.
+    pub fn num_candidates(&self) -> usize {
+        self.modeled.len()
+    }
+
+    /// The batched scorer backing this plan (for callers scoring
+    /// ad-hoc configurations outside the planned sweep).
+    pub fn scorer(&self) -> &ModelScorer {
+        &self.scorer
+    }
+
+    /// Run the prediction phase for one kernel. Bit-identical to
+    /// [`predict_pareto_at`] over the plan's model and candidates.
+    pub fn predict(&self, features: &StaticFeatures) -> ParetoPrediction {
+        predict_planned(
+            &self.scorer,
+            &self.modeled,
+            self.mem_l.as_ref(),
+            self.no_candidates,
+            features,
+        )
     }
 }
 
@@ -254,6 +498,50 @@ mod tests {
         };
         assert!(all_nan.max_speedup().is_none());
         assert!(all_nan.min_energy().is_none());
+    }
+
+    #[test]
+    fn compact_json_matches_generic_serializer() {
+        let (model, sim) = setup();
+        let f = gpufreq_workloads::workload("knn")
+            .unwrap()
+            .static_features();
+        let pred = predict_pareto(&model, &f, &sim.spec().clocks);
+        assert_eq!(
+            pred.to_compact_json(),
+            serde_json::to_string(&pred).unwrap()
+        );
+        // Degenerate and non-finite cases follow the generic writer
+        // too: empty arrays, NaN → null, integral floats with `.0`,
+        // negative zero.
+        let empty = ParetoPrediction {
+            all_points: Vec::new(),
+            pareto_set: Vec::new(),
+        };
+        assert_eq!(
+            empty.to_compact_json(),
+            serde_json::to_string(&empty).unwrap()
+        );
+        for (s, e) in [
+            (f64::NAN, f64::INFINITY),
+            (2.0, -0.0),
+            (1e20, -1.0e-17),
+            (0.1 + 0.2, 1234567890123456.5),
+        ] {
+            let odd = ParetoPrediction {
+                all_points: vec![PredictedPoint {
+                    config: FreqConfig::new(3505, 1102),
+                    objectives: Objectives::new(s, e),
+                    heuristic: false,
+                }],
+                pareto_set: vec![PredictedPoint {
+                    config: FreqConfig::new(405, 405),
+                    objectives: Objectives::new(e, s),
+                    heuristic: true,
+                }],
+            };
+            assert_eq!(odd.to_compact_json(), serde_json::to_string(&odd).unwrap());
+        }
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Property pin: the batched prediction pipeline produces byte-identical
+//! `ParetoPrediction` JSON to a scalar re-derivation of the historical
+//! per-point path, across random kernels and all three devices' actual
+//! configuration blocks.
+//!
+//! [`predict_pareto_at`] (and the [`PredictPlan`] the planner serves
+//! from) now scores through flattened per-domain matrices; the scalar
+//! reference below rebuilds the prediction exactly the way the
+//! pre-refactor code did — one [`FreqScalingModel::predict_objectives`]
+//! call per candidate, Algorithm 1, then the mem-L heuristic append —
+//! so any reassociation or reordering slipped into the batched path
+//! shows up as a byte diff here.
+
+use gpufreq_core::{
+    predict_pareto_at, Corpus, FreqScalingModel, ModelConfig, ParetoPrediction, Planner,
+    PredictPlan, PredictedPoint, MEM_L_MHZ,
+};
+use gpufreq_kernel::{FreqConfig, StaticFeatures, NUM_STATIC_FEATURES};
+use gpufreq_pareto::{pareto_set_simple, Objectives};
+use gpufreq_sim::{ClockTable, Device};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One model trained once for the whole suite (cross-device prediction
+/// is supported: unseen memory clocks fall back to the nearest domain,
+/// so the Titan X model exercises every device's config block).
+fn model() -> &'static FreqScalingModel {
+    static MODEL: OnceLock<FreqScalingModel> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        Planner::builder()
+            .corpus(Corpus::Fast)
+            .settings(8)
+            .model_config(ModelConfig::relaxed())
+            .train()
+            .expect("fast corpus trains")
+            .model()
+            .clone()
+    })
+}
+
+/// The historical scalar path, re-derived: per-point scalar scoring,
+/// Algorithm 1, heuristic append.
+fn scalar_reference(
+    model: &FreqScalingModel,
+    features: &StaticFeatures,
+    clocks: &ClockTable,
+    candidates: &[FreqConfig],
+) -> ParetoPrediction {
+    if candidates.is_empty() {
+        return ParetoPrediction {
+            all_points: Vec::new(),
+            pareto_set: Vec::new(),
+        };
+    }
+    let all_points: Vec<PredictedPoint> = candidates
+        .iter()
+        .filter(|c| c.mem_mhz > MEM_L_MHZ)
+        .map(|&config| PredictedPoint {
+            config,
+            objectives: model.predict_objectives(features, config),
+            heuristic: false,
+        })
+        .collect();
+    let objectives: Vec<Objectives> = all_points.iter().map(|p| p.objectives).collect();
+    let mut pareto_set: Vec<PredictedPoint> = pareto_set_simple(&objectives)
+        .into_iter()
+        .map(|i| all_points[i])
+        .collect();
+    if let Some(mem_l_last) = clocks.actual_configs_for(MEM_L_MHZ).into_iter().last() {
+        pareto_set.push(PredictedPoint {
+            config: mem_l_last,
+            objectives: model.predict_objectives(features, mem_l_last),
+            heuristic: true,
+        });
+    }
+    ParetoPrediction {
+        all_points,
+        pareto_set,
+    }
+}
+
+/// Deterministic feature generator (SplitMix64; no RNG dependency).
+fn random_features(seed: u64) -> StaticFeatures {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut values = [0.0; NUM_STATIC_FEATURES];
+    for v in &mut values {
+        *v = (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) * 0.2;
+    }
+    StaticFeatures::from_values(values)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batched vs scalar over every device's full actual-config block:
+    /// the serialized predictions must be byte-identical.
+    #[test]
+    fn batched_json_equals_scalar_reference(seed in 0u64..100_000) {
+        let model = model();
+        let features = random_features(seed);
+        for device in Device::all() {
+            let sim = device.simulator();
+            let clocks = &sim.spec().clocks;
+            let candidates = clocks.actual_configs();
+            let batched = predict_pareto_at(model, &features, clocks, &candidates);
+            let reference = scalar_reference(model, &features, clocks, &candidates);
+            prop_assert_eq!(
+                serde_json::to_string(&batched).unwrap(),
+                serde_json::to_string(&reference).unwrap()
+            );
+            // The planner's precomputed plan takes the same path.
+            let plan = PredictPlan::full(model, clocks);
+            prop_assert_eq!(
+                serde_json::to_string(&plan.predict(&features)).unwrap(),
+                serde_json::to_string(&reference).unwrap()
+            );
+        }
+    }
+}

@@ -207,21 +207,43 @@ impl FeatureVector {
     /// memory-boundedness feature — see [`NUM_FEATURES`]).
     pub fn new(features: &StaticFeatures, config: FreqConfig) -> FeatureVector {
         let mut values = vec![0.0; NUM_FEATURES];
-        values[..NUM_STATIC_FEATURES].copy_from_slice(features.values());
-        let core = config.core_scaled();
-        let mem = config.mem_scaled();
-        values[NUM_STATIC_FEATURES] = core;
-        values[NUM_STATIC_FEATURES + 1] = mem;
-        for (i, &k) in features.values().iter().enumerate() {
-            values[NUM_STATIC_FEATURES + 2 + i] = k * core;
-            values[2 * NUM_STATIC_FEATURES + 2 + i] = k * mem;
-        }
-        let boundedness = memory_boundedness(features);
-        let base = 2 + 3 * NUM_STATIC_FEATURES;
-        values[base] = boundedness;
-        values[base + 1] = boundedness * core;
-        values[base + 2] = boundedness * mem;
+        FeatureVector::write_raw(
+            features,
+            config.core_scaled(),
+            config.mem_scaled(),
+            memory_boundedness(features),
+            (&mut values[..])
+                .try_into()
+                .expect("row is NUM_FEATURES wide"),
+        );
         FeatureVector { values }
+    }
+
+    /// Write the raw feature row into a caller-owned buffer — the
+    /// allocation-free core of [`FeatureVector::new`], bit-identical to
+    /// it (same component expressions in the same order). The scaled
+    /// frequencies and the memory-boundedness are taken as arguments so
+    /// batched scorers can hoist `memory_boundedness` (a pure function
+    /// of the static features) out of a per-configuration loop and
+    /// reuse one stack buffer per candidate row.
+    pub fn write_raw(
+        features: &StaticFeatures,
+        core: f64,
+        mem: f64,
+        boundedness: f64,
+        out: &mut [f64; NUM_FEATURES],
+    ) {
+        out[..NUM_STATIC_FEATURES].copy_from_slice(features.values());
+        out[NUM_STATIC_FEATURES] = core;
+        out[NUM_STATIC_FEATURES + 1] = mem;
+        for (i, &k) in features.values().iter().enumerate() {
+            out[NUM_STATIC_FEATURES + 2 + i] = k * core;
+            out[2 * NUM_STATIC_FEATURES + 2 + i] = k * mem;
+        }
+        let base = 2 + 3 * NUM_STATIC_FEATURES;
+        out[base] = boundedness;
+        out[base + 1] = boundedness * core;
+        out[base + 2] = boundedness * mem;
     }
 
     /// The raw row, usable as an ML sample.

@@ -268,59 +268,103 @@ pub fn analyze_kernel_with(
 
 // ---- environment ------------------------------------------------------
 
+/// Lexical environment for the analyzer, stored as flat binding stacks
+/// that borrow their names from the AST.
+///
+/// The previous representation (`Vec<HashMap<String, _>>`, one map per
+/// scope) allocated a map plus an owned `String` per binding on every
+/// block entry — profiling showed the analysis front end dominated by
+/// those allocations. Kernels bind a handful of names per scope, so a
+/// reverse linear scan over a flat `Vec<(&str, _)>` beats hashing while
+/// allocating nothing per scope (the two `Vec`s amortize across the
+/// whole walk).
+///
+/// Semantics are kept exactly map-per-scope:
+/// * a lookup scans innermost-first and within a scope the latest
+///   binding decides (each scope holds at most one entry per name —
+///   `set_const` updates in place);
+/// * `clear_const` removes the name from the *innermost* scope that
+///   binds it by tombstoning the entry **in place** (`None`), so a
+///   lookup falls through to outer scopes — and so clearing an
+///   outer-scope binding from inside a nested scope survives the
+///   nested scope's pop, exactly like removing from the outer map;
+/// * scope exit truncates to the entry mark, like dropping the map.
 struct Env<'a> {
     config: &'a AnalysisConfig,
-    scopes: Vec<HashMap<String, Type>>,
-    consts: Vec<HashMap<String, i64>>,
+    /// Declared variables, innermost bindings last.
+    vars: Vec<(&'a str, Type)>,
+    /// Scope entry marks into `vars`.
+    var_marks: Vec<usize>,
+    /// Known integer constants; `None` is an in-place removal.
+    consts: Vec<(&'a str, Option<i64>)>,
+    /// Scope entry marks into `consts`.
+    const_marks: Vec<usize>,
 }
 
 impl<'a> Env<'a> {
     fn new(config: &'a AnalysisConfig) -> Self {
         Env {
             config,
-            scopes: vec![HashMap::new()],
-            consts: vec![HashMap::new()],
+            vars: Vec::new(),
+            var_marks: Vec::new(),
+            consts: Vec::new(),
+            const_marks: Vec::new(),
         }
     }
 
     fn push(&mut self) {
-        self.scopes.push(HashMap::new());
-        self.consts.push(HashMap::new());
+        self.var_marks.push(self.vars.len());
+        self.const_marks.push(self.consts.len());
     }
 
     fn pop(&mut self) {
-        self.scopes.pop();
-        self.consts.pop();
+        let var_mark = self.var_marks.pop().expect("pop matches a push");
+        let const_mark = self.const_marks.pop().expect("pop matches a push");
+        self.vars.truncate(var_mark);
+        self.consts.truncate(const_mark);
     }
 
-    fn declare(&mut self, name: &str, ty: Type) {
-        self.scopes
-            .last_mut()
-            .expect("at least one scope")
-            .insert(name.to_string(), ty);
+    fn declare(&mut self, name: &'a str, ty: Type) {
+        self.vars.push((name, ty));
     }
 
     fn lookup(&self, name: &str) -> Option<Type> {
-        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+        self.vars
+            .iter()
+            .rev()
+            .find_map(|&(n, ty)| (n == name).then_some(ty))
     }
 
-    fn set_const(&mut self, name: &str, value: i64) {
-        self.consts
-            .last_mut()
-            .expect("at least one scope")
-            .insert(name.to_string(), value);
+    fn set_const(&mut self, name: &'a str, value: i64) {
+        let scope_start = self.const_marks.last().copied().unwrap_or(0);
+        match self.consts[scope_start..]
+            .iter_mut()
+            .find(|(n, _)| *n == name)
+        {
+            Some(entry) => entry.1 = Some(value),
+            None => self.consts.push((name, Some(value))),
+        }
     }
 
     fn clear_const(&mut self, name: &str) {
-        for scope in self.consts.iter_mut().rev() {
-            if scope.remove(name).is_some() {
-                return;
-            }
+        // Innermost live binding only; a tombstone means the name is
+        // already absent from that scope, so keep scanning outward.
+        if let Some(entry) = self
+            .consts
+            .iter_mut()
+            .rev()
+            .find(|(n, v)| *n == name && v.is_some())
+        {
+            entry.1 = None;
         }
     }
 
     fn lookup_const(&self, name: &str) -> Option<i64> {
-        self.consts.iter().rev().find_map(|s| s.get(name).copied())
+        self.consts
+            .iter()
+            .rev()
+            .filter(|(n, _)| *n == name)
+            .find_map(|&(_, v)| v)
     }
 }
 
@@ -388,13 +432,13 @@ fn for_trip_count(
             name,
             init: Some(e),
             ..
-        } => (name.clone(), const_eval(e, env)?),
+        } => (name.as_str(), const_eval(e, env)?),
         Stmt::Assign {
             target: LValue::Var(name),
             op: None,
             value,
             ..
-        } => (name.clone(), const_eval(value, env)?),
+        } => (name.as_str(), const_eval(value, env)?),
         _ => return None,
     };
     let (cmp, end) = match cond? {
@@ -504,9 +548,9 @@ fn flip_cmp(op: BinOp) -> Option<BinOp> {
 
 // ---- statement analysis -------------------------------------------------
 
-fn analyze_block(
-    stmts: &[Stmt],
-    env: &mut Env<'_>,
+fn analyze_block<'a>(
+    stmts: &'a [Stmt],
+    env: &mut Env<'a>,
     out: &mut KernelAnalysis,
 ) -> Result<(), AnalysisError> {
     for stmt in stmts {
@@ -515,9 +559,9 @@ fn analyze_block(
     Ok(())
 }
 
-fn analyze_stmt(
-    stmt: &Stmt,
-    env: &mut Env<'_>,
+fn analyze_stmt<'a>(
+    stmt: &'a Stmt,
+    env: &mut Env<'a>,
     out: &mut KernelAnalysis,
 ) -> Result<(), AnalysisError> {
     match stmt {

@@ -74,14 +74,29 @@ impl KernelProfile {
         launch: LaunchConfig,
     ) -> Result<KernelProfile, AnalysisError> {
         let analysis = analyze_kernel_with(kernel, config)?;
-        Ok(KernelProfile {
-            name: kernel.name.clone(),
+        Ok(KernelProfile::from_analysis(
+            &kernel.name,
+            &analysis,
+            launch,
+        ))
+    }
+
+    /// Build a profile from an analysis the caller already ran —
+    /// callers that need both [`StaticFeatures`] and a profile analyze
+    /// once and derive both views, instead of walking the AST twice.
+    pub fn from_analysis(
+        name: &str,
+        analysis: &crate::ir::KernelAnalysis,
+        launch: LaunchConfig,
+    ) -> KernelProfile {
+        KernelProfile {
+            name: name.to_string(),
             counts: analysis.counts.clone(),
             global_read_bytes: analysis.global_read_bytes,
             global_write_bytes: analysis.global_write_bytes,
             local_bytes: analysis.local_bytes,
             launch,
-        })
+        }
     }
 
     /// The static features corresponding to this profile's mix.

@@ -1,0 +1,147 @@
+//! No-panic fuzz over the OpenCL-C front end.
+//!
+//! The lexer, parser, and IR analyzer sit in front of every prediction
+//! (including the serve daemon, where request bodies arrive from the
+//! network), so malformed source must surface as [`LexError`] /
+//! [`ParseError`] / [`AnalysisError`] values — never as a panic, slice
+//! overrun, or non-UTF-8 split. Two generators drive the front end:
+//!
+//! 1. arbitrary byte soup (lossily decoded, so it includes replacement
+//!    characters and embedded NULs), and
+//! 2. point mutations of *valid* kernels — the inputs most likely to
+//!    get deep into the grammar before going wrong.
+//!
+//! Successful parses are pushed on through [`analyze_kernel`] so the
+//! loop-bound and addressing analyses get fuzzed too.
+
+use gpufreq_kernel::{analyze_kernel, lex, parse};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A realistic valid kernel: local-memory staging, a bounded loop, a
+/// data-dependent branch — enough grammar surface that single-token
+/// damage lands in interesting places.
+const VALID_NN: &str = r#"
+__kernel void nn(__global float* qx, __global float* qy,
+                 __global float* rx_g, __global float* ry_g,
+                 __global int* out, int n) {
+    __local float rx[128];
+    __local float ry[128];
+    uint gid = get_global_id(0);
+    uint lid = get_local_id(0);
+    rx[lid] = rx_g[lid];
+    ry[lid] = ry_g[lid];
+    barrier(0);
+    float best = 1000000000.0f;
+    int best_i = 0;
+    for (int r = 0; r < n; r += 1) {
+        float dx = rx[r] - qx[gid];
+        float dy = ry[r] - qy[gid];
+        float d = dx * dx + dy * dy;
+        if (d < best) {
+            best = d;
+            best_i = r;
+        }
+    }
+    out[gid] = best_i;
+}
+"#;
+
+/// A second seed with different constructs: while loop, compound
+/// assignment, integer ops, two kernels in one translation unit.
+const VALID_PAIR: &str = r#"
+__kernel void scale(__global float* data, float k, int n) {
+    uint gid = get_global_id(0);
+    int i = 0;
+    while (i < n) {
+        data[gid * n + i] = data[gid * n + i] * k;
+        i += 1;
+    }
+}
+
+__kernel void mask(__global int* v, int bits) {
+    uint gid = get_global_id(0);
+    v[gid] = (v[gid] >> 2) & bits;
+}
+"#;
+
+/// Drive the whole front end; the property is simply "returns".
+fn front_end_must_not_panic(src: &str) {
+    // The lexer alone (parse re-lexes, but this pins the entry point).
+    let _ = lex(src);
+    if let Ok(program) = parse(src) {
+        for kernel in &program.kernels {
+            let _ = analyze_kernel(kernel);
+        }
+    }
+}
+
+/// Apply one point mutation to `src`, chosen by (`op`, `pos`, `byte`).
+fn mutate(src: &str, op: u8, pos: usize, byte: u8) -> String {
+    let mut bytes = src.as_bytes().to_vec();
+    let at = pos % (bytes.len() + 1);
+    match op % 4 {
+        // Replace one byte.
+        0 if at < bytes.len() => bytes[at] = byte,
+        // Delete one byte.
+        1 if !bytes.is_empty() => {
+            bytes.remove(at % bytes.len());
+        }
+        // Insert one byte.
+        2 => bytes.insert(at, byte),
+        // Truncate.
+        _ => bytes.truncate(at),
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup never panics, and — lacking a `__kernel`
+    /// token stream that typechecks — never yields kernels either.
+    #[test]
+    fn arbitrary_bytes_error_cleanly(bytes in vec(0u8..=255, 0..512usize)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        front_end_must_not_panic(&src);
+        if !src.contains("__kernel") {
+            prop_assert!(parse(&src).is_err());
+        }
+    }
+
+    /// Printable-character strings (more likely to form real tokens)
+    /// never panic the lexer or parser.
+    #[test]
+    fn printable_strings_error_cleanly(src in "[\\PC\\n\\t]{0,300}") {
+        front_end_must_not_panic(&src);
+        if !src.contains("__kernel") {
+            prop_assert!(parse(&src).is_err());
+        }
+    }
+
+    /// Point-mutated valid kernels never panic anywhere in the front
+    /// end; whatever still parses must also analyze without panicking.
+    #[test]
+    fn mutated_valid_kernels_never_panic(
+        ops in vec((0u8..=3, 0usize..4096, 0u8..=255), 1..8usize),
+        seed in 0u8..=1,
+    ) {
+        let mut src = if seed == 0 { VALID_NN } else { VALID_PAIR }.to_string();
+        for &(op, pos, byte) in &ops {
+            src = mutate(&src, op, pos, byte);
+        }
+        front_end_must_not_panic(&src);
+    }
+}
+
+/// The unmutated seeds really are valid — otherwise the mutation fuzz
+/// would be exploring the error paths only.
+#[test]
+fn fuzz_seeds_parse_and_analyze() {
+    for src in [VALID_NN, VALID_PAIR] {
+        let program = parse(src).expect("seed kernel parses");
+        for kernel in &program.kernels {
+            analyze_kernel(kernel).expect("seed kernel analyzes");
+        }
+    }
+}

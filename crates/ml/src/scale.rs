@@ -52,18 +52,30 @@ impl MinMaxScaler {
 
     /// Scale one row.
     pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; row.len()];
+        self.transform_into(row, &mut out);
+        out
+    }
+
+    /// Scale one row into a caller-owned buffer — the allocation-free
+    /// twin of [`MinMaxScaler::transform`], bit-identical to it (same
+    /// per-dimension expression, including the constant-dimension
+    /// passthrough). Hot scoring paths reuse one stack buffer per
+    /// candidate instead of allocating a `Vec` per transform.
+    ///
+    /// # Panics
+    /// If `row` or `out` width differs from [`MinMaxScaler::dims`].
+    pub fn transform_into(&self, row: &[f64], out: &mut [f64]) {
         assert_eq!(row.len(), self.dims());
-        row.iter()
-            .enumerate()
-            .map(|(j, &v)| {
-                let range = self.hi[j] - self.lo[j];
-                if range == 0.0 {
-                    v
-                } else {
-                    (v - self.lo[j]) / range
-                }
-            })
-            .collect()
+        assert_eq!(out.len(), self.dims());
+        for (j, (&v, slot)) in row.iter().zip(out.iter_mut()).enumerate() {
+            let range = self.hi[j] - self.lo[j];
+            *slot = if range == 0.0 {
+                v
+            } else {
+                (v - self.lo[j]) / range
+            };
+        }
     }
 
     /// Invert [`MinMaxScaler::transform`].

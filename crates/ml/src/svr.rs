@@ -84,6 +84,42 @@ pub struct SvrModel {
 }
 
 impl SvrModel {
+    /// Assemble a model directly from its parts: support vectors,
+    /// their coefficients `β = α − α*`, and the bias. This is the
+    /// inverse of what [`train_svr`] extracts from the solver, for
+    /// callers that build models without training — hand-written
+    /// regressors in tests, property-based harnesses, external
+    /// artifact importers. The iteration count is recorded as zero.
+    ///
+    /// # Panics
+    /// If `support_x` and `beta` disagree in length, or the support
+    /// vectors are jagged.
+    pub fn from_parts(
+        kernel: SvmKernel,
+        support_x: Vec<Vec<f64>>,
+        beta: Vec<f64>,
+        bias: f64,
+    ) -> SvrModel {
+        assert_eq!(
+            support_x.len(),
+            beta.len(),
+            "one coefficient per support vector"
+        );
+        if let Some(first) = support_x.first() {
+            assert!(
+                support_x.iter().all(|sv| sv.len() == first.len()),
+                "support vectors must share one width"
+            );
+        }
+        SvrModel {
+            kernel,
+            support_x,
+            beta,
+            bias,
+            iterations: 0,
+        }
+    }
+
     /// Predict the target for one row.
     pub fn predict(&self, x: &[f64]) -> f64 {
         let mut acc = self.bias;
@@ -94,8 +130,38 @@ impl SvrModel {
     }
 
     /// Predict a batch of rows.
-    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
-        xs.iter().map(|x| self.predict(x)).collect()
+    ///
+    /// Accepts anything row-shaped — `&[Vec<f64>]`, `&[&[f64]]`,
+    /// `&[[f64; N]]` — so callers holding borrowed rows don't rebuild
+    /// an owned `Vec<Vec<f64>>` block just to satisfy the signature.
+    pub fn predict_batch<R: AsRef<[f64]>>(&self, xs: &[R]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x.as_ref())).collect()
+    }
+
+    /// Build the precomputed scoring form of this model: the support
+    /// vectors flattened into one row-major matrix with their norms
+    /// cached. Build it once per model, score many candidate blocks —
+    /// see [`ScoringPlan`] for the bit-identity contract.
+    pub fn scoring_plan(&self) -> ScoringPlan {
+        let dims = self.support_x.first().map_or(0, Vec::len);
+        let mut sv = Vec::with_capacity(self.support_x.len() * dims);
+        for row in &self.support_x {
+            debug_assert_eq!(row.len(), dims, "support vectors share one width");
+            sv.extend_from_slice(row);
+        }
+        let sv_norms = self
+            .support_x
+            .iter()
+            .map(|row| row.iter().map(|v| v * v).sum())
+            .collect();
+        ScoringPlan {
+            kernel: self.kernel,
+            dims,
+            sv,
+            sv_norms,
+            beta: self.beta.clone(),
+            bias: self.bias,
+        }
     }
 
     /// Number of support vectors retained.
@@ -140,6 +206,388 @@ pub fn train_svr(data: &Dataset, params: &SvrParams) -> SvrModel {
         beta,
         bias,
         iterations,
+    }
+}
+
+/// The precomputed scoring form of an [`SvrModel`]: support vectors
+/// flattened into one row-major matrix, coefficients alongside, and
+/// the support-vector norms `‖sv‖²` cached — built once per model
+/// (via [`SvrModel::scoring_plan`]) and then scored against candidate
+/// blocks without touching the `Vec<Vec<f64>>` representation again.
+///
+/// **Bit-identity contract.** [`score`](ScoringPlan::score) and
+/// [`score_block_into`](ScoringPlan::score_block_into) return exactly
+/// the bits [`SvrModel::predict`] returns: the accumulation order
+/// (`acc = bias; acc += β_i · K(sv_i, x)` in support-vector order) and
+/// the per-element kernel arithmetic are identical, only the storage
+/// is flat. This is what lets the batched prediction pipeline replace
+/// the scalar one underneath golden tests, determinism suites and
+/// byte-replay contracts without re-blessing anything.
+///
+/// **Where the batched speed comes from.** Bit-identity pins each
+/// candidate's *own* operation chain, but says nothing about
+/// candidates relative to each other — they are independent
+/// computations. [`score_block_into`](ScoringPlan::score_block_into)
+/// therefore transposes the candidate block to column-major and sweeps
+/// support vectors in the outer loop, accumulating every candidate's
+/// dot product (or squared distance) in lock-step: the innermost loop
+/// is a contiguous elementwise update across candidates with no
+/// cross-lane reduction, which the compiler turns into SIMD. Each
+/// lane still executes exactly the scalar chain (`0 + s₀·x₀ + s₁·x₁ +
+/// …` in feature order, then `acc += β_i · K` in support-vector
+/// order), so IEEE-754 determinism makes the lane-parallel sweep
+/// return the scalar path's bits while running several candidates per
+/// instruction.
+///
+/// **Why the RBF head is *not* evaluated via the norm expansion.**
+/// The classic batched form `‖x−sv‖² = ‖x‖² + ‖sv‖² − 2⟨x, sv⟩`
+/// (served by the cached norms) reassociates the floating-point sum —
+/// its result differs from the direct `Σ (sv_j − x_j)²` sweep in the
+/// last ulps, which would silently change every persisted prediction.
+/// The expansion is therefore offered separately as
+/// [`score_block_expanded_into`](ScoringPlan::score_block_expanded_into)
+/// for callers that can tolerate approximate scores (and for the
+/// kernels where it is exact), while the canonical entry points keep
+/// the direct sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoringPlan {
+    kernel: SvmKernel,
+    dims: usize,
+    /// Row-major `num_support_vectors × dims` support-vector matrix.
+    sv: Vec<f64>,
+    /// Cached `‖sv_i‖²`, in support-vector order.
+    sv_norms: Vec<f64>,
+    beta: Vec<f64>,
+    bias: f64,
+}
+
+impl ScoringPlan {
+    /// Feature width the plan scores (0 only for a model with no
+    /// support vectors, which scores as its bias).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of support vectors in the plan.
+    pub fn num_support_vectors(&self) -> usize {
+        self.beta.len()
+    }
+
+    /// Score one row. Bit-identical to [`SvrModel::predict`].
+    pub fn score(&self, x: &[f64]) -> f64 {
+        let mut acc = self.bias;
+        if self.dims == 0 {
+            return acc;
+        }
+        debug_assert_eq!(x.len(), self.dims);
+        for (sv, &b) in self.sv.chunks_exact(self.dims).zip(&self.beta) {
+            acc += b * self.kernel.eval(sv, x);
+        }
+        acc
+    }
+
+    /// Score a row-major block of `block.len() / dims` candidate rows,
+    /// appending one score per row to `out` (cleared first). Each row
+    /// is bit-identical to [`SvrModel::predict`] on that row, but the
+    /// block is evaluated lane-parallel: candidates ride SIMD lanes
+    /// while every lane executes the scalar path's exact operation
+    /// chain (see the type-level docs).
+    ///
+    /// # Panics
+    /// If `block.len()` is not a multiple of [`dims`](ScoringPlan::dims).
+    pub fn score_block_into(&self, block: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        if self.dims == 0 {
+            return;
+        }
+        assert_eq!(
+            block.len() % self.dims,
+            0,
+            "candidate block must be row-major with the plan's width"
+        );
+        self.score_transposed_into(&TransposedBlock::new(block, self.dims), out);
+    }
+
+    /// [`score_block_into`](ScoringPlan::score_block_into) over a block
+    /// that is already in the transposed layout — callers scoring the
+    /// same candidates against several same-width plans (a device
+    /// head's speedup and energy models, say) transpose once and score
+    /// many times.
+    ///
+    /// # Panics
+    /// If the block's width differs from [`dims`](ScoringPlan::dims).
+    pub fn score_transposed_into(&self, block: &TransposedBlock, out: &mut Vec<f64>) {
+        out.clear();
+        if self.dims == 0 {
+            return;
+        }
+        assert_eq!(
+            block.dims, self.dims,
+            "transposed block width must match the plan"
+        );
+        let (n, np) = (block.n, block.np);
+        out.resize(n, self.bias);
+        if n == 0 {
+            return;
+        }
+        // Tiny blocks lose more to lane padding than they gain from
+        // the sweep: score their rows directly (same canonical
+        // arithmetic, so the choice of path can never change a bit).
+        if n < SCALAR_CUTOFF {
+            let mut row = vec![0.0; self.dims];
+            for (c, acc) in out.iter_mut().enumerate() {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = block.xt[j * np + c];
+                }
+                *acc = self.score(&row);
+            }
+            return;
+        }
+        // Per-candidate partial (dot product or squared distance) for
+        // the support vector currently being swept.
+        let mut lane = vec![0.0; np];
+        // The sweep is compiled once per SIMD tier; per-lane IEEE-754
+        // mul/add/sub round identically at every width (and Rust never
+        // contracts to FMA), so wider registers change throughput, not
+        // bits.
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                // SAFETY: reached only when the CPU reports AVX-512F.
+                return unsafe { self.sweep_avx512(&block.xt, np, &mut lane, out) };
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: reached only when the CPU reports AVX2.
+                return unsafe { self.sweep_avx2(&block.xt, np, &mut lane, out) };
+            }
+        }
+        self.sweep(&block.xt, np, &mut lane, out);
+    }
+
+    /// The lane-parallel sweep body over a transposed, padded block
+    /// (`np` lanes, a multiple of [`LANE_BLOCK`]; `out.len()` real
+    /// candidates). Marked `inline(always)` so the `target_feature`
+    /// wrappers re-vectorize it at their ISA width.
+    #[inline(always)]
+    fn sweep(&self, xt: &[f64], np: usize, lane: &mut [f64], out: &mut [f64]) {
+        match self.kernel {
+            SvmKernel::Linear => {
+                for (sv, &b) in self.sv.chunks_exact(self.dims).zip(&self.beta) {
+                    dot_lanes(sv, xt, np, lane);
+                    for (acc, &dot) in out.iter_mut().zip(&*lane) {
+                        *acc += b * dot;
+                    }
+                }
+            }
+            SvmKernel::Rbf { gamma } => {
+                for (sv, &b) in self.sv.chunks_exact(self.dims).zip(&self.beta) {
+                    dist2_lanes(sv, xt, np, lane);
+                    for (acc, &d2) in out.iter_mut().zip(&*lane) {
+                        *acc += b * (-gamma * d2).exp();
+                    }
+                }
+            }
+            SvmKernel::Polynomial {
+                gamma,
+                coef0,
+                degree,
+            } => {
+                for (sv, &b) in self.sv.chunks_exact(self.dims).zip(&self.beta) {
+                    dot_lanes(sv, xt, np, lane);
+                    for (acc, &dot) in out.iter_mut().zip(&*lane) {
+                        *acc += b * (gamma * dot + coef0).powi(degree as i32);
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`sweep`](Self::sweep) compiled for AVX2 (4 f64 lanes).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn sweep_avx2(&self, xt: &[f64], np: usize, lane: &mut [f64], out: &mut [f64]) {
+        self.sweep(xt, np, lane, out);
+    }
+
+    /// [`sweep`](Self::sweep) compiled for AVX-512F (8 f64 lanes).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn sweep_avx512(&self, xt: &[f64], np: usize, lane: &mut [f64], out: &mut [f64]) {
+        self.sweep(xt, np, lane, out);
+    }
+}
+
+/// A candidate block in the column-major, block-padded layout the
+/// lane-parallel sweep consumes: feature `j` of candidate `c` at
+/// `xt[j*np + c]`, with the lane count `np` rounded up to whole
+/// register blocks. Padding lanes hold zeros, cost a few spare flops,
+/// and are never copied out — the scored output stays `n` long, so
+/// padding cannot change a single result bit.
+///
+/// Build one per candidate block and score it against every same-width
+/// [`ScoringPlan`] via
+/// [`score_transposed_into`](ScoringPlan::score_transposed_into),
+/// instead of paying the transpose once per plan.
+#[derive(Debug, Clone)]
+pub struct TransposedBlock {
+    dims: usize,
+    /// Real candidate count.
+    n: usize,
+    /// Lane count: `n` rounded up to a multiple of [`LANE_BLOCK`].
+    np: usize,
+    xt: Vec<f64>,
+}
+
+impl TransposedBlock {
+    /// Transpose a row-major block of `block.len() / dims` candidate
+    /// rows.
+    ///
+    /// # Panics
+    /// If `dims` is zero or `block.len()` is not a multiple of it.
+    pub fn new(block: &[f64], dims: usize) -> TransposedBlock {
+        let mut this = TransposedBlock {
+            dims,
+            n: 0,
+            np: 0,
+            xt: Vec::new(),
+        };
+        this.fill_from(block);
+        this
+    }
+
+    /// Reload from a new row-major block, reusing the buffer.
+    ///
+    /// # Panics
+    /// If `block.len()` is not a multiple of the block's width.
+    pub fn fill_from(&mut self, block: &[f64]) {
+        assert!(self.dims > 0, "a transposed block needs a nonzero width");
+        assert_eq!(
+            block.len() % self.dims,
+            0,
+            "candidate block must be row-major with the declared width"
+        );
+        let n = block.len() / self.dims;
+        let np = n.div_ceil(LANE_BLOCK) * LANE_BLOCK;
+        self.n = n;
+        self.np = np;
+        self.xt.clear();
+        self.xt.resize(self.dims * np, 0.0);
+        for (c, row) in block.chunks_exact(self.dims).enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                self.xt[j * np + c] = v;
+            }
+        }
+    }
+
+    /// Number of candidate rows loaded.
+    pub fn num_candidates(&self) -> usize {
+        self.n
+    }
+}
+
+/// Below this many candidates a block is scored row by row: the lane
+/// sweep always pays for a whole [`LANE_BLOCK`]-wide pass, which a
+/// near-empty block cannot amortize (measured crossover on the CI
+/// hardware is around a third of the block width).
+const SCALAR_CUTOFF: usize = 12;
+
+/// Candidates per register block. The per-candidate accumulation is a
+/// serial dependency chain (each `acc += term` must wait on the last),
+/// so throughput comes from flying many *independent* candidate chains
+/// at once: 32 lanes is four 512-bit (or eight 256-bit) accumulators,
+/// enough chains to cover FP-add latency on the x86 tiers dispatched
+/// to while keeping the pad-to-block waste small for head-sized
+/// candidate counts (≈50–70). Measured on the CI hardware, 32 beats
+/// both 16 (chain-starved) and 64 (pads a 71-candidate head to 128).
+/// Blocks live entirely in registers across the feature loop instead
+/// of round-tripping partials through memory once per feature.
+const LANE_BLOCK: usize = 32;
+
+/// `lane[c] = ⟨sv, x_c⟩` for every candidate column of `xt` (`np`
+/// lanes, a multiple of [`LANE_BLOCK`]), each dot accumulated in
+/// feature order exactly like the scalar kernel ([`SvmKernel::eval`]
+/// folds `Σ sv_j·x_j` from zero in `j` order).
+#[inline(always)]
+fn dot_lanes(sv: &[f64], xt: &[f64], np: usize, lane: &mut [f64]) {
+    for c in (0..np).step_by(LANE_BLOCK) {
+        let mut acc = [0.0; LANE_BLOCK];
+        for (j, &s) in sv.iter().enumerate() {
+            let col: &[f64; LANE_BLOCK] = xt[j * np + c..j * np + c + LANE_BLOCK]
+                .try_into()
+                .expect("padded block");
+            for k in 0..LANE_BLOCK {
+                acc[k] += s * col[k];
+            }
+        }
+        lane[c..c + LANE_BLOCK].copy_from_slice(&acc);
+    }
+}
+
+/// `lane[c] = ‖sv − x_c‖²` over the same padded layout as
+/// [`dot_lanes`], accumulated in feature order exactly like the scalar
+/// kernel (`Σ (sv_j − x_j)²` folded from zero in `j` order).
+#[inline(always)]
+fn dist2_lanes(sv: &[f64], xt: &[f64], np: usize, lane: &mut [f64]) {
+    for c in (0..np).step_by(LANE_BLOCK) {
+        let mut acc = [0.0; LANE_BLOCK];
+        for (j, &s) in sv.iter().enumerate() {
+            let col: &[f64; LANE_BLOCK] = xt[j * np + c..j * np + c + LANE_BLOCK]
+                .try_into()
+                .expect("padded block");
+            for k in 0..LANE_BLOCK {
+                let d = s - col[k];
+                acc[k] += d * d;
+            }
+        }
+        lane[c..c + LANE_BLOCK].copy_from_slice(&acc);
+    }
+}
+
+impl ScoringPlan {
+    /// Score a row-major block via the `‖x‖² + ‖sv‖² − 2⟨x, sv⟩`
+    /// expansion of the RBF distance, using the cached support-vector
+    /// norms. For the linear and polynomial kernels this is the same
+    /// dot-product sweep as [`score_block_into`](Self::score_block_into)
+    /// and bit-identical to it; for the RBF kernel the reassociated
+    /// sum agrees only to ~1 ulp per term and is **not** bit-identical
+    /// to [`SvrModel::predict`] — use it only where approximate scores
+    /// are acceptable (see the type-level docs for why the canonical
+    /// path rejects it).
+    pub fn score_block_expanded_into(&self, block: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        if self.dims == 0 {
+            return;
+        }
+        assert_eq!(
+            block.len() % self.dims,
+            0,
+            "candidate block must be row-major with the plan's width"
+        );
+        out.reserve(block.len() / self.dims);
+        match self.kernel {
+            SvmKernel::Rbf { gamma } => {
+                for x in block.chunks_exact(self.dims) {
+                    let x_norm: f64 = x.iter().map(|v| v * v).sum();
+                    let mut acc = self.bias;
+                    for ((sv, &b), &sv_norm) in self
+                        .sv
+                        .chunks_exact(self.dims)
+                        .zip(&self.beta)
+                        .zip(&self.sv_norms)
+                    {
+                        let dot: f64 = sv.iter().zip(x).map(|(s, v)| s * v).sum();
+                        let d2 = (x_norm + sv_norm - 2.0 * dot).max(0.0);
+                        acc += b * (-gamma * d2).exp();
+                    }
+                    out.push(acc);
+                }
+            }
+            SvmKernel::Linear | SvmKernel::Polynomial { .. } => {
+                for x in block.chunks_exact(self.dims) {
+                    out.push(self.score(x));
+                }
+            }
+        }
     }
 }
 
@@ -569,5 +1017,104 @@ mod tests {
     #[should_panic(expected = "empty dataset")]
     fn empty_dataset_panics() {
         train_svr(&Dataset::new(), &SvrParams::paper_speedup());
+    }
+
+    /// A trained model of each kernel family, for plan pinning.
+    fn trained_models() -> Vec<SvrModel> {
+        let data = linear_data(60, 0.02, 17);
+        vec![
+            train_svr(&data, &SvrParams::paper_speedup()),
+            train_svr(&data, &SvrParams::paper_energy()),
+            train_svr(
+                &data,
+                &SvrParams {
+                    kernel: SvmKernel::Polynomial {
+                        gamma: 0.5,
+                        coef0: 1.0,
+                        degree: 2,
+                    },
+                    ..SvrParams::paper_speedup()
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn scoring_plan_is_bit_identical_to_predict() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        for model in trained_models() {
+            let plan = model.scoring_plan();
+            assert_eq!(plan.num_support_vectors(), model.num_support_vectors());
+            for _ in 0..50 {
+                let x: Vec<f64> = (0..plan.dims()).map(|_| rng.gen_range(-2.0..2.0)).collect();
+                assert_eq!(
+                    plan.score(&x).to_bits(),
+                    model.predict(&x).to_bits(),
+                    "plan must reproduce predict exactly"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_block_matches_scalar_sweep() {
+        let mut rng = SmallRng::seed_from_u64(29);
+        for model in trained_models() {
+            let plan = model.scoring_plan();
+            let rows: Vec<Vec<f64>> = (0..13)
+                .map(|_| (0..plan.dims()).map(|_| rng.gen_range(-2.0..2.0)).collect())
+                .collect();
+            let block: Vec<f64> = rows.iter().flatten().copied().collect();
+            let mut out = Vec::new();
+            plan.score_block_into(&block, &mut out);
+            let scalar = model.predict_batch(&rows);
+            assert_eq!(out.len(), rows.len());
+            for (b, s) in out.iter().zip(&scalar) {
+                assert_eq!(b.to_bits(), s.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn expanded_block_is_close_but_only_linear_is_exact() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        for model in trained_models() {
+            let plan = model.scoring_plan();
+            let rows: Vec<Vec<f64>> = (0..9)
+                .map(|_| (0..plan.dims()).map(|_| rng.gen_range(-2.0..2.0)).collect())
+                .collect();
+            let block: Vec<f64> = rows.iter().flatten().copied().collect();
+            let (mut direct, mut expanded) = (Vec::new(), Vec::new());
+            plan.score_block_into(&block, &mut direct);
+            plan.score_block_expanded_into(&block, &mut expanded);
+            for (d, e) in direct.iter().zip(&expanded) {
+                // Same values to ~1e-9 relative everywhere…
+                assert!((d - e).abs() <= 1e-9 * d.abs().max(1.0), "{d} vs {e}");
+            }
+            if !matches!(model.kernel(), SvmKernel::Rbf { .. }) {
+                // …and bit-exact for the non-RBF kernels, which share
+                // the canonical sweep.
+                for (d, e) in direct.iter().zip(&expanded) {
+                    assert_eq!(d.to_bits(), e.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_model_plan_scores_bias() {
+        let model = SvrModel::from_parts(SvmKernel::Linear, Vec::new(), Vec::new(), 1.25);
+        let plan = model.scoring_plan();
+        assert_eq!(plan.dims(), 0);
+        assert_eq!(plan.score(&[]).to_bits(), 1.25f64.to_bits());
+    }
+
+    #[test]
+    fn predict_batch_accepts_slices_and_owned_rows() {
+        let data = linear_data(40, 0.0, 37);
+        let model = train_svr(&data, &SvrParams::paper_speedup());
+        let owned: Vec<Vec<f64>> = data.xs().to_vec();
+        let borrowed: Vec<&[f64]> = owned.iter().map(Vec::as_slice).collect();
+        assert_eq!(model.predict_batch(&owned), model.predict_batch(&borrowed));
     }
 }

@@ -1,0 +1,88 @@
+//! Property pin: the batched [`ScoringPlan`] is bit-for-bit identical
+//! to the scalar [`SvrModel::predict`] path it replaced.
+//!
+//! The hot predict pipeline swapped its inner loop from per-point
+//! scalar evaluation to the flattened scoring plan on the promise that
+//! no persisted prediction changes — this suite holds that promise
+//! against *random* models (every kernel family, arbitrary support
+//! vectors and coefficients via [`SvrModel::from_parts`]), not just the
+//! trained models the unit tests happen to produce.
+
+use gpufreq_ml::{SvmKernel, SvrModel};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A random model with `n_sv` support vectors of width `dims`.
+fn random_model(kernel: SvmKernel, dims: usize, n_sv: usize, seed: u64) -> SvrModel {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let support_x: Vec<Vec<f64>> = (0..n_sv)
+        .map(|_| (0..dims).map(|_| rng.gen_range(-3.0..3.0)).collect())
+        .collect();
+    let beta: Vec<f64> = (0..n_sv).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    let bias = rng.gen_range(-1.0..1.0);
+    SvrModel::from_parts(kernel, support_x, beta, bias)
+}
+
+fn random_rows(dims: usize, n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..dims).map(|_| rng.gen_range(-5.0..5.0)).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `ScoringPlan::score` and `score_block_into` reproduce
+    /// `SvrModel::predict` to the bit on every kernel family.
+    #[test]
+    fn plan_is_bitwise_identical_to_predict(
+        seed in 0u64..100_000,
+        dims in 1usize..12,
+        n_sv in 1usize..24,
+        gamma in 0.01f64..3.0,
+        coef0 in -1.0f64..1.0,
+    ) {
+        let kernels = [
+            SvmKernel::Linear,
+            SvmKernel::Rbf { gamma },
+            SvmKernel::Polynomial { gamma, coef0, degree: 3 },
+        ];
+        for kernel in kernels {
+            let model = random_model(kernel, dims, n_sv, seed);
+            let plan = model.scoring_plan();
+            let rows = random_rows(dims, 8, seed ^ 0x5eed);
+            // Single-row entry point.
+            for row in &rows {
+                prop_assert_eq!(plan.score(row).to_bits(), model.predict(row).to_bits());
+            }
+            // Row-major block entry point.
+            let block: Vec<f64> = rows.iter().flatten().copied().collect();
+            let mut out = Vec::new();
+            plan.score_block_into(&block, &mut out);
+            prop_assert_eq!(out.len(), rows.len());
+            for (row, got) in rows.iter().zip(&out) {
+                prop_assert_eq!(got.to_bits(), model.predict(row).to_bits());
+            }
+        }
+    }
+
+    /// The generic `predict_batch` gives the same bits for owned and
+    /// borrowed row representations.
+    #[test]
+    fn predict_batch_is_representation_independent(
+        seed in 0u64..100_000,
+        dims in 1usize..8,
+        n_sv in 1usize..16,
+    ) {
+        let model = random_model(SvmKernel::Rbf { gamma: 0.5 }, dims, n_sv, seed);
+        let owned = random_rows(dims, 6, seed ^ 0xb10c);
+        let borrowed: Vec<&[f64]> = owned.iter().map(Vec::as_slice).collect();
+        let a = model.predict_batch(&owned);
+        let b = model.predict_batch(&borrowed);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

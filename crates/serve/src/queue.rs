@@ -184,6 +184,11 @@ impl Slot {
             slot = self.ready.wait(slot).expect("slot poisoned");
         }
     }
+
+    /// Take the body if it is already filled, without blocking.
+    pub fn try_take(&self) -> Option<String> {
+        self.body.lock().expect("slot poisoned").take()
+    }
 }
 
 /// The per-connection in-order response lane: the reader pushes one
@@ -237,6 +242,14 @@ impl ResponseLane {
             }
             inner = self.ready.wait(inner).expect("lane poisoned");
         }
+    }
+
+    /// Next slot if one is queued right now, without waiting for the
+    /// reader. `None` means "nothing queued at this instant" — it does
+    /// NOT mean the lane is drained; only [`next`](ResponseLane::next)
+    /// can report that.
+    pub fn try_next(&self) -> Option<std::sync::Arc<Slot>> {
+        self.inner.lock().expect("lane poisoned").slots.pop_front()
     }
 }
 

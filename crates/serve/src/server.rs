@@ -282,12 +282,11 @@ impl Server {
             return Ok(hit);
         }
         match planner.predict_source(source) {
+            // `to_compact_json` writes the same bytes as the generic
+            // serializer (pinned in `gpufreq_core::predict`) without
+            // building a value tree per response.
             Ok(prediction) => {
-                let fragment: Arc<str> = Arc::from(
-                    serde_json::to_string(&prediction)
-                        .expect("prediction serialization is infallible")
-                        .as_str(),
-                );
+                let fragment: Arc<str> = Arc::from(prediction.to_compact_json().as_str());
                 self.front.insert(key, source, Arc::clone(&fragment));
                 Ok(fragment)
             }
@@ -508,7 +507,21 @@ impl Server {
             ));
             return;
         }
-        let is_shutdown = matches!(request, Request::Shutdown);
+        if matches!(request, Request::Shutdown) {
+            // Control-plane: a shutdown must never lose a race against
+            // a data-plane queue kept full by busy clients, so it is
+            // answered inline instead of queued. Closing the queue
+            // refuses *new* work; everything already queued still
+            // drains, and this lane keeps emitting responses in
+            // request order.
+            self.metrics.count_shutdown();
+            self.initiate_shutdown();
+            *local_shutdown = true;
+            self.metrics
+                .observe_us(accepted.elapsed().as_micros() as u64);
+            lane.push(Arc::new(Slot::filled(Response::Shutdown.to_json())));
+            return;
+        }
         let slot = Arc::new(Slot::new());
         let job = Job {
             request,
@@ -522,9 +535,6 @@ impl Server {
         };
         match pushed {
             Ok(()) => {
-                if is_shutdown {
-                    *local_shutdown = true;
-                }
                 lane.push(slot);
             }
             Err((_, PushError::Full)) => {
@@ -697,18 +707,40 @@ impl Server {
         Ok(self.stats())
     }
 
-    /// Drain `lane` in order into `writer`, one body per line. Write
-    /// errors stop writing but keep draining, so producers never
-    /// block.
+    /// Drain `lane` in order into `writer`, one body per line. Each
+    /// body and its newline go out in a single write, and any further
+    /// responses that are already finished ride along in the same
+    /// write (bounded) — a pipelining client wakes once per batch
+    /// instead of once per line. Write errors stop writing but keep
+    /// draining, so producers never block.
     fn write_lane<W: Write>(lane: &ResponseLane, mut writer: W) -> io::Result<()> {
+        /// Stop coalescing once a batch reaches this many bytes.
+        const BATCH_BYTES: usize = 256 * 1024;
         let mut result = Ok(());
-        while let Some(slot) = lane.next() {
-            let body = slot.wait();
+        let mut buf: Vec<u8> = Vec::new();
+        // A slot popped by `try_next` whose body was still being
+        // computed: it is next in request order, so it opens the
+        // following batch.
+        let mut carry: Option<std::sync::Arc<Slot>> = None;
+        while let Some(slot) = carry.take().or_else(|| lane.next()) {
+            buf.clear();
+            buf.extend_from_slice(slot.wait().as_bytes());
+            buf.push(b'\n');
+            while buf.len() < BATCH_BYTES {
+                let Some(next) = lane.try_next() else { break };
+                match next.try_take() {
+                    Some(body) => {
+                        buf.extend_from_slice(body.as_bytes());
+                        buf.push(b'\n');
+                    }
+                    None => {
+                        carry = Some(next);
+                        break;
+                    }
+                }
+            }
             if result.is_ok() {
-                result = writer
-                    .write_all(body.as_bytes())
-                    .and_then(|()| writer.write_all(b"\n"))
-                    .and_then(|()| writer.flush());
+                result = writer.write_all(&buf).and_then(|()| writer.flush());
             }
         }
         result
