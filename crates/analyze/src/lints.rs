@@ -1,0 +1,994 @@
+//! The lint registry and the opening lint set.
+//!
+//! Every lint targets one of the repo's *real* invariants (see the
+//! crate docs for the catalog). Lints run over the
+//! [`Scanned`] token stream of one file at a
+//! time; findings carry a stable lint id, the repo-relative path, a
+//! 1-based line, and a human-readable message.
+
+use crate::scan::{Scanned, Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Stable identifier of one lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// An `unsafe` block/fn/impl without a `SAFETY:` comment.
+    UndocumentedUnsafe,
+    /// An atomic `Ordering::*` site without an `ordering:`
+    /// justification, or a store/load pair whose orderings cannot
+    /// synchronize.
+    UnjustifiedAtomicOrdering,
+    /// `HashMap`/`HashSet` in a module that produces artifact, report,
+    /// or wire bytes (iteration order would leak into serialized
+    /// output).
+    NondeterministicIteration,
+    /// `SystemTime::now`/`Instant::now` in a module that produces
+    /// serialized bytes.
+    WallclockInSerializedOutput,
+    /// `unwrap`/`expect`/`panic!`-family calls in the serve request
+    /// path (a panic kills a worker thread).
+    PanicInRequestPath,
+    /// Protocol op/error-code string literals drifting from the
+    /// checked-in wire inventory.
+    WireStringDrift,
+    /// A malformed, unknown, or stale `analyze:allow` suppression.
+    InvalidSuppression,
+}
+
+impl Lint {
+    /// Every lint, in report order.
+    pub const ALL: [Lint; 7] = [
+        Lint::UndocumentedUnsafe,
+        Lint::UnjustifiedAtomicOrdering,
+        Lint::NondeterministicIteration,
+        Lint::WallclockInSerializedOutput,
+        Lint::PanicInRequestPath,
+        Lint::WireStringDrift,
+        Lint::InvalidSuppression,
+    ];
+
+    /// The stable kebab-case id used in output and in
+    /// `analyze:allow(...)` suppressions.
+    pub const fn id(self) -> &'static str {
+        match self {
+            Lint::UndocumentedUnsafe => "undocumented-unsafe",
+            Lint::UnjustifiedAtomicOrdering => "unjustified-atomic-ordering",
+            Lint::NondeterministicIteration => "nondeterministic-iteration",
+            Lint::WallclockInSerializedOutput => "wallclock-in-serialized-output",
+            Lint::PanicInRequestPath => "panic-in-request-path",
+            Lint::WireStringDrift => "wire-string-drift",
+            Lint::InvalidSuppression => "invalid-suppression",
+        }
+    }
+
+    /// Parse a lint id (the reverse of [`id`](Lint::id)).
+    pub fn from_id(s: &str) -> Option<Lint> {
+        Lint::ALL.into_iter().find(|l| l.id() == s)
+    }
+
+    /// One-line description for the lint catalog.
+    pub const fn description(self) -> &'static str {
+        match self {
+            Lint::UndocumentedUnsafe => {
+                "every `unsafe` block, fn, or impl needs a `// SAFETY:` comment stating \
+                 the invariant that makes it sound"
+            }
+            Lint::UnjustifiedAtomicOrdering => {
+                "every atomic `Ordering::*` site needs a `// ordering:` justification; \
+                 store/load pairs whose orderings cannot synchronize are flagged outright"
+            }
+            Lint::NondeterministicIteration => {
+                "no `HashMap`/`HashSet` in artifact-, report-, or wire-serialization \
+                 modules — iteration order would leak into serialized bytes"
+            }
+            Lint::WallclockInSerializedOutput => {
+                "no `SystemTime::now`/`Instant::now` in serialization modules — wall \
+                 clock readings would leak into serialized bytes"
+            }
+            Lint::PanicInRequestPath => {
+                "no `unwrap`/`expect`/`panic!` in non-test `crates/serve` library code — \
+                 a panic kills a worker thread"
+            }
+            Lint::WireStringDrift => {
+                "protocol op/error-code literals must match the checked-in wire \
+                 inventory, so renames break `analyze` before they break clients"
+            }
+            Lint::InvalidSuppression => {
+                "`analyze:allow` suppressions must name a known lint, carry a reason, \
+                 and actually suppress something"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line of the trigger.
+    pub line: u32,
+    /// What is wrong and how to fix it.
+    pub message: String,
+    /// Whether a valid `analyze:allow` covers this finding.
+    pub suppressed: bool,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}{}",
+            self.path,
+            self.line,
+            self.lint,
+            self.message,
+            if self.suppressed { " (suppressed)" } else { "" }
+        )
+    }
+}
+
+/// One `unsafe` site, for the census.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeSite {
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+    /// What the keyword introduces (`fn`, `block`, `impl`, `trait`).
+    pub kind: String,
+    /// The `SAFETY:` comment line, when present.
+    pub safety: Option<String>,
+}
+
+/// One atomic `Ordering::*` site, for the census.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicSite {
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line of the `Ordering::` token.
+    pub line: u32,
+    /// The ordering variant (`Relaxed`, `SeqCst`, ...).
+    pub ordering: String,
+    /// The `ordering:` justification line, when present.
+    pub justification: Option<String>,
+}
+
+/// One parsed `analyze:allow` suppression, for the census.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// The suppressed lint.
+    pub lint: Lint,
+    /// The mandatory reason.
+    pub reason: String,
+}
+
+/// Memory orderings the atomics lint recognizes.
+const MEMORY_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Path fragments (forward-slash form) of modules whose output is
+/// serialized — where hash-iteration order and wall-clock reads are
+/// forbidden. Matches artifact persistence, the reproduction report
+/// renderers, prediction serialization, and the wire protocol.
+const SERIALIZED_MODULES: [&str; 6] = [
+    "core/src/artifact.rs",
+    "core/src/report.rs",
+    "core/src/predict.rs",
+    "bench/src/report/",
+    "serve/src/protocol.rs",
+    "analyze/src/report.rs",
+];
+
+/// Path fragment of the request-path crate the panic lint guards.
+const REQUEST_PATH: &str = "serve/src/";
+
+/// Path fragment of the wire-protocol module.
+const WIRE_MODULE: &str = "serve/src/protocol.rs";
+
+/// Functions in the wire module whose string literals *are* the wire
+/// protocol.
+const WIRE_FNS: [&str; 2] = ["op", "as_str"];
+
+/// Everything the per-file pass produced.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Findings, suppression already applied.
+    pub findings: Vec<Finding>,
+    /// Census: unsafe sites.
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// Census: atomic ordering sites.
+    pub atomic_sites: Vec<AtomicSite>,
+    /// Census: valid suppressions.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Run every applicable lint over one scanned file.
+///
+/// `path` must be repo-relative with forward slashes (it selects
+/// module-scoped lints). `wire_inventory` is the parsed inventory the
+/// wire lint compares against (`None` = not loaded; the wire lint
+/// then reports that the inventory is missing when it scans the wire
+/// module).
+pub fn lint_file(path: &str, scanned: &Scanned, wire_inventory: Option<&[String]>) -> FileAnalysis {
+    let mut out = FileAnalysis::default();
+    let test_lines = test_mod_lines(scanned);
+    let allows = parse_allows(path, scanned, &mut out.findings);
+
+    lint_unsafe(path, scanned, &test_lines, &mut out);
+    lint_atomics(path, scanned, &test_lines, &mut out);
+    lint_serialized_modules(path, scanned, &mut out);
+    lint_panics(path, scanned, &test_lines, &mut out);
+    lint_wire(path, scanned, wire_inventory, &mut out);
+
+    apply_allows(path, allows, &mut out);
+    out.findings.sort_by(|a, b| {
+        (a.line, a.lint, a.message.as_str()).cmp(&(b.line, b.lint, b.message.as_str()))
+    });
+    out
+}
+
+// ----------------------------------------------------------------------
+// Suppressions
+// ----------------------------------------------------------------------
+
+/// A parsed allow comment and the lines it covers.
+#[derive(Debug)]
+struct Allow {
+    line: u32,
+    lint: Lint,
+    reason: String,
+    /// Lines the allow covers: its own line and the next code line.
+    covers: BTreeSet<u32>,
+}
+
+/// Parse every `analyze:allow(<lint>, reason = "...")` comment,
+/// reporting malformed ones as findings immediately.
+///
+/// A suppression must start the comment (prose that merely *mentions*
+/// the syntax mid-sentence, like this doc comment, is not a
+/// suppression); several can be chained in one comment.
+fn parse_allows(path: &str, scanned: &Scanned, findings: &mut Vec<Finding>) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (&line, text) in &scanned.comments {
+        let mut rest = text.trim_start();
+        while let Some(tail) = rest.strip_prefix("analyze:allow") {
+            rest = tail;
+            let bad = |findings: &mut Vec<Finding>, message: String| {
+                findings.push(Finding {
+                    lint: Lint::InvalidSuppression,
+                    path: path.to_string(),
+                    line,
+                    message,
+                    suppressed: false,
+                });
+            };
+            let Some(open) = rest.find('(') else {
+                bad(
+                    findings,
+                    "malformed suppression: expected `analyze:allow(<lint>, reason = \"...\")`"
+                        .to_string(),
+                );
+                continue;
+            };
+            let Some(close) = rest[open..].find(')') else {
+                bad(findings, "malformed suppression: missing `)`".to_string());
+                continue;
+            };
+            let inner = &rest[open + 1..open + close];
+            rest = rest[open + close + 1..].trim_start();
+            let (lint_id, reason_part) = match inner.split_once(',') {
+                Some((l, r)) => (l.trim(), r.trim()),
+                None => (inner.trim(), ""),
+            };
+            let Some(lint) = Lint::from_id(lint_id) else {
+                bad(findings, format!("unknown lint `{lint_id}` in suppression"));
+                continue;
+            };
+            let reason = reason_part
+                .strip_prefix("reason")
+                .map(|r| r.trim_start().trim_start_matches('=').trim())
+                .map(|r| r.trim_matches('"').trim())
+                .unwrap_or("");
+            if reason.is_empty() {
+                bad(
+                    findings,
+                    format!(
+                        "suppression of `{}` without a reason — every allow must say why",
+                        lint
+                    ),
+                );
+                continue;
+            }
+            if lint == Lint::InvalidSuppression {
+                bad(
+                    findings,
+                    "`invalid-suppression` cannot itself be suppressed".to_string(),
+                );
+                continue;
+            }
+            let mut covers = BTreeSet::from([line]);
+            if let Some(next) = scanned.next_code_line(line) {
+                covers.insert(next);
+            }
+            // A trailing allow sits on a code line already; a
+            // standalone one covers the next code line.
+            allows.push(Allow {
+                line,
+                lint,
+                reason: reason.to_string(),
+                covers,
+            });
+        }
+    }
+    allows
+}
+
+/// Mark findings covered by a valid allow as suppressed; report stale
+/// allows (covering no finding) so the annotation set cannot rot.
+fn apply_allows(path: &str, allows: Vec<Allow>, out: &mut FileAnalysis) {
+    for allow in allows {
+        let mut hit = false;
+        for finding in &mut out.findings {
+            if !finding.suppressed
+                && finding.lint == allow.lint
+                && allow.covers.contains(&finding.line)
+            {
+                finding.suppressed = true;
+                hit = true;
+            }
+        }
+        if hit {
+            out.suppressions.push(Suppression {
+                path: path.to_string(),
+                line: allow.line,
+                lint: allow.lint,
+                reason: allow.reason,
+            });
+        } else {
+            out.findings.push(Finding {
+                lint: Lint::InvalidSuppression,
+                path: path.to_string(),
+                line: allow.line,
+                message: format!(
+                    "stale suppression: no `{}` finding on the covered line(s) — \
+                     remove the allow",
+                    allow.lint
+                ),
+                suppressed: false,
+            });
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// cfg(test) tracking
+// ----------------------------------------------------------------------
+
+/// Line ranges covered by test-gated items — `#[cfg(test)]` followed
+/// by any braced item (`mod tests { }`, a test-only `fn`, ...). The
+/// request-path panic lint skips them (tests may unwrap freely).
+fn test_mod_lines(scanned: &Scanned) -> BTreeSet<u32> {
+    let toks = &scanned.tokens;
+    let mut lines = BTreeSet::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_cfg_test_at(toks, i) {
+            // Skip over any further attributes to the item itself.
+            let mut j = i;
+            while j < toks.len() && toks[j].is_punct('#') {
+                j = skip_attribute(toks, j);
+            }
+            // Find the item's body brace (a `;` first means a bodyless
+            // item like `use` — nothing to cover).
+            let mut k = j;
+            let mut item = false;
+            while k < toks.len() && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
+                item |=
+                    toks[k].is_ident("mod") || toks[k].is_ident("fn") || toks[k].is_ident("impl");
+                k += 1;
+            }
+            if item && k < toks.len() && toks[k].is_punct('{') {
+                let end = matching_brace(toks, k);
+                let start_line = toks[i].line;
+                let end_line = toks.get(end).map_or(scanned.line_count, |t| t.line);
+                lines.extend(start_line..=end_line);
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    lines
+}
+
+/// Whether tokens at `i` spell `#[cfg(test)]` (allowing extra args
+/// like `#[cfg(all(test, ...))]` to count as test-gated too).
+fn is_cfg_test_at(toks: &[Tok], i: usize) -> bool {
+    if !toks[i].is_punct('#') || i + 1 >= toks.len() || !toks[i + 1].is_punct('[') {
+        return false;
+    }
+    let end = skip_attribute(toks, i);
+    let inner = &toks[i + 2..end.min(toks.len()).saturating_sub(1)];
+    inner.first().is_some_and(|t| t.is_ident("cfg")) && inner.iter().any(|t| t.is_ident("test"))
+}
+
+/// Index just past an attribute starting at `#` (balanced brackets).
+fn skip_attribute(toks: &[Tok], i: usize) -> usize {
+    let mut j = i + 1;
+    if j >= toks.len() || !toks[j].is_punct('[') {
+        return i + 1;
+    }
+    let mut depth = 0i32;
+    while j < toks.len() {
+        if toks[j].is_punct('[') {
+            depth += 1;
+        } else if toks[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].is_punct('{') {
+            depth += 1;
+        } else if toks[j].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+// ----------------------------------------------------------------------
+// undocumented-unsafe
+// ----------------------------------------------------------------------
+
+fn lint_unsafe(path: &str, scanned: &Scanned, test_lines: &BTreeSet<u32>, out: &mut FileAnalysis) {
+    let toks = &scanned.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if !tok.is_ident("unsafe") {
+            continue;
+        }
+        let kind = match toks.get(i + 1) {
+            Some(t) if t.is_ident("fn") => "fn",
+            Some(t) if t.is_ident("impl") => "impl",
+            Some(t) if t.is_ident("trait") => "trait",
+            Some(t) if t.is_ident("extern") => "extern",
+            _ => "block",
+        };
+        let safety = scanned.find_marker_above(tok.line, "SAFETY:");
+        out.unsafe_sites.push(UnsafeSite {
+            path: path.to_string(),
+            line: tok.line,
+            kind: kind.to_string(),
+            safety: safety.clone(),
+        });
+        if safety.is_none() && !test_lines.contains(&tok.line) {
+            out.findings.push(Finding {
+                lint: Lint::UndocumentedUnsafe,
+                path: path.to_string(),
+                line: tok.line,
+                message: format!(
+                    "`unsafe {kind}` without a `// SAFETY:` comment stating why it is sound"
+                ),
+                suppressed: false,
+            });
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// unjustified-atomic-ordering
+// ----------------------------------------------------------------------
+
+fn lint_atomics(path: &str, scanned: &Scanned, test_lines: &BTreeSet<u32>, out: &mut FileAnalysis) {
+    let toks = &scanned.tokens;
+    // Per atomic-field name: orderings seen at store and load sites,
+    // with a representative line — the pair heuristic below flags
+    // acquire/release halves whose counterpart is Relaxed-only.
+    let mut stores: BTreeMap<String, (BTreeSet<String>, u32)> = BTreeMap::new();
+    let mut loads: BTreeMap<String, (BTreeSet<String>, u32)> = BTreeMap::new();
+
+    for i in 0..toks.len() {
+        // Match `Ordering :: <variant>`.
+        if !toks[i].is_ident("Ordering") {
+            continue;
+        }
+        let Some(variant) = path_segment_after(toks, i) else {
+            continue;
+        };
+        if !MEMORY_ORDERINGS.contains(&variant.text.as_str()) {
+            continue;
+        }
+        let line = toks[i].line;
+        let justification = scanned.find_marker_above(line, "ordering:");
+        out.atomic_sites.push(AtomicSite {
+            path: path.to_string(),
+            line,
+            ordering: variant.text.clone(),
+            justification: justification.clone(),
+        });
+        if justification.is_none() && !test_lines.contains(&line) {
+            out.findings.push(Finding {
+                lint: Lint::UnjustifiedAtomicOrdering,
+                path: path.to_string(),
+                line,
+                message: format!(
+                    "`Ordering::{}` without a `// ordering:` justification",
+                    variant.text
+                ),
+                suppressed: false,
+            });
+        }
+        // Attribute the site to `<field>.store(...)` / `<field>.load(...)`
+        // when the call shape is visible in the preceding tokens.
+        if let Some((field, op)) = enclosing_atomic_call(toks, i) {
+            let slot = if op == "store" {
+                &mut stores
+            } else {
+                &mut loads
+            };
+            let entry = slot.entry(field).or_insert_with(|| (BTreeSet::new(), line));
+            entry.0.insert(variant.text.clone());
+        }
+    }
+
+    // Pair heuristic: an Acquire load whose field is only ever stored
+    // Relaxed (or a Release store only ever loaded Relaxed) cannot
+    // synchronize with anything — one half of the handshake is
+    // missing.
+    for (field, (load_ords, line)) in &loads {
+        if load_ords.contains("Acquire") || load_ords.contains("SeqCst") {
+            if let Some((store_ords, _)) = stores.get(field) {
+                let store_publishes = store_ords
+                    .iter()
+                    .any(|o| matches!(o.as_str(), "Release" | "SeqCst" | "AcqRel"));
+                if !store_publishes && !test_lines.contains(line) {
+                    out.findings.push(Finding {
+                        lint: Lint::UnjustifiedAtomicOrdering,
+                        path: path.to_string(),
+                        line: *line,
+                        message: format!(
+                            "acquiring load of `{field}` but every store is Relaxed — \
+                             the pair cannot synchronize; make the store Release (or both \
+                             Relaxed if no data is published)"
+                        ),
+                        suppressed: false,
+                    });
+                }
+            }
+        }
+    }
+    for (field, (store_ords, line)) in &stores {
+        if store_ords.contains("Release")
+            && !store_ords.contains("SeqCst")
+            && loads.get(field).is_some_and(|(load_ords, _)| {
+                !load_ords
+                    .iter()
+                    .any(|o| matches!(o.as_str(), "Acquire" | "SeqCst" | "AcqRel"))
+            })
+            && !test_lines.contains(line)
+        {
+            out.findings.push(Finding {
+                lint: Lint::UnjustifiedAtomicOrdering,
+                path: path.to_string(),
+                line: *line,
+                message: format!(
+                    "releasing store of `{field}` but every load is Relaxed — the pair \
+                     cannot synchronize; make the load Acquire (or both Relaxed if no \
+                     data is published)"
+                ),
+                suppressed: false,
+            });
+        }
+    }
+}
+
+/// The path segment after `X ::` at token `i`, if the next tokens are
+/// `:` `:` ident.
+fn path_segment_after(toks: &[Tok], i: usize) -> Option<&Tok> {
+    if toks.get(i + 1)?.is_punct(':') && toks.get(i + 2)?.is_punct(':') {
+        let t = toks.get(i + 3)?;
+        (t.kind == TokKind::Ident).then_some(t)
+    } else {
+        None
+    }
+}
+
+/// When token `i` (the `Ordering` of an ordering argument) sits inside
+/// `<field> . store ( ... Ordering :: X` or `... . load ( ...`,
+/// return the field name and the operation.
+fn enclosing_atomic_call(toks: &[Tok], i: usize) -> Option<(String, String)> {
+    // Walk backwards to the nearest unbalanced `(`.
+    let mut depth = 0i32;
+    let mut j = i;
+    loop {
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+        if toks[j].is_punct(')') {
+            depth += 1;
+        } else if toks[j].is_punct('(') {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        }
+    }
+    // Expect `<field> . <op> (` — field may be `self . name`.
+    let op = toks.get(j.checked_sub(1)?)?;
+    if !(op.is_ident("store") || op.is_ident("load")) {
+        return None;
+    }
+    if !toks.get(j.checked_sub(2)?)?.is_punct('.') {
+        return None;
+    }
+    let field = toks.get(j.checked_sub(3)?)?;
+    if field.kind != TokKind::Ident {
+        return None;
+    }
+    Some((field.text.clone(), op.text.clone()))
+}
+
+// ----------------------------------------------------------------------
+// nondeterministic-iteration + wallclock-in-serialized-output
+// ----------------------------------------------------------------------
+
+fn lint_serialized_modules(path: &str, scanned: &Scanned, out: &mut FileAnalysis) {
+    if !SERIALIZED_MODULES.iter().any(|m| path.contains(m)) {
+        return;
+    }
+    let toks = &scanned.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.is_ident("HashMap") || tok.is_ident("HashSet") {
+            out.findings.push(Finding {
+                lint: Lint::NondeterministicIteration,
+                path: path.to_string(),
+                line: tok.line,
+                message: format!(
+                    "`{}` in a serialization module — iteration order is nondeterministic \
+                     and would leak into serialized bytes; use `BTreeMap`/`BTreeSet` or a \
+                     sorted `Vec`",
+                    tok.text
+                ),
+                suppressed: false,
+            });
+        }
+        if (tok.is_ident("SystemTime") || tok.is_ident("Instant"))
+            && path_segment_after(toks, i).is_some_and(|t| t.is_ident("now"))
+        {
+            out.findings.push(Finding {
+                lint: Lint::WallclockInSerializedOutput,
+                path: path.to_string(),
+                line: tok.line,
+                message: format!(
+                    "`{}::now()` in a serialization module — wall-clock readings make \
+                     serialized output non-reproducible; inject timestamps from the caller",
+                    tok.text
+                ),
+                suppressed: false,
+            });
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// panic-in-request-path
+// ----------------------------------------------------------------------
+
+fn lint_panics(path: &str, scanned: &Scanned, test_lines: &BTreeSet<u32>, out: &mut FileAnalysis) {
+    if !path.contains(REQUEST_PATH) {
+        return;
+    }
+    let toks = &scanned.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if test_lines.contains(&tok.line) {
+            continue;
+        }
+        let mut flag = |what: &str| {
+            out.findings.push(Finding {
+                lint: Lint::PanicInRequestPath,
+                path: path.to_string(),
+                line: tok.line,
+                message: format!(
+                    "`{what}` in the serve request path — a panic kills a worker thread; \
+                     return a typed error (or suppress with a reason if provably unreachable)"
+                ),
+                suppressed: false,
+            });
+        };
+        // `.unwrap()` / `.expect(` — method position only.
+        if (tok.is_ident("unwrap") || tok.is_ident("expect"))
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            flag(&format!(".{}()", tok.text));
+        }
+        // `panic!` family — macro position only.
+        if matches!(
+            tok.text.as_str(),
+            "panic" | "unreachable" | "todo" | "unimplemented"
+        ) && tok.kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+        {
+            flag(&format!("{}!", tok.text));
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// wire-string-drift
+// ----------------------------------------------------------------------
+
+fn lint_wire(
+    path: &str,
+    scanned: &Scanned,
+    wire_inventory: Option<&[String]>,
+    out: &mut FileAnalysis,
+) {
+    if !path.contains(WIRE_MODULE) {
+        return;
+    }
+    let Some(inventory) = wire_inventory else {
+        out.findings.push(Finding {
+            lint: Lint::WireStringDrift,
+            path: path.to_string(),
+            line: 1,
+            message: "wire inventory not found (expected crates/serve/wire_inventory.txt) — \
+                      the protocol's op/error-code strings are unpinned"
+                .to_string(),
+            suppressed: false,
+        });
+        return;
+    };
+    // Collect the string literals inside `fn op` / `fn as_str` bodies
+    // — those literals *are* the wire protocol.
+    let toks = &scanned.tokens;
+    let mut in_wire_fn: Vec<(String, u32)> = Vec::new(); // (literal, line)
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("fn")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| WIRE_FNS.contains(&t.text.as_str()))
+        {
+            // Find the body braces and harvest string literals.
+            let mut k = i;
+            while k < toks.len() && !toks[k].is_punct('{') {
+                k += 1;
+            }
+            if k < toks.len() {
+                let end = matching_brace(toks, k);
+                for t in &toks[k..=end.min(toks.len() - 1)] {
+                    if t.kind == TokKind::Str {
+                        in_wire_fn.push((t.text.clone(), t.line));
+                    }
+                }
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    let declared: BTreeSet<&str> = in_wire_fn.iter().map(|(s, _)| s.as_str()).collect();
+    let pinned: BTreeSet<&str> = inventory.iter().map(|s| s.as_str()).collect();
+    for (literal, line) in &in_wire_fn {
+        if !pinned.contains(literal.as_str()) {
+            out.findings.push(Finding {
+                lint: Lint::WireStringDrift,
+                path: path.to_string(),
+                line: *line,
+                message: format!(
+                    "wire string \"{literal}\" is not in the inventory — if this rename is \
+                     intentional, update crates/serve/wire_inventory.txt (and every client)"
+                ),
+                suppressed: false,
+            });
+        }
+    }
+    for missing in pinned.difference(&declared) {
+        out.findings.push(Finding {
+            lint: Lint::WireStringDrift,
+            path: path.to_string(),
+            line: 1,
+            message: format!(
+                "inventory wire string \"{missing}\" no longer appears in the protocol's \
+                 op()/as_str() tables — a rename here breaks deployed clients"
+            ),
+            suppressed: false,
+        });
+    }
+}
+
+/// Parse the wire inventory file format: one wire string per line,
+/// `#` comments and blank lines ignored, an optional `op `/`error `
+/// prefix documenting the kind.
+pub fn parse_wire_inventory(content: &str) -> Vec<String> {
+    content
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            l.strip_prefix("op ")
+                .or_else(|| l.strip_prefix("error "))
+                .unwrap_or(l)
+                .trim()
+                .to_string()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn findings_of(path: &str, src: &str) -> Vec<Finding> {
+        lint_file(path, &scan(src), None)
+            .findings
+            .into_iter()
+            .filter(|f| !f.suppressed)
+            .collect()
+    }
+
+    #[test]
+    fn undocumented_unsafe_fires_and_safety_comment_clears() {
+        let bad = findings_of("crates/x/src/lib.rs", "unsafe fn f() {}\n");
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].lint, Lint::UndocumentedUnsafe);
+        let good = findings_of(
+            "crates/x/src/lib.rs",
+            "// SAFETY: no preconditions.\nunsafe fn f() {}\n",
+        );
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn atomics_need_ordering_justification() {
+        let src = "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n";
+        let bad = findings_of("crates/x/src/lib.rs", src);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert_eq!(bad[0].lint, Lint::UnjustifiedAtomicOrdering);
+        let src =
+            "// ordering: telemetry only.\nfn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n";
+        assert!(findings_of("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_store_acquire_load_pair_is_flagged() {
+        let src = "\
+// ordering: flag publish.
+fn set(f: &AtomicBool) { f.store(true, Ordering::Relaxed); }
+// ordering: flag read.
+fn get(f: &AtomicBool) -> bool { f.load(Ordering::Acquire) }
+";
+        let bad = findings_of("crates/x/src/lib.rs", src);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].message.contains("cannot synchronize"), "{bad:?}");
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_and_stale_allow_is_flagged() {
+        let src = "\
+// analyze:allow(undocumented-unsafe, reason = \"demo\")
+unsafe fn f() {}
+";
+        let all = lint_file("crates/x/src/lib.rs", &scan(src), None);
+        assert!(all.findings.iter().all(|f| f.suppressed), "{all:?}");
+        assert_eq!(all.suppressions.len(), 1);
+        // Reason required.
+        let src = "// analyze:allow(undocumented-unsafe)\nunsafe fn f() {}\n";
+        let bad = findings_of("crates/x/src/lib.rs", src);
+        assert!(
+            bad.iter()
+                .any(|f| f.lint == Lint::InvalidSuppression
+                    && f.message.contains("without a reason")),
+            "{bad:?}"
+        );
+        // Stale allow: nothing to suppress.
+        let src = "// analyze:allow(undocumented-unsafe, reason = \"stale\")\nfn f() {}\n";
+        let bad = findings_of("crates/x/src/lib.rs", src);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].message.contains("stale"), "{bad:?}");
+    }
+
+    #[test]
+    fn serialization_module_lints_are_path_scoped() {
+        let src = "use std::collections::HashMap;\nfn t() { let _ = SystemTime::now(); }\n";
+        assert!(
+            findings_of("crates/x/src/lib.rs", src).is_empty(),
+            "outside serialization modules these are fine"
+        );
+        let bad = findings_of("crates/core/src/artifact.rs", src);
+        assert_eq!(bad.len(), 2, "{bad:?}");
+        assert!(bad
+            .iter()
+            .any(|f| f.lint == Lint::NondeterministicIteration));
+        assert!(bad
+            .iter()
+            .any(|f| f.lint == Lint::WallclockInSerializedOutput));
+    }
+
+    #[test]
+    fn panic_lint_covers_serve_only_and_skips_tests() {
+        let src = "\
+fn f(x: Option<u32>) -> u32 { x.unwrap() }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { None::<u32>.unwrap(); }
+}
+";
+        assert!(findings_of("crates/core/src/lib.rs", src).is_empty());
+        let bad = findings_of("crates/serve/src/server.rs", src);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert_eq!(bad[0].lint, Lint::PanicInRequestPath);
+        assert_eq!(bad[0].line, 1);
+    }
+
+    #[test]
+    fn wire_drift_catches_renames_both_ways() {
+        let src = "\
+impl Request {
+    pub fn op(&self) -> &'static str {
+        match self { Request::Predict { .. } => \"predict\" }
+    }
+}
+";
+        let inv = vec!["predict".to_string(), "shutdown".to_string()];
+        let out = lint_file("crates/serve/src/protocol.rs", &scan(src), Some(&inv));
+        let drift: Vec<&Finding> = out
+            .findings
+            .iter()
+            .filter(|f| f.lint == Lint::WireStringDrift)
+            .collect();
+        assert_eq!(drift.len(), 1, "{drift:?}");
+        assert!(drift[0].message.contains("shutdown"), "missing op reported");
+        // A literal not in the inventory is drift too.
+        let out = lint_file(
+            "crates/serve/src/protocol.rs",
+            &scan(src),
+            Some(&["predict_v2".to_string()]),
+        );
+        assert!(
+            out.findings
+                .iter()
+                .any(|f| f.message.contains("\"predict\" is not in the inventory")),
+            "{:?}",
+            out.findings
+        );
+    }
+
+    #[test]
+    fn inventory_parser_strips_prefixes_and_comments() {
+        let inv = parse_wire_inventory("# ops\nop predict\nerror bad_request\n\nshutdown\n");
+        assert_eq!(inv, vec!["predict", "bad_request", "shutdown"]);
+    }
+}

@@ -1,0 +1,502 @@
+//! Token-level scanner for Rust source, in the style of the OpenCL
+//! lexer in `gpufreq-kernel`: a single forward pass producing
+//! positioned tokens, with comments collected per line instead of
+//! discarded (the lints read justification markers and
+//! `analyze:allow` suppressions out of them).
+//!
+//! This is deliberately *not* a full Rust lexer — it only needs to be
+//! exact about the things that would make a naive `grep` lie:
+//!
+//! * string/char/byte/raw-string literals (an `unsafe` inside a string
+//!   is not an unsafe block);
+//! * line and nested block comments (an `Ordering::Relaxed` in a doc
+//!   example is not an atomic site);
+//! * lifetimes vs. char literals (`'a` must not swallow the rest of
+//!   the file looking for a closing quote).
+//!
+//! Everything else (numbers, punctuation) is tokenized loosely; the
+//! lints match identifier sequences, not grammar.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What a scanned token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `Ordering`, `unwrap`, ...).
+    Ident,
+    /// String literal of any flavor (`"..."`, `r#"..."#`, `b"..."`);
+    /// the token text is the *unquoted* content.
+    Str,
+    /// Char literal (`'x'`, `'\n'`).
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// A single punctuation character (`.`, `:`, `{`, `!`, ...).
+    Punct(char),
+}
+
+/// One non-comment token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (unquoted for string literals).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A scanned source file: the code token stream plus the per-line
+/// comment text and the set of lines carrying code.
+#[derive(Debug, Default)]
+pub struct Scanned {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comment text by line (line `//` and block `/* */` alike,
+    /// markers stripped, same-line fragments joined by a space). A
+    /// block comment contributes to every line it touches.
+    pub comments: BTreeMap<u32, String>,
+    /// Lines that carry at least one code (non-comment) token.
+    pub code_lines: BTreeSet<u32>,
+    /// Total line count of the file.
+    pub line_count: u32,
+}
+
+impl Scanned {
+    /// Comment text attached to `line`, if any.
+    pub fn comment(&self, line: u32) -> Option<&str> {
+        self.comments.get(&line).map(|s| s.as_str())
+    }
+
+    /// The first line after `line` that carries code, if any.
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        self.code_lines.range(line + 1..).next().copied()
+    }
+
+    /// Whether a justification marker (e.g. `SAFETY:`, `ordering:`)
+    /// covers the code at `line`: the marker may appear in a trailing
+    /// comment on the line itself or anywhere in the contiguous run of
+    /// comment-only / attribute-only lines directly above it.
+    pub fn has_marker_above(&self, line: u32, marker: &str) -> bool {
+        self.find_marker_above(line, marker).is_some()
+    }
+
+    /// [`has_marker_above`](Scanned::has_marker_above), returning the
+    /// comment text from the marker line to the end of its comment
+    /// block (for the census report — multi-line justifications are
+    /// reported whole, not cut at the first line).
+    pub fn find_marker_above(&self, line: u32, marker: &str) -> Option<String> {
+        let holds = |l: u32| self.comment(l).is_some_and(|text| text.contains(marker));
+        let found = if holds(line) {
+            line
+        } else {
+            let mut l = line;
+            loop {
+                if l <= 1 {
+                    return None;
+                }
+                l -= 1;
+                if self.code_lines.contains(&l) && !self.is_attribute_line(l) {
+                    return None;
+                }
+                if holds(l) {
+                    break l;
+                }
+                // A blank line (no code, no comment) ends the block.
+                if !self.code_lines.contains(&l) && self.comment(l).is_none() {
+                    return None;
+                }
+            }
+        };
+        // Join the marker line with the comment lines that continue it,
+        // stopping at the trigger line or the first non-comment line.
+        let mut text = self.comment(found)?.to_string();
+        for l in found + 1..line {
+            match self.comment(l) {
+                Some(more) if !self.code_lines.contains(&l) => {
+                    text.push(' ');
+                    text.push_str(more);
+                }
+                _ => break,
+            }
+        }
+        Some(text)
+    }
+
+    /// Whether the code on `line` starts with `#` — an attribute line
+    /// (`#[target_feature(...)]`, `#[cfg(...)]`), which a
+    /// justification-comment search walks straight through.
+    fn is_attribute_line(&self, line: u32) -> bool {
+        self.tokens
+            .iter()
+            .find(|t| t.line == line)
+            .is_some_and(|t| t.is_punct('#'))
+    }
+}
+
+/// Scan `source` into tokens + comments. Never fails: anything the
+/// scanner does not recognize is emitted as single-character
+/// punctuation, which no lint matches.
+pub fn scan(source: &str) -> Scanned {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Scanned::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+    let push_comment = |comments: &mut BTreeMap<u32, String>, l: u32, text: &str| {
+        let text = text.trim();
+        if text.is_empty() {
+            return;
+        }
+        let slot = comments.entry(l).or_default();
+        if !slot.is_empty() {
+            slot.push(' ');
+        }
+        slot.push_str(text);
+    };
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            // Line comment (also doc comments `///`, `//!`).
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                let start = i;
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let text = text.trim_start_matches(['/', '!']);
+                push_comment(&mut out.comments, line, text);
+            }
+            // Block comment, nested as in Rust.
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                i += 2;
+                let mut depth = 1usize;
+                let mut frag = String::new();
+                while i < n && depth > 0 {
+                    if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            push_comment(&mut out.comments, line, frag.trim_matches('*'));
+                            frag.clear();
+                            line += 1;
+                        } else {
+                            frag.push(chars[i]);
+                        }
+                        i += 1;
+                    }
+                }
+                push_comment(&mut out.comments, line, frag.trim_matches('*'));
+            }
+            // Raw strings and raw identifiers: r"...", r#"..."#, r#ident.
+            'r' | 'b' if starts_raw_string(&chars, i) => {
+                let (text, end_i, end_line) = take_raw_string(&chars, i, line);
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                out.code_lines.insert(line);
+                i = end_i;
+                line = end_line;
+            }
+            // Ordinary (possibly byte-) string literal.
+            '"' => {
+                let (text, end_i, end_line) = take_string(&chars, i, line);
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                out.code_lines.insert(line);
+                i = end_i;
+                line = end_line;
+            }
+            'b' if i + 1 < n && chars[i + 1] == '"' => {
+                let (text, end_i, end_line) = take_string(&chars, i + 1, line);
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                out.code_lines.insert(line);
+                i = end_i;
+                line = end_line;
+            }
+            // Lifetime or char literal.
+            '\'' => {
+                let (tok, end_i) = take_char_or_lifetime(&chars, i, line);
+                out.tokens.push(tok);
+                out.code_lines.insert(line);
+                i = end_i;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+                out.code_lines.insert(line);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n {
+                    let d = chars[i];
+                    let digit_follows = i + 1 < n && chars[i + 1].is_ascii_digit();
+                    let continues = d.is_alphanumeric()
+                        || d == '_'
+                        || (d == '.' && digit_follows)
+                        || ((d == '+' || d == '-')
+                            && matches!(chars[i - 1], 'e' | 'E')
+                            && digit_follows);
+                    if !continues {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Num,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+                out.code_lines.insert(line);
+            }
+            other => {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct(other),
+                    text: other.to_string(),
+                    line,
+                });
+                out.code_lines.insert(line);
+                i += 1;
+            }
+        }
+    }
+    out.line_count = line;
+    out
+}
+
+/// Whether position `i` starts a raw string (`r"`, `r#"`, `br"`,
+/// `br#"`). A raw *identifier* (`r#ident`) is not a raw string.
+fn starts_raw_string(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if j >= chars.len() || chars[j] != 'r' {
+            return false;
+        }
+    }
+    if chars[j] != 'r' {
+        return false;
+    }
+    j += 1;
+    while j < chars.len() && chars[j] == '#' {
+        j += 1;
+    }
+    j < chars.len() && chars[j] == '"'
+}
+
+/// Consume a raw string starting at `i`; returns (content, next
+/// index, line after).
+fn take_raw_string(chars: &[char], mut i: usize, mut line: u32) -> (String, usize, u32) {
+    if chars[i] == 'b' {
+        i += 1;
+    }
+    i += 1; // 'r'
+    let mut hashes = 0usize;
+    while i < chars.len() && chars[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    let mut text = String::new();
+    while i < chars.len() {
+        if chars[i] == '"' {
+            // Check for `"` followed by `hashes` `#`s.
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < chars.len() && chars[j] == '#' && seen < hashes {
+                j += 1;
+                seen += 1;
+            }
+            if seen == hashes {
+                return (text, j, line);
+            }
+        }
+        if chars[i] == '\n' {
+            line += 1;
+        }
+        text.push(chars[i]);
+        i += 1;
+    }
+    (text, i, line)
+}
+
+/// Consume an escaped string literal whose opening quote is at `i`.
+fn take_string(chars: &[char], mut i: usize, mut line: u32) -> (String, usize, u32) {
+    i += 1; // opening quote
+    let mut text = String::new();
+    while i < chars.len() {
+        match chars[i] {
+            '"' => return (text, i + 1, line),
+            '\\' if i + 1 < chars.len() => {
+                text.push(chars[i]);
+                text.push(chars[i + 1]);
+                if chars[i + 1] == '\n' {
+                    line += 1;
+                }
+                i += 2;
+            }
+            c => {
+                if c == '\n' {
+                    line += 1;
+                }
+                text.push(c);
+                i += 1;
+            }
+        }
+    }
+    (text, i, line)
+}
+
+/// Disambiguate `'a` (lifetime) from `'x'` (char literal) at `i`.
+fn take_char_or_lifetime(chars: &[char], i: usize, line: u32) -> (Tok, usize) {
+    let n = chars.len();
+    // Lifetime: quote, ident-start, and the char after the ident run
+    // is NOT a closing quote.
+    if i + 1 < n && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_') {
+        let mut j = i + 2;
+        while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+            j += 1;
+        }
+        if j >= n || chars[j] != '\'' {
+            return (
+                Tok {
+                    kind: TokKind::Lifetime,
+                    text: chars[i + 1..j].iter().collect(),
+                    line,
+                },
+                j,
+            );
+        }
+    }
+    // Char literal: consume to the closing quote, honoring escapes.
+    let mut j = i + 1;
+    let mut text = String::new();
+    while j < n {
+        match chars[j] {
+            '\'' => {
+                j += 1;
+                break;
+            }
+            '\\' if j + 1 < n => {
+                text.push(chars[j]);
+                text.push(chars[j + 1]);
+                j += 2;
+            }
+            c => {
+                text.push(c);
+                j += 1;
+            }
+        }
+    }
+    (
+        Tok {
+            kind: TokKind::Char,
+            text,
+            line,
+        },
+        j,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_strings_and_comments_are_separated() {
+        let s = scan("let x = \"unsafe in a string\"; // unsafe in a comment\nunsafe { }\n");
+        let unsafe_idents: Vec<&Tok> = s.tokens.iter().filter(|t| t.is_ident("unsafe")).collect();
+        assert_eq!(unsafe_idents.len(), 1, "only the real keyword counts");
+        assert_eq!(unsafe_idents[0].line, 2);
+        assert!(s.comment(1).unwrap().contains("unsafe in a comment"));
+        assert!(s
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.contains("unsafe")));
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let s = scan("/* outer /* inner */ SAFETY: fine */\nlet r = r#\"Ordering::SeqCst\"#;\n");
+        assert!(s.comment(1).unwrap().contains("SAFETY: fine"));
+        assert!(
+            !s.tokens.iter().any(|t| t.is_ident("Ordering")),
+            "raw string content is not code"
+        );
+        assert!(s
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "Ordering::SeqCst"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_file() {
+        let s = scan("fn f<'a>(x: &'a str) -> char { 'x' }\nunsafe {}\n");
+        assert!(s.tokens.iter().any(|t| t.kind == TokKind::Lifetime));
+        assert!(s
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "x"));
+        assert!(s.tokens.iter().any(|t| t.is_ident("unsafe")));
+    }
+
+    #[test]
+    fn marker_search_walks_comments_and_attributes() {
+        let src = "\
+// SAFETY: the caller checked the CPU feature.
+#[target_feature(enable = \"avx2\")]
+unsafe fn f() {}
+
+unsafe fn g() {}
+";
+        let s = scan(src);
+        assert!(s.has_marker_above(3, "SAFETY:"), "through the attribute");
+        assert!(!s.has_marker_above(5, "SAFETY:"), "blank line breaks it");
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers_straight() {
+        let s = scan("let x = \"a\nb\nc\";\nunsafe {}\n");
+        let u = s.tokens.iter().find(|t| t.is_ident("unsafe")).unwrap();
+        assert_eq!(u.line, 4);
+    }
+}

@@ -1,0 +1,16 @@
+// Known-bad fixture: hash-iteration order and a wall-clock reading
+// feeding serialized bytes. The path mirrors `core/src/artifact.rs`
+// so the module-scoped lints fire. Expected findings:
+// nondeterministic-iteration at lines 7 and 9,
+// wallclock-in-serialized-output at line 14.
+
+use std::collections::HashMap;
+
+pub fn serialize(map: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in map {
+        out.push_str(&format!("{k}={v};"));
+    }
+    out.push_str(&format!("at={:?}", std::time::SystemTime::now()));
+    out
+}

@@ -1,0 +1,16 @@
+// Known-bad fixture: a wire op literal that drifted from the checked-in
+// inventory (`predict_v2` is not pinned; everything pinned is missing
+// from this table). The path mirrors `serve/src/protocol.rs` so
+// wire-string-drift fires.
+
+pub enum Request {
+    Predict,
+}
+
+impl Request {
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Predict => "predict_v2",
+        }
+    }
+}

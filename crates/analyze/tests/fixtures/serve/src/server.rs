@@ -1,0 +1,20 @@
+// Known-bad fixture: panics in the serve request path. The path
+// mirrors `serve/src/` so panic-in-request-path fires. Expected
+// findings at lines 6 and 8; the `#[cfg(test)]` module is exempt.
+
+pub fn handle(request: Option<&str>) -> String {
+    let body = request.unwrap();
+    if body.is_empty() {
+        panic!("empty request");
+    }
+    body.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::handle(Some("x")), "x");
+        let _ = None::<u32>.unwrap_or_default();
+    }
+}

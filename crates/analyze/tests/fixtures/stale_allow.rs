@@ -1,0 +1,5 @@
+// Known-bad fixture: an allow that no longer suppresses anything.
+// Expected finding: invalid-suppression (stale) at line 4.
+
+// analyze:allow(undocumented-unsafe, reason = "nothing here is unsafe, so this allow is stale")
+pub fn perfectly_safe() {}

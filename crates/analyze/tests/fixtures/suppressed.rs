@@ -1,0 +1,5 @@
+// Clean fixture: the one finding is covered by a reasoned allow, so
+// `gpufreq analyze --check` over this file alone must exit 0.
+
+// analyze:allow(undocumented-unsafe, reason = "fixture demonstrating the suppression syntax")
+pub unsafe fn documented_by_allow() {}

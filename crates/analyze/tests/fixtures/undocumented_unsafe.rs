@@ -1,0 +1,11 @@
+// Known-bad fixture: `unsafe` without a `SAFETY:` comment, as a fn
+// and as a block. Expected findings: undocumented-unsafe at lines 5
+// and 10.
+
+pub unsafe fn no_safety_comment(ptr: *const u8) -> u8 {
+    *ptr
+}
+
+pub fn caller(ptr: *const u8) -> u8 {
+    unsafe { no_safety_comment(ptr) }
+}

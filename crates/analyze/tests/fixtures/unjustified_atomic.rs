@@ -1,0 +1,15 @@
+// Known-bad fixture: atomic orderings with no `ordering:`
+// justification, and a store/load pair that cannot synchronize (the
+// Acquire load pairs with a Relaxed-only store). Expected findings:
+// unjustified-atomic-ordering at lines 10 and 14, plus the pair
+// heuristic at line 14.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn publish(flag: &AtomicBool) {
+    flag.store(true, Ordering::Relaxed);
+}
+
+pub fn consume(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire)
+}

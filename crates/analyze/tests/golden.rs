@@ -1,0 +1,81 @@
+//! Golden test for the checked-in `ANALYSIS.md`: regenerating the
+//! report over the real tree must reproduce the committed bytes, and
+//! the tree itself must be analyze-clean. Together with the CI
+//! `analyze` job this makes the census un-rottable — touch an
+//! `unsafe` block or an `Ordering::*` site without updating the
+//! report and this test names the drift.
+//!
+//! To regenerate after an *intentional* change:
+//!
+//! ```sh
+//! GPUFREQ_BLESS=1 cargo test -p gpufreq-analyze --test golden
+//! ```
+//!
+//! (equivalently: `cargo run -p gpufreq-cli -- analyze --report ANALYSIS.md`)
+//! and commit the rewritten `ANALYSIS.md` with the change that moved it.
+
+use std::path::{Path, PathBuf};
+
+use gpufreq_analyze::{analyze_files, default_file_set, report::render_markdown, Analysis};
+
+fn repo_root() -> PathBuf {
+    // crates/analyze -> crates -> repo root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyze has a grandparent")
+        .to_path_buf()
+}
+
+fn analyze_repo() -> Analysis {
+    let root = repo_root();
+    let files = default_file_set(&root).expect("walk crates/*/src");
+    let files: Vec<String> = files
+        .iter()
+        .map(|f| gpufreq_analyze::repo_relative(&root, f))
+        .collect();
+    let paths: Vec<PathBuf> = files.iter().map(|f| root.join(f)).collect();
+    analyze_files(&root, &paths).expect("read workspace sources")
+}
+
+#[test]
+fn the_tree_is_analyze_clean() {
+    let analysis = analyze_repo();
+    let active: Vec<String> = analysis.active_findings().map(|f| f.to_string()).collect();
+    assert!(
+        active.is_empty(),
+        "unsuppressed findings in the tree:\n{}",
+        active.join("\n")
+    );
+}
+
+#[test]
+fn analysis_md_matches_the_tree() {
+    let analysis = analyze_repo();
+    let rendered = render_markdown(&analysis);
+    let path = repo_root().join("ANALYSIS.md");
+    if std::env::var_os("GPUFREQ_BLESS").is_some() {
+        std::fs::write(&path, &rendered).expect("write ANALYSIS.md");
+        eprintln!("[golden] blessed {}", path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing {} ({e}); run with GPUFREQ_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert!(
+        committed == rendered,
+        "ANALYSIS.md is stale; regenerate with `cargo run -p gpufreq-cli -- \
+         analyze --report ANALYSIS.md` (or GPUFREQ_BLESS=1 on this test) \
+         and commit it"
+    );
+}
+
+#[test]
+fn the_report_is_deterministic() {
+    let a = render_markdown(&analyze_repo());
+    let b = render_markdown(&analyze_repo());
+    assert_eq!(a, b);
+}

@@ -1,0 +1,172 @@
+//! Fixture-driven tests for the lint engine: each known-bad snippet
+//! under `tests/fixtures/` must produce exactly the findings its
+//! header comment promises — same lint, same line — and nothing else.
+//!
+//! Fixtures are loaded with their fixture-relative path (e.g.
+//! `serve/src/server.rs`) so the path-fragment module scoping behaves
+//! exactly as it does over the real tree.
+
+use std::path::Path;
+
+use gpufreq_analyze::{analyze_sources, Analysis, Lint};
+
+fn analyze_fixture(rel: &str, inventory: Option<&[String]>) -> Analysis {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel);
+    let contents =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    analyze_sources(&[(rel.to_string(), contents)], inventory)
+}
+
+/// (lint id, line) pairs for every *active* finding, sorted.
+fn active(analysis: &Analysis) -> Vec<(String, u32)> {
+    analysis
+        .active_findings()
+        .map(|f| (f.lint.id().to_string(), f.line))
+        .collect()
+}
+
+fn pairs(expected: &[(&str, u32)]) -> Vec<(String, u32)> {
+    expected.iter().map(|(l, n)| (l.to_string(), *n)).collect()
+}
+
+#[test]
+fn undocumented_unsafe_fires_on_fn_and_block() {
+    let a = analyze_fixture("undocumented_unsafe.rs", None);
+    assert_eq!(
+        active(&a),
+        pairs(&[("undocumented-unsafe", 5), ("undocumented-unsafe", 10)])
+    );
+    // Both sites still land in the census, with no SAFETY text.
+    assert_eq!(a.unsafe_sites.len(), 2);
+    assert!(a.unsafe_sites.iter().all(|s| s.safety.is_none()));
+    assert_eq!(a.unsafe_sites[0].kind, "fn");
+    assert_eq!(a.unsafe_sites[1].kind, "block");
+}
+
+#[test]
+fn unjustified_atomics_and_the_pair_heuristic() {
+    let a = analyze_fixture("unjustified_atomic.rs", None);
+    assert_eq!(
+        active(&a),
+        pairs(&[
+            ("unjustified-atomic-ordering", 10),
+            ("unjustified-atomic-ordering", 14),
+            // The Acquire load whose only store is Relaxed — flagged a
+            // second time by the pair heuristic.
+            ("unjustified-atomic-ordering", 14),
+        ])
+    );
+    assert_eq!(a.atomic_sites.len(), 2);
+    assert!(a.atomic_sites.iter().all(|s| s.justification.is_none()));
+}
+
+#[test]
+fn serialization_module_rejects_hash_iteration_and_wallclock() {
+    let a = analyze_fixture("core/src/artifact.rs", None);
+    assert_eq!(
+        active(&a),
+        pairs(&[
+            ("nondeterministic-iteration", 7),
+            ("nondeterministic-iteration", 9),
+            ("wallclock-in-serialized-output", 14),
+        ])
+    );
+}
+
+#[test]
+fn the_same_code_outside_a_serialized_module_is_clean() {
+    // Identical contents, non-serialized path: the module-scoped lints
+    // must stay quiet.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/core/src/artifact.rs");
+    let contents = std::fs::read_to_string(path).unwrap();
+    let a = analyze_sources(
+        &[("crates/tools/src/scratch.rs".to_string(), contents)],
+        None,
+    );
+    assert_eq!(active(&a), Vec::<(String, u32)>::new());
+}
+
+#[test]
+fn panics_in_the_request_path_but_not_in_test_modules() {
+    let a = analyze_fixture("serve/src/server.rs", None);
+    assert_eq!(
+        active(&a),
+        pairs(&[("panic-in-request-path", 6), ("panic-in-request-path", 8)])
+    );
+}
+
+#[test]
+fn wire_drift_is_flagged_in_both_directions() {
+    let inventory = vec!["predict".to_string()];
+    let a = analyze_fixture("serve/src/protocol.rs", Some(&inventory));
+    let found = active(&a);
+    // "predict_v2" is in the module but not pinned; "predict" is
+    // pinned but absent from the module (reported at line 1).
+    assert_eq!(
+        found,
+        pairs(&[("wire-string-drift", 1), ("wire-string-drift", 13)])
+    );
+    let messages: Vec<&str> = a.active_findings().map(|f| f.message.as_str()).collect();
+    assert!(
+        messages.iter().any(|m| m.contains("predict_v2")),
+        "{messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("\"predict\"")),
+        "{messages:?}"
+    );
+}
+
+#[test]
+fn a_missing_inventory_is_itself_a_finding() {
+    let a = analyze_fixture("serve/src/protocol.rs", None);
+    assert_eq!(active(&a), pairs(&[("wire-string-drift", 1)]));
+}
+
+#[test]
+fn a_reasoned_allow_suppresses_and_is_recorded() {
+    let a = analyze_fixture("suppressed.rs", None);
+    assert_eq!(active(&a), Vec::<(String, u32)>::new());
+    // The finding still exists, marked suppressed.
+    assert_eq!(a.findings.len(), 1);
+    assert!(a.findings[0].suppressed);
+    assert_eq!(a.findings[0].lint, Lint::UndocumentedUnsafe);
+    // And the suppression is in the census with its reason.
+    assert_eq!(a.suppressions.len(), 1);
+    assert_eq!(a.suppressions[0].line, 4);
+    assert!(a.suppressions[0]
+        .reason
+        .contains("demonstrating the suppression syntax"));
+}
+
+#[test]
+fn a_stale_allow_is_a_finding_in_its_own_right() {
+    let a = analyze_fixture("stale_allow.rs", None);
+    assert_eq!(active(&a), pairs(&[("invalid-suppression", 4)]));
+    assert!(a.suppressions.is_empty());
+}
+
+#[test]
+fn every_fixture_header_matches_reality() {
+    // Guard against the fixtures and their "Expected findings" prose
+    // drifting apart: known-bad fixtures must have at least one active
+    // finding, the clean one none.
+    for (rel, want_active) in [
+        ("undocumented_unsafe.rs", true),
+        ("unjustified_atomic.rs", true),
+        ("core/src/artifact.rs", true),
+        ("serve/src/server.rs", true),
+        ("serve/src/protocol.rs", true),
+        ("stale_allow.rs", true),
+        ("suppressed.rs", false),
+    ] {
+        let a = analyze_fixture(rel, None);
+        assert_eq!(
+            a.active_findings().count() > 0,
+            want_active,
+            "fixture {rel} disagrees with its header"
+        );
+    }
+}

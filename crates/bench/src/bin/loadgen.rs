@@ -256,6 +256,9 @@ fn run_client(
                         device: opts.device.clone(),
                         source: format!(
                             "// unique {}\n{}",
+                            // ordering: the stamp only needs to be
+                            // unique across connection threads, which
+                            // the RMW guarantees at any ordering.
                             UNIQUE_STAMP.fetch_add(1, Ordering::Relaxed),
                             pool[idx]
                         ),

@@ -20,6 +20,7 @@ USAGE:
     gpufreq serve [--device <name>] [--fast] [--port <n>] [--workers <n>]
                   [--queue <n>] [--cache <n>] [--port-file <path>]
     gpufreq client <host:port> [<kernel.cl>] [--device <name>] [--stats] [--shutdown]
+    gpufreq analyze [--json] [--check] [--report <path>] [paths...]
 
 DEVICES:
     titan-x (default), tesla-p100, tesla-k20c
@@ -41,6 +42,10 @@ OPTIONS:
     --full              `report` at the paper's parameters (minutes)
     --check <path>      `report` only: fail if any metric regressed from
                         pass to FAIL tier relative to this baseline JSON
+    --check             `analyze` only (no value): exit 1 when any
+                        unsuppressed finding remains
+    --report <path>     `analyze` only: also write the ANALYSIS.md
+                        census report to this path
     --json              machine-readable output
     --port <n>          `serve`: TCP port to listen on (default: 7070;
                         0 picks a free port)
@@ -128,6 +133,18 @@ pub enum Command {
         /// File the bound address is written to once listening.
         port_file: Option<String>,
     },
+    /// Run the in-repo static-analysis pass (`gpufreq-analyze`).
+    Analyze {
+        /// Emit machine-readable JSON instead of human-readable lines.
+        json: bool,
+        /// Exit nonzero when any unsuppressed finding remains.
+        check: bool,
+        /// Also render the `ANALYSIS.md` census to this path.
+        report: Option<String>,
+        /// Explicit files/directories to scan (empty = the default
+        /// `crates/*/src` + `src/` set under the current directory).
+        paths: Vec<String>,
+    },
     /// One-shot protocol client for a running daemon.
     Client {
         /// Server address (`host:port`).
@@ -199,6 +216,13 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
     let mut port_file: Option<String> = None;
     let mut stats = false;
     let mut shutdown = false;
+    let mut check_flag = false;
+    let mut report_out: Option<String> = None;
+
+    // `--check` is overloaded: `report --check <baseline.json>` takes a
+    // value, `analyze --check` is a bare boolean. The subcommand always
+    // leads the argv in both forms, so disambiguate on it up front.
+    let analyze_mode = argv.first().map(String::as_str) == Some("analyze");
 
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -252,10 +276,18 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
                         .clone(),
                 );
             }
+            "--check" if analyze_mode => check_flag = true,
             "--check" => {
                 check = Some(
                     it.next()
                         .ok_or(ArgError("--check needs a value".into()))?
+                        .clone(),
+                );
+            }
+            "--report" => {
+                report_out = Some(
+                    it.next()
+                        .ok_or(ArgError("--report needs a value".into()))?
                         .clone(),
                 );
             }
@@ -367,6 +399,12 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
             queue,
             cache,
             port_file,
+        },
+        "analyze" => Command::Analyze {
+            json,
+            check: check_flag,
+            report: report_out,
+            paths: rest.iter().map(|s| s.to_string()).collect(),
         },
         "client" => {
             let Some((addr, rest)) = rest.split_first() else {
@@ -611,6 +649,51 @@ mod tests {
         assert!(err.to_string().contains("server address"), "{err}");
         let err = parse_args(&args("client 127.0.0.1:7070")).unwrap_err();
         assert!(err.to_string().contains("--stats"), "{err}");
+    }
+
+    #[test]
+    fn analyze_check_is_a_bare_flag_but_report_check_takes_a_value() {
+        let p = parse_args(&args("analyze --check --json")).unwrap();
+        assert_eq!(
+            p.command,
+            Command::Analyze {
+                json: true,
+                check: true,
+                report: None,
+                paths: vec![]
+            }
+        );
+        // `report --check` keeps consuming a baseline path.
+        let p = parse_args(&args("report --check base.json")).unwrap();
+        assert_eq!(
+            p.command,
+            Command::Report {
+                full: false,
+                out: ".".into(),
+                check: Some("base.json".into())
+            }
+        );
+    }
+
+    #[test]
+    fn analyze_takes_report_and_paths() {
+        let p = parse_args(&args(
+            "analyze --report ANALYSIS.md crates/ml/src crates/serve/src/protocol.rs",
+        ))
+        .unwrap();
+        assert_eq!(
+            p.command,
+            Command::Analyze {
+                json: false,
+                check: false,
+                report: Some("ANALYSIS.md".into()),
+                paths: vec![
+                    "crates/ml/src".into(),
+                    "crates/serve/src/protocol.rs".into()
+                ]
+            }
+        );
+        assert!(parse_args(&args("analyze --report")).is_err());
     }
 
     #[test]

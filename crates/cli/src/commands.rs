@@ -63,7 +63,98 @@ pub fn dispatch(parsed: &ParsedArgs, out: &mut dyn Write) -> CmdResult {
             stats,
             shutdown,
         } => client(parsed, addr, kernel.as_deref(), *stats, *shutdown, out),
+        Command::Analyze {
+            json,
+            check,
+            report,
+            paths,
+        } => analyze(*json, *check, report.as_deref(), paths, out),
     }
+}
+
+/// Run the in-repo static-analysis pass: scan the default
+/// `crates/*/src` + `src/` set (or the given paths), print findings
+/// (human lines or `--json`), optionally render the `ANALYSIS.md`
+/// census with `--report`, and — with `--check` — exit nonzero when
+/// any unsuppressed finding remains.
+fn analyze(
+    json: bool,
+    check: bool,
+    report: Option<&str>,
+    paths: &[String],
+    out: &mut dyn Write,
+) -> CmdResult {
+    use std::path::{Path, PathBuf};
+    let root = std::env::current_dir()?;
+    let files: Vec<PathBuf> = if paths.is_empty() {
+        gpufreq_analyze::default_file_set(&root)
+            .map_err(|e| format!("collecting default scan set under {}: {e}", root.display()))?
+    } else {
+        let mut files = Vec::new();
+        for path in paths {
+            let p = Path::new(path);
+            if p.is_dir() {
+                let mut sub = Vec::new();
+                collect_rs_under(p, &mut sub).map_err(|e| format!("{path}: {e}"))?;
+                files.extend(sub);
+            } else {
+                files.push(p.to_path_buf());
+            }
+        }
+        files.sort();
+        files
+    };
+    let analysis = gpufreq_analyze::analyze_files(&root, &files)?;
+    let active = analysis.active_findings().count();
+    if json {
+        writeln!(out, "{}", analysis.to_json())?;
+    } else {
+        for finding in &analysis.findings {
+            writeln!(out, "{finding}")?;
+        }
+        writeln!(
+            out,
+            "analyzed {} file(s): {} finding(s) ({} suppressed), {} unsafe site(s), \
+             {} atomic ordering site(s)",
+            analysis.files.len(),
+            active,
+            analysis.findings.len() - active,
+            analysis.unsafe_sites.len(),
+            analysis.atomic_sites.len()
+        )?;
+    }
+    if let Some(path) = report {
+        std::fs::write(path, gpufreq_analyze::report::render_markdown(&analysis))
+            .map_err(|e| format!("{path}: {e}"))?;
+        if !json {
+            writeln!(out, "wrote {path}")?;
+        }
+    }
+    if check && active > 0 {
+        return Err(format!("analyze --check failed: {active} unsuppressed finding(s)").into());
+    }
+    Ok(())
+}
+
+/// Recursively collect `.rs` files under an explicitly named
+/// directory, sorted for deterministic output.
+fn collect_rs_under(
+    dir: &std::path::Path,
+    out: &mut Vec<std::path::PathBuf>,
+) -> std::io::Result<()> {
+    let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_under(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
 }
 
 fn devices(out: &mut dyn Write) -> CmdResult {

@@ -1,0 +1,101 @@
+//! End-to-end exit-code contract for `gpufreq analyze`: the CI gate
+//! relies on 0 = clean, 1 = findings under `--check`, 2 = usage error,
+//! so each code is pinned here against the real binary.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    // crates/cli -> crates -> repo root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/cli has a grandparent")
+        .to_path_buf()
+}
+
+fn gpufreq(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_gpufreq"))
+        .args(args)
+        .current_dir(repo_root())
+        .output()
+        .expect("spawn gpufreq")
+}
+
+fn fixture(rel: &str) -> String {
+    format!("crates/analyze/tests/fixtures/{rel}")
+}
+
+#[test]
+fn check_exits_zero_on_the_clean_tree() {
+    let out = gpufreq(&["analyze", "--check"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+    assert!(stdout.contains("0 finding(s)"), "{stdout}");
+}
+
+#[test]
+fn check_exits_one_per_known_bad_fixture() {
+    for rel in [
+        "undocumented_unsafe.rs",
+        "unjustified_atomic.rs",
+        "core/src/artifact.rs",
+        "serve/src/server.rs",
+        "serve/src/protocol.rs",
+        "stale_allow.rs",
+    ] {
+        let path = fixture(rel);
+        let out = gpufreq(&["analyze", "--check", &path]);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{rel} should fail --check; stdout:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+#[test]
+fn check_exits_zero_when_the_finding_is_suppressed() {
+    let path = fixture("suppressed.rs");
+    let out = gpufreq(&["analyze", "--check", &path]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("(1 suppressed)"));
+}
+
+#[test]
+fn without_check_findings_report_but_exit_zero() {
+    let path = fixture("undocumented_unsafe.rs");
+    let out = gpufreq(&["analyze", &path]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+    assert!(stdout.contains("undocumented-unsafe"), "{stdout}");
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let path = fixture("undocumented_unsafe.rs");
+    let out = gpufreq(&["analyze", "--json", &path]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+    assert!(stdout.starts_with("{\"files\":1,"), "{stdout}");
+    assert!(
+        stdout.contains("\"lint\":\"undocumented-unsafe\""),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = gpufreq(&["analyze", "--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+    // This CLI reports usage errors on stdout alongside the help text.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("unknown flag"), "{stdout}");
+    assert!(stdout.contains("USAGE"), "{stdout}");
+}

@@ -132,6 +132,10 @@ impl Engine {
                     s.spawn(|| {
                         let mut local = Vec::new();
                         loop {
+                            // ordering: work distribution only — the
+                            // RMW hands each index to exactly one
+                            // worker; results are published by the
+                            // scope join, not by this counter.
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= items.len() {
                                 break;
@@ -269,6 +273,9 @@ impl ProfileCache {
             let mut inner = self.inner.lock().expect("cache poisoned");
             if let Some(slot) = inner.entries.get(source) {
                 let hit = Arc::clone(&slot.analyzed);
+                // ordering: hit/miss/eviction counters are telemetry;
+                // cached entries are published by the cache mutex,
+                // never by these counters (all sites in this file).
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 // Only bounded caches pay for recency bookkeeping;
                 // the (default) unbounded hit path is one lookup.
@@ -278,6 +285,7 @@ impl ProfileCache {
                 return Ok(hit);
             }
         }
+        // ordering: telemetry (see the counter note in the hit path).
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Analyze outside the lock: parsing is the expensive part and
         // other sources should not serialize behind it. Two threads
@@ -307,6 +315,7 @@ impl ProfileCache {
                     break;
                 };
                 inner.entries.remove(lru_key.as_ref());
+                // ordering: telemetry (see the hit-path note).
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -315,12 +324,15 @@ impl ProfileCache {
 
     /// Number of calls answered from the cache so far.
     pub fn hits(&self) -> usize {
+        // ordering: telemetry read; nothing synchronizes on the
+        // counters (here and in the two reads below).
         self.hits.load(Ordering::Relaxed)
     }
 
     /// Number of calls not answered from the cache (each ran the
     /// analysis, whether or not it succeeded).
     pub fn misses(&self) -> usize {
+        // ordering: telemetry read (see `hits`).
         self.misses.load(Ordering::Relaxed)
     }
 
@@ -328,6 +340,7 @@ impl ProfileCache {
     /// within [`with_capacity`](ProfileCache::with_capacity). Always 0
     /// for the default unbounded cache.
     pub fn evictions(&self) -> usize {
+        // ordering: telemetry read (see `hits`).
         self.evictions.load(Ordering::Relaxed)
     }
 

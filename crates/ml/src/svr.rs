@@ -350,7 +350,10 @@ impl ScoringPlan {
         // mul/add/sub round identically at every width (and Rust never
         // contracts to FMA), so wider registers change throughput, not
         // bits.
-        #[cfg(target_arch = "x86_64")]
+        // Miri interprets MIR and does not implement vendor SIMD
+        // intrinsics; under it the scalar body below is the whole
+        // story, which is exactly the path worth checking for UB.
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
         {
             if std::arch::is_x86_feature_detected!("avx512f") {
                 // SAFETY: reached only when the CPU reports AVX-512F.
@@ -403,14 +406,26 @@ impl ScoringPlan {
     }
 
     /// [`sweep`](Self::sweep) compiled for AVX2 (4 f64 lanes).
-    #[cfg(target_arch = "x86_64")]
+    ///
+    /// The body is safe code; `unsafe` is forced by `target_feature`
+    /// alone.
+    // SAFETY: callers must have verified AVX2 support (the dispatch in
+    // `score_transposed_into` checks `is_x86_feature_detected!`), or
+    // executing the AVX2-encoded body is UB on older CPUs.
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     #[target_feature(enable = "avx2")]
     unsafe fn sweep_avx2(&self, xt: &[f64], np: usize, lane: &mut [f64], out: &mut [f64]) {
         self.sweep(xt, np, lane, out);
     }
 
     /// [`sweep`](Self::sweep) compiled for AVX-512F (8 f64 lanes).
-    #[cfg(target_arch = "x86_64")]
+    ///
+    /// The body is safe code; `unsafe` is forced by `target_feature`
+    /// alone.
+    // SAFETY: callers must have verified AVX-512F support (the dispatch
+    // in `score_transposed_into` checks `is_x86_feature_detected!`), or
+    // executing the AVX-512-encoded body is UB on older CPUs.
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     #[target_feature(enable = "avx512f")]
     unsafe fn sweep_avx512(&self, xt: &[f64], np: usize, lane: &mut [f64], out: &mut [f64]) {
         self.sweep(xt, np, lane, out);

@@ -108,20 +108,26 @@ impl FrontCache {
     /// [`key_hash`]`(device, source)`. A hit refreshes recency.
     pub fn get(&self, key: u64, source: &str) -> Option<Arc<str>> {
         if self.capacity == 0 {
+            // ordering: hit/miss/eviction counters are telemetry; the
+            // cached bodies themselves are published by the shard
+            // mutex, never by these counters, so Relaxed suffices
+            // (here and at every counter site below).
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let mut shard = self.shard(key).lock().expect("front cache poisoned");
+        let mut shard = lock_shard(self.shard(key));
         match shard.entries.get(&key) {
             Some(entry) if entry.source.as_ref() == source => {
                 let body = Arc::clone(&entry.body);
                 shard.touch(key);
                 drop(shard);
+                // ordering: telemetry (see the counter note above).
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(body)
             }
             _ => {
                 drop(shard);
+                // ordering: telemetry (see the counter note above).
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -135,7 +141,7 @@ impl FrontCache {
         if self.capacity == 0 {
             return;
         }
-        let mut shard = self.shard(key).lock().expect("front cache poisoned");
+        let mut shard = lock_shard(self.shard(key));
         if let Some(old) = shard.entries.remove(&key) {
             shard.recency.remove(&old.tick);
         }
@@ -158,6 +164,7 @@ impl FrontCache {
         }
         drop(shard);
         if evicted > 0 {
+            // ordering: telemetry (see the counter note in `get`).
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
     }
@@ -171,7 +178,7 @@ impl FrontCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("front cache poisoned").entries.len())
+            .map(|s| lock_shard(s).entries.len())
             .sum()
     }
 
@@ -182,18 +189,31 @@ impl FrontCache {
 
     /// Lookups answered from the cache.
     pub fn hits(&self) -> u64 {
+        // ordering: telemetry read; nothing is synchronized by the
+        // counters (here and in the two reads below).
         self.hits.load(Ordering::Relaxed)
     }
 
     /// Lookups that found nothing (or found a colliding entry).
     pub fn misses(&self) -> u64 {
+        // ordering: telemetry read (see `hits`).
         self.misses.load(Ordering::Relaxed)
     }
 
     /// Entries evicted to stay within capacity.
     pub fn evictions(&self) -> u64 {
+        // ordering: telemetry read (see `hits`).
         self.evictions.load(Ordering::Relaxed)
     }
+}
+
+/// Lock one shard, propagating a poisoned-lock panic.
+fn lock_shard(shard: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+    // A poisoned shard means another worker already panicked while
+    // mutating cache state; serving possibly half-updated entries
+    // would be worse than taking this thread down too.
+    // analyze:allow(panic-in-request-path, reason = "poisoned shard mutex means a worker already panicked mid-update; propagating is the only sound option")
+    shard.lock().expect("front cache poisoned")
 }
 
 #[cfg(test)]

@@ -56,85 +56,100 @@ impl Metrics {
 
     /// Count one incoming protocol line (well-formed or not).
     pub fn count_line(&self) {
-        self.total.fetch_add(1, Ordering::Relaxed);
+        bump(&self.total, 1);
     }
 
     /// Count one `predict` request.
     pub fn count_predict(&self) {
-        self.predict.fetch_add(1, Ordering::Relaxed);
+        bump(&self.predict, 1);
     }
 
     /// Count one `predict_batch` request carrying `kernels` sources.
     pub fn count_predict_batch(&self, kernels: usize) {
-        self.predict_batch.fetch_add(1, Ordering::Relaxed);
-        self.batch_kernels
-            .fetch_add(kernels as u64, Ordering::Relaxed);
+        bump(&self.predict_batch, 1);
+        bump(&self.batch_kernels, kernels as u64);
     }
 
     /// Count one `devices` request.
     pub fn count_devices(&self) {
-        self.devices.fetch_add(1, Ordering::Relaxed);
+        bump(&self.devices, 1);
     }
 
     /// Count one `stats` request.
     pub fn count_stats(&self) {
-        self.stats.fetch_add(1, Ordering::Relaxed);
+        bump(&self.stats, 1);
     }
 
     /// Count one `shutdown` request.
     pub fn count_shutdown(&self) {
-        self.shutdown.fetch_add(1, Ordering::Relaxed);
+        bump(&self.shutdown, 1);
     }
 
     /// Count one error response (any code except `overloaded`).
     pub fn count_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        bump(&self.errors, 1);
     }
 
     /// Count one backpressure rejection (`overloaded`).
     pub fn count_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        bump(&self.rejected, 1);
     }
 
     /// Record one serving latency (request read → response body
     /// ready).
     pub fn observe_us(&self, us: u64) {
+        // ordering: the running maximum is telemetry like the
+        // counters; the fetch_max RMW itself is atomic, and nothing
+        // synchronizes on its result.
         self.latency_max_us.fetch_max(us, Ordering::Relaxed);
-        self.latency_buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        bump(&self.latency_buckets[bucket_index(us)], 1);
     }
 
     /// The request-counter snapshot.
     pub fn request_counts(&self) -> RequestCounts {
         RequestCounts {
-            total: self.total.load(Ordering::Relaxed),
-            predict: self.predict.load(Ordering::Relaxed),
-            predict_batch: self.predict_batch.load(Ordering::Relaxed),
-            batch_kernels: self.batch_kernels.load(Ordering::Relaxed),
-            devices: self.devices.load(Ordering::Relaxed),
-            stats: self.stats.load(Ordering::Relaxed),
-            shutdown: self.shutdown.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
+            total: read(&self.total),
+            predict: read(&self.predict),
+            predict_batch: read(&self.predict_batch),
+            batch_kernels: read(&self.batch_kernels),
+            devices: read(&self.devices),
+            stats: read(&self.stats),
+            shutdown: read(&self.shutdown),
+            errors: read(&self.errors),
+            rejected: read(&self.rejected),
         }
     }
 
     /// The latency-histogram snapshot (p50/p95/p99 as bucket upper
     /// bounds, max exact).
     pub fn latency(&self) -> LatencyStats {
-        let counts: Vec<u64> = self
-            .latency_buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
+        let counts: Vec<u64> = self.latency_buckets.iter().map(read).collect();
         let count: u64 = counts.iter().sum();
         LatencyStats {
             count,
             p50: quantile(&counts, count, 0.50),
             p95: quantile(&counts, count, 0.95),
             p99: quantile(&counts, count, 0.99),
-            max: self.latency_max_us.load(Ordering::Relaxed),
+            max: read(&self.latency_max_us),
         }
     }
+}
+
+/// Add to a telemetry counter. Every counter bump in this module funnels
+/// through here so the memory-ordering argument lives in one place.
+fn bump(counter: &AtomicU64, n: u64) {
+    // ordering: pure event counters — a bump publishes no other memory,
+    // and totals stay exact regardless because fetch_add is a single
+    // atomic RMW; Relaxed is sufficient and cheapest on the hot path.
+    counter.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Read a telemetry counter for a snapshot.
+fn read(counter: &AtomicU64) -> u64 {
+    // ordering: snapshots are diagnostics; a `stats` response may tear
+    // between counters (e.g. `errors` bumped but `total` not yet), so
+    // no acquire pairing would buy anything.
+    counter.load(Ordering::Relaxed)
 }
 
 /// The histogram bucket for a latency of `us` microseconds.

@@ -10,7 +10,24 @@
 //! and drained.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Lock a queue-structure mutex. Every lock in this module funnels
+/// through here so the poisoning policy lives in one place: a poisoned
+/// mutex means another thread panicked while mutating queue state, and
+/// handing out possibly half-updated jobs or responses would corrupt
+/// the served byte stream — propagating the panic is the only sound
+/// option.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // analyze:allow(panic-in-request-path, reason = "poisoned queue state is unrecoverable; propagating the original panic is the only sound option")
+    mutex.lock().expect("queue mutex poisoned")
+}
+
+/// Re-block on a condvar, with the same poisoning policy as [`lock`].
+fn wait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    // analyze:allow(panic-in-request-path, reason = "poisoned queue state is unrecoverable; propagating the original panic is the only sound option")
+    condvar.wait(guard).expect("queue mutex poisoned")
+}
 
 /// Why [`BoundedQueue::try_push`] returned the item instead of
 /// queueing it.
@@ -64,7 +81,7 @@ impl<T> BoundedQueue<T> {
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").items.len()
+        lock(&self.inner).items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -75,7 +92,7 @@ impl<T> BoundedQueue<T> {
     /// Enqueue without blocking; on failure the item is returned to
     /// the caller together with the reason.
     pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock(&self.inner);
         if inner.closed {
             return Err((item, PushError::Closed));
         }
@@ -94,7 +111,7 @@ impl<T> BoundedQueue<T> {
     /// responses independent of worker timing). Only a closed queue
     /// returns the item.
     pub fn push_wait(&self, item: T) -> Result<(), (T, PushError)> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock(&self.inner);
         loop {
             if inner.closed {
                 return Err((item, PushError::Closed));
@@ -105,7 +122,7 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            inner = self.not_full.wait(inner).expect("queue poisoned");
+            inner = wait(&self.not_full, inner);
         }
     }
 
@@ -113,7 +130,7 @@ impl<T> BoundedQueue<T> {
     /// closed *and* drained (returning `None` — the worker's exit
     /// signal).
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock(&self.inner);
         loop {
             if let Some(item) = inner.items.pop_front() {
                 drop(inner);
@@ -123,21 +140,21 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).expect("queue poisoned");
+            inner = wait(&self.not_empty, inner);
         }
     }
 
     /// Refuse further pushes; already-queued items remain poppable.
     /// Idempotent.
     pub fn close(&self) {
-        self.inner.lock().expect("queue poisoned").closed = true;
+        lock(&self.inner).closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
 
     /// Whether [`close`](BoundedQueue::close) was called.
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().expect("queue poisoned").closed
+        lock(&self.inner).closed
     }
 }
 
@@ -167,7 +184,7 @@ impl Slot {
 
     /// Fill the slot. Filling twice is a bug and panics.
     pub fn fill(&self, body: String) {
-        let mut slot = self.body.lock().expect("slot poisoned");
+        let mut slot = lock(&self.body);
         assert!(slot.is_none(), "response slot filled twice");
         *slot = Some(body);
         drop(slot);
@@ -176,18 +193,18 @@ impl Slot {
 
     /// Block until the slot is filled and take the body.
     pub fn wait(&self) -> String {
-        let mut slot = self.body.lock().expect("slot poisoned");
+        let mut slot = lock(&self.body);
         loop {
             if let Some(body) = slot.take() {
                 return body;
             }
-            slot = self.ready.wait(slot).expect("slot poisoned");
+            slot = wait(&self.ready, slot);
         }
     }
 
     /// Take the body if it is already filled, without blocking.
     pub fn try_take(&self) -> Option<String> {
-        self.body.lock().expect("slot poisoned").take()
+        lock(&self.body).take()
     }
 }
 
@@ -217,7 +234,7 @@ impl ResponseLane {
 
     /// Append the next request's slot (request order = push order).
     pub fn push(&self, slot: std::sync::Arc<Slot>) {
-        let mut inner = self.inner.lock().expect("lane poisoned");
+        let mut inner = lock(&self.inner);
         inner.slots.push_back(slot);
         drop(inner);
         self.ready.notify_all();
@@ -226,13 +243,13 @@ impl ResponseLane {
     /// No more slots will be pushed; the writer drains what remains
     /// and stops.
     pub fn close(&self) {
-        self.inner.lock().expect("lane poisoned").closed = true;
+        lock(&self.inner).closed = true;
         self.ready.notify_all();
     }
 
     /// Next slot in request order, or `None` once closed and drained.
     pub fn next(&self) -> Option<std::sync::Arc<Slot>> {
-        let mut inner = self.inner.lock().expect("lane poisoned");
+        let mut inner = lock(&self.inner);
         loop {
             if let Some(slot) = inner.slots.pop_front() {
                 return Some(slot);
@@ -240,7 +257,7 @@ impl ResponseLane {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).expect("lane poisoned");
+            inner = wait(&self.ready, inner);
         }
     }
 
@@ -249,7 +266,7 @@ impl ResponseLane {
     /// NOT mean the lane is drained; only [`next`](ResponseLane::next)
     /// can report that.
     pub fn try_next(&self) -> Option<std::sync::Arc<Slot>> {
-        self.inner.lock().expect("lane poisoned").slots.pop_front()
+        lock(&self.inner).slots.pop_front()
     }
 }
 

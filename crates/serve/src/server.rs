@@ -203,13 +203,20 @@ impl Server {
 
     /// Whether a `shutdown` request has been accepted.
     pub fn is_shutting_down(&self) -> bool {
-        self.shutting_down.load(Ordering::SeqCst)
+        // ordering: Acquire pairs with the Release store in
+        // `initiate_shutdown`: a thread that observes `true` also
+        // observes everything the initiator did before flipping the
+        // flag (previously SeqCst, which bought nothing over the
+        // pair — no other atomic participates in this protocol).
+        self.shutting_down.load(Ordering::Acquire)
     }
 
     /// Stop accepting new work (queued work still drains). Idempotent;
     /// also triggered by the `shutdown` request.
     pub fn initiate_shutdown(&self) {
-        self.shutting_down.store(true, Ordering::SeqCst);
+        // ordering: Release publishes the initiator's prior writes to
+        // every Acquire load in `is_shutting_down`.
+        self.shutting_down.store(true, Ordering::Release);
         self.queue.close();
     }
 
@@ -394,6 +401,7 @@ impl Server {
                                     body.push_str("{\"error\":");
                                     body.push_str(
                                         &serde_json::to_string(&e)
+                                            // analyze:allow(panic-in-request-path, reason = "ErrorBody is a struct of plain strings; serializing it cannot fail")
                                             .expect("error serialization is infallible"),
                                     );
                                     body.push('}');
@@ -697,6 +705,7 @@ impl Server {
             // independent of worker timing at any stream length.
             self.pump(reader, &lane, true);
             lane.close();
+            // analyze:allow(panic-in-request-path, reason = "join() only errors if the writer itself panicked; re-raising that panic is the faithful report")
             let result = writer_thread.join().expect("writer thread panicked");
             // Now that every accepted job has been answered, release
             // the workers (the scope joins them).
@@ -760,6 +769,7 @@ impl Server {
             // queue — reject with `overloaded`.
             self.pump(reader, &lane, false);
             lane.close();
+            // analyze:allow(panic-in-request-path, reason = "join() only errors if the connection writer panicked; re-raising is the faithful report")
             writer_thread.join().expect("connection writer panicked")
         })
     }

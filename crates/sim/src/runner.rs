@@ -230,6 +230,10 @@ impl GpuSimulator {
                     s.spawn(|| {
                         let mut local = Vec::new();
                         loop {
+                            // ordering: work distribution only — the
+                            // RMW hands each index to exactly one
+                            // worker; measurements are published by
+                            // the scope join, not by this counter.
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= resolved.len() {
                                 break;
