@@ -195,10 +195,13 @@ const SERIALIZED_MODULES: [&str; 6] = [
 /// Path fragment of the request-path crate the panic lint guards.
 const REQUEST_PATH: &str = "serve/src/";
 
-/// Path fragment of the wire-protocol module.
-const WIRE_MODULE: &str = "serve/src/protocol.rs";
+/// Path fragments of the wire-protocol modules. One shared inventory
+/// pins both, partitioned by shape: HTTP route paths (leading `/`)
+/// belong to the gateway module, ops/error codes to the line-protocol
+/// module.
+const WIRE_MODULES: [&str; 2] = ["serve/src/protocol.rs", "serve/src/http.rs"];
 
-/// Functions in the wire module whose string literals *are* the wire
+/// Functions in the wire modules whose string literals *are* the wire
 /// protocol.
 const WIRE_FNS: [&str; 2] = ["op", "as_str"];
 
@@ -753,9 +756,12 @@ fn lint_wire(
     wire_inventory: Option<&[String]>,
     out: &mut FileAnalysis,
 ) {
-    if !path.contains(WIRE_MODULE) {
+    let Some(module) = WIRE_MODULES.iter().find(|m| path.contains(*m)) else {
         return;
-    }
+    };
+    // Route paths (leading `/`) are the gateway module's slice of the
+    // inventory; everything else belongs to the line protocol.
+    let wants_routes = module.ends_with("http.rs");
     let Some(inventory) = wire_inventory else {
         out.findings.push(Finding {
             lint: Lint::WireStringDrift,
@@ -798,7 +804,11 @@ fn lint_wire(
         i += 1;
     }
     let declared: BTreeSet<&str> = in_wire_fn.iter().map(|(s, _)| s.as_str()).collect();
-    let pinned: BTreeSet<&str> = inventory.iter().map(|s| s.as_str()).collect();
+    let pinned: BTreeSet<&str> = inventory
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|s| s.starts_with('/') == wants_routes)
+        .collect();
     for (literal, line) in &in_wire_fn {
         if !pinned.contains(literal.as_str()) {
             out.findings.push(Finding {
@@ -828,8 +838,8 @@ fn lint_wire(
 }
 
 /// Parse the wire inventory file format: one wire string per line,
-/// `#` comments and blank lines ignored, an optional `op `/`error `
-/// prefix documenting the kind.
+/// `#` comments and blank lines ignored, an optional `op `/`error `/
+/// `route ` prefix documenting the kind.
 pub fn parse_wire_inventory(content: &str) -> Vec<String> {
     content
         .lines()
@@ -838,6 +848,7 @@ pub fn parse_wire_inventory(content: &str) -> Vec<String> {
         .map(|l| {
             l.strip_prefix("op ")
                 .or_else(|| l.strip_prefix("error "))
+                .or_else(|| l.strip_prefix("route "))
                 .unwrap_or(l)
                 .trim()
                 .to_string()
@@ -988,7 +999,50 @@ impl Request {
 
     #[test]
     fn inventory_parser_strips_prefixes_and_comments() {
-        let inv = parse_wire_inventory("# ops\nop predict\nerror bad_request\n\nshutdown\n");
-        assert_eq!(inv, vec!["predict", "bad_request", "shutdown"]);
+        let inv = parse_wire_inventory(
+            "# ops\nop predict\nerror bad_request\nroute /predict\n\nshutdown\n",
+        );
+        assert_eq!(inv, vec!["predict", "bad_request", "/predict", "shutdown"]);
+    }
+
+    #[test]
+    fn wire_inventory_is_partitioned_between_protocol_and_gateway() {
+        let inv = vec![
+            "predict".to_string(),
+            "/predict".to_string(),
+            "/stats".to_string(),
+        ];
+        // The gateway module answers only for the route slice: the
+        // `predict` op is protocol.rs's business, but the missing
+        // `/stats` route is drift here.
+        let http_src = "\
+impl Route {
+    pub const fn as_str(self) -> &'static str {
+        match self { Route::Predict => \"/predict\" }
+    }
+}
+";
+        let out = lint_file("crates/serve/src/http.rs", &scan(http_src), Some(&inv));
+        let drift: Vec<&Finding> = out
+            .findings
+            .iter()
+            .filter(|f| f.lint == Lint::WireStringDrift)
+            .collect();
+        assert_eq!(drift.len(), 1, "{drift:?}");
+        assert!(drift[0].message.contains("/stats"), "{drift:?}");
+        // And the protocol module ignores the route slice entirely.
+        let proto_src = "\
+impl Request {
+    pub fn op(&self) -> &'static str {
+        match self { Request::Predict { .. } => \"predict\" }
+    }
+}
+";
+        let out = lint_file("crates/serve/src/protocol.rs", &scan(proto_src), Some(&inv));
+        assert!(
+            out.findings.iter().all(|f| f.lint != Lint::WireStringDrift),
+            "{:?}",
+            out.findings
+        );
     }
 }

@@ -24,10 +24,17 @@
 //! pipelining is safe by contract) — without it, loopback round-trip
 //! time, not the server, would bound the cached path.
 //!
+//! With `--http` the same mixes are driven through the HTTP/1.1
+//! gateway instead (`--addr` then names the HTTP port): pipelined
+//! keep-alive `POST /predict` requests, stats via `GET /stats`. The
+//! gateway deliberately has no shutdown route, so `--http --shutdown`
+//! is rejected — drain the daemon through the line-protocol port.
+//!
 //! ```text
 //! loadgen --addr 127.0.0.1:7070 [--duration 5s] [--clients 4]
 //!         [--pipeline 8] [--mix repeated|unique|both] [--device titan-x]
-//!         [--min-cache-speedup 10] [--min-unique-rps 500] [--shutdown]
+//!         [--min-cache-speedup 10] [--min-unique-rps 500] [--http]
+//!         [--shutdown]
 //! ```
 
 use gpufreq_core::ascii_table;
@@ -63,13 +70,14 @@ struct Options {
     device: String,
     min_cache_speedup: Option<f64>,
     min_unique_rps: Option<f64>,
+    http: bool,
     shutdown: bool,
 }
 
 fn usage() -> String {
     "usage: loadgen --addr <host:port> [--duration 5s] [--clients 4] \
      [--pipeline 8] [--mix repeated|unique|both] [--device titan-x] \
-     [--min-cache-speedup <x>] [--min-unique-rps <n>] [--shutdown]"
+     [--min-cache-speedup <x>] [--min-unique-rps <n>] [--http] [--shutdown]"
         .to_string()
 }
 
@@ -103,6 +111,7 @@ fn parse_args() -> Result<Options, String> {
     let mut device = "titan-x".to_string();
     let mut min_cache_speedup = None;
     let mut min_unique_rps = None;
+    let mut http = false;
     let mut shutdown = false;
     let mut it = argv.iter();
     let next_value = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
@@ -153,10 +162,16 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|_| "invalid --min-unique-rps value".to_string())?,
                 )
             }
+            "--http" => http = true,
             "--shutdown" => shutdown = true,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
+    }
+    if http && shutdown {
+        return Err("the HTTP gateway has no shutdown route; \
+                    use --shutdown against the line-protocol port"
+            .into());
     }
     Ok(Options {
         addr: addr.ok_or(format!("--addr is required\n{}", usage()))?,
@@ -167,6 +182,7 @@ fn parse_args() -> Result<Options, String> {
         device,
         min_cache_speedup,
         min_unique_rps,
+        http,
         shutdown,
     })
 }
@@ -202,6 +218,51 @@ struct MixOutcome {
 /// Monotone stamp making every `unique`-mix source globally fresh.
 static UNIQUE_STAMP: AtomicU64 = AtomicU64::new(0);
 
+/// Frame one keep-alive `POST /predict` gateway request around a
+/// protocol request body.
+fn http_frame(body: &str) -> String {
+    format!(
+        "POST /predict HTTP/1.1\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+}
+
+/// Read one HTTP response off the wire and return its JSON body
+/// (`line` is scratch). The gateway always sends `content-length`.
+fn read_http_body(reader: &mut BufReader<TcpStream>, line: &mut String) -> Result<String, String> {
+    line.clear();
+    if reader.read_line(line).map_err(|e| e.to_string())? == 0 {
+        return Err("server closed the connection mid-run".into());
+    }
+    if !line.starts_with("HTTP/1.1 ") {
+        return Err(format!("not an HTTP response: `{}`", line.trim()));
+    }
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(line).map_err(|e| e.to_string())? == 0 {
+            return Err("connection closed mid-headers".into());
+        }
+        let header = line.trim();
+        if header.is_empty() {
+            break;
+        }
+        let lower = header.to_ascii_lowercase();
+        if let Some(value) = lower.strip_prefix("content-length:") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad content-length `{header}`"))?;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    use std::io::Read as _;
+    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+    String::from_utf8(body).map_err(|e| e.to_string())
+}
+
 fn run_client(
     opts: &Options,
     mix: Mix,
@@ -216,17 +277,23 @@ fn run_client(
     // default buffer would cost a handful of reads per response.
     let mut reader = BufReader::with_capacity(256 * 1024, stream);
     // The repeated mix replays a fixed recorded stream: encode each
-    // request line once, outside the hot loop. (The unique mix stamps
-    // every request fresh and never touches this.)
+    // request — protocol line or framed HTTP POST — once, outside the
+    // hot loop. (The unique mix stamps every request fresh and never
+    // touches this.)
     let recorded: Vec<String> = match mix {
         Mix::Repeated => pool
             .iter()
             .map(|source| {
-                Request::Predict {
+                let body = Request::Predict {
                     device: opts.device.clone(),
                     source: source.clone(),
                 }
-                .to_json()
+                .to_json();
+                if opts.http {
+                    http_frame(&body)
+                } else {
+                    body + "\n"
+                }
             })
             .collect(),
         Mix::Unique => Vec::new(),
@@ -249,7 +316,6 @@ fn run_client(
                     writer
                         .write_all(recorded[idx].as_bytes())
                         .map_err(|e| e.to_string())?;
-                    writer.write_all(b"\n").map_err(|e| e.to_string())?;
                 }
                 Mix::Unique => {
                     let request = Request::Predict {
@@ -263,7 +329,14 @@ fn run_client(
                             pool[idx]
                         ),
                     };
-                    writeln!(writer, "{}", request.to_json()).map_err(|e| e.to_string())?;
+                    let body = request.to_json();
+                    if opts.http {
+                        writer
+                            .write_all(http_frame(&body).as_bytes())
+                            .map_err(|e| e.to_string())?;
+                    } else {
+                        writeln!(writer, "{body}").map_err(|e| e.to_string())?;
+                    }
                 }
             }
             outstanding += 1;
@@ -273,16 +346,22 @@ fn run_client(
             break; // expired with nothing left in flight
         }
         writer.flush().map_err(|e| e.to_string())?;
-        line.clear();
-        if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
-            return Err("server closed the connection mid-run".into());
-        }
+        let http_body;
+        let trimmed = if opts.http {
+            http_body = read_http_body(&mut reader, &mut line)?;
+            http_body.trim()
+        } else {
+            line.clear();
+            if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+                return Err("server closed the connection mid-run".into());
+            }
+            line.trim()
+        };
         outstanding -= 1;
         received += 1;
         // Classify by tag; fully parsing every ~20 KB response would
         // measure the load generator, not the server. Every 64th
         // response is parsed end to end as a sanity check.
-        let trimmed = line.trim();
         if trimmed.starts_with("{\"ok\":\"predict\"") {
             if received.is_multiple_of(64) {
                 match Response::parse(trimmed) {
@@ -337,6 +416,20 @@ fn one_shot(addr: &str, request: &Request) -> Result<Response, String> {
     Response::parse(line.trim()).map_err(|e| format!("unparseable response: {e}"))
 }
 
+/// One out-of-band GET against the HTTP gateway; the body is a
+/// protocol response, parsed the same as a line.
+fn http_one_shot(addr: &str, route: &str) -> Result<Response, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    write!(writer, "GET {route} HTTP/1.1\r\nconnection: close\r\n\r\n")
+        .map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    let body = read_http_body(&mut reader, &mut line)?;
+    Response::parse(body.trim()).map_err(|e| format!("unparseable response: {e}"))
+}
+
 fn run(opts: &Options) -> Result<(), String> {
     let pool = kernel_pool();
     println!(
@@ -372,7 +465,12 @@ fn run(opts: &Options) -> Result<(), String> {
             &rows
         )
     );
-    if let Ok(Response::Stats { stats }) = one_shot(&opts.addr, &Request::Stats) {
+    let stats_response = if opts.http {
+        http_one_shot(&opts.addr, "/stats")
+    } else {
+        one_shot(&opts.addr, &Request::Stats)
+    };
+    if let Ok(Response::Stats { stats }) = stats_response {
         println!("server metrics after the run:");
         println!("{}", render_stats_table(&stats));
     }

@@ -19,7 +19,10 @@ USAGE:
     gpufreq report [--fast|--full] [--jobs <n>] [--out <dir>] [--check <baseline.json>]
     gpufreq serve [--device <name>] [--fast] [--port <n>] [--workers <n>]
                   [--queue <n>] [--cache <n>] [--port-file <path>]
-    gpufreq client <host:port> [<kernel.cl>] [--device <name>] [--stats] [--shutdown]
+                  [--http-port <n>] [--http-port-file <path>] [--max-conns <n>]
+                  [--p99-target <us>] [--quota <rate[/burst]>]
+    gpufreq client <host:port> [<kernel.cl>] [--device <name>] [--stats]
+                  [--reload <model.json>] [--shutdown]
     gpufreq analyze [--json] [--check] [--report <path>] [paths...]
 
 DEVICES:
@@ -58,7 +61,23 @@ OPTIONS:
                         rejections (default: 256)
     --cache <n>         `serve`: response front-cache entries
                         (default: 4096; 0 disables caching)
+    --http-port <n>     `serve`: also listen for HTTP/1.1 on this port
+                        (0 picks a free port; omitted = no HTTP listener)
+    --http-port-file <path>
+                        `serve`: write the bound HTTP host:port here
+                        once listening
+    --max-conns <n>     `serve`: concurrent-connection cap across both
+                        listeners (default: 256); connections past it
+                        get a typed `overloaded` refusal
+    --p99-target <us>   `serve`: refuse predict work while the rolling
+                        p99 latency exceeds this many microseconds
+    --quota <rate[/burst]>
+                        `serve`: per-client-IP token bucket — sustained
+                        requests/sec with optional burst (default burst
+                        = rate)
     --stats             `client`: request a server metrics snapshot
+    --reload <path>     `client`: hot-swap the serving model for
+                        --device (default titan-x) from this artifact
     --shutdown          `client`: ask the server to drain and exit
     --help              show this text";
 
@@ -132,6 +151,17 @@ pub enum Command {
         cache: Option<usize>,
         /// File the bound address is written to once listening.
         port_file: Option<String>,
+        /// HTTP/1.1 gateway port (`None` = no HTTP listener; 0 = pick
+        /// a free port).
+        http_port: Option<u16>,
+        /// File the bound HTTP address is written to once listening.
+        http_port_file: Option<String>,
+        /// Concurrent-connection cap (`None` = the server default).
+        max_conns: Option<usize>,
+        /// Windowed-p99 admission target in microseconds, if enabled.
+        p99_target_us: Option<u64>,
+        /// Per-client quota as `(rate_per_sec, burst)`, if enabled.
+        quota: Option<(u32, u32)>,
     },
     /// Run the in-repo static-analysis pass (`gpufreq-analyze`).
     Analyze {
@@ -153,6 +183,9 @@ pub enum Command {
         kernel: Option<String>,
         /// Also request a `stats` snapshot.
         stats: bool,
+        /// Model artifact to hot-swap into the server for `--device`
+        /// (default titan-x), if any.
+        reload: Option<String>,
         /// Finally request a clean server shutdown.
         shutdown: bool,
     },
@@ -214,6 +247,12 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
     let mut queue: Option<usize> = None;
     let mut cache: Option<usize> = None;
     let mut port_file: Option<String> = None;
+    let mut http_port: Option<u16> = None;
+    let mut http_port_file: Option<String> = None;
+    let mut max_conns: Option<usize> = None;
+    let mut p99_target_us: Option<u64> = None;
+    let mut quota: Option<(u32, u32)> = None;
+    let mut reload: Option<String> = None;
     let mut stats = false;
     let mut shutdown = false;
     let mut check_flag = false;
@@ -273,6 +312,71 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
                 port_file = Some(
                     it.next()
                         .ok_or(ArgError("--port-file needs a value".into()))?
+                        .clone(),
+                );
+            }
+            "--http-port" => {
+                let v = it
+                    .next()
+                    .ok_or(ArgError("--http-port needs a value".into()))?;
+                http_port = Some(
+                    v.parse()
+                        .map_err(|_| ArgError(format!("invalid --http-port value `{v}`")))?,
+                );
+            }
+            "--http-port-file" => {
+                http_port_file = Some(
+                    it.next()
+                        .ok_or(ArgError("--http-port-file needs a value".into()))?
+                        .clone(),
+                );
+            }
+            "--max-conns" => {
+                let v = it
+                    .next()
+                    .ok_or(ArgError("--max-conns needs a value".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("invalid --max-conns value `{v}`")))?;
+                if n == 0 {
+                    return Err(ArgError("--max-conns must be positive".into()));
+                }
+                max_conns = Some(n);
+            }
+            "--p99-target" => {
+                let v = it
+                    .next()
+                    .ok_or(ArgError("--p99-target needs a value".into()))?;
+                let us: u64 = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("invalid --p99-target value `{v}`")))?;
+                if us == 0 {
+                    return Err(ArgError("--p99-target must be positive".into()));
+                }
+                p99_target_us = Some(us);
+            }
+            "--quota" => {
+                let v = it.next().ok_or(ArgError("--quota needs a value".into()))?;
+                // `rate` or `rate/burst`, both positive.
+                let (rate_s, burst_s) = match v.split_once('/') {
+                    Some((r, b)) => (r, Some(b)),
+                    None => (v.as_str(), None),
+                };
+                let bad = || ArgError(format!("invalid --quota value `{v}` (want rate[/burst])"));
+                let rate: u32 = rate_s.parse().map_err(|_| bad())?;
+                let burst: u32 = match burst_s {
+                    Some(b) => b.parse().map_err(|_| bad())?,
+                    None => rate,
+                };
+                if rate == 0 || burst == 0 {
+                    return Err(ArgError("--quota rate and burst must be positive".into()));
+                }
+                quota = Some((rate, burst));
+            }
+            "--reload" => {
+                reload = Some(
+                    it.next()
+                        .ok_or(ArgError("--reload needs a model path".into()))?
                         .clone(),
                 );
             }
@@ -399,6 +503,11 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
             queue,
             cache,
             port_file,
+            http_port,
+            http_port_file,
+            max_conns,
+            p99_target_us,
+            quota,
         },
         "analyze" => Command::Analyze {
             json,
@@ -413,15 +522,16 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
                 ));
             };
             let kernel = rest.first().map(|s| s.to_string());
-            if kernel.is_none() && !stats && !shutdown {
+            if kernel.is_none() && !stats && !shutdown && reload.is_none() {
                 return Err(ArgError(
-                    "`client` needs a kernel path, --stats, or --shutdown".into(),
+                    "`client` needs a kernel path, --stats, --reload, or --shutdown".into(),
                 ));
             }
             Command::Client {
                 addr: addr.to_string(),
                 kernel,
                 stats,
+                reload,
                 shutdown,
             }
         }
@@ -596,7 +706,12 @@ mod tests {
                 workers: None,
                 queue: None,
                 cache: None,
-                port_file: None
+                port_file: None,
+                http_port: None,
+                http_port_file: None,
+                max_conns: None,
+                p99_target_us: None,
+                quota: None
             }
         );
         let p = parse_args(&args(
@@ -612,7 +727,12 @@ mod tests {
                 workers: Some(2),
                 queue: Some(16),
                 cache: Some(0),
-                port_file: Some("/tmp/serve.addr".into())
+                port_file: Some("/tmp/serve.addr".into()),
+                http_port: None,
+                http_port_file: None,
+                max_conns: None,
+                p99_target_us: None,
+                quota: None
             }
         );
         assert_eq!(p.device, Some(Device::TeslaP100));
@@ -624,6 +744,50 @@ mod tests {
     }
 
     #[test]
+    fn serve_gateway_and_admission_knobs() {
+        let p = parse_args(&args(
+            "serve --http-port 0 --http-port-file /tmp/http.addr \
+             --max-conns 64 --p99-target 5000 --quota 10/20",
+        ))
+        .unwrap();
+        let Command::Serve {
+            http_port,
+            http_port_file,
+            max_conns,
+            p99_target_us,
+            quota,
+            ..
+        } = p.command
+        else {
+            panic!("expected serve, got {:?}", p.command);
+        };
+        assert_eq!(http_port, Some(0));
+        assert_eq!(http_port_file.as_deref(), Some("/tmp/http.addr"));
+        assert_eq!(max_conns, Some(64));
+        assert_eq!(p99_target_us, Some(5000));
+        assert_eq!(quota, Some((10, 20)));
+        // Bare-rate quota: burst defaults to the rate.
+        let p = parse_args(&args("serve --quota 7")).unwrap();
+        assert!(
+            matches!(
+                p.command,
+                Command::Serve {
+                    quota: Some((7, 7)),
+                    ..
+                }
+            ),
+            "{:?}",
+            p.command
+        );
+        assert!(parse_args(&args("serve --max-conns 0")).is_err());
+        assert!(parse_args(&args("serve --p99-target 0")).is_err());
+        assert!(parse_args(&args("serve --quota 0/5")).is_err());
+        assert!(parse_args(&args("serve --quota 5/0")).is_err());
+        assert!(parse_args(&args("serve --quota ten")).is_err());
+        assert!(parse_args(&args("serve --http-port abc")).is_err());
+    }
+
+    #[test]
     fn client_requires_addr_and_something_to_do() {
         let p = parse_args(&args("client 127.0.0.1:7070 k.cl --device titan-x")).unwrap();
         assert_eq!(
@@ -632,6 +796,7 @@ mod tests {
                 addr: "127.0.0.1:7070".into(),
                 kernel: Some("k.cl".into()),
                 stats: false,
+                reload: None,
                 shutdown: false
             }
         );
@@ -642,13 +807,27 @@ mod tests {
                 addr: "127.0.0.1:7070".into(),
                 kernel: None,
                 stats: true,
+                reload: None,
                 shutdown: true
+            }
+        );
+        // `--reload` alone is a valid thing to ask of the server.
+        let p = parse_args(&args("client 127.0.0.1:7070 --reload m.json")).unwrap();
+        assert_eq!(
+            p.command,
+            Command::Client {
+                addr: "127.0.0.1:7070".into(),
+                kernel: None,
+                stats: false,
+                reload: Some("m.json".into()),
+                shutdown: false
             }
         );
         let err = parse_args(&args("client")).unwrap_err();
         assert!(err.to_string().contains("server address"), "{err}");
         let err = parse_args(&args("client 127.0.0.1:7070")).unwrap_err();
         assert!(err.to_string().contains("--stats"), "{err}");
+        assert!(parse_args(&args("client 127.0.0.1:7070 --reload")).is_err());
     }
 
     #[test]

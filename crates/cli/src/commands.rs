@@ -47,22 +47,43 @@ pub fn dispatch(parsed: &ParsedArgs, out: &mut dyn Write) -> CmdResult {
             queue,
             cache,
             port_file,
+            http_port,
+            http_port_file,
+            max_conns,
+            p99_target_us,
+            quota,
         } => serve(
             parsed,
-            *port,
-            *fast,
-            *workers,
-            *queue,
-            *cache,
-            port_file.as_deref(),
+            &ServeOpts {
+                port: *port,
+                fast: *fast,
+                workers: *workers,
+                queue: *queue,
+                cache: *cache,
+                port_file: port_file.as_deref(),
+                http_port: *http_port,
+                http_port_file: http_port_file.as_deref(),
+                max_conns: *max_conns,
+                p99_target_us: *p99_target_us,
+                quota: *quota,
+            },
             out,
         ),
         Command::Client {
             addr,
             kernel,
             stats,
+            reload,
             shutdown,
-        } => client(parsed, addr, kernel.as_deref(), *stats, *shutdown, out),
+        } => client(
+            parsed,
+            addr,
+            kernel.as_deref(),
+            *stats,
+            reload.as_deref(),
+            *shutdown,
+            out,
+        ),
         Command::Analyze {
             json,
             check,
@@ -491,25 +512,31 @@ fn report(
     Ok(())
 }
 
-/// Train planners for the served devices, bind the TCP listener, and
-/// run the daemon until a `shutdown` request drains it; the final
-/// metrics summary is printed on exit. `--device` narrows serving to
-/// one device (default: every registered device); `--port 0` binds a
-/// free port — the bound address is printed (and written to
-/// `--port-file` when given) before serving starts.
-#[allow(clippy::too_many_arguments)]
-fn serve(
-    parsed: &ParsedArgs,
+/// The `serve` knobs, bundled so the runner's signature stays sane.
+struct ServeOpts<'a> {
     port: u16,
     fast: bool,
     workers: Option<usize>,
     queue: Option<usize>,
     cache: Option<usize>,
-    port_file: Option<&str>,
-    out: &mut dyn Write,
-) -> CmdResult {
-    use gpufreq_serve::{render_stats_table, Server, ServerConfig};
-    let (corpus, settings, config) = if fast {
+    port_file: Option<&'a str>,
+    http_port: Option<u16>,
+    http_port_file: Option<&'a str>,
+    max_conns: Option<usize>,
+    p99_target_us: Option<u64>,
+    quota: Option<(u32, u32)>,
+}
+
+/// Train planners for the served devices, bind the TCP listener (plus
+/// the HTTP gateway listener when `--http-port` is given), and run the
+/// daemon until a `shutdown` request drains it; the final metrics
+/// summary is printed on exit. `--device` narrows serving to one
+/// device (default: every registered device); port 0 binds a free port
+/// — bound addresses are printed (and written to `--port-file` /
+/// `--http-port-file` when given) before serving starts.
+fn serve(parsed: &ParsedArgs, opts: &ServeOpts<'_>, out: &mut dyn Write) -> CmdResult {
+    use gpufreq_serve::{render_stats_table, AdmissionConfig, Quota, Server, ServerConfig};
+    let (corpus, settings, config) = if opts.fast {
         (Corpus::Fast, parsed.settings.min(20), ModelConfig::fast())
     } else {
         (Corpus::Full, parsed.settings, ModelConfig::default())
@@ -541,17 +568,29 @@ fn serve(
     let server = Server::new(
         planners,
         ServerConfig {
-            workers: workers.unwrap_or(defaults.workers),
-            queue_capacity: queue.unwrap_or(defaults.queue_capacity),
-            cache_capacity: cache.unwrap_or(defaults.cache_capacity),
+            workers: opts.workers.unwrap_or(defaults.workers),
+            queue_capacity: opts.queue.unwrap_or(defaults.queue_capacity),
+            cache_capacity: opts.cache.unwrap_or(defaults.cache_capacity),
+            max_connections: opts.max_conns.unwrap_or(defaults.max_connections),
+            admission: AdmissionConfig {
+                p99_target_us: opts.p99_target_us,
+                quota: opts.quota.map(|(rate_per_sec, burst)| Quota {
+                    rate_per_sec,
+                    burst,
+                }),
+            },
             ..defaults
         },
     )?;
-    let listener = std::net::TcpListener::bind(("127.0.0.1", port))?;
+    let listener = std::net::TcpListener::bind(("127.0.0.1", opts.port))?;
     let addr = listener.local_addr()?;
-    if let Some(path) = port_file {
+    if let Some(path) = opts.port_file {
         std::fs::write(path, format!("{addr}\n")).map_err(|e| format!("{path}: {e}"))?;
     }
+    let http_listener = match opts.http_port {
+        Some(port) => Some(std::net::TcpListener::bind(("127.0.0.1", port))?),
+        None => None,
+    };
     writeln!(
         out,
         "listening on {addr} (devices: {})",
@@ -562,23 +601,32 @@ fn serve(
             .collect::<Vec<_>>()
             .join(", ")
     )?;
-    // The line must be visible to whoever is scripting us *before* we
+    if let Some(http) = &http_listener {
+        let http_addr = http.local_addr()?;
+        if let Some(path) = opts.http_port_file {
+            std::fs::write(path, format!("{http_addr}\n")).map_err(|e| format!("{path}: {e}"))?;
+        }
+        writeln!(out, "HTTP gateway on http://{http_addr}")?;
+    }
+    // The lines must be visible to whoever is scripting us *before* we
     // block in the accept loop.
     out.flush()?;
-    let summary = server.serve(listener)?;
+    let summary = server.serve_with_http(listener, http_listener)?;
     writeln!(out, "shutdown complete; final metrics:")?;
     write!(out, "{}", render_stats_table(&summary))?;
     Ok(())
 }
 
 /// One-shot protocol client: connect, send the requested operations in
-/// order (predict, then `--stats`, then `--shutdown`), and echo each
-/// raw JSON response line. Any error response exits non-zero.
+/// order (`--reload`, then predict, then `--stats`, then
+/// `--shutdown`), and echo each raw JSON response line. Any error
+/// response exits non-zero.
 fn client(
     parsed: &ParsedArgs,
     addr: &str,
     kernel: Option<&str>,
     stats: bool,
+    reload: Option<&str>,
     shutdown: bool,
     out: &mut dyn Write,
 ) -> CmdResult {
@@ -588,6 +636,17 @@ fn client(
     let mut writer = stream.try_clone()?;
     let mut reader = std::io::BufReader::new(stream);
     let mut requests = Vec::new();
+    if let Some(path) = reload {
+        // The path is resolved by the *server* process — pass it
+        // absolute so the swap does not depend on the daemon's cwd.
+        let path = std::path::Path::new(path)
+            .canonicalize()
+            .map_err(|e| format!("{path}: {e}"))?;
+        requests.push(Request::Reload {
+            device: parsed.device_or_default().id().to_string(),
+            path: path.to_string_lossy().into_owned(),
+        });
+    }
     if let Some(path) = kernel {
         let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         requests.push(Request::Predict {
@@ -822,6 +881,12 @@ mod tests {
             .model_config(fast_config())
             .train()
             .unwrap();
+        // Persist the same model so `--reload` has an artifact to swap
+        // in mid-run.
+        let dir = std::env::temp_dir().join("gpufreq-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let artifact = dir.join("reload-artifact.json");
+        planner.save(&artifact).unwrap();
         let server = Arc::new(
             Server::new(
                 vec![planner],
@@ -849,6 +914,16 @@ mod tests {
         let (code, out) = run_str(&format!("client {addr} {kernel} --device tesla-k20c"));
         assert_eq!(code, 1, "{out}");
         assert!(out.contains("device_not_served"), "{out}");
+        // Hot-reload the serving model from the saved artifact, then
+        // predict again on the swapped-in model.
+        let (code, out) = run_str(&format!(
+            "client {addr} {kernel} --reload {}",
+            artifact.to_string_lossy()
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"ok\":\"reload\""), "{out}");
+        assert!(out.contains("\"version\":2"), "{out}");
+        assert!(out.contains("\"ok\":\"predict\""), "{out}");
         // Stats + shutdown drain the daemon cleanly.
         let (code, out) = run_str(&format!("client {addr} --stats --shutdown"));
         assert_eq!(code, 0, "{out}");

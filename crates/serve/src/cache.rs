@@ -43,6 +43,10 @@ struct Entry {
     /// The full source, kept to verify hits under (astronomically
     /// unlikely) 64-bit hash collisions.
     source: Arc<str>,
+    /// The device the body was computed for — shard selection hashes
+    /// device and source together, so one device's entries spread over
+    /// *all* shards and invalidation must be able to match them.
+    device: Device,
     body: Arc<str>,
     tick: u64,
 }
@@ -137,7 +141,7 @@ impl FrontCache {
     /// Insert (or, on key collision, replace) the body for
     /// `(device, source)`, evicting the shard's least-recently-used
     /// entries beyond its capacity share.
-    pub fn insert(&self, key: u64, source: &str, body: Arc<str>) {
+    pub fn insert(&self, key: u64, device: Device, source: &str, body: Arc<str>) {
         if self.capacity == 0 {
             return;
         }
@@ -149,6 +153,7 @@ impl FrontCache {
             key,
             Entry {
                 source: Arc::from(source),
+                device,
                 body,
                 tick: 0, // fixed by touch() below
             },
@@ -167,6 +172,33 @@ impl FrontCache {
             // ordering: telemetry (see the counter note in `get`).
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
+    }
+
+    /// Drop every entry cached for `device` — called after a model
+    /// hot-swap so stale predictions cannot be replayed for the new
+    /// model. Shards are scanned one at a time (shard selection mixes
+    /// device and source, so the entries are spread over all of them);
+    /// concurrent inserts racing the sweep may land before or after it,
+    /// exactly as they may race the reload itself. Returns the number
+    /// of entries removed.
+    pub fn invalidate_device(&self, device: Device) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut shard = lock_shard(shard);
+            let doomed: Vec<u64> = shard
+                .entries
+                .iter()
+                .filter(|(_, e)| e.device == device)
+                .map(|(k, _)| *k)
+                .collect();
+            for key in doomed {
+                if let Some(entry) = shard.entries.remove(&key) {
+                    shard.recency.remove(&entry.tick);
+                    removed += 1;
+                }
+            }
+        }
+        removed
     }
 
     /// Total configured capacity (0 = disabled).
@@ -231,7 +263,7 @@ mod tests {
         let k_titan = key_hash(Device::TitanX, src);
         let k_p100 = key_hash(Device::TeslaP100, src);
         assert_ne!(k_titan, k_p100);
-        cache.insert(k_titan, src, body("titan-body"));
+        cache.insert(k_titan, Device::TitanX, src, body("titan-body"));
         assert_eq!(cache.get(k_titan, src).as_deref(), Some("titan-body"));
         assert_eq!(cache.get(k_p100, src), None);
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
@@ -241,9 +273,9 @@ mod tests {
     fn colliding_source_is_never_served() {
         let cache = FrontCache::new(16, 1);
         let key = 42u64; // force a synthetic collision
-        cache.insert(key, "source-a", body("a"));
+        cache.insert(key, Device::TitanX, "source-a", body("a"));
         assert_eq!(cache.get(key, "source-b"), None, "collision is a miss");
-        cache.insert(key, "source-b", body("b"));
+        cache.insert(key, Device::TitanX, "source-b", body("b"));
         assert_eq!(cache.get(key, "source-b").as_deref(), Some("b"));
         assert_eq!(cache.get(key, "source-a"), None, "last writer won");
         assert_eq!(cache.len(), 1);
@@ -252,11 +284,11 @@ mod tests {
     #[test]
     fn lru_eviction_within_a_shard() {
         let cache = FrontCache::new(2, 1);
-        cache.insert(1, "s1", body("b1"));
-        cache.insert(2, "s2", body("b2"));
+        cache.insert(1, Device::TitanX, "s1", body("b1"));
+        cache.insert(2, Device::TitanX, "s2", body("b2"));
         // Touch 1 so 2 is the LRU victim.
         assert!(cache.get(1, "s1").is_some());
-        cache.insert(3, "s3", body("b3"));
+        cache.insert(3, Device::TitanX, "s3", body("b3"));
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.evictions(), 1);
         assert!(cache.get(2, "s2").is_none(), "LRU entry evicted");
@@ -267,10 +299,42 @@ mod tests {
     #[test]
     fn zero_capacity_disables_caching() {
         let cache = FrontCache::new(0, 4);
-        cache.insert(1, "s", body("b"));
+        cache.insert(1, Device::TitanX, "s", body("b"));
         assert_eq!(cache.get(1, "s"), None);
         assert_eq!(cache.len(), 0);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn invalidate_device_sweeps_every_shard_and_spares_other_devices() {
+        let cache = FrontCache::new(64, 4);
+        // Real hashed keys so entries land on different shards.
+        for i in 0..16 {
+            let src = format!("__kernel void k{i}() {{}}");
+            cache.insert(
+                key_hash(Device::TitanX, &src),
+                Device::TitanX,
+                &src,
+                body("titan"),
+            );
+            cache.insert(
+                key_hash(Device::TeslaP100, &src),
+                Device::TeslaP100,
+                &src,
+                body("p100"),
+            );
+        }
+        assert_eq!(cache.len(), 32);
+        assert_eq!(cache.invalidate_device(Device::TitanX), 16);
+        assert_eq!(cache.len(), 16, "only the reloaded device was swept");
+        let survivor = "__kernel void k0() {}";
+        assert!(cache
+            .get(key_hash(Device::TeslaP100, survivor), survivor)
+            .is_some());
+        assert!(cache
+            .get(key_hash(Device::TitanX, survivor), survivor)
+            .is_none());
+        assert_eq!(cache.invalidate_device(Device::TitanX), 0, "idempotent");
     }
 
     #[test]

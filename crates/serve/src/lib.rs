@@ -40,18 +40,33 @@
 //! # }
 //! ```
 //!
+//! Since PR 8 the daemon is a full gateway: an optional **HTTP/1.1
+//! listener** ([`http`]) shares the same server core
+//! ([`Server::serve_with_http`]), a **connection cap** refuses (with a
+//! typed error) rather than spawning unboundedly, **admission
+//! control** ([`admission`]) sheds predict load when the rolling p99
+//! crosses a target or a client exhausts its per-IP quota, and models
+//! **hot-reload** ([`reload`]) per device without dropping
+//! connections.
+//!
 //! The CLI front ends are `gpufreq serve` / `gpufreq client`; the load
 //! generator is the `loadgen` binary of `gpufreq-bench`.
 
 #![deny(missing_docs)]
 
+pub mod admission;
 pub mod cache;
+pub mod http;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
+pub mod reload;
 pub mod server;
 
+pub use admission::{AdmissionConfig, Quota};
 pub use protocol::{
-    BatchResult, DeviceInfo, ErrorBody, ErrorCode, LatencyStats, Request, Response, ServerStats,
+    BatchResult, ConnectionStats, DeviceInfo, ErrorBody, ErrorCode, LatencyStats, Request,
+    Response, ServerStats,
 };
+pub use reload::PlannerSlot;
 pub use server::{render_stats_table, ServeError, Server, ServerConfig};

@@ -8,10 +8,11 @@
 //! needs no stored samples, no locks, and no floating point, which is
 //! all a `stats` request costs under load.
 
-use crate::protocol::{LatencyStats, RequestCounts};
+use crate::protocol::{ConnectionStats, LatencyStats, RequestCounts};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-const BUCKETS: usize = 40;
+/// Number of power-of-two latency buckets.
+pub(crate) const BUCKETS: usize = 40;
 
 /// Aggregate serving metrics; all methods take `&self` and are safe to
 /// call from every worker and connection thread concurrently.
@@ -26,6 +27,13 @@ pub struct Metrics {
     shutdown: AtomicU64,
     errors: AtomicU64,
     rejected: AtomicU64,
+    reload: AtomicU64,
+    rejected_p99: AtomicU64,
+    rejected_quota: AtomicU64,
+    conn_opened: AtomicU64,
+    conn_closed: AtomicU64,
+    conn_refused: AtomicU64,
+    conn_failed: AtomicU64,
     latency_max_us: AtomicU64,
     latency_buckets: [AtomicU64; BUCKETS],
 }
@@ -49,6 +57,13 @@ impl Metrics {
             shutdown: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            reload: AtomicU64::new(0),
+            rejected_p99: AtomicU64::new(0),
+            rejected_quota: AtomicU64::new(0),
+            conn_opened: AtomicU64::new(0),
+            conn_closed: AtomicU64::new(0),
+            conn_refused: AtomicU64::new(0),
+            conn_failed: AtomicU64::new(0),
             latency_max_us: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
@@ -95,6 +110,42 @@ impl Metrics {
         bump(&self.rejected, 1);
     }
 
+    /// Count one `reload` request (admin model hot-swap).
+    pub fn count_reload(&self) {
+        bump(&self.reload, 1);
+    }
+
+    /// Count one admission rejection caused by the windowed-p99 target.
+    pub fn count_rejected_p99(&self) {
+        bump(&self.rejected_p99, 1);
+    }
+
+    /// Count one admission rejection caused by a per-client quota.
+    pub fn count_rejected_quota(&self) {
+        bump(&self.rejected_quota, 1);
+    }
+
+    /// Count one accepted connection (line or HTTP).
+    pub fn count_conn_opened(&self) {
+        bump(&self.conn_opened, 1);
+    }
+
+    /// Count one finished connection (its thread exited).
+    pub fn count_conn_closed(&self) {
+        bump(&self.conn_closed, 1);
+    }
+
+    /// Count one connection refused at the concurrent-connection cap.
+    pub fn count_conn_refused(&self) {
+        bump(&self.conn_refused, 1);
+    }
+
+    /// Count one connection dropped because socket setup
+    /// (`try_clone`/`set_read_timeout`) failed.
+    pub fn count_conn_failed(&self) {
+        bump(&self.conn_failed, 1);
+    }
+
     /// Record one serving latency (request read → response body
     /// ready).
     pub fn observe_us(&self, us: u64) {
@@ -117,7 +168,32 @@ impl Metrics {
             shutdown: read(&self.shutdown),
             errors: read(&self.errors),
             rejected: read(&self.rejected),
+            reload: read(&self.reload),
+            rejected_p99: read(&self.rejected_p99),
+            rejected_quota: read(&self.rejected_quota),
         }
+    }
+
+    /// The connection-counter snapshot. `active` is derived
+    /// (`opened - closed`), so a connection mid-teardown may be counted
+    /// active for an instant longer — fine for a diagnostics gauge.
+    pub fn connection_counts(&self) -> ConnectionStats {
+        let opened = read(&self.conn_opened);
+        let closed = read(&self.conn_closed);
+        ConnectionStats {
+            opened,
+            closed,
+            refused: read(&self.conn_refused),
+            failed: read(&self.conn_failed),
+            active: opened.saturating_sub(closed),
+        }
+    }
+
+    /// Raw latency-histogram bucket counts — the admission controller
+    /// diffs two snapshots to compute a *windowed* p99 over recent
+    /// requests only.
+    pub fn latency_bucket_counts(&self) -> Vec<u64> {
+        self.latency_buckets.iter().map(read).collect()
     }
 
     /// The latency-histogram snapshot (p50/p95/p99 as bucket upper
@@ -155,6 +231,13 @@ fn read(counter: &AtomicU64) -> u64 {
 /// The histogram bucket for a latency of `us` microseconds.
 fn bucket_index(us: u64) -> usize {
     (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Upper-bound `q`-quantile over an explicit bucket-count vector (its
+/// total derived) — shared with the admission controller, which feeds
+/// it the *delta* between two histogram snapshots for a windowed p99.
+pub(crate) fn quantile_from_counts(counts: &[u64], q: f64) -> u64 {
+    quantile(counts, counts.iter().sum(), q)
 }
 
 /// Upper bound (µs) of the bucket the `q`-quantile falls in; 0 when

@@ -54,6 +54,15 @@ pub enum Request {
     Devices,
     /// Snapshot the server's request/cache/queue/latency metrics.
     Stats,
+    /// Hot-swap one device's model from a persisted
+    /// `ModelArtifact` path without dropping connections (admin
+    /// control-plane; in-flight requests finish on the old model).
+    Reload {
+        /// Registry id of the device whose model is replaced.
+        device: String,
+        /// Server-local filesystem path of the artifact JSON.
+        path: String,
+    },
     /// Stop accepting work, drain the queue, and exit cleanly.
     Shutdown,
 }
@@ -82,6 +91,7 @@ impl Request {
             Request::PredictBatch { .. } => "predict_batch",
             Request::Devices => "devices",
             Request::Stats => "stats",
+            Request::Reload { .. } => "reload",
             Request::Shutdown => "shutdown",
         }
     }
@@ -113,6 +123,10 @@ impl Serialize for Request {
                 entries.push(("device".into(), device.serialize()));
                 entries.push(("sources".into(), sources.serialize()));
             }
+            Request::Reload { device, path } => {
+                entries.push(("device".into(), device.serialize()));
+                entries.push(("path".into(), path.serialize()));
+            }
             Request::Devices | Request::Stats | Request::Shutdown => {}
         }
         Value::Object(entries)
@@ -134,6 +148,10 @@ impl Deserialize for Request {
             }),
             "devices" => Ok(Request::Devices),
             "stats" => Ok(Request::Stats),
+            "reload" => Ok(Request::Reload {
+                device: serde::field(entries, "device", "reload")?,
+                path: serde::field(entries, "path", "reload")?,
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(serde::Error::custom(format!("unknown op `{other}`"))),
         }
@@ -166,8 +184,18 @@ pub enum Response {
     },
     /// Answer to [`Request::Stats`].
     Stats {
-        /// The metrics snapshot.
-        stats: ServerStats,
+        /// The metrics snapshot (boxed: the snapshot is by far the
+        /// largest variant, and responses are moved around by value).
+        stats: Box<ServerStats>,
+    },
+    /// Answer to [`Request::Reload`]: the swap happened; `version`
+    /// counts swaps per device slot (1 = the model the server started
+    /// with).
+    Reload {
+        /// The device whose model was replaced.
+        device: Device,
+        /// Slot version now serving (monotonic per device).
+        version: u64,
     },
     /// Answer to [`Request::Shutdown`]: the server acknowledges, then
     /// drains and exits.
@@ -221,6 +249,11 @@ impl Serialize for Response {
                 op_entry("ok", "stats"),
                 ("stats".into(), stats.serialize()),
             ]),
+            Response::Reload { device, version } => Value::Object(vec![
+                op_entry("ok", "reload"),
+                ("device".into(), device.serialize()),
+                ("version".into(), version.serialize()),
+            ]),
             Response::Shutdown => Value::Object(vec![op_entry("ok", "shutdown")]),
             Response::Error { error } => Value::Object(vec![("error".into(), error.serialize())]),
         }
@@ -249,7 +282,11 @@ impl Deserialize for Response {
                 devices: serde::field(entries, "devices", "devices")?,
             }),
             "stats" => Ok(Response::Stats {
-                stats: serde::field(entries, "stats", "stats")?,
+                stats: Box::new(serde::field(entries, "stats", "stats")?),
+            }),
+            "reload" => Ok(Response::Reload {
+                device: serde::field(entries, "device", "reload")?,
+                version: serde::field(entries, "version", "reload")?,
             }),
             "shutdown" => Ok(Response::Shutdown),
             other => Err(serde::Error::custom(format!(
@@ -342,6 +379,9 @@ pub enum ErrorCode {
     Overloaded,
     /// The server is draining after a `shutdown` request.
     ShuttingDown,
+    /// A model hot-reload failed (unreadable artifact, wrong device);
+    /// the previous model keeps serving.
+    ReloadFailed,
     /// Any other server-side failure.
     Internal,
 }
@@ -356,18 +396,20 @@ impl ErrorCode {
             ErrorCode::Kernel => "kernel",
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::ReloadFailed => "reload_failed",
             ErrorCode::Internal => "internal",
         }
     }
 
     /// Every code, for exhaustive round-trip tests.
-    pub const ALL: [ErrorCode; 7] = [
+    pub const ALL: [ErrorCode; 8] = [
         ErrorCode::BadRequest,
         ErrorCode::UnknownDevice,
         ErrorCode::DeviceNotServed,
         ErrorCode::Kernel,
         ErrorCode::Overloaded,
         ErrorCode::ShuttingDown,
+        ErrorCode::ReloadFailed,
         ErrorCode::Internal,
     ];
 }
@@ -442,6 +484,8 @@ pub struct ServerStats {
     pub workers: usize,
     /// Serving-latency histogram summary, in microseconds.
     pub latency_us: LatencyStats,
+    /// Connection lifecycle counters (TCP + HTTP listeners).
+    pub connections: ConnectionStats,
 }
 
 /// Request counters by kind; `total` counts every protocol line seen.
@@ -464,8 +508,17 @@ pub struct RequestCounts {
     /// Requests answered with an error response (any code except
     /// `overloaded`).
     pub errors: u64,
-    /// Requests rejected with `overloaded` because the queue was full.
+    /// Requests rejected with `overloaded` — queue-full backpressure
+    /// plus both admission-control causes broken out below.
     pub rejected: u64,
+    /// `reload` requests (admin model hot-swaps).
+    pub reload: u64,
+    /// Of `rejected`: shed because the windowed p99 crossed the
+    /// configured latency target.
+    pub rejected_p99: u64,
+    /// Of `rejected`: shed because the client exhausted its per-peer
+    /// token-bucket quota.
+    pub rejected_quota: u64,
 }
 
 /// Hit/miss/eviction counters plus the current-size gauge of one
@@ -483,6 +536,24 @@ pub struct CacheStats {
     /// Maximum entries (`0` = this cache is disabled or unbounded —
     /// see `gpufreq_serve::ServerConfig`).
     pub capacity: usize,
+}
+
+/// Connection lifecycle counters across both listeners. `active` is a
+/// gauge (`opened - closed`); everything else is monotonic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnectionStats {
+    /// Connections accepted and handed to a connection thread.
+    pub opened: u64,
+    /// Connections whose thread has exited (any reason).
+    pub closed: u64,
+    /// Connections refused at the concurrent-connection cap with a
+    /// typed `overloaded` line (they are never `opened`).
+    pub refused: u64,
+    /// Accepted connections dropped because socket setup
+    /// (`try_clone`/`set_read_timeout`) failed.
+    pub failed: u64,
+    /// Connections currently being served (`opened - closed`).
+    pub active: u64,
 }
 
 /// Depth/capacity of the bounded request queue.

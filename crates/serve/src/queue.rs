@@ -10,6 +10,7 @@
 //! and drained.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// Lock a queue-structure mutex. Every lock in this module funnels
@@ -218,6 +219,9 @@ impl Slot {
 pub struct ResponseLane {
     inner: Mutex<LaneInner>,
     ready: Condvar,
+    /// Set by the writer when its socket died: the reader must stop
+    /// accepting requests for a client that can never see the answers.
+    poisoned: AtomicBool,
 }
 
 #[derive(Debug, Default)]
@@ -267,6 +271,24 @@ impl ResponseLane {
     /// can report that.
     pub fn try_next(&self) -> Option<std::sync::Arc<Slot>> {
         lock(&self.inner).slots.pop_front()
+    }
+
+    /// Mark the lane's writer as dead (its socket failed). The writer
+    /// keeps draining already-queued slots so producers never block,
+    /// but the connection's reader must stop enqueueing new work —
+    /// every response from here on is undeliverable.
+    pub fn poison(&self) {
+        // ordering: the flag is a standalone kill signal — the reader
+        // acts on the boolean alone and no other memory is published
+        // through it, so Relaxed suffices on both sides of the pair.
+        self.poisoned.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`poison`](ResponseLane::poison) was called — the
+    /// reader's cue to stop pumping requests for this connection.
+    pub fn is_poisoned(&self) -> bool {
+        // ordering: see `poison` — a lone flag, nothing published.
+        self.poisoned.load(Ordering::Relaxed)
     }
 }
 
@@ -348,5 +370,21 @@ mod tests {
     fn prefilled_slot_is_immediately_ready() {
         let slot = Slot::filled("done".into());
         assert_eq!(slot.wait(), "done");
+    }
+
+    #[test]
+    fn a_poisoned_lane_still_drains_but_reports_the_dead_writer() {
+        let lane = ResponseLane::new();
+        assert!(!lane.is_poisoned());
+        let slot = Arc::new(Slot::filled("queued before the writer died".into()));
+        lane.push(Arc::clone(&slot));
+        lane.poison();
+        assert!(lane.is_poisoned());
+        // Draining still works — only *new* work is the reader's
+        // responsibility to stop.
+        lane.close();
+        assert!(lane.next().is_some());
+        assert!(lane.next().is_none());
+        assert!(lane.is_poisoned(), "poison is sticky");
     }
 }

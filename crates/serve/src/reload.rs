@@ -1,0 +1,99 @@
+//! Hot-swappable planner slots for zero-downtime model reloads.
+//!
+//! Each served device owns one [`PlannerSlot`] — an `ArcSwap`-style
+//! cell hand-rolled on `Mutex<Arc<TrainedPlanner>>` (this workspace is
+//! dependency-free by design). A request grabs the current `Arc` once
+//! and keeps predicting on that model even if an admin swaps the slot
+//! mid-request: the old planner is only dropped when the last in-flight
+//! request releases it, so a reload never drops a connection or tears a
+//! response.
+//!
+//! The mutex is held only for the pointer clone/replace (nanoseconds),
+//! never across a prediction, so slots add no meaningful contention to
+//! the request path. The version counter exists purely so operators can
+//! tell *which* model answered (`reload` responses echo it); it
+//! synchronizes nothing.
+
+use gpufreq_core::TrainedPlanner;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One device's current model: cheap to read, atomically replaceable.
+#[derive(Debug)]
+pub struct PlannerSlot {
+    current: Mutex<Arc<TrainedPlanner>>,
+    version: AtomicU64,
+}
+
+impl PlannerSlot {
+    /// A slot serving `planner` at version 1.
+    pub fn new(planner: TrainedPlanner) -> PlannerSlot {
+        PlannerSlot {
+            current: Mutex::new(Arc::new(planner)),
+            version: AtomicU64::new(1),
+        }
+    }
+
+    /// The model currently serving. The returned `Arc` stays valid
+    /// across a concurrent [`swap`](PlannerSlot::swap) — in-flight
+    /// requests finish on the model they started with.
+    pub fn get(&self) -> Arc<TrainedPlanner> {
+        Arc::clone(&lock(&self.current))
+    }
+
+    /// Replace the model, returning the new slot version. Readers that
+    /// already hold the previous `Arc` are unaffected.
+    pub fn swap(&self, planner: TrainedPlanner) -> u64 {
+        let next = Arc::new(planner);
+        *lock(&self.current) = next;
+        // ordering: the version is operator telemetry — the planner
+        // itself is published by the mutex above, nothing reads the
+        // counter to synchronize, so Relaxed suffices.
+        self.version.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The current slot version (1 = the model the server started
+    /// with; each successful reload increments it).
+    pub fn version(&self) -> u64 {
+        // ordering: telemetry read (see `swap`).
+        self.version.load(Ordering::Relaxed)
+    }
+}
+
+/// Lock the slot mutex, propagating a poisoned-lock panic — the same
+/// policy as the queue module: a poisoned slot means another thread
+/// panicked mid-swap, and serving an indeterminate model would be
+/// worse than taking this thread down too.
+fn lock(mutex: &Mutex<Arc<TrainedPlanner>>) -> MutexGuard<'_, Arc<TrainedPlanner>> {
+    // analyze:allow(panic-in-request-path, reason = "a poisoned slot mutex means a swap panicked half-way; propagating is the only sound option")
+    mutex.lock().expect("planner slot poisoned")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpufreq_core::{Corpus, ModelConfig, Planner};
+
+    fn fast_planner() -> TrainedPlanner {
+        Planner::builder()
+            .corpus(Corpus::Fast)
+            .settings(6)
+            .model_config(ModelConfig::relaxed())
+            .train()
+            .expect("fast corpus trains")
+    }
+
+    #[test]
+    fn swap_bumps_the_version_and_old_readers_keep_their_model() {
+        let planner = fast_planner();
+        let slot = PlannerSlot::new(planner.clone());
+        assert_eq!(slot.version(), 1);
+        let held = slot.get();
+        assert_eq!(slot.swap(planner.clone()), 2);
+        assert_eq!(slot.version(), 2);
+        // The pre-swap Arc is still alive and usable.
+        assert_eq!(held.device(), slot.get().device());
+        assert!(!Arc::ptr_eq(&held, &slot.get()), "the slot moved on");
+        assert_eq!(slot.swap(planner), 3);
+    }
+}

@@ -14,7 +14,10 @@
 //! `tests/determinism.rs` at the workspace root, the serving-side twin
 //! of the engine's serial-vs-parallel contract. Cache hits replay the
 //! exact bytes that were first computed, so the front cache cannot
-//! introduce drift either.
+//! introduce drift either. Admission control (windowed-p99
+//! backpressure, per-client quotas) gates only requests arriving over
+//! a socket — the in-process replay path carries no peer and is always
+//! admitted, so the contract survives any admission configuration.
 //!
 //! Within one stream, requests after a `shutdown` are answered with a
 //! typed `shutting_down` error by the stream's own reader (not raced
@@ -23,21 +26,25 @@
 //! backpressure by *pausing the reader* on a full queue (a pipe's
 //! natural flow control), so the contract holds for streams of any
 //! length. Only genuinely concurrent effects are outside it: across
-//! *concurrent TCP connections* the shutdown point and `overloaded`
-//! rejections are inherently timing-dependent, as on any real server.
+//! *concurrent TCP connections* the shutdown point, `overloaded`
+//! rejections, and the visibility point of a model hot-swap are
+//! inherently timing-dependent, as on any real server.
 
+use crate::admission::{Admission, AdmissionConfig, Rejection};
 use crate::cache::{key_hash, FrontCache};
 use crate::metrics::Metrics;
 use crate::protocol::{
     CacheStats, DeviceInfo, ErrorBody, ErrorCode, QueueStats, Request, Response, ServerStats,
 };
 use crate::queue::{BoundedQueue, PushError, ResponseLane, Slot};
+use crate::reload::PlannerSlot;
 use gpufreq_core::{ascii_table, ProfileCache, TrainedPlanner};
 use gpufreq_sim::Device;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{IpAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::thread::Scope;
 use std::time::{Duration, Instant};
 
 /// How often the nonblocking accept loop re-checks the shutdown flag.
@@ -45,14 +52,14 @@ const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
 /// Read timeout on accepted sockets, so connection readers notice a
 /// server-wide shutdown even while their client is idle.
-const READ_POLL: Duration = Duration::from_millis(200);
+pub(crate) const READ_POLL: Duration = Duration::from_millis(200);
 
 /// Requests larger than this are answered with `bad_request` instead
 /// of being parsed (a kernel source is kilobytes; a megabyte line is
 /// not a kernel). The pump discards — never buffers — bytes beyond
 /// the bound, so oversized (or newline-less) input cannot grow server
-/// memory.
-const MAX_LINE_BYTES: usize = 4 << 20;
+/// memory. The HTTP gateway applies the same bound to request bodies.
+pub(crate) const MAX_LINE_BYTES: usize = 4 << 20;
 
 /// The `bad_request` body for a line crossing [`MAX_LINE_BYTES`].
 fn oversize_error() -> ErrorBody {
@@ -89,11 +96,19 @@ pub struct ServerConfig {
     /// Entry bound of the shared kernel-analysis cache (0 =
     /// unbounded).
     pub analysis_cache_capacity: usize,
+    /// Concurrent-connection cap across both listeners (minimum 1).
+    /// Connections past the bound receive a typed `overloaded`
+    /// refusal and are closed instead of spawning an unbounded thread.
+    pub max_connections: usize,
+    /// Admission-control gates (windowed-p99 target, per-client
+    /// quotas); both default to off.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServerConfig {
     /// All cores (capped at 8) workers, a 256-deep queue, a 4096-entry
-    /// front cache over 16 shards, a 1024-entry analysis cache.
+    /// front cache over 16 shards, a 1024-entry analysis cache, a
+    /// 256-connection cap, admission gates off.
     fn default() -> ServerConfig {
         ServerConfig {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
@@ -101,6 +116,8 @@ impl Default for ServerConfig {
             cache_capacity: 4096,
             cache_shards: 16,
             analysis_cache_capacity: 1024,
+            max_connections: 256,
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -127,6 +144,15 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// Which protocol an accepted socket speaks.
+#[derive(Debug, Clone, Copy)]
+enum ConnKind {
+    /// The canonical JSON-lines protocol.
+    Line,
+    /// The HTTP/1.1 gateway.
+    Http,
+}
+
 /// One queued unit of work: the parsed request, the slot its response
 /// body goes into, and when it was accepted (for the latency
 /// histogram).
@@ -144,16 +170,22 @@ struct Job {
 /// [`Planner::builder`](gpufreq_core::Planner::builder) or load
 /// persisted artifacts); the server pins each planner's engine serial
 /// — parallelism comes from the worker pool, one request per worker —
-/// and re-homes them onto one shared, bounded analysis cache.
+/// and re-homes them onto one shared, bounded analysis cache. Each
+/// planner lives in a hot-swappable [`PlannerSlot`], so a `reload`
+/// request can replace one device's model from a saved artifact
+/// without dropping a single connection.
 #[derive(Debug)]
 pub struct Server {
-    planners: Vec<(Device, TrainedPlanner)>,
+    planners: Vec<(Device, PlannerSlot)>,
     analysis_cache: Arc<ProfileCache>,
     front: FrontCache,
     metrics: Metrics,
     queue: BoundedQueue<Job>,
+    admission: Admission,
     shutting_down: AtomicBool,
     workers: usize,
+    max_connections: usize,
+    active_connections: AtomicUsize,
 }
 
 impl Server {
@@ -172,7 +204,7 @@ impl Server {
         } else {
             ProfileCache::with_capacity(config.analysis_cache_capacity)
         });
-        let mut keyed: Vec<(Device, TrainedPlanner)> = Vec::with_capacity(planners.len());
+        let mut keyed: Vec<(Device, PlannerSlot)> = Vec::with_capacity(planners.len());
         for planner in planners {
             let device = planner.device();
             if keyed.iter().any(|(d, _)| *d == device) {
@@ -180,9 +212,11 @@ impl Server {
             }
             keyed.push((
                 device,
-                planner
-                    .with_jobs(Some(1))
-                    .with_cache(Arc::clone(&analysis_cache)),
+                PlannerSlot::new(
+                    planner
+                        .with_jobs(Some(1))
+                        .with_cache(Arc::clone(&analysis_cache)),
+                ),
             ));
         }
         Ok(Server {
@@ -191,8 +225,11 @@ impl Server {
             front: FrontCache::new(config.cache_capacity, config.cache_shards),
             metrics: Metrics::new(),
             queue: BoundedQueue::new(config.queue_capacity),
+            admission: Admission::new(config.admission),
             shutting_down: AtomicBool::new(false),
             workers: config.workers.max(1),
+            max_connections: config.max_connections.max(1),
+            active_connections: AtomicUsize::new(0),
         })
     }
 
@@ -224,6 +261,7 @@ impl Server {
     pub fn stats(&self) -> ServerStats {
         ServerStats {
             requests: self.metrics.request_counts(),
+            connections: self.metrics.connection_counts(),
             front_cache: CacheStats {
                 hits: self.front.hits(),
                 misses: self.front.misses(),
@@ -251,15 +289,17 @@ impl Server {
     // Request execution
     // ------------------------------------------------------------------
 
-    /// Resolve a wire device id to a served planner.
-    fn resolve(&self, id: &str) -> Result<(Device, &TrainedPlanner), ErrorBody> {
+    /// Resolve a wire device id to a served planner. The returned
+    /// `Arc` pins the model for the duration of this request even if a
+    /// concurrent `reload` swaps the slot.
+    fn resolve(&self, id: &str) -> Result<(Device, Arc<TrainedPlanner>), ErrorBody> {
         let device: Device = id
             .parse()
             .map_err(|e| ErrorBody::new(ErrorCode::UnknownDevice, format!("{e}")))?;
         self.planners
             .iter()
             .find(|(d, _)| *d == device)
-            .map(|(d, p)| (*d, p))
+            .map(|(d, slot)| (*d, slot.get()))
             .ok_or_else(|| {
                 ErrorBody::new(
                     ErrorCode::DeviceNotServed,
@@ -273,6 +313,44 @@ impl Server {
                     ),
                 )
             })
+    }
+
+    /// Hot-swap one device's model from a saved artifact at `path`:
+    /// load + validate the artifact, re-home it onto the shared
+    /// analysis cache, swap the slot, and invalidate the device's
+    /// front-cache entries so stale bytes cannot be replayed for the
+    /// new model. In-flight requests finish on the model they resolved.
+    fn reload_model(&self, device_id: &str, path: &str) -> Result<(Device, u64), ErrorBody> {
+        let device: Device = device_id
+            .parse()
+            .map_err(|e| ErrorBody::new(ErrorCode::UnknownDevice, format!("{e}")))?;
+        let slot = self
+            .planners
+            .iter()
+            .find(|(d, _)| *d == device)
+            .map(|(_, slot)| slot)
+            .ok_or_else(|| {
+                ErrorBody::new(
+                    ErrorCode::DeviceNotServed,
+                    format!("no model loaded for `{device}`; reload cannot add devices"),
+                )
+            })?;
+        let planner = TrainedPlanner::load_for_device(path, device)
+            .map_err(|e| ErrorBody::new(ErrorCode::ReloadFailed, format!("{e}")))?
+            .with_jobs(Some(1))
+            .with_cache(Arc::clone(&self.analysis_cache));
+        let version = slot.swap(planner);
+        self.front.invalidate_device(device);
+        Ok((device, version))
+    }
+
+    /// Execute a `reload` to its serialized response body, counted.
+    fn reload_body(&self, device: &str, path: &str) -> String {
+        self.metrics.count_reload();
+        match self.reload_model(device, path) {
+            Ok((device, version)) => Response::Reload { device, version }.to_json(),
+            Err(e) => self.error_response(e),
+        }
     }
 
     /// The cached compact-JSON `ParetoPrediction` fragment for one
@@ -294,7 +372,8 @@ impl Server {
             // building a value tree per response.
             Ok(prediction) => {
                 let fragment: Arc<str> = Arc::from(prediction.to_compact_json().as_str());
-                self.front.insert(key, source, Arc::clone(&fragment));
+                self.front
+                    .insert(key, device, source, Arc::clone(&fragment));
                 Ok(fragment)
             }
             Err(e) => Err(ErrorBody::new(ErrorCode::Kernel, format!("{e}"))),
@@ -303,7 +382,8 @@ impl Server {
 
     /// Execute a request into a typed [`Response`] (no front cache, no
     /// metrics) — the reference semantics the fast path is pinned
-    /// against, and the API in-process callers use.
+    /// against, and the API in-process callers use. `reload` performs
+    /// the actual hot-swap (it is a side-effectful admin verb).
     pub fn handle(&self, request: &Request) -> Response {
         match request {
             Request::Predict { device, source } => match self.resolve(device) {
@@ -334,7 +414,8 @@ impl Server {
                 devices: self
                     .planners
                     .iter()
-                    .map(|(device, planner)| {
+                    .map(|(device, slot)| {
+                        let planner = slot.get();
                         let spec = planner.simulator().spec();
                         DeviceInfo {
                             id: device.id().to_string(),
@@ -346,7 +427,11 @@ impl Server {
                     .collect(),
             },
             Request::Stats => Response::Stats {
-                stats: self.stats(),
+                stats: Box::new(self.stats()),
+            },
+            Request::Reload { device, path } => match self.reload_model(device, path) {
+                Ok((device, version)) => Response::Reload { device, version },
+                Err(e) => e.into_response(),
             },
             Request::Shutdown => Response::Shutdown,
         }
@@ -358,6 +443,15 @@ impl Server {
         error.into_response().to_json()
     }
 
+    /// Count and serialize a request that failed before it parsed into
+    /// a protocol [`Request`] — the HTTP gateway's analogue of a
+    /// malformed protocol line (unroutable path, wrong method, bad
+    /// body), so both surfaces tally malformed traffic identically.
+    pub(crate) fn malformed_request_body(&self, error: ErrorBody) -> String {
+        self.metrics.count_line();
+        self.error_response(error)
+    }
+
     /// Execute a request to its serialized response body — the worker
     /// path: metrics are counted, predictions go through the front
     /// cache, `shutdown` flips the server into draining.
@@ -367,7 +461,7 @@ impl Server {
                 self.metrics.count_predict();
                 match self.resolve(device) {
                     Ok((device, planner)) => {
-                        match self.prediction_fragment(device, planner, source) {
+                        match self.prediction_fragment(device, &planner, source) {
                             Ok(fragment) => format!(
                                 "{{\"ok\":\"predict\",\"device\":\"{}\",\"prediction\":{}}}",
                                 device.id(),
@@ -391,7 +485,7 @@ impl Server {
                             if i > 0 {
                                 body.push(',');
                             }
-                            match self.prediction_fragment(device, planner, source) {
+                            match self.prediction_fragment(device, &planner, source) {
                                 Ok(fragment) => {
                                     body.push_str("{\"prediction\":");
                                     body.push_str(&fragment);
@@ -422,12 +516,44 @@ impl Server {
                 self.metrics.count_stats();
                 self.handle(request).to_json()
             }
+            Request::Reload { device, path } => self.reload_body(device, path),
             Request::Shutdown => {
                 self.metrics.count_shutdown();
                 self.initiate_shutdown();
                 Response::Shutdown.to_json()
             }
         }
+    }
+
+    /// Run the admission gates for `request` from `peer`, returning
+    /// the serialized refusal body when a gate rejects. Only predict
+    /// work from an actual socket peer is gated: control-plane verbs
+    /// must stay reachable on an overloaded server, and the in-process
+    /// replay path (`peer` = `None`) must stay deterministic.
+    fn admission_error(&self, request: &Request, peer: Option<IpAddr>) -> Option<String> {
+        if !matches!(
+            request,
+            Request::Predict { .. } | Request::PredictBatch { .. }
+        ) {
+            return None;
+        }
+        let rejection = self.admission.admit(peer, &self.metrics)?;
+        self.metrics.count_rejected();
+        let message = match rejection {
+            Rejection::P99 => {
+                self.metrics.count_rejected_p99();
+                "rolling p99 latency is over target; retry later"
+            }
+            Rejection::Quota => {
+                self.metrics.count_rejected_quota();
+                "per-client request quota exhausted; slow down"
+            }
+        };
+        Some(
+            ErrorBody::new(ErrorCode::Overloaded, message)
+                .into_response()
+                .to_json(),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -472,19 +598,75 @@ impl Server {
         job.slot.fill(body);
     }
 
+    /// Execute one already-parsed request synchronously on the calling
+    /// thread — the HTTP gateway's entry point. Control-plane verbs
+    /// (`shutdown`, `reload`) run inline; everything else goes through
+    /// the shared queue + worker pool with the same admission and
+    /// backpressure semantics as the line protocol.
+    pub(crate) fn execute_direct(&self, request: Request, peer: Option<IpAddr>) -> String {
+        self.metrics.count_line();
+        let accepted = Instant::now();
+        let done = |body: String| {
+            self.metrics
+                .observe_us(accepted.elapsed().as_micros() as u64);
+            body
+        };
+        if let Request::Reload { device, path } = &request {
+            return done(self.reload_body(device, path));
+        }
+        if matches!(request, Request::Shutdown) {
+            self.metrics.count_shutdown();
+            self.initiate_shutdown();
+            return done(Response::Shutdown.to_json());
+        }
+        if let Some(body) = self.admission_error(&request, peer) {
+            return done(body);
+        }
+        let slot = Arc::new(Slot::new());
+        let job = Job {
+            request,
+            slot: Arc::clone(&slot),
+            accepted,
+        };
+        match self.queue.try_push(job) {
+            // The worker records the latency when it fills the slot.
+            Ok(()) => slot.wait(),
+            Err((_, PushError::Full)) => {
+                self.metrics.count_rejected();
+                done(
+                    ErrorBody::new(
+                        ErrorCode::Overloaded,
+                        format!(
+                            "request queue is full ({} queued); retry later",
+                            self.queue.capacity()
+                        ),
+                    )
+                    .into_response()
+                    .to_json(),
+                )
+            }
+            Err((_, PushError::Closed)) => done(self.error_response(ErrorBody::new(
+                ErrorCode::ShuttingDown,
+                "server is shutting down",
+            ))),
+        }
+    }
+
     /// Accept one protocol line: parse, enqueue (or answer inline),
     /// and push the response slot onto the connection's in-order lane.
     ///
     /// `wait_for_space` selects the backpressure flavor: single-stream
     /// replay pauses the reader on a full queue (so replayed responses
     /// never depend on worker timing), while TCP connections reject
-    /// with `overloaded` (the acceptor must never block).
+    /// with `overloaded` (the acceptor must never block). `peer` feeds
+    /// the admission gates; `None` (replay) is always admitted.
     fn accept_line(
         &self,
         line: &str,
         lane: &ResponseLane,
         local_shutdown: &mut bool,
         wait_for_space: bool,
+        peer: Option<IpAddr>,
     ) {
         self.metrics.count_line();
         let accepted = Instant::now();
@@ -528,6 +710,22 @@ impl Server {
             self.metrics
                 .observe_us(accepted.elapsed().as_micros() as u64);
             lane.push(Arc::new(Slot::filled(Response::Shutdown.to_json())));
+            return;
+        }
+        if let Request::Reload { device, path } = &request {
+            // Control-plane like `shutdown`: a model hot-swap must not
+            // lose a race against a full data-plane queue, so it runs
+            // inline on the connection's reader thread.
+            let body = self.reload_body(device, path);
+            self.metrics
+                .observe_us(accepted.elapsed().as_micros() as u64);
+            lane.push(Arc::new(Slot::filled(body)));
+            return;
+        }
+        if let Some(body) = self.admission_error(&request, peer) {
+            self.metrics
+                .observe_us(accepted.elapsed().as_micros() as u64);
+            lane.push(Arc::new(Slot::filled(body)));
             return;
         }
         let slot = Arc::new(Slot::new());
@@ -576,12 +774,26 @@ impl Server {
     /// crosses [`MAX_LINE_BYTES`] the rest of it is *discarded as it
     /// streams in* (never accumulated), and the finished line is
     /// answered with a typed `bad_request` — a newline-less firehose
-    /// cannot grow server memory.
-    fn pump<R: BufRead>(&self, mut reader: R, lane: &ResponseLane, wait_for_space: bool) {
+    /// cannot grow server memory. A poisoned lane (the connection's
+    /// writer died) stops the pump: answers for a dead client are
+    /// undeliverable, so reading more requests for it is pure waste.
+    fn pump<R: BufRead>(
+        &self,
+        mut reader: R,
+        lane: &ResponseLane,
+        wait_for_space: bool,
+        peer: Option<IpAddr>,
+    ) {
         let mut buf: Vec<u8> = Vec::new();
         let mut overflowed = false;
         let mut local_shutdown = false;
         loop {
+            if lane.is_poisoned() {
+                // Regression guard: the writer's socket failed; without
+                // this check the reader kept parsing and enqueueing work
+                // whose responses could never be delivered.
+                break;
+            }
             let (consumed, complete) = match reader.fill_buf() {
                 Ok([]) => {
                     // EOF: a final unterminated line is still a request.
@@ -592,6 +804,7 @@ impl Server {
                             lane,
                             &mut local_shutdown,
                             wait_for_space,
+                            peer,
                         );
                     }
                     break;
@@ -632,6 +845,7 @@ impl Server {
                     lane,
                     &mut local_shutdown,
                     wait_for_space,
+                    peer,
                 );
             }
             // TCP only: a client that keeps streaming must not pin its
@@ -657,6 +871,7 @@ impl Server {
         lane: &ResponseLane,
         local_shutdown: &mut bool,
         wait_for_space: bool,
+        peer: Option<IpAddr>,
     ) {
         let line_bytes = std::mem::take(buf);
         if std::mem::take(overflowed) {
@@ -676,7 +891,7 @@ impl Server {
         };
         let line = line.trim();
         if !line.is_empty() {
-            self.accept_line(line, lane, local_shutdown, wait_for_space);
+            self.accept_line(line, lane, local_shutdown, wait_for_space, peer);
         }
     }
 
@@ -703,7 +918,7 @@ impl Server {
             // Single-stream replay: pause the reader on a full queue
             // instead of rejecting, so the replayed bytes stay
             // independent of worker timing at any stream length.
-            self.pump(reader, &lane, true);
+            self.pump(reader, &lane, true, None);
             lane.close();
             // analyze:allow(panic-in-request-path, reason = "join() only errors if the writer itself panicked; re-raising that panic is the faithful report")
             let result = writer_thread.join().expect("writer thread panicked");
@@ -720,8 +935,10 @@ impl Server {
     /// body and its newline go out in a single write, and any further
     /// responses that are already finished ride along in the same
     /// write (bounded) — a pipelining client wakes once per batch
-    /// instead of once per line. Write errors stop writing but keep
-    /// draining, so producers never block.
+    /// instead of once per line. The first write error poisons the
+    /// lane (so the connection's reader stops accepting new work for a
+    /// client that can never see the answers) but draining continues,
+    /// so producers never block on a dead connection.
     fn write_lane<W: Write>(lane: &ResponseLane, mut writer: W) -> io::Result<()> {
         /// Stop coalescing once a batch reaches this many bytes.
         const BATCH_BYTES: usize = 256 * 1024;
@@ -750,28 +967,155 @@ impl Server {
             }
             if result.is_ok() {
                 result = writer.write_all(&buf).and_then(|()| writer.flush());
+                if result.is_err() {
+                    lane.poison();
+                }
             }
         }
         result
     }
 
     /// Handle one accepted TCP connection: reader + in-order writer.
-    fn connection(&self, stream: TcpStream) -> io::Result<()> {
-        stream.set_nonblocking(false)?;
-        stream.set_nodelay(true).ok();
-        stream.set_read_timeout(Some(READ_POLL))?;
-        let reader = BufReader::new(stream.try_clone()?);
+    ///
+    /// Socket setup (`try_clone`, timeouts) can fail under fd
+    /// pressure; such connections are dropped, **counted**
+    /// (`conn_failed` in the stats), and logged once per process —
+    /// they used to vanish silently through `?`.
+    fn connection(&self, stream: TcpStream, peer: Option<IpAddr>) {
+        let setup = (|| -> io::Result<(BufReader<TcpStream>, TcpStream)> {
+            stream.set_nonblocking(false)?;
+            stream.set_nodelay(true).ok();
+            stream.set_read_timeout(Some(READ_POLL))?;
+            let reader = BufReader::new(stream.try_clone()?);
+            Ok((reader, stream))
+        })();
+        let (reader, writer) = match setup {
+            Ok(pair) => pair,
+            Err(e) => {
+                self.note_setup_failure(&e);
+                return;
+            }
+        };
         let lane = ResponseLane::new();
         std::thread::scope(|s| {
             let lane_ref = &lane;
-            let writer_thread = s.spawn(move || Server::write_lane(lane_ref, stream));
+            let writer_thread = s.spawn(move || Server::write_lane(lane_ref, writer));
             // TCP: never block the shared acceptor path on a full
             // queue — reject with `overloaded`.
-            self.pump(reader, &lane, false);
+            self.pump(reader, &lane, false, peer);
             lane.close();
             // analyze:allow(panic-in-request-path, reason = "join() only errors if the connection writer panicked; re-raising is the faithful report")
-            writer_thread.join().expect("connection writer panicked")
-        })
+            let _ = writer_thread.join().expect("connection writer panicked");
+        });
+    }
+
+    /// Record a connection dropped because socket setup failed, and
+    /// log the first occurrence (one line per process, not one per
+    /// victim — fd exhaustion would otherwise spam the log).
+    pub(crate) fn note_setup_failure(&self, error: &io::Error) {
+        self.metrics.count_conn_failed();
+        static LOGGED: std::sync::Once = std::sync::Once::new();
+        LOGGED.call_once(|| {
+            eprintln!(
+                "[gpufreq-serve] dropping connection: socket setup failed: {error} \
+                 (further occurrences counted as conn_failed, not logged)"
+            );
+        });
+    }
+
+    /// Try to claim a connection slot under the cap. On success the
+    /// caller owns one decrement (performed when the connection thread
+    /// exits).
+    fn claim_connection_slot(&self) -> bool {
+        let gate = &self.active_connections;
+        let claim = |n: usize| (n < self.max_connections).then_some(n + 1);
+        // ordering: the active-connection gate is a self-contained
+        // counter — no other memory is published through it (each
+        // connection's state is created by the thread that owns it),
+        // so the RMW and the paired decrement can both be Relaxed; the
+        // fetch_update CAS alone guarantees the cap is never crossed.
+        gate.fetch_update(Ordering::Relaxed, Ordering::Relaxed, claim)
+            .is_ok()
+    }
+
+    /// Refuse a connection past the cap: count it and make a
+    /// best-effort attempt to deliver a typed `overloaded` refusal
+    /// (JSON line or HTTP 503, by listener) before dropping the
+    /// socket. The write is nonblocking so a victim's socket can never
+    /// stall the shared acceptor; the payload is far below any send
+    /// buffer, so it lands whole or the peer was unreachable anyway.
+    fn refuse_connection(&self, mut stream: TcpStream, kind: ConnKind) {
+        self.metrics.count_conn_refused();
+        let body = ErrorBody::new(
+            ErrorCode::Overloaded,
+            format!(
+                "connection cap reached ({} active); retry later",
+                self.max_connections
+            ),
+        )
+        .into_response()
+        .to_json();
+        let payload = match kind {
+            ConnKind::Line => format!("{body}\n"),
+            ConnKind::Http => crate::http::refusal_payload(&body),
+        };
+        stream.set_nonblocking(true).ok();
+        let _ = stream.write_all(payload.as_bytes());
+    }
+
+    /// Gate one accepted socket through the connection cap and spawn
+    /// its handler thread into `scope`.
+    fn dispatch<'scope, 'env>(
+        &'env self,
+        scope: &'scope Scope<'scope, 'env>,
+        stream: TcpStream,
+        peer: IpAddr,
+        kind: ConnKind,
+    ) {
+        if !self.claim_connection_slot() {
+            self.refuse_connection(stream, kind);
+            return;
+        }
+        self.metrics.count_conn_opened();
+        scope.spawn(move || {
+            match kind {
+                ConnKind::Line => self.connection(stream, Some(peer)),
+                ConnKind::Http => crate::http::serve_http_connection(self, stream, peer),
+            }
+            // ordering: see `claim_connection_slot` — a bare counter.
+            self.active_connections.fetch_sub(1, Ordering::Relaxed);
+            self.metrics.count_conn_closed();
+        });
+    }
+
+    /// Accept sockets from `listener` until shutdown, dispatching each
+    /// through the connection cap. Runs for both the JSON-lines
+    /// listener and the optional HTTP listener; both share the cap,
+    /// the worker pool, and the caches.
+    fn accept_loop<'scope, 'env>(
+        &'env self,
+        scope: &'scope Scope<'scope, 'env>,
+        listener: &TcpListener,
+        kind: ConnKind,
+    ) {
+        loop {
+            if self.is_shutting_down() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, peer)) => self.dispatch(scope, stream, peer.ip(), kind),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // A transient accept failure must not kill the
+                    // daemon; log and keep serving.
+                    eprintln!("[gpufreq-serve] accept error: {e}");
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+            }
+        }
     }
 
     /// Serve TCP connections on `listener` until a `shutdown` request
@@ -780,33 +1124,31 @@ impl Server {
     /// Each connection gets its own reader and in-order writer thread;
     /// all of them share the worker pool, queue, caches and metrics.
     pub fn serve(&self, listener: TcpListener) -> io::Result<ServerStats> {
+        self.serve_with_http(listener, None)
+    }
+
+    /// Like [`serve`](Server::serve), with an optional second listener
+    /// answering the HTTP/1.1 gateway (see [`crate::http`]). Both
+    /// listeners share one server core: the same worker pool, queue,
+    /// caches, metrics, admission gates, and connection cap — a
+    /// `shutdown` from either side drains both.
+    pub fn serve_with_http(
+        &self,
+        listener: TcpListener,
+        http: Option<TcpListener>,
+    ) -> io::Result<ServerStats> {
         listener.set_nonblocking(true)?;
+        if let Some(h) = &http {
+            h.set_nonblocking(true)?;
+        }
         std::thread::scope(|s| {
             for _ in 0..self.workers {
                 s.spawn(|| self.worker_loop());
             }
-            loop {
-                if self.is_shutting_down() {
-                    break;
-                }
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        s.spawn(move || {
-                            let _ = self.connection(stream);
-                        });
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(ACCEPT_POLL);
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                    Err(e) => {
-                        // A transient accept failure must not kill the
-                        // daemon; log and keep serving.
-                        eprintln!("[gpufreq-serve] accept error: {e}");
-                        std::thread::sleep(ACCEPT_POLL);
-                    }
-                }
+            if let Some(http) = &http {
+                s.spawn(move || self.accept_loop(s, http, ConnKind::Http));
             }
+            self.accept_loop(s, &listener, ConnKind::Line);
             // Shutdown: the queue is closed, workers drain and exit,
             // connection threads notice the flag at their next read
             // timeout; the scope joins them all.
@@ -819,6 +1161,7 @@ impl Server {
 /// table the CLI prints on exit and `loadgen` prints per mix.
 pub fn render_stats_table(stats: &ServerStats) -> String {
     let r = &stats.requests;
+    let c = &stats.connections;
     let hit_rate = |hits: u64, misses: u64| -> String {
         let total = hits + misses;
         if total == 0 {
@@ -836,6 +1179,19 @@ pub fn render_stats_table(stats: &ServerStats) -> String {
         ],
         vec!["  errors".into(), r.errors.to_string()],
         vec!["  rejected (overloaded)".into(), r.rejected.to_string()],
+        vec![
+            "    by p99 target / quota".into(),
+            format!("{}/{}", r.rejected_p99, r.rejected_quota),
+        ],
+        vec!["  reload".into(), r.reload.to_string()],
+        vec![
+            "connections opened/active".into(),
+            format!("{}/{}", c.opened, c.active),
+        ],
+        vec![
+            "connections refused/failed".into(),
+            format!("{}/{}", c.refused, c.failed),
+        ],
         vec![
             "front cache hit rate".into(),
             hit_rate(stats.front_cache.hits, stats.front_cache.misses),
@@ -872,7 +1228,9 @@ pub fn render_stats_table(stats: &ServerStats) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::admission::Quota;
     use gpufreq_core::{Corpus, ModelConfig, Planner};
+    use std::net::Ipv4Addr;
     use std::sync::OnceLock;
 
     const SAXPY: &str = "__kernel void saxpy(__global float* x, __global float* y, float a) {
@@ -907,6 +1265,8 @@ mod tests {
             cache_capacity: 64,
             cache_shards: 4,
             analysis_cache_capacity: 32,
+            max_connections: 32,
+            admission: AdmissionConfig::default(),
         }
     }
 
@@ -1084,8 +1444,8 @@ mod tests {
         let lane = ResponseLane::new();
         let mut local_shutdown = false;
         let line = Request::Devices.to_json();
-        server.accept_line(&line, &lane, &mut local_shutdown, false);
-        server.accept_line(&line, &lane, &mut local_shutdown, false);
+        server.accept_line(&line, &lane, &mut local_shutdown, false, None);
+        server.accept_line(&line, &lane, &mut local_shutdown, false, None);
         lane.close();
         let first = lane.next().unwrap();
         let second = lane.next().unwrap();
@@ -1100,6 +1460,163 @@ mod tests {
             Response::parse(&first.wait()).unwrap(),
             Response::Devices { .. }
         ));
+    }
+
+    #[test]
+    fn a_dead_writer_poisons_the_lane_and_the_pump_stops_feeding_it() {
+        // Regression: write_lane used to swallow socket errors while
+        // the connection's reader kept parsing and enqueueing requests
+        // whose answers could never be delivered.
+        struct FailingWriter {
+            remaining: usize,
+        }
+        impl Write for FailingWriter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.remaining == 0 {
+                    return Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer went away"));
+                }
+                let n = buf.len().min(self.remaining);
+                self.remaining -= n;
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let lane = ResponseLane::new();
+        lane.push(Arc::new(Slot::filled("first response body".into())));
+        lane.push(Arc::new(Slot::filled("second response body".into())));
+        lane.close();
+        // The writer dies 4 bytes into the first body: the error must
+        // be reported, the lane poisoned, and the rest still drained.
+        let result = Server::write_lane(&lane, FailingWriter { remaining: 4 });
+        assert_eq!(result.unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+        assert!(lane.is_poisoned(), "write error poisons the lane");
+        assert!(lane.next().is_none(), "queued slots were still drained");
+        // And the pump refuses to feed a poisoned lane: none of these
+        // perfectly valid requests may be accepted for a dead client.
+        let server = server(small_config());
+        let stream = format!(
+            "{}\n{}\n",
+            Request::Devices.to_json(),
+            Request::Devices.to_json()
+        );
+        server.pump(stream.as_bytes(), &lane, false, None);
+        assert_eq!(
+            server.stats().requests.total,
+            0,
+            "no request accepted once the writer is known dead"
+        );
+    }
+
+    #[test]
+    fn socket_setup_failures_are_counted() {
+        // `connection()` used to bail through `?` on try_clone /
+        // set_read_timeout errors — invisible in the stats.
+        let server = server(small_config());
+        server.note_setup_failure(&io::Error::other("synthetic fd-pressure failure"));
+        let conns = server.stats().connections;
+        assert_eq!(conns.failed, 1);
+        assert_eq!(conns.opened, 0);
+        assert_eq!(conns.active, 0);
+    }
+
+    #[test]
+    fn per_client_quota_rejects_only_the_chatty_peer() {
+        let server = server(ServerConfig {
+            admission: AdmissionConfig {
+                p99_target_us: None,
+                quota: Some(Quota {
+                    rate_per_sec: 1,
+                    burst: 2,
+                }),
+            },
+            ..small_config()
+        });
+        let lane = ResponseLane::new();
+        let mut local_shutdown = false;
+        let line = Request::predict(Device::TitanX, SAXPY).to_json();
+        let chatty = Some(IpAddr::V4(Ipv4Addr::new(127, 0, 0, 1)));
+        let other = Some(IpAddr::V4(Ipv4Addr::new(127, 0, 0, 2)));
+        server.accept_line(&line, &lane, &mut local_shutdown, false, chatty);
+        server.accept_line(&line, &lane, &mut local_shutdown, false, chatty);
+        server.accept_line(&line, &lane, &mut local_shutdown, false, chatty); // over burst
+        server.accept_line(&line, &lane, &mut local_shutdown, false, other);
+        lane.close();
+        // Three jobs were queued (1st, 2nd, 4th); drain them by hand.
+        server.worker_drain_one();
+        server.worker_drain_one();
+        server.worker_drain_one();
+        let bodies: Vec<String> = std::iter::from_fn(|| lane.next())
+            .map(|s| s.wait())
+            .collect();
+        assert_eq!(bodies.len(), 4);
+        assert!(matches!(
+            Response::parse(&bodies[0]).unwrap(),
+            Response::Predict { .. }
+        ));
+        assert!(matches!(
+            Response::parse(&bodies[1]).unwrap(),
+            Response::Predict { .. }
+        ));
+        let refused = Response::parse(&bodies[2]).unwrap();
+        assert_eq!(refused.error().unwrap().code, ErrorCode::Overloaded);
+        assert!(refused.error().unwrap().message.contains("quota"));
+        assert!(matches!(
+            Response::parse(&bodies[3]).unwrap(),
+            Response::Predict { .. }
+        ));
+        let stats = server.stats().requests;
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.rejected_quota, 1);
+        assert_eq!(stats.rejected_p99, 0);
+    }
+
+    #[test]
+    fn reload_swaps_the_model_and_invalidates_the_device_cache() {
+        let server = server(small_config());
+        let predict = Request::predict(Device::TitanX, SAXPY);
+        let reference = server.body_for(&predict);
+        assert!(!server.front.is_empty(), "prediction was cached");
+        // Persist the same model and hot-swap it in: bytes must stay
+        // identical (same artifact), but the cache must have been
+        // swept and the slot version bumped.
+        let path = format!(
+            "{}/../../target/reload-test-{}.json",
+            env!("CARGO_MANIFEST_DIR"),
+            std::process::id()
+        );
+        planner().save(&path).expect("artifact saves");
+        let body = server.reload_body("titan-x", &path);
+        match Response::parse(&body).expect("reload response parses") {
+            Response::Reload { device, version } => {
+                assert_eq!(device, Device::TitanX);
+                assert_eq!(version, 2, "first reload bumps version 1 -> 2");
+            }
+            other => panic!("expected a reload response, got {other:?}"),
+        }
+        assert_eq!(server.front.len(), 0, "device cache entries invalidated");
+        assert_eq!(
+            server.body_for(&predict),
+            reference,
+            "same artifact predicts the same bytes"
+        );
+        // Failure paths: bad path, unknown device, unserved device —
+        // all typed, none of them disturb the serving slot.
+        let failed = Response::parse(&server.reload_body("titan-x", "/no/such/artifact.json"))
+            .expect("error response parses");
+        assert_eq!(failed.error().unwrap().code, ErrorCode::ReloadFailed);
+        let unknown = Response::parse(&server.reload_body("gtx-9000", &path)).unwrap();
+        assert_eq!(unknown.error().unwrap().code, ErrorCode::UnknownDevice);
+        let unserved = Response::parse(&server.reload_body("tesla-p100", &path)).unwrap();
+        assert_eq!(unserved.error().unwrap().code, ErrorCode::DeviceNotServed);
+        assert_eq!(server.stats().requests.reload, 4);
+        assert_eq!(
+            server.body_for(&predict),
+            reference,
+            "failed reloads leave the model serving"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -1152,6 +1669,69 @@ mod tests {
     }
 
     #[test]
+    fn connections_past_the_cap_get_a_typed_refusal() {
+        use std::io::BufRead as _;
+        // Regression: serve() used to spawn one thread per accepted
+        // socket with no bound at all.
+        let server = Arc::new(server(ServerConfig {
+            max_connections: 2,
+            ..small_config()
+        }));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let daemon = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.serve(listener).unwrap())
+        };
+        // Fill the cap with two established connections, each proven
+        // live by a round-trip (accept() is asynchronous to connect()).
+        let mut held = Vec::new();
+        for _ in 0..2 {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            writeln!(writer, "{}", Request::Devices.to_json()).unwrap();
+            writer.flush().unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(matches!(
+                Response::parse(line.trim()).unwrap(),
+                Response::Devices { .. }
+            ));
+            held.push((reader, writer));
+        }
+        // Everything past the cap is refused with a typed line, then
+        // closed (EOF) — no thread is spawned for it.
+        for _ in 0..3 {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let refusal = Response::parse(line.trim()).expect("refusal line parses");
+            assert_eq!(refusal.error().unwrap().code, ErrorCode::Overloaded);
+            assert!(refusal.error().unwrap().message.contains("connection cap"));
+            let mut rest = String::new();
+            assert_eq!(reader.read_line(&mut rest).unwrap(), 0, "then EOF");
+        }
+        // Shut down through one of the established connections.
+        {
+            let (reader, writer) = &mut held[0];
+            writeln!(writer, "{}", Request::Shutdown.to_json()).unwrap();
+            writer.flush().unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(matches!(
+                Response::parse(line.trim()).unwrap(),
+                Response::Shutdown
+            ));
+        }
+        let summary = daemon.join().unwrap();
+        assert_eq!(summary.connections.opened, 2);
+        assert_eq!(summary.connections.refused, 3);
+        assert_eq!(summary.connections.active, 0, "all threads accounted for");
+    }
+
+    #[test]
     fn tcp_round_trip_with_concurrent_clients() {
         use std::io::BufRead as _;
         let server = Arc::new(server(small_config()));
@@ -1190,6 +1770,8 @@ mod tests {
         let summary = daemon.join().unwrap();
         assert_eq!(summary.requests.predict, 2);
         assert!(summary.front_cache.hits >= 1, "second client hit the cache");
+        assert_eq!(summary.connections.opened, 2);
+        assert_eq!(summary.connections.closed, 2);
         assert!(server.is_shutting_down());
     }
 }

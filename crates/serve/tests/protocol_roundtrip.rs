@@ -4,8 +4,8 @@
 
 use gpufreq_core::{Corpus, ModelConfig, Planner};
 use gpufreq_serve::protocol::{
-    BatchResult, CacheStats, DeviceInfo, ErrorBody, ErrorCode, LatencyStats, QueueStats, Request,
-    RequestCounts, Response, ServerStats,
+    BatchResult, CacheStats, ConnectionStats, DeviceInfo, ErrorBody, ErrorCode, LatencyStats,
+    QueueStats, Request, RequestCounts, Response, ServerStats,
 };
 use gpufreq_serve::{Server, ServerConfig};
 use gpufreq_sim::Device;
@@ -47,6 +47,10 @@ fn every_request_variant_round_trips() {
         },
         Request::Devices,
         Request::Stats,
+        Request::Reload {
+            device: Device::TitanX.id().into(),
+            path: "/var/lib/gpufreq/models/titan-x-v2.json".into(),
+        },
         Request::Shutdown,
     ] {
         round_trip_request(&request);
@@ -97,7 +101,7 @@ fn every_response_variant_round_trips() {
             }],
         },
         Response::Stats {
-            stats: ServerStats {
+            stats: Box::new(ServerStats {
                 requests: RequestCounts {
                     total: 10,
                     predict: 4,
@@ -107,7 +111,10 @@ fn every_response_variant_round_trips() {
                     stats: 1,
                     shutdown: 1,
                     errors: 2,
-                    rejected: 1,
+                    rejected: 3,
+                    reload: 1,
+                    rejected_p99: 1,
+                    rejected_quota: 1,
                 },
                 front_cache: CacheStats {
                     hits: 3,
@@ -135,7 +142,18 @@ fn every_response_variant_round_trips() {
                     p99: 4095,
                     max: 3000,
                 },
-            },
+                connections: ConnectionStats {
+                    opened: 12,
+                    closed: 9,
+                    refused: 2,
+                    failed: 1,
+                    active: 3,
+                },
+            }),
+        },
+        Response::Reload {
+            device: Device::TeslaP100,
+            version: 3,
         },
         Response::Shutdown,
     ] {

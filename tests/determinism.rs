@@ -187,6 +187,7 @@ fn serve_responses_are_identical_at_any_worker_count() {
                 cache_capacity,
                 cache_shards: 2,
                 analysis_cache_capacity: 8,
+                ..ServerConfig::default()
             },
         )
         .expect("one planner serves");
