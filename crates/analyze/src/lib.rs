@@ -17,8 +17,8 @@
 //! | `unjustified-atomic-ordering` | every `Ordering::*` site carries a `// ordering:` justification; store/load pairs that cannot synchronize are flagged |
 //! | `nondeterministic-iteration` | no `HashMap`/`HashSet` in serialization modules |
 //! | `wallclock-in-serialized-output` | no `SystemTime::now`/`Instant::now` in serialization modules |
-//! | `panic-in-request-path` | no `unwrap`/`expect`/`panic!` in non-test `crates/serve` library code |
-//! | `wire-string-drift` | protocol op/error-code literals match `crates/serve/wire_inventory.txt` |
+//! | `panic-in-request-path` | no `unwrap`/`expect`/`panic!` in non-test `crates/serve` or `crates/router` library code |
+//! | `wire-string-drift` | protocol op/error-code/route/state literals match `crates/serve/wire_inventory.txt` |
 //! | `invalid-suppression` | `analyze:allow` comments are well-formed, reasoned, and not stale |
 //!
 //! # Suppressions
@@ -46,7 +46,7 @@ pub mod lints;
 pub mod report;
 pub mod scan;
 
-pub use lints::{AtomicSite, Finding, Lint, Suppression, UnsafeSite};
+pub use lints::{AtomicSite, Finding, Lint, Suppression, UnsafeSite, WireEntry, WireKind};
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -129,7 +129,7 @@ fn json_str(s: &str) -> String {
 /// fixtures) funnels through here.
 pub fn analyze_sources(
     sources: &[(String, String)],
-    wire_inventory: Option<&[String]>,
+    wire_inventory: Option<&[WireEntry]>,
 ) -> Analysis {
     let mut ordered: Vec<&(String, String)> = sources.iter().collect();
     ordered.sort_by(|a, b| a.0.cmp(&b.0));

@@ -87,8 +87,8 @@ impl Lint {
                  clock readings would leak into serialized bytes"
             }
             Lint::PanicInRequestPath => {
-                "no `unwrap`/`expect`/`panic!` in non-test `crates/serve` library code — \
-                 a panic kills a worker thread"
+                "no `unwrap`/`expect`/`panic!` in non-test `crates/serve` or \
+                 `crates/router` library code — a panic kills a worker thread"
             }
             Lint::WireStringDrift => {
                 "protocol op/error-code literals must match the checked-in wire \
@@ -192,14 +192,20 @@ const SERIALIZED_MODULES: [&str; 6] = [
     "analyze/src/report.rs",
 ];
 
-/// Path fragment of the request-path crate the panic lint guards.
-const REQUEST_PATH: &str = "serve/src/";
+/// Path fragments of the request-path crates the panic lint guards:
+/// the daemon and the router both run requests on worker/connection
+/// threads a panic would kill.
+const REQUEST_PATHS: [&str; 2] = ["serve/src/", "router/src/"];
 
-/// Path fragments of the wire-protocol modules. One shared inventory
-/// pins both, partitioned by shape: HTTP route paths (leading `/`)
-/// belong to the gateway module, ops/error codes to the line-protocol
-/// module.
-const WIRE_MODULES: [&str; 2] = ["serve/src/protocol.rs", "serve/src/http.rs"];
+/// Path fragments of the wire-protocol modules, each with the
+/// inventory kinds it declares. One shared inventory pins all of
+/// them: ops and error codes belong to the line protocol, HTTP route
+/// paths to the gateway, circuit-breaker state names to the router.
+const WIRE_MODULES: [(&str, &[WireKind]); 3] = [
+    ("serve/src/protocol.rs", &[WireKind::Op, WireKind::Error]),
+    ("serve/src/http.rs", &[WireKind::Route]),
+    ("router/src/wire.rs", &[WireKind::State]),
+];
 
 /// Functions in the wire modules whose string literals *are* the wire
 /// protocol.
@@ -225,7 +231,11 @@ pub struct FileAnalysis {
 /// wire lint compares against (`None` = not loaded; the wire lint
 /// then reports that the inventory is missing when it scans the wire
 /// module).
-pub fn lint_file(path: &str, scanned: &Scanned, wire_inventory: Option<&[String]>) -> FileAnalysis {
+pub fn lint_file(
+    path: &str,
+    scanned: &Scanned,
+    wire_inventory: Option<&[WireEntry]>,
+) -> FileAnalysis {
     let mut out = FileAnalysis::default();
     let test_lines = test_mod_lines(scanned);
     let allows = parse_allows(path, scanned, &mut out.findings);
@@ -706,7 +716,7 @@ fn lint_serialized_modules(path: &str, scanned: &Scanned, out: &mut FileAnalysis
 // ----------------------------------------------------------------------
 
 fn lint_panics(path: &str, scanned: &Scanned, test_lines: &BTreeSet<u32>, out: &mut FileAnalysis) {
-    if !path.contains(REQUEST_PATH) {
+    if !REQUEST_PATHS.iter().any(|p| path.contains(p)) {
         return;
     }
     let toks = &scanned.tokens;
@@ -753,15 +763,12 @@ fn lint_panics(path: &str, scanned: &Scanned, test_lines: &BTreeSet<u32>, out: &
 fn lint_wire(
     path: &str,
     scanned: &Scanned,
-    wire_inventory: Option<&[String]>,
+    wire_inventory: Option<&[WireEntry]>,
     out: &mut FileAnalysis,
 ) {
-    let Some(module) = WIRE_MODULES.iter().find(|m| path.contains(*m)) else {
+    let Some((_, kinds)) = WIRE_MODULES.iter().find(|(m, _)| path.contains(m)) else {
         return;
     };
-    // Route paths (leading `/`) are the gateway module's slice of the
-    // inventory; everything else belongs to the line protocol.
-    let wants_routes = module.ends_with("http.rs");
     let Some(inventory) = wire_inventory else {
         out.findings.push(Finding {
             lint: Lint::WireStringDrift,
@@ -806,8 +813,8 @@ fn lint_wire(
     let declared: BTreeSet<&str> = in_wire_fn.iter().map(|(s, _)| s.as_str()).collect();
     let pinned: BTreeSet<&str> = inventory
         .iter()
-        .map(|s| s.as_str())
-        .filter(|s| s.starts_with('/') == wants_routes)
+        .filter(|e| kinds.contains(&e.kind))
+        .map(|e| e.name.as_str())
         .collect();
     for (literal, line) in &in_wire_fn {
         if !pinned.contains(literal.as_str()) {
@@ -837,21 +844,56 @@ fn lint_wire(
     }
 }
 
+/// The kind of one wire inventory entry, named by its line prefix.
+/// Kinds route each entry to the wire module that must declare it
+/// (see `WIRE_MODULES`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WireKind {
+    /// A line-protocol request tag (`op ` prefix, or no prefix).
+    Op,
+    /// A typed error-code spelling (`error ` prefix).
+    Error,
+    /// An HTTP gateway route path (`route ` prefix).
+    Route,
+    /// A router circuit-breaker state name (`state ` prefix).
+    State,
+}
+
+/// One parsed wire-inventory entry: a pinned wire string and the kind
+/// its line prefix declared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireEntry {
+    /// Which protocol surface the string belongs to.
+    pub kind: WireKind,
+    /// The pinned wire string itself.
+    pub name: String,
+}
+
 /// Parse the wire inventory file format: one wire string per line,
-/// `#` comments and blank lines ignored, an optional `op `/`error `/
-/// `route ` prefix documenting the kind.
-pub fn parse_wire_inventory(content: &str) -> Vec<String> {
+/// `#` comments and blank lines ignored, an `op `/`error `/`route `/
+/// `state ` prefix naming the kind (no prefix = an op, the original
+/// format).
+pub fn parse_wire_inventory(content: &str) -> Vec<WireEntry> {
     content
         .lines()
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
         .map(|l| {
-            l.strip_prefix("op ")
-                .or_else(|| l.strip_prefix("error "))
-                .or_else(|| l.strip_prefix("route "))
-                .unwrap_or(l)
-                .trim()
-                .to_string()
+            let (kind, rest) = if let Some(r) = l.strip_prefix("op ") {
+                (WireKind::Op, r)
+            } else if let Some(r) = l.strip_prefix("error ") {
+                (WireKind::Error, r)
+            } else if let Some(r) = l.strip_prefix("route ") {
+                (WireKind::Route, r)
+            } else if let Some(r) = l.strip_prefix("state ") {
+                (WireKind::State, r)
+            } else {
+                (WireKind::Op, l)
+            };
+            WireEntry {
+                kind,
+                name: rest.trim().to_string(),
+            }
         })
         .collect()
 }
@@ -973,7 +1015,7 @@ impl Request {
     }
 }
 ";
-        let inv = vec!["predict".to_string(), "shutdown".to_string()];
+        let inv = parse_wire_inventory("op predict\nop shutdown\n");
         let out = lint_file("crates/serve/src/protocol.rs", &scan(src), Some(&inv));
         let drift: Vec<&Finding> = out
             .findings
@@ -986,7 +1028,7 @@ impl Request {
         let out = lint_file(
             "crates/serve/src/protocol.rs",
             &scan(src),
-            Some(&["predict_v2".to_string()]),
+            Some(&parse_wire_inventory("op predict_v2\n")),
         );
         assert!(
             out.findings
@@ -998,20 +1040,29 @@ impl Request {
     }
 
     #[test]
-    fn inventory_parser_strips_prefixes_and_comments() {
+    fn inventory_parser_assigns_kinds_from_prefixes() {
         let inv = parse_wire_inventory(
-            "# ops\nop predict\nerror bad_request\nroute /predict\n\nshutdown\n",
+            "# ops\nop predict\nerror bad_request\nroute /predict\nstate open\n\nshutdown\n",
         );
-        assert_eq!(inv, vec!["predict", "bad_request", "/predict", "shutdown"]);
+        let expect = |kind, name: &str| WireEntry {
+            kind,
+            name: name.to_string(),
+        };
+        assert_eq!(
+            inv,
+            vec![
+                expect(WireKind::Op, "predict"),
+                expect(WireKind::Error, "bad_request"),
+                expect(WireKind::Route, "/predict"),
+                expect(WireKind::State, "open"),
+                expect(WireKind::Op, "shutdown"),
+            ]
+        );
     }
 
     #[test]
     fn wire_inventory_is_partitioned_between_protocol_and_gateway() {
-        let inv = vec![
-            "predict".to_string(),
-            "/predict".to_string(),
-            "/stats".to_string(),
-        ];
+        let inv = parse_wire_inventory("op predict\nroute /predict\nroute /stats\n");
         // The gateway module answers only for the route slice: the
         // `predict` op is protocol.rs's business, but the missing
         // `/stats` route is drift here.
@@ -1044,5 +1095,35 @@ impl Request {
             "{:?}",
             out.findings
         );
+    }
+
+    #[test]
+    fn router_wire_module_answers_for_the_state_slice() {
+        let inv = parse_wire_inventory("op predict\nstate closed\nstate open\n");
+        let src = "\
+impl CircuitState {
+    pub const fn as_str(self) -> &'static str {
+        match self { CircuitState::Closed => \"closed\" }
+    }
+}
+";
+        // `open` is pinned but no longer declared; the op slice is not
+        // this module's business.
+        let out = lint_file("crates/router/src/wire.rs", &scan(src), Some(&inv));
+        let drift: Vec<&Finding> = out
+            .findings
+            .iter()
+            .filter(|f| f.lint == Lint::WireStringDrift)
+            .collect();
+        assert_eq!(drift.len(), 1, "{drift:?}");
+        assert!(drift[0].message.contains("open"), "{drift:?}");
+    }
+
+    #[test]
+    fn panic_lint_covers_the_router_request_path() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let bad = findings_of("crates/router/src/server.rs", src);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert_eq!(bad[0].lint, Lint::PanicInRequestPath);
     }
 }

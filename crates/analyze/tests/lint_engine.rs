@@ -8,9 +8,9 @@
 
 use std::path::Path;
 
-use gpufreq_analyze::{analyze_sources, Analysis, Lint};
+use gpufreq_analyze::{analyze_sources, Analysis, Lint, WireEntry};
 
-fn analyze_fixture(rel: &str, inventory: Option<&[String]>) -> Analysis {
+fn analyze_fixture(rel: &str, inventory: Option<&[WireEntry]>) -> Analysis {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(rel);
@@ -99,7 +99,7 @@ fn panics_in_the_request_path_but_not_in_test_modules() {
 
 #[test]
 fn wire_drift_is_flagged_in_both_directions() {
-    let inventory = vec!["predict".to_string()];
+    let inventory = gpufreq_analyze::lints::parse_wire_inventory("op predict\n");
     let a = analyze_fixture("serve/src/protocol.rs", Some(&inventory));
     let found = active(&a);
     // "predict_v2" is in the module but not pinned; "predict" is

@@ -30,14 +30,30 @@
 //! gateway deliberately has no shutdown route, so `--http --shutdown`
 //! is rejected — drain the daemon through the line-protocol port.
 //!
+//! With `--router` the target is a `gpufreq router` process instead of
+//! a daemon: the run additionally asserts the stats snapshot carries
+//! the router's own aggregation section (proof the traffic really went
+//! through the scale-out tier), and `--baseline-unique-rps <x>` +
+//! `--min-scaling <r>` turn the unique-mix throughput into a scaling
+//! gate — the run must sustain at least `r` times the recorded
+//! single-backend baseline. CI measures 1 backend first, then gates a
+//! 4-backend router run against that number.
+//!
+//! All wire framing comes from `gpufreq_serve::codec` — the same
+//! helpers the CLI client and the router's backend connections use, so
+//! the generator cannot drift from the protocol.
+//!
 //! ```text
 //! loadgen --addr 127.0.0.1:7070 [--duration 5s] [--clients 4]
 //!         [--pipeline 8] [--mix repeated|unique|both] [--device titan-x]
 //!         [--min-cache-speedup 10] [--min-unique-rps 500] [--http]
+//!         [--router] [--baseline-unique-rps <x>] [--min-scaling <r>]
 //!         [--shutdown]
 //! ```
 
 use gpufreq_core::ascii_table;
+use gpufreq_serve::codec::{http_get, http_post, read_http_body};
+use gpufreq_serve::http::Route;
 use gpufreq_serve::{render_stats_table, Request, Response};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -71,13 +87,17 @@ struct Options {
     min_cache_speedup: Option<f64>,
     min_unique_rps: Option<f64>,
     http: bool,
+    router: bool,
+    baseline_unique_rps: Option<f64>,
+    min_scaling: Option<f64>,
     shutdown: bool,
 }
 
 fn usage() -> String {
     "usage: loadgen --addr <host:port> [--duration 5s] [--clients 4] \
      [--pipeline 8] [--mix repeated|unique|both] [--device titan-x] \
-     [--min-cache-speedup <x>] [--min-unique-rps <n>] [--http] [--shutdown]"
+     [--min-cache-speedup <x>] [--min-unique-rps <n>] [--http] \
+     [--router] [--baseline-unique-rps <x>] [--min-scaling <r>] [--shutdown]"
         .to_string()
 }
 
@@ -112,6 +132,9 @@ fn parse_args() -> Result<Options, String> {
     let mut min_cache_speedup = None;
     let mut min_unique_rps = None;
     let mut http = false;
+    let mut router = false;
+    let mut baseline_unique_rps = None;
+    let mut min_scaling = None;
     let mut shutdown = false;
     let mut it = argv.iter();
     let next_value = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
@@ -163,6 +186,21 @@ fn parse_args() -> Result<Options, String> {
                 )
             }
             "--http" => http = true,
+            "--router" => router = true,
+            "--baseline-unique-rps" => {
+                baseline_unique_rps = Some(
+                    next_value("--baseline-unique-rps", &mut it)?
+                        .parse()
+                        .map_err(|_| "invalid --baseline-unique-rps value".to_string())?,
+                )
+            }
+            "--min-scaling" => {
+                min_scaling = Some(
+                    next_value("--min-scaling", &mut it)?
+                        .parse()
+                        .map_err(|_| "invalid --min-scaling value".to_string())?,
+                )
+            }
             "--shutdown" => shutdown = true,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
@@ -171,6 +209,11 @@ fn parse_args() -> Result<Options, String> {
     if http && shutdown {
         return Err("the HTTP gateway has no shutdown route; \
                     use --shutdown against the line-protocol port"
+            .into());
+    }
+    if min_scaling.is_some() && baseline_unique_rps.is_none() {
+        return Err("--min-scaling needs --baseline-unique-rps (the recorded \
+                    single-backend unique-mix req/s)"
             .into());
     }
     Ok(Options {
@@ -183,6 +226,9 @@ fn parse_args() -> Result<Options, String> {
         min_cache_speedup,
         min_unique_rps,
         http,
+        router,
+        baseline_unique_rps,
+        min_scaling,
         shutdown,
     })
 }
@@ -218,51 +264,6 @@ struct MixOutcome {
 /// Monotone stamp making every `unique`-mix source globally fresh.
 static UNIQUE_STAMP: AtomicU64 = AtomicU64::new(0);
 
-/// Frame one keep-alive `POST /predict` gateway request around a
-/// protocol request body.
-fn http_frame(body: &str) -> String {
-    format!(
-        "POST /predict HTTP/1.1\r\ncontent-type: application/json\r\n\
-         content-length: {}\r\n\r\n{}",
-        body.len(),
-        body
-    )
-}
-
-/// Read one HTTP response off the wire and return its JSON body
-/// (`line` is scratch). The gateway always sends `content-length`.
-fn read_http_body(reader: &mut BufReader<TcpStream>, line: &mut String) -> Result<String, String> {
-    line.clear();
-    if reader.read_line(line).map_err(|e| e.to_string())? == 0 {
-        return Err("server closed the connection mid-run".into());
-    }
-    if !line.starts_with("HTTP/1.1 ") {
-        return Err(format!("not an HTTP response: `{}`", line.trim()));
-    }
-    let mut content_length = 0usize;
-    loop {
-        line.clear();
-        if reader.read_line(line).map_err(|e| e.to_string())? == 0 {
-            return Err("connection closed mid-headers".into());
-        }
-        let header = line.trim();
-        if header.is_empty() {
-            break;
-        }
-        let lower = header.to_ascii_lowercase();
-        if let Some(value) = lower.strip_prefix("content-length:") {
-            content_length = value
-                .trim()
-                .parse()
-                .map_err(|_| format!("bad content-length `{header}`"))?;
-        }
-    }
-    let mut body = vec![0u8; content_length];
-    use std::io::Read as _;
-    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
-    String::from_utf8(body).map_err(|e| e.to_string())
-}
-
 fn run_client(
     opts: &Options,
     mix: Mix,
@@ -290,7 +291,7 @@ fn run_client(
                 }
                 .to_json();
                 if opts.http {
-                    http_frame(&body)
+                    http_post(Route::Predict.as_str(), &body)
                 } else {
                     body + "\n"
                 }
@@ -332,7 +333,7 @@ fn run_client(
                     let body = request.to_json();
                     if opts.http {
                         writer
-                            .write_all(http_frame(&body).as_bytes())
+                            .write_all(http_post(Route::Predict.as_str(), &body).as_bytes())
                             .map_err(|e| e.to_string())?;
                     } else {
                         writeln!(writer, "{body}").map_err(|e| e.to_string())?;
@@ -404,8 +405,10 @@ fn run_mix(opts: &Options, mix: Mix, pool: &[String]) -> Result<MixOutcome, Stri
     })
 }
 
-/// One out-of-band request on a fresh connection (stats / shutdown).
-fn one_shot(addr: &str, request: &Request) -> Result<Response, String> {
+/// One out-of-band request on a fresh connection (stats / shutdown),
+/// returning the raw wire line — the router check needs the bytes, not
+/// just the typed response.
+fn one_shot_raw(addr: &str, request: &Request) -> Result<String, String> {
     let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
     let mut reader = BufReader::new(stream);
@@ -413,21 +416,27 @@ fn one_shot(addr: &str, request: &Request) -> Result<Response, String> {
     writer.flush().map_err(|e| e.to_string())?;
     let mut line = String::new();
     reader.read_line(&mut line).map_err(|e| e.to_string())?;
-    Response::parse(line.trim()).map_err(|e| format!("unparseable response: {e}"))
+    Ok(line.trim().to_string())
 }
 
-/// One out-of-band GET against the HTTP gateway; the body is a
-/// protocol response, parsed the same as a line.
-fn http_one_shot(addr: &str, route: &str) -> Result<Response, String> {
+fn one_shot(addr: &str, request: &Request) -> Result<Response, String> {
+    let line = one_shot_raw(addr, request)?;
+    Response::parse(&line).map_err(|e| format!("unparseable response: {e}"))
+}
+
+/// One out-of-band GET against the HTTP gateway; the body is a raw
+/// protocol response line.
+fn http_one_shot_raw(addr: &str, route: &str) -> Result<String, String> {
     let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
     let mut reader = BufReader::new(stream);
-    write!(writer, "GET {route} HTTP/1.1\r\nconnection: close\r\n\r\n")
+    writer
+        .write_all(http_get(route).as_bytes())
         .map_err(|e| e.to_string())?;
     writer.flush().map_err(|e| e.to_string())?;
     let mut line = String::new();
     let body = read_http_body(&mut reader, &mut line)?;
-    Response::parse(body.trim()).map_err(|e| format!("unparseable response: {e}"))
+    Ok(body.trim().to_string())
 }
 
 fn run(opts: &Options) -> Result<(), String> {
@@ -465,14 +474,29 @@ fn run(opts: &Options) -> Result<(), String> {
             &rows
         )
     );
-    let stats_response = if opts.http {
-        http_one_shot(&opts.addr, "/stats")
+    let stats_raw = if opts.http {
+        http_one_shot_raw(&opts.addr, Route::Stats.as_str())
     } else {
-        one_shot(&opts.addr, &Request::Stats)
+        one_shot_raw(&opts.addr, &Request::Stats)
     };
-    if let Ok(Response::Stats { stats }) = stats_response {
-        println!("server metrics after the run:");
-        println!("{}", render_stats_table(&stats));
+    if let Ok(raw) = &stats_raw {
+        if let Ok(Response::Stats { stats }) = Response::parse(raw) {
+            println!("server metrics after the run:");
+            println!("{}", render_stats_table(&stats));
+        }
+    }
+    if opts.router {
+        // The router appends its own aggregation section to `stats`;
+        // its absence means the target was a bare daemon and any
+        // scaling numbers would be meaningless.
+        let raw = stats_raw
+            .as_deref()
+            .map_err(|e| format!("--router: fetching stats: {e}"))?;
+        if !raw.contains("\"router\":") {
+            return Err("--router: the stats snapshot has no router section — \
+                        is the target really a gpufreq router?"
+                .into());
+        }
     }
     let total: u64 = outcomes.iter().map(|o| o.requests).sum();
     if total == 0 {
@@ -504,6 +528,23 @@ fn run(opts: &Options) -> Result<(), String> {
                 "unique-mix throughput {:.1} req/s is below the required {min} req/s",
                 unique.rps
             ));
+        }
+    }
+    if let Some(baseline) = opts.baseline_unique_rps {
+        let unique =
+            unique.ok_or("--baseline-unique-rps needs a mix that includes unique".to_string())?;
+        let scaling = unique.rps / baseline;
+        println!(
+            "scale-out: {scaling:.2}x over the single-backend baseline \
+             ({:.1} req/s vs {baseline:.1} req/s unique)",
+            unique.rps
+        );
+        if let Some(min) = opts.min_scaling {
+            if scaling < min {
+                return Err(format!(
+                    "scale-out {scaling:.2}x is below the required {min}x"
+                ));
+            }
         }
     }
     if opts.shutdown {

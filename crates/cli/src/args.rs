@@ -21,8 +21,11 @@ USAGE:
                   [--queue <n>] [--cache <n>] [--port-file <path>]
                   [--http-port <n>] [--http-port-file <path>] [--max-conns <n>]
                   [--p99-target <us>] [--quota <rate[/burst]>]
+    gpufreq router --backend <addr[=device,...]> [--backend ...] [--port <n>]
+                  [--port-file <path>] [--http-port <n>]
+                  [--http-port-file <path>] [--max-conns <n>]
     gpufreq client <host:port> [<kernel.cl>] [--device <name>] [--stats]
-                  [--reload <model.json>] [--shutdown]
+                  [--reload <model.json>] [--shutdown] [--record <trace.jsonl>]
     gpufreq analyze [--json] [--check] [--report <path>] [paths...]
 
 DEVICES:
@@ -75,10 +78,18 @@ OPTIONS:
                         `serve`: per-client-IP token bucket — sustained
                         requests/sec with optional burst (default burst
                         = rate)
+    --backend <addr[=device,...]>
+                        `router`: a backend daemon to fan requests to
+                        (repeatable; at least one). Without the
+                        `=device,...` list the router asks the backend
+                        what it serves at startup
     --stats             `client`: request a server metrics snapshot
     --reload <path>     `client`: hot-swap the serving model for
                         --device (default titan-x) from this artifact
     --shutdown          `client`: ask the server to drain and exit
+    --record <path>     `client`: append every request/response wire
+                        line pair to this JSONL trace (the record/
+                        replay acceptance format)
     --help              show this text";
 
 /// Parsed subcommand.
@@ -163,6 +174,24 @@ pub enum Command {
         /// Per-client quota as `(rate_per_sec, burst)`, if enabled.
         quota: Option<(u32, u32)>,
     },
+    /// Run the device-sharded router over backend daemons
+    /// (`gpufreq-router`).
+    Router {
+        /// TCP port to bind on 127.0.0.1 (0 = pick a free port).
+        port: u16,
+        /// Raw backend specs (`addr` or `addr=device,...`), in
+        /// argument order.
+        backends: Vec<String>,
+        /// File the bound address is written to once listening.
+        port_file: Option<String>,
+        /// HTTP/1.1 gateway port (`None` = no HTTP listener; 0 = pick
+        /// a free port).
+        http_port: Option<u16>,
+        /// File the bound HTTP address is written to once listening.
+        http_port_file: Option<String>,
+        /// Concurrent-connection cap (`None` = the router default).
+        max_conns: Option<usize>,
+    },
     /// Run the in-repo static-analysis pass (`gpufreq-analyze`).
     Analyze {
         /// Emit machine-readable JSON instead of human-readable lines.
@@ -188,6 +217,9 @@ pub enum Command {
         reload: Option<String>,
         /// Finally request a clean server shutdown.
         shutdown: bool,
+        /// Trace file every request/response wire-line pair is
+        /// appended to (the record/replay acceptance format).
+        record: Option<String>,
     },
     /// `--help`.
     Help,
@@ -253,6 +285,8 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
     let mut p99_target_us: Option<u64> = None;
     let mut quota: Option<(u32, u32)> = None;
     let mut reload: Option<String> = None;
+    let mut record: Option<String> = None;
+    let mut backends: Vec<String> = Vec::new();
     let mut stats = false;
     let mut shutdown = false;
     let mut check_flag = false;
@@ -377,6 +411,22 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
                 reload = Some(
                     it.next()
                         .ok_or(ArgError("--reload needs a model path".into()))?
+                        .clone(),
+                );
+            }
+            "--record" => {
+                record = Some(
+                    it.next()
+                        .ok_or(ArgError("--record needs a trace path".into()))?
+                        .clone(),
+                );
+            }
+            "--backend" => {
+                backends.push(
+                    it.next()
+                        .ok_or(ArgError(
+                            "--backend needs a value (addr or addr=device,...)".into(),
+                        ))?
                         .clone(),
                 );
             }
@@ -509,6 +559,21 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
             p99_target_us,
             quota,
         },
+        "router" => {
+            if backends.is_empty() {
+                return Err(ArgError(
+                    "`router` needs at least one --backend <addr[=device,...]>".into(),
+                ));
+            }
+            Command::Router {
+                port,
+                backends,
+                port_file,
+                http_port,
+                http_port_file,
+                max_conns,
+            }
+        }
         "analyze" => Command::Analyze {
             json,
             check: check_flag,
@@ -533,6 +598,7 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
                 stats,
                 reload,
                 shutdown,
+                record,
             }
         }
         other => return Err(ArgError(format!("unknown subcommand `{other}`"))),
@@ -797,7 +863,8 @@ mod tests {
                 kernel: Some("k.cl".into()),
                 stats: false,
                 reload: None,
-                shutdown: false
+                shutdown: false,
+                record: None
             }
         );
         let p = parse_args(&args("client 127.0.0.1:7070 --stats --shutdown")).unwrap();
@@ -808,7 +875,8 @@ mod tests {
                 kernel: None,
                 stats: true,
                 reload: None,
-                shutdown: true
+                shutdown: true,
+                record: None
             }
         );
         // `--reload` alone is a valid thing to ask of the server.
@@ -820,7 +888,8 @@ mod tests {
                 kernel: None,
                 stats: false,
                 reload: Some("m.json".into()),
-                shutdown: false
+                shutdown: false,
+                record: None
             }
         );
         let err = parse_args(&args("client")).unwrap_err();
@@ -828,6 +897,54 @@ mod tests {
         let err = parse_args(&args("client 127.0.0.1:7070")).unwrap_err();
         assert!(err.to_string().contains("--stats"), "{err}");
         assert!(parse_args(&args("client 127.0.0.1:7070 --reload")).is_err());
+    }
+
+    #[test]
+    fn client_record_takes_a_trace_path() {
+        let p = parse_args(&args(
+            "client 127.0.0.1:7070 k.cl --record /tmp/trace.jsonl",
+        ))
+        .unwrap();
+        assert_eq!(
+            p.command,
+            Command::Client {
+                addr: "127.0.0.1:7070".into(),
+                kernel: Some("k.cl".into()),
+                stats: false,
+                reload: None,
+                shutdown: false,
+                record: Some("/tmp/trace.jsonl".into())
+            }
+        );
+        assert!(parse_args(&args("client 127.0.0.1:7070 k.cl --record")).is_err());
+    }
+
+    #[test]
+    fn router_needs_backends_and_keeps_their_order() {
+        let p = parse_args(&args(
+            "router --backend 127.0.0.1:7071 --backend 127.0.0.1:7072=titan-x,tesla-p100 \
+             --port 0 --port-file /tmp/router.addr --http-port 0 \
+             --http-port-file /tmp/router-http.addr --max-conns 64",
+        ))
+        .unwrap();
+        assert_eq!(
+            p.command,
+            Command::Router {
+                port: 0,
+                backends: vec![
+                    "127.0.0.1:7071".into(),
+                    "127.0.0.1:7072=titan-x,tesla-p100".into()
+                ],
+                port_file: Some("/tmp/router.addr".into()),
+                http_port: Some(0),
+                http_port_file: Some("/tmp/router-http.addr".into()),
+                max_conns: Some(64)
+            }
+        );
+        // No --backend is a usage error, as is a valueless one.
+        let err = parse_args(&args("router")).unwrap_err();
+        assert!(err.to_string().contains("--backend"), "{err}");
+        assert!(parse_args(&args("router --backend")).is_err());
     }
 
     #[test]

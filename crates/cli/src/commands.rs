@@ -69,19 +69,41 @@ pub fn dispatch(parsed: &ParsedArgs, out: &mut dyn Write) -> CmdResult {
             },
             out,
         ),
+        Command::Router {
+            port,
+            backends,
+            port_file,
+            http_port,
+            http_port_file,
+            max_conns,
+        } => router(
+            &RouterOpts {
+                port: *port,
+                backends,
+                port_file: port_file.as_deref(),
+                http_port: *http_port,
+                http_port_file: http_port_file.as_deref(),
+                max_conns: *max_conns,
+            },
+            out,
+        ),
         Command::Client {
             addr,
             kernel,
             stats,
             reload,
             shutdown,
+            record,
         } => client(
             parsed,
             addr,
-            kernel.as_deref(),
-            *stats,
-            reload.as_deref(),
-            *shutdown,
+            &ClientOpts {
+                kernel: kernel.as_deref(),
+                stats: *stats,
+                reload: reload.as_deref(),
+                shutdown: *shutdown,
+                record: record.as_deref(),
+            },
             out,
         ),
         Command::Analyze {
@@ -617,24 +639,129 @@ fn serve(parsed: &ParsedArgs, opts: &ServeOpts<'_>, out: &mut dyn Write) -> CmdR
     Ok(())
 }
 
+/// The `router` knobs, bundled like [`ServeOpts`].
+struct RouterOpts<'a> {
+    port: u16,
+    backends: &'a [String],
+    port_file: Option<&'a str>,
+    http_port: Option<u16>,
+    http_port_file: Option<&'a str>,
+    max_conns: Option<usize>,
+}
+
+/// Stand up the device-sharded router: parse the `--backend` specs,
+/// discover (or trust) each backend's device set, bind the client
+/// listeners, and route until a `shutdown` request drains it. Like
+/// `serve`, port 0 binds a free port and the bound addresses are
+/// printed (and written to the port files) before accepting starts.
+fn router(opts: &RouterOpts<'_>, out: &mut dyn Write) -> CmdResult {
+    use gpufreq_router::{BackendSpec, Router, RouterConfig};
+    let mut config = RouterConfig::default();
+    for spec in opts.backends {
+        let parsed: BackendSpec = spec.parse().map_err(|e| format!("--backend {spec}: {e}"))?;
+        config.backends.push(parsed);
+    }
+    if let Some(max) = opts.max_conns {
+        config.max_connections = max;
+    }
+    let router = Router::new(config)?;
+    let listener = std::net::TcpListener::bind(("127.0.0.1", opts.port))?;
+    let addr = listener.local_addr()?;
+    if let Some(path) = opts.port_file {
+        std::fs::write(path, format!("{addr}\n")).map_err(|e| format!("{path}: {e}"))?;
+    }
+    let http_listener = match opts.http_port {
+        Some(port) => Some(std::net::TcpListener::bind(("127.0.0.1", port))?),
+        None => None,
+    };
+    writeln!(
+        out,
+        "routing on {addr} (devices: {}; {} backend(s))",
+        router
+            .devices()
+            .iter()
+            .map(|d| d.id())
+            .collect::<Vec<_>>()
+            .join(", "),
+        opts.backends.len()
+    )?;
+    if let Some(http) = &http_listener {
+        let http_addr = http.local_addr()?;
+        if let Some(path) = opts.http_port_file {
+            std::fs::write(path, format!("{http_addr}\n")).map_err(|e| format!("{path}: {e}"))?;
+        }
+        writeln!(out, "HTTP gateway on http://{http_addr}")?;
+    }
+    // The lines must be visible to whoever is scripting us *before* we
+    // block in the accept loop.
+    out.flush()?;
+    let summary = router.serve_with_http(listener, http_listener)?;
+    writeln!(
+        out,
+        "shutdown complete; routed {} request(s) ({} retried, {} circuit-rejected, {} malformed)",
+        summary.counters.routed,
+        summary.counters.retried,
+        summary.counters.broken_circuit,
+        summary.counters.malformed
+    )?;
+    for backend in &summary.backends {
+        writeln!(
+            out,
+            "  backend {} [{}] {}: {} request(s), {} failure(s)",
+            backend.addr,
+            backend.devices.join(", "),
+            backend.state,
+            backend.requests,
+            backend.failures
+        )?;
+    }
+    Ok(())
+}
+
+/// The `client` operations, bundled like [`ServeOpts`].
+struct ClientOpts<'a> {
+    kernel: Option<&'a str>,
+    stats: bool,
+    reload: Option<&'a str>,
+    shutdown: bool,
+    record: Option<&'a str>,
+}
+
 /// One-shot protocol client: connect, send the requested operations in
 /// order (`--reload`, then predict, then `--stats`, then
 /// `--shutdown`), and echo each raw JSON response line. Any error
-/// response exits non-zero.
+/// response exits non-zero. With `--record`, every exchange is
+/// appended to the trace file as one `{"send":...,"recv":...}` line —
+/// the acceptance-harness format.
 fn client(
     parsed: &ParsedArgs,
     addr: &str,
-    kernel: Option<&str>,
-    stats: bool,
-    reload: Option<&str>,
-    shutdown: bool,
+    opts: &ClientOpts<'_>,
     out: &mut dyn Write,
 ) -> CmdResult {
+    use gpufreq_serve::codec::TraceEntry;
     use gpufreq_serve::{Request, Response};
     use std::io::BufRead as _;
+    let ClientOpts {
+        kernel,
+        stats,
+        reload,
+        shutdown,
+        record,
+    } = *opts;
     let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let mut writer = stream.try_clone()?;
     let mut reader = std::io::BufReader::new(stream);
+    let mut trace = match record {
+        Some(path) => Some(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("{path}: {e}"))?,
+        ),
+        None => None,
+    };
     let mut requests = Vec::new();
     if let Some(path) = reload {
         // The path is resolved by the *server* process — pass it
@@ -661,7 +788,8 @@ fn client(
         requests.push(Request::Shutdown);
     }
     for request in requests {
-        writeln!(writer, "{}", request.to_json())?;
+        let sent = request.to_json();
+        writeln!(writer, "{sent}")?;
         writer.flush()?;
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -669,6 +797,13 @@ fn client(
         }
         let line = line.trim();
         writeln!(out, "{line}")?;
+        if let Some(file) = &mut trace {
+            let entry = TraceEntry {
+                send: sent,
+                recv: line.to_string(),
+            };
+            writeln!(file, "{}", entry.to_json())?;
+        }
         let response = Response::parse(line).map_err(|e| format!("unparseable response: {e}"))?;
         if let Some(error) = response.error() {
             return Err(format!("server error: {error}").into());
@@ -935,6 +1070,93 @@ mod tests {
         let (code, out) = run_str(&format!("client {addr} --stats"));
         assert_eq!(code, 1, "{out}");
         assert!(out.contains("connect"), "{out}");
+    }
+
+    #[test]
+    fn router_fronts_replicated_backends_and_records_traces() {
+        use gpufreq_serve::{Server, ServerConfig};
+        use std::sync::Arc;
+        let planner = gpufreq_core::Planner::builder()
+            .corpus(gpufreq_core::Corpus::Fast)
+            .settings(6)
+            .model_config(fast_config())
+            .train()
+            .unwrap();
+        // Two replicas of the same titan-x model behind one router.
+        let mut backends = Vec::new();
+        let mut daemons = Vec::new();
+        for _ in 0..2 {
+            let server = Arc::new(
+                Server::new(
+                    vec![planner.clone()],
+                    ServerConfig {
+                        workers: 2,
+                        ..ServerConfig::default()
+                    },
+                )
+                .unwrap(),
+            );
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            backends.push(listener.local_addr().unwrap());
+            let handle = {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || server.serve(listener).unwrap())
+            };
+            daemons.push((server, handle));
+        }
+        let dir = std::env::temp_dir().join("gpufreq-cli-router-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let port_file = dir.join("router.addr");
+        std::fs::remove_file(&port_file).ok();
+        let router_cmd = format!(
+            "router --backend {} --backend {} --port 0 --port-file {}",
+            backends[0],
+            backends[1],
+            port_file.to_string_lossy()
+        );
+        let router = std::thread::spawn(move || run_str(&router_cmd));
+        let addr = loop {
+            match std::fs::read_to_string(&port_file) {
+                Ok(s) if s.contains(':') => break s.trim().to_string(),
+                _ => std::thread::sleep(std::time::Duration::from_millis(20)),
+            }
+        };
+        // Predict through the router, recording the exchange.
+        let kernel = write_kernel();
+        let trace = dir.join("trace.jsonl");
+        std::fs::remove_file(&trace).ok();
+        let (code, out) = run_str(&format!(
+            "client {addr} {kernel} --record {}",
+            trace.to_string_lossy()
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"ok\":\"predict\""), "{out}");
+        // The recorded trace parses and pins the same response bytes.
+        let contents = std::fs::read_to_string(&trace).unwrap();
+        let entries = gpufreq_serve::codec::parse_trace(&contents).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].send.contains("\"op\":\"predict\""));
+        assert!(out.contains(&entries[0].recv), "{out}");
+        // Router stats carry the aggregated backends plus the router
+        // section.
+        let (code, out) = run_str(&format!("client {addr} --stats"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"ok\":\"stats\""), "{out}");
+        assert!(out.contains("\"router\":"), "{out}");
+        // Shut the router down; the backends keep running.
+        let (code, out) = run_str(&format!("client {addr} --shutdown"));
+        assert_eq!(code, 0, "{out}");
+        let (code, out) = router.join().unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("routing on"), "{out}");
+        assert!(out.contains("shutdown complete"), "{out}");
+        assert!(out.contains("backend "), "{out}");
+        for (backend, (_, handle)) in backends.iter().zip(daemons) {
+            let (code, out) = run_str(&format!("client {backend} --shutdown"));
+            assert_eq!(code, 0, "{out}");
+            let summary = handle.join().unwrap();
+            assert!(summary.requests.total >= 1);
+        }
     }
 
     #[test]

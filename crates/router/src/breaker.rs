@@ -1,0 +1,191 @@
+//! Per-backend circuit breaker: a pure state machine over
+//! [`CircuitState`], clocked by caller-supplied [`Instant`]s so it is
+//! deterministic under test.
+//!
+//! Lifecycle: `Closed` → (N consecutive failures) → `Open` → (cooldown
+//! elapses) → `HalfOpen`, which admits exactly one probe; the probe's
+//! outcome goes back to `Closed` or `Open`. A failure while `HalfOpen`
+//! re-opens immediately regardless of the consecutive-failure count —
+//! a probe exists precisely to test a suspect backend, so its verdict
+//! is final.
+//!
+//! "Failure" is anything that says the backend cannot take this
+//! request: a connection or transport error, or a typed `overloaded`
+//! response. Protocol-level errors the backend *computed* (bad
+//! kernel, unknown device) are successes — the backend is healthy, the
+//! request was wrong.
+
+use std::time::{Duration, Instant};
+
+use crate::wire::CircuitState;
+
+/// What the breaker says about admitting one request right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Circuit closed: forward normally.
+    Yes,
+    /// Circuit half-open and this caller won the probe slot: forward,
+    /// and the outcome decides the circuit's fate.
+    Probe,
+    /// Circuit open (or the probe slot is taken): reject without
+    /// touching the backend.
+    No,
+}
+
+/// The circuit breaker for one backend.
+#[derive(Debug)]
+pub struct Breaker {
+    state: CircuitState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    probe_in_flight: bool,
+    failure_threshold: u32,
+    cooldown: Duration,
+}
+
+impl Breaker {
+    /// A closed breaker that opens after `failure_threshold`
+    /// consecutive failures and re-probes `cooldown` after opening.
+    pub fn new(failure_threshold: u32, cooldown: Duration) -> Breaker {
+        Breaker {
+            state: CircuitState::Closed,
+            consecutive_failures: 0,
+            opened_at: None,
+            probe_in_flight: false,
+            failure_threshold: failure_threshold.max(1),
+            cooldown,
+        }
+    }
+
+    /// Current state (for stats snapshots).
+    pub fn state(&self) -> CircuitState {
+        self.state
+    }
+
+    /// Ask to admit one request at time `now`. An [`Admit::Probe`]
+    /// grant claims the single half-open probe slot; the caller *must*
+    /// follow up with [`record_success`](Breaker::record_success) or
+    /// [`record_failure`](Breaker::record_failure).
+    pub fn admit(&mut self, now: Instant) -> Admit {
+        match self.state {
+            CircuitState::Closed => Admit::Yes,
+            CircuitState::Open => {
+                let cooled = self
+                    .opened_at
+                    .is_none_or(|at| now.duration_since(at) >= self.cooldown);
+                if cooled && !self.probe_in_flight {
+                    self.state = CircuitState::HalfOpen;
+                    self.probe_in_flight = true;
+                    Admit::Probe
+                } else {
+                    Admit::No
+                }
+            }
+            CircuitState::HalfOpen => {
+                if self.probe_in_flight {
+                    Admit::No
+                } else {
+                    self.probe_in_flight = true;
+                    Admit::Probe
+                }
+            }
+        }
+    }
+
+    /// A forwarded request (probe or not) completed successfully:
+    /// close the circuit and reset the failure streak.
+    pub fn record_success(&mut self) {
+        self.state = CircuitState::Closed;
+        self.consecutive_failures = 0;
+        self.opened_at = None;
+        self.probe_in_flight = false;
+    }
+
+    /// A forwarded request failed at time `now`: extend the streak,
+    /// and open the circuit if the streak crosses the threshold or a
+    /// half-open probe just failed.
+    pub fn record_failure(&mut self, now: Instant) {
+        let probing = self.state == CircuitState::HalfOpen;
+        self.probe_in_flight = false;
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if probing || self.consecutive_failures >= self.failure_threshold {
+            self.state = CircuitState::Open;
+            self.opened_at = Some(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> Breaker {
+        Breaker::new(3, Duration::from_millis(100))
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let mut b = breaker();
+        let t = Instant::now();
+        b.record_failure(t);
+        b.record_failure(t);
+        assert_eq!(b.state(), CircuitState::Closed);
+        b.record_failure(t);
+        assert_eq!(b.state(), CircuitState::Open);
+        assert_eq!(b.admit(t), Admit::No);
+    }
+
+    #[test]
+    fn a_success_resets_the_streak() {
+        let mut b = breaker();
+        let t = Instant::now();
+        b.record_failure(t);
+        b.record_failure(t);
+        b.record_success();
+        b.record_failure(t);
+        b.record_failure(t);
+        assert_eq!(b.state(), CircuitState::Closed);
+    }
+
+    #[test]
+    fn cooldown_admits_exactly_one_probe() {
+        let mut b = breaker();
+        let t = Instant::now();
+        for _ in 0..3 {
+            b.record_failure(t);
+        }
+        // Before cooldown: rejected.
+        assert_eq!(b.admit(t + Duration::from_millis(50)), Admit::No);
+        // After: one probe, second caller still rejected.
+        let later = t + Duration::from_millis(150);
+        assert_eq!(b.admit(later), Admit::Probe);
+        assert_eq!(b.state(), CircuitState::HalfOpen);
+        assert_eq!(b.admit(later), Admit::No);
+    }
+
+    #[test]
+    fn probe_outcome_closes_or_reopens() {
+        let t = Instant::now();
+        let later = t + Duration::from_millis(150);
+
+        let mut ok = breaker();
+        for _ in 0..3 {
+            ok.record_failure(t);
+        }
+        assert_eq!(ok.admit(later), Admit::Probe);
+        ok.record_success();
+        assert_eq!(ok.state(), CircuitState::Closed);
+        assert_eq!(ok.admit(later), Admit::Yes);
+
+        let mut bad = breaker();
+        for _ in 0..3 {
+            bad.record_failure(t);
+        }
+        assert_eq!(bad.admit(later), Admit::Probe);
+        bad.record_failure(later);
+        assert_eq!(bad.state(), CircuitState::Open);
+        // The clock restarts from the failed probe.
+        assert_eq!(bad.admit(later + Duration::from_millis(50)), Admit::No);
+        assert_eq!(bad.admit(later + Duration::from_millis(150)), Admit::Probe);
+    }
+}

@@ -1,0 +1,136 @@
+//! Router configuration: backend specs as given on the command line,
+//! plus the operational knobs (in-flight caps, breaker thresholds,
+//! probe cadence).
+
+use std::str::FromStr;
+use std::time::Duration;
+
+use gpufreq_sim::Device;
+
+/// One `--backend` argument: `addr` or `addr=device,device,...`.
+///
+/// With an explicit device list the router shards exactly as told;
+/// without one it asks the backend (a `devices` probe at startup) and
+/// serves whatever the backend serves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendSpec {
+    /// The backend's `host:port` address.
+    pub addr: String,
+    /// Devices this backend serves; empty means "discover at startup".
+    pub devices: Vec<Device>,
+}
+
+impl FromStr for BackendSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<BackendSpec, String> {
+        let (addr, devices) = match s.split_once('=') {
+            Some((addr, list)) => {
+                let mut devices = Vec::new();
+                for part in list.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        return Err(format!("empty device id in backend spec `{s}`"));
+                    }
+                    let device: Device = part.parse().map_err(|e| format!("{e}"))?;
+                    if devices.contains(&device) {
+                        return Err(format!(
+                            "device `{device}` listed twice in backend spec `{s}`"
+                        ));
+                    }
+                    devices.push(device);
+                }
+                (addr, devices)
+            }
+            None => (s, Vec::new()),
+        };
+        let addr = addr.trim();
+        if addr.is_empty() {
+            return Err(format!("empty address in backend spec `{s}`"));
+        }
+        if !addr.contains(':') {
+            return Err(format!(
+                "backend address `{addr}` is not host:port (in spec `{s}`)"
+            ));
+        }
+        Ok(BackendSpec {
+            addr: addr.to_string(),
+            devices,
+        })
+    }
+}
+
+/// Operational knobs for the router. [`Default`] gives the values the
+/// CLI uses; tests tighten the timings.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// The backends to fan out to, in `--backend` argument order.
+    pub backends: Vec<BackendSpec>,
+    /// Max outstanding requests per backend before the router answers
+    /// `overloaded` itself (after trying the other replicas).
+    pub max_in_flight: usize,
+    /// Max idle pooled connections kept per backend.
+    pub pool_idle: usize,
+    /// Consecutive failures that open a backend's circuit.
+    pub failure_threshold: u32,
+    /// How long an open circuit waits before admitting a probe.
+    pub cooldown: Duration,
+    /// Health-check cadence (a `devices` probe per backend).
+    pub probe_interval: Duration,
+    /// Max concurrent client connections at the router.
+    pub max_connections: usize,
+    /// Per-call read timeout on backend connections; `None` blocks
+    /// indefinitely (a hung backend then holds its in-flight slot, so
+    /// the default is finite).
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            backends: Vec::new(),
+            max_in_flight: 64,
+            pool_idle: 8,
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(1),
+            probe_interval: Duration::from_millis(500),
+            max_connections: 256,
+            read_timeout: Some(Duration::from_secs(60)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_bare_addr_and_device_lists() {
+        let bare: BackendSpec = "127.0.0.1:7070".parse().unwrap();
+        assert_eq!(bare.addr, "127.0.0.1:7070");
+        assert!(bare.devices.is_empty());
+
+        let pinned: BackendSpec = "10.0.0.2:7071=titan-x, tesla-p100".parse().unwrap();
+        assert_eq!(pinned.addr, "10.0.0.2:7071");
+        assert_eq!(pinned.devices, vec![Device::TitanX, Device::TeslaP100]);
+    }
+
+    #[test]
+    fn spec_rejects_bad_shapes() {
+        for bad in [
+            "",
+            "noport",
+            "=titan-x",
+            "127.0.0.1:7070=",
+            "127.0.0.1:7070=gtx-9000",
+            "127.0.0.1:7070=titan-x,titan-x",
+        ] {
+            assert!(bad.parse::<BackendSpec>().is_err(), "accepted `{bad}`");
+        }
+        // Unknown devices surface the registry's id list.
+        let err = "127.0.0.1:7070=gtx-9000"
+            .parse::<BackendSpec>()
+            .unwrap_err();
+        assert!(err.contains("titan-x, tesla-p100, tesla-k20c"), "{err}");
+    }
+}

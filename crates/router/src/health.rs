@@ -1,0 +1,38 @@
+//! The health-check loop: one router-owned thread probing every
+//! backend on a fixed cadence.
+//!
+//! Each round sends a `devices` probe through the normal forwarding
+//! path, so the probes drive the breaker state machine: failures open
+//! circuits even when no client traffic is flowing, and after a
+//! backend recovers the half-open probe closes the circuit again —
+//! clients never have to pay for the discovery themselves. Successful
+//! probes also refresh the cached device inventory the router's
+//! `devices` aggregation answers from.
+
+use std::time::{Duration, Instant};
+
+use crate::server::Router;
+
+/// Sleep granularity while waiting for the next probe round, so
+/// shutdown is noticed promptly.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(50);
+
+/// Probe every backend until the router shuts down. Run by
+/// [`Router::serve`] in its own scoped thread.
+pub(crate) fn run(router: &Router, interval: Duration) {
+    while !router.is_shutting_down() {
+        for backend in router.backends() {
+            if router.is_shutting_down() {
+                return;
+            }
+            let _ = backend.probe();
+        }
+        let round_end = Instant::now() + interval;
+        while Instant::now() < round_end {
+            if router.is_shutting_down() {
+                return;
+            }
+            std::thread::sleep(SHUTDOWN_POLL.min(interval));
+        }
+    }
+}

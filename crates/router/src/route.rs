@@ -1,0 +1,159 @@
+//! Pure routing arithmetic: which replica owns a request, how a batch
+//! splits across replicas, and how the per-replica responses merge
+//! back into one byte-identical response.
+//!
+//! Replica choice is `key_hash(device, source) % replicas` — the same
+//! FNV-1a hash the backends key their front caches with, so a kernel
+//! always lands on the same replica and the replicas' warm caches stay
+//! disjoint. The merge never re-serializes predictions: result slots
+//! are spliced out of the backend responses as raw byte slices, so a
+//! routed batch is byte-identical to the same batch against a single
+//! backend.
+
+use gpufreq_serve::cache::key_hash;
+use gpufreq_sim::Device;
+
+/// The replica (index into the device's replica list) that owns
+/// `source` on `device`. Pure: depends only on the arguments.
+pub fn replica_for(device: Device, source: &str, replicas: usize) -> usize {
+    if replicas <= 1 {
+        return 0;
+    }
+    (key_hash(device, source) % replicas as u64) as usize
+}
+
+/// Split a batch across `replicas`: `result[r]` holds the indices of
+/// the sources owned by replica `r`, in request order.
+pub fn split_batch(device: Device, sources: &[String], replicas: usize) -> Vec<Vec<usize>> {
+    let mut shards = vec![Vec::new(); replicas.max(1)];
+    for (i, source) in sources.iter().enumerate() {
+        shards[replica_for(device, source, replicas)].push(i);
+    }
+    shards
+}
+
+/// The fixed frame around a `predict_batch` response body (kept in
+/// lockstep with the backend's serializer; `crate::server` has a
+/// round-trip test against a live backend and the acceptance traces
+/// pin it end-to-end).
+fn batch_prefix(device_id: &str) -> String {
+    format!("{{\"ok\":\"predict_batch\",\"device\":\"{device_id}\",\"results\":[")
+}
+
+/// Slice the raw result slots out of a backend `predict_batch`
+/// response. Returns the slots as byte slices of `body` (no
+/// re-serialization), or `None` if `body` is not a well-formed batch
+/// response for `device_id`.
+pub fn split_results<'b>(body: &'b str, device_id: &str) -> Option<Vec<&'b str>> {
+    let rest = body.strip_prefix(batch_prefix(device_id).as_str())?;
+    let rest = rest.strip_suffix("]}")?;
+    if rest.is_empty() {
+        return Some(Vec::new());
+    }
+    let mut slots = Vec::new();
+    let (mut depth, mut start) = (0usize, 0usize);
+    let (mut in_string, mut escaped) = (false, false);
+    for (i, b) in rest.bytes().enumerate() {
+        if in_string {
+            match b {
+                _ if escaped => escaped = false,
+                b'\\' => escaped = true,
+                b'"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth = depth.checked_sub(1)?,
+            b',' if depth == 0 => {
+                slots.push(&rest[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_string {
+        return None;
+    }
+    slots.push(&rest[start..]);
+    Some(slots)
+}
+
+/// Assemble a `predict_batch` response from result slots in request
+/// order. Slots are raw fragments (`{"prediction":...}` or
+/// `{"error":...}`) spliced verbatim.
+pub fn merge_batch(device_id: &str, slots: &[&str]) -> String {
+    let mut body = batch_prefix(device_id);
+    for (i, slot) in slots.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(slot);
+    }
+    body.push_str("]}");
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_choice_is_stable_and_in_range() {
+        let sources = ["__global void a(){}", "kernel B", "kernel C", ""];
+        for replicas in 1..=5 {
+            for s in &sources {
+                let r = replica_for(Device::TitanX, s, replicas);
+                assert!(r < replicas);
+                assert_eq!(r, replica_for(Device::TitanX, s, replicas));
+            }
+        }
+        // One replica: everything lands on it.
+        assert_eq!(replica_for(Device::TeslaP100, "anything", 1), 0);
+    }
+
+    #[test]
+    fn split_batch_partitions_all_indices_in_order() {
+        let sources: Vec<String> = (0..20).map(|i| format!("kernel {i}")).collect();
+        let shards = split_batch(Device::TitanX, &sources, 3);
+        assert_eq!(shards.len(), 3);
+        let mut seen: Vec<usize> = shards.iter().flatten().copied().collect();
+        for shard in &shards {
+            assert!(shard.windows(2).all(|w| w[0] < w[1]), "{shard:?}");
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_split_and_merge_round_trip() {
+        let body = "{\"ok\":\"predict_batch\",\"device\":\"titan-x\",\"results\":[\
+                    {\"prediction\":{\"core\":[1,2]}},\
+                    {\"error\":{\"code\":\"kernel\",\"message\":\"a, \\\"b\\\" {c}\"}},\
+                    {\"prediction\":{\"core\":[]}}]}";
+        let slots = split_results(body, "titan-x").unwrap();
+        assert_eq!(slots.len(), 3);
+        assert_eq!(slots[0], "{\"prediction\":{\"core\":[1,2]}}");
+        assert!(slots[1].starts_with("{\"error\""));
+        assert_eq!(merge_batch("titan-x", &slots), body);
+    }
+
+    #[test]
+    fn empty_and_malformed_bodies() {
+        let empty = "{\"ok\":\"predict_batch\",\"device\":\"titan-x\",\"results\":[]}";
+        assert_eq!(split_results(empty, "titan-x"), Some(Vec::new()));
+        assert_eq!(merge_batch("titan-x", &[]), empty);
+        // Wrong device, wrong op, truncated: all rejected.
+        assert_eq!(split_results(empty, "tesla-p100"), None);
+        assert_eq!(split_results("{\"ok\":\"predict\"}", "titan-x"), None);
+        assert_eq!(
+            split_results(
+                "{\"ok\":\"predict_batch\",\"device\":\"titan-x\",\"results\":[{\"x\":1}",
+                "titan-x"
+            ),
+            None
+        );
+    }
+}

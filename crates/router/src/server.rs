@@ -1,0 +1,871 @@
+//! The router core: client-facing listeners (JSON-lines + HTTP
+//! gateway), request dispatch, and response aggregation.
+//!
+//! The router owns client connections and fans requests out to backend
+//! daemons over the same line protocol clients speak — it computes no
+//! predictions itself. Routing is two-level: the request's `device`
+//! picks the shard, and `key_hash(device, source)` picks the replica
+//! within the shard so each replica's warm front cache stays disjoint.
+//! Single-shard traffic is forwarded as the **raw request line** and
+//! relayed verbatim; only a batch that genuinely splits across
+//! replicas is re-framed, and its merged response splices the
+//! backends' raw result slots so the bytes match a single-backend run
+//! exactly.
+
+use std::io::{self, Read, Write};
+use std::net::{IpAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::thread::Scope;
+use std::time::Duration;
+
+use gpufreq_serve::http::Gateway;
+use gpufreq_serve::protocol::{ErrorBody, ErrorCode, Request, Response, ServerStats};
+use gpufreq_serve::server::{MAX_LINE_BYTES, READ_POLL};
+use gpufreq_serve::LineClient;
+use gpufreq_sim::Device;
+
+use crate::backend::{Backend, CallError};
+use crate::config::RouterConfig;
+use crate::route::{merge_batch, replica_for, split_batch, split_results};
+use crate::wire::{RouterCounters, RouterSnapshot};
+
+/// How long the accept loops sleep when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Which protocol an accepted connection speaks.
+#[derive(Debug, Clone, Copy)]
+enum ConnKind {
+    Line,
+    Http,
+}
+
+/// Why the router could not start.
+#[derive(Debug)]
+pub enum RouterError {
+    /// No `--backend` was given.
+    NoBackends,
+    /// A backend without an explicit device list could not be asked
+    /// for one at startup.
+    Discovery {
+        /// The unreachable backend's address.
+        addr: String,
+        /// What went wrong.
+        error: String,
+    },
+    /// No backend serves any known device.
+    NoDevices,
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::NoBackends => f.write_str("no backends configured"),
+            RouterError::Discovery { addr, error } => write!(
+                f,
+                "backend `{addr}` has no device list and discovery failed: {error} \
+                 (pin devices with --backend {addr}=<device,...> to defer the connection)"
+            ),
+            RouterError::NoDevices => f.write_str("no backend serves any known device"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+/// The device-sharded router. Shared across connection threads by
+/// reference; all interior state is synchronized.
+pub struct Router {
+    backends: Vec<Backend>,
+    /// `(device, replica indices into backends)`, in [`Device::all`]
+    /// order; only devices with at least one replica appear.
+    shards: Vec<(Device, Vec<usize>)>,
+    max_connections: usize,
+    probe_interval: Duration,
+    active_connections: AtomicUsize,
+    shutting_down: AtomicBool,
+    routed: AtomicU64,
+    retried: AtomicU64,
+    broken_circuit: AtomicU64,
+    malformed: AtomicU64,
+}
+
+impl Router {
+    /// Build a router over `config.backends`. Backends with explicit
+    /// device lists are taken on faith (their circuits handle
+    /// unreachability); a backend without one is asked via a `devices`
+    /// probe, and the router refuses to start if that fails.
+    pub fn new(config: RouterConfig) -> Result<Router, RouterError> {
+        if config.backends.is_empty() {
+            return Err(RouterError::NoBackends);
+        }
+        let mut backends = Vec::with_capacity(config.backends.len());
+        for spec in &config.backends {
+            let (devices, info) = if spec.devices.is_empty() {
+                let info = discover(&spec.addr, config.read_timeout).map_err(|error| {
+                    RouterError::Discovery {
+                        addr: spec.addr.clone(),
+                        error,
+                    }
+                })?;
+                let devices = info
+                    .iter()
+                    .filter_map(|i| i.id.parse::<Device>().ok())
+                    .collect::<Vec<_>>();
+                (devices, Some(info))
+            } else {
+                (spec.devices.clone(), None)
+            };
+            backends.push(Backend::new(spec.addr.clone(), devices, info, &config));
+        }
+        let shards: Vec<(Device, Vec<usize>)> = Device::all()
+            .into_iter()
+            .filter_map(|device| {
+                let replicas: Vec<usize> = backends
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| b.devices().contains(&device))
+                    .map(|(i, _)| i)
+                    .collect();
+                (!replicas.is_empty()).then_some((device, replicas))
+            })
+            .collect();
+        if shards.is_empty() {
+            return Err(RouterError::NoDevices);
+        }
+        Ok(Router {
+            backends,
+            shards,
+            max_connections: config.max_connections.max(1),
+            probe_interval: config.probe_interval,
+            active_connections: AtomicUsize::new(0),
+            shutting_down: AtomicBool::new(false),
+            routed: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            broken_circuit: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+        })
+    }
+
+    /// The devices the router serves, in shard order.
+    pub fn devices(&self) -> Vec<Device> {
+        self.shards.iter().map(|(d, _)| *d).collect()
+    }
+
+    /// The backends, in `--backend` argument order.
+    pub(crate) fn backends(&self) -> &[Backend] {
+        &self.backends
+    }
+
+    /// Whether a shutdown request has been observed.
+    pub fn is_shutting_down(&self) -> bool {
+        // ordering: a monotonic latch; observers only need to
+        // eventually see `true`, and every control-flow consequence is
+        // local to the observing thread.
+        self.shutting_down.load(Ordering::Relaxed)
+    }
+
+    /// Latch the shutdown flag (idempotent). Backends keep running —
+    /// only the router drains.
+    pub fn initiate_shutdown(&self) {
+        // ordering: see `is_shutting_down` — a monotonic latch.
+        self.shutting_down.store(true, Ordering::Relaxed);
+    }
+
+    /// Router-level counters plus per-backend health.
+    pub fn snapshot(&self) -> RouterSnapshot {
+        RouterSnapshot {
+            counters: RouterCounters {
+                routed: count(&self.routed),
+                retried: count(&self.retried),
+                broken_circuit: count(&self.broken_circuit),
+                malformed: count(&self.malformed),
+            },
+            backends: self.backends.iter().map(|b| b.snapshot()).collect(),
+        }
+    }
+
+    /// Resolve a request's device id to its shard, with the same typed
+    /// errors (and bytes) a backend answers for unknown/unserved ids.
+    fn resolve(&self, id: &str) -> Result<(Device, &[usize]), ErrorBody> {
+        let device: Device = id.parse().map_err(|e| ErrorBody::unknown_device(&e))?;
+        self.shards
+            .iter()
+            .find(|(d, _)| *d == device)
+            .map(|(d, replicas)| (*d, replicas.as_slice()))
+            .ok_or_else(|| ErrorBody::device_not_served(device, &self.devices()))
+    }
+
+    /// Handle one raw protocol line to its response line.
+    pub fn handle_line(&self, line: &str) -> String {
+        match Request::parse(line) {
+            Ok(request) => self.dispatch(&request, Some(line)),
+            Err(error) => {
+                // ordering: see `snapshot` — monotonic counter.
+                self.malformed.fetch_add(1, Ordering::Relaxed);
+                error.into_response().to_json()
+            }
+        }
+    }
+
+    /// Dispatch a parsed request. `raw` is the original wire line when
+    /// the request arrived on the line protocol — single-shard ops
+    /// forward it verbatim; the HTTP gateway passes `None` and the
+    /// forwarded line is re-framed from the typed request (the same
+    /// serializer both ends use, so the bytes cannot differ).
+    fn dispatch(&self, request: &Request, raw: Option<&str>) -> String {
+        let framed;
+        let line = match raw {
+            Some(line) => line,
+            None => {
+                framed = request.to_json();
+                &framed
+            }
+        };
+        match request {
+            Request::Predict { device, source } => self.route_predict(device, source, line),
+            Request::PredictBatch { device, sources } => self.route_batch(device, sources, line),
+            Request::Devices => self.devices_body(),
+            Request::Stats => self.stats_body(),
+            Request::Reload { device, .. } => self.reload_body(device, line),
+            Request::Shutdown => {
+                self.initiate_shutdown();
+                Response::Shutdown.to_json()
+            }
+        }
+    }
+
+    /// Forward `line` to the replica owning it, failing over to the
+    /// other replicas in ring order. Returns the backend's raw
+    /// response, a relayed `overloaded` if every live replica said so,
+    /// or a synthesized `overloaded` when none could be reached.
+    fn call_replicas(
+        &self,
+        device: Device,
+        replicas: &[usize],
+        owner: usize,
+        line: &str,
+    ) -> String {
+        let mut overloaded = None;
+        for attempt in 0..replicas.len() {
+            if attempt > 0 {
+                // ordering: see `snapshot` — monotonic counter.
+                self.retried.fetch_add(1, Ordering::Relaxed);
+            }
+            let idx = replicas[(owner + attempt) % replicas.len()];
+            match self.backends[idx].call(line) {
+                Ok(response) => {
+                    // ordering: see `snapshot` — monotonic counter.
+                    self.routed.fetch_add(1, Ordering::Relaxed);
+                    return response;
+                }
+                Err(CallError::Overloaded(response)) => overloaded = Some(response),
+                Err(CallError::Broken) => {
+                    // ordering: see `snapshot` — monotonic counter.
+                    self.broken_circuit.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(CallError::Busy) | Err(CallError::Io(_)) => {}
+            }
+        }
+        overloaded.unwrap_or_else(|| Backend::all_unavailable(device))
+    }
+
+    fn route_predict(&self, device_id: &str, source: &str, line: &str) -> String {
+        match self.resolve(device_id) {
+            Ok((device, replicas)) => {
+                let owner = replica_for(device, source, replicas.len());
+                self.call_replicas(device, replicas, owner, line)
+            }
+            Err(error) => error.into_response().to_json(),
+        }
+    }
+
+    fn route_batch(&self, device_id: &str, sources: &[String], line: &str) -> String {
+        let (device, replicas) = match self.resolve(device_id) {
+            Ok(resolved) => resolved,
+            Err(error) => return error.into_response().to_json(),
+        };
+        let shards = split_batch(device, sources, replicas.len());
+        let occupied: Vec<usize> = (0..shards.len())
+            .filter(|&r| !shards[r].is_empty())
+            .collect();
+        // One replica owns everything (or the batch is empty): forward
+        // the raw line, relay the raw response.
+        if occupied.len() <= 1 {
+            let owner = occupied.first().copied().unwrap_or(0);
+            return self.call_replicas(device, replicas, owner, line);
+        }
+        // Genuinely split: re-frame one sub-batch per occupied
+        // replica, fan out concurrently, splice the raw result slots
+        // back in request order.
+        let mut responses: Vec<Option<String>> = vec![None; occupied.len()];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(occupied.len());
+            for &replica in &occupied {
+                let sub = Request::PredictBatch {
+                    device: device.id().to_string(),
+                    sources: shards[replica]
+                        .iter()
+                        .map(|&i| sources[i].clone())
+                        .collect(),
+                };
+                handles.push(
+                    scope.spawn(move || {
+                        self.call_replicas(device, replicas, replica, &sub.to_json())
+                    }),
+                );
+            }
+            for (slot, handle) in handles.into_iter().enumerate() {
+                // analyze:allow(panic-in-request-path, reason = "join() only errors if the fan-out thread panicked; re-raising is the faithful report")
+                responses[slot] = Some(handle.join().expect("batch fan-out thread panicked"));
+            }
+        });
+        let mut slots: Vec<&str> = vec![""; sources.len()];
+        for (slot, &replica) in occupied.iter().enumerate() {
+            let Some(response) = responses[slot].as_deref() else {
+                return Backend::all_unavailable(device);
+            };
+            match split_results(response, device.id()) {
+                Some(parts) if parts.len() == shards[replica].len() => {
+                    for (k, &i) in shards[replica].iter().enumerate() {
+                        slots[i] = parts[k];
+                    }
+                }
+                // An error line (overloaded, shutting_down, ...) or a
+                // malformed body: a single backend would have answered
+                // the whole batch with it, so relay it whole.
+                _ => return response.to_string(),
+            }
+        }
+        merge_batch(device.id(), &slots)
+    }
+
+    /// Aggregate `devices`: one entry per served device in shard
+    /// order, taken from the health probes' cached inventories (with
+    /// an on-demand probe before giving up). Serialized through the
+    /// same [`Response::Devices`] writer the backends use.
+    fn devices_body(&self) -> String {
+        let mut devices = Vec::with_capacity(self.shards.len());
+        for (device, replicas) in &self.shards {
+            let cached = replicas.iter().find_map(|&idx| {
+                self.backends[idx]
+                    .info()
+                    .and_then(|list| list.into_iter().find(|i| i.id == device.id()))
+            });
+            let probed = cached.or_else(|| {
+                replicas.iter().find_map(|&idx| {
+                    self.backends[idx]
+                        .probe()
+                        .and_then(|list| list.into_iter().find(|i| i.id == device.id()))
+                })
+            });
+            match probed {
+                Some(info) => devices.push(info),
+                None => return Backend::all_unavailable(*device),
+            }
+        }
+        Response::Devices { devices }.to_json()
+    }
+
+    /// Aggregate `stats`: sum the reachable backends' snapshots
+    /// (percentiles take the max — a sum of quantiles means nothing)
+    /// and append the router's own section to the response object.
+    fn stats_body(&self) -> String {
+        let mut total = zero_stats();
+        for backend in &self.backends {
+            if let Ok(response) = backend.call(&Request::Stats.to_json()) {
+                if let Ok(Response::Stats { stats }) = Response::parse(&response) {
+                    add_stats(&mut total, &stats);
+                }
+            }
+        }
+        let mut body = Response::Stats {
+            stats: Box::new(total),
+        }
+        .to_json();
+        let section =
+            serde_json::to_string(&self.snapshot().to_value()).unwrap_or_else(|_| "{}".to_string());
+        // Splice `"router":{...}` into the top-level response object.
+        body.truncate(body.len().saturating_sub(1));
+        body.push_str(",\"router\":");
+        body.push_str(&section);
+        body.push('}');
+        body
+    }
+
+    /// Fan a `reload` to every replica of the device, sequentially and
+    /// in replica order. The first error (typed or transport) is
+    /// relayed/reported immediately — replicas reloaded before it stay
+    /// on the new model, which the error message says out loud.
+    fn reload_body(&self, device_id: &str, line: &str) -> String {
+        let (device, replicas) = match self.resolve(device_id) {
+            Ok(resolved) => resolved,
+            Err(error) => return error.into_response().to_json(),
+        };
+        let mut first = None;
+        for &idx in replicas {
+            match self.backends[idx].call(line) {
+                Ok(response) if response.starts_with("{\"error\":") => return response,
+                Ok(response) => {
+                    if first.is_none() {
+                        first = Some(response);
+                    }
+                }
+                Err(_) => {
+                    return ErrorBody::new(
+                        ErrorCode::ReloadFailed,
+                        format!(
+                            "replica `{}` unreachable during reload; replicas of `{}` may now disagree",
+                            self.backends[idx].addr(),
+                            device.id()
+                        ),
+                    )
+                    .into_response()
+                    .to_json();
+                }
+            };
+        }
+        match first {
+            Some(response) => response,
+            None => Backend::all_unavailable(device),
+        }
+    }
+
+    /// Serve one JSON-lines connection: a manual bounded line pump.
+    /// Requests are handled sequentially, so responses are in order by
+    /// construction. An over-long line is answered with the same typed
+    /// `bad_request` the backends use, and the excess is discarded
+    /// until the next newline.
+    fn line_connection(&self, stream: TcpStream) {
+        let setup = (|| -> io::Result<TcpStream> {
+            stream.set_nonblocking(false)?;
+            stream.set_nodelay(true).ok();
+            stream.set_read_timeout(Some(READ_POLL))?;
+            stream.try_clone()
+        })();
+        let mut writer = match setup {
+            Ok(writer) => writer,
+            Err(e) => {
+                self.note_conn_setup_failure(&e);
+                return;
+            }
+        };
+        let mut reader = stream;
+        let mut buf: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 64 * 1024];
+        let mut discarding = false;
+        loop {
+            if self.is_shutting_down() {
+                return;
+            }
+            let n = match reader.read(&mut chunk) {
+                Ok(0) => return,
+                Ok(n) => n,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            };
+            buf.extend_from_slice(&chunk[..n]);
+            let mut start = 0usize;
+            while let Some(pos) = buf[start..].iter().position(|&b| b == b'\n') {
+                let end = start + pos;
+                let line = &buf[start..end];
+                start = end + 1;
+                if discarding {
+                    // The tail of an over-long line (already
+                    // answered); swallow it.
+                    discarding = false;
+                    continue;
+                }
+                let response = match std::str::from_utf8(line) {
+                    Ok(text) if text.trim().is_empty() => continue,
+                    Ok(text) => self.handle_line(text.trim_end_matches('\r')),
+                    Err(_) => {
+                        // ordering: see `snapshot` — monotonic counter.
+                        self.malformed.fetch_add(1, Ordering::Relaxed);
+                        ErrorBody::new(
+                            ErrorCode::BadRequest,
+                            "request line is not valid UTF-8".to_string(),
+                        )
+                        .into_response()
+                        .to_json()
+                    }
+                };
+                if write_line(&mut writer, &response).is_err() {
+                    return;
+                }
+            }
+            buf.drain(..start);
+            if discarding {
+                // Still inside the over-long line (already answered):
+                // drop the bytes instead of accumulating them.
+                buf.clear();
+            } else if buf.len() > MAX_LINE_BYTES {
+                buf.clear();
+                discarding = true;
+                // ordering: see `snapshot` — monotonic counter.
+                self.malformed.fetch_add(1, Ordering::Relaxed);
+                let response = ErrorBody::new(
+                    ErrorCode::BadRequest,
+                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                )
+                .into_response()
+                .to_json();
+                if write_line(&mut writer, &response).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn note_conn_setup_failure(&self, error: &io::Error) {
+        static LOGGED: std::sync::Once = std::sync::Once::new();
+        LOGGED.call_once(|| {
+            eprintln!(
+                "[gpufreq-router] dropping connection: socket setup failed: {error} \
+                 (further occurrences not logged)"
+            );
+        });
+    }
+
+    /// Claim a slot under the connection cap (the decrement happens
+    /// when the connection thread exits).
+    fn claim_connection_slot(&self) -> bool {
+        let claim = |n: usize| (n < self.max_connections).then_some(n + 1);
+        let gate = &self.active_connections;
+        // ordering: a self-contained gate counter (same argument as
+        // the serve daemon's): no memory is published through it, and
+        // the CAS alone keeps the cap exact.
+        gate.fetch_update(Ordering::Relaxed, Ordering::Relaxed, claim)
+            .is_ok()
+    }
+
+    /// Refuse a connection over the cap with a best-effort typed
+    /// `overloaded` (line or HTTP 503 by listener), never blocking the
+    /// acceptor.
+    fn refuse_connection(&self, mut stream: TcpStream, kind: ConnKind) {
+        let body = ErrorBody::new(
+            ErrorCode::Overloaded,
+            format!(
+                "connection cap reached ({} active); retry later",
+                self.max_connections
+            ),
+        )
+        .into_response()
+        .to_json();
+        let payload = match kind {
+            ConnKind::Line => format!("{body}\n"),
+            ConnKind::Http => gpufreq_serve::http::refusal_payload(&body),
+        };
+        stream.set_nonblocking(true).ok();
+        let _ = stream.write_all(payload.as_bytes());
+    }
+
+    fn dispatch_connection<'scope, 'env>(
+        &'env self,
+        scope: &'scope Scope<'scope, 'env>,
+        stream: TcpStream,
+        peer: IpAddr,
+        kind: ConnKind,
+    ) {
+        if !self.claim_connection_slot() {
+            self.refuse_connection(stream, kind);
+            return;
+        }
+        scope.spawn(move || {
+            match kind {
+                ConnKind::Line => self.line_connection(stream),
+                ConnKind::Http => gpufreq_serve::http::serve_http_connection(self, stream, peer),
+            }
+            // ordering: see `claim_connection_slot` — a bare counter.
+            self.active_connections.fetch_sub(1, Ordering::Relaxed);
+        });
+    }
+
+    fn accept_loop<'scope, 'env>(
+        &'env self,
+        scope: &'scope Scope<'scope, 'env>,
+        listener: &TcpListener,
+        kind: ConnKind,
+    ) {
+        loop {
+            if self.is_shutting_down() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, peer)) => self.dispatch_connection(scope, stream, peer.ip(), kind),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    eprintln!("[gpufreq-router] accept error: {e}");
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+            }
+        }
+    }
+
+    /// Serve JSON-lines connections on `listener` until a `shutdown`
+    /// request arrives, then return the final router snapshot. The
+    /// backends are left running.
+    pub fn serve(&self, listener: TcpListener) -> io::Result<RouterSnapshot> {
+        self.serve_with_http(listener, None)
+    }
+
+    /// Like [`serve`](Router::serve), with an optional HTTP gateway
+    /// listener sharing the connection cap and the backends.
+    pub fn serve_with_http(
+        &self,
+        listener: TcpListener,
+        http: Option<TcpListener>,
+    ) -> io::Result<RouterSnapshot> {
+        listener.set_nonblocking(true)?;
+        if let Some(h) = &http {
+            h.set_nonblocking(true)?;
+        }
+        std::thread::scope(|scope| {
+            scope.spawn(|| crate::health::run(self, self.probe_interval));
+            if let Some(http) = &http {
+                scope.spawn(move || self.accept_loop(scope, http, ConnKind::Http));
+            }
+            self.accept_loop(scope, &listener, ConnKind::Line);
+        });
+        Ok(self.snapshot())
+    }
+}
+
+impl Gateway for Router {
+    fn execute(&self, request: Request, _peer: IpAddr) -> String {
+        self.dispatch(&request, None)
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.is_shutting_down()
+    }
+
+    fn malformed(&self, error: ErrorBody) -> String {
+        // ordering: see `Router::snapshot` — monotonic counter.
+        self.malformed.fetch_add(1, Ordering::Relaxed);
+        error.into_response().to_json()
+    }
+
+    fn note_setup_failure(&self, error: &io::Error) {
+        self.note_conn_setup_failure(error);
+    }
+}
+
+/// Load one router counter for a snapshot.
+fn count(counter: &AtomicU64) -> u64 {
+    // ordering: independent monotonic counters; a snapshot tolerates
+    // skew between them.
+    counter.load(Ordering::Relaxed)
+}
+
+fn write_line(writer: &mut TcpStream, response: &str) -> io::Result<()> {
+    writer.write_all(response.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Ask `addr` what it serves (startup discovery for backends given
+/// without a device list).
+fn discover(
+    addr: &str,
+    read_timeout: Option<Duration>,
+) -> Result<Vec<gpufreq_serve::protocol::DeviceInfo>, String> {
+    let mut client = LineClient::connect(addr).map_err(|e| e.to_string())?;
+    client
+        .set_read_timeout(read_timeout)
+        .map_err(|e| e.to_string())?;
+    let response = client
+        .request(&Request::Devices)
+        .map_err(|e| e.to_string())?;
+    match Response::parse(&response) {
+        Ok(Response::Devices { devices }) => Ok(devices),
+        Ok(other) => Err(format!("unexpected devices response: {}", other.to_json())),
+        Err(e) => Err(format!("unparseable devices response: {e}")),
+    }
+}
+
+/// An all-zero [`ServerStats`] to accumulate backend snapshots into.
+fn zero_stats() -> ServerStats {
+    ServerStats {
+        requests: gpufreq_serve::protocol::RequestCounts {
+            total: 0,
+            predict: 0,
+            predict_batch: 0,
+            batch_kernels: 0,
+            devices: 0,
+            stats: 0,
+            shutdown: 0,
+            errors: 0,
+            rejected: 0,
+            reload: 0,
+            rejected_p99: 0,
+            rejected_quota: 0,
+        },
+        front_cache: zero_cache(),
+        analysis_cache: zero_cache(),
+        queue: gpufreq_serve::protocol::QueueStats {
+            depth: 0,
+            capacity: 0,
+        },
+        workers: 0,
+        latency_us: gpufreq_serve::protocol::LatencyStats {
+            count: 0,
+            p50: 0,
+            p95: 0,
+            p99: 0,
+            max: 0,
+        },
+        connections: gpufreq_serve::protocol::ConnectionStats {
+            opened: 0,
+            closed: 0,
+            refused: 0,
+            failed: 0,
+            active: 0,
+        },
+    }
+}
+
+fn zero_cache() -> gpufreq_serve::protocol::CacheStats {
+    gpufreq_serve::protocol::CacheStats {
+        hits: 0,
+        misses: 0,
+        evictions: 0,
+        len: 0,
+        capacity: 0,
+    }
+}
+
+/// Accumulate one backend's stats: counters and gauges sum;
+/// latency percentiles take the max (a sum of quantiles would be
+/// meaningless across independent daemons).
+fn add_stats(total: &mut ServerStats, stats: &ServerStats) {
+    let r = (&mut total.requests, &stats.requests);
+    r.0.total += r.1.total;
+    r.0.predict += r.1.predict;
+    r.0.predict_batch += r.1.predict_batch;
+    r.0.batch_kernels += r.1.batch_kernels;
+    r.0.devices += r.1.devices;
+    r.0.stats += r.1.stats;
+    r.0.shutdown += r.1.shutdown;
+    r.0.errors += r.1.errors;
+    r.0.rejected += r.1.rejected;
+    r.0.reload += r.1.reload;
+    r.0.rejected_p99 += r.1.rejected_p99;
+    r.0.rejected_quota += r.1.rejected_quota;
+    for (t, s) in [
+        (&mut total.front_cache, &stats.front_cache),
+        (&mut total.analysis_cache, &stats.analysis_cache),
+    ] {
+        t.hits += s.hits;
+        t.misses += s.misses;
+        t.evictions += s.evictions;
+        t.len += s.len;
+        t.capacity += s.capacity;
+    }
+    total.queue.depth += stats.queue.depth;
+    total.queue.capacity += stats.queue.capacity;
+    total.workers += stats.workers;
+    total.latency_us.count += stats.latency_us.count;
+    total.latency_us.p50 = total.latency_us.p50.max(stats.latency_us.p50);
+    total.latency_us.p95 = total.latency_us.p95.max(stats.latency_us.p95);
+    total.latency_us.p99 = total.latency_us.p99.max(stats.latency_us.p99);
+    total.latency_us.max = total.latency_us.max.max(stats.latency_us.max);
+    total.connections.opened += stats.connections.opened;
+    total.connections.closed += stats.connections.closed;
+    total.connections.refused += stats.connections.refused;
+    total.connections.failed += stats.connections.failed;
+    total.connections.active += stats.connections.active;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BackendSpec;
+
+    fn config(backends: &[&str]) -> RouterConfig {
+        RouterConfig {
+            backends: backends
+                .iter()
+                .map(|s| s.parse::<BackendSpec>().unwrap())
+                .collect(),
+            ..RouterConfig::default()
+        }
+    }
+
+    #[test]
+    fn startup_requires_backends_and_devices() {
+        assert!(matches!(
+            Router::new(RouterConfig::default()),
+            Err(RouterError::NoBackends)
+        ));
+        // Explicit device lists defer connections, so construction
+        // succeeds with nothing listening.
+        let router = Router::new(config(&[
+            "127.0.0.1:1=titan-x",
+            "127.0.0.1:2=titan-x,tesla-p100",
+        ]))
+        .unwrap();
+        assert_eq!(router.devices(), vec![Device::TitanX, Device::TeslaP100]);
+        let shards = &router.shards;
+        assert_eq!(shards[0].1, vec![0, 1]);
+        assert_eq!(shards[1].1, vec![1]);
+        // Discovery against nothing fails fast.
+        let Err(err) = Router::new(config(&["127.0.0.1:1"])) else {
+            panic!("discovery against a dead address must fail");
+        };
+        assert!(matches!(err, RouterError::Discovery { .. }), "{err}");
+        assert!(err.to_string().contains("127.0.0.1:1"), "{err}");
+    }
+
+    #[test]
+    fn unknown_and_unserved_devices_answer_backend_identical_bytes() {
+        let router = Router::new(config(&["127.0.0.1:1=titan-x"])).unwrap();
+        let unknown =
+            router.handle_line("{\"op\":\"predict\",\"device\":\"gtx-9000\",\"source\":\"k\"}");
+        assert!(unknown.contains("\"code\":\"unknown_device\""), "{unknown}");
+        assert!(
+            unknown.contains("titan-x, tesla-p100, tesla-k20c"),
+            "{unknown}"
+        );
+        let unserved =
+            router.handle_line("{\"op\":\"predict\",\"device\":\"tesla-p100\",\"source\":\"k\"}");
+        assert_eq!(
+            unserved,
+            ErrorBody::device_not_served(Device::TeslaP100, &[Device::TitanX])
+                .into_response()
+                .to_json()
+        );
+        // Malformed lines are counted and answered typed.
+        let bad = router.handle_line("not json");
+        assert!(bad.contains("\"code\":\"bad_request\""), "{bad}");
+        assert_eq!(router.snapshot().counters.malformed, 1);
+    }
+
+    #[test]
+    fn dead_replicas_answer_overloaded_and_open_circuits() {
+        let mut cfg = config(&["127.0.0.1:1=titan-x", "127.0.0.1:2=titan-x"]);
+        cfg.failure_threshold = 1;
+        let router = Router::new(cfg).unwrap();
+        let line = "{\"op\":\"predict\",\"device\":\"titan-x\",\"source\":\"kernel\"}";
+        let first = router.handle_line(line);
+        assert!(first.contains("\"code\":\"overloaded\""), "{first}");
+        // Both circuits opened after one failure each; the next call
+        // is rejected without touching the network.
+        let snap = router.snapshot();
+        assert!(snap
+            .backends
+            .iter()
+            .all(|b| b.state == crate::wire::CircuitState::Open));
+        let second = router.handle_line(line);
+        assert!(second.contains("\"code\":\"overloaded\""), "{second}");
+        assert_eq!(router.snapshot().counters.broken_circuit, 2);
+    }
+}

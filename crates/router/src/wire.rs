@@ -1,0 +1,172 @@
+//! Router-specific wire vocabulary: the circuit-breaker state names
+//! published in the `router` section of the stats response, and the
+//! snapshot types that section is built from.
+//!
+//! The state strings are pinned by `crates/serve/wire_inventory.txt`
+//! (`state` lines) and checked by `gpufreq analyze`
+//! (wire-string-drift): renaming one here without updating the
+//! inventory — and every dashboard scraping it — fails the lint.
+//!
+//! Everything else the router speaks is the serve line protocol
+//! (`gpufreq_serve::protocol`), forwarded byte-for-byte; this module
+//! deliberately adds no new ops, error codes, or routes.
+
+use serde::Value;
+
+/// Circuit-breaker state of one backend, as published in
+/// `router.backends[].state`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitState {
+    /// Healthy: requests flow freely.
+    Closed,
+    /// Tripped: requests are rejected without touching the backend
+    /// until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe request is admitted; its
+    /// outcome closes or re-opens the circuit.
+    HalfOpen,
+}
+
+impl CircuitState {
+    /// Every state, in lifecycle order.
+    pub const ALL: [CircuitState; 3] = [
+        CircuitState::Closed,
+        CircuitState::Open,
+        CircuitState::HalfOpen,
+    ];
+
+    /// The stable wire name (pinned by the wire inventory).
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            CircuitState::Closed => "closed",
+            CircuitState::Open => "open",
+            CircuitState::HalfOpen => "half_open",
+        }
+    }
+}
+
+impl std::fmt::Display for CircuitState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Router-level counters published in the `router` stats section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterCounters {
+    /// Requests successfully forwarded to a backend.
+    pub routed: u64,
+    /// Failover attempts: a request re-sent to another replica after
+    /// its preferred one failed or reported `overloaded`.
+    pub retried: u64,
+    /// Requests turned away from a backend by an open circuit.
+    pub broken_circuit: u64,
+    /// Lines or HTTP bodies that failed to parse at the router.
+    pub malformed: u64,
+}
+
+/// One backend's health, as published in `router.backends[]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendSnapshot {
+    /// The backend's `host:port` address.
+    pub addr: String,
+    /// Device ids this backend serves.
+    pub devices: Vec<String>,
+    /// Current circuit-breaker state.
+    pub state: CircuitState,
+    /// Requests forwarded to this backend (including probes).
+    pub requests: u64,
+    /// Forwarding failures: connection errors, transport errors, and
+    /// typed `overloaded` responses.
+    pub failures: u64,
+    /// Requests currently outstanding against this backend.
+    pub in_flight: u64,
+}
+
+/// The full `router` stats section: router counters plus per-backend
+/// health.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RouterSnapshot {
+    /// Router-level counters.
+    pub counters: RouterCounters,
+    /// Per-backend health, in `--backend` argument order.
+    pub backends: Vec<BackendSnapshot>,
+}
+
+impl RouterSnapshot {
+    /// The `router` section as a JSON value, ready to splice into the
+    /// aggregated stats response. Field order is fixed so the output
+    /// is byte-stable.
+    pub fn to_value(&self) -> Value {
+        let c = &self.counters;
+        let backends = self
+            .backends
+            .iter()
+            .map(|b| {
+                Value::Object(vec![
+                    ("addr".to_string(), Value::String(b.addr.clone())),
+                    (
+                        "devices".to_string(),
+                        Value::Array(b.devices.iter().map(|d| Value::String(d.clone())).collect()),
+                    ),
+                    (
+                        "state".to_string(),
+                        Value::String(b.state.as_str().to_string()),
+                    ),
+                    ("requests".to_string(), uint(b.requests)),
+                    ("failures".to_string(), uint(b.failures)),
+                    ("in_flight".to_string(), uint(b.in_flight)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("routed".to_string(), uint(c.routed)),
+            ("retried".to_string(), uint(c.retried)),
+            ("broken_circuit".to_string(), uint(c.broken_circuit)),
+            ("malformed".to_string(), uint(c.malformed)),
+            ("backends".to_string(), Value::Array(backends)),
+        ])
+    }
+}
+
+fn uint(n: u64) -> Value {
+    Value::Number(serde::Number::U64(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_names_are_the_pinned_wire_strings() {
+        let names: Vec<&str> = CircuitState::ALL.iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, ["closed", "open", "half_open"]);
+    }
+
+    #[test]
+    fn snapshot_serializes_with_stable_field_order() {
+        let snap = RouterSnapshot {
+            counters: RouterCounters {
+                routed: 7,
+                retried: 1,
+                broken_circuit: 2,
+                malformed: 0,
+            },
+            backends: vec![BackendSnapshot {
+                addr: "127.0.0.1:7070".to_string(),
+                devices: vec!["titan-x".to_string()],
+                state: CircuitState::Open,
+                requests: 9,
+                failures: 3,
+                in_flight: 0,
+            }],
+        };
+        let json = serde_json::to_string(&snap.to_value()).unwrap();
+        assert_eq!(
+            json,
+            "{\"routed\":7,\"retried\":1,\"broken_circuit\":2,\"malformed\":0,\
+             \"backends\":[{\"addr\":\"127.0.0.1:7070\",\"devices\":[\"titan-x\"],\
+             \"state\":\"open\",\"requests\":9,\"failures\":3,\"in_flight\":0}]}"
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! The client-side protocol codec: framing helpers and a small
+//! synchronous line-protocol client shared by everything that *talks
+//! to* a daemon — the `gpufreq client` CLI, the `loadgen` harness, the
+//! router's backend connections, and the record/replay acceptance
+//! tests.
+//!
+//! Before this module each of those re-derived the framing privately
+//! (loadgen carried its own HTTP framer); now the literals live in one
+//! place next to [`protocol`](crate::protocol) and a unit test pins
+//! the two against each other so they cannot drift.
+//!
+//! The codec also defines the **trace format** of the acceptance
+//! harness: one JSON object per line, `{"send":"<request line>",
+//! "recv":"<response line>"}`, written by `gpufreq client --record`
+//! and replayed byte-for-byte by `tests/acceptance.rs`.
+
+use crate::protocol::Request;
+use serde::Value;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Frame a request as one protocol line, trailing `\n` included.
+pub fn frame_line(request: &Request) -> String {
+    let mut line = request.to_json();
+    line.push('\n');
+    line
+}
+
+/// Frame a keep-alive HTTP `POST` around a JSON body, matching the
+/// gateway's expectations (`content-type` + `content-length`, no
+/// chunking).
+pub fn http_post(path: &str, body: &str) -> String {
+    format!(
+        "POST {path} HTTP/1.1\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+}
+
+/// Frame a close-delimited HTTP `GET` (one-shot probes).
+pub fn http_get(path: &str) -> String {
+    format!("GET {path} HTTP/1.1\r\nconnection: close\r\n\r\n")
+}
+
+/// Read one HTTP response off the wire and return its JSON body
+/// (`line` is scratch, reused across calls). The gateway always sends
+/// `content-length`, so no chunked decoding is needed.
+pub fn read_http_body<R: BufRead>(reader: &mut R, line: &mut String) -> Result<String, String> {
+    line.clear();
+    if reader.read_line(line).map_err(|e| e.to_string())? == 0 {
+        return Err("server closed the connection mid-response".into());
+    }
+    if !line.starts_with("HTTP/1.1 ") {
+        return Err(format!("not an HTTP response: `{}`", line.trim()));
+    }
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(line).map_err(|e| e.to_string())? == 0 {
+            return Err("connection closed mid-headers".into());
+        }
+        let header = line.trim();
+        if header.is_empty() {
+            break;
+        }
+        let lower = header.to_ascii_lowercase();
+        if let Some(value) = lower.strip_prefix("content-length:") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad content-length `{header}`"))?;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+    String::from_utf8(body).map_err(|e| e.to_string())
+}
+
+/// A synchronous client connection speaking the JSON-lines protocol:
+/// write request lines, read response lines, strictly in order (the
+/// server's in-order contract makes pipelining safe — callers may
+/// [`send`](LineClient::send) several lines before
+/// [`recv`](LineClient::recv)ing).
+///
+/// Responses are trusted server output and are *not* size-bounded
+/// here — a large `predict_batch` legitimately answers with one line
+/// far beyond the server's per-request bound.
+#[derive(Debug)]
+pub struct LineClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    line: String,
+}
+
+impl LineClient {
+    /// Connect to `addr` (`host:port`).
+    pub fn connect(addr: &str) -> io::Result<LineClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(LineClient {
+            writer,
+            // Responses are ~25 KB lines; the default 8 KB buffer
+            // would cost several reads per response.
+            reader: BufReader::with_capacity(256 * 1024, stream),
+            line: String::new(),
+        })
+    }
+
+    /// Bound how long a [`recv`](LineClient::recv) may block (`None`
+    /// blocks forever). A timed-out read returns an error and the
+    /// connection should be discarded — the stream is no longer
+    /// response-aligned.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Write one already-serialized request line (no trailing newline)
+    /// and flush.
+    pub fn send(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Read the next response line (trailing newline stripped). EOF is
+    /// an [`io::ErrorKind::UnexpectedEof`] error — the protocol closes
+    /// only after a `shutdown` acknowledgement the caller has already
+    /// read.
+    pub fn recv(&mut self) -> io::Result<String> {
+        self.line.clear();
+        if self.reader.read_line(&mut self.line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(self.line.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    /// Send one raw request line and read its response line.
+    pub fn call(&mut self, line: &str) -> io::Result<String> {
+        self.send(line)?;
+        self.recv()
+    }
+
+    /// Send one typed request and read its (raw) response line.
+    pub fn request(&mut self, request: &Request) -> io::Result<String> {
+        self.call(&request.to_json())
+    }
+}
+
+/// One recorded request/response exchange of a serve session — the
+/// unit of the record/replay acceptance format. Both sides are the
+/// *raw wire lines* (newlines stripped), so a replay diffs responses
+/// byte-for-byte without any re-serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// The request line as sent.
+    pub send: String,
+    /// The response line as received.
+    pub recv: String,
+}
+
+impl TraceEntry {
+    /// Serialize to one compact JSON line (without the trailing `\n`).
+    pub fn to_json(&self) -> String {
+        let value = Value::Object(vec![
+            ("send".to_string(), Value::String(self.send.clone())),
+            ("recv".to_string(), Value::String(self.recv.clone())),
+        ]);
+        // analyze:allow(panic-in-request-path, reason = "a two-string object serializes infallibly; this also only runs in the recording client and tests")
+        serde_json::to_string(&value).expect("trace entry serialization is infallible")
+    }
+
+    /// Parse one trace line.
+    pub fn parse(line: &str) -> Result<TraceEntry, String> {
+        let value: Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+        let entries = serde::expect_object(&value, "TraceEntry").map_err(|e| e.to_string())?;
+        Ok(TraceEntry {
+            send: serde::field(entries, "send", "TraceEntry").map_err(|e| e.to_string())?,
+            recv: serde::field(entries, "recv", "TraceEntry").map_err(|e| e.to_string())?,
+        })
+    }
+}
+
+/// Parse a whole trace file's contents (blank lines and `#` comments
+/// ignored), with 1-based line numbers in errors.
+pub fn parse_trace(contents: &str) -> Result<Vec<TraceEntry>, String> {
+    contents
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .map(|(i, l)| TraceEntry::parse(l).map_err(|e| format!("trace line {}: {e}", i + 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Route;
+    use crate::protocol::Response;
+
+    /// The framing helpers and the protocol/gateway literals must
+    /// describe the same wire — this is the drift guard the loadgen
+    /// port rides on.
+    #[test]
+    fn codec_and_protocol_literals_stay_in_sync() {
+        let requests = [
+            Request::Predict {
+                device: "titan-x".into(),
+                source: "__kernel void k() {}".into(),
+            },
+            Request::PredictBatch {
+                device: "titan-x".into(),
+                sources: vec!["a".into(), "b".into()],
+            },
+            Request::Devices,
+            Request::Stats,
+            Request::Reload {
+                device: "titan-x".into(),
+                path: "/tmp/m.json".into(),
+            },
+            Request::Shutdown,
+        ];
+        for request in &requests {
+            // A framed line is exactly the protocol serialization plus
+            // the newline, and parses back to the same request.
+            let line = frame_line(request);
+            assert!(line.ends_with('\n'));
+            let stripped = line.trim_end();
+            assert_eq!(stripped, request.to_json());
+            assert_eq!(&Request::parse(stripped).unwrap(), request);
+            // The framed line carries the wire op tag verbatim.
+            assert!(stripped.contains(&format!("\"op\":\"{}\"", request.op())));
+        }
+        // The HTTP POST framer targets paths the gateway actually
+        // routes, with an exact content-length.
+        let body = requests[0].to_json();
+        let post = http_post(Route::Predict.as_str(), &body);
+        assert!(post.starts_with("POST /predict HTTP/1.1\r\n"));
+        assert!(post.contains(&format!("content-length: {}\r\n", body.len())));
+        assert!(post.ends_with(&format!("\r\n\r\n{body}")));
+        assert_eq!(Route::resolve("/predict"), Some(Route::Predict));
+        let get = http_get(Route::Stats.as_str());
+        assert!(get.starts_with("GET /stats HTTP/1.1\r\n"));
+        assert_eq!(Route::resolve("/stats"), Some(Route::Stats));
+    }
+
+    #[test]
+    fn http_body_reader_round_trips_gateway_framing() {
+        let body = "{\"ok\":\"shutdown\"}";
+        let reply = format!(
+            "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\n\
+             content-length: {}\r\nconnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let mut reader = BufReader::new(reply.as_bytes());
+        let mut scratch = String::new();
+        assert_eq!(read_http_body(&mut reader, &mut scratch).unwrap(), body);
+        assert!(matches!(Response::parse(body), Ok(Response::Shutdown)));
+        // Not-HTTP garbage is a typed error, not a hang.
+        let mut reader = BufReader::new(&b"{\"ok\":\"predict\"}\n"[..]);
+        assert!(read_http_body(&mut reader, &mut scratch)
+            .unwrap_err()
+            .contains("not an HTTP response"));
+    }
+
+    #[test]
+    fn trace_entries_round_trip_and_files_parse() {
+        let entry = TraceEntry {
+            send: "{\"op\":\"devices\"}".into(),
+            recv: "{\"ok\":\"devices\",\"devices\":[]}".into(),
+        };
+        let line = entry.to_json();
+        assert_eq!(TraceEntry::parse(&line).unwrap(), entry);
+        let file = format!("# recorded session\n\n{line}\n{line}\n");
+        let parsed = parse_trace(&file).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], entry);
+        // Errors carry the 1-based line number.
+        let err = parse_trace("{\"op\":1}").unwrap_err();
+        assert!(err.starts_with("trace line 1:"), "{err}");
+    }
+}

@@ -35,6 +35,46 @@ use std::net::{IpAddr, TcpStream};
 /// Largest accepted HTTP head (request line + headers).
 const MAX_HEAD_BYTES: usize = 16 * 1024;
 
+/// What the HTTP adapter needs from the process behind it. The daemon
+/// ([`Server`]) and the router front end both implement this, so one
+/// HTTP surface serves both — routes, framing, bounds, and status
+/// mapping cannot drift between them.
+pub trait Gateway: Sync {
+    /// Execute one protocol request to its serialized response body.
+    fn execute(&self, request: Request, peer: IpAddr) -> String;
+
+    /// Whether the process is draining (healthz answers 503,
+    /// keep-alive stops being honoured).
+    fn shutting_down(&self) -> bool;
+
+    /// Count and serialize a request that failed before it parsed into
+    /// a protocol [`Request`] (unroutable path, wrong method, bad
+    /// body), so malformed HTTP traffic is tallied like malformed
+    /// protocol lines.
+    fn malformed(&self, error: ErrorBody) -> String;
+
+    /// Record a socket-setup failure on an accepted connection.
+    fn note_setup_failure(&self, error: &io::Error);
+}
+
+impl Gateway for Server {
+    fn execute(&self, request: Request, peer: IpAddr) -> String {
+        self.execute_direct(request, Some(peer))
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.is_shutting_down()
+    }
+
+    fn malformed(&self, error: ErrorBody) -> String {
+        self.malformed_request_body(error)
+    }
+
+    fn note_setup_failure(&self, error: &io::Error) {
+        Server::note_setup_failure(self, error);
+    }
+}
+
 /// The routes the gateway answers. Paths are wire literals pinned by
 /// the `wire-string-drift` lint against `wire_inventory.txt`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,7 +161,7 @@ enum ReadOutcome {
 /// The canned HTTP refusal for a connection rejected at the
 /// connection cap — written best-effort by the acceptor, which never
 /// spawns a thread for the victim.
-pub(crate) fn refusal_payload(body: &str) -> String {
+pub fn refusal_payload(body: &str) -> String {
     format!(
         "HTTP/1.1 503 Service Unavailable\r\ncontent-type: application/json\r\n\
          content-length: {}\r\nconnection: close\r\n\r\n{}",
@@ -131,17 +171,17 @@ pub(crate) fn refusal_payload(body: &str) -> String {
 }
 
 /// Serve one accepted HTTP connection until close, keep-alive
-/// included. Called from the server's accept loop with the connection
+/// included. Called from the owning accept loop with the connection
 /// slot already claimed.
-pub(crate) fn serve_http_connection(server: &Server, stream: TcpStream, peer: IpAddr) {
+pub fn serve_http_connection<G: Gateway>(gateway: &G, stream: TcpStream, peer: IpAddr) {
     if let Err(e) = setup(&stream) {
-        server.note_setup_failure(&e);
+        gateway.note_setup_failure(&e);
         return;
     }
     // Bytes read past the previous request's end (pipelining).
     let mut leftover: Vec<u8> = Vec::new();
     loop {
-        let request = match read_request(server, &stream, &mut leftover) {
+        let request = match read_request(gateway, &stream, &mut leftover) {
             ReadOutcome::Request(request) => request,
             ReadOutcome::Closed => break,
             ReadOutcome::Malformed(reply) => {
@@ -149,8 +189,8 @@ pub(crate) fn serve_http_connection(server: &Server, stream: TcpStream, peer: Ip
                 break;
             }
         };
-        let keep_alive = request.keep_alive && !server.is_shutting_down();
-        let reply = respond(server, &request, peer);
+        let keep_alive = request.keep_alive && !gateway.shutting_down();
+        let reply = respond(gateway, &request, peer);
         if write_reply(&stream, &reply, keep_alive).is_err() || !keep_alive {
             break;
         }
@@ -168,7 +208,11 @@ fn setup(stream: &TcpStream) -> io::Result<()> {
 
 /// Pull more bytes into `buf`. `Ok(false)` means the connection is
 /// done: EOF, or a shutdown observed during a read timeout.
-fn read_more(server: &Server, mut stream: &TcpStream, buf: &mut Vec<u8>) -> io::Result<bool> {
+fn read_more<G: Gateway>(
+    gateway: &G,
+    mut stream: &TcpStream,
+    buf: &mut Vec<u8>,
+) -> io::Result<bool> {
     let mut chunk = [0u8; 4096];
     loop {
         match stream.read(&mut chunk) {
@@ -185,7 +229,7 @@ fn read_more(server: &Server, mut stream: &TcpStream, buf: &mut Vec<u8>) -> io::
                         | io::ErrorKind::Interrupted
                 ) =>
             {
-                if server.is_shutting_down() {
+                if gateway.shutting_down() {
                     return Ok(false);
                 }
             }
@@ -207,7 +251,7 @@ fn framing_error(message: impl Into<String>) -> ReadOutcome {
 /// [`MAX_HEAD_BYTES`], the body at [`MAX_LINE_BYTES`] (the same limit
 /// as a protocol line, enforced *before* the body is read so an
 /// oversized upload is never buffered).
-fn read_request(server: &Server, stream: &TcpStream, buf: &mut Vec<u8>) -> ReadOutcome {
+fn read_request<G: Gateway>(gateway: &G, stream: &TcpStream, buf: &mut Vec<u8>) -> ReadOutcome {
     let head_end = loop {
         if let Some(pos) = find_head_end(buf) {
             break pos;
@@ -215,7 +259,7 @@ fn read_request(server: &Server, stream: &TcpStream, buf: &mut Vec<u8>) -> ReadO
         if buf.len() > MAX_HEAD_BYTES {
             return framing_error(format!("HTTP request head exceeds {MAX_HEAD_BYTES} bytes"));
         }
-        match read_more(server, stream, buf) {
+        match read_more(gateway, stream, buf) {
             Ok(true) => {}
             // EOF mid-head (or clean close between requests).
             Ok(false) | Err(_) => return ReadOutcome::Closed,
@@ -271,7 +315,7 @@ fn read_request(server: &Server, stream: &TcpStream, buf: &mut Vec<u8>) -> ReadO
         });
     }
     while buf.len() < content_length {
-        match read_more(server, stream, buf) {
+        match read_more(gateway, stream, buf) {
             Ok(true) => {}
             Ok(false) | Err(_) => return ReadOutcome::Closed,
         }
@@ -290,12 +334,13 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Route and execute one request against the shared server core.
-fn respond(server: &Server, request: &HttpRequest, peer: IpAddr) -> HttpReply {
+/// Route and execute one request against the gateway behind the
+/// adapter.
+fn respond<G: Gateway>(gateway: &G, request: &HttpRequest, peer: IpAddr) -> HttpReply {
     let Some(route) = Route::resolve(&request.target) else {
         return HttpReply {
             status: 404,
-            body: server.malformed_request_body(ErrorBody::new(
+            body: gateway.malformed(ErrorBody::new(
                 ErrorCode::BadRequest,
                 format!("no route `{}`", request.target),
             )),
@@ -304,7 +349,7 @@ fn respond(server: &Server, request: &HttpRequest, peer: IpAddr) -> HttpReply {
     if request.method != route.method() {
         return HttpReply {
             status: 405,
-            body: server.malformed_request_body(ErrorBody::new(
+            body: gateway.malformed(ErrorBody::new(
                 ErrorCode::BadRequest,
                 format!("{} requires {}", route.as_str(), route.method()),
             )),
@@ -314,7 +359,7 @@ fn respond(server: &Server, request: &HttpRequest, peer: IpAddr) -> HttpReply {
         // Liveness must stay cheap and must not pollute the request
         // counters — probes fire continuously.
         Route::Healthz => {
-            if server.is_shutting_down() {
+            if gateway.shutting_down() {
                 HttpReply {
                     status: 503,
                     body: ErrorBody::new(ErrorCode::ShuttingDown, "server is shutting down")
@@ -328,11 +373,11 @@ fn respond(server: &Server, request: &HttpRequest, peer: IpAddr) -> HttpReply {
                 }
             }
         }
-        Route::Stats => reply_from_body(server.execute_direct(Request::Stats, Some(peer))),
-        Route::Devices => reply_from_body(server.execute_direct(Request::Devices, Some(peer))),
+        Route::Stats => reply_from_body(gateway.execute(Request::Stats, peer)),
+        Route::Devices => reply_from_body(gateway.execute(Request::Devices, peer)),
         Route::Predict | Route::AdminReload => match parse_body_request(&request.body, route) {
-            Ok(parsed) => reply_from_body(server.execute_direct(parsed, Some(peer))),
-            Err(e) => reply_from_body(server.malformed_request_body(e)),
+            Ok(parsed) => reply_from_body(gateway.execute(parsed, peer)),
+            Err(e) => reply_from_body(gateway.malformed(e)),
         },
     }
 }

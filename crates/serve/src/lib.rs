@@ -56,6 +56,7 @@
 
 pub mod admission;
 pub mod cache;
+pub mod codec;
 pub mod http;
 pub mod metrics;
 pub mod protocol;
@@ -64,6 +65,7 @@ pub mod reload;
 pub mod server;
 
 pub use admission::{AdmissionConfig, Quota};
+pub use codec::{LineClient, TraceEntry};
 pub use protocol::{
     BatchResult, ConnectionStats, DeviceInfo, ErrorBody, ErrorCode, LatencyStats, Request,
     Response, ServerStats,

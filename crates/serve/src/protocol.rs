@@ -459,6 +459,31 @@ impl ErrorBody {
     pub fn into_response(self) -> Response {
         Response::Error { error: self }
     }
+
+    /// The canonical `unknown_device` body for a device id that names
+    /// no registered device. Shared by the daemon and the router so a
+    /// router answering for an unserved shard is byte-identical to a
+    /// single backend.
+    pub fn unknown_device(error: &gpufreq_sim::UnknownDevice) -> ErrorBody {
+        ErrorBody::new(ErrorCode::UnknownDevice, format!("{error}"))
+    }
+
+    /// The canonical `device_not_served` body for a registered device
+    /// this process holds no model (or backend) for. `serving` is the
+    /// served set in planner order.
+    pub fn device_not_served(device: Device, serving: &[Device]) -> ErrorBody {
+        ErrorBody::new(
+            ErrorCode::DeviceNotServed,
+            format!(
+                "no model loaded for `{device}` (serving: {})",
+                serving
+                    .iter()
+                    .map(|d| d.id())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        )
+    }
 }
 
 impl fmt::Display for ErrorBody {

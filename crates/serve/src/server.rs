@@ -51,15 +51,17 @@ use std::time::{Duration, Instant};
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
 /// Read timeout on accepted sockets, so connection readers notice a
-/// server-wide shutdown even while their client is idle.
-pub(crate) const READ_POLL: Duration = Duration::from_millis(200);
+/// server-wide shutdown even while their client is idle. Public so the
+/// router front end polls at the same cadence.
+pub const READ_POLL: Duration = Duration::from_millis(200);
 
 /// Requests larger than this are answered with `bad_request` instead
 /// of being parsed (a kernel source is kilobytes; a megabyte line is
 /// not a kernel). The pump discards — never buffers — bytes beyond
 /// the bound, so oversized (or newline-less) input cannot grow server
-/// memory. The HTTP gateway applies the same bound to request bodies.
-pub(crate) const MAX_LINE_BYTES: usize = 4 << 20;
+/// memory. The HTTP gateway applies the same bound to request bodies,
+/// and the router enforces it on both its client and backend sides.
+pub const MAX_LINE_BYTES: usize = 4 << 20;
 
 /// The `bad_request` body for a line crossing [`MAX_LINE_BYTES`].
 fn oversize_error() -> ErrorBody {
@@ -293,26 +295,12 @@ impl Server {
     /// `Arc` pins the model for the duration of this request even if a
     /// concurrent `reload` swaps the slot.
     fn resolve(&self, id: &str) -> Result<(Device, Arc<TrainedPlanner>), ErrorBody> {
-        let device: Device = id
-            .parse()
-            .map_err(|e| ErrorBody::new(ErrorCode::UnknownDevice, format!("{e}")))?;
+        let device: Device = id.parse().map_err(|e| ErrorBody::unknown_device(&e))?;
         self.planners
             .iter()
             .find(|(d, _)| *d == device)
             .map(|(d, slot)| (*d, slot.get()))
-            .ok_or_else(|| {
-                ErrorBody::new(
-                    ErrorCode::DeviceNotServed,
-                    format!(
-                        "no model loaded for `{device}` (serving: {})",
-                        self.planners
-                            .iter()
-                            .map(|(d, _)| d.id())
-                            .collect::<Vec<_>>()
-                            .join(", ")
-                    ),
-                )
-            })
+            .ok_or_else(|| ErrorBody::device_not_served(device, &self.devices()))
     }
 
     /// Hot-swap one device's model from a saved artifact at `path`:
@@ -323,7 +311,7 @@ impl Server {
     fn reload_model(&self, device_id: &str, path: &str) -> Result<(Device, u64), ErrorBody> {
         let device: Device = device_id
             .parse()
-            .map_err(|e| ErrorBody::new(ErrorCode::UnknownDevice, format!("{e}")))?;
+            .map_err(|e| ErrorBody::unknown_device(&e))?;
         let slot = self
             .planners
             .iter()

@@ -1,0 +1,155 @@
+//! Shared harness for the router integration tests: one fast-trained
+//! planner per test binary, backend daemons and routers spun up on
+//! free ports, and a line-protocol shutdown helper.
+//!
+//! Everything here runs real TCP on loopback — the same code paths CI's
+//! `router-smoke` job drives from the outside.
+
+#![allow(dead_code)] // each test binary uses its own subset
+
+use gpufreq_core::{Corpus, ModelConfig, Planner, TrainedPlanner};
+use gpufreq_ml::SvrParams;
+use gpufreq_router::{BackendSpec, Router, RouterConfig, RouterSnapshot};
+use gpufreq_serve::codec::LineClient;
+use gpufreq_serve::{Request, Server, ServerConfig, ServerStats};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The shared reduced-corpus planner (training is the expensive part;
+/// every backend in a test binary replicates this one model).
+pub fn planner() -> TrainedPlanner {
+    static PLANNER: OnceLock<TrainedPlanner> = OnceLock::new();
+    PLANNER
+        .get_or_init(|| {
+            let relaxed = ModelConfig {
+                speedup: SvrParams {
+                    c: 10.0,
+                    max_iter: 100_000,
+                    ..SvrParams::paper_speedup()
+                },
+                energy: SvrParams {
+                    c: 10.0,
+                    max_iter: 100_000,
+                    ..SvrParams::paper_energy()
+                },
+            };
+            Planner::builder()
+                .corpus(Corpus::Fast)
+                .settings(6)
+                .model_config(relaxed)
+                .train()
+                .expect("training the shared test planner")
+        })
+        .clone()
+}
+
+/// A backend daemon running on its own thread.
+pub struct BackendHandle {
+    pub addr: SocketAddr,
+    pub server: Arc<Server>,
+    pub thread: JoinHandle<ServerStats>,
+}
+
+/// Spin up one backend daemon (a replica of the shared planner) on a
+/// free port.
+pub fn spawn_backend() -> BackendHandle {
+    spawn_backend_on(TcpListener::bind("127.0.0.1:0").expect("binding a backend port"))
+}
+
+/// Spin up a backend on an already-bound listener — the chaos test
+/// rebinds a killed backend's old port this way.
+pub fn spawn_backend_on(listener: TcpListener) -> BackendHandle {
+    let server = Arc::new(
+        Server::new(
+            vec![planner()],
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("building a backend server"),
+    );
+    let addr = listener.local_addr().expect("backend local addr");
+    let thread = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve(listener).expect("backend serve loop"))
+    };
+    BackendHandle {
+        addr,
+        server,
+        thread,
+    }
+}
+
+/// A router running on its own thread.
+pub struct RouterHandle {
+    pub addr: SocketAddr,
+    pub router: Arc<Router>,
+    pub thread: JoinHandle<RouterSnapshot>,
+}
+
+/// A router config fronting `backends`, with device sets discovered
+/// from the backends themselves and breaker timings tightened so tests
+/// observe open/close transitions in milliseconds, not seconds.
+pub fn test_router_config(backends: &[SocketAddr]) -> RouterConfig {
+    let mut config = RouterConfig::default();
+    for addr in backends {
+        config.backends.push(BackendSpec {
+            addr: addr.to_string(),
+            devices: Vec::new(),
+        });
+    }
+    config.failure_threshold = 2;
+    config.cooldown = Duration::from_millis(100);
+    config.probe_interval = Duration::from_millis(50);
+    config
+}
+
+/// Build and serve a router on a free port.
+pub fn spawn_router(config: RouterConfig) -> RouterHandle {
+    let router = Arc::new(match Router::new(config) {
+        Ok(router) => router,
+        Err(e) => panic!("building the router: {e}"),
+    });
+    let listener = TcpListener::bind("127.0.0.1:0").expect("binding the router port");
+    let addr = listener.local_addr().expect("router local addr");
+    let thread = {
+        let router = Arc::clone(&router);
+        std::thread::spawn(move || router.serve(listener).expect("router serve loop"))
+    };
+    RouterHandle {
+        addr,
+        router,
+        thread,
+    }
+}
+
+/// Connect to `addr` and return the line client.
+pub fn connect(addr: SocketAddr) -> LineClient {
+    LineClient::connect(&addr.to_string()).expect("connecting")
+}
+
+/// Send a clean `shutdown` to a daemon or router and return its
+/// acknowledgement line.
+pub fn shutdown(addr: SocketAddr) -> String {
+    let mut client = connect(addr);
+    client
+        .request(&Request::Shutdown)
+        .expect("shutdown acknowledgement")
+}
+
+/// Poll `what` until it returns true or `timeout` elapses.
+pub fn wait_for(timeout: Duration, what: impl Fn() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if what() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests pinning the router's routing determinism and the
+//! raw-byte batch merge, plus a live byte-identity check: a router
+//! answers `predict_batch` with exactly the bytes a single daemon
+//! would, for every replica count.
+
+mod common;
+
+use common::{shutdown, spawn_backend, spawn_router, test_router_config};
+use gpufreq_router::route::{merge_batch, replica_for, split_batch, split_results};
+use gpufreq_serve::Request;
+use gpufreq_sim::Device;
+use proptest::prelude::*;
+use serde::Value;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replica assignment is a pure function of (device, source,
+    /// replica count): stable across calls and interleavings, always
+    /// in range, and degenerate cases (0/1 replicas) pin to 0.
+    #[test]
+    fn replica_assignment_is_pure_and_bounded(
+        device_idx in 0usize..3,
+        sources in prop::collection::vec("\\PC{0,80}", 1..20),
+        replicas in 0usize..8,
+    ) {
+        let device = Device::all()[device_idx];
+        let first: Vec<usize> =
+            sources.iter().map(|s| replica_for(device, s, replicas)).collect();
+        // Re-evaluate in reverse order — interleaving cannot matter.
+        let again: Vec<usize> = sources
+            .iter()
+            .rev()
+            .map(|s| replica_for(device, s, replicas))
+            .rev()
+            .collect();
+        prop_assert_eq!(&first, &again);
+        for &r in &first {
+            if replicas <= 1 {
+                prop_assert_eq!(r, 0);
+            } else {
+                prop_assert!(r < replicas);
+            }
+        }
+    }
+
+    /// `split_batch` partitions the request indices: every slot lands
+    /// in exactly the bucket its source hashes to, in request order.
+    #[test]
+    fn batch_split_partitions_in_request_order(
+        device_idx in 0usize..3,
+        sources in prop::collection::vec("\\PC{0,80}", 0..24),
+        replicas in 1usize..6,
+    ) {
+        let device = Device::all()[device_idx];
+        let shards = split_batch(device, &sources, replicas);
+        prop_assert_eq!(shards.len(), replicas.max(1));
+        let mut seen = vec![false; sources.len()];
+        for (replica, bucket) in shards.iter().enumerate() {
+            let mut last = None;
+            for &i in bucket {
+                prop_assert!(i < sources.len());
+                prop_assert!(!seen[i], "index {} in two buckets", i);
+                seen[i] = true;
+                prop_assert_eq!(replica_for(device, &sources[i], replicas), replica);
+                prop_assert!(last.is_none_or(|p| p < i), "bucket out of order");
+                last = Some(i);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "index dropped by the split");
+    }
+
+    /// Merging arbitrary raw result slots and splitting the merged
+    /// body returns the same slot bytes — the splice layer never
+    /// re-serializes (or corrupts) a backend's result.
+    #[test]
+    fn batch_merge_round_trips_raw_slots(
+        device_idx in 0usize..3,
+        messages in prop::collection::vec("\\PC{0,60}", 0..12),
+    ) {
+        let device = Device::all()[device_idx];
+        // Slots shaped like real backend results: a prediction-like
+        // object or an error body whose message carries arbitrary
+        // (JSON-escaped) text, including quotes, braces, commas.
+        let slots: Vec<String> = messages
+            .iter()
+            .enumerate()
+            .map(|(i, message)| {
+                let value = if i % 2 == 0 {
+                    Value::Object(vec![(
+                        "prediction".to_string(),
+                        Value::Object(vec![(
+                            "pareto_set".to_string(),
+                            Value::Array(vec![Value::String(message.clone())]),
+                        )]),
+                    )])
+                } else {
+                    Value::Object(vec![(
+                        "error".to_string(),
+                        Value::Object(vec![
+                            ("code".to_string(), Value::String("parse".to_string())),
+                            ("message".to_string(), Value::String(message.clone())),
+                        ]),
+                    )])
+                };
+                serde_json::to_string(&value).expect("slot serialization")
+            })
+            .collect();
+        let borrowed: Vec<&str> = slots.iter().map(String::as_str).collect();
+        let merged = merge_batch(device.id(), &borrowed);
+        let split = split_results(&merged, device.id())
+            .expect("a merged body must split back");
+        prop_assert_eq!(split, borrowed);
+    }
+}
+
+const SAXPY: &str = "__kernel void saxpy(__global float* x, __global float* y, float a) {
+    uint i = get_global_id(0);
+    y[i] = a * x[i] + y[i];
+}";
+
+/// Live byte-identity: for 1, 2, and 3 replicas, the router's
+/// `predict_batch` response is byte-for-byte the single daemon's —
+/// split, fan-out, and merge are invisible on the wire.
+#[test]
+fn router_batches_are_byte_identical_to_a_single_daemon_for_any_replica_count() {
+    let backends = [spawn_backend(), spawn_backend(), spawn_backend()];
+    let mut reference = common::connect(backends[0].addr);
+
+    // Batches sized to split across replicas, with an error slot and a
+    // duplicate (cache-hit) slot mixed in.
+    let sources: Vec<String> = (0..9)
+        .map(|i| match i {
+            4 => "definitely not OpenCL".to_string(),
+            7 => format!("// batch 1\n{SAXPY}"),
+            _ => format!("// batch {i}\n{SAXPY}"),
+        })
+        .collect();
+    let requests: Vec<String> = (1..=sources.len())
+        .step_by(4)
+        .map(|n| {
+            Request::PredictBatch {
+                device: "titan-x".to_string(),
+                sources: sources[..n].to_vec(),
+            }
+            .to_json()
+        })
+        .collect();
+    let expected: Vec<String> = requests
+        .iter()
+        .map(|line| reference.call(line).expect("daemon batch"))
+        .collect();
+
+    for replicas in 1..=backends.len() {
+        let addrs: Vec<_> = backends[..replicas].iter().map(|b| b.addr).collect();
+        let router = spawn_router(test_router_config(&addrs));
+        let mut client = common::connect(router.addr);
+        for (line, want) in requests.iter().zip(&expected) {
+            let got = client.call(line).expect("router batch");
+            assert_eq!(
+                &got, want,
+                "router response diverged from the daemon at {replicas} replica(s)"
+            );
+        }
+        shutdown(router.addr);
+        router.thread.join().expect("router thread");
+    }
+
+    for backend in backends {
+        shutdown(backend.addr);
+        backend.thread.join().expect("backend thread");
+    }
+}
