@@ -39,6 +39,14 @@
 //! single-backend baseline. CI measures 1 backend first, then gates a
 //! 4-backend router run against that number.
 //!
+//! With `--trace` the run finishes with an observability probe: one
+//! predict carrying a freshly minted trace id (the `"trace"` request
+//! field on the line protocol, the `x-gpufreq-trace` header over HTTP)
+//! whose echo proves end-to-end propagation, followed by a `/metrics`
+//! scrape whose per-stage latency histograms are printed as a
+//! server-attributed breakdown — where the server itself says the time
+//! went, as opposed to the client-side round-trip numbers above.
+//!
 //! All wire framing comes from `gpufreq_serve::codec` — the same
 //! helpers the CLI client and the router's backend connections use, so
 //! the generator cannot drift from the protocol.
@@ -48,12 +56,13 @@
 //!         [--pipeline 8] [--mix repeated|unique|both] [--device titan-x]
 //!         [--min-cache-speedup 10] [--min-unique-rps 500] [--http]
 //!         [--router] [--baseline-unique-rps <x>] [--min-scaling <r>]
-//!         [--shutdown]
+//!         [--trace] [--shutdown]
 //! ```
 
 use gpufreq_core::ascii_table;
+use gpufreq_obs::expo::Family;
 use gpufreq_serve::codec::{http_get, http_post, read_http_body};
-use gpufreq_serve::http::Route;
+use gpufreq_serve::http::{Route, TRACE_HEADER};
 use gpufreq_serve::{render_stats_table, Request, Response};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -90,6 +99,7 @@ struct Options {
     router: bool,
     baseline_unique_rps: Option<f64>,
     min_scaling: Option<f64>,
+    trace: bool,
     shutdown: bool,
 }
 
@@ -97,7 +107,8 @@ fn usage() -> String {
     "usage: loadgen --addr <host:port> [--duration 5s] [--clients 4] \
      [--pipeline 8] [--mix repeated|unique|both] [--device titan-x] \
      [--min-cache-speedup <x>] [--min-unique-rps <n>] [--http] \
-     [--router] [--baseline-unique-rps <x>] [--min-scaling <r>] [--shutdown]"
+     [--router] [--baseline-unique-rps <x>] [--min-scaling <r>] \
+     [--trace] [--shutdown]"
         .to_string()
 }
 
@@ -135,6 +146,7 @@ fn parse_args() -> Result<Options, String> {
     let mut router = false;
     let mut baseline_unique_rps = None;
     let mut min_scaling = None;
+    let mut trace = false;
     let mut shutdown = false;
     let mut it = argv.iter();
     let next_value = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
@@ -201,6 +213,7 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|_| "invalid --min-scaling value".to_string())?,
                 )
             }
+            "--trace" => trace = true,
             "--shutdown" => shutdown = true,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
@@ -229,6 +242,7 @@ fn parse_args() -> Result<Options, String> {
         router,
         baseline_unique_rps,
         min_scaling,
+        trace,
         shutdown,
     })
 }
@@ -409,10 +423,16 @@ fn run_mix(opts: &Options, mix: Mix, pool: &[String]) -> Result<MixOutcome, Stri
 /// returning the raw wire line — the router check needs the bytes, not
 /// just the typed response.
 fn one_shot_raw(addr: &str, request: &Request) -> Result<String, String> {
+    one_shot_raw_line(addr, &request.to_json())
+}
+
+/// Like [`one_shot_raw`], but for an already-serialized request line —
+/// the traced probe splices its trace id into the raw bytes.
+fn one_shot_raw_line(addr: &str, request_line: &str) -> Result<String, String> {
     let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
     let mut reader = BufReader::new(stream);
-    writeln!(writer, "{}", request.to_json()).map_err(|e| e.to_string())?;
+    writeln!(writer, "{request_line}").map_err(|e| e.to_string())?;
     writer.flush().map_err(|e| e.to_string())?;
     let mut line = String::new();
     reader.read_line(&mut line).map_err(|e| e.to_string())?;
@@ -437,6 +457,137 @@ fn http_one_shot_raw(addr: &str, route: &str) -> Result<String, String> {
     let mut line = String::new();
     let body = read_http_body(&mut reader, &mut line)?;
     Ok(body.trim().to_string())
+}
+
+/// One close-delimited HTTP `POST` carrying the trace header — the
+/// traced probe in `--http` mode ([`http_post`] deliberately has no
+/// extra-header hook, so the probe frames its own request).
+fn http_traced_post(addr: &str, route: &str, body: &str, trace_id: &str) -> Result<String, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let request = format!(
+        "POST {route} HTTP/1.1\r\n{TRACE_HEADER}: {trace_id}\r\n\
+         content-type: application/json\r\ncontent-length: {}\r\n\
+         connection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    writer
+        .write_all(request.as_bytes())
+        .map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    let reply = read_http_body(&mut reader, &mut line)?;
+    Ok(reply.trim().to_string())
+}
+
+/// The smallest µs upper bound covering quantile `q` of a cumulative
+/// power-of-two histogram, rendered for the breakdown table. When the
+/// quantile lands past the last emitted bucket (the `+Inf` remainder),
+/// the bound is open.
+fn bucket_quantile(buckets: &[(u64, u64)], count: u64, q: f64) -> String {
+    if count == 0 {
+        return "-".to_string();
+    }
+    let target = ((count as f64) * q).ceil().max(1.0) as u64;
+    for &(le, cumulative) in buckets {
+        if cumulative >= target {
+            return format!("<={le}");
+        }
+    }
+    match buckets.last() {
+        Some(&(le, _)) => format!(">{le}"),
+        None => ">0".to_string(),
+    }
+}
+
+/// Send the traced probe, verify the echo, scrape `/metrics`, and
+/// print the server-attributed per-stage latency breakdown.
+fn report_trace(opts: &Options, pool: &[String]) -> Result<(), String> {
+    let trace_id = gpufreq_obs::trace::mint();
+    let probe = Request::Predict {
+        device: opts.device.clone(),
+        source: pool[0].clone(),
+    };
+    let reply = if opts.http {
+        http_traced_post(
+            &opts.addr,
+            Route::Predict.as_str(),
+            &probe.to_json(),
+            &trace_id,
+        )?
+    } else {
+        one_shot_raw_line(
+            &opts.addr,
+            &gpufreq_obs::trace::attach(&probe.to_json(), &trace_id),
+        )?
+    };
+    if !reply.contains(&format!("\"trace\":\"{trace_id}\"")) {
+        return Err(format!(
+            "--trace: the probe's trace id {trace_id} was not echoed back: {reply}"
+        ));
+    }
+    println!("trace probe {trace_id}: echoed end to end");
+    let exposition = if opts.http {
+        http_one_shot_raw(&opts.addr, Route::Metrics.as_str())?
+    } else {
+        let line = one_shot_raw(&opts.addr, &Request::Metrics)?;
+        match Response::parse(&line) {
+            Ok(Response::Metrics { exposition }) => exposition,
+            Ok(other) => return Err(format!("--trace: unexpected metrics answer: {other:?}")),
+            Err(e) => return Err(format!("--trace: unparseable metrics response: {e}")),
+        }
+    };
+    let families = gpufreq_obs::parse_exposition(&exposition)
+        .map_err(|e| format!("--trace: /metrics: {e}"))?;
+    let stages: Vec<&Family> = families
+        .iter()
+        .filter(|f| {
+            f.kind == "histogram"
+                && f.name.starts_with("gpufreq_stage_")
+                && f.name.ends_with("_latency_us")
+        })
+        .collect();
+    if stages.is_empty() {
+        return Err("--trace: the exposition carries no per-stage histograms".into());
+    }
+    let rows: Vec<Vec<String>> = stages
+        .iter()
+        .map(|f| {
+            let stage = f
+                .name
+                .trim_start_matches("gpufreq_stage_")
+                .trim_end_matches("_latency_us");
+            let count = f.count().unwrap_or(0);
+            let buckets = f.buckets();
+            let mean = f
+                .samples
+                .iter()
+                .find(|s| s.name == format!("{}_sum", f.name))
+                .filter(|_| count > 0)
+                .map_or("-".to_string(), |s| {
+                    format!("{:.1}", s.value / count as f64)
+                });
+            vec![
+                stage.to_string(),
+                count.to_string(),
+                mean,
+                bucket_quantile(&buckets, count, 0.50),
+                bucket_quantile(&buckets, count, 0.95),
+                bucket_quantile(&buckets, count, 0.99),
+            ]
+        })
+        .collect();
+    println!("server-attributed per-stage latency (µs, from /metrics):");
+    println!(
+        "{}",
+        ascii_table(
+            &["stage", "count", "mean_us", "p50_us", "p95_us", "p99_us"],
+            &rows
+        )
+    );
+    Ok(())
 }
 
 fn run(opts: &Options) -> Result<(), String> {
@@ -497,6 +648,9 @@ fn run(opts: &Options) -> Result<(), String> {
                         is the target really a gpufreq router?"
                 .into());
         }
+    }
+    if opts.trace {
+        report_trace(opts, &pool)?;
     }
     let total: u64 = outcomes.iter().map(|o| o.requests).sum();
     if total == 0 {

@@ -21,9 +21,11 @@ USAGE:
                   [--queue <n>] [--cache <n>] [--port-file <path>]
                   [--http-port <n>] [--http-port-file <path>] [--max-conns <n>]
                   [--p99-target <us>] [--quota <rate[/burst]>]
+                  [--trace-log <path|stderr>] [--slow-threshold-us <n>]
     gpufreq router --backend <addr[=device,...]> [--backend ...] [--port <n>]
                   [--port-file <path>] [--http-port <n>]
                   [--http-port-file <path>] [--max-conns <n>]
+                  [--trace-log <path|stderr>] [--slow-threshold-us <n>]
     gpufreq client <host:port> [<kernel.cl>] [--device <name>] [--stats]
                   [--reload <model.json>] [--shutdown] [--record <trace.jsonl>]
     gpufreq analyze [--json] [--check] [--report <path>] [paths...]
@@ -83,6 +85,14 @@ OPTIONS:
                         (repeatable; at least one). Without the
                         `=device,...` list the router asks the backend
                         what it serves at startup
+    --trace-log <path|stderr>
+                        `serve`/`router`: append sampled slow-request
+                        and error records (JSON lines with trace id and
+                        per-stage latency) to this file, or to stderr
+    --slow-threshold-us <n>
+                        `serve`/`router`: only log requests slower than
+                        this many microseconds (default: 10000; 0 logs
+                        everything; errors always qualify)
     --stats             `client`: request a server metrics snapshot
     --reload <path>     `client`: hot-swap the serving model for
                         --device (default titan-x) from this artifact
@@ -173,6 +183,12 @@ pub enum Command {
         p99_target_us: Option<u64>,
         /// Per-client quota as `(rate_per_sec, burst)`, if enabled.
         quota: Option<(u32, u32)>,
+        /// Slow-request/error log sink (`stderr` or a file path), if
+        /// enabled.
+        trace_log: Option<String>,
+        /// Slow-request threshold in microseconds (`None` = the
+        /// default; 0 logs every request).
+        slow_threshold_us: Option<u64>,
     },
     /// Run the device-sharded router over backend daemons
     /// (`gpufreq-router`).
@@ -191,6 +207,12 @@ pub enum Command {
         http_port_file: Option<String>,
         /// Concurrent-connection cap (`None` = the router default).
         max_conns: Option<usize>,
+        /// Slow-request/error log sink (`stderr` or a file path), if
+        /// enabled.
+        trace_log: Option<String>,
+        /// Slow-request threshold in microseconds (`None` = the
+        /// default; 0 logs every request).
+        slow_threshold_us: Option<u64>,
     },
     /// Run the in-repo static-analysis pass (`gpufreq-analyze`).
     Analyze {
@@ -284,6 +306,8 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
     let mut max_conns: Option<usize> = None;
     let mut p99_target_us: Option<u64> = None;
     let mut quota: Option<(u32, u32)> = None;
+    let mut trace_log: Option<String> = None;
+    let mut slow_threshold_us: Option<u64> = None;
     let mut reload: Option<String> = None;
     let mut record: Option<String> = None;
     let mut backends: Vec<String> = Vec::new();
@@ -406,6 +430,25 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
                     return Err(ArgError("--quota rate and burst must be positive".into()));
                 }
                 quota = Some((rate, burst));
+            }
+            "--trace-log" => {
+                trace_log = Some(
+                    it.next()
+                        .ok_or(ArgError(
+                            "--trace-log needs a value (a path or `stderr`)".into(),
+                        ))?
+                        .clone(),
+                );
+            }
+            "--slow-threshold-us" => {
+                // 0 is meaningful here: it logs every request.
+                let v = it
+                    .next()
+                    .ok_or(ArgError("--slow-threshold-us needs a value".into()))?;
+                slow_threshold_us =
+                    Some(v.parse().map_err(|_| {
+                        ArgError(format!("invalid --slow-threshold-us value `{v}`"))
+                    })?);
             }
             "--reload" => {
                 reload = Some(
@@ -558,6 +601,8 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
             max_conns,
             p99_target_us,
             quota,
+            trace_log,
+            slow_threshold_us,
         },
         "router" => {
             if backends.is_empty() {
@@ -572,6 +617,8 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, ArgError> {
                 http_port,
                 http_port_file,
                 max_conns,
+                trace_log,
+                slow_threshold_us,
             }
         }
         "analyze" => Command::Analyze {
@@ -777,7 +824,9 @@ mod tests {
                 http_port_file: None,
                 max_conns: None,
                 p99_target_us: None,
-                quota: None
+                quota: None,
+                trace_log: None,
+                slow_threshold_us: None
             }
         );
         let p = parse_args(&args(
@@ -798,7 +847,9 @@ mod tests {
                 http_port_file: None,
                 max_conns: None,
                 p99_target_us: None,
-                quota: None
+                quota: None,
+                trace_log: None,
+                slow_threshold_us: None
             }
         );
         assert_eq!(p.device, Some(Device::TeslaP100));
@@ -938,13 +989,51 @@ mod tests {
                 port_file: Some("/tmp/router.addr".into()),
                 http_port: Some(0),
                 http_port_file: Some("/tmp/router-http.addr".into()),
-                max_conns: Some(64)
+                max_conns: Some(64),
+                trace_log: None,
+                slow_threshold_us: None
             }
         );
         // No --backend is a usage error, as is a valueless one.
         let err = parse_args(&args("router")).unwrap_err();
         assert!(err.to_string().contains("--backend"), "{err}");
         assert!(parse_args(&args("router --backend")).is_err());
+    }
+
+    #[test]
+    fn trace_log_flags_parse_on_serve_and_router() {
+        let p = parse_args(&args("serve --trace-log stderr --slow-threshold-us 0")).unwrap();
+        assert!(
+            matches!(
+                &p.command,
+                Command::Serve {
+                    trace_log: Some(sink),
+                    slow_threshold_us: Some(0),
+                    ..
+                } if sink == "stderr"
+            ),
+            "{:?}",
+            p.command
+        );
+        let p = parse_args(&args(
+            "router --backend 127.0.0.1:7071=titan-x \
+             --trace-log /tmp/router-trace.jsonl --slow-threshold-us 2500",
+        ))
+        .unwrap();
+        assert!(
+            matches!(
+                &p.command,
+                Command::Router {
+                    trace_log: Some(sink),
+                    slow_threshold_us: Some(2500),
+                    ..
+                } if sink == "/tmp/router-trace.jsonl"
+            ),
+            "{:?}",
+            p.command
+        );
+        assert!(parse_args(&args("serve --trace-log")).is_err());
+        assert!(parse_args(&args("serve --slow-threshold-us many")).is_err());
     }
 
     #[test]

@@ -17,6 +17,22 @@ use std::io::Write;
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
 
+/// Default `--slow-threshold-us` when `--trace-log` is given without
+/// one: only requests slower than 10 ms (or errors) are logged.
+const DEFAULT_SLOW_THRESHOLD_US: u64 = 10_000;
+
+/// Open the `--trace-log` sink (a path or `stderr`), eagerly so a bad
+/// path fails startup instead of silently dropping records later.
+fn open_trace_log(
+    sink: &str,
+    slow_threshold_us: Option<u64>,
+) -> Result<std::sync::Arc<gpufreq_obs::TraceLog>, String> {
+    let threshold = slow_threshold_us.unwrap_or(DEFAULT_SLOW_THRESHOLD_US);
+    gpufreq_obs::TraceLog::open(sink, threshold)
+        .map(std::sync::Arc::new)
+        .map_err(|e| format!("--trace-log {sink}: {e}"))
+}
+
 /// Dispatch a parsed command line.
 pub fn dispatch(parsed: &ParsedArgs, out: &mut dyn Write) -> CmdResult {
     match &parsed.command {
@@ -52,6 +68,8 @@ pub fn dispatch(parsed: &ParsedArgs, out: &mut dyn Write) -> CmdResult {
             max_conns,
             p99_target_us,
             quota,
+            trace_log,
+            slow_threshold_us,
         } => serve(
             parsed,
             &ServeOpts {
@@ -66,6 +84,8 @@ pub fn dispatch(parsed: &ParsedArgs, out: &mut dyn Write) -> CmdResult {
                 max_conns: *max_conns,
                 p99_target_us: *p99_target_us,
                 quota: *quota,
+                trace_log: trace_log.as_deref(),
+                slow_threshold_us: *slow_threshold_us,
             },
             out,
         ),
@@ -76,6 +96,8 @@ pub fn dispatch(parsed: &ParsedArgs, out: &mut dyn Write) -> CmdResult {
             http_port,
             http_port_file,
             max_conns,
+            trace_log,
+            slow_threshold_us,
         } => router(
             &RouterOpts {
                 port: *port,
@@ -84,6 +106,8 @@ pub fn dispatch(parsed: &ParsedArgs, out: &mut dyn Write) -> CmdResult {
                 http_port: *http_port,
                 http_port_file: http_port_file.as_deref(),
                 max_conns: *max_conns,
+                trace_log: trace_log.as_deref(),
+                slow_threshold_us: *slow_threshold_us,
             },
             out,
         ),
@@ -547,6 +571,8 @@ struct ServeOpts<'a> {
     max_conns: Option<usize>,
     p99_target_us: Option<u64>,
     quota: Option<(u32, u32)>,
+    trace_log: Option<&'a str>,
+    slow_threshold_us: Option<u64>,
 }
 
 /// Train planners for the served devices, bind the TCP listener (plus
@@ -587,7 +613,7 @@ fn serve(parsed: &ParsedArgs, opts: &ServeOpts<'_>, out: &mut dyn Write) -> CmdR
         }
     };
     let defaults = ServerConfig::default();
-    let server = Server::new(
+    let mut server = Server::new(
         planners,
         ServerConfig {
             workers: opts.workers.unwrap_or(defaults.workers),
@@ -604,6 +630,9 @@ fn serve(parsed: &ParsedArgs, opts: &ServeOpts<'_>, out: &mut dyn Write) -> CmdR
             ..defaults
         },
     )?;
+    if let Some(sink) = opts.trace_log {
+        server.set_trace_log(open_trace_log(sink, opts.slow_threshold_us)?);
+    }
     let listener = std::net::TcpListener::bind(("127.0.0.1", opts.port))?;
     let addr = listener.local_addr()?;
     if let Some(path) = opts.port_file {
@@ -647,6 +676,8 @@ struct RouterOpts<'a> {
     http_port: Option<u16>,
     http_port_file: Option<&'a str>,
     max_conns: Option<usize>,
+    trace_log: Option<&'a str>,
+    slow_threshold_us: Option<u64>,
 }
 
 /// Stand up the device-sharded router: parse the `--backend` specs,
@@ -664,7 +695,11 @@ fn router(opts: &RouterOpts<'_>, out: &mut dyn Write) -> CmdResult {
     if let Some(max) = opts.max_conns {
         config.max_connections = max;
     }
-    let router = Router::new(config)?;
+    let mut router = Router::new(config)?;
+    if let Some(sink) = opts.trace_log {
+        router.set_trace_log(open_trace_log(sink, opts.slow_threshold_us)?);
+    }
+    let router = router;
     let listener = std::net::TcpListener::bind(("127.0.0.1", opts.port))?;
     let addr = listener.local_addr()?;
     if let Some(path) = opts.port_file {

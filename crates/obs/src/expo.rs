@@ -1,0 +1,408 @@
+//! Prometheus-style text exposition: a builder for the `/metrics`
+//! responses and a validating parser for tests, `loadgen --trace`,
+//! and the CI smoke jobs.
+//!
+//! The builder emits the classic text format — `# HELP` / `# TYPE`
+//! headers, `name{label="value"} 123` samples, histograms as
+//! cumulative `_bucket{le="..."}` series ending in `+Inf` plus
+//! `_count` and `_sum`. Only the slice of the format this workspace
+//! emits is implemented (integer-valued counters/gauges, µs-bucketed
+//! histograms, no timestamps, no escaping beyond label values) — and
+//! the parser checks exactly that slice, strictly: unknown sample
+//! names, non-monotone cumulative buckets, or a `_count`/`+Inf`
+//! mismatch are errors, so a drifting emitter fails loudly.
+
+use crate::spans::{bucket_upper_bound_us, HistogramSnapshot};
+
+/// Builder for one exposition document.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    /// An empty document.
+    pub fn new() -> Exposition {
+        Exposition::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                // Label values here are ids/paths; escape the three
+                // characters the format reserves.
+                for c in v.chars() {
+                    match c {
+                        '\\' => self.out.push_str("\\\\"),
+                        '"' => self.out.push_str("\\\""),
+                        '\n' => self.out.push_str("\\n"),
+                        _ => self.out.push(c),
+                    }
+                }
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(&value.to_string());
+        self.out.push('\n');
+    }
+
+    /// A monotonically increasing counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        self.sample(name, &[], value);
+    }
+
+    /// A point-in-time gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "gauge");
+        self.sample(name, &[], value);
+    }
+
+    /// An info-style gauge: constant 1 with identifying labels (the
+    /// `build_info` idiom).
+    pub fn info(&mut self, name: &str, help: &str, labels: &[(&str, &str)]) {
+        self.header(name, help, "gauge");
+        self.sample(name, labels, 1);
+    }
+
+    /// One labeled gauge sample under an already-emitted or new
+    /// family; emits the header only when `help` is `Some`.
+    pub fn labeled_gauge(
+        &mut self,
+        name: &str,
+        help: Option<&str>,
+        labels: &[(&str, &str)],
+        value: u64,
+    ) {
+        if let Some(help) = help {
+            self.header(name, help, "gauge");
+        }
+        self.sample(name, labels, value);
+    }
+
+    /// A histogram family from a snapshot: cumulative power-of-two
+    /// `_bucket{le="..."}` series (empty buckets above the last
+    /// occupied one are folded into `+Inf` to keep documents short),
+    /// then `_count` and `_sum`.
+    pub fn histogram_us(&mut self, name: &str, help: &str, snap: &HistogramSnapshot) {
+        self.header(name, help, "histogram");
+        let last_occupied = snap
+            .buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map_or(0, |i| i + 1);
+        let mut cumulative = 0u64;
+        for (i, n) in snap.buckets.iter().take(last_occupied).enumerate() {
+            cumulative += n;
+            let le = bucket_upper_bound_us(i).to_string();
+            self.sample(&format!("{name}_bucket"), &[("le", &le)], cumulative);
+        }
+        self.sample(&format!("{name}_bucket"), &[("le", "+Inf")], snap.count);
+        self.sample(&format!("{name}_count"), &[], snap.count);
+        self.sample(&format!("{name}_sum"), &[], snap.sum_us);
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// One parsed sample: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The sample name (family name plus `_bucket`/`_count`/`_sum`
+    /// suffix for histograms).
+    pub name: String,
+    /// Label pairs in document order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// One parsed metric family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Family {
+    /// Family name from the `# TYPE` line.
+    pub name: String,
+    /// `counter`, `gauge`, or `histogram`.
+    pub kind: String,
+    /// Samples belonging to this family, in document order.
+    pub samples: Vec<Sample>,
+}
+
+impl Family {
+    /// The value of the first sample with no labels (counters/gauges).
+    pub fn value(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.labels.is_empty())
+            .map(|s| s.value)
+    }
+
+    /// For a histogram family: the `_count` sample's value.
+    pub fn count(&self) -> Option<u64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == format!("{}_count", self.name))
+            .map(|s| s.value as u64)
+    }
+
+    /// For a histogram family: `(le_upper_bound_us, cumulative_count)`
+    /// pairs excluding `+Inf`, in document order.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        let bucket_name = format!("{}_bucket", self.name);
+        self.samples
+            .iter()
+            .filter(|s| s.name == bucket_name)
+            .filter_map(|s| {
+                let le = s.labels.iter().find(|(k, _)| k == "le")?;
+                le.1.parse::<u64>().ok().map(|b| (b, s.value as u64))
+            })
+            .collect()
+    }
+}
+
+/// Parse and validate an exposition document. Errors name the first
+/// offending line. Validation covers the slice [`Exposition`] emits:
+/// every sample must belong to the most recent `# TYPE` family,
+/// histogram buckets must be cumulative (non-decreasing) and agree
+/// with `_count` at `+Inf`, and every histogram must carry `_count`
+/// and `_sum`.
+pub fn parse(text: &str) -> Result<Vec<Family>, String> {
+    let mut families: Vec<Family> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {msg}: {line}", lineno + 1);
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.splitn(2, ' ');
+            let name = it.next().unwrap_or("").to_string();
+            let kind = it.next().ok_or_else(|| err("missing TYPE kind"))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(err("unknown TYPE kind"));
+            }
+            if name.is_empty() {
+                return Err(err("empty TYPE name"));
+            }
+            families.push(Family {
+                name,
+                kind: kind.to_string(),
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP and comments
+        }
+        let sample = parse_sample(line).map_err(|m| err(&m))?;
+        let family = families
+            .last_mut()
+            .ok_or_else(|| err("sample before any # TYPE header"))?;
+        let belongs = sample.name == family.name
+            || (family.kind == "histogram"
+                && [
+                    format!("{}_bucket", family.name),
+                    format!("{}_count", family.name),
+                    format!("{}_sum", family.name),
+                ]
+                .contains(&sample.name));
+        if !belongs {
+            return Err(err("sample does not belong to the preceding family"));
+        }
+        family.samples.push(sample);
+    }
+    for family in &families {
+        if family.kind == "histogram" {
+            validate_histogram(family)?;
+        } else if family.samples.is_empty() {
+            return Err(format!("family {} has no samples", family.name));
+        }
+    }
+    Ok(families)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_labels, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| "sample missing value".to_string())?;
+    let value: f64 = value
+        .parse()
+        .map_err(|_| "unparseable sample value".to_string())?;
+    let (name, labels) = match name_labels.split_once('{') {
+        None => (name_labels.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| "unterminated label set".to_string())?;
+            let mut labels = Vec::new();
+            for pair in body.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair
+                    .split_once("=\"")
+                    .ok_or_else(|| "malformed label".to_string())?;
+                let v = v
+                    .strip_suffix('"')
+                    .ok_or_else(|| "unterminated label value".to_string())?;
+                labels.push((k.to_string(), v.replace("\\\"", "\"").replace("\\\\", "\\")));
+            }
+            (name.to_string(), labels)
+        }
+    };
+    if name.is_empty() {
+        return Err("empty sample name".to_string());
+    }
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn validate_histogram(family: &Family) -> Result<(), String> {
+    let name = &family.name;
+    let mut last = 0u64;
+    for (le, cumulative) in family.buckets() {
+        if cumulative < last {
+            return Err(format!(
+                "{name}: cumulative bucket le=\"{le}\" decreases ({cumulative} < {last})"
+            ));
+        }
+        last = cumulative;
+    }
+    let inf = family
+        .samples
+        .iter()
+        .find(|s| {
+            s.name == format!("{name}_bucket")
+                && s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf")
+        })
+        .ok_or_else(|| format!("{name}: histogram missing +Inf bucket"))?
+        .value as u64;
+    let count = family
+        .count()
+        .ok_or_else(|| format!("{name}: histogram missing _count"))?;
+    if inf != count || inf < last {
+        return Err(format!(
+            "{name}: +Inf bucket {inf} disagrees with _count {count} / last bucket {last}"
+        ));
+    }
+    if !family
+        .samples
+        .iter()
+        .any(|s| s.name == format!("{name}_sum"))
+    {
+        return Err(format!("{name}: histogram missing _sum"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spans::Histogram;
+
+    #[test]
+    fn counters_gauges_and_info_round_trip() {
+        let mut expo = Exposition::new();
+        expo.counter("gpufreq_requests_total", "Requests answered.", 42);
+        expo.gauge("gpufreq_queue_depth", "Jobs waiting.", 3);
+        expo.info(
+            "gpufreq_build_info",
+            "Build metadata.",
+            &[("rev", "abc123"), ("crate", "serve")],
+        );
+        let text = expo.finish();
+        let families = parse(&text).expect("parses");
+        assert_eq!(families.len(), 3);
+        assert_eq!(families[0].value(), Some(42.0));
+        assert_eq!(families[1].value(), Some(3.0));
+        assert_eq!(
+            families[2].samples[0].labels,
+            vec![
+                ("rev".to_string(), "abc123".to_string()),
+                ("crate".to_string(), "serve".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn histograms_expose_cumulative_buckets_and_round_trip() {
+        let h = Histogram::new();
+        for us in [1, 1, 8, 4096] {
+            h.observe_us(us);
+        }
+        let mut expo = Exposition::new();
+        expo.histogram_us("gpufreq_stage_score_us", "Score stage.", &h.snapshot());
+        let text = expo.finish();
+        let families = parse(&text).expect("parses");
+        assert_eq!(families.len(), 1);
+        let f = &families[0];
+        assert_eq!(f.kind, "histogram");
+        assert_eq!(f.count(), Some(4));
+        let buckets = f.buckets();
+        // Cumulative: the le="1" bucket holds 2, the le="15" bucket
+        // (8µs) 3, the le="8191" bucket all 4.
+        assert_eq!(buckets.first(), Some(&(1, 2)));
+        assert!(buckets.contains(&(15, 3)), "{buckets:?}");
+        assert_eq!(buckets.last(), Some(&(8191, 4)));
+        assert!(text.contains("gpufreq_stage_score_us_sum 4106"), "{text}");
+    }
+
+    #[test]
+    fn empty_histograms_still_parse() {
+        let mut expo = Exposition::new();
+        expo.histogram_us("empty_us", "Nothing yet.", &Histogram::new().snapshot());
+        let text = expo.finish();
+        let families = parse(&text).expect("parses");
+        assert_eq!(families[0].count(), Some(0));
+        assert!(families[0].buckets().is_empty());
+    }
+
+    #[test]
+    fn parser_rejects_drifting_documents() {
+        assert!(parse("orphan_sample 1").is_err(), "sample before TYPE");
+        assert!(
+            parse("# TYPE a counter\nb 1").is_err(),
+            "foreign sample under a family"
+        );
+        assert!(parse("# TYPE a weird\na 1").is_err(), "unknown family kind");
+        let shrinking = "# TYPE h histogram\n\
+                         h_bucket{le=\"1\"} 5\n\
+                         h_bucket{le=\"3\"} 2\n\
+                         h_bucket{le=\"+Inf\"} 5\n\
+                         h_count 5\nh_sum 9\n";
+        assert!(parse(shrinking).is_err(), "non-monotone buckets");
+        let mismatched = "# TYPE h histogram\n\
+                          h_bucket{le=\"+Inf\"} 4\n\
+                          h_count 5\nh_sum 9\n";
+        assert!(parse(mismatched).is_err(), "+Inf != _count");
+        assert!(
+            parse("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 0\nh_count 0\n").is_err(),
+            "missing _sum"
+        );
+        assert!(parse("# TYPE a counter\na one").is_err(), "bad value");
+    }
+}

@@ -1,0 +1,241 @@
+//! Compact request trace ids and the raw-JSON plumbing that carries
+//! them.
+//!
+//! A trace id is 1–64 characters of `[0-9a-zA-Z_-]` — minted ids are
+//! 16 lowercase hex chars. Ids travel as an optional top-level
+//! `"trace"` field on request and response lines (and as the
+//! `x-gpufreq-trace` HTTP header); the helpers here read and write
+//! that field *structurally*, on the raw bytes, so attaching a trace
+//! never re-serializes a body and an untraced exchange is byte-for-byte
+//! what it was before tracing existed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The longest id accepted off the wire — anything longer is treated
+/// as absent rather than echoed back at unbounded length.
+pub const MAX_ID_LEN: usize = 64;
+
+/// Process-wide mint counter: guarantees distinct ids within a process
+/// even if two mints land on the same clock tick.
+static MINT_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// splitmix64 — a tiny, well-mixed 64-bit permutation (public-domain
+/// constants from Vigna's reference implementation).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Mint a fresh 16-hex-char trace id: the wall clock, a process-wide
+/// counter, and a per-process ASLR-derived salt mixed through
+/// splitmix64. Uniqueness within a process is guaranteed by the
+/// counter; the clock+salt make cross-process collisions unlikely
+/// enough for log correlation (ids are diagnostics, not security
+/// tokens).
+pub fn mint() -> String {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ (d.as_secs() << 32))
+        .unwrap_or(0);
+    // ordering: Relaxed — the counter only needs to hand out distinct
+    // values; no other memory is published through it.
+    let count = MINT_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let salt = &MINT_COUNTER as *const AtomicU64 as u64;
+    let mixed = splitmix64(nanos ^ salt).wrapping_add(splitmix64(count));
+    format!("{mixed:016x}")
+}
+
+/// Whether `id` is a well-formed trace id: non-empty, at most
+/// [`MAX_ID_LEN`] bytes, all `[0-9a-zA-Z_-]`.
+pub fn is_valid(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= MAX_ID_LEN
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+/// Extract the top-level `"trace"` string field from a raw JSON object
+/// line, if present and [valid](is_valid). Purely structural (string
+/// and nesting aware) — the line is never fully parsed, malformed
+/// input simply yields `None`, and a `"trace"` key nested inside
+/// another object or inside a string literal is ignored.
+pub fn extract(line: &str) -> Option<&str> {
+    let bytes = line.trim().as_bytes();
+    if bytes.first() != Some(&b'{') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    // The key we saw last at depth 1, pending its `:` + value.
+    let mut pending_trace_key = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                let start = i + 1;
+                let end = scan_string(bytes, start)?;
+                let s = &line.trim()[start..end];
+                i = end + 1;
+                if depth == 1 {
+                    if pending_trace_key {
+                        // This string is the value of a `"trace"` key.
+                        return if is_valid(s) { Some(s) } else { None };
+                    }
+                    // Key position iff the next non-space byte is ':'.
+                    let mut j = i;
+                    while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b':') {
+                        pending_trace_key = s == "trace";
+                        i = j + 1;
+                    }
+                } else if pending_trace_key {
+                    // `"trace"` had a non-scalar value; treat as absent.
+                    return None;
+                }
+            }
+            b'{' | b'[' => {
+                if depth == 1 && pending_trace_key {
+                    return None;
+                }
+                depth += 1;
+                i += 1;
+            }
+            b'}' | b']' => {
+                depth = depth.checked_sub(1)?;
+                i += 1;
+            }
+            _ => {
+                if depth == 1 && pending_trace_key && !bytes[i].is_ascii_whitespace() {
+                    // A number/bool/null value under `"trace"`.
+                    return None;
+                }
+                i += 1;
+            }
+        }
+    }
+    None
+}
+
+/// Find the closing quote of the string starting at `start` (the byte
+/// after the opening `"`), honoring backslash escapes. Returns the
+/// index of the closing quote.
+fn scan_string(bytes: &[u8], start: usize) -> Option<usize> {
+    let mut i = start;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Append `,"trace":"<id>"` inside the trailing `}` of a serialized
+/// JSON object. The body is spliced, not re-serialized, so the bytes
+/// before the insertion point are untouched; a body that is not an
+/// object (or an empty object, which gets the field without the
+/// leading comma) is returned unchanged.
+pub fn attach(body: &str, id: &str) -> String {
+    let trimmed = body.trim_end();
+    if !trimmed.ends_with('}') || !is_valid(id) {
+        return body.to_string();
+    }
+    let head = &trimmed[..trimmed.len() - 1];
+    let sep = if head.trim_end().ends_with('{') {
+        ""
+    } else {
+        ","
+    };
+    format!("{head}{sep}\"trace\":\"{id}\"}}")
+}
+
+/// Remove a trailing `,"trace":"<id>"` field previously spliced by
+/// [`attach`], restoring the pre-attach bytes. Returns the restored
+/// body and the id, or `None` if the body does not end with an
+/// attach-shaped trace field.
+pub fn detach(body: &str) -> Option<(String, &str)> {
+    let id = extract(body)?;
+    let head = body
+        .trim_end()
+        .strip_suffix(&format!(",\"trace\":\"{id}\"}}"))?;
+    Some((format!("{head}}}"), id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_ids_are_distinct_valid_hex() {
+        let a = mint();
+        let b = mint();
+        assert_ne!(a, b);
+        for id in [&a, &b] {
+            assert_eq!(id.len(), 16, "{id}");
+            assert!(id.bytes().all(|b| b.is_ascii_hexdigit()), "{id}");
+            assert!(is_valid(id));
+        }
+    }
+
+    #[test]
+    fn extract_finds_only_top_level_valid_ids() {
+        assert_eq!(
+            extract("{\"op\":\"predict\",\"trace\":\"abc-123\"}"),
+            Some("abc-123")
+        );
+        assert_eq!(extract("{\"trace\":\"t1\",\"op\":\"stats\"}"), Some("t1"));
+        // Absent, nested, in-string, non-string, invalid charset,
+        // oversized, malformed: all None.
+        assert_eq!(extract("{\"op\":\"stats\"}"), None);
+        assert_eq!(extract("{\"a\":{\"trace\":\"t1\"}}"), None);
+        assert_eq!(extract("{\"source\":\"x \\\"trace\\\": y\"}"), None);
+        assert_eq!(extract("{\"trace\":7}"), None);
+        assert_eq!(extract("{\"trace\":{\"id\":\"t\"}}"), None);
+        assert_eq!(extract("{\"trace\":\"has space\"}"), None);
+        assert_eq!(
+            extract(&format!("{{\"trace\":\"{}\"}}", "a".repeat(65))),
+            None
+        );
+        assert_eq!(extract("not json"), None);
+        assert_eq!(extract("{\"trace\":\"unterminated"), None);
+    }
+
+    #[test]
+    fn extract_skips_string_values_that_look_like_keys() {
+        // A value string "trace" must not arm the key state.
+        assert_eq!(extract("{\"op\":\"trace\",\"x\":1}"), None);
+        assert_eq!(extract("{\"op\":\"trace\",\"trace\":\"id9\"}"), Some("id9"));
+    }
+
+    #[test]
+    fn attach_splices_before_the_trailing_brace() {
+        assert_eq!(
+            attach("{\"ok\":\"shutdown\"}", "deadbeef"),
+            "{\"ok\":\"shutdown\",\"trace\":\"deadbeef\"}"
+        );
+        assert_eq!(attach("{}", "t"), "{\"trace\":\"t\"}");
+        // Non-object bodies and invalid ids pass through unchanged.
+        assert_eq!(attach("plain text", "t"), "plain text");
+        assert_eq!(attach("{\"a\":1}", "bad id"), "{\"a\":1}");
+        // Round trip: an attached id extracts back out.
+        let traced = attach("{\"ok\":\"predict\",\"device\":\"titan-x\"}", "f00d");
+        assert_eq!(extract(&traced), Some("f00d"));
+    }
+
+    #[test]
+    fn detach_restores_the_pre_attach_bytes() {
+        let body = "{\"ok\":\"predict_batch\",\"device\":\"titan-x\",\"results\":[{\"x\":1}]}";
+        let traced = attach(body, "cafe1234");
+        let (restored, id) = detach(&traced).unwrap();
+        assert_eq!(restored, body);
+        assert_eq!(id, "cafe1234");
+        // Untraced bodies and mid-object trace fields are left alone.
+        assert_eq!(detach(body), None);
+        assert_eq!(detach("{\"trace\":\"t1\",\"op\":\"stats\"}"), None);
+    }
+}

@@ -9,9 +9,10 @@
 //! connection and record the outcome with the breaker.
 
 use std::io;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
+use gpufreq_obs::StageSet;
 use gpufreq_serve::protocol::{DeviceInfo, ErrorBody, ErrorCode, Request, Response};
 use gpufreq_serve::LineClient;
 use gpufreq_sim::Device;
@@ -46,8 +47,10 @@ struct BackendState {
     /// Outstanding requests against this backend.
     in_flight: u64,
     breaker: Breaker,
-    /// Requests forwarded (including probes).
+    /// Client requests forwarded (health probes counted separately).
     requests: u64,
+    /// Health probes sent (router-originated `devices` checks).
+    probes: u64,
     /// Transport failures + `overloaded` rejections.
     failures: u64,
     /// Device inventory from the most recent successful probe.
@@ -63,6 +66,9 @@ pub struct Backend {
     pool_idle: usize,
     read_timeout: Option<std::time::Duration>,
     state: Mutex<BackendState>,
+    /// Router-shared per-stage histograms; when set, every fresh dial
+    /// records a `connect` span. Set once by `Router::new`.
+    stages: OnceLock<Arc<StageSet>>,
 }
 
 impl Backend {
@@ -86,10 +92,19 @@ impl Backend {
                 in_flight: 0,
                 breaker: Breaker::new(config.failure_threshold, config.cooldown),
                 requests: 0,
+                probes: 0,
                 failures: 0,
                 info,
             }),
+            stages: OnceLock::new(),
         }
+    }
+
+    /// Share the router's per-stage histograms with this backend so
+    /// fresh dials record `connect` spans. Later calls are ignored
+    /// (the first registration wins).
+    pub(crate) fn attach_stages(&self, stages: Arc<StageSet>) {
+        let _ = self.stages.set(stages);
     }
 
     /// The backend's `host:port` address.
@@ -111,6 +126,14 @@ impl Backend {
     /// in-flight cap. On success returns the raw response line with
     /// the connection back in the pool.
     pub fn call(&self, line: &str) -> Result<String, CallError> {
+        self.call_flagged(line, false)
+    }
+
+    /// [`Backend::call`] with an explicit probe flag: probe traffic is
+    /// counted in its own `probes` counter so the `requests` counter
+    /// reflects client load only. Breaker and in-flight bookkeeping
+    /// are identical either way.
+    fn call_flagged(&self, line: &str, is_probe: bool) -> Result<String, CallError> {
         let pooled = {
             let mut st = self.lock();
             if st.in_flight >= self.max_in_flight {
@@ -120,7 +143,11 @@ impl Backend {
                 return Err(CallError::Broken);
             }
             st.in_flight += 1;
-            st.requests += 1;
+            if is_probe {
+                st.probes += 1;
+            } else {
+                st.requests += 1;
+            }
             st.idle.pop()
         };
         let outcome = self.exchange(pooled, line);
@@ -159,8 +186,12 @@ impl Backend {
         let mut client = match pooled {
             Some(client) => client,
             None => {
+                let dial = Instant::now();
                 let client = LineClient::connect(&self.addr)?;
                 client.set_read_timeout(self.read_timeout)?;
+                if let Some(stages) = self.stages.get() {
+                    stages.observe_us("connect", dial.elapsed().as_micros() as u64);
+                }
                 client
             }
         };
@@ -174,7 +205,7 @@ impl Backend {
     /// touched again). A successful probe refreshes the cached device
     /// inventory; an unparseable answer counts as a failure.
     pub fn probe(&self) -> Option<Vec<DeviceInfo>> {
-        let response = self.call(&Request::Devices.to_json()).ok()?;
+        let response = self.call_flagged(&Request::Devices.to_json(), true).ok()?;
         match Response::parse(&response) {
             Ok(Response::Devices { devices }) => {
                 self.lock().info = Some(devices.clone());
@@ -202,6 +233,7 @@ impl Backend {
             devices: self.devices.iter().map(|d| d.id().to_string()).collect(),
             state: st.breaker.state(),
             requests: st.requests,
+            probes: st.probes,
             failures: st.failures,
             in_flight: st.in_flight,
         }

@@ -50,5 +50,5 @@ pub mod server;
 pub mod wire;
 
 pub use config::{BackendSpec, RouterConfig};
-pub use server::{Router, RouterError};
+pub use server::{Router, RouterError, ROUTER_STAGE_NAMES};
 pub use wire::{BackendSnapshot, CircuitState, RouterCounters, RouterSnapshot};

@@ -15,13 +15,15 @@
 use std::io::{self, Read, Write};
 use std::net::{IpAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::Scope;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use gpufreq_obs::{trace, Exposition, Histogram, SpanRecorder, StageSet, TraceLog};
 use gpufreq_serve::http::Gateway;
 use gpufreq_serve::protocol::{ErrorBody, ErrorCode, Request, Response, ServerStats};
 use gpufreq_serve::server::{MAX_LINE_BYTES, READ_POLL};
-use gpufreq_serve::LineClient;
+use gpufreq_serve::{build_rev, LineClient};
 use gpufreq_sim::Device;
 
 use crate::backend::{Backend, CallError};
@@ -31,6 +33,11 @@ use crate::wire::{RouterCounters, RouterSnapshot};
 
 /// How long the accept loops sleep when no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// The router's per-stage span names, in request order: shard/replica
+/// selection, fresh backend dials, the backend exchange, and batch
+/// response splicing. Each gets a latency histogram in `/metrics`.
+pub const ROUTER_STAGE_NAMES: [&str; 4] = ["pick", "connect", "roundtrip", "merge"];
 
 /// Which protocol an accepted connection speaks.
 #[derive(Debug, Clone, Copy)]
@@ -87,6 +94,15 @@ pub struct Router {
     retried: AtomicU64,
     broken_circuit: AtomicU64,
     malformed: AtomicU64,
+    /// When the router started (uptime in healthz/metrics).
+    started: Instant,
+    /// Per-stage latency histograms ([`ROUTER_STAGE_NAMES`]); shared
+    /// with the backends so fresh dials record `connect` spans.
+    stages: Arc<StageSet>,
+    /// Whole-request latency (line read to response body ready).
+    latency: Histogram,
+    /// Optional slow-request/error log (`--trace-log`).
+    trace_log: Option<Arc<TraceLog>>,
 }
 
 impl Router {
@@ -132,6 +148,10 @@ impl Router {
         if shards.is_empty() {
             return Err(RouterError::NoDevices);
         }
+        let stages = Arc::new(StageSet::new(&ROUTER_STAGE_NAMES));
+        for backend in &backends {
+            backend.attach_stages(Arc::clone(&stages));
+        }
         Ok(Router {
             backends,
             shards,
@@ -143,7 +163,16 @@ impl Router {
             retried: AtomicU64::new(0),
             broken_circuit: AtomicU64::new(0),
             malformed: AtomicU64::new(0),
+            started: Instant::now(),
+            stages,
+            latency: Histogram::new(),
+            trace_log: None,
         })
+    }
+
+    /// Attach a slow-request/error trace log. Call before serving.
+    pub fn set_trace_log(&mut self, log: Arc<TraceLog>) {
+        self.trace_log = Some(log);
     }
 
     /// The devices the router serves, in shard order.
@@ -197,13 +226,73 @@ impl Router {
 
     /// Handle one raw protocol line to its response line.
     pub fn handle_line(&self, line: &str) -> String {
-        match Request::parse(line) {
-            Ok(request) => self.dispatch(&request, Some(line)),
+        self.handle_line_from(line, None)
+    }
+
+    /// [`Router::handle_line`] with the client address for the trace
+    /// log. Extracts the optional trace id, times the whole request,
+    /// and records per-stage spans through [`Router::finish`].
+    fn handle_line_from(&self, line: &str, peer: Option<IpAddr>) -> String {
+        let accepted = Instant::now();
+        let trace = trace::extract(line).map(str::to_string);
+        let trace_id = trace.as_deref();
+        let mut rec = SpanRecorder::start();
+        let (op, body) = match Request::parse(line) {
+            Ok(request) => (
+                request.op(),
+                self.dispatch(&request, Some(line), trace_id, &mut rec),
+            ),
             Err(error) => {
                 // ordering: see `snapshot` — monotonic counter.
                 self.malformed.fetch_add(1, Ordering::Relaxed);
-                error.into_response().to_json()
+                ("invalid", error.into_response().to_json())
             }
+        };
+        self.finish(op, trace_id, accepted, &rec, peer, body)
+    }
+
+    /// Finish one request: record the whole-request latency, absorb
+    /// the recorder's spans into the per-stage histograms, write the
+    /// slow/error log record, and echo the trace id onto the body
+    /// unless a backend already did (relayed bodies arrive traced).
+    fn finish(
+        &self,
+        op: &str,
+        trace_id: Option<&str>,
+        accepted: Instant,
+        rec: &SpanRecorder,
+        peer: Option<IpAddr>,
+        body: String,
+    ) -> String {
+        let total_us = accepted.elapsed().as_micros() as u64;
+        self.latency.observe_us(total_us);
+        self.stages.absorb(rec);
+        if let Some(log) = &self.trace_log {
+            let error = error_code_of(&body);
+            if log.qualifies(total_us, error.is_some()) {
+                let minted;
+                let id = match trace_id {
+                    Some(id) => id,
+                    None => {
+                        minted = trace::mint();
+                        &minted
+                    }
+                };
+                let peer = peer.map(|p| p.to_string());
+                log.write(&gpufreq_obs::TraceRecord {
+                    component: "router",
+                    trace: id,
+                    op,
+                    total_us,
+                    stages: rec.spans(),
+                    error,
+                    peer: peer.as_deref(),
+                });
+            }
+        }
+        match trace_id {
+            Some(id) if trace::extract(&body) != Some(id) => trace::attach(&body, id),
+            _ => body,
         }
     }
 
@@ -211,21 +300,38 @@ impl Router {
     /// the request arrived on the line protocol — single-shard ops
     /// forward it verbatim; the HTTP gateway passes `None` and the
     /// forwarded line is re-framed from the typed request (the same
-    /// serializer both ends use, so the bytes cannot differ).
-    fn dispatch(&self, request: &Request, raw: Option<&str>) -> String {
+    /// serializer both ends use, so the bytes cannot differ), with the
+    /// trace id attached so the backend's log carries the same id.
+    fn dispatch(
+        &self,
+        request: &Request,
+        raw: Option<&str>,
+        trace_id: Option<&str>,
+        rec: &mut SpanRecorder,
+    ) -> String {
         let framed;
         let line = match raw {
             Some(line) => line,
             None => {
-                framed = request.to_json();
+                let json = request.to_json();
+                framed = match trace_id {
+                    Some(id) => trace::attach(&json, id),
+                    None => json,
+                };
                 &framed
             }
         };
         match request {
-            Request::Predict { device, source } => self.route_predict(device, source, line),
-            Request::PredictBatch { device, sources } => self.route_batch(device, sources, line),
+            Request::Predict { device, source } => self.route_predict(device, source, line, rec),
+            Request::PredictBatch { device, sources } => {
+                self.route_batch(device, sources, line, trace_id, rec)
+            }
             Request::Devices => self.devices_body(),
             Request::Stats => self.stats_body(),
+            Request::Metrics => Response::Metrics {
+                exposition: self.exposition(),
+            }
+            .to_json(),
             Request::Reload { device, .. } => self.reload_body(device, line),
             Request::Shutdown => {
                 self.initiate_shutdown();
@@ -238,12 +344,18 @@ impl Router {
     /// other replicas in ring order. Returns the backend's raw
     /// response, a relayed `overloaded` if every live replica said so,
     /// or a synthesized `overloaded` when none could be reached.
+    ///
+    /// The answered exchange is recorded as a `roundtrip` span — into
+    /// `rec` when the caller threads one, or straight into the shared
+    /// histograms from batch fan-out threads (which cannot share the
+    /// request's recorder without double-counting on absorb).
     fn call_replicas(
         &self,
         device: Device,
         replicas: &[usize],
         owner: usize,
         line: &str,
+        mut rec: Option<&mut SpanRecorder>,
     ) -> String {
         let mut overloaded = None;
         for attempt in 0..replicas.len() {
@@ -252,8 +364,14 @@ impl Router {
                 self.retried.fetch_add(1, Ordering::Relaxed);
             }
             let idx = replicas[(owner + attempt) % replicas.len()];
+            let exchange = Instant::now();
             match self.backends[idx].call(line) {
                 Ok(response) => {
+                    let us = exchange.elapsed().as_micros() as u64;
+                    match rec.as_deref_mut() {
+                        Some(rec) => rec.record_us("roundtrip", us),
+                        None => self.stages.observe_us("roundtrip", us),
+                    }
                     // ordering: see `snapshot` — monotonic counter.
                     self.routed.fetch_add(1, Ordering::Relaxed);
                     return response;
@@ -269,33 +387,56 @@ impl Router {
         overloaded.unwrap_or_else(|| Backend::all_unavailable(device))
     }
 
-    fn route_predict(&self, device_id: &str, source: &str, line: &str) -> String {
-        match self.resolve(device_id) {
+    fn route_predict(
+        &self,
+        device_id: &str,
+        source: &str,
+        line: &str,
+        rec: &mut SpanRecorder,
+    ) -> String {
+        let pick = Instant::now();
+        let resolved = self.resolve(device_id);
+        rec.record_us("pick", pick.elapsed().as_micros() as u64);
+        match resolved {
             Ok((device, replicas)) => {
                 let owner = replica_for(device, source, replicas.len());
-                self.call_replicas(device, replicas, owner, line)
+                self.call_replicas(device, replicas, owner, line, Some(rec))
             }
             Err(error) => error.into_response().to_json(),
         }
     }
 
-    fn route_batch(&self, device_id: &str, sources: &[String], line: &str) -> String {
-        let (device, replicas) = match self.resolve(device_id) {
+    fn route_batch(
+        &self,
+        device_id: &str,
+        sources: &[String],
+        line: &str,
+        trace_id: Option<&str>,
+        rec: &mut SpanRecorder,
+    ) -> String {
+        let pick = Instant::now();
+        let resolved = self.resolve(device_id);
+        let (device, replicas) = match resolved {
             Ok(resolved) => resolved,
-            Err(error) => return error.into_response().to_json(),
+            Err(error) => {
+                rec.record_us("pick", pick.elapsed().as_micros() as u64);
+                return error.into_response().to_json();
+            }
         };
         let shards = split_batch(device, sources, replicas.len());
         let occupied: Vec<usize> = (0..shards.len())
             .filter(|&r| !shards[r].is_empty())
             .collect();
+        rec.record_us("pick", pick.elapsed().as_micros() as u64);
         // One replica owns everything (or the batch is empty): forward
         // the raw line, relay the raw response.
         if occupied.len() <= 1 {
             let owner = occupied.first().copied().unwrap_or(0);
-            return self.call_replicas(device, replicas, owner, line);
+            return self.call_replicas(device, replicas, owner, line, Some(rec));
         }
-        // Genuinely split: re-frame one sub-batch per occupied
-        // replica, fan out concurrently, splice the raw result slots
+        // Genuinely split: re-frame one sub-batch per occupied replica
+        // (tagged with the request's trace id so the backends' logs
+        // carry it), fan out concurrently, splice the raw result slots
         // back in request order.
         let mut responses: Vec<Option<String>> = vec![None; occupied.len()];
         std::thread::scope(|scope| {
@@ -308,9 +449,16 @@ impl Router {
                         .map(|&i| sources[i].clone())
                         .collect(),
                 };
+                let sub_line = {
+                    let json = sub.to_json();
+                    match trace_id {
+                        Some(id) => trace::attach(&json, id),
+                        None => json,
+                    }
+                };
                 handles.push(
                     scope.spawn(move || {
-                        self.call_replicas(device, replicas, replica, &sub.to_json())
+                        self.call_replicas(device, replicas, replica, &sub_line, None)
                     }),
                 );
             }
@@ -319,6 +467,19 @@ impl Router {
                 responses[slot] = Some(handle.join().expect("batch fan-out thread panicked"));
             }
         });
+        let merge = Instant::now();
+        // Backends echo the trace id we attached onto each sub-response;
+        // detach before splicing so the merged bytes stay identical to a
+        // single-backend run (`finish` re-attaches the id once, at the end).
+        let responses: Vec<Option<String>> = responses
+            .into_iter()
+            .map(|r| {
+                r.map(|r| match trace::detach(&r) {
+                    Some((restored, _)) => restored,
+                    None => r,
+                })
+            })
+            .collect();
         let mut slots: Vec<&str> = vec![""; sources.len()];
         for (slot, &replica) in occupied.iter().enumerate() {
             let Some(response) = responses[slot].as_deref() else {
@@ -336,7 +497,9 @@ impl Router {
                 _ => return response.to_string(),
             }
         }
-        merge_batch(device.id(), &slots)
+        let merged = merge_batch(device.id(), &slots);
+        rec.record_us("merge", merge.elapsed().as_micros() as u64);
+        merged
     }
 
     /// Aggregate `devices`: one entry per served device in shard
@@ -392,6 +555,112 @@ impl Router {
         body
     }
 
+    /// Render the router's Prometheus-style text exposition: routing
+    /// counters, per-backend health gauges, the whole-request latency
+    /// histogram, and one histogram per routing stage
+    /// ([`ROUTER_STAGE_NAMES`]). Served by `GET /metrics` on the HTTP
+    /// gateway and (JSON-wrapped) by the `metrics` line verb. Probe
+    /// traffic appears only in `gpufreq_backend_probes`.
+    pub fn exposition(&self) -> String {
+        let snap = self.snapshot();
+        let c = &snap.counters;
+        let mut x = Exposition::new();
+        x.info(
+            "gpufreq_build_info",
+            "Build metadata.",
+            &[("component", "router"), ("build", build_rev())],
+        );
+        x.gauge(
+            "gpufreq_uptime_seconds",
+            "Seconds since the process started.",
+            self.started.elapsed().as_secs(),
+        );
+        x.counter(
+            "gpufreq_router_routed_total",
+            "Requests successfully forwarded to a backend.",
+            c.routed,
+        );
+        x.counter(
+            "gpufreq_router_retried_total",
+            "Failover attempts to another replica.",
+            c.retried,
+        );
+        x.counter(
+            "gpufreq_router_broken_circuit_total",
+            "Requests turned away from a backend by an open circuit.",
+            c.broken_circuit,
+        );
+        x.counter(
+            "gpufreq_router_malformed_total",
+            "Lines or HTTP bodies that failed to parse at the router.",
+            c.malformed,
+        );
+        x.gauge(
+            "gpufreq_connections_active",
+            "Connections currently served.",
+            // ordering: see `claim_connection_slot` — a bare counter.
+            self.active_connections.load(Ordering::Relaxed) as u64,
+        );
+        type BackendMetric = fn(&crate::wire::BackendSnapshot) -> u64;
+        let per_backend: [(&str, &str, BackendMetric); 4] = [
+            (
+                "gpufreq_backend_requests",
+                "Client requests forwarded per backend (probes excluded).",
+                |b| b.requests,
+            ),
+            (
+                "gpufreq_backend_probes",
+                "Health probes sent per backend.",
+                |b| b.probes,
+            ),
+            (
+                "gpufreq_backend_failures",
+                "Transport failures and `overloaded` rejections per backend.",
+                |b| b.failures,
+            ),
+            (
+                "gpufreq_backend_in_flight",
+                "Requests currently outstanding per backend.",
+                |b| b.in_flight,
+            ),
+        ];
+        for (name, help, value) in per_backend {
+            for (i, b) in snap.backends.iter().enumerate() {
+                x.labeled_gauge(
+                    name,
+                    (i == 0).then_some(help),
+                    &[("backend", &b.addr)],
+                    value(b),
+                );
+            }
+        }
+        x.histogram_us(
+            "gpufreq_request_latency_us",
+            "Whole-request routing latency (line read to response body ready).",
+            &self.latency.snapshot(),
+        );
+        for (name, h) in self.stages.iter() {
+            x.histogram_us(
+                &format!("gpufreq_stage_{name}_latency_us"),
+                &format!("Latency of the `{name}` routing stage."),
+                &h.snapshot(),
+            );
+        }
+        if let Some(log) = &self.trace_log {
+            x.counter(
+                "gpufreq_trace_log_written_total",
+                "Slow/error records written to the trace log.",
+                log.written(),
+            );
+            x.counter(
+                "gpufreq_trace_log_dropped_total",
+                "Trace-log records dropped (rate limit or I/O errors).",
+                log.dropped(),
+            );
+        }
+        x.finish()
+    }
+
     /// Fan a `reload` to every replica of the device, sequentially and
     /// in replica order. The first error (typed or transport) is
     /// relayed/reported immediately — replicas reloaded before it stay
@@ -435,7 +704,7 @@ impl Router {
     /// construction. An over-long line is answered with the same typed
     /// `bad_request` the backends use, and the excess is discarded
     /// until the next newline.
-    fn line_connection(&self, stream: TcpStream) {
+    fn line_connection(&self, stream: TcpStream, peer: IpAddr) {
         let setup = (|| -> io::Result<TcpStream> {
             stream.set_nonblocking(false)?;
             stream.set_nodelay(true).ok();
@@ -483,7 +752,7 @@ impl Router {
                 }
                 let response = match std::str::from_utf8(line) {
                     Ok(text) if text.trim().is_empty() => continue,
-                    Ok(text) => self.handle_line(text.trim_end_matches('\r')),
+                    Ok(text) => self.handle_line_from(text.trim_end_matches('\r'), Some(peer)),
                     Err(_) => {
                         // ordering: see `snapshot` — monotonic counter.
                         self.malformed.fetch_add(1, Ordering::Relaxed);
@@ -578,7 +847,7 @@ impl Router {
         }
         scope.spawn(move || {
             match kind {
-                ConnKind::Line => self.line_connection(stream),
+                ConnKind::Line => self.line_connection(stream, peer),
                 ConnKind::Http => gpufreq_serve::http::serve_http_connection(self, stream, peer),
             }
             // ordering: see `claim_connection_slot` — a bare counter.
@@ -640,12 +909,28 @@ impl Router {
 }
 
 impl Gateway for Router {
-    fn execute(&self, request: Request, _peer: IpAddr) -> String {
-        self.dispatch(&request, None)
+    fn execute(&self, request: Request, peer: IpAddr, trace: Option<&str>) -> String {
+        let accepted = Instant::now();
+        let mut rec = SpanRecorder::start();
+        let body = self.dispatch(&request, None, trace, &mut rec);
+        self.finish(request.op(), trace, accepted, &rec, Some(peer), body)
     }
 
     fn shutting_down(&self) -> bool {
         self.is_shutting_down()
+    }
+
+    fn exposition(&self) -> String {
+        Router::exposition(self)
+    }
+
+    fn health_body(&self) -> String {
+        format!(
+            "{{\"ok\":\"healthz\",\"router\":{{\"uptime_s\":{},\"build\":\"{}\",\"backends\":{}}}}}",
+            self.started.elapsed().as_secs(),
+            build_rev(),
+            self.backends.len(),
+        )
     }
 
     fn malformed(&self, error: ErrorBody) -> String {
@@ -702,6 +987,7 @@ fn zero_stats() -> ServerStats {
             batch_kernels: 0,
             devices: 0,
             stats: 0,
+            metrics: 0,
             shutdown: 0,
             errors: 0,
             rejected: 0,
@@ -730,6 +1016,11 @@ fn zero_stats() -> ServerStats {
             failed: 0,
             active: 0,
         },
+        server: gpufreq_serve::protocol::ServerInfo {
+            uptime_s: 0,
+            build: String::new(),
+            slots: Vec::new(),
+        },
     }
 }
 
@@ -754,6 +1045,7 @@ fn add_stats(total: &mut ServerStats, stats: &ServerStats) {
     r.0.batch_kernels += r.1.batch_kernels;
     r.0.devices += r.1.devices;
     r.0.stats += r.1.stats;
+    r.0.metrics += r.1.metrics;
     r.0.shutdown += r.1.shutdown;
     r.0.errors += r.1.errors;
     r.0.rejected += r.1.rejected;
@@ -783,6 +1075,25 @@ fn add_stats(total: &mut ServerStats, stats: &ServerStats) {
     total.connections.refused += stats.connections.refused;
     total.connections.failed += stats.connections.failed;
     total.connections.active += stats.connections.active;
+    // Identity: uptime takes the max (the oldest backend), the build
+    // is the first one reported (they should all agree), and the
+    // per-device slot lists concatenate across backends.
+    total.server.uptime_s = total.server.uptime_s.max(stats.server.uptime_s);
+    if total.server.build.is_empty() {
+        total.server.build = stats.server.build.clone();
+    }
+    total
+        .server
+        .slots
+        .extend(stats.server.slots.iter().cloned());
+}
+
+/// The typed error code of a serialized response body, if it is an
+/// error response (same exact-prefix check the daemon uses — bodies
+/// are trusted output of the protocol serializer).
+fn error_code_of(body: &str) -> Option<&str> {
+    let rest = body.strip_prefix("{\"error\":{\"code\":\"")?;
+    rest.split('"').next()
 }
 
 #[cfg(test)]

@@ -74,8 +74,10 @@ pub struct BackendSnapshot {
     pub devices: Vec<String>,
     /// Current circuit-breaker state.
     pub state: CircuitState,
-    /// Requests forwarded to this backend (including probes).
+    /// Client requests forwarded to this backend (probes excluded).
     pub requests: u64,
+    /// Health probes sent to this backend.
+    pub probes: u64,
     /// Forwarding failures: connection errors, transport errors, and
     /// typed `overloaded` responses.
     pub failures: u64,
@@ -114,6 +116,7 @@ impl RouterSnapshot {
                         Value::String(b.state.as_str().to_string()),
                     ),
                     ("requests".to_string(), uint(b.requests)),
+                    ("probes".to_string(), uint(b.probes)),
                     ("failures".to_string(), uint(b.failures)),
                     ("in_flight".to_string(), uint(b.in_flight)),
                 ])
@@ -157,6 +160,7 @@ mod tests {
                 devices: vec!["titan-x".to_string()],
                 state: CircuitState::Open,
                 requests: 9,
+                probes: 4,
                 failures: 3,
                 in_flight: 0,
             }],
@@ -166,7 +170,8 @@ mod tests {
             json,
             "{\"routed\":7,\"retried\":1,\"broken_circuit\":2,\"malformed\":0,\
              \"backends\":[{\"addr\":\"127.0.0.1:7070\",\"devices\":[\"titan-x\"],\
-             \"state\":\"open\",\"requests\":9,\"failures\":3,\"in_flight\":0}]}"
+             \"state\":\"open\",\"requests\":9,\"probes\":4,\"failures\":3,\
+             \"in_flight\":0}]}"
         );
     }
 }

@@ -219,6 +219,7 @@ mod tests {
             },
             Request::Devices,
             Request::Stats,
+            Request::Metrics,
             Request::Reload {
                 device: "titan-x".into(),
                 path: "/tmp/m.json".into(),

@@ -8,6 +8,7 @@
 //! | `/stats` | GET | `stats` |
 //! | `/devices` | GET | `devices` |
 //! | `/healthz` | GET | liveness probe (not a protocol request) |
+//! | `/metrics` | GET | Prometheus text exposition (scrape probe) |
 //! | `/admin/reload` | POST | `reload` (model hot-swap) |
 //!
 //! Response bodies are **exactly** the JSON-lines response bodies —
@@ -28,6 +29,7 @@
 
 use crate::protocol::{ErrorBody, ErrorCode, Request};
 use crate::server::{Server, MAX_LINE_BYTES, READ_POLL};
+use gpufreq_obs::trace;
 use serde::Value;
 use std::io::{self, Read, Write};
 use std::net::{IpAddr, TcpStream};
@@ -35,17 +37,35 @@ use std::net::{IpAddr, TcpStream};
 /// Largest accepted HTTP head (request line + headers).
 const MAX_HEAD_BYTES: usize = 16 * 1024;
 
+/// The request header that carries (and the response header that
+/// echoes) a request's trace id across the HTTP surface.
+pub const TRACE_HEADER: &str = "x-gpufreq-trace";
+
 /// What the HTTP adapter needs from the process behind it. The daemon
 /// ([`Server`]) and the router front end both implement this, so one
 /// HTTP surface serves both — routes, framing, bounds, and status
 /// mapping cannot drift between them.
 pub trait Gateway: Sync {
     /// Execute one protocol request to its serialized response body.
-    fn execute(&self, request: Request, peer: IpAddr) -> String;
+    /// `trace` is the caller-supplied trace id (already validated), to
+    /// be carried through the process and echoed in the body.
+    fn execute(&self, request: Request, peer: IpAddr, trace: Option<&str>) -> String;
 
     /// Whether the process is draining (healthz answers 503,
     /// keep-alive stops being honoured).
     fn shutting_down(&self) -> bool;
+
+    /// The Prometheus text exposition served on `GET /metrics`. Like
+    /// `/healthz` this is probe traffic: it bypasses the request queue
+    /// and is not tallied in the request counters.
+    fn exposition(&self) -> String;
+
+    /// The `GET /healthz` liveness body. Implementations may extend
+    /// the default with process identity (uptime, build, slots) — the
+    /// `{"ok":"healthz"` prefix is load-bearing for probes.
+    fn health_body(&self) -> String {
+        "{\"ok\":\"healthz\"}".to_string()
+    }
 
     /// Count and serialize a request that failed before it parsed into
     /// a protocol [`Request`] (unroutable path, wrong method, bad
@@ -58,12 +78,22 @@ pub trait Gateway: Sync {
 }
 
 impl Gateway for Server {
-    fn execute(&self, request: Request, peer: IpAddr) -> String {
-        self.execute_direct(request, Some(peer))
+    fn execute(&self, request: Request, peer: IpAddr, trace: Option<&str>) -> String {
+        self.execute_direct(request, Some(peer), trace)
     }
 
     fn shutting_down(&self) -> bool {
         self.is_shutting_down()
+    }
+
+    fn exposition(&self) -> String {
+        Server::exposition(self)
+    }
+
+    fn health_body(&self) -> String {
+        // analyze:allow(panic-in-request-path, reason = "the vendored serializer is infallible; expect() documents that invariant")
+        let info = serde_json::to_string(&self.server_info()).expect("serializer is infallible");
+        format!("{{\"ok\":\"healthz\",\"server\":{info}}}")
     }
 
     fn malformed(&self, error: ErrorBody) -> String {
@@ -87,17 +117,20 @@ pub enum Route {
     Devices,
     /// `GET /healthz` → liveness probe.
     Healthz,
+    /// `GET /metrics` → Prometheus text exposition (scrape probe).
+    Metrics,
     /// `POST /admin/reload` → `reload` (model hot-swap).
     AdminReload,
 }
 
 impl Route {
     /// Every route, for resolution and exhaustive tests.
-    pub const ALL: [Route; 5] = [
+    pub const ALL: [Route; 6] = [
         Route::Predict,
         Route::Stats,
         Route::Devices,
         Route::Healthz,
+        Route::Metrics,
         Route::AdminReload,
     ];
 
@@ -108,6 +141,7 @@ impl Route {
             Route::Stats => "/stats",
             Route::Devices => "/devices",
             Route::Healthz => "/healthz",
+            Route::Metrics => "/metrics",
             Route::AdminReload => "/admin/reload",
         }
     }
@@ -116,7 +150,7 @@ impl Route {
     pub const fn method(self) -> &'static str {
         match self {
             Route::Predict | Route::AdminReload => "POST",
-            Route::Stats | Route::Devices | Route::Healthz => "GET",
+            Route::Stats | Route::Devices | Route::Healthz | Route::Metrics => "GET",
         }
     }
 
@@ -137,6 +171,8 @@ struct HttpRequest {
     target: String,
     body: Vec<u8>,
     keep_alive: bool,
+    /// Validated [`TRACE_HEADER`] value, if the client sent one.
+    trace: Option<String>,
 }
 
 /// One response ready for framing.
@@ -144,6 +180,22 @@ struct HttpRequest {
 struct HttpReply {
     status: u16,
     body: String,
+    content_type: &'static str,
+    /// Trace id echoed back in the [`TRACE_HEADER`] response header.
+    trace: Option<String>,
+}
+
+impl HttpReply {
+    /// A JSON reply with no trace echo — the shape of every error
+    /// produced before a request (and its trace header) parsed.
+    fn json(status: u16, body: String) -> HttpReply {
+        HttpReply {
+            status,
+            body,
+            content_type: "application/json",
+            trace: None,
+        }
+    }
 }
 
 /// What reading the next request off the socket produced.
@@ -241,10 +293,7 @@ fn read_more<G: Gateway>(
 /// A 4xx framing error as a [`ReadOutcome`].
 fn framing_error(message: impl Into<String>) -> ReadOutcome {
     let error = ErrorBody::new(ErrorCode::BadRequest, message);
-    ReadOutcome::Malformed(HttpReply {
-        status: 400,
-        body: error.into_response().to_json(),
-    })
+    ReadOutcome::Malformed(HttpReply::json(400, error.into_response().to_json()))
 }
 
 /// Read and parse the next HTTP request. Bounds: the head at
@@ -286,6 +335,7 @@ fn read_request<G: Gateway>(gateway: &G, stream: &TcpStream, buf: &mut Vec<u8>) 
     let mut content_length = 0usize;
     // HTTP/1.1 defaults to keep-alive, 1.0 to close.
     let mut keep_alive = version != "HTTP/1.0";
+    let mut trace_id: Option<String> = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -302,6 +352,12 @@ fn read_request<G: Gateway>(gateway: &G, stream: &TcpStream, buf: &mut Vec<u8>) 
             } else if value.eq_ignore_ascii_case("keep-alive") {
                 keep_alive = true;
             }
+        } else if name.eq_ignore_ascii_case(TRACE_HEADER) {
+            // A malformed id is dropped, not refused: tracing is
+            // opt-in telemetry and must never fail a request.
+            if trace::is_valid(value) {
+                trace_id = Some(value.to_string());
+            }
         }
     }
     if content_length > MAX_LINE_BYTES {
@@ -309,10 +365,7 @@ fn read_request<G: Gateway>(gateway: &G, stream: &TcpStream, buf: &mut Vec<u8>) 
             ErrorCode::BadRequest,
             format!("request body exceeds {MAX_LINE_BYTES} bytes"),
         );
-        return ReadOutcome::Malformed(HttpReply {
-            status: 413,
-            body: error.into_response().to_json(),
-        });
+        return ReadOutcome::Malformed(HttpReply::json(413, error.into_response().to_json()));
     }
     while buf.len() < content_length {
         match read_more(gateway, stream, buf) {
@@ -326,6 +379,7 @@ fn read_request<G: Gateway>(gateway: &G, stream: &TcpStream, buf: &mut Vec<u8>) 
         target: target.to_string(),
         body,
         keep_alive,
+        trace: trace_id,
     })
 }
 
@@ -338,48 +392,59 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 /// adapter.
 fn respond<G: Gateway>(gateway: &G, request: &HttpRequest, peer: IpAddr) -> HttpReply {
     let Some(route) = Route::resolve(&request.target) else {
-        return HttpReply {
-            status: 404,
-            body: gateway.malformed(ErrorBody::new(
+        return HttpReply::json(
+            404,
+            gateway.malformed(ErrorBody::new(
                 ErrorCode::BadRequest,
                 format!("no route `{}`", request.target),
             )),
-        };
+        );
     };
     if request.method != route.method() {
-        return HttpReply {
-            status: 405,
-            body: gateway.malformed(ErrorBody::new(
+        return HttpReply::json(
+            405,
+            gateway.malformed(ErrorBody::new(
                 ErrorCode::BadRequest,
                 format!("{} requires {}", route.as_str(), route.method()),
             )),
-        };
+        );
     }
-    match route {
+    let trace = request.trace.as_deref();
+    let mut reply = match route {
         // Liveness must stay cheap and must not pollute the request
         // counters — probes fire continuously.
         Route::Healthz => {
             if gateway.shutting_down() {
-                HttpReply {
-                    status: 503,
-                    body: ErrorBody::new(ErrorCode::ShuttingDown, "server is shutting down")
+                HttpReply::json(
+                    503,
+                    ErrorBody::new(ErrorCode::ShuttingDown, "server is shutting down")
                         .into_response()
                         .to_json(),
-                }
+                )
             } else {
-                HttpReply {
-                    status: 200,
-                    body: "{\"ok\":\"healthz\"}".to_string(),
-                }
+                HttpReply::json(200, gateway.health_body())
             }
         }
-        Route::Stats => reply_from_body(gateway.execute(Request::Stats, peer)),
-        Route::Devices => reply_from_body(gateway.execute(Request::Devices, peer)),
+        // Scrape traffic, same policy as healthz: answered outside the
+        // request queue and excluded from the request counters.
+        Route::Metrics => HttpReply {
+            status: 200,
+            body: gateway.exposition(),
+            content_type: "text/plain; version=0.0.4",
+            trace: None,
+        },
+        Route::Stats => reply_from_body(gateway.execute(Request::Stats, peer, trace)),
+        Route::Devices => reply_from_body(gateway.execute(Request::Devices, peer, trace)),
         Route::Predict | Route::AdminReload => match parse_body_request(&request.body, route) {
-            Ok(parsed) => reply_from_body(gateway.execute(parsed, peer)),
+            Ok(parsed) => reply_from_body(gateway.execute(parsed, peer, trace)),
             Err(e) => reply_from_body(gateway.malformed(e)),
         },
-    }
+    };
+    // Echo the caller's trace id as a response header on every routed
+    // reply (the JSON body additionally carries it when the request
+    // reached the protocol core).
+    reply.trace = request.trace.clone();
+    reply
 }
 
 /// Parse the JSON body of a POST route into a protocol [`Request`].
@@ -436,7 +501,7 @@ fn parse_body_request(body: &[u8], route: Route) -> Result<Request, ErrorBody> {
                 .map_err(|e| bad(format_args!("{e}")))?,
             path: serde::field(entries, "path", "reload").map_err(|e| bad(format_args!("{e}")))?,
         }),
-        Route::Stats | Route::Devices | Route::Healthz => Err(bad(format_args!(
+        Route::Stats | Route::Devices | Route::Healthz | Route::Metrics => Err(bad(format_args!(
             "{} takes no request body",
             route.as_str()
         ))),
@@ -447,10 +512,8 @@ fn parse_body_request(body: &[u8], route: Route) -> Result<Request, ErrorBody> {
 /// error code. Bodies are trusted server output serialized by this
 /// process, so the prefix check is exact, not a heuristic.
 fn reply_from_body(body: String) -> HttpReply {
-    HttpReply {
-        status: status_for(&body),
-        body,
-    }
+    let status = status_for(&body);
+    HttpReply::json(status, body)
 }
 
 /// HTTP status for a serialized protocol response body.
@@ -488,11 +551,17 @@ const fn reason(status: u16) -> &'static str {
 /// Frame and write one reply; the body is always followed by a flush
 /// so pipelined clients are never stuck behind a buffered response.
 fn write_reply(mut stream: &TcpStream, reply: &HttpReply, keep_alive: bool) -> io::Result<()> {
+    let trace_header = match &reply.trace {
+        Some(id) => format!("{TRACE_HEADER}: {id}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n{}connection: {}\r\n\r\n",
         reply.status,
         reason(reply.status),
+        reply.content_type,
         reply.body.len(),
+        trace_header,
         if keep_alive { "keep-alive" } else { "close" },
     );
     stream.write_all(head.as_bytes())?;

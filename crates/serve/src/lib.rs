@@ -68,7 +68,7 @@ pub use admission::{AdmissionConfig, Quota};
 pub use codec::{LineClient, TraceEntry};
 pub use protocol::{
     BatchResult, ConnectionStats, DeviceInfo, ErrorBody, ErrorCode, LatencyStats, Request,
-    Response, ServerStats,
+    Response, ServerInfo, ServerStats, SlotInfo,
 };
 pub use reload::PlannerSlot;
-pub use server::{render_stats_table, ServeError, Server, ServerConfig};
+pub use server::{build_rev, render_stats_table, ServeError, Server, ServerConfig, STAGE_NAMES};

@@ -24,6 +24,7 @@ pub struct Metrics {
     batch_kernels: AtomicU64,
     devices: AtomicU64,
     stats: AtomicU64,
+    metrics: AtomicU64,
     shutdown: AtomicU64,
     errors: AtomicU64,
     rejected: AtomicU64,
@@ -35,6 +36,7 @@ pub struct Metrics {
     conn_refused: AtomicU64,
     conn_failed: AtomicU64,
     latency_max_us: AtomicU64,
+    latency_sum_us: AtomicU64,
     latency_buckets: [AtomicU64; BUCKETS],
 }
 
@@ -54,6 +56,7 @@ impl Metrics {
             batch_kernels: AtomicU64::new(0),
             devices: AtomicU64::new(0),
             stats: AtomicU64::new(0),
+            metrics: AtomicU64::new(0),
             shutdown: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -65,6 +68,7 @@ impl Metrics {
             conn_refused: AtomicU64::new(0),
             conn_failed: AtomicU64::new(0),
             latency_max_us: AtomicU64::new(0),
+            latency_sum_us: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -93,6 +97,11 @@ impl Metrics {
     /// Count one `stats` request.
     pub fn count_stats(&self) {
         bump(&self.stats, 1);
+    }
+
+    /// Count one `metrics` request (the exposition verb).
+    pub fn count_metrics(&self) {
+        bump(&self.metrics, 1);
     }
 
     /// Count one `shutdown` request.
@@ -153,6 +162,7 @@ impl Metrics {
         // counters; the fetch_max RMW itself is atomic, and nothing
         // synchronizes on its result.
         self.latency_max_us.fetch_max(us, Ordering::Relaxed);
+        bump(&self.latency_sum_us, us);
         bump(&self.latency_buckets[bucket_index(us)], 1);
     }
 
@@ -165,6 +175,7 @@ impl Metrics {
             batch_kernels: read(&self.batch_kernels),
             devices: read(&self.devices),
             stats: read(&self.stats),
+            metrics: read(&self.metrics),
             shutdown: read(&self.shutdown),
             errors: read(&self.errors),
             rejected: read(&self.rejected),
@@ -194,6 +205,19 @@ impl Metrics {
     /// requests only.
     pub fn latency_bucket_counts(&self) -> Vec<u64> {
         self.latency_buckets.iter().map(read).collect()
+    }
+
+    /// The whole-request latency histogram as an exposition-ready
+    /// snapshot (same power-of-two bucket layout as the per-stage
+    /// histograms in `gpufreq-obs`).
+    pub fn latency_snapshot(&self) -> gpufreq_obs::HistogramSnapshot {
+        let buckets: Vec<u64> = self.latency_buckets.iter().map(read).collect();
+        gpufreq_obs::HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum_us: read(&self.latency_sum_us),
+            max_us: read(&self.latency_max_us),
+            buckets,
+        }
     }
 
     /// The latency-histogram snapshot (p50/p95/p99 as bucket upper

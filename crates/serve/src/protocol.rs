@@ -54,6 +54,9 @@ pub enum Request {
     Devices,
     /// Snapshot the server's request/cache/queue/latency metrics.
     Stats,
+    /// Render the Prometheus-style text exposition (the same document
+    /// `GET /metrics` serves), wrapped in a JSON response.
+    Metrics,
     /// Hot-swap one device's model from a persisted
     /// `ModelArtifact` path without dropping connections (admin
     /// control-plane; in-flight requests finish on the old model).
@@ -91,6 +94,7 @@ impl Request {
             Request::PredictBatch { .. } => "predict_batch",
             Request::Devices => "devices",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
             Request::Reload { .. } => "reload",
             Request::Shutdown => "shutdown",
         }
@@ -127,7 +131,7 @@ impl Serialize for Request {
                 entries.push(("device".into(), device.serialize()));
                 entries.push(("path".into(), path.serialize()));
             }
-            Request::Devices | Request::Stats | Request::Shutdown => {}
+            Request::Devices | Request::Stats | Request::Metrics | Request::Shutdown => {}
         }
         Value::Object(entries)
     }
@@ -148,6 +152,7 @@ impl Deserialize for Request {
             }),
             "devices" => Ok(Request::Devices),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "reload" => Ok(Request::Reload {
                 device: serde::field(entries, "device", "reload")?,
                 path: serde::field(entries, "path", "reload")?,
@@ -187,6 +192,13 @@ pub enum Response {
         /// The metrics snapshot (boxed: the snapshot is by far the
         /// largest variant, and responses are moved around by value).
         stats: Box<ServerStats>,
+    },
+    /// Answer to [`Request::Metrics`]: the Prometheus-style text
+    /// exposition, verbatim (the same bytes `GET /metrics` serves).
+    Metrics {
+        /// The exposition document (multi-line text, JSON-escaped on
+        /// the wire).
+        exposition: String,
     },
     /// Answer to [`Request::Reload`]: the swap happened; `version`
     /// counts swaps per device slot (1 = the model the server started
@@ -249,6 +261,10 @@ impl Serialize for Response {
                 op_entry("ok", "stats"),
                 ("stats".into(), stats.serialize()),
             ]),
+            Response::Metrics { exposition } => Value::Object(vec![
+                op_entry("ok", "metrics"),
+                ("exposition".into(), exposition.serialize()),
+            ]),
             Response::Reload { device, version } => Value::Object(vec![
                 op_entry("ok", "reload"),
                 ("device".into(), device.serialize()),
@@ -283,6 +299,9 @@ impl Deserialize for Response {
             }),
             "stats" => Ok(Response::Stats {
                 stats: Box::new(serde::field(entries, "stats", "stats")?),
+            }),
+            "metrics" => Ok(Response::Metrics {
+                exposition: serde::field(entries, "exposition", "metrics")?,
             }),
             "reload" => Ok(Response::Reload {
                 device: serde::field(entries, "device", "reload")?,
@@ -511,6 +530,36 @@ pub struct ServerStats {
     pub latency_us: LatencyStats,
     /// Connection lifecycle counters (TCP + HTTP listeners).
     pub connections: ConnectionStats,
+    /// Process identity: uptime, build revision, and the artifact
+    /// version serving in each device slot. Appended last so older
+    /// clients that stop reading early keep parsing.
+    pub server: ServerInfo,
+}
+
+/// Process identity and model provenance, surfaced in `stats` and
+/// `/healthz` so an operator can tell at a glance which build is
+/// running, for how long, and which artifact version each device slot
+/// is serving.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerInfo {
+    /// Whole seconds since the server started (monotonic clock).
+    pub uptime_s: u64,
+    /// Build revision baked in at compile time via the
+    /// `GPUFREQ_BUILD_REV` env var; empty for local builds.
+    pub build: String,
+    /// One entry per served device slot, in planner order. A router
+    /// reports the concatenation of its backends' slots.
+    pub slots: Vec<SlotInfo>,
+}
+
+/// The artifact version serving in one device slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotInfo {
+    /// Registry id of the device.
+    pub device: String,
+    /// Slot version now serving (1 = the model the server started
+    /// with; bumped by each successful `reload`).
+    pub version: u64,
 }
 
 /// Request counters by kind; `total` counts every protocol line seen.
@@ -544,6 +593,8 @@ pub struct RequestCounts {
     /// Of `rejected`: shed because the client exhausted its per-peer
     /// token-bucket quota.
     pub rejected_quota: u64,
+    /// `metrics` requests (the exposition verb).
+    pub metrics: u64,
 }
 
 /// Hit/miss/eviction counters plus the current-size gauge of one

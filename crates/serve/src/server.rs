@@ -34,11 +34,13 @@ use crate::admission::{Admission, AdmissionConfig, Rejection};
 use crate::cache::{key_hash, FrontCache};
 use crate::metrics::Metrics;
 use crate::protocol::{
-    CacheStats, DeviceInfo, ErrorBody, ErrorCode, QueueStats, Request, Response, ServerStats,
+    CacheStats, DeviceInfo, ErrorBody, ErrorCode, QueueStats, Request, Response, ServerInfo,
+    ServerStats, SlotInfo,
 };
 use crate::queue::{BoundedQueue, PushError, ResponseLane, Slot};
 use crate::reload::PlannerSlot;
 use gpufreq_core::{ascii_table, ProfileCache, TrainedPlanner};
+use gpufreq_obs::{trace, Exposition, SpanRecorder, StageSet, TraceLog};
 use gpufreq_sim::Device;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{IpAddr, TcpListener, TcpStream};
@@ -62,6 +64,42 @@ pub const READ_POLL: Duration = Duration::from_millis(200);
 /// memory. The HTTP gateway applies the same bound to request bodies,
 /// and the router enforces it on both its client and backend sides.
 pub const MAX_LINE_BYTES: usize = 4 << 20;
+
+/// The daemon's per-stage span names, in pipeline order: admission
+/// gating, queue wait, front-cache lookup, kernel parse+analysis, SVR
+/// scoring, and the response write (recorded per flush, not per
+/// request, because the writer coalesces bodies).
+pub const STAGE_NAMES: [&str; 6] = [
+    "admission",
+    "queue_wait",
+    "cache_lookup",
+    "analyze",
+    "score",
+    "write",
+];
+
+/// The build revision baked in at compile time (`GPUFREQ_BUILD_REV`);
+/// empty for local builds.
+pub fn build_rev() -> &'static str {
+    option_env!("GPUFREQ_BUILD_REV").unwrap_or("")
+}
+
+/// Append the request's trace id to an already-serialized response
+/// body (no-op for untraced requests, so their bytes stay pinned).
+fn attach_trace(body: String, trace_id: Option<&str>) -> String {
+    match trace_id {
+        Some(id) => trace::attach(&body, id),
+        None => body,
+    }
+}
+
+/// The typed error code of a serialized response body, if it is an
+/// error response. Bodies are trusted output of this process, so the
+/// prefix check is exact (the serializer puts `error.code` first).
+fn error_code_of(body: &str) -> Option<&str> {
+    let rest = body.strip_prefix("{\"error\":{\"code\":\"")?;
+    rest.split('"').next()
+}
 
 /// The `bad_request` body for a line crossing [`MAX_LINE_BYTES`].
 fn oversize_error() -> ErrorBody {
@@ -163,6 +201,12 @@ struct Job {
     request: Request,
     slot: Arc<Slot>,
     accepted: Instant,
+    /// Trace id the client sent (echoed in the response body).
+    trace: Option<String>,
+    /// Socket peer, for the slow-request log.
+    peer: Option<IpAddr>,
+    /// Time spent in the admission gates before enqueueing (µs).
+    admission_us: u64,
 }
 
 /// The long-running prediction server. See the [module docs](self) for
@@ -188,6 +232,9 @@ pub struct Server {
     workers: usize,
     max_connections: usize,
     active_connections: AtomicUsize,
+    started: Instant,
+    stages: StageSet,
+    trace_log: Option<Arc<TraceLog>>,
 }
 
 impl Server {
@@ -232,7 +279,17 @@ impl Server {
             workers: config.workers.max(1),
             max_connections: config.max_connections.max(1),
             active_connections: AtomicUsize::new(0),
+            started: Instant::now(),
+            stages: StageSet::new(&STAGE_NAMES),
+            trace_log: None,
         })
+    }
+
+    /// Attach a structured slow-request/error log (see
+    /// [`TraceLog`]); qualifying requests are written as JSON lines
+    /// carrying the trace id and per-stage breakdown.
+    pub fn set_trace_log(&mut self, log: Arc<TraceLog>) {
+        self.trace_log = Some(log);
     }
 
     /// The devices served, in planner order.
@@ -284,7 +341,228 @@ impl Server {
             },
             workers: self.workers,
             latency_us: self.metrics.latency(),
+            server: self.server_info(),
         }
+    }
+
+    /// Process identity: uptime, build revision, and the artifact
+    /// version serving in each device slot.
+    pub fn server_info(&self) -> ServerInfo {
+        ServerInfo {
+            uptime_s: self.started.elapsed().as_secs(),
+            build: build_rev().to_string(),
+            slots: self
+                .planners
+                .iter()
+                .map(|(device, slot)| SlotInfo {
+                    device: device.id().to_string(),
+                    version: slot.version(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Render the Prometheus-style text exposition: request counters,
+    /// cache/queue/connection gauges, the whole-request latency
+    /// histogram, one histogram per pipeline stage
+    /// ([`STAGE_NAMES`]), and trace-log accounting. Served verbatim by
+    /// `GET /metrics` and (JSON-wrapped) by the `metrics` line verb.
+    pub fn exposition(&self) -> String {
+        let stats = self.stats();
+        let r = &stats.requests;
+        let c = &stats.connections;
+        let mut x = Exposition::new();
+        x.info(
+            "gpufreq_build_info",
+            "Build metadata.",
+            &[("component", "serve"), ("build", &stats.server.build)],
+        );
+        x.gauge(
+            "gpufreq_uptime_seconds",
+            "Seconds since the process started.",
+            stats.server.uptime_s,
+        );
+        for (i, slot) in stats.server.slots.iter().enumerate() {
+            x.labeled_gauge(
+                "gpufreq_model_slot_version",
+                (i == 0).then_some("Artifact version serving per device slot."),
+                &[("device", &slot.device)],
+                slot.version,
+            );
+        }
+        x.counter(
+            "gpufreq_requests_total",
+            "Protocol lines received (well-formed or not).",
+            r.total,
+        );
+        for (i, (op, n)) in [
+            ("predict", r.predict),
+            ("predict_batch", r.predict_batch),
+            ("devices", r.devices),
+            ("stats", r.stats),
+            ("metrics", r.metrics),
+            ("reload", r.reload),
+            ("shutdown", r.shutdown),
+        ]
+        .iter()
+        .enumerate()
+        {
+            x.labeled_gauge(
+                "gpufreq_requests_by_op",
+                (i == 0).then_some("Requests by wire op."),
+                &[("op", op)],
+                *n,
+            );
+        }
+        x.counter(
+            "gpufreq_request_errors_total",
+            "Requests answered with a typed error.",
+            r.errors,
+        );
+        x.counter(
+            "gpufreq_requests_rejected_total",
+            "Requests shed with `overloaded`.",
+            r.rejected,
+        );
+        x.counter(
+            "gpufreq_batch_kernels_total",
+            "Kernels inside batch requests.",
+            r.batch_kernels,
+        );
+        for (i, (cache, s)) in [
+            ("front", &stats.front_cache),
+            ("analysis", &stats.analysis_cache),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let labels = [("cache", *cache)];
+            x.labeled_gauge(
+                "gpufreq_cache_hits",
+                (i == 0).then_some("Cache hits by cache."),
+                &labels,
+                s.hits,
+            );
+        }
+        for (i, (cache, s)) in [
+            ("front", &stats.front_cache),
+            ("analysis", &stats.analysis_cache),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let labels = [("cache", *cache)];
+            x.labeled_gauge(
+                "gpufreq_cache_misses",
+                (i == 0).then_some("Cache misses by cache."),
+                &labels,
+                s.misses,
+            );
+        }
+        x.gauge(
+            "gpufreq_queue_depth",
+            "Jobs waiting for a worker.",
+            stats.queue.depth as u64,
+        );
+        x.gauge(
+            "gpufreq_queue_capacity",
+            "Queue bound before `overloaded`.",
+            stats.queue.capacity as u64,
+        );
+        x.gauge(
+            "gpufreq_connections_active",
+            "Connections currently served.",
+            c.active,
+        );
+        x.counter(
+            "gpufreq_connections_refused_total",
+            "Connections refused at the cap.",
+            c.refused,
+        );
+        x.histogram_us(
+            "gpufreq_request_latency_us",
+            "Whole-request serving latency (request read to response body ready).",
+            &self.metrics.latency_snapshot(),
+        );
+        for (name, h) in self.stages.iter() {
+            x.histogram_us(
+                &format!("gpufreq_stage_{name}_latency_us"),
+                &format!("Latency of the `{name}` stage."),
+                &h.snapshot(),
+            );
+        }
+        if let Some(log) = &self.trace_log {
+            x.counter(
+                "gpufreq_trace_log_written_total",
+                "Slow/error records written to the trace log.",
+                log.written(),
+            );
+            x.counter(
+                "gpufreq_trace_log_dropped_total",
+                "Trace-log records dropped (rate limit or I/O errors).",
+                log.dropped(),
+            );
+        }
+        x.finish()
+    }
+
+    /// Write one slow-request/error record if a trace log is attached
+    /// and the outcome qualifies. A request without a client trace id
+    /// gets one minted here so the log line is still greppable.
+    fn log_request(
+        &self,
+        op: &str,
+        trace_id: Option<&str>,
+        total_us: u64,
+        stages: &[(&'static str, u64)],
+        body: &str,
+        peer: Option<IpAddr>,
+    ) {
+        let Some(log) = &self.trace_log else { return };
+        let error = error_code_of(body);
+        if !log.qualifies(total_us, error.is_some()) {
+            return;
+        }
+        let minted;
+        let id = match trace_id {
+            Some(id) => id,
+            None => {
+                minted = trace::mint();
+                &minted
+            }
+        };
+        let peer = peer.map(|p| p.to_string());
+        log.write(&gpufreq_obs::TraceRecord {
+            component: "serve",
+            trace: id,
+            op,
+            total_us,
+            stages,
+            error,
+            peer: peer.as_deref(),
+        });
+    }
+
+    /// Finish a request answered inline (not through the worker pool):
+    /// record the latency, absorb `stages` into the per-stage
+    /// histograms, write the slow/error log record, and echo the trace
+    /// id onto the body.
+    fn finish_inline(
+        &self,
+        op: &str,
+        accepted: Instant,
+        trace_id: Option<&str>,
+        peer: Option<IpAddr>,
+        stages: &[(&'static str, u64)],
+        body: String,
+    ) -> String {
+        let total_us = accepted.elapsed().as_micros() as u64;
+        self.metrics.observe_us(total_us);
+        for (name, us) in stages {
+            self.stages.observe_us(name, *us);
+        }
+        self.log_request(op, trace_id, total_us, stages, &body, peer);
+        attach_trace(body, trace_id)
     }
 
     // ------------------------------------------------------------------
@@ -349,12 +627,20 @@ impl Server {
         device: Device,
         planner: &TrainedPlanner,
         source: &str,
+        rec: &mut SpanRecorder,
     ) -> Result<Arc<str>, ErrorBody> {
         let key = key_hash(device, source);
-        if let Some(hit) = self.front.get(key, source) {
+        if let Some(hit) = rec.time("cache_lookup", || self.front.get(key, source)) {
             return Ok(hit);
         }
-        match planner.predict_source(source) {
+        // The split below runs exactly `TrainedPlanner::predict_source`
+        // (shared-cache analyze, then the SVR scan), just timed as two
+        // stages — errors and bytes are identical to the reference.
+        let analyzed = match rec.time("analyze", || planner.cache().analyze(source)) {
+            Ok(analyzed) => analyzed,
+            Err(e) => return Err(ErrorBody::new(ErrorCode::Kernel, format!("{e}"))),
+        };
+        match rec.time("score", || planner.predict(&analyzed.0)) {
             // `to_compact_json` writes the same bytes as the generic
             // serializer (pinned in `gpufreq_core::predict`) without
             // building a value tree per response.
@@ -417,6 +703,9 @@ impl Server {
             Request::Stats => Response::Stats {
                 stats: Box::new(self.stats()),
             },
+            Request::Metrics => Response::Metrics {
+                exposition: self.exposition(),
+            },
             Request::Reload { device, path } => match self.reload_model(device, path) {
                 Ok((device, version)) => Response::Reload { device, version },
                 Err(e) => e.into_response(),
@@ -442,14 +731,15 @@ impl Server {
 
     /// Execute a request to its serialized response body — the worker
     /// path: metrics are counted, predictions go through the front
-    /// cache, `shutdown` flips the server into draining.
-    fn body_for(&self, request: &Request) -> String {
+    /// cache, `shutdown` flips the server into draining. Stage timings
+    /// are recorded into `rec` (cache lookup, analysis, scoring).
+    fn body_for(&self, request: &Request, rec: &mut SpanRecorder) -> String {
         match request {
             Request::Predict { device, source } => {
                 self.metrics.count_predict();
                 match self.resolve(device) {
                     Ok((device, planner)) => {
-                        match self.prediction_fragment(device, &planner, source) {
+                        match self.prediction_fragment(device, &planner, source, rec) {
                             Ok(fragment) => format!(
                                 "{{\"ok\":\"predict\",\"device\":\"{}\",\"prediction\":{}}}",
                                 device.id(),
@@ -473,7 +763,7 @@ impl Server {
                             if i > 0 {
                                 body.push(',');
                             }
-                            match self.prediction_fragment(device, &planner, source) {
+                            match self.prediction_fragment(device, &planner, source, rec) {
                                 Ok(fragment) => {
                                     body.push_str("{\"prediction\":");
                                     body.push_str(&fragment);
@@ -502,6 +792,10 @@ impl Server {
             }
             Request::Stats => {
                 self.metrics.count_stats();
+                self.handle(request).to_json()
+            }
+            Request::Metrics => {
+                self.metrics.count_metrics();
                 self.handle(request).to_json()
             }
             Request::Reload { device, path } => self.reload_body(device, path),
@@ -562,19 +856,35 @@ impl Server {
 
     /// Run one job to its response body, catching panics so the
     /// response [`Slot`] is *always* filled (an unfilled slot would
-    /// wedge the connection's writer forever).
+    /// wedge the connection's writer forever). The worker owns the
+    /// job's span recorder: queue wait is measured here, execution
+    /// stages inside [`body_for`](Server::body_for), and the whole
+    /// record feeds the per-stage histograms and the slow log.
     fn execute(&self, job: &Job) -> String {
-        let body =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.body_for(&job.request)))
-                .unwrap_or_else(|_| {
-                    self.error_response(ErrorBody::new(
-                        ErrorCode::Internal,
-                        "internal error while serving the request",
-                    ))
-                });
-        self.metrics
-            .observe_us(job.accepted.elapsed().as_micros() as u64);
-        body
+        let mut rec = SpanRecorder::start();
+        rec.record_us("admission", job.admission_us);
+        rec.record_us("queue_wait", job.accepted.elapsed().as_micros() as u64);
+        let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.body_for(&job.request, &mut rec)
+        }))
+        .unwrap_or_else(|_| {
+            self.error_response(ErrorBody::new(
+                ErrorCode::Internal,
+                "internal error while serving the request",
+            ))
+        });
+        let total_us = job.accepted.elapsed().as_micros() as u64;
+        self.metrics.observe_us(total_us);
+        self.stages.absorb(&rec);
+        self.log_request(
+            job.request.op(),
+            job.trace.as_deref(),
+            total_us,
+            rec.spans(),
+            &body,
+            job.peer,
+        );
+        attach_trace(body, job.trace.as_deref())
     }
 
     /// Process exactly one queued job — lets tests drive the worker
@@ -591,52 +901,71 @@ impl Server {
     /// (`shutdown`, `reload`) run inline; everything else goes through
     /// the shared queue + worker pool with the same admission and
     /// backpressure semantics as the line protocol.
-    pub(crate) fn execute_direct(&self, request: Request, peer: Option<IpAddr>) -> String {
+    pub(crate) fn execute_direct(
+        &self,
+        request: Request,
+        peer: Option<IpAddr>,
+        trace_id: Option<&str>,
+    ) -> String {
         self.metrics.count_line();
         let accepted = Instant::now();
-        let done = |body: String| {
-            self.metrics
-                .observe_us(accepted.elapsed().as_micros() as u64);
-            body
-        };
         if let Request::Reload { device, path } = &request {
-            return done(self.reload_body(device, path));
+            let body = self.reload_body(device, path);
+            return self.finish_inline("reload", accepted, trace_id, peer, &[], body);
         }
         if matches!(request, Request::Shutdown) {
             self.metrics.count_shutdown();
             self.initiate_shutdown();
-            return done(Response::Shutdown.to_json());
+            let body = Response::Shutdown.to_json();
+            return self.finish_inline("shutdown", accepted, trace_id, peer, &[], body);
         }
-        if let Some(body) = self.admission_error(&request, peer) {
-            return done(body);
+        let gate = Instant::now();
+        let admission = self.admission_error(&request, peer);
+        let admission_us = gate.elapsed().as_micros() as u64;
+        if let Some(body) = admission {
+            return self.finish_inline(
+                request.op(),
+                accepted,
+                trace_id,
+                peer,
+                &[("admission", admission_us)],
+                body,
+            );
         }
         let slot = Arc::new(Slot::new());
+        let op = request.op();
         let job = Job {
             request,
             slot: Arc::clone(&slot),
             accepted,
+            trace: trace_id.map(str::to_string),
+            peer,
+            admission_us,
         };
         match self.queue.try_push(job) {
-            // The worker records the latency when it fills the slot.
+            // The worker records latency, spans, and the trace echo
+            // when it fills the slot.
             Ok(()) => slot.wait(),
             Err((_, PushError::Full)) => {
                 self.metrics.count_rejected();
-                done(
-                    ErrorBody::new(
-                        ErrorCode::Overloaded,
-                        format!(
-                            "request queue is full ({} queued); retry later",
-                            self.queue.capacity()
-                        ),
-                    )
-                    .into_response()
-                    .to_json(),
+                let body = ErrorBody::new(
+                    ErrorCode::Overloaded,
+                    format!(
+                        "request queue is full ({} queued); retry later",
+                        self.queue.capacity()
+                    ),
                 )
+                .into_response()
+                .to_json();
+                self.finish_inline(op, accepted, trace_id, peer, &[], body)
             }
-            Err((_, PushError::Closed)) => done(self.error_response(ErrorBody::new(
-                ErrorCode::ShuttingDown,
-                "server is shutting down",
-            ))),
+            Err((_, PushError::Closed)) => {
+                let body = self.error_response(ErrorBody::new(
+                    ErrorCode::ShuttingDown,
+                    "server is shutting down",
+                ));
+                self.finish_inline(op, accepted, trace_id, peer, &[], body)
+            }
         }
     }
 
@@ -658,20 +987,21 @@ impl Server {
     ) {
         self.metrics.count_line();
         let accepted = Instant::now();
-        let inline = |error: ErrorBody| {
-            let body = self.error_response(error);
-            self.metrics
-                .observe_us(accepted.elapsed().as_micros() as u64);
-            lane.push(Arc::new(Slot::filled(body)));
+        let trace = trace::extract(line).map(str::to_string);
+        let trace_id = trace.as_deref();
+        let answer = |op: &str, stages: &[(&'static str, u64)], body: String| {
+            lane.push(Arc::new(Slot::filled(
+                self.finish_inline(op, accepted, trace_id, peer, stages, body),
+            )));
         };
         if line.len() > MAX_LINE_BYTES {
-            inline(oversize_error());
+            answer("invalid", &[], self.error_response(oversize_error()));
             return;
         }
         let request = match Request::parse(line) {
             Ok(request) => request,
             Err(e) => {
-                inline(e);
+                answer("invalid", &[], self.error_response(e));
                 return;
             }
         };
@@ -679,10 +1009,14 @@ impl Server {
             // Deterministic drain: once this stream has asked for
             // shutdown, everything after it is refused by the stream's
             // own reader instead of racing the closing queue.
-            inline(ErrorBody::new(
-                ErrorCode::ShuttingDown,
-                "server is shutting down",
-            ));
+            answer(
+                request.op(),
+                &[],
+                self.error_response(ErrorBody::new(
+                    ErrorCode::ShuttingDown,
+                    "server is shutting down",
+                )),
+            );
             return;
         }
         if matches!(request, Request::Shutdown) {
@@ -695,32 +1029,32 @@ impl Server {
             self.metrics.count_shutdown();
             self.initiate_shutdown();
             *local_shutdown = true;
-            self.metrics
-                .observe_us(accepted.elapsed().as_micros() as u64);
-            lane.push(Arc::new(Slot::filled(Response::Shutdown.to_json())));
+            answer("shutdown", &[], Response::Shutdown.to_json());
             return;
         }
         if let Request::Reload { device, path } = &request {
             // Control-plane like `shutdown`: a model hot-swap must not
             // lose a race against a full data-plane queue, so it runs
             // inline on the connection's reader thread.
-            let body = self.reload_body(device, path);
-            self.metrics
-                .observe_us(accepted.elapsed().as_micros() as u64);
-            lane.push(Arc::new(Slot::filled(body)));
+            answer("reload", &[], self.reload_body(device, path));
             return;
         }
-        if let Some(body) = self.admission_error(&request, peer) {
-            self.metrics
-                .observe_us(accepted.elapsed().as_micros() as u64);
-            lane.push(Arc::new(Slot::filled(body)));
+        let gate = Instant::now();
+        let admission = self.admission_error(&request, peer);
+        let admission_us = gate.elapsed().as_micros() as u64;
+        if let Some(body) = admission {
+            answer(request.op(), &[("admission", admission_us)], body);
             return;
         }
         let slot = Arc::new(Slot::new());
+        let op = request.op();
         let job = Job {
             request,
             slot: Arc::clone(&slot),
             accepted,
+            trace: trace.clone(),
+            peer,
+            admission_us,
         };
         let pushed = if wait_for_space {
             self.queue.push_wait(job)
@@ -742,15 +1076,17 @@ impl Server {
                 )
                 .into_response()
                 .to_json();
-                self.metrics
-                    .observe_us(accepted.elapsed().as_micros() as u64);
-                lane.push(Arc::new(Slot::filled(body)));
+                answer(op, &[], body);
             }
             Err((_, PushError::Closed)) => {
-                inline(ErrorBody::new(
-                    ErrorCode::ShuttingDown,
-                    "server is shutting down",
-                ));
+                answer(
+                    op,
+                    &[],
+                    self.error_response(ErrorBody::new(
+                        ErrorCode::ShuttingDown,
+                        "server is shutting down",
+                    )),
+                );
             }
         }
     }
@@ -902,7 +1238,8 @@ impl Server {
                 s.spawn(|| self.worker_loop());
             }
             let lane_ref = &lane;
-            let writer_thread = s.spawn(move || Server::write_lane(lane_ref, writer));
+            let stages = &self.stages;
+            let writer_thread = s.spawn(move || Server::write_lane(lane_ref, writer, Some(stages)));
             // Single-stream replay: pause the reader on a full queue
             // instead of rejecting, so the replayed bytes stay
             // independent of worker timing at any stream length.
@@ -927,7 +1264,11 @@ impl Server {
     /// lane (so the connection's reader stops accepting new work for a
     /// client that can never see the answers) but draining continues,
     /// so producers never block on a dead connection.
-    fn write_lane<W: Write>(lane: &ResponseLane, mut writer: W) -> io::Result<()> {
+    fn write_lane<W: Write>(
+        lane: &ResponseLane,
+        mut writer: W,
+        stages: Option<&StageSet>,
+    ) -> io::Result<()> {
         /// Stop coalescing once a batch reaches this many bytes.
         const BATCH_BYTES: usize = 256 * 1024;
         let mut result = Ok(());
@@ -954,7 +1295,13 @@ impl Server {
                 }
             }
             if result.is_ok() {
+                let started = Instant::now();
                 result = writer.write_all(&buf).and_then(|()| writer.flush());
+                if let Some(stages) = stages {
+                    // One "write" span per flushed batch, not per
+                    // response — that is the unit the socket sees.
+                    stages.observe_us("write", started.elapsed().as_micros() as u64);
+                }
                 if result.is_err() {
                     lane.poison();
                 }
@@ -987,7 +1334,8 @@ impl Server {
         let lane = ResponseLane::new();
         std::thread::scope(|s| {
             let lane_ref = &lane;
-            let writer_thread = s.spawn(move || Server::write_lane(lane_ref, writer));
+            let stages = &self.stages;
+            let writer_thread = s.spawn(move || Server::write_lane(lane_ref, writer, Some(stages)));
             // TCP: never block the shared acceptor path on a full
             // queue — reject with `overloaded`.
             self.pump(reader, &lane, false, peer);
@@ -1274,20 +1622,21 @@ mod tests {
         let server = server(small_config());
         // predict: cold (computes), then warm (cache replay) — both
         // must equal the reference `handle` serialization.
+        let body = |request: &Request| server.body_for(request, &mut SpanRecorder::start());
         let predict = Request::predict(Device::TitanX, SAXPY);
         let reference = server.handle(&predict).to_json();
-        assert_eq!(server.body_for(&predict), reference, "cold");
-        assert_eq!(server.body_for(&predict), reference, "warm (cache hit)");
+        assert_eq!(body(&predict), reference, "cold");
+        assert_eq!(body(&predict), reference, "warm (cache hit)");
         assert!(server.front.hits() >= 1, "second predict hit the cache");
         // predict_batch, with a per-kernel error in the middle slot.
         let batch = Request::predict_batch(
             Device::TitanX,
             vec![SAXPY.into(), "not a kernel".into(), SAXPY.into()],
         );
-        assert_eq!(server.body_for(&batch), server.handle(&batch).to_json());
+        assert_eq!(body(&batch), server.handle(&batch).to_json());
         // devices and the error responses too.
         let devices = Request::Devices;
-        assert_eq!(server.body_for(&devices), server.handle(&devices).to_json());
+        assert_eq!(body(&devices), server.handle(&devices).to_json());
         for bad in [
             Request::Predict {
                 device: "gtx-9000".into(),
@@ -1298,7 +1647,7 @@ mod tests {
                 source: SAXPY.into(),
             },
         ] {
-            assert_eq!(server.body_for(&bad), server.handle(&bad).to_json());
+            assert_eq!(body(&bad), server.handle(&bad).to_json());
         }
     }
 
@@ -1477,7 +1826,7 @@ mod tests {
         lane.close();
         // The writer dies 4 bytes into the first body: the error must
         // be reported, the lane poisoned, and the rest still drained.
-        let result = Server::write_lane(&lane, FailingWriter { remaining: 4 });
+        let result = Server::write_lane(&lane, FailingWriter { remaining: 4 }, None);
         assert_eq!(result.unwrap_err().kind(), io::ErrorKind::BrokenPipe);
         assert!(lane.is_poisoned(), "write error poisons the lane");
         assert!(lane.next().is_none(), "queued slots were still drained");
@@ -1564,7 +1913,7 @@ mod tests {
     fn reload_swaps_the_model_and_invalidates_the_device_cache() {
         let server = server(small_config());
         let predict = Request::predict(Device::TitanX, SAXPY);
-        let reference = server.body_for(&predict);
+        let reference = server.body_for(&predict, &mut SpanRecorder::start());
         assert!(!server.front.is_empty(), "prediction was cached");
         // Persist the same model and hot-swap it in: bytes must stay
         // identical (same artifact), but the cache must have been
@@ -1585,7 +1934,7 @@ mod tests {
         }
         assert_eq!(server.front.len(), 0, "device cache entries invalidated");
         assert_eq!(
-            server.body_for(&predict),
+            server.body_for(&predict, &mut SpanRecorder::start()),
             reference,
             "same artifact predicts the same bytes"
         );
@@ -1600,7 +1949,7 @@ mod tests {
         assert_eq!(unserved.error().unwrap().code, ErrorCode::DeviceNotServed);
         assert_eq!(server.stats().requests.reload, 4);
         assert_eq!(
-            server.body_for(&predict),
+            server.body_for(&predict, &mut SpanRecorder::start()),
             reference,
             "failed reloads leave the model serving"
         );

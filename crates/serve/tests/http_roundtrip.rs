@@ -130,7 +130,16 @@ fn every_route_answers_on_one_keep_alive_connection() {
 
     let health = exchange(&mut stream, "GET", "/healthz", None);
     assert_eq!(health.status, 200);
-    assert_eq!(health.body, "{\"ok\":\"healthz\"}");
+    assert!(
+        health.body.starts_with("{\"ok\":\"healthz\""),
+        "probe prefix is load-bearing: {}",
+        health.body
+    );
+    assert!(
+        health.body.contains("\"uptime_s\":") && health.body.contains("\"slots\":"),
+        "healthz carries process identity: {}",
+        health.body
+    );
     assert_eq!(
         health.headers.get("connection").map(String::as_str),
         Some("keep-alive")
@@ -138,6 +147,21 @@ fn every_route_answers_on_one_keep_alive_connection() {
     assert_eq!(
         health.headers.get("content-type").map(String::as_str),
         Some("application/json")
+    );
+
+    // The scrape endpoint answers a parseable Prometheus exposition
+    // with the text content type, outside the request counters.
+    let metrics = exchange(&mut stream, "GET", "/metrics", None);
+    assert_eq!(metrics.status, 200);
+    assert_eq!(
+        metrics.headers.get("content-type").map(String::as_str),
+        Some("text/plain; version=0.0.4")
+    );
+    let families = gpufreq_obs::parse_exposition(&metrics.body).expect("exposition parses");
+    assert!(
+        families.iter().any(|f| f.name == "gpufreq_uptime_seconds"),
+        "{}",
+        metrics.body
     );
 
     let devices = exchange(&mut stream, "GET", "/devices", None);

@@ -5,7 +5,7 @@
 use gpufreq_core::{Corpus, ModelConfig, Planner};
 use gpufreq_serve::protocol::{
     BatchResult, CacheStats, ConnectionStats, DeviceInfo, ErrorBody, ErrorCode, LatencyStats,
-    QueueStats, Request, RequestCounts, Response, ServerStats,
+    QueueStats, Request, RequestCounts, Response, ServerInfo, ServerStats, SlotInfo,
 };
 use gpufreq_serve::{Server, ServerConfig};
 use gpufreq_sim::Device;
@@ -47,6 +47,7 @@ fn every_request_variant_round_trips() {
         },
         Request::Devices,
         Request::Stats,
+        Request::Metrics,
         Request::Reload {
             device: Device::TitanX.id().into(),
             path: "/var/lib/gpufreq/models/titan-x-v2.json".into(),
@@ -109,6 +110,7 @@ fn every_response_variant_round_trips() {
                     batch_kernels: 3,
                     devices: 1,
                     stats: 1,
+                    metrics: 1,
                     shutdown: 1,
                     errors: 2,
                     rejected: 3,
@@ -149,7 +151,18 @@ fn every_response_variant_round_trips() {
                     failed: 1,
                     active: 3,
                 },
+                server: ServerInfo {
+                    uptime_s: 42,
+                    build: "abc1234".into(),
+                    slots: vec![SlotInfo {
+                        device: "titan-x".into(),
+                        version: 2,
+                    }],
+                },
             }),
+        },
+        Response::Metrics {
+            exposition: "# TYPE gpufreq_requests_total counter\ngpufreq_requests_total 7\n".into(),
         },
         Response::Reload {
             device: Device::TeslaP100,

@@ -19,6 +19,7 @@
 mod common;
 
 use common::{shutdown, spawn_backend, spawn_router, test_router_config};
+use gpufreq_obs::trace;
 use gpufreq_serve::codec::{parse_trace, TraceEntry};
 use gpufreq_serve::Request;
 
@@ -139,6 +140,54 @@ fn pinned_trace_replays_byte_identically_against_daemon_and_router() {
     // And the router answer is stable across a second pass (warm
     // connection pools, closed circuits).
     replay(router.addr, &entries, "router (second pass)");
+
+    shutdown(router.addr);
+    router.thread.join().expect("router thread");
+    for backend in backends {
+        shutdown(backend.addr);
+        backend.thread.join().expect("backend thread");
+    }
+}
+
+/// Tracing is strictly additive on the wire: replaying the pinned
+/// script with a trace id attached to each request must answer the
+/// **pinned bytes plus exactly the echoed trace field** — nothing else
+/// may move. (The untraced test above already pins that responses
+/// without a trace are byte-identical to the pre-tracing wire.)
+#[test]
+fn traced_replay_answers_the_pinned_bytes_plus_the_echoed_trace() {
+    let backends = [spawn_backend(), spawn_backend()];
+    let router = spawn_router(test_router_config(&[backends[0].addr, backends[1].addr]));
+
+    let contents = std::fs::read_to_string(TRACE_PATH).unwrap_or_else(|e| {
+        panic!("{TRACE_PATH}: {e}; record it with GPUFREQ_BLESS=1 cargo test --test acceptance")
+    });
+    let entries = parse_trace(&contents).expect("parsing the pinned trace");
+
+    for (target_name, addr) in [("daemon", backends[0].addr), ("router", router.addr)] {
+        let mut client = common::connect(addr);
+        for (i, entry) in entries.iter().enumerate() {
+            // Deterministic per-entry ids — the diff message names them.
+            let id = format!("{i:016x}");
+            let sent = trace::attach(&entry.send, &id);
+            // The malformed non-JSON line cannot carry a trace
+            // (`attach` leaves it untouched); its response must then
+            // stay untraced too — the pinned bytes exactly.
+            let expect = if trace::extract(&sent) == Some(id.as_str()) {
+                trace::attach(&entry.recv, &id)
+            } else {
+                entry.recv.clone()
+            };
+            let response = client
+                .call(&sent)
+                .unwrap_or_else(|e| panic!("{target_name}: traced entry {i}: {e}"));
+            assert_eq!(
+                response, expect,
+                "{target_name}: traced entry {i} (trace {id}) diverged from \
+                 pinned-bytes-plus-trace (request: {sent})"
+            );
+        }
+    }
 
     shutdown(router.addr);
     router.thread.join().expect("router thread");

@@ -58,19 +58,42 @@ pub fn spawn_backend() -> BackendHandle {
     spawn_backend_on(TcpListener::bind("127.0.0.1:0").expect("binding a backend port"))
 }
 
+/// Open a log-everything trace log (threshold 0) writing to `sink`.
+pub fn trace_log(sink: &std::path::Path) -> Arc<gpufreq_obs::TraceLog> {
+    Arc::new(
+        gpufreq_obs::TraceLog::open(sink.to_str().expect("utf-8 sink path"), 0)
+            .expect("opening a trace log"),
+    )
+}
+
+/// [`spawn_backend`], with a log-everything trace log attached.
+pub fn spawn_backend_traced(sink: &std::path::Path) -> BackendHandle {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("binding a backend port");
+    spawn_backend_inner(listener, Some(trace_log(sink)))
+}
+
 /// Spin up a backend on an already-bound listener — the chaos test
 /// rebinds a killed backend's old port this way.
 pub fn spawn_backend_on(listener: TcpListener) -> BackendHandle {
-    let server = Arc::new(
-        Server::new(
-            vec![planner()],
-            ServerConfig {
-                workers: 2,
-                ..ServerConfig::default()
-            },
-        )
-        .expect("building a backend server"),
-    );
+    spawn_backend_inner(listener, None)
+}
+
+fn spawn_backend_inner(
+    listener: TcpListener,
+    log: Option<Arc<gpufreq_obs::TraceLog>>,
+) -> BackendHandle {
+    let mut server = Server::new(
+        vec![planner()],
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("building a backend server");
+    if let Some(log) = log {
+        server.set_trace_log(log);
+    }
+    let server = Arc::new(server);
     let addr = listener.local_addr().expect("backend local addr");
     let thread = {
         let server = Arc::clone(&server);
@@ -109,10 +132,26 @@ pub fn test_router_config(backends: &[SocketAddr]) -> RouterConfig {
 
 /// Build and serve a router on a free port.
 pub fn spawn_router(config: RouterConfig) -> RouterHandle {
-    let router = Arc::new(match Router::new(config) {
+    spawn_router_inner(config, None)
+}
+
+/// [`spawn_router`], with a log-everything trace log attached.
+pub fn spawn_router_traced(config: RouterConfig, sink: &std::path::Path) -> RouterHandle {
+    spawn_router_inner(config, Some(trace_log(sink)))
+}
+
+fn spawn_router_inner(
+    config: RouterConfig,
+    log: Option<Arc<gpufreq_obs::TraceLog>>,
+) -> RouterHandle {
+    let mut router = match Router::new(config) {
         Ok(router) => router,
         Err(e) => panic!("building the router: {e}"),
-    });
+    };
+    if let Some(log) = log {
+        router.set_trace_log(log);
+    }
+    let router = Arc::new(router);
     let listener = TcpListener::bind("127.0.0.1:0").expect("binding the router port");
     let addr = listener.local_addr().expect("router local addr");
     let thread = {

@@ -1,0 +1,117 @@
+//! End-to-end tracing integration: a trace id minted at the client
+//! edge must ride the wire through the router to a backend, come back
+//! attached to the response, and appear in **both** processes'
+//! structured trace logs — the cross-process correlation the whole
+//! feature exists for.
+//!
+//! Runs real TCP on loopback via the shared harness, with both
+//! processes' trace logs opened at threshold 0 (log everything).
+
+mod common;
+
+use common::{shutdown, spawn_backend_traced, spawn_router_traced, test_router_config};
+use gpufreq_obs::trace;
+use gpufreq_serve::Request;
+
+/// A unique-per-run sink path (the logs are opened in append mode, so
+/// a fixed path could satisfy assertions with a previous run's lines).
+fn sink(tag: &str, run: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("gpufreq-trace-test");
+    std::fs::create_dir_all(&dir).expect("creating the trace-log dir");
+    dir.join(format!("{tag}-{run}.jsonl"))
+}
+
+#[test]
+fn a_trace_id_is_echoed_and_lands_in_both_router_and_backend_logs() {
+    // The run id doubles as the trace id: minted, so fresh every run.
+    let trace_id = trace::mint();
+    let backend_sink = sink("backend", &trace_id);
+    let router_sink = sink("router", &trace_id);
+
+    let backend = spawn_backend_traced(&backend_sink);
+    let router = spawn_router_traced(test_router_config(&[backend.addr]), &router_sink);
+
+    let mut client = common::connect(router.addr);
+
+    // An untraced request stays untraced: no `"trace"` in the reply.
+    let devices = Request::Devices.to_json();
+    let untraced = client.call(&devices).expect("untraced devices");
+    assert!(
+        !untraced.contains("\"trace\""),
+        "untraced exchange grew a trace field: {untraced}"
+    );
+
+    // The traced predict: attach at the edge, expect the echo.
+    let predict = Request::Predict {
+        device: "titan-x".to_string(),
+        source: "__kernel void k(__global float* x) { x[get_global_id(0)] = 1.0f; }".to_string(),
+    }
+    .to_json();
+    let reply = client
+        .call(&trace::attach(&predict, &trace_id))
+        .expect("traced predict");
+    assert!(
+        reply.starts_with("{\"ok\":\"predict\""),
+        "traced predict failed: {reply}"
+    );
+    assert_eq!(
+        trace::extract(&reply),
+        Some(trace_id.as_str()),
+        "the trace id was not echoed: {reply}"
+    );
+
+    // A traced batch exercises the split/merge path's detach-reattach.
+    let batch = Request::PredictBatch {
+        device: "titan-x".to_string(),
+        sources: vec![
+            "__kernel void a(__global float* x) { x[0] = 2.0f; }".to_string(),
+            "not OpenCL at all".to_string(),
+        ],
+    }
+    .to_json();
+    let reply = client
+        .call(&trace::attach(&batch, &trace_id))
+        .expect("traced batch");
+    assert!(
+        reply.starts_with("{\"ok\":\"predict_batch\""),
+        "traced batch failed: {reply}"
+    );
+    assert_eq!(
+        trace::extract(&reply),
+        Some(trace_id.as_str()),
+        "the batch trace id was not echoed: {reply}"
+    );
+
+    drop(client);
+    shutdown(router.addr);
+    router.thread.join().expect("router thread");
+    shutdown(backend.addr);
+    backend.thread.join().expect("backend thread");
+
+    // Both logs must carry the id — same trace, two components. Every
+    // record is one JSON line with the component name and a stages map.
+    for (path, component) in [(&router_sink, "router"), (&backend_sink, "serve")] {
+        let contents =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let hits: Vec<&str> = contents
+            .lines()
+            .filter(|l| l.contains(&format!("\"trace\":\"{trace_id}\"")))
+            .collect();
+        assert!(
+            !hits.is_empty(),
+            "{component} log has no record for trace {trace_id}:\n{contents}"
+        );
+        for line in hits {
+            assert!(
+                line.contains(&format!("\"component\":\"{component}\"")),
+                "{component} log record misattributed: {line}"
+            );
+            assert!(
+                line.contains("\"stages\":{"),
+                "{component} log record has no stage breakdown: {line}"
+            );
+        }
+    }
+    std::fs::remove_file(&backend_sink).ok();
+    std::fs::remove_file(&router_sink).ok();
+}
